@@ -1,0 +1,198 @@
+//! cuDNN: the GPU comparator of Figures 1 and 9 (and Figure 11's baseline).
+//!
+//! Three algorithm families are modeled:
+//!
+//! * **fp32** — CUDA-core implicit GEMM (Figure 1's reference).
+//! * **fp16 without Tensor Cores** — the same CUDA-core path plus the
+//!   packing/conversion overhead of `half2` arithmetic; the memory savings
+//!   rarely pay for the extra instructions at batch 1, which is exactly the
+//!   slowdown Figure 1 demonstrates.
+//! * **fp16 with Tensor Cores** — hand-written WMMA kernels with a fixed
+//!   large output tile and *no split-K* at batch 1: excellent per-block
+//!   efficiency, chronically low occupancy on small feature maps. This is
+//!   the gap UNIT's tuned split-K schedules exploit in Figures 9/11.
+
+use unit_core::pipeline::Target;
+use unit_graph::compile::ConvProvider;
+use unit_graph::layout::round_up;
+use unit_graph::ConvSpec;
+use unit_sim::{estimate_gpu, GpuKernelDesc, GpuMachine};
+
+/// Which cuDNN algorithm family to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CudnnMode {
+    /// fp32 CUDA-core kernels.
+    Fp32,
+    /// fp16 arithmetic on CUDA cores (no Tensor Cores).
+    Fp16NoTensorCore,
+    /// fp16 WMMA kernels (Tensor Cores, fixed tiling, no split-K).
+    Fp16TensorCore,
+}
+
+/// The cuDNN execution provider.
+pub struct CudnnProvider {
+    mode: CudnnMode,
+    machine: GpuMachine,
+    label: String,
+}
+
+impl CudnnProvider {
+    /// A provider for the given algorithm family on the V100 model.
+    #[must_use]
+    pub fn new(mode: CudnnMode) -> CudnnProvider {
+        let label = match mode {
+            CudnnMode::Fp32 => "cuDNN (fp32)",
+            CudnnMode::Fp16NoTensorCore => "cuDNN (fp16, no Tensor Core)",
+            CudnnMode::Fp16TensorCore => "cuDNN (fp16, Tensor Core)",
+        };
+        CudnnProvider {
+            mode,
+            machine: Target::nvidia_tensor_core().gpu.expect("gpu target"),
+            label: label.to_string(),
+        }
+    }
+
+    /// CUDA-core path: fp32 (or emulated fp16) implicit GEMM.
+    fn cuda_core_micros(&self, spec: &ConvSpec, fp16_overhead: bool) -> f64 {
+        let m = &self.machine;
+        let macs = spec.macs() as f64;
+        // 2 FMA pipes' worth of fp32 lanes; fp16 without tensor cores pays
+        // conversion and packing instructions on the same pipes.
+        let inst_factor = if fp16_overhead { 1.45 } else { 1.0 };
+        let compute =
+            macs * inst_factor / (f64::from(m.fp32_lanes_per_sm) * f64::from(m.sms));
+        let elem_bytes = if fp16_overhead { 2.0 } else { 4.0 };
+        let bytes =
+            (spec.input_elems() + spec.weight_elems()) as f64 * elem_bytes
+                + spec.output_elems() as f64 * 4.0;
+        let memory = bytes / m.bytes_per_cycle();
+        let cycles = compute.max(memory) + m.kernel_launch_us * m.freq_ghz * 1e3;
+        cycles / (m.freq_ghz * 1e3)
+    }
+
+    /// Tensor-Core path: the algorithm heuristic picks the best of its
+    /// pre-built tile sizes (32/64/128 square output tiles), but never
+    /// splits the reduction at batch 1.
+    fn tensor_core_micros(&self, spec: &ConvSpec) -> f64 {
+        let m = &self.machine;
+        // cuDNN does not fuse H/W padding the way UNIT's FuseDim does:
+        // each image row is padded to the tile height.
+        let rows = spec.oh() * round_up(spec.ow(), 16);
+        let cols = round_up(spec.k, 16);
+        let red = round_up(spec.c * spec.r * spec.rw, 16);
+        [32i64, 64, 128]
+            .into_iter()
+            .map(|tile| {
+                let desc = GpuKernelDesc {
+                    macs: (rows * cols * red) as f64,
+                    tile_m: tile,
+                    tile_n: tile,
+                    reduce_k: red,
+                    rows_m: rows,
+                    cols_n: cols,
+                    p: 2,
+                    split_k: 1,
+                    fuse_hw: false,
+                    padding_bytes_saved: 0.0,
+                    input_bytes: ((rows * red) + (red * cols)) as f64 * 2.0,
+                    output_bytes: (rows * cols) as f64 * 4.0,
+                    wmma_latency: 16.0,
+                    wmma_macs: 4096.0,
+                };
+                estimate_gpu(&desc, m).micros(m.freq_ghz)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl ConvProvider for CudnnProvider {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
+        match self.mode {
+            CudnnMode::Fp32 => (self.cuda_core_micros(spec, false), "fp32 implicit GEMM".into()),
+            CudnnMode::Fp16NoTensorCore => (
+                self.cuda_core_micros(spec, true),
+                "fp16 CUDA-core path (cast overhead)".into(),
+            ),
+            CudnnMode::Fp16TensorCore => {
+                if spec.is_depthwise() {
+                    // No dot-product idiom: CUDA-core path regardless.
+                    (self.cuda_core_micros(spec, true), "depthwise CUDA-core".into())
+                } else {
+                    (self.tensor_core_micros(spec), "WMMA 64x64 tile, no split-K".into())
+                }
+            }
+        }
+    }
+
+    fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
+        let spec = ConvSpec::new_2d(in_features.max(1), 1, units, 1, 1, 0);
+        self.conv_micros(&spec).0
+    }
+
+    fn memory_op_micros(&self, bytes: f64) -> f64 {
+        bytes / (self.machine.dram_gbps * 1e3) + self.machine.kernel_launch_us * 0.5
+    }
+
+    fn per_op_overhead_us(&self) -> f64 {
+        // cuDNN handle dispatch + algorithm heuristics + tensor descriptors.
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_without_tensor_cores_is_slower_than_fp32() {
+        // The Figure 1 motivation: naive mixed precision loses.
+        let spec = ConvSpec::new_2d(256, 14, 256, 3, 1, 1);
+        let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(&spec).0;
+        let fp16 = CudnnProvider::new(CudnnMode::Fp16NoTensorCore).conv_micros(&spec).0;
+        assert!(fp16 > fp32, "fp16-no-TC ({fp16:.1}) must lose to fp32 ({fp32:.1})");
+    }
+
+    #[test]
+    fn tensor_cores_beat_cuda_cores_decisively_when_occupied() {
+        // A 56x56 layer yields ~200 blocks: enough to fill the SMs, where
+        // the Tensor-Core advantage materializes.
+        let spec = ConvSpec::new_2d(128, 56, 128, 3, 1, 1);
+        let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(&spec).0;
+        let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore).conv_micros(&spec).0;
+        assert!(tc < fp32 / 2.0, "TC ({tc:.1}) vs fp32 ({fp32:.1})");
+    }
+
+    #[test]
+    fn small_layers_show_the_occupancy_gap_unit_exploits() {
+        // At 7x7 with few output channels the grid is tiny even with the
+        // smallest tile: cuDNN's TC advantage shrinks well below its
+        // well-occupied ratio (Figures 9/11 exploit exactly this).
+        let small = ConvSpec::new_2d(512, 7, 512, 1, 1, 0);
+        let big = ConvSpec::new_2d(128, 56, 128, 3, 1, 1);
+        let ratio = |spec: &ConvSpec| {
+            let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(spec).0;
+            let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore).conv_micros(spec).0;
+            fp32 / tc
+        };
+        assert!(
+            ratio(&small) < ratio(&big),
+            "the TC advantage must shrink on under-occupied layers: {} vs {}",
+            ratio(&small),
+            ratio(&big)
+        );
+    }
+
+    #[test]
+    fn small_feature_maps_underoccupy_cudnn() {
+        // 7x7x512 -> 49 rows: one 64-row tile and 8 column tiles = 8 blocks
+        // on 80 SMs.
+        let spec = ConvSpec::new_2d(512, 7, 512, 3, 1, 1);
+        let provider = CudnnProvider::new(CudnnMode::Fp16TensorCore);
+        let (us, _) = provider.conv_micros(&spec);
+        assert!(us > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated comparator libraries for the UNIT evaluation.
+//!
+//! The paper compares against proprietary binaries (Intel oneDNN, Nvidia
+//! cuDNN) and hand-written TVM schedules. Per the substitution rule in
+//! `DESIGN.md`, each comparator is modeled as a *fixed expert schedule* (or
+//! a fixed kernel configuration) evaluated through the **same** machine
+//! models as UNIT — so every comparison in Figures 1, 8, 9, 10, 11 and 12
+//! is schedule-vs-schedule under one cost model, never a hard-coded ratio.
+//!
+//! What distinguishes the comparators from UNIT:
+//!
+//! * **MXNet + oneDNN** ([`onednn`]): per-shape-class pre-tuned blocking
+//!   (strongest on the resnet-50 family it was hand-optimized for), plus
+//!   MXNet's heavier per-operator framework overhead and coarser fusion.
+//! * **cuDNN** ([`cudnn`]): fixed large-tile implicit GEMM without split-K
+//!   at batch 1, with fp32 / fp16-without-Tensor-Core / fp16-Tensor-Core
+//!   algorithm variants (Figure 1's motivation comes from the middle one).
+//! * **TVM manual schedules** ([`tvm_cpu`]): one fixed breaking-point pair
+//!   — exactly what a carefully hand-written schedule is — for x86 VNNI and
+//!   ARM DOT, and a no-dot-product NEON path built from widening SIMD MACs.
+
+pub mod cudnn;
+pub mod onednn;
+pub mod tvm_cpu;
+
+pub use cudnn::{CudnnMode, CudnnProvider};
+pub use onednn::MxnetOneDnnProvider;
+pub use tvm_cpu::{TvmArmManualProvider, TvmNeonProvider, TvmX86Provider};

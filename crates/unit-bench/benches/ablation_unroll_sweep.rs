@@ -1,0 +1,47 @@
+//! Ablation: the RAW-hazard chain-length sweep.
+//!
+//! Sweeps the unroll budget (the number of independent accumulation chains
+//! below the innermost reduction loop) on one representative layer and
+//! prints the modeled latency curve: latency-bound at small budgets,
+//! throughput-bound in the middle, front-end-bound when over-unrolled —
+//! the U-shape that motivates the second breaking point of Figure 7.
+
+use unit_bench::render_table;
+use unit_core::inspector::inspect;
+use unit_core::pipeline::Target;
+use unit_core::tuner::{tune_cpu, CpuTuneMode};
+use unit_dsl::DType;
+use unit_graph::layout::blocked_conv2d;
+use unit_graph::ConvSpec;
+use unit_isa::registry;
+
+fn main() {
+    let spec = ConvSpec::new_2d(256, 16, 256, 3, 1, 0); // Table I #7
+    let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
+    let m = inspect(&intrin, &op).expect("conv matches VNNI");
+    let machine = Target::x86_avx512_vnni().cpu.expect("cpu model");
+
+    let header: Vec<String> =
+        ["unroll", "cycles", "us", "note"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for unroll in [1i64, 2, 4, 8, 16, 32, 64, 128] {
+        let tuned = tune_cpu(
+            &op,
+            &m,
+            &intrin,
+            &machine,
+            CpuTuneMode::Fixed { par: 3000, unroll },
+        )
+        .expect("tuning succeeds");
+        let note = tuned.estimate.notes.first().cloned().unwrap_or_default();
+        rows.push(vec![
+            unroll.to_string(),
+            format!("{:.0}", tuned.estimate.cycles),
+            format!("{:.1}", tuned.estimate.micros(machine.freq_ghz)),
+            note,
+        ]);
+    }
+    println!("Ablation: unroll budget vs modeled latency (Table I #7, VNNI)");
+    println!("{}", render_table(&header, &rows));
+}

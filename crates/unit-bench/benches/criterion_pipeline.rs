@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the compiler itself: how long the
+//! Inspector, Rewriter and Tuner take, and how fast the interpreter
+//! executes a tensorized kernel (the artifact-evaluation cost of the
+//! reproduction, not a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unit_core::inspector::inspect;
+use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
+use unit_core::rewriter::{build_tensorized_schedule, finalize};
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_dsl::builder::conv2d_hwc;
+use unit_dsl::DType;
+use unit_graph::layout::blocked_conv2d;
+use unit_graph::ConvSpec;
+use unit_interp::{alloc_buffers, random_fill, run};
+use unit_isa::registry;
+
+fn bench_inspector(c: &mut Criterion) {
+    let op = blocked_conv2d(&ConvSpec::new_2d(256, 16, 256, 3, 1, 0), 16, 4, DType::U8, DType::I8);
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
+    c.bench_function("inspector/conv2d_vnni", |b| {
+        b.iter(|| inspect(black_box(&intrin), black_box(&op)).expect("matches"))
+    });
+}
+
+fn bench_rewriter(c: &mut Criterion) {
+    let op = blocked_conv2d(&ConvSpec::new_2d(256, 16, 256, 3, 1, 0), 16, 4, DType::U8, DType::I8);
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
+    let m = inspect(&intrin, &op).expect("matches");
+    c.bench_function("rewriter/tile_sink_replace", |b| {
+        b.iter(|| {
+            let ts = build_tensorized_schedule(&op, &m, &intrin).expect("schedulable");
+            finalize(black_box(&ts), "bench").expect("tensorizes")
+        })
+    });
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    let op = blocked_conv2d(&ConvSpec::new_2d(128, 14, 128, 3, 1, 1), 16, 4, DType::U8, DType::I8);
+    let tensorizer = Tensorizer::new(Target::x86_avx512_vnni()).with_tuning(TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 8 },
+        gpu: GpuTuneMode::Tuned,
+    });
+    c.bench_function("tuner/8_candidate_pairs", |b| {
+        b.iter(|| tensorizer.compile(black_box(&op)).expect("compiles"))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let op = conv2d_hwc(10, 10, 16, 32, 3, 3);
+    let kernel = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    let mut bufs = alloc_buffers(&kernel.func);
+    random_fill(&mut bufs, 7);
+    c.bench_function("interpreter/tensorized_conv_8x8x16x32", |b| {
+        b.iter(|| run(black_box(&kernel.func), black_box(&mut bufs)).expect("runs"))
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inspector, bench_rewriter, bench_tuner, bench_interpreter
+}
+criterion_main!(pipeline);

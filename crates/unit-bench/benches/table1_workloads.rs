@@ -1,0 +1,26 @@
+//! Regenerates Table I: characteristics of the 16 selected convolution
+//! layers. Run via `cargo bench -p unit-bench --bench table1_workloads`.
+
+use unit_bench::{render_table, workloads::table_i};
+
+fn main() {
+    let header: Vec<String> =
+        ["#", "C", "IHW", "K", "R=S", "Stride", "OHW"].iter().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = table_i()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            vec![
+                (i + 1).to_string(),
+                w.c.to_string(),
+                w.ihw.to_string(),
+                w.k.to_string(),
+                w.r.to_string(),
+                w.stride.to_string(),
+                w.ohw().to_string(),
+            ]
+        })
+        .collect();
+    println!("Table I: characteristics of the selected convolution layers");
+    println!("{}", render_table(&header, &rows));
+}

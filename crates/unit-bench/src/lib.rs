@@ -1,0 +1,74 @@
+//! Shared infrastructure for the figure/table regeneration harness.
+//!
+//! Every artifact of the paper's evaluation section has a corresponding
+//! bench target (run `cargo bench -p unit-bench` to regenerate all of
+//! them); the computation lives here so integration tests can assert the
+//! *shape* of each result — who wins, by roughly what factor, where the
+//! crossovers fall — without parsing stdout.
+
+pub mod figures;
+pub mod workloads;
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Render an aligned table: header row plus data rows.
+#[must_use]
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["model".to_string(), "speedup".to_string()],
+            &[vec!["resnet-18".to_string(), "1.30".to_string()]],
+        );
+        assert!(t.contains("resnet-18"));
+        assert!(t.contains("speedup"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Pipeline errors.
+
+use std::fmt;
+
+/// Why compilation of an operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// No registered instruction of the target platform applies; carries
+    /// one reason per instruction tried.
+    NoApplicableInstruction {
+        /// `(instruction name, rejection reason)` pairs.
+        tried: Vec<(String, String)>,
+    },
+    /// A scheduling primitive failed (internal error: the Rewriter
+    /// constructed an invalid transformation).
+    Schedule(String),
+    /// Lowering failed.
+    Lower(String),
+    /// The instruction-replacement pass rejected the nest.
+    Tensorize(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoApplicableInstruction { tried } => {
+                write!(f, "no applicable tensorized instruction")?;
+                for (name, reason) in tried {
+                    write!(f, "; {name}: {reason}")?;
+                }
+                Ok(())
+            }
+            CompileError::Schedule(m) => write!(f, "scheduling failed: {m}"),
+            CompileError::Lower(m) => write!(f, "lowering failed: {m}"),
+            CompileError::Tensorize(m) => write!(f, "tensorization failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,241 @@
+//! Compute isomorphism: Algorithm 1 of the paper.
+//!
+//! Two expression trees are arithmetically isomorphic when a simultaneous
+//! walk finds identical topology, opcodes and data types, and a consistent
+//! binding from instruction register operands to operation tensors ("a
+//! register cannot correspond to multiple data sources").
+
+use std::collections::BTreeMap;
+
+use unit_dsl::{ComputeOp, Expr, Load, TensorId};
+
+/// Binding from instruction register tensors to operation tensors,
+/// established by the tree walk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OperandBinding {
+    map: BTreeMap<TensorId, TensorId>,
+}
+
+impl OperandBinding {
+    /// The operation tensor bound to an instruction register.
+    #[must_use]
+    pub fn get(&self, register: TensorId) -> Option<TensorId> {
+        self.map.get(&register).copied()
+    }
+
+    /// Iterate `(register, operation tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TensorId, TensorId)> + '_ {
+        self.map.iter().map(|(a, b)| (*a, *b))
+    }
+
+    fn bind(&mut self, register: TensorId, tensor: TensorId) -> bool {
+        match self.map.get(&register) {
+            Some(existing) => *existing == tensor,
+            None => {
+                self.map.insert(register, tensor);
+                true
+            }
+        }
+    }
+}
+
+/// A matched pair of loads: the instruction-side access and the
+/// operation-side access, in traversal order. Fed to the array-access
+/// isomorphism check.
+#[derive(Debug, Clone)]
+pub struct LoadPair {
+    /// Access in the instruction semantics (indices over instruction axes).
+    pub inst: Load,
+    /// Access in the operation (indices over operation axes).
+    pub op: Load,
+}
+
+/// Algorithm 1: simultaneous recursive descent over both trees.
+///
+/// `a` is the instruction side, `b` the operation side (as in the paper's
+/// pseudocode).
+fn inspect_expr(
+    a: &Expr,
+    b: &Expr,
+    inst: &ComputeOp,
+    op: &ComputeOp,
+    binding: &mut OperandBinding,
+    pairs: &mut Vec<LoadPair>,
+) -> bool {
+    // Data types must agree at every node.
+    let at = a.dtype(&|t| inst.dtype_of(t));
+    let bt = b.dtype(&|t| op.dtype_of(t));
+    if at != bt {
+        return false;
+    }
+    match (a, b) {
+        (Expr::Load(la), Expr::Load(lb)) => {
+            if !binding.bind(la.tensor, lb.tensor) {
+                return false;
+            }
+            pairs.push(LoadPair { inst: la.clone(), op: lb.clone() });
+            true
+        }
+        (Expr::Int(va, _), Expr::Int(vb, _)) => va == vb,
+        (Expr::Float(va, _), Expr::Float(vb, _)) => va == vb,
+        (Expr::Cast(_, ia), Expr::Cast(_, ib)) => {
+            // Equal outer dtypes were checked above; the inner dtypes are
+            // checked by the recursive call's own dtype comparison.
+            inspect_expr(ia, ib, inst, op, binding, pairs)
+        }
+        (Expr::Bin(opa, la, ra), Expr::Bin(opb, lb, rb)) => {
+            opa == opb
+                && inspect_expr(la, lb, inst, op, binding, pairs)
+                && inspect_expr(ra, rb, inst, op, binding, pairs)
+        }
+        _ => false,
+    }
+}
+
+/// The operation-side combiner as it appears in the *lowered* loop body:
+/// the accumulator is always a load of the output (the init nest has
+/// already materialized any distinct initial value).
+fn runtime_combiner(op: &ComputeOp) -> Expr {
+    Expr::bin(
+        op.reduce_op.combine_op(),
+        Expr::Load(Load { tensor: op.output, indices: op.out_indices.clone() }),
+        op.update.clone(),
+    )
+}
+
+/// Match an instruction's semantics against an operation.
+///
+/// On success, returns the operand binding (instruction register ->
+/// operation tensor; the destination register and any distinct accumulator
+/// register both bind to the operation output) and the matched load pairs
+/// for the access-isomorphism step.
+#[must_use]
+pub fn match_compute(inst: &ComputeOp, op: &ComputeOp) -> Option<(OperandBinding, Vec<LoadPair>)> {
+    // Reduction operators must agree (sum-reduction instructions cannot
+    // implement max-pooling idioms and vice versa).
+    if inst.reduce_op != op.reduce_op {
+        return None;
+    }
+    // Output data types must agree.
+    if inst.output_decl().dtype != op.output_decl().dtype {
+        return None;
+    }
+    let mut binding = OperandBinding::default();
+    let mut pairs = Vec::new();
+    let a = inst.combiner();
+    let b = runtime_combiner(op);
+    if !inspect_expr(&a, &b, inst, op, &mut binding, &mut pairs) {
+        return None;
+    }
+    // The destination register corresponds to the operation output.
+    if !binding.bind(inst.output, op.output) {
+        return None;
+    }
+    Some((binding, pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_dsl::builder::{conv2d_hwc, matmul_f16, matmul_u8i8};
+    use unit_dsl::{DType, InitExpr, OpBuilder};
+    use unit_isa::registry;
+
+    fn vnni() -> ComputeOp {
+        registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics
+    }
+
+    #[test]
+    fn vnni_matches_quantized_conv() {
+        // The running example of Figure 5: same topology, opcodes, dtypes.
+        let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
+        let (binding, pairs) = match_compute(&vnni(), &op).expect("must match");
+        // a (u8 register) binds the activation, b (i8) the weights, c and d
+        // bind the output.
+        assert_eq!(binding.get(TensorId(0)), Some(TensorId(0)));
+        assert_eq!(binding.get(TensorId(1)), Some(TensorId(1)));
+        assert_eq!(binding.get(TensorId(2)), Some(op.output));
+        assert_eq!(binding.get(TensorId(3)), Some(op.output));
+        // Pairs: accumulator + two data loads.
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn vnni_matches_quantized_matmul() {
+        let op = matmul_u8i8(16, 64, 128);
+        assert!(match_compute(&vnni(), &op).is_some());
+    }
+
+    #[test]
+    fn vnni_rejects_fp16_matmul() {
+        // i32 accumulators cannot implement an fp32-accumulating matmul.
+        let op = matmul_f16(16, 16, 16);
+        assert!(match_compute(&vnni(), &op).is_none());
+    }
+
+    #[test]
+    fn wmma_matches_fp16_matmul_but_not_quantized() {
+        let wmma = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32")
+            .unwrap()
+            .semantics;
+        assert!(match_compute(&wmma, &matmul_f16(32, 32, 32)).is_some());
+        assert!(match_compute(&wmma, &matmul_u8i8(32, 32, 32)).is_none());
+    }
+
+    #[test]
+    fn sdot_rejects_unsigned_activations() {
+        // sdot is i8 x i8; conv2d_hwc uses u8 activations, so the dtype
+        // check at the cast leaf must fail.
+        let sdot = registry::by_name("llvm.arm.neon.sdot.v4i32.v16i8").unwrap().semantics;
+        let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
+        assert!(match_compute(&sdot, &op).is_none());
+    }
+
+    #[test]
+    fn register_cannot_bind_two_sources() {
+        // d[i] = sum(i32(a[i*4+j]) * i32(a[i*4+j])) squares one tensor; the
+        // VNNI registers a and b would both bind to it — legal. But an op
+        // multiplying two *different* tensors cannot bind to an instruction
+        // squaring one register.
+        let mut b = OpBuilder::new("square");
+        let a = b.tensor("a", &[64], DType::U8);
+        let i = b.axis("i", 16);
+        let j = b.reduce_axis("j", 4);
+        let e = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+            * b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32);
+        let square = b.compute("d", DType::I32, vec![i.into()], InitExpr::Identity, e);
+
+        // Instruction that squares its single register.
+        let mut ib = OpBuilder::new("sq.inst");
+        let ra = ib.tensor("r", &[64], DType::U8);
+        let ii = ib.axis("i", 16);
+        let jj = ib.reduce_axis("j", 4);
+        let ie = ib.load(ra, vec![(ii * 4 + jj).into()]).cast(DType::I32)
+            * ib.load(ra, vec![(ii * 4 + jj).into()]).cast(DType::I32);
+        let sq_inst = ib.compute("d", DType::I32, vec![ii.into()], InitExpr::Identity, ie);
+
+        // The squaring instruction matches the squaring op...
+        assert!(match_compute(&sq_inst, &square).is_some());
+        // ...but not a genuine two-operand matmul (register r would need to
+        // bind both a and b).
+        let mm = matmul_u8i8(16, 16, 4);
+        // Shape the op so the trees align (u8*u8): build a u8xu8 matmul.
+        let mut mb = OpBuilder::new("mm_uu");
+        let ma = mb.tensor("a", &[16, 4], DType::U8);
+        let mw = mb.tensor("b", &[16, 4], DType::U8);
+        let mi = mb.axis("i", 16);
+        let mj = mb.reduce_axis("k", 4);
+        let me = mb.load(ma, vec![mi.into(), mj.into()]).cast(DType::I32)
+            * mb.load(mw, vec![mi.into(), mj.into()]).cast(DType::I32);
+        let mm_uu = mb.compute("d", DType::I32, vec![mi.into()], InitExpr::Identity, me);
+        assert!(match_compute(&sq_inst, &mm_uu).is_none());
+        let _ = mm;
+    }
+
+    #[test]
+    fn reduce_operator_must_agree() {
+        let mut op = matmul_u8i8(16, 64, 128);
+        op.reduce_op = unit_dsl::ReduceOp::Max;
+        assert!(match_compute(&vnni(), &op).is_none());
+    }
+}

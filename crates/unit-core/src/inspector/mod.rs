@@ -1,0 +1,43 @@
+//! The Inspector: applicability detection (Section III-B).
+
+mod access;
+mod iso;
+
+pub use access::{enumerate_mappings, AxisMapping};
+pub use iso::{match_compute, LoadPair, OperandBinding};
+
+use unit_dsl::ComputeOp;
+use unit_isa::TensorIntrinsic;
+
+/// A complete applicability result: the operand binding from compute
+/// isomorphism plus one feasible loop mapping from access isomorphism.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Instruction register -> operation tensor binding.
+    pub binding: OperandBinding,
+    /// The selected loop mapping (greedy innermost-first by default).
+    pub mapping: AxisMapping,
+    /// Every feasible mapping (alternatives form a tuning dimension).
+    pub alternatives: Vec<AxisMapping>,
+}
+
+/// Run the full two-step inspection of an instruction against an operation.
+///
+/// Returns `Err` with a human-readable reason when the instruction does not
+/// apply — the pipeline aggregates these into
+/// [`crate::CompileError::NoApplicableInstruction`].
+///
+/// # Errors
+///
+/// A textual reason: compute-isomorphism failure or an empty feasible
+/// mapping set.
+pub fn inspect(intrinsic: &TensorIntrinsic, op: &ComputeOp) -> Result<Match, String> {
+    let (binding, pairs) = match_compute(&intrinsic.semantics, op)
+        .ok_or_else(|| "expression trees are not isomorphic".to_string())?;
+    let mappings = enumerate_mappings(&intrinsic.semantics, op, &pairs);
+    let mapping = mappings
+        .first()
+        .cloned()
+        .ok_or_else(|| "no feasible loop mapping satisfies S'(u) ⊆ S(v)".to_string())?;
+    Ok(Match { binding, mapping, alternatives: mappings })
+}

@@ -1,0 +1,41 @@
+//! UNIT: the unified tensorized-instruction compilation pipeline.
+//!
+//! This crate is the paper's contribution (Section III). Given a tensor
+//! operation and a hardware target, it
+//!
+//! 1. **Inspects** applicability ([`inspector`]): Algorithm 1's expression
+//!    tree isomorphism binds instruction registers to operation tensors,
+//!    then the array-access isomorphism enumerates mappings `f : A -> B`
+//!    from operation loops to instruction loops and keeps those satisfying
+//!    `S'(u) ⊆ S(v)` for every operand pair;
+//! 2. **Rewrites** the loop nest ([`rewriter`]): tiles the mapped loops by
+//!    the instruction trip counts, sinks them innermost under a `tensorize`
+//!    pragma, and runs the instruction-replacement pass;
+//! 3. **Tunes** the remaining loops ([`tuner`]): the CPU two-breaking-point
+//!    space (fuse+parallelize / serialize / reorder+unroll, Figure 7) and
+//!    the GPU space (`p×p` accumulation window, H/W dimension fusion,
+//!    split-K reduction, Figure 6), profiling candidates on the analytic
+//!    machine models of [`unit_sim`].
+//!
+//! The enduser entry point is [`pipeline::Tensorizer`]:
+//!
+//! ```
+//! use unit_core::pipeline::{Target, Tensorizer};
+//! use unit_dsl::builder::conv2d_hwc;
+//!
+//! let op = conv2d_hwc(18, 18, 32, 64, 3, 3);
+//! let kernel = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+//! assert_eq!(kernel.intrinsic.name, "llvm.x86.avx512.vpdpbusd.512");
+//! assert!(kernel.estimate.cycles > 0.0);
+//! ```
+
+pub mod error;
+pub mod inspector;
+pub mod pipeline;
+pub mod rewriter;
+pub mod tuner;
+
+pub use error::CompileError;
+pub use inspector::{enumerate_mappings, match_compute, AxisMapping, Match, OperandBinding};
+pub use pipeline::{CompiledKernel, Target, Tensorizer, TuningConfig};
+pub use rewriter::{build_tensorized_schedule, finalize, TensorizedSchedule};

@@ -1,0 +1,254 @@
+//! The end-to-end pipeline: Inspector → Rewriter → Tuner.
+
+use unit_dsl::{AxisId, ComputeOp};
+use unit_isa::{registry, Platform, TensorIntrinsic};
+use unit_sim::{CpuMachine, Estimate, GpuKernelDesc, GpuMachine};
+use unit_tir::TirFunc;
+
+use crate::error::CompileError;
+use crate::inspector::{inspect, Match};
+use crate::rewriter::{build_tensorized_schedule, finalize};
+use crate::tuner::{tune_cpu, tune_gpu, CpuTuneMode, GpuTuneMode};
+
+/// A compilation target: a platform's instruction set plus its machine
+/// model for profiling.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// The instruction platform.
+    pub platform: Platform,
+    /// CPU machine model (CPU platforms).
+    pub cpu: Option<CpuMachine>,
+    /// GPU machine model (GPU platforms).
+    pub gpu: Option<GpuMachine>,
+}
+
+impl Target {
+    /// Intel Cascade Lake with AVX-512 VNNI (the paper's c5.12xlarge).
+    #[must_use]
+    pub fn x86_avx512_vnni() -> Target {
+        Target {
+            platform: Platform::X86Vnni,
+            cpu: Some(CpuMachine::cascade_lake()),
+            gpu: None,
+        }
+    }
+
+    /// AWS Graviton2 with the ARM dot-product extension (m6g.8xlarge).
+    #[must_use]
+    pub fn arm_neon_dot() -> Target {
+        Target { platform: Platform::ArmDot, cpu: Some(CpuMachine::graviton2()), gpu: None }
+    }
+
+    /// Nvidia V100 with Tensor Cores (p3.2xlarge).
+    #[must_use]
+    pub fn nvidia_tensor_core() -> Target {
+        Target {
+            platform: Platform::NvidiaTensorCore,
+            cpu: None,
+            gpu: Some(GpuMachine::v100()),
+        }
+    }
+}
+
+/// Tuning effort configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuningConfig {
+    /// CPU search mode.
+    pub cpu: CpuTuneMode,
+    /// GPU search mode.
+    pub gpu: GpuTuneMode,
+}
+
+impl Default for TuningConfig {
+    fn default() -> TuningConfig {
+        TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs: 16 }, gpu: GpuTuneMode::Tuned }
+    }
+}
+
+/// A compiled, tuned, tensorized kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Name of the source operation.
+    pub op_name: String,
+    /// The instruction UNIT selected.
+    pub intrinsic: TensorIntrinsic,
+    /// The loop mapping `(operation axis, instruction axis)` used.
+    pub mapping: Vec<(AxisId, AxisId)>,
+    /// The tensorized function (tuned for CPU targets; base-tensorized for
+    /// GPU targets, whose tuning lives in `gpu_desc`).
+    pub func: TirFunc,
+    /// Latency estimate of the chosen schedule on the target machine.
+    pub estimate: Estimate,
+    /// The chosen schedule, human-readable.
+    pub chosen: String,
+    /// `(candidate, cycles)` tuning log.
+    pub tuning_log: Vec<(String, f64)>,
+    /// GPU kernel configuration (GPU targets only).
+    pub gpu_desc: Option<GpuKernelDesc>,
+}
+
+/// The UNIT compiler front object.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct Tensorizer {
+    target: Target,
+    tuning: TuningConfig,
+}
+
+impl Tensorizer {
+    /// A tensorizer with default (full) tuning.
+    #[must_use]
+    pub fn new(target: Target) -> Tensorizer {
+        Tensorizer { target, tuning: TuningConfig::default() }
+    }
+
+    /// Override the tuning effort (used by the ablation benches).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TuningConfig) -> Tensorizer {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The target this tensorizer compiles for.
+    #[must_use]
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Inspect applicability only: the first applicable instruction and its
+    /// match, without rewriting.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::NoApplicableInstruction`] listing the per-instruction
+    /// rejection reasons.
+    pub fn inspect(&self, op: &ComputeOp) -> Result<(TensorIntrinsic, Match), CompileError> {
+        let mut tried = Vec::new();
+        for intrin in registry::for_platform(self.target.platform) {
+            match inspect(&intrin, op) {
+                Ok(m) => return Ok((intrin, m)),
+                Err(reason) => tried.push((intrin.name.clone(), reason)),
+            }
+        }
+        Err(CompileError::NoApplicableInstruction { tried })
+    }
+
+    /// Compile an operation: detect, rewrite, tune.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] if no instruction applies or a pipeline stage fails.
+    pub fn compile(&self, op: &ComputeOp) -> Result<CompiledKernel, CompileError> {
+        self.compile_with_hint(op, None)
+    }
+
+    /// Compile with a convolution-structure hint for the GPU tuner (the
+    /// implicit-GEMM view erases the spatial/channel split that dimension
+    /// fusion and split-K are defined in terms of).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] if no instruction applies or a pipeline stage fails.
+    pub fn compile_with_hint(
+        &self,
+        op: &ComputeOp,
+        hint: Option<crate::tuner::gpu::ConvGpuHint>,
+    ) -> Result<CompiledKernel, CompileError> {
+        let (intrinsic, m) = self.inspect(op)?;
+        match self.target.platform {
+            Platform::X86Vnni | Platform::ArmDot => {
+                let machine =
+                    self.target.cpu.as_ref().expect("CPU platform carries a CPU machine");
+                let tuned = tune_cpu(op, &m, &intrinsic, machine, self.tuning.cpu)?;
+                Ok(CompiledKernel {
+                    op_name: op.name.clone(),
+                    intrinsic,
+                    mapping: m.mapping,
+                    func: tuned.func,
+                    estimate: tuned.estimate,
+                    chosen: tuned.chosen,
+                    tuning_log: tuned.log,
+                    gpu_desc: None,
+                })
+            }
+            Platform::NvidiaTensorCore => {
+                let machine =
+                    self.target.gpu.as_ref().expect("GPU platform carries a GPU machine");
+                let tuned = tune_gpu(op, &m, &intrinsic, machine, self.tuning.gpu, hint);
+                // The functional kernel: base tensorized lowering (the GPU
+                // scheduling knobs do not change semantics).
+                let ts = build_tensorized_schedule(op, &m, &intrinsic)?;
+                let func = finalize(&ts, &format!("{}_wmma", op.name))?;
+                Ok(CompiledKernel {
+                    op_name: op.name.clone(),
+                    intrinsic,
+                    mapping: m.mapping,
+                    func,
+                    estimate: tuned.estimate,
+                    chosen: tuned.chosen,
+                    tuning_log: tuned.log,
+                    gpu_desc: Some(tuned.desc),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_dsl::builder::{conv2d_hwc, matmul_f16, matmul_u8i8};
+
+    #[test]
+    fn x86_pipeline_compiles_quantized_conv() {
+        let op = conv2d_hwc(18, 18, 32, 64, 3, 3);
+        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.512");
+        assert!(k.estimate.cycles > 0.0);
+        assert!(!k.tuning_log.is_empty());
+    }
+
+    #[test]
+    fn gpu_pipeline_compiles_fp16_matmul() {
+        let op = matmul_f16(112, 256, 512);
+        let k = Tensorizer::new(Target::nvidia_tensor_core()).compile(&op).unwrap();
+        assert!(k.intrinsic.name.contains("wmma"));
+        assert!(k.gpu_desc.is_some());
+    }
+
+    #[test]
+    fn inapplicable_ops_report_reasons() {
+        // fp16 matmul on VNNI: every x86 instruction must report why not.
+        let op = matmul_f16(64, 64, 64);
+        let err = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap_err();
+        match err {
+            CompileError::NoApplicableInstruction { tried } => {
+                assert_eq!(tried.len(), registry::for_platform(Platform::X86Vnni).len());
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn narrower_vnni_is_selected_when_lanes_do_not_fit() {
+        // Neither data-parallel extent (24, 8) tiles by 16 lanes, so the
+        // 512-bit encoding is inapplicable; the 256-bit one (8 lanes) fits.
+        let op = matmul_u8i8(24, 8, 64);
+        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.256");
+    }
+
+    #[test]
+    fn compiled_kernels_are_correct_end_to_end() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        let op = conv2d_hwc(12, 12, 16, 32, 3, 3);
+        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let mut bufs = alloc_buffers(&k.func);
+        random_fill(&mut bufs, 77);
+        let mut reference = bufs.clone();
+        run(&k.func, &mut bufs).unwrap();
+        run_reference(&op, &mut reference).unwrap();
+        assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Rewriter: loop reorganization and instruction injection
+//! (Section III-C).
+//!
+//! Given an Inspector [`Match`], the Rewriter tiles each mapped operation
+//! loop by the corresponding instruction trip count, reorders the inner
+//! tiles to the innermost positions in instruction-axis order, and marks
+//! them with the `tensorize` pragma (Figure 5(c)). [`finalize`] then lowers
+//! the schedule and runs the replacement pass of
+//! [`unit_tir::passes::tensorize`].
+//!
+//! The outer loops remain free: the [`crate::tuner`] reorganizes them for
+//! parallelism and latency hiding before finalizing.
+
+use std::collections::BTreeMap;
+
+use unit_dsl::{AxisId, ComputeOp};
+use unit_isa::TensorIntrinsic;
+use unit_tir::passes::simplify::{elide_proven_guards, simplify};
+use unit_tir::passes::tensorize::{tensorize_pass, TensorizeRequest};
+use unit_tir::{lower::lower, IterClass, Schedule, TirFunc, VarId};
+
+use crate::error::CompileError;
+use crate::inspector::Match;
+
+/// A schedule whose innermost loops are poised for instruction replacement.
+#[derive(Debug, Clone)]
+pub struct TensorizedSchedule {
+    /// The schedule (tensorized tiles innermost, pragma set).
+    pub schedule: Schedule,
+    /// Tensorized inner loop -> instruction axis.
+    pub loop_map: Vec<(VarId, AxisId)>,
+    /// Outer data-parallel leaves, outermost first (free for tuning).
+    pub outer_dp: Vec<VarId>,
+    /// Outer reduction leaves, outermost first (free for tuning).
+    pub outer_reduce: Vec<VarId>,
+    /// The instruction to inject.
+    pub intrinsic: TensorIntrinsic,
+    /// Register-to-tensor binding from the Inspector.
+    pub binding: crate::inspector::OperandBinding,
+}
+
+impl TensorizedSchedule {
+    /// The [`TensorizeRequest`] for the replacement pass.
+    #[must_use]
+    pub fn request(&self) -> TensorizeRequest {
+        let operand_map: BTreeMap<unit_dsl::TensorId, unit_tir::BufId> = self
+            .binding
+            .iter()
+            .map(|(reg, tensor)| (reg, unit_tir::BufId(tensor.0)))
+            .collect();
+        TensorizeRequest {
+            intrinsic: self.intrinsic.clone(),
+            loop_map: self.loop_map.clone(),
+            operand_map,
+        }
+    }
+}
+
+/// Tile and sink the matched loops (Rewriter step 1, Section IV-B).
+///
+/// # Errors
+///
+/// [`CompileError::Schedule`] if a primitive fails — which indicates a bug,
+/// since the Inspector only emits schedulable mappings.
+pub fn build_tensorized_schedule(
+    op: &ComputeOp,
+    m: &Match,
+    intrinsic: &TensorIntrinsic,
+) -> Result<TensorizedSchedule, CompileError> {
+    let mut s = Schedule::new(op);
+    let mut loop_map = Vec::new();
+    let mut inner_vars = Vec::new();
+
+    for (op_axis, inst_axis) in &m.mapping {
+        let factor = intrinsic.semantics.extent(*inst_axis);
+        let root = s.root_of(*op_axis);
+        let (_outer, inner) =
+            s.split(root, factor).map_err(|e| CompileError::Schedule(e.to_string()))?;
+        loop_map.push((inner, *inst_axis));
+        inner_vars.push(inner);
+    }
+
+    // Desired order: all non-tensorized leaves in current relative order,
+    // then the tensorized tiles in instruction-axis order.
+    let mut order: Vec<VarId> =
+        s.leaves().into_iter().filter(|v| !inner_vars.contains(v)).collect();
+    order.extend(&inner_vars);
+    s.reorder(&order).map_err(|e| CompileError::Schedule(e.to_string()))?;
+    s.pragma_tensorize(inner_vars[0], intrinsic.name.clone())
+        .map_err(|e| CompileError::Schedule(e.to_string()))?;
+
+    let outer_dp: Vec<VarId> = s
+        .leaves()
+        .into_iter()
+        .filter(|v| !inner_vars.contains(v) && s.var(*v).class == IterClass::DataParallel)
+        .collect();
+    let outer_reduce: Vec<VarId> = s
+        .leaves()
+        .into_iter()
+        .filter(|v| !inner_vars.contains(v) && s.var(*v).class == IterClass::Reduce)
+        .collect();
+
+    Ok(TensorizedSchedule {
+        schedule: s,
+        loop_map,
+        outer_dp,
+        outer_reduce,
+        intrinsic: intrinsic.clone(),
+        binding: m.binding.clone(),
+    })
+}
+
+/// Lower a tensorized schedule and run the replacement pass (Rewriter
+/// step 3), followed by simplification.
+///
+/// # Errors
+///
+/// [`CompileError::Lower`] / [`CompileError::Tensorize`].
+pub fn finalize(ts: &TensorizedSchedule, name: &str) -> Result<TirFunc, CompileError> {
+    let func =
+        lower(&ts.schedule, name).map_err(|e| CompileError::Lower(e.to_string()))?;
+    let func = elide_proven_guards(&func);
+    let func = tensorize_pass(&func, &ts.request())
+        .map_err(|e| CompileError::Tensorize(e.to_string()))?;
+    Ok(simplify(&func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::inspect;
+    use unit_dsl::builder::{conv2d_hwc, matmul_f16, matmul_u8i8};
+    use unit_isa::registry;
+    use unit_tir::Stmt;
+
+    fn rewrite(op: &ComputeOp, intrin_name: &str) -> TirFunc {
+        let intrin = registry::by_name(intrin_name).unwrap();
+        let m = inspect(&intrin, op).unwrap();
+        let ts = build_tensorized_schedule(op, &m, &intrin).unwrap();
+        finalize(&ts, &format!("{}_tensorized", op.name)).unwrap()
+    }
+
+    #[test]
+    fn conv_rewrites_to_one_vnni_call_site() {
+        let func = rewrite(&conv2d_hwc(8, 8, 16, 32, 3, 3), "llvm.x86.avx512.vpdpbusd.512");
+        assert_eq!(func.body.count(&|s| matches!(s, Stmt::Intrin(_))), 1);
+        // No residue guards: 32 % 16 == 0 and 16 % 4 == 0.
+        assert_eq!(func.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 0);
+    }
+
+    #[test]
+    fn matmul_rewrites_for_wmma() {
+        let func = rewrite(&matmul_f16(64, 48, 32), "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32");
+        let mut seen = None;
+        func.body.visit(&mut |s| {
+            if let Stmt::Intrin(is) = s {
+                seen = Some(is.clone());
+            }
+        });
+        let is = seen.expect("wmma call site");
+        // In-place accumulator: no separate acc operand.
+        assert!(is.acc.is_none());
+        assert_eq!(is.dst.reg_len, 256);
+    }
+
+    #[test]
+    fn tensorized_kernels_compute_the_right_answer() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        for (op, intrin) in [
+            (matmul_u8i8(16, 32, 64), "llvm.x86.avx512.vpdpbusd.512"),
+            (matmul_u8i8(16, 32, 64), "llvm.x86.avx512.vpdpbusd.128"),
+            (conv2d_hwc(10, 10, 8, 16, 3, 3), "llvm.x86.avx512.vpdpbusd.128"),
+            (matmul_f16(32, 32, 32), "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32"),
+        ] {
+            let func = rewrite(&op, intrin);
+            let mut bufs = alloc_buffers(&func);
+            random_fill(&mut bufs, 99);
+            let mut reference = bufs.clone();
+            run(&func, &mut bufs).unwrap();
+            run_reference(&op, &mut reference).unwrap();
+            assert_eq!(
+                bufs[op.output.0 as usize], reference[op.output.0 as usize],
+                "mismatch for {} with {intrin}",
+                op.name
+            );
+        }
+    }
+
+    #[test]
+    fn sdot_tensorizes_signed_matmul() {
+        use unit_dsl::{DType, InitExpr, OpBuilder};
+        // i8 x i8 matmul for ARM DOT.
+        let mut b = OpBuilder::new("matmul_i8i8");
+        let a = b.tensor("a", &[8, 16], DType::I8);
+        let w = b.tensor("b", &[8, 16], DType::I8);
+        let i = b.axis("i", 8);
+        let j = b.axis("j", 8);
+        let k = b.reduce_axis("k", 16);
+        let e = b.load(a, vec![i.into(), k.into()]).cast(DType::I32)
+            * b.load(w, vec![j.into(), k.into()]).cast(DType::I32);
+        let op = b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, e);
+
+        let func = rewrite(&op, "llvm.arm.neon.sdot.v4i32.v16i8");
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        let mut bufs = alloc_buffers(&func);
+        random_fill(&mut bufs, 5);
+        let mut reference = bufs.clone();
+        run(&func, &mut bufs).unwrap();
+        run_reference(&op, &mut reference).unwrap();
+        assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+    }
+}

@@ -1,0 +1,366 @@
+//! GPU tuning: the Tensor Core optimization space of Section III-C /
+//! Figure 6.
+//!
+//! Three knobs are enumerated and profiled on the GPU machine model:
+//!
+//! * the `p×p` outer-product accumulation window (register reuse vs.
+//!   register pressure vs. block-level parallelism),
+//! * **dimension fusion** of small H/W (saves redundant padding traffic at
+//!   the cost of a rearrangement pass),
+//! * **split-K**: splitting a deep reduction across blocks, synchronizing,
+//!   and reducing the partial sums in shared memory — the occupancy rescue
+//!   for batch-1 inference.
+//!
+//! Functionally, split-K is expressed as a *two-op decomposition* at the
+//! DSL level ([`split_reduce_decompose`]): a partial op whose segment axis
+//! is data-parallel, followed by a small reduction op. The interpreter runs
+//! both to validate that the transformation preserves semantics.
+
+use unit_dsl::{AxisKind, ComputeOp, DType, Expr, InitExpr, LinExpr, OpBuilder};
+use unit_isa::TensorIntrinsic;
+use unit_sim::{estimate_gpu, Estimate, GpuKernelDesc, GpuMachine};
+
+use crate::inspector::Match;
+
+/// Tuning effort, matching the stages of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuTuneMode {
+    /// Generic coarse/fine-grained parallelism only (`p = 2`).
+    Generic,
+    /// Plus H/W dimension fusion where applicable (`+FuseDim`).
+    FuseDim,
+    /// Plus split-K by 64 (`+SplitK`).
+    SplitK,
+    /// Full enumeration of `(p, fuse, split)` (`+Tune`).
+    Tuned,
+}
+
+/// Convolution structure hints for GPU tuning: the implicit-GEMM view
+/// erases the spatial/channel split, but dimension fusion and split-K are
+/// defined in terms of it (Figure 6 / Section III-C).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvGpuHint {
+    /// Output height.
+    pub oh: i64,
+    /// Output width.
+    pub ow: i64,
+    /// Input channels (the dimension split-K segments, "split by 64").
+    pub channels: i64,
+}
+
+/// A tuned GPU kernel.
+#[derive(Debug, Clone)]
+pub struct GpuTuneResult {
+    /// The chosen kernel configuration.
+    pub desc: GpuKernelDesc,
+    /// Model estimate of the chosen candidate.
+    pub estimate: Estimate,
+    /// Description of the chosen configuration.
+    pub chosen: String,
+    /// `(candidate description, cycles)` for every profiled candidate.
+    pub log: Vec<(String, f64)>,
+}
+
+/// Derive the matmul-shaped view of an operation from its mapping: the
+/// operation axis mapped to the instruction's second data-parallel axis is
+/// the column dimension; every other data-parallel axis contributes rows.
+fn mnk_view(op: &ComputeOp, m: &Match, intrinsic: &TensorIntrinsic) -> (i64, i64, i64, usize) {
+    let inst_dp: Vec<_> = intrinsic.semantics.axes.iter().map(|a| a.id).collect();
+    let col_inst_axis = *inst_dp.last().expect("instruction has data-parallel axes");
+    let col_op_axis = m
+        .mapping
+        .iter()
+        .find(|(_, b)| *b == col_inst_axis)
+        .map(|(a, _)| *a)
+        .expect("mapping covers all instruction axes");
+    let cols: i64 = op.extent(col_op_axis);
+    let rows: i64 =
+        op.axes.iter().filter(|a| a.id != col_op_axis).map(|a| a.extent).product();
+    let reduce: i64 = op.reduce_axes.iter().map(|a| a.extent).product();
+    let spatial_axes = op.axes.iter().filter(|a| a.id != col_op_axis).count();
+    (rows, cols, reduce, spatial_axes)
+}
+
+/// Build the kernel descriptor for one `(p, fuse, split)` configuration.
+#[must_use]
+pub fn build_desc(
+    op: &ComputeOp,
+    m: &Match,
+    intrinsic: &TensorIntrinsic,
+    p: i64,
+    fuse_hw: bool,
+    split_k: i64,
+    hint: Option<ConvGpuHint>,
+) -> GpuKernelDesc {
+    let (rows, cols, reduce, spatial_axes) = mnk_view(op, m, intrinsic);
+    let input_bytes: f64 = op
+        .tensors
+        .iter()
+        .filter(|t| t.id != op.output)
+        .map(|t| (t.len() * t.dtype.bytes()) as f64)
+        .sum();
+    let output_bytes = (op.output_decl().len() * op.output_decl().dtype.bytes()) as f64;
+    // Dimension fusion: without it, every image row is padded to the WMMA
+    // tile height separately (`OH * roundup(OW, 16)` rows); fusing H and W
+    // pads once (`roundup(OH*OW, 16)`), saving the redundant padding rows
+    // and their input traffic — the biggest win on small feature maps.
+    let (rows_m, padding_bytes_saved, fuses) = match hint {
+        Some(h) => {
+            let unfused_rows = h.oh * ((h.ow + 15) / 16) * 16;
+            let fused_rows = ((h.oh * h.ow + 15) / 16) * 16;
+            if fuse_hw && h.oh > 1 {
+                let frac = 1.0 - fused_rows as f64 / unfused_rows as f64;
+                (fused_rows, input_bytes * frac, true)
+            } else {
+                (unfused_rows.max(rows), 0.0, false)
+            }
+        }
+        None => (rows, 0.0, fuse_hw && spatial_axes >= 2),
+    };
+    GpuKernelDesc {
+        macs: op.mac_count() as f64,
+        tile_m: 16 * p,
+        tile_n: 16 * p,
+        reduce_k: reduce,
+        rows_m,
+        cols_n: cols,
+        p,
+        split_k,
+        fuse_hw: fuses,
+        padding_bytes_saved,
+        input_bytes,
+        output_bytes,
+        wmma_latency: intrinsic.perf.latency_cycles,
+        wmma_macs: intrinsic.perf.macs as f64,
+    }
+}
+
+/// Tune a tensorized operation for a Tensor Core target.
+#[must_use]
+pub fn tune_gpu(
+    op: &ComputeOp,
+    m: &Match,
+    intrinsic: &TensorIntrinsic,
+    machine: &GpuMachine,
+    mode: GpuTuneMode,
+    hint: Option<ConvGpuHint>,
+) -> GpuTuneResult {
+    let (_, _, reduce, _) = mnk_view(op, m, intrinsic);
+    // "We split the reduction dimension K by 64": segments of 64 channels.
+    let default_split = hint
+        .map_or((reduce / 64).max(1), |h| (h.channels / 64).max(1))
+        .min(32);
+    let configs: Vec<(i64, bool, i64)> = match mode {
+        GpuTuneMode::Generic => vec![(2, false, 1)],
+        GpuTuneMode::FuseDim => vec![(2, true, 1)],
+        GpuTuneMode::SplitK => vec![(2, true, default_split)],
+        GpuTuneMode::Tuned => {
+            let mut out = Vec::new();
+            for p in [1i64, 2, 4] {
+                for fuse in [false, true] {
+                    for split in [1i64, 2, 4, 8, 16, default_split] {
+                        let split = split.min(reduce.max(1));
+                        if !out.contains(&(p, fuse, split)) {
+                            out.push((p, fuse, split));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    };
+
+    let mut log = Vec::new();
+    let mut best: Option<(GpuKernelDesc, Estimate, String)> = None;
+    for (p, fuse, split) in configs {
+        let desc = build_desc(op, m, intrinsic, p, fuse, split, hint);
+        let est = estimate_gpu(&desc, machine);
+        let name = format!("p={p},fuse={fuse},splitK={split}");
+        log.push((name.clone(), est.cycles));
+        let better = best.as_ref().map_or(true, |(_, b, _)| est.cycles < b.cycles);
+        if better {
+            best = Some((desc, est, name));
+        }
+    }
+    let (desc, estimate, chosen) = best.expect("at least one configuration profiled");
+    GpuTuneResult { desc, estimate, chosen, log }
+}
+
+/// Decompose a sum-reduction op into (partial, combine) for split-K:
+/// the chosen reduction axis is split into `segments`, the segment index
+/// becomes a *data-parallel* axis of the partial op, and a second op sums
+/// the partials. Semantically equivalent to the original (validated by the
+/// interpreter in tests).
+///
+/// # Panics
+///
+/// Panics if `axis` is not a reduction axis of `op`, if `segments` does not
+/// divide its extent, or if the op does not sum-reduce.
+#[must_use]
+pub fn split_reduce_decompose(
+    op: &ComputeOp,
+    axis: unit_dsl::AxisId,
+    segments: i64,
+) -> (ComputeOp, ComputeOp) {
+    assert_eq!(op.reduce_op, unit_dsl::ReduceOp::Sum, "split-K requires a sum reduction");
+    let target = op
+        .reduce_axes
+        .iter()
+        .find(|a| a.id == axis)
+        .unwrap_or_else(|| panic!("{axis} is not a reduction axis of {}", op.name))
+        .clone();
+    assert!(
+        target.extent % segments == 0,
+        "segments {segments} must divide the reduction extent {}",
+        target.extent
+    );
+    assert!(
+        matches!(op.init, InitExpr::Identity),
+        "split-K decomposition expects an identity-initialized reduction"
+    );
+    let seg_len = target.extent / segments;
+
+    // --- Partial op: segment axis is data-parallel. ---
+    let mut pb = OpBuilder::new(format!("{}_partial", op.name));
+    // Re-declare the input tensors in the same order.
+    for t in &op.tensors {
+        if t.id != op.output {
+            pb.tensor(t.name.clone(), &t.shape, t.dtype);
+        }
+    }
+    // Axes: original data-parallel axes, then the segment axis (dp), then
+    // the original reduce axes with the target shrunk to seg_len.
+    let mut axis_subst: std::collections::BTreeMap<unit_dsl::AxisId, LinExpr> =
+        std::collections::BTreeMap::new();
+    let mut dp_handles = Vec::new();
+    for a in &op.axes {
+        let h = pb.axis(a.name.clone(), a.extent);
+        axis_subst.insert(a.id, LinExpr::from(h));
+        dp_handles.push(h);
+    }
+    let seg = pb.axis("seg", segments);
+    for a in &op.reduce_axes {
+        if a.id == target.id {
+            let inner = pb.reduce_axis(format!("{}_i", a.name), seg_len);
+            // original = seg * seg_len + inner
+            axis_subst.insert(a.id, LinExpr::from(seg) * seg_len + LinExpr::from(inner));
+        } else {
+            let h = pb.reduce_axis(a.name.clone(), a.extent);
+            axis_subst.insert(a.id, LinExpr::from(h));
+        }
+    }
+    let update = op.update.map_indices(&|ix| ix.substitute_all(&axis_subst));
+    // Output: original dp dims plus the segment dim appended.
+    let mut out_idx: Vec<LinExpr> = dp_handles.iter().map(|h| LinExpr::from(*h)).collect();
+    out_idx.push(LinExpr::from(seg));
+    let partial = pb.compute(
+        format!("{}_partials", op.output_decl().name),
+        op.output_decl().dtype,
+        out_idx,
+        InitExpr::Identity,
+        update,
+    );
+
+    // --- Combine op: sum over the segment axis. ---
+    let mut cb = OpBuilder::new(format!("{}_combine", op.name));
+    let mut pshape: Vec<i64> = op.output_decl().shape.clone();
+    pshape.push(segments);
+    let partials = cb.tensor("partials", &pshape, op.output_decl().dtype);
+    let mut chandles = Vec::new();
+    for a in &op.axes {
+        chandles.push(cb.axis(a.name.clone(), a.extent));
+    }
+    let cseg = cb.reduce_axis("seg", segments);
+    let mut cidx: Vec<LinExpr> = chandles.iter().map(|h| LinExpr::from(*h)).collect();
+    cidx.push(LinExpr::from(cseg));
+    let celem: Expr = cb.load(partials, cidx);
+    let combine = cb.compute(
+        op.output_decl().name.clone(),
+        op.output_decl().dtype,
+        chandles.iter().map(|h| LinExpr::from(*h)).collect(),
+        InitExpr::Identity,
+        celem,
+    );
+    let _ = DType::I32;
+    let _ = AxisKind::Reduce;
+    (partial, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::inspect;
+    use unit_dsl::builder::matmul_f16;
+    use unit_isa::registry;
+    use unit_interp::{alloc_op_buffers, random_fill, run_reference};
+
+    fn setup(n: i64, m_: i64, k: i64) -> (ComputeOp, Match, TensorIntrinsic) {
+        let op = matmul_f16(n, m_, k);
+        let intrin = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
+        let m = inspect(&intrin, &op).unwrap();
+        (op, m, intrin)
+    }
+
+    #[test]
+    fn split_k_wins_on_under_occupied_layers() {
+        // 49 rows x 512 cols x 2048 reduce: few blocks without split-K.
+        let (op, m, intrin) = setup(48, 512, 2048);
+        let machine = GpuMachine::v100();
+        let generic = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Generic, None);
+        let split = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::SplitK, None);
+        assert!(
+            split.estimate.cycles < generic.estimate.cycles,
+            "split-K {} must beat generic {}",
+            split.estimate.cycles,
+            generic.estimate.cycles
+        );
+    }
+
+    #[test]
+    fn tuned_never_loses_to_fixed_stages() {
+        let (op, m, intrin) = setup(112, 256, 1024);
+        let machine = GpuMachine::v100();
+        let stages = [
+            GpuTuneMode::Generic,
+            GpuTuneMode::FuseDim,
+            GpuTuneMode::SplitK,
+        ];
+        let tuned = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
+        for s in stages {
+            let r = tune_gpu(&op, &m, &intrin, &machine, s, None);
+            assert!(tuned.estimate.cycles <= r.estimate.cycles, "stage {s:?} beat Tuned");
+        }
+        assert!(tuned.log.len() > 10);
+    }
+
+    #[test]
+    fn split_reduce_decomposition_preserves_semantics() {
+        let op = unit_dsl::builder::matmul_u8i8(8, 12, 32);
+        let k_axis = op.reduce_axes[0].id;
+        let (partial, combine) = split_reduce_decompose(&op, k_axis, 4);
+        assert_eq!(partial.axes.len(), 3); // i, j, seg
+        assert_eq!(partial.output_decl().shape, vec![8, 12, 4]);
+
+        // Run: reference(op) vs partial-then-combine.
+        let mut direct = alloc_op_buffers(&op);
+        random_fill(&mut direct, 31);
+        run_reference(&op, &mut direct).unwrap();
+
+        let mut pb = alloc_op_buffers(&partial);
+        random_fill(&mut pb, 31); // same seed: inputs identical (same shapes/dtypes order)
+        run_reference(&partial, &mut pb).unwrap();
+        let mut cb = alloc_op_buffers(&combine);
+        cb[0] = pb[partial.output.0 as usize].clone();
+        run_reference(&combine, &mut cb).unwrap();
+
+        assert_eq!(direct[op.output.0 as usize], cb[combine.output.0 as usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn split_reduce_requires_divisibility() {
+        let op = unit_dsl::builder::matmul_u8i8(8, 12, 30);
+        let k_axis = op.reduce_axes[0].id;
+        let _ = split_reduce_decompose(&op, k_axis, 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! The Tuner: schedule search over the loops not consumed by
+//! tensorization (Section III-C.3).
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::{tune_cpu, CpuTuneMode, CpuTuneResult};
+pub use gpu::{split_reduce_decompose, tune_gpu, ConvGpuHint, GpuTuneMode, GpuTuneResult};

@@ -1,0 +1,132 @@
+//! Loop axes: the unit of the paper's applicability analysis.
+//!
+//! Every loop in a tensor-DSL program is *annotated* as either data-parallel
+//! (`loop_axis` in the paper's listings) or reduction (`reduce_axis`). The
+//! Inspector only maps loops of the operation onto loops of the instruction
+//! when their annotations agree, so the annotation is part of the axis, not
+//! of a schedule.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an axis, unique within one [`crate::ComputeOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AxisId(pub u32);
+
+impl fmt::Display for AxisId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ax{}", self.0)
+    }
+}
+
+/// Annotation of an axis: data-parallel or reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisKind {
+    /// Iterations are independent; the axis indexes the output.
+    DataParallel,
+    /// Iterations accumulate into the same output element.
+    Reduce,
+}
+
+impl fmt::Display for AxisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisKind::DataParallel => f.write_str("data_parallel"),
+            AxisKind::Reduce => f.write_str("reduce"),
+        }
+    }
+}
+
+/// A canonical loop axis: iterates from `0` to `extent - 1` with step `1`.
+///
+/// Canonicality (zero base, unit stride) is one of the two tensor-IR
+/// restrictions the paper relies on for analysis; the other (restrict-style
+/// aliasing) is guaranteed by construction because every [`crate::TensorDecl`]
+/// is a distinct buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Identifier, unique within the owning op.
+    pub id: AxisId,
+    /// Human-readable name used by printers.
+    pub name: String,
+    /// Trip count. Always positive.
+    pub extent: i64,
+    /// Data-parallel or reduction.
+    pub kind: AxisKind,
+}
+
+impl Axis {
+    /// Create an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent` is not positive.
+    #[must_use]
+    pub fn new(id: AxisId, name: impl Into<String>, extent: i64, kind: AxisKind) -> Axis {
+        assert!(extent > 0, "axis extent must be positive, got {extent}");
+        Axis { id, name: name.into(), extent, kind }
+    }
+
+    /// Lightweight copyable handle used by expression-building sugar.
+    #[must_use]
+    pub fn handle(&self) -> Ax {
+        Ax { id: self.id, extent: self.extent, kind: self.kind }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ctor = match self.kind {
+            AxisKind::DataParallel => "loop_axis",
+            AxisKind::Reduce => "reduce_axis",
+        };
+        write!(f, "{} = {}(0, {})", self.name, ctor, self.extent)
+    }
+}
+
+/// A copyable axis handle returned by [`crate::OpBuilder`], usable directly
+/// in index arithmetic (`i * 4 + j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ax {
+    /// The identifier of the underlying [`Axis`].
+    pub id: AxisId,
+    /// Trip count of the underlying axis.
+    pub extent: i64,
+    /// Annotation of the underlying axis.
+    pub kind: AxisKind,
+}
+
+impl fmt::Display for Ax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_display_uses_paper_constructors() {
+        let a = Axis::new(AxisId(0), "i", 16, AxisKind::DataParallel);
+        assert_eq!(a.to_string(), "i = loop_axis(0, 16)");
+        let r = Axis::new(AxisId(1), "j", 4, AxisKind::Reduce);
+        assert_eq!(r.to_string(), "j = reduce_axis(0, 4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "extent must be positive")]
+    fn zero_extent_axes_are_rejected() {
+        let _ = Axis::new(AxisId(0), "i", 0, AxisKind::DataParallel);
+    }
+
+    #[test]
+    fn handles_carry_metadata() {
+        let a = Axis::new(AxisId(7), "k", 64, AxisKind::Reduce);
+        let h = a.handle();
+        assert_eq!(h.id, AxisId(7));
+        assert_eq!(h.extent, 64);
+        assert_eq!(h.kind, AxisKind::Reduce);
+    }
+}

@@ -1,0 +1,266 @@
+//! Fluent construction of [`ComputeOp`]s in the style of the paper's DSL
+//! listings (`tensor(...)`, `loop_axis(...)`, `reduce_axis(...)`).
+
+use crate::axis::{Ax, Axis, AxisId, AxisKind};
+use crate::dtype::DType;
+use crate::expr::Expr;
+use crate::index::LinExpr;
+use crate::op::{ComputeOp, InitExpr, ReduceOp, TensorDecl, TensorId};
+use crate::verify::verify_op;
+
+/// Builder for [`ComputeOp`].
+///
+/// # Example
+///
+/// The ARM DOT instruction of Figure 4(b):
+///
+/// ```
+/// use unit_dsl::{OpBuilder, DType, InitExpr};
+///
+/// let mut b = OpBuilder::new("arm.neon.sdot.v4i32.v16i8");
+/// let a = b.tensor("a", &[16], DType::I8);
+/// let bb = b.tensor("b", &[16], DType::I8);
+/// let c = b.tensor("c", &[4], DType::I32);
+/// let i = b.axis("i", 4);
+/// let j = b.reduce_axis("j", 4);
+/// let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+///     * b.load(bb, vec![(i * 4 + j).into()]).cast(DType::I32);
+/// let op = b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+/// assert_eq!(op.tensors.len(), 4); // a, b, c and the output d
+/// ```
+#[derive(Debug)]
+pub struct OpBuilder {
+    name: String,
+    tensors: Vec<TensorDecl>,
+    axes: Vec<Axis>,
+    reduce_axes: Vec<Axis>,
+    next_axis: u32,
+    reduce_op: ReduceOp,
+}
+
+impl OpBuilder {
+    /// Start building an op with the given diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> OpBuilder {
+        OpBuilder {
+            name: name.into(),
+            tensors: Vec::new(),
+            axes: Vec::new(),
+            reduce_axes: Vec::new(),
+            next_axis: 0,
+            reduce_op: ReduceOp::Sum,
+        }
+    }
+
+    /// Use a reduction operator other than the default [`ReduceOp::Sum`].
+    pub fn reduce_with(&mut self, op: ReduceOp) -> &mut Self {
+        self.reduce_op = op;
+        self
+    }
+
+    /// Declare an input tensor.
+    pub fn tensor(&mut self, name: impl Into<String>, shape: &[i64], dtype: DType) -> TensorId {
+        let id = TensorId(self.tensors.len() as u32);
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive, got {shape:?}"
+        );
+        self.tensors.push(TensorDecl { id, name: name.into(), shape: shape.to_vec(), dtype });
+        id
+    }
+
+    /// Declare a data-parallel axis (the paper's `loop_axis(0, extent)`).
+    pub fn axis(&mut self, name: impl Into<String>, extent: i64) -> Ax {
+        self.make_axis(name, extent, AxisKind::DataParallel)
+    }
+
+    /// Declare a reduction axis (the paper's `reduce_axis(0, extent)`).
+    pub fn reduce_axis(&mut self, name: impl Into<String>, extent: i64) -> Ax {
+        self.make_axis(name, extent, AxisKind::Reduce)
+    }
+
+    fn make_axis(&mut self, name: impl Into<String>, extent: i64, kind: AxisKind) -> Ax {
+        let id = AxisId(self.next_axis);
+        self.next_axis += 1;
+        let axis = Axis::new(id, name, extent, kind);
+        let handle = axis.handle();
+        match kind {
+            AxisKind::DataParallel => self.axes.push(axis),
+            AxisKind::Reduce => self.reduce_axes.push(axis),
+        }
+        handle
+    }
+
+    /// A load expression `tensor[indices]`.
+    #[must_use]
+    pub fn load(&self, tensor: TensorId, indices: Vec<LinExpr>) -> Expr {
+        Expr::load(tensor, indices)
+    }
+
+    /// Finish the op. The output tensor is created with one dimension per
+    /// entry of `out_indices`; `out_indices[d]` must be a single data-parallel
+    /// axis whose extent becomes the output dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting op fails [`verify_op`], which checks axis and
+    /// tensor references, affine ranks, in-bounds accesses and dtype
+    /// consistency.
+    #[must_use]
+    pub fn compute(
+        mut self,
+        output_name: impl Into<String>,
+        output_dtype: DType,
+        out_indices: Vec<LinExpr>,
+        init: InitExpr,
+        update: Expr,
+    ) -> ComputeOp {
+        let out_shape: Vec<i64> = out_indices
+            .iter()
+            .map(|ix| {
+                let vars = ix.vars();
+                assert!(
+                    vars.len() == 1 && ix.coeff(vars[0]) == 1 && ix.offset() == 0,
+                    "output index {ix} must be a bare data-parallel axis"
+                );
+                self.axes
+                    .iter()
+                    .find(|a| a.id == vars[0])
+                    .unwrap_or_else(|| panic!("output index {ix} is not a data-parallel axis"))
+                    .extent
+            })
+            .collect();
+        let output = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDecl {
+            id: output,
+            name: output_name.into(),
+            shape: out_shape,
+            dtype: output_dtype,
+        });
+        let op = ComputeOp {
+            name: self.name,
+            tensors: self.tensors,
+            output,
+            axes: self.axes,
+            reduce_axes: self.reduce_axes,
+            out_indices,
+            init,
+            update,
+            reduce_op: self.reduce_op,
+        };
+        if let Err(e) = verify_op(&op) {
+            panic!("constructed op `{}` is ill-formed: {e}", op.name);
+        }
+        op
+    }
+}
+
+/// Construct the paper's running-example convolution (Figure 5(a)) in
+/// `HWC`/`RSKC` layout: `c[x,y,k] += i32(a[x+r, y+s, rc]) * i32(b[r,s,k,rc])`.
+///
+/// Used pervasively in tests across the workspace.
+#[must_use]
+pub fn conv2d_hwc(h: i64, w: i64, c: i64, k: i64, r: i64, s: i64) -> ComputeOp {
+    let mut b = OpBuilder::new("conv2d_hwc");
+    let a = b.tensor("a", &[h, w, c], DType::U8);
+    let wt = b.tensor("b", &[r, s, k, c], DType::I8);
+    let x = b.axis("x", h - r + 1);
+    let y = b.axis("y", w - s + 1);
+    let kk = b.axis("k", k);
+    let rr = b.reduce_axis("r", r);
+    let ss = b.reduce_axis("s", s);
+    let rc = b.reduce_axis("rc", c);
+    let elem = b.load(a, vec![(x + rr).into(), (y + ss).into(), rc.into()]).cast(DType::I32)
+        * b.load(wt, vec![rr.into(), ss.into(), kk.into(), rc.into()]).cast(DType::I32);
+    b.compute(
+        "c",
+        DType::I32,
+        vec![x.into(), y.into(), kk.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// A quantized matrix multiplication `d[i,j] = sum_k i32(a[i,k]) * i32(b[j,k])`
+/// (weights pre-transposed, as is conventional for int8 GEMM).
+#[must_use]
+pub fn matmul_u8i8(n: i64, m: i64, k: i64) -> ComputeOp {
+    let mut b = OpBuilder::new("matmul_u8i8");
+    let a = b.tensor("a", &[n, k], DType::U8);
+    let wt = b.tensor("b", &[m, k], DType::I8);
+    let i = b.axis("i", n);
+    let j = b.axis("j", m);
+    let kk = b.reduce_axis("k", k);
+    let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::I32)
+        * b.load(wt, vec![j.into(), kk.into()]).cast(DType::I32);
+    b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+}
+
+/// An fp16 matrix multiplication with fp32 accumulation,
+/// `c[i,j] += fp32(a[i,k]) * fp32(b[k,j])` — the Tensor Core workload shape.
+#[must_use]
+pub fn matmul_f16(n: i64, m: i64, k: i64) -> ComputeOp {
+    let mut b = OpBuilder::new("matmul_f16");
+    let a = b.tensor("a", &[n, k], DType::F16);
+    let wt = b.tensor("b", &[k, m], DType::F16);
+    let i = b.axis("i", n);
+    let j = b.axis("j", m);
+    let kk = b.reduce_axis("k", k);
+    let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::F32)
+        * b.load(wt, vec![kk.into(), j.into()]).cast(DType::F32);
+    b.compute("c", DType::F32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisKind;
+
+    #[test]
+    fn conv2d_helper_matches_paper_figure_5a() {
+        let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
+        assert_eq!(op.axes.len(), 3);
+        assert_eq!(op.reduce_axes.len(), 3);
+        assert_eq!(op.output_decl().shape, vec![6, 6, 32]);
+        assert_eq!(op.tensor(crate::TensorId(0)).dtype, DType::U8);
+        assert_eq!(op.tensor(crate::TensorId(1)).dtype, DType::I8);
+        assert_eq!(op.output_decl().dtype, DType::I32);
+    }
+
+    #[test]
+    fn axis_ids_are_unique_and_ordered() {
+        let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
+        let mut ids: Vec<u32> = op.all_axes().iter().map(|a| a.id.0).collect();
+        let orig = ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(orig, ids, "data-parallel axes come first, then reduce axes");
+    }
+
+    #[test]
+    fn matmul_helpers_have_expected_kinds() {
+        let op = matmul_u8i8(4, 8, 16);
+        assert_eq!(op.axes.iter().filter(|a| a.kind == AxisKind::DataParallel).count(), 2);
+        assert_eq!(op.reduce_axes[0].extent, 16);
+        let opf = matmul_f16(16, 16, 16);
+        assert_eq!(opf.output_decl().dtype, DType::F32);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a bare data-parallel axis")]
+    fn output_indices_must_be_bare_axes() {
+        let mut b = OpBuilder::new("bad");
+        let a = b.tensor("a", &[4], DType::I8);
+        let i = b.axis("i", 4);
+        let e = b.load(a, vec![i.into()]).cast(DType::I32);
+        let _ = b.compute("o", DType::I32, vec![(i * 2).into()], InitExpr::Identity, e);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn tensors_must_have_positive_dims() {
+        let mut b = OpBuilder::new("bad");
+        let _ = b.tensor("a", &[0], DType::I8);
+    }
+}

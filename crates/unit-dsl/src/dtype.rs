@@ -1,0 +1,341 @@
+//! Scalar data types for mixed-precision tensor programs.
+//!
+//! The tensorized instructions UNIT targets are all *mixed precision*: the
+//! element-wise operands use a narrow type (`u8`/`i8`/`f16`) while the
+//! horizontal accumulation happens in a wider type (`i32`/`f32`). [`DType`]
+//! enumerates every scalar type that appears in those instructions, and
+//! [`F16`] provides a software half-precision float so the interpreter can
+//! execute Tensor-Core-style kernels bit-for-bit without a hardware `f16`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar data type of a tensor element or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DType {
+    /// Signed 8-bit integer (quantized operands, e.g. VNNI `b`).
+    I8,
+    /// Unsigned 8-bit integer (quantized operands, e.g. VNNI `a`).
+    U8,
+    /// Signed 16-bit integer (intermediate widening on non-VNNI SIMD paths).
+    I16,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Signed 32-bit integer (integer accumulators).
+    I32,
+    /// Signed 64-bit integer (loop arithmetic, address computation).
+    I64,
+    /// IEEE-754 binary16 (Tensor Core multiplicands).
+    F16,
+    /// IEEE-754 binary32 (Tensor Core accumulators, fp32 baselines).
+    F32,
+}
+
+impl DType {
+    /// Width of the type in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            DType::I8 | DType::U8 => 8,
+            DType::I16 | DType::U16 | DType::F16 => 16,
+            DType::I32 | DType::F32 => 32,
+            DType::I64 => 64,
+        }
+    }
+
+    /// Width of the type in bytes.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// Whether this is a floating-point type.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+
+    /// Whether this is an integer type (signed or unsigned).
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Whether the type is signed (floats count as signed).
+    #[must_use]
+    pub fn is_signed(self) -> bool {
+        !matches!(self, DType::U8 | DType::U16)
+    }
+
+    /// The natural widened accumulator type for this operand type, following
+    /// the mixed-precision conventions of VNNI / DOT / Tensor Core.
+    #[must_use]
+    pub fn accumulator(self) -> DType {
+        match self {
+            DType::I8 | DType::U8 | DType::I16 | DType::U16 | DType::I32 => DType::I32,
+            DType::F16 | DType::F32 => DType::F32,
+            DType::I64 => DType::I64,
+        }
+    }
+
+    /// Short lowercase name as used by the paper's DSL listings (`u8`, `i32`, `fp16`, ...).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DType::I8 => "i8",
+            DType::U8 => "u8",
+            DType::I16 => "i16",
+            DType::U16 => "u16",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::F16 => "fp16",
+            DType::F32 => "fp32",
+        }
+    }
+
+    /// All supported dtypes, useful for exhaustive testing.
+    #[must_use]
+    pub fn all() -> &'static [DType] {
+        &[
+            DType::I8,
+            DType::U8,
+            DType::I16,
+            DType::U16,
+            DType::I32,
+            DType::I64,
+            DType::F16,
+            DType::F32,
+        ]
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Software IEEE-754 binary16 ("half") value.
+///
+/// Stored as its raw bit pattern. Conversions implement round-to-nearest-even
+/// on narrowing, matching hardware `f16` behaviour closely enough for the
+/// Tensor Core emulation path (multiplication happens after widening to
+/// `f32`, exactly as WMMA specifies, so only the storage format needs to be
+/// half precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve a quiet NaN payload bit.
+            let nan_payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | nan_payload);
+        }
+
+        // Re-bias exponent: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range for f16.
+            let exp16 = (unbiased + 15) as u32;
+            // Take top 10 bits of mantissa; round to nearest even on bit 13.
+            let mant16 = mant >> 13;
+            let round_bit = (mant >> 12) & 1;
+            let sticky = mant & 0x0FFF;
+            let mut out = (exp16 << 10) | mant16;
+            if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+                out += 1; // May carry into the exponent; that is correct.
+            }
+            return F16(sign | out as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16: shift mantissa (with implicit leading one) right.
+            let full = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let mant16 = full >> shift;
+            let round_bit = (full >> (shift - 1)) & 1;
+            let sticky = full & ((1u32 << (shift - 1)) - 1);
+            let mut out = mant16;
+            if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+                out += 1;
+            }
+            return F16(sign | out as u16);
+        }
+        // Underflow to zero.
+        F16(sign)
+    }
+
+    /// Widen to `f32` (always exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1F;
+        let mant = bits & 0x03FF;
+        let out = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalize.
+                let mut exp32 = 127 - 15 + 1;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    exp32 -= 1;
+                }
+                m &= 0x03FF;
+                sign | ((exp32 as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+
+    /// Whether this value is a NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_widths() {
+        assert_eq!(DType::I8.bits(), 8);
+        assert_eq!(DType::U8.bytes(), 1);
+        assert_eq!(DType::F16.bits(), 16);
+        assert_eq!(DType::I32.bytes(), 4);
+        assert_eq!(DType::I64.bits(), 64);
+    }
+
+    #[test]
+    fn dtype_classification() {
+        assert!(DType::F16.is_float());
+        assert!(!DType::F16.is_int());
+        assert!(DType::U8.is_int());
+        assert!(!DType::U8.is_signed());
+        assert!(DType::I8.is_signed());
+        assert!(DType::F32.is_signed());
+    }
+
+    #[test]
+    fn dtype_accumulators_follow_mixed_precision_convention() {
+        assert_eq!(DType::I8.accumulator(), DType::I32);
+        assert_eq!(DType::U8.accumulator(), DType::I32);
+        assert_eq!(DType::F16.accumulator(), DType::F32);
+        assert_eq!(DType::F32.accumulator(), DType::F32);
+    }
+
+    #[test]
+    fn dtype_display_matches_paper_listing_style() {
+        assert_eq!(DType::U8.to_string(), "u8");
+        assert_eq!(DType::F16.to_string(), "fp16");
+    }
+
+    #[test]
+    fn f16_round_trips_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let h = F16::from_f32(v);
+            let back = h.to_f32();
+            let again = F16::from_f32(back);
+            assert_eq!(h.0, again.0, "value {v} must be stable after one round trip");
+        }
+    }
+
+    #[test]
+    fn f16_known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xC000);
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF); // Max finite half.
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7C00);
+        assert!(F16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1.0e9).0, 0x7C00);
+        assert_eq!(F16::from_f32(-1.0e9).0, 0xFC00);
+        // 65520 rounds up past max-finite to infinity under RNE.
+        assert_eq!(F16::from_f32(65520.0).0, 0x7C00);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).0, 0x0001);
+        assert_eq!(F16(0x0001).to_f32(), tiny);
+        // Below half of the smallest subnormal flushes to zero.
+        assert_eq!(F16::from_f32(tiny / 4.0).0, 0x0000);
+        // Largest subnormal.
+        let max_sub = 2.0f32.powi(-14) - 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(max_sub).0, 0x03FF);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and the next representable half
+        // (1 + 2^-10); RNE picks the even mantissa, i.e. 1.0.
+        let mid = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(mid).0, 0x3C00);
+        // Slightly above the midpoint rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).0, 0x3C01);
+    }
+
+    #[test]
+    fn f16_widening_is_exact_for_all_finite_halves() {
+        // Exhaustive: every finite f16 must survive f16 -> f32 -> f16.
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let rt = F16::from_f32(h.to_f32());
+            assert_eq!(rt.0, bits, "bit pattern {bits:#06x} failed the round trip");
+        }
+    }
+}

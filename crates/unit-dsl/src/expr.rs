@@ -1,0 +1,281 @@
+//! Scalar expression trees.
+//!
+//! These are the trees that the Inspector's compute-isomorphism pass
+//! (Algorithm 1 of the paper) matches node-by-node: every node carries a
+//! data type, and interior nodes carry an opcode. Leaves are tensor loads or
+//! immediates.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtype::DType;
+use crate::index::LinExpr;
+use crate::op::TensorId;
+
+/// Binary opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Mnemonic used by printers.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// A load from a declared tensor at affine indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Load {
+    /// Which tensor of the owning [`crate::ComputeOp`] is read.
+    pub tensor: TensorId,
+    /// One affine index per tensor dimension.
+    pub indices: Vec<LinExpr>,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer immediate of the given type.
+    Int(i64, DType),
+    /// Floating-point immediate of the given type.
+    Float(u64, DType),
+    /// Tensor element read.
+    Load(Load),
+    /// Type conversion.
+    Cast(DType, Box<Expr>),
+    /// Binary arithmetic. Both operands must have the same dtype.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer immediate.
+    #[must_use]
+    pub fn int(value: i64, dtype: DType) -> Expr {
+        Expr::Int(value, dtype)
+    }
+
+    /// Floating-point immediate (stored as raw `f64` bits so `Expr: Eq`).
+    #[must_use]
+    pub fn float(value: f64, dtype: DType) -> Expr {
+        Expr::Float(value.to_bits(), dtype)
+    }
+
+    /// The float immediate's value, if this is a float immediate.
+    #[must_use]
+    pub fn float_value(&self) -> Option<f64> {
+        match self {
+            Expr::Float(bits, _) => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Load `tensor[indices]`.
+    #[must_use]
+    pub fn load(tensor: TensorId, indices: Vec<LinExpr>) -> Expr {
+        Expr::Load(Load { tensor, indices })
+    }
+
+    /// Cast to `dtype` (no-op casts are kept; they are meaningful for
+    /// isomorphism matching and removed only by simplification).
+    #[must_use]
+    pub fn cast(self, dtype: DType) -> Expr {
+        Expr::Cast(dtype, Box::new(self))
+    }
+
+    /// Binary node.
+    #[must_use]
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// The dtype of this expression, given a resolver for tensor dtypes.
+    #[must_use]
+    pub fn dtype(&self, tensor_dtype: &dyn Fn(TensorId) -> DType) -> DType {
+        match self {
+            Expr::Int(_, dt) | Expr::Float(_, dt) | Expr::Cast(dt, _) => *dt,
+            Expr::Load(l) => tensor_dtype(l.tensor),
+            Expr::Bin(_, lhs, _) => lhs.dtype(tensor_dtype),
+        }
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Cast(_, inner) => inner.visit(f),
+            Expr::Bin(_, lhs, rhs) => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Int(..) | Expr::Float(..) | Expr::Load(_) => {}
+        }
+    }
+
+    /// Collect every load in the expression, left-to-right.
+    #[must_use]
+    pub fn loads(&self) -> Vec<&Load> {
+        let mut out = Vec::new();
+        self.collect_loads(&mut out);
+        out
+    }
+
+    fn collect_loads<'a>(&'a self, out: &mut Vec<&'a Load>) {
+        match self {
+            Expr::Load(l) => out.push(l),
+            Expr::Cast(_, inner) => inner.collect_loads(out),
+            Expr::Bin(_, lhs, rhs) => {
+                lhs.collect_loads(out);
+                rhs.collect_loads(out);
+            }
+            Expr::Int(..) | Expr::Float(..) => {}
+        }
+    }
+
+    /// Rewrite every load index through `f` (used when reorganizing loops).
+    #[must_use]
+    pub fn map_indices(&self, f: &dyn Fn(&LinExpr) -> LinExpr) -> Expr {
+        match self {
+            Expr::Load(l) => Expr::Load(Load {
+                tensor: l.tensor,
+                indices: l.indices.iter().map(|ix| f(ix)).collect(),
+            }),
+            Expr::Cast(dt, inner) => Expr::Cast(*dt, Box::new(inner.map_indices(f))),
+            Expr::Bin(op, lhs, rhs) => {
+                Expr::Bin(*op, Box::new(lhs.map_indices(f)), Box::new(rhs.map_indices(f)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v, dt) => write!(f, "{v}{dt}"),
+            Expr::Float(bits, dt) => write!(f, "{}{dt}", f64::from_bits(*bits)),
+            Expr::Load(l) => {
+                write!(f, "t{}[", l.tensor.0)?;
+                for (i, ix) in l.indices.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{ix}")?;
+                }
+                f.write_str("]")
+            }
+            Expr::Cast(dt, inner) => write!(f, "{dt}({inner})"),
+            Expr::Bin(op, lhs, rhs) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{}({lhs}, {rhs})", op.symbol()),
+                _ => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisId;
+
+    fn idx(axis: u32) -> LinExpr {
+        LinExpr::axis(AxisId(axis))
+    }
+
+    #[test]
+    fn vnni_style_expression_builds_and_prints() {
+        // i32(a[i*4+j]) * i32(b[i*4+j])
+        let a = TensorId(0);
+        let b = TensorId(1);
+        let flat = LinExpr::from_terms([(AxisId(0), 4), (AxisId(1), 1)], 0);
+        let e = Expr::load(a, vec![flat.clone()]).cast(DType::I32)
+            * Expr::load(b, vec![flat]).cast(DType::I32);
+        assert_eq!(e.to_string(), "(i32(t0[4*ax0 + ax1]) * i32(t1[4*ax0 + ax1]))");
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn dtype_inference_traverses_casts_and_binops() {
+        let resolver = |t: TensorId| if t.0 == 0 { DType::U8 } else { DType::I8 };
+        let e = Expr::load(TensorId(0), vec![idx(0)]).cast(DType::I32)
+            + Expr::load(TensorId(1), vec![idx(0)]).cast(DType::I32);
+        assert_eq!(e.dtype(&resolver), DType::I32);
+        let raw = Expr::load(TensorId(0), vec![idx(0)]);
+        assert_eq!(raw.dtype(&resolver), DType::U8);
+    }
+
+    #[test]
+    fn loads_are_collected_in_order() {
+        let e = Expr::load(TensorId(2), vec![idx(0)])
+            + Expr::load(TensorId(1), vec![idx(1)]) * Expr::load(TensorId(0), vec![idx(2)]);
+        let loads = e.loads();
+        let ids: Vec<u32> = loads.iter().map(|l| l.tensor.0).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn map_indices_rewrites_all_loads() {
+        let e = Expr::load(TensorId(0), vec![idx(0)]).cast(DType::I32)
+            * Expr::load(TensorId(1), vec![idx(0)]).cast(DType::I32);
+        let shifted = e.map_indices(&|ix| ix.clone() + LinExpr::constant(1));
+        for l in shifted.loads() {
+            assert_eq!(l.indices[0].offset(), 1);
+        }
+    }
+
+    #[test]
+    fn float_immediates_are_comparable() {
+        let a = Expr::float(1.5, DType::F32);
+        let b = Expr::float(1.5, DType::F32);
+        assert_eq!(a, b);
+        assert_eq!(a.float_value(), Some(1.5));
+    }
+}

@@ -1,0 +1,428 @@
+//! Affine index expressions over loop axes.
+//!
+//! Array accesses in the tensor DSL are restricted to *affine* functions of
+//! loop axes (`a[x + r, y + s, rc]`, `b[i * 4 + j]`, ...). This restriction
+//! is what makes the paper's array-access isomorphism check — "is `S'(u)` a
+//! subset of `S(v)`?" — a simple set computation on the variables of each
+//! index expression, and what lets the Rewriter derive per-loop strides when
+//! preparing instruction operands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::axis::{Ax, AxisId};
+
+/// An affine expression `sum(coeff_i * axis_i) + offset`.
+///
+/// Terms with zero coefficients are never stored, so structural equality is
+/// semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LinExpr {
+    /// Map from axis to its (non-zero) coefficient, ordered for determinism.
+    terms: BTreeMap<AxisId, i64>,
+    /// Constant offset.
+    offset: i64,
+}
+
+impl LinExpr {
+    /// The constant expression `value`.
+    #[must_use]
+    pub fn constant(value: i64) -> LinExpr {
+        LinExpr { terms: BTreeMap::new(), offset: value }
+    }
+
+    /// The expression consisting of a single axis with coefficient 1.
+    #[must_use]
+    pub fn axis(id: AxisId) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(id, 1);
+        LinExpr { terms, offset: 0 }
+    }
+
+    /// Construct from explicit terms; zero coefficients are dropped.
+    #[must_use]
+    pub fn from_terms(terms: impl IntoIterator<Item = (AxisId, i64)>, offset: i64) -> LinExpr {
+        let mut map = BTreeMap::new();
+        for (ax, c) in terms {
+            if c != 0 {
+                *map.entry(ax).or_insert(0) += c;
+            }
+        }
+        map.retain(|_, c| *c != 0);
+        LinExpr { terms: map, offset }
+    }
+
+    /// Coefficient of `axis` (zero if absent).
+    #[must_use]
+    pub fn coeff(&self, axis: AxisId) -> i64 {
+        self.terms.get(&axis).copied().unwrap_or(0)
+    }
+
+    /// Constant offset.
+    #[must_use]
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Iterate over `(axis, coefficient)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (AxisId, i64)> + '_ {
+        self.terms.iter().map(|(a, c)| (*a, *c))
+    }
+
+    /// The set `S(u)` of the paper: every axis that appears in this index
+    /// expression (with a non-zero coefficient).
+    #[must_use]
+    pub fn vars(&self) -> Vec<AxisId> {
+        self.terms.keys().copied().collect()
+    }
+
+    /// Whether `axis` occurs in the expression.
+    #[must_use]
+    pub fn uses(&self, axis: AxisId) -> bool {
+        self.terms.contains_key(&axis)
+    }
+
+    /// Whether the expression is a constant.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Scale every coefficient and the offset by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: i64) -> LinExpr {
+        if factor == 0 {
+            return LinExpr::constant(0);
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(a, c)| (*a, c * factor)).collect(),
+            offset: self.offset * factor,
+        }
+    }
+
+    /// Substitute `axis := replacement` (used when splitting loops:
+    /// `parent := outer * factor + inner`).
+    #[must_use]
+    pub fn substitute(&self, axis: AxisId, replacement: &LinExpr) -> LinExpr {
+        let c = self.coeff(axis);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&axis);
+        out + replacement.scaled(c)
+    }
+
+    /// Substitute many axes at once.
+    #[must_use]
+    pub fn substitute_all(&self, subst: &BTreeMap<AxisId, LinExpr>) -> LinExpr {
+        let mut out = LinExpr::constant(self.offset);
+        for (ax, c) in &self.terms {
+            match subst.get(ax) {
+                Some(rep) => out = out + rep.scaled(*c),
+                None => out = out + LinExpr::axis(*ax).scaled(*c),
+            }
+        }
+        out
+    }
+
+    /// Evaluate given an environment. Axes absent from `env` are an error in
+    /// the caller; here they panic to surface compiler bugs early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis in the expression has no binding in `env`.
+    #[must_use]
+    pub fn eval(&self, env: &dyn Fn(AxisId) -> i64) -> i64 {
+        let mut acc = self.offset;
+        for (ax, c) in &self.terms {
+            acc += c * env(*ax);
+        }
+        acc
+    }
+
+    /// Evaluate with a map-based environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis in the expression has no binding in `env`.
+    #[must_use]
+    pub fn eval_map(&self, env: &BTreeMap<AxisId, i64>) -> i64 {
+        self.eval(&|ax| {
+            *env.get(&ax)
+                .unwrap_or_else(|| panic!("axis {ax} is not bound in the evaluation environment"))
+        })
+    }
+
+    /// Upper bound (inclusive) of the expression given per-axis extents,
+    /// assuming all coefficients act on `0..extent` ranges.
+    #[must_use]
+    pub fn max_value(&self, extent_of: &dyn Fn(AxisId) -> i64) -> i64 {
+        let mut acc = self.offset;
+        for (ax, c) in &self.terms {
+            let hi = extent_of(*ax) - 1;
+            if *c > 0 {
+                acc += c * hi;
+            }
+        }
+        acc
+    }
+
+    /// Lower bound (inclusive) analogue of [`LinExpr::max_value`].
+    #[must_use]
+    pub fn min_value(&self, extent_of: &dyn Fn(AxisId) -> i64) -> i64 {
+        let mut acc = self.offset;
+        for (ax, c) in &self.terms {
+            let hi = extent_of(*ax) - 1;
+            if *c < 0 {
+                acc += c * hi;
+            }
+        }
+        acc
+    }
+}
+
+impl From<Ax> for LinExpr {
+    fn from(ax: Ax) -> LinExpr {
+        LinExpr::axis(ax.id)
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(value: i64) -> LinExpr {
+        LinExpr::constant(value)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        let mut terms = self.terms;
+        for (ax, c) in rhs.terms {
+            *terms.entry(ax).or_insert(0) += c;
+        }
+        terms.retain(|_, c| *c != 0);
+        LinExpr { terms, offset: self.offset + rhs.offset }
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.neg()
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scaled(-1)
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: i64) -> LinExpr {
+        self.scaled(rhs)
+    }
+}
+
+// --- Sugar so `i * 4 + j` works directly on axis handles. ---
+
+impl Add<Ax> for Ax {
+    type Output = LinExpr;
+    fn add(self, rhs: Ax) -> LinExpr {
+        LinExpr::axis(self.id) + LinExpr::axis(rhs.id)
+    }
+}
+
+impl Add<i64> for Ax {
+    type Output = LinExpr;
+    fn add(self, rhs: i64) -> LinExpr {
+        LinExpr::axis(self.id) + LinExpr::constant(rhs)
+    }
+}
+
+impl Mul<i64> for Ax {
+    type Output = LinExpr;
+    fn mul(self, rhs: i64) -> LinExpr {
+        LinExpr::axis(self.id).scaled(rhs)
+    }
+}
+
+impl Add<Ax> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Ax) -> LinExpr {
+        self + LinExpr::axis(rhs.id)
+    }
+}
+
+impl Add<LinExpr> for Ax {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::axis(self.id) + rhs
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.offset);
+        }
+        let mut first = true;
+        for (ax, c) in &self.terms {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            if *c == 1 {
+                write!(f, "{ax}")?;
+            } else {
+                write!(f, "{c}*{ax}")?;
+            }
+        }
+        if self.offset != 0 {
+            write!(f, " + {}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ax(i: u32) -> AxisId {
+        AxisId(i)
+    }
+
+    #[test]
+    fn construction_drops_zero_coefficients() {
+        let e = LinExpr::from_terms([(ax(0), 0), (ax(1), 3)], 5);
+        assert!(!e.uses(ax(0)));
+        assert_eq!(e.coeff(ax(1)), 3);
+        assert_eq!(e.offset(), 5);
+    }
+
+    #[test]
+    fn addition_cancels() {
+        let e = LinExpr::axis(ax(0)) + LinExpr::axis(ax(0)).scaled(-1);
+        assert!(e.is_constant());
+        assert_eq!(e, LinExpr::constant(0));
+    }
+
+    #[test]
+    fn substitution_models_loop_split() {
+        // rc = co*4 + ci: substituting into a[x + r, y + s, rc] channel index.
+        let rc = ax(2);
+        let co = ax(10);
+        let ci = ax(11);
+        let idx = LinExpr::axis(rc);
+        let split = LinExpr::axis(co).scaled(4) + LinExpr::axis(ci);
+        let out = idx.substitute(rc, &split);
+        assert_eq!(out.coeff(co), 4);
+        assert_eq!(out.coeff(ci), 1);
+        assert!(!out.uses(rc));
+    }
+
+    #[test]
+    fn substitute_all_handles_disjoint_and_missing_axes() {
+        let e = LinExpr::from_terms([(ax(0), 2), (ax(1), 1)], 7);
+        let mut subst = BTreeMap::new();
+        subst.insert(ax(0), LinExpr::axis(ax(5)) + LinExpr::constant(1));
+        let out = e.substitute_all(&subst);
+        assert_eq!(out.coeff(ax(5)), 2);
+        assert_eq!(out.coeff(ax(1)), 1);
+        assert_eq!(out.offset(), 9);
+    }
+
+    #[test]
+    fn eval_and_bounds() {
+        // i*4 + j over i in 0..16, j in 0..4 covers 0..=63.
+        let e = LinExpr::from_terms([(ax(0), 4), (ax(1), 1)], 0);
+        let extents = |a: AxisId| if a == ax(0) { 16 } else { 4 };
+        assert_eq!(e.max_value(&extents), 63);
+        assert_eq!(e.min_value(&extents), 0);
+        let mut env = BTreeMap::new();
+        env.insert(ax(0), 3);
+        env.insert(ax(1), 2);
+        assert_eq!(e.eval_map(&env), 14);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::from_terms([(ax(0), 4), (ax(1), 1)], 0);
+        assert_eq!(e.to_string(), "4*ax0 + ax1");
+        assert_eq!(LinExpr::constant(3).to_string(), "3");
+    }
+
+    #[test]
+    fn axis_handle_sugar_builds_expected_expressions() {
+        let i = Ax { id: ax(0), extent: 16, kind: crate::AxisKind::DataParallel };
+        let j = Ax { id: ax(1), extent: 4, kind: crate::AxisKind::Reduce };
+        let e = i * 4 + j;
+        assert_eq!(e.coeff(ax(0)), 4);
+        assert_eq!(e.coeff(ax(1)), 1);
+        let e2 = i + 3;
+        assert_eq!(e2.offset(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_linear(
+            c0 in -8i64..8, c1 in -8i64..8, off in -100i64..100,
+            v0 in 0i64..50, v1 in 0i64..50,
+        ) {
+            let e = LinExpr::from_terms([(ax(0), c0), (ax(1), c1)], off);
+            let env = |a: AxisId| if a == ax(0) { v0 } else { v1 };
+            prop_assert_eq!(e.eval(&env), c0 * v0 + c1 * v1 + off);
+        }
+
+        #[test]
+        fn add_commutes(
+            c0 in -8i64..8, c1 in -8i64..8, d0 in -8i64..8, d1 in -8i64..8,
+        ) {
+            let a = LinExpr::from_terms([(ax(0), c0), (ax(1), c1)], 1);
+            let b = LinExpr::from_terms([(ax(0), d0), (ax(1), d1)], 2);
+            prop_assert_eq!(a.clone() + b.clone(), b + a);
+        }
+
+        #[test]
+        fn substitution_agrees_with_evaluation(
+            coeff in -5i64..5, off in -10i64..10, factor in 1i64..8,
+            outer in 0i64..10, inner in 0i64..8,
+        ) {
+            // e(parent) where parent := outer*factor + inner must equal the
+            // substituted expression evaluated at (outer, inner).
+            let parent = ax(0);
+            let e = LinExpr::from_terms([(parent, coeff)], off);
+            let rep = LinExpr::from_terms([(ax(1), factor), (ax(2), 1)], 0);
+            let sub = e.substitute(parent, &rep);
+            let parent_val = outer * factor + inner;
+            let direct = e.eval(&|_| parent_val);
+            let indirect = sub.eval(&|a| if a == ax(1) { outer } else { inner });
+            prop_assert_eq!(direct, indirect);
+        }
+
+        #[test]
+        fn bounds_contain_all_values(
+            c0 in -6i64..6, c1 in -6i64..6, off in -20i64..20,
+            e0 in 1i64..6, e1 in 1i64..6,
+        ) {
+            let e = LinExpr::from_terms([(ax(0), c0), (ax(1), c1)], off);
+            let extent = |a: AxisId| if a == ax(0) { e0 } else { e1 };
+            let lo = e.min_value(&extent);
+            let hi = e.max_value(&extent);
+            for v0 in 0..e0 {
+                for v1 in 0..e1 {
+                    let val = e.eval(&|a| if a == ax(0) { v0 } else { v1 });
+                    prop_assert!(val >= lo && val <= hi);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Tensor domain-specific language (DSL) substrate for UNIT.
+//!
+//! UNIT ("Unifying Tensorized Instruction Compilation", CGO 2021) abstracts
+//! both *tensor operations* (convolution, dense, ...) and *tensorized
+//! instructions* (Intel VNNI, ARM DOT, Nvidia Tensor Core) as small programs
+//! in a tensor DSL. This crate provides that DSL:
+//!
+//! * [`DType`] — mixed-precision scalar types, including a software
+//!   half-precision float ([`dtype::F16`]).
+//! * [`Axis`] — loop axes annotated as data-parallel or reduction, the
+//!   metadata the Inspector relies on.
+//! * [`LinExpr`] — affine index expressions over axes; array accesses in the
+//!   DSL are restricted to affine indices, which is what makes the
+//!   array-access isomorphism check of the paper decidable.
+//! * [`Expr`] — scalar expression trees (loads, casts, arithmetic) matched by
+//!   the Inspector's compute-isomorphism pass (Algorithm 1 in the paper).
+//! * [`ComputeOp`] — the tensor `Op` data structure: declared tensors, loop
+//!   axes, an initialization rule and an element-wise update expression.
+//! * [`OpBuilder`] — ergonomic construction, mirroring the paper's
+//!   `tensor((64,), u8)` / `loop_axis(0, 16)` / `reduce_axis(0, 4)` style.
+//!
+//! # Example
+//!
+//! Describing the Intel VNNI `vpdpbusd` instruction exactly as in Figure 4(a)
+//! of the paper:
+//!
+//! ```
+//! use unit_dsl::{OpBuilder, DType, InitExpr};
+//!
+//! let mut b = OpBuilder::new("x86.avx512.vpdpbusd");
+//! let a = b.tensor("a", &[64], DType::U8);
+//! let bb = b.tensor("b", &[64], DType::I8);
+//! let c = b.tensor("c", &[16], DType::I32);
+//! let i = b.axis("i", 16);
+//! let j = b.reduce_axis("j", 4);
+//! let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+//!     * b.load(bb, vec![(i * 4 + j).into()]).cast(DType::I32);
+//! let op = b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+//! assert_eq!(op.axes.len(), 1);
+//! assert_eq!(op.reduce_axes.len(), 1);
+//! ```
+
+pub mod axis;
+pub mod builder;
+pub mod dtype;
+pub mod expr;
+pub mod index;
+pub mod op;
+pub mod printer;
+pub mod verify;
+
+pub use axis::{Ax, Axis, AxisId, AxisKind};
+pub use builder::OpBuilder;
+pub use dtype::{DType, F16};
+pub use expr::{BinOp, Expr, Load};
+pub use index::LinExpr;
+pub use op::{ComputeOp, InitExpr, ReduceOp, TensorDecl, TensorId};
+pub use verify::{verify_op, VerifyError};

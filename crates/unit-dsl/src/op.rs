@@ -1,0 +1,345 @@
+//! The tensor `Op` data structure.
+//!
+//! A [`ComputeOp`] is the unit of analysis in UNIT: both the deep-learning
+//! tensor operation *and* the tensorized instruction are represented as one.
+//! It records the declared tensors, the annotated loop axes, and the
+//! computation in "init + update" form:
+//!
+//! ```text
+//! out[out_indices] = init                          // once per output point
+//! out[out_indices] += update(axes, reduce_axes)    // per reduction iteration
+//! ```
+//!
+//! The paper's combined expression tree (Figure 5(b).1) — the one matched
+//! for compute isomorphism — is recovered by [`ComputeOp::combiner`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::axis::{Axis, AxisId, AxisKind};
+use crate::dtype::DType;
+use crate::expr::{BinOp, Expr, Load};
+use crate::index::LinExpr;
+
+/// Identifier of a tensor declared in a [`ComputeOp`]. Indexes
+/// [`ComputeOp::tensors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub u32);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A declared tensor (an abstraction of either a memory buffer or, for
+/// instruction semantics, a register operand).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorDecl {
+    /// Identifier within the owning op.
+    pub id: TensorId,
+    /// Human-readable name.
+    pub name: String,
+    /// Dimension extents.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorDecl {
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<i64>() as usize
+    }
+
+    /// Whether the tensor has zero elements (never true for valid decls).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides, in elements.
+    #[must_use]
+    pub fn strides(&self) -> Vec<i64> {
+        let mut strides = vec![1i64; self.shape.len()];
+        for d in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.shape[d + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-dimensional affine access into a single affine
+    /// element offset using row-major strides.
+    #[must_use]
+    pub fn flatten_access(&self, indices: &[LinExpr]) -> LinExpr {
+        assert_eq!(
+            indices.len(),
+            self.shape.len(),
+            "access rank {} does not match tensor rank {} for {}",
+            indices.len(),
+            self.shape.len(),
+            self.name
+        );
+        let strides = self.strides();
+        let mut flat = LinExpr::constant(0);
+        for (ix, s) in indices.iter().zip(strides) {
+            flat = flat + ix.scaled(s);
+        }
+        flat
+    }
+}
+
+/// Horizontal reduction operator. The mixed-precision instructions in the
+/// paper all reduce with addition; `Max` exists to demonstrate that the
+/// abstraction is not hard-wired to dot products (e.g. pooling idioms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Sum-reduction (dot-product idiom).
+    Sum,
+    /// Max-reduction.
+    Max,
+}
+
+impl ReduceOp {
+    /// The binary opcode that combines the accumulator with an update.
+    #[must_use]
+    pub fn combine_op(self) -> BinOp {
+        match self {
+            ReduceOp::Sum => BinOp::Add,
+            ReduceOp::Max => BinOp::Max,
+        }
+    }
+}
+
+/// How the accumulator is initialized before the reduction runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitExpr {
+    /// Start from the reduction identity (0 for sum).
+    Identity,
+    /// Start from the value of another tensor (`d[i] = c[i] + sum(...)`,
+    /// the VNNI/DOT style where the accumulator register is a distinct
+    /// input operand).
+    Tensor(Load),
+    /// Accumulate in place into the existing contents of the output
+    /// (`c[i,j] += ...`, the Tensor Core style where the accumulator
+    /// register *is* the output register).
+    InPlace,
+}
+
+impl InitExpr {
+    /// Convenience constructor for [`InitExpr::Tensor`].
+    #[must_use]
+    pub fn load(tensor: TensorId, indices: Vec<LinExpr>) -> InitExpr {
+        InitExpr::Tensor(Load { tensor, indices })
+    }
+}
+
+/// A tensor operation (or a tensorized instruction's semantics) in the DSL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeOp {
+    /// Name for diagnostics (for instructions: the LLVM intrinsic name).
+    pub name: String,
+    /// All declared tensors. The output is `tensors[output.0]`.
+    pub tensors: Vec<TensorDecl>,
+    /// The output tensor.
+    pub output: TensorId,
+    /// Data-parallel axes, in output-dimension order.
+    pub axes: Vec<Axis>,
+    /// Reduction axes.
+    pub reduce_axes: Vec<Axis>,
+    /// Affine access of the output, one entry per output dimension.
+    /// Usually the identity over `axes`.
+    pub out_indices: Vec<LinExpr>,
+    /// Accumulator initialization.
+    pub init: InitExpr,
+    /// Element-wise update expression (the multiply tree, without the
+    /// accumulator add). Its dtype must equal the output dtype.
+    pub update: Expr,
+    /// Reduction operator combining updates into the accumulator.
+    pub reduce_op: ReduceOp,
+}
+
+impl ComputeOp {
+    /// Tensor declaration lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not declared in this op.
+    #[must_use]
+    pub fn tensor(&self, id: TensorId) -> &TensorDecl {
+        &self.tensors[id.0 as usize]
+    }
+
+    /// The output tensor declaration.
+    #[must_use]
+    pub fn output_decl(&self) -> &TensorDecl {
+        self.tensor(self.output)
+    }
+
+    /// Look up any axis (data-parallel or reduce) by id.
+    #[must_use]
+    pub fn axis(&self, id: AxisId) -> Option<&Axis> {
+        self.axes.iter().chain(&self.reduce_axes).find(|a| a.id == id)
+    }
+
+    /// All axes, data-parallel first.
+    #[must_use]
+    pub fn all_axes(&self) -> Vec<&Axis> {
+        self.axes.iter().chain(&self.reduce_axes).collect()
+    }
+
+    /// Whether this op reduces at all.
+    #[must_use]
+    pub fn has_reduction(&self) -> bool {
+        !self.reduce_axes.is_empty()
+    }
+
+    /// The accumulator load: the tensor element the update combines into,
+    /// as it appears in the combined expression tree. For [`InitExpr::Tensor`]
+    /// this is the init tensor's load; otherwise it is a load of the output.
+    #[must_use]
+    pub fn accumulator_load(&self) -> Load {
+        match &self.init {
+            InitExpr::Tensor(l) => l.clone(),
+            InitExpr::Identity | InitExpr::InPlace => {
+                Load { tensor: self.output, indices: self.out_indices.clone() }
+            }
+        }
+    }
+
+    /// The combined expression tree matched by the Inspector
+    /// (Figure 5(b).1): `combine_op(acc_load, update)`.
+    #[must_use]
+    pub fn combiner(&self) -> Expr {
+        Expr::bin(
+            self.reduce_op.combine_op(),
+            Expr::Load(self.accumulator_load()),
+            self.update.clone(),
+        )
+    }
+
+    /// The dtype of a tensor, as a resolver closure for [`Expr::dtype`].
+    #[must_use]
+    pub fn dtype_of(&self, id: TensorId) -> DType {
+        self.tensor(id).dtype
+    }
+
+    /// Extent of an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is not declared in this op.
+    #[must_use]
+    pub fn extent(&self, id: AxisId) -> i64 {
+        self.axis(id).unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name)).extent
+    }
+
+    /// Kind (annotation) of an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is not declared in this op.
+    #[must_use]
+    pub fn kind(&self, id: AxisId) -> AxisKind {
+        self.axis(id).unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name)).kind
+    }
+
+    /// Total multiply-accumulate count of one execution of this op
+    /// (product of all axis extents). This is the work measure used by the
+    /// performance model.
+    #[must_use]
+    pub fn mac_count(&self) -> i64 {
+        self.axes.iter().chain(&self.reduce_axes).map(|a| a.extent).product()
+    }
+
+    /// Number of output elements.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        self.output_decl().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+
+    fn vnni_like() -> ComputeOp {
+        let mut b = OpBuilder::new("vnni");
+        let a = b.tensor("a", &[64], DType::U8);
+        let bb = b.tensor("b", &[64], DType::I8);
+        let c = b.tensor("c", &[16], DType::I32);
+        let i = b.axis("i", 16);
+        let j = b.reduce_axis("j", 4);
+        let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+            * b.load(bb, vec![(i * 4 + j).into()]).cast(DType::I32);
+        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem)
+    }
+
+    #[test]
+    fn tensor_strides_are_row_major() {
+        let t = TensorDecl {
+            id: TensorId(0),
+            name: "w".into(),
+            shape: vec![3, 4, 5],
+            dtype: DType::I8,
+        };
+        assert_eq!(t.strides(), vec![20, 5, 1]);
+        assert_eq!(t.len(), 60);
+    }
+
+    #[test]
+    fn flatten_access_applies_strides() {
+        let t = TensorDecl {
+            id: TensorId(0),
+            name: "w".into(),
+            shape: vec![3, 4, 5],
+            dtype: DType::I8,
+        };
+        let a0 = AxisId(0);
+        let flat =
+            t.flatten_access(&[LinExpr::axis(a0), LinExpr::constant(2), LinExpr::constant(3)]);
+        assert_eq!(flat.coeff(a0), 20);
+        assert_eq!(flat.offset(), 13);
+    }
+
+    #[test]
+    fn combiner_tree_matches_paper_shape() {
+        let op = vnni_like();
+        // d[i] = c[i] + sum(i32(a[..]) * i32(b[..]))  =>  Add(Load(c), Mul(..))
+        let tree = op.combiner();
+        match &tree {
+            Expr::Bin(BinOp::Add, lhs, rhs) => {
+                assert!(matches!(**lhs, Expr::Load(ref l) if l.tensor.0 == 2));
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected combiner shape: {other}"),
+        }
+    }
+
+    #[test]
+    fn accumulator_defaults_to_output_for_inplace() {
+        let mut b = OpBuilder::new("wmma");
+        let a = b.tensor("a", &[16, 16], DType::F16);
+        let bb = b.tensor("b", &[16, 16], DType::F16);
+        let i = b.axis("i", 16);
+        let j = b.axis("j", 16);
+        let k = b.reduce_axis("k", 16);
+        let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::F32)
+            * b.load(bb, vec![k.into(), j.into()]).cast(DType::F32);
+        let op =
+            b.compute("c", DType::F32, vec![i.into(), j.into()], InitExpr::InPlace, elem);
+        let acc = op.accumulator_load();
+        assert_eq!(acc.tensor, op.output);
+        assert_eq!(acc.indices, op.out_indices);
+    }
+
+    #[test]
+    fn mac_count_multiplies_all_extents() {
+        let op = vnni_like();
+        assert_eq!(op.mac_count(), 64);
+        assert_eq!(op.output_len(), 16);
+    }
+}

@@ -1,0 +1,129 @@
+//! Pretty-printing of [`ComputeOp`]s in the paper's listing style.
+
+use std::fmt::Write as _;
+
+use crate::op::{ComputeOp, InitExpr};
+
+/// Render an op as a DSL listing close to the paper's Figure 4.
+///
+/// ```
+/// use unit_dsl::builder::matmul_u8i8;
+/// let text = unit_dsl::printer::print_op(&matmul_u8i8(4, 4, 8));
+/// assert!(text.contains("reduce_axis"));
+/// assert!(text.contains("d[i, j]"));
+/// ```
+#[must_use]
+pub fn print_op(op: &ComputeOp) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// {}", op.name);
+    for t in &op.tensors {
+        let dims: Vec<String> = t.shape.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "{} = tensor(({},), {})", t.name, dims.join(", "), t.dtype);
+    }
+    for a in op.all_axes() {
+        let _ = writeln!(out, "{a}");
+    }
+    let out_name = &op.output_decl().name;
+    let idx: Vec<String> = op
+        .out_indices
+        .iter()
+        .map(|ix| {
+            let vars = ix.vars();
+            if vars.len() == 1 && ix.coeff(vars[0]) == 1 && ix.offset() == 0 {
+                op.axis(vars[0]).map_or_else(|| ix.to_string(), |a| a.name.clone())
+            } else {
+                ix.to_string()
+            }
+        })
+        .collect();
+    let update = rename_axes(op, &op.update.to_string());
+    let body = match &op.init {
+        InitExpr::Identity => {
+            if op.has_reduction() {
+                format!("{out_name}[{}] = sum({update})", idx.join(", "))
+            } else {
+                format!("{out_name}[{}] = {update}", idx.join(", "))
+            }
+        }
+        InitExpr::Tensor(l) => {
+            let init_name = &op.tensor(l.tensor).name;
+            format!("{out_name}[{}] = {init_name}[..] + sum({update})", idx.join(", "))
+        }
+        InitExpr::InPlace => format!("{out_name}[{}] += sum({update})", idx.join(", ")),
+    };
+    let _ = writeln!(out, "{}", rename_tensors(op, &body));
+    out
+}
+
+/// Replace `axN` placeholders by axis names for readability.
+fn rename_axes(op: &ComputeOp, text: &str) -> String {
+    let mut s = text.to_string();
+    // Longest ids first so `ax12` is not clobbered by `ax1`.
+    let mut axes = op.all_axes();
+    axes.sort_by_key(|a| std::cmp::Reverse(a.id.0));
+    for a in axes {
+        s = s.replace(&format!("ax{}", a.id.0), &a.name);
+    }
+    s
+}
+
+/// Replace `tN` placeholders by tensor names.
+fn rename_tensors(op: &ComputeOp, text: &str) -> String {
+    let mut s = text.to_string();
+    for t in op.tensors.iter().rev() {
+        s = s.replace(&format!("t{}[", t.id.0), &format!("{}[", t.name));
+    }
+    s
+}
+
+/// One-line summary used in logs: name, axis extents, dtypes.
+#[must_use]
+pub fn summarize_op(op: &ComputeOp) -> String {
+    let dp: Vec<String> = op.axes.iter().map(|a| format!("{}:{}", a.name, a.extent)).collect();
+    let red: Vec<String> =
+        op.reduce_axes.iter().map(|a| format!("{}:{}", a.name, a.extent)).collect();
+    format!(
+        "{} [{}][reduce {}] {} -> {}",
+        op.name,
+        dp.join(","),
+        red.join(","),
+        op.tensors
+            .iter()
+            .filter(|t| t.id != op.output)
+            .map(|t| t.dtype.short_name())
+            .collect::<Vec<_>>()
+            .join("x"),
+        op.output_decl().dtype
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{conv2d_hwc, matmul_f16};
+
+    #[test]
+    fn conv_listing_mentions_all_axes_by_name() {
+        let text = print_op(&conv2d_hwc(8, 8, 16, 32, 3, 3));
+        for name in ["x", "y", "k", "r", "s", "rc"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("c[x, y, k]"));
+    }
+
+    #[test]
+    fn inplace_ops_print_plus_equals() {
+        let mut op = matmul_f16(16, 16, 16);
+        op.init = crate::InitExpr::InPlace;
+        let text = print_op(&op);
+        assert!(text.contains("+="), "expected accumulate syntax in:\n{text}");
+    }
+
+    #[test]
+    fn summary_is_compact() {
+        let s = summarize_op(&conv2d_hwc(8, 8, 16, 32, 3, 3));
+        assert!(s.contains("conv2d_hwc"));
+        assert!(s.contains("x:6"));
+        assert!(s.contains("u8xi8"));
+    }
+}

@@ -1,0 +1,332 @@
+//! A Relay-like graph IR: a DAG of operators with shape inference.
+//!
+//! Batch size is fixed at 1 throughout, matching the paper's evaluation
+//! ("we target the N=1 cases, because it is hard to optimize but critical
+//! for inference").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::DType;
+
+use crate::workload::ConvSpec;
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A tensor shape at batch 1: `CHW` (2D feature maps), `CDHW` (3D), or a
+/// flat vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Dimension extents.
+    pub dims: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorShape {
+    /// Feature-map shape `C x H x W`.
+    #[must_use]
+    pub fn chw(c: i64, h: i64, w: i64, dtype: DType) -> TensorShape {
+        TensorShape { dims: vec![c, h, w], dtype }
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn elems(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> i64 {
+        self.elems() * self.dtype.bytes() as i64
+    }
+}
+
+/// Operator kinds. Convolution/dense carry their workload descriptor; the
+/// remaining operators are memory-bound and described by their data volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Graph input with the given shape.
+    Input(TensorShape),
+    /// 2D/3D (grouped) convolution.
+    Conv(ConvSpec),
+    /// Fully connected layer: `units` outputs from a flattened input.
+    Dense {
+        /// Output feature count.
+        units: i64,
+    },
+    /// Channel-wise bias addition.
+    BiasAdd,
+    /// Rectified linear unit.
+    Relu,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Channel concatenation (inception branches).
+    Concat,
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        k: i64,
+        /// Stride.
+        s: i64,
+        /// Padding.
+        pad: i64,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window size.
+        k: i64,
+        /// Stride.
+        s: i64,
+        /// Padding.
+        pad: i64,
+    },
+    /// Global average pooling to `C x 1 x 1`.
+    GlobalAvgPool,
+    /// Flatten to a vector.
+    Flatten,
+    /// Softmax over the class vector.
+    Softmax,
+    /// fp32 -> quantized int8 domain entry.
+    Quantize,
+    /// Quantized -> fp32 domain exit.
+    Dequantize,
+}
+
+/// A graph node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Operator.
+    pub op: OpKind,
+    /// Input nodes (data-flow edges).
+    pub inputs: Vec<NodeId>,
+    /// Diagnostic name.
+    pub name: String,
+    /// Whether a later pass fused this node into its producer (fused nodes
+    /// cost nothing at execution).
+    pub fused_into_producer: bool,
+}
+
+/// A model graph (DAG, nodes in topological order by construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Model name.
+    pub name: String,
+    /// Nodes in topological order.
+    pub nodes: Vec<Node>,
+    /// The output node.
+    pub output: NodeId,
+}
+
+impl Graph {
+    /// Node lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Every convolution workload in the graph, in topological order.
+    #[must_use]
+    pub fn conv_workloads(&self) -> Vec<ConvSpec> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                OpKind::Conv(spec) => Some(*spec),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Infer the output shape of every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-inconsistent graphs (construction bugs).
+    #[must_use]
+    pub fn infer_shapes(&self) -> Vec<TensorShape> {
+        let mut shapes: Vec<TensorShape> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let shape = match &node.op {
+                OpKind::Input(s) => s.clone(),
+                OpKind::Conv(w) => {
+                    if w.is_3d() {
+                        TensorShape {
+                            dims: vec![w.k, w.od(), w.ohw(), w.ohw()],
+                            dtype: shapes[node.inputs[0].0 as usize].dtype.accumulator(),
+                        }
+                    } else {
+                        TensorShape::chw(
+                            w.k,
+                            w.ohw(),
+                            w.ohw(),
+                            shapes[node.inputs[0].0 as usize].dtype.accumulator(),
+                        )
+                    }
+                }
+                OpKind::Dense { units } => TensorShape {
+                    dims: vec![*units],
+                    dtype: shapes[node.inputs[0].0 as usize].dtype.accumulator(),
+                },
+                OpKind::BiasAdd | OpKind::Relu | OpKind::Quantize | OpKind::Dequantize => {
+                    let mut s = shapes[node.inputs[0].0 as usize].clone();
+                    s.dtype = match node.op {
+                        OpKind::Quantize => DType::U8,
+                        OpKind::Dequantize => DType::F32,
+                        _ => s.dtype,
+                    };
+                    s
+                }
+                OpKind::Add => shapes[node.inputs[0].0 as usize].clone(),
+                OpKind::Concat => {
+                    let mut base = shapes[node.inputs[0].0 as usize].clone();
+                    base.dims[0] = node
+                        .inputs
+                        .iter()
+                        .map(|i| shapes[i.0 as usize].dims[0])
+                        .sum();
+                    base
+                }
+                OpKind::MaxPool { k, s, pad } | OpKind::AvgPool { k, s, pad } => {
+                    let input = &shapes[node.inputs[0].0 as usize];
+                    let mut dims = input.dims.clone();
+                    let n = dims.len();
+                    for d in (n - 2)..n {
+                        dims[d] = (dims[d] + 2 * pad - k) / s + 1;
+                    }
+                    TensorShape { dims, dtype: input.dtype }
+                }
+                OpKind::GlobalAvgPool => {
+                    let input = &shapes[node.inputs[0].0 as usize];
+                    TensorShape { dims: vec![input.dims[0], 1, 1], dtype: input.dtype }
+                }
+                OpKind::Flatten => {
+                    let input = &shapes[node.inputs[0].0 as usize];
+                    TensorShape { dims: vec![input.elems()], dtype: input.dtype }
+                }
+                OpKind::Softmax => shapes[node.inputs[0].0 as usize].clone(),
+            };
+            shapes.push(shape);
+        }
+        shapes
+    }
+
+    /// Total multiply-accumulates of the model at batch 1.
+    #[must_use]
+    pub fn total_macs(&self) -> i64 {
+        let shapes = self.infer_shapes();
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                OpKind::Conv(w) => w.macs(),
+                OpKind::Dense { units } => {
+                    units * shapes[n.inputs[0].0 as usize].elems()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Incremental graph construction (nodes are appended in topological
+/// order).
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Start a new graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder { name: name.into(), nodes: Vec::new() }
+    }
+
+    /// Append a node.
+    pub fn add(&mut self, op: OpKind, inputs: &[NodeId], name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        for i in inputs {
+            assert!(i.0 < id.0, "inputs must precede the node (topological order)");
+        }
+        self.nodes.push(Node {
+            id,
+            op,
+            inputs: inputs.to_vec(),
+            name: name.into(),
+            fused_into_producer: false,
+        });
+        id
+    }
+
+    /// Append `conv -> bias_add -> relu` and return the relu node.
+    pub fn conv_bn_relu(&mut self, spec: ConvSpec, input: NodeId, name: &str) -> NodeId {
+        let c = self.add(OpKind::Conv(spec), &[input], format!("{name}_conv"));
+        let b = self.add(OpKind::BiasAdd, &[c], format!("{name}_bias"));
+        self.add(OpKind::Relu, &[b], format!("{name}_relu"))
+    }
+
+    /// Finish with the given output node.
+    #[must_use]
+    pub fn finish(self, output: NodeId) -> Graph {
+        Graph { name: self.name, nodes: self.nodes, output }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_inference_through_a_small_cnn() {
+        let mut b = GraphBuilder::new("tiny");
+        let input = b.add(OpKind::Input(TensorShape::chw(3, 32, 32, DType::F32)), &[], "data");
+        let q = b.add(OpKind::Quantize, &[input], "q");
+        let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 32, 16, 3, 1, 1), q, "c1");
+        let p = b.add(OpKind::MaxPool { k: 2, s: 2, pad: 0 }, &[c1], "pool");
+        let g = b.add(OpKind::GlobalAvgPool, &[p], "gap");
+        let f = b.add(OpKind::Flatten, &[g], "flat");
+        let d = b.add(OpKind::Dense { units: 10 }, &[f], "fc");
+        let s = b.add(OpKind::Softmax, &[d], "sm");
+        let graph = b.finish(s);
+        let shapes = graph.infer_shapes();
+        assert_eq!(shapes[c1.0 as usize].dims, vec![16, 32, 32]);
+        assert_eq!(shapes[p.0 as usize].dims, vec![16, 16, 16]);
+        assert_eq!(shapes[d.0 as usize].dims, vec![10]);
+        assert_eq!(graph.conv_workloads().len(), 1);
+        assert!(graph.total_macs() > 0);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = GraphBuilder::new("branches");
+        let input = b.add(OpKind::Input(TensorShape::chw(8, 14, 14, DType::U8)), &[], "data");
+        let l = b.conv_bn_relu(ConvSpec::new_2d(8, 14, 16, 1, 1, 0), input, "l");
+        let r = b.conv_bn_relu(ConvSpec::new_2d(8, 14, 32, 3, 1, 1), input, "r");
+        let cat = b.add(OpKind::Concat, &[l, r], "cat");
+        let graph = b.finish(cat);
+        let shapes = graph.infer_shapes();
+        assert_eq!(shapes[cat.0 as usize].dims, vec![48, 14, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "topological order")]
+    fn forward_references_are_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        let _ = b.add(OpKind::Relu, &[NodeId(5)], "r");
+    }
+}

@@ -1,0 +1,290 @@
+//! Blocked-layout `ComputeOp` builders: the bridge from graph level to the
+//! tensor DSL.
+//!
+//! Following the paper's Section V-C, activations adopt a channel-blocked
+//! `NCHW[c]c` layout and kernels a doubly-blocked `KCRS[k]k[c]c` layout,
+//! where the channel block equals the instruction's reduction width and the
+//! output-channel block equals its lane count. Channels are padded up to
+//! the block sizes at graph level, so every tensorized loop tiles exactly
+//! (no residue guards inside the hot nest).
+
+use unit_dsl::{ComputeOp, DType, InitExpr, OpBuilder};
+
+use crate::workload::ConvSpec;
+
+/// Round `v` up to a multiple of `block`.
+#[must_use]
+pub fn round_up(v: i64, block: i64) -> i64 {
+    (v + block - 1) / block * block
+}
+
+/// A quantized blocked 2D convolution:
+/// `out[ko, x, y, ki] += i32(data[co, x*s + r, y*s + sy, ci]) * i32(w[ko, co, r, sy, ki, ci])`.
+///
+/// `lanes` is the instruction's output lane count (output-channel block)
+/// and `rwidth` its reduction width (input-channel block). `data_dtype` and
+/// `weight_dtype` select the platform's quantization convention
+/// (u8 x i8 for VNNI, i8 x i8 for ARM `sdot`).
+///
+/// # Panics
+///
+/// Panics for depthwise specs; use [`depthwise_conv_op`].
+#[must_use]
+pub fn blocked_conv2d(
+    spec: &ConvSpec,
+    lanes: i64,
+    rwidth: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    assert!(!spec.is_depthwise(), "use depthwise_conv_op for depthwise layers");
+    assert!(!spec.is_3d(), "use blocked_conv3d for 3D layers");
+    let cb = round_up(spec.c, rwidth) / rwidth;
+    let kb = round_up(spec.k, lanes) / lanes;
+    let ih = spec.ihw + 2 * spec.pad;
+    let iw = spec.ihw + 2 * spec.pad_w;
+    let acc = data_dtype.accumulator();
+
+    let mut b = OpBuilder::new(format!(
+        "conv2d_c{}hw{}k{}r{}x{}s{}", spec.c, spec.ihw, spec.k, spec.r, spec.rw, spec.stride
+    ));
+    let data = b.tensor("data", &[cb, ih, iw, rwidth], data_dtype);
+    let weight = b.tensor("weight", &[kb, cb, spec.r, spec.rw, lanes, rwidth], weight_dtype);
+    let ko = b.axis("ko", kb);
+    let x = b.axis("x", spec.oh());
+    let y = b.axis("y", spec.ow());
+    let ki = b.axis("ki", lanes);
+    let co = b.reduce_axis("co", cb);
+    let r = b.reduce_axis("r", spec.r);
+    let s = b.reduce_axis("s", spec.rw);
+    let ci = b.reduce_axis("ci", rwidth);
+    let elem = b
+        .load(data, vec![co.into(), (x * spec.stride + r), (y * spec.stride + s), ci.into()])
+        .cast(acc)
+        * b.load(weight, vec![ko.into(), co.into(), r.into(), s.into(), ki.into(), ci.into()])
+            .cast(acc);
+    b.compute(
+        "out",
+        acc,
+        vec![ko.into(), x.into(), y.into(), ki.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// A quantized blocked 3D convolution (the Figure 13 extensibility study).
+/// Identical structure to [`blocked_conv2d`] with a depth dimension — no
+/// change to UNIT is needed, which is the point of the experiment.
+#[must_use]
+pub fn blocked_conv3d(
+    spec: &ConvSpec,
+    lanes: i64,
+    rwidth: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    assert!(spec.is_3d(), "blocked_conv3d requires a 3D spec");
+    let cb = round_up(spec.c, rwidth) / rwidth;
+    let kb = round_up(spec.k, lanes) / lanes;
+    let ih = spec.ihw + 2 * spec.pad;
+    let idd = spec.id + 2 * spec.pad;
+    let ohw = spec.ohw();
+    let od = spec.od();
+    let acc = data_dtype.accumulator();
+
+    let mut b = OpBuilder::new(format!(
+        "conv3d_c{}hw{}d{}k{}r{}", spec.c, spec.ihw, spec.id, spec.k, spec.r
+    ));
+    let data = b.tensor("data", &[cb, idd, ih, ih, rwidth], data_dtype);
+    let weight =
+        b.tensor("weight", &[kb, cb, spec.r, spec.r, spec.r, lanes, rwidth], weight_dtype);
+    let ko = b.axis("ko", kb);
+    let z = b.axis("z", od);
+    let x = b.axis("x", ohw);
+    let y = b.axis("y", ohw);
+    let ki = b.axis("ki", lanes);
+    let co = b.reduce_axis("co", cb);
+    let rd = b.reduce_axis("rd", spec.r);
+    let r = b.reduce_axis("r", spec.r);
+    let s = b.reduce_axis("s", spec.r);
+    let ci = b.reduce_axis("ci", rwidth);
+    let elem = b
+        .load(
+            data,
+            vec![
+                co.into(),
+                (z * spec.stride + rd),
+                (x * spec.stride + r),
+                (y * spec.stride + s),
+                ci.into(),
+            ],
+        )
+        .cast(acc)
+        * b.load(
+            weight,
+            vec![
+                ko.into(),
+                co.into(),
+                rd.into(),
+                r.into(),
+                s.into(),
+                ki.into(),
+                ci.into(),
+            ],
+        )
+        .cast(acc);
+    b.compute(
+        "out",
+        acc,
+        vec![ko.into(), z.into(), x.into(), y.into(), ki.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// A quantized blocked dense (fully connected) layer.
+#[must_use]
+pub fn blocked_dense(
+    in_features: i64,
+    units: i64,
+    lanes: i64,
+    rwidth: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    let cb = round_up(in_features, rwidth) / rwidth;
+    let ub = round_up(units, lanes) / lanes;
+    let acc = data_dtype.accumulator();
+    let mut b = OpBuilder::new(format!("dense_{in_features}x{units}"));
+    let data = b.tensor("data", &[cb, rwidth], data_dtype);
+    let weight = b.tensor("weight", &[ub, cb, lanes, rwidth], weight_dtype);
+    let uo = b.axis("uo", ub);
+    let ui = b.axis("ui", lanes);
+    let co = b.reduce_axis("co", cb);
+    let ci = b.reduce_axis("ci", rwidth);
+    let elem = b.load(data, vec![co.into(), ci.into()]).cast(acc)
+        * b.load(weight, vec![uo.into(), co.into(), ui.into(), ci.into()]).cast(acc);
+    b.compute("out", acc, vec![uo.into(), ui.into()], InitExpr::Identity, elem)
+}
+
+/// A depthwise convolution: no reduction over channels, so *no* dot-product
+/// instruction applies — the Inspector rejects it and the compiler falls
+/// back to a SIMD schedule. This is why mobilenet speedups are the smallest
+/// in Figure 8 (most of its time is depthwise + pointwise layers).
+#[must_use]
+pub fn depthwise_conv_op(spec: &ConvSpec, data_dtype: DType) -> ComputeOp {
+    assert!(spec.is_depthwise(), "spec is not depthwise");
+    let ih = spec.ihw + 2 * spec.pad;
+    let ohw = spec.ohw();
+    let acc = data_dtype.accumulator();
+    let mut b = OpBuilder::new(format!("dwconv_c{}hw{}r{}", spec.c, spec.ihw, spec.r));
+    let data = b.tensor("data", &[spec.c, ih, ih], data_dtype);
+    let weight = b.tensor("weight", &[spec.c, spec.r, spec.r], data_dtype);
+    let c = b.axis("c", spec.c);
+    let x = b.axis("x", ohw);
+    let y = b.axis("y", ohw);
+    let r = b.reduce_axis("r", spec.r);
+    let s = b.reduce_axis("s", spec.r);
+    let elem = b
+        .load(data, vec![c.into(), (x * spec.stride + r), (y * spec.stride + s)])
+        .cast(acc)
+        * b.load(weight, vec![c.into(), r.into(), s.into()]).cast(acc);
+    b.compute("out", acc, vec![c.into(), x.into(), y.into()], InitExpr::Identity, elem)
+}
+
+/// An fp16 convolution as implicit GEMM (the Tensor Core path): rows are
+/// the padded `OH*OW` image positions, columns the padded output channels,
+/// and the reduction spans `C*R*S`.
+#[must_use]
+pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
+    let rows = round_up(spec.oh() * spec.ow(), 16);
+    let cols = round_up(spec.k, 16);
+    let red = round_up(spec.c * spec.r * spec.rw, 16);
+    let mut b = OpBuilder::new(format!(
+        "conv_gemm_c{}hw{}k{}r{}s{}", spec.c, spec.ihw, spec.k, spec.r, spec.stride
+    ));
+    let a = b.tensor("im2col", &[rows, red], DType::F16);
+    let w = b.tensor("weight", &[red, cols], DType::F16);
+    let i = b.axis("i", rows);
+    let j = b.axis("j", cols);
+    let k = b.reduce_axis("k", red);
+    let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::F32)
+        * b.load(w, vec![k.into(), j.into()]).cast(DType::F32);
+    b.compute("out", DType::F32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::pipeline::{Target, Tensorizer};
+
+    #[test]
+    fn round_up_behaves() {
+        assert_eq!(round_up(30, 16), 32);
+        assert_eq!(round_up(32, 16), 32);
+        assert_eq!(round_up(1, 4), 4);
+    }
+
+    #[test]
+    fn blocked_conv_tensorizes_with_vnni() {
+        let spec = ConvSpec::new_2d(128, 14, 128, 3, 1, 1);
+        let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        let (intrin, m) = t.inspect(&op).unwrap();
+        assert_eq!(intrin.name, "llvm.x86.avx512.vpdpbusd.512");
+        // ki -> lanes, ci -> reduction groups.
+        let names: Vec<String> = m
+            .mapping
+            .iter()
+            .map(|(a, _)| op.axis(*a).unwrap().name.clone())
+            .collect();
+        assert_eq!(names, vec!["ki", "ci"]);
+    }
+
+    #[test]
+    fn blocked_conv3d_tensorizes_without_changes() {
+        let spec = ConvSpec::new_3d(64, 14, 8, 64, 3, 1, 1);
+        let op = blocked_conv3d(&spec, 16, 4, DType::U8, DType::I8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        assert!(t.inspect(&op).is_ok());
+    }
+
+    #[test]
+    fn depthwise_is_rejected_by_the_inspector() {
+        let spec = ConvSpec::depthwise(64, 14, 3, 1, 1);
+        let op = depthwise_conv_op(&spec, DType::U8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        assert!(t.inspect(&op).is_err());
+    }
+
+    #[test]
+    fn gemm_view_tensorizes_with_wmma() {
+        let spec = ConvSpec::new_2d(256, 14, 256, 3, 1, 1);
+        let op = conv_gemm_f16(&spec);
+        let t = Tensorizer::new(Target::nvidia_tensor_core());
+        let (intrin, _) = t.inspect(&op).unwrap();
+        assert!(intrin.name.contains("m16n16k16"));
+    }
+
+    #[test]
+    fn blocked_dense_tensorizes() {
+        let op = blocked_dense(2048, 1000, 16, 4, DType::U8, DType::I8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        assert!(t.inspect(&op).is_ok());
+        assert_eq!(op.output_decl().shape, vec![63, 16]); // 1008 padded units
+    }
+
+    #[test]
+    fn blocked_conv_correctness_via_full_pipeline() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        let spec = ConvSpec::new_2d(8, 6, 16, 3, 1, 1);
+        let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let mut bufs = alloc_buffers(&k.func);
+        random_fill(&mut bufs, 2024);
+        let mut reference = bufs.clone();
+        run(&k.func, &mut bufs).unwrap();
+        run_reference(&op, &mut reference).unwrap();
+        assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph-level IR substrate for UNIT.
+//!
+//! The paper compiles MXNet models through TVM's Relay: the graph level is
+//! where quantization, layout transformation (`NCHW[x]c` data,
+//! blocked-kernel weights), channel padding and operator fusion happen —
+//! all prerequisites for tensorization ("our tensorized analysis relies on
+//! tensor padding so that loops can be tiled by the number of lanes of the
+//! instruction perfectly", Section II-C).
+//!
+//! * [`ir`] — a Relay-like operator DAG with type inference.
+//! * [`passes`] — quantization, channel padding, conv+bias+relu fusion.
+//! * [`layout`] — blocked-layout convolution/dense `ComputeOp` builders
+//!   (the bridge from graph level to the tensor DSL).
+//! * [`models`] — the nine CNNs of the evaluation (resnet-18/50/50-v1b/
+//!   101/152, inception-bn/v3, mobilenet-v1/v2) plus the conv3d variant of
+//!   resnet-18 used by Figure 13.
+//! * [`compile`] — the graph compiler: per-layer UNIT invocation with a
+//!   kernel cache, memory-bound cost for elementwise/pooling ops, and
+//!   end-to-end latency aggregation.
+
+pub mod compile;
+pub mod ir;
+pub mod layout;
+pub mod models;
+pub mod passes;
+pub mod workload;
+
+pub use compile::{compile_graph, E2eReport, LayerLatency};
+pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind, TensorShape};
+pub use workload::ConvSpec;

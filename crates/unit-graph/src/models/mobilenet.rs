@@ -1,0 +1,151 @@
+//! MobileNet v1 (depthwise-separable stacks) and v2 (inverted residuals).
+//!
+//! These models matter for the evaluation because their depthwise layers
+//! have *no channel reduction*, so no dot-product instruction applies: UNIT
+//! falls back to SIMD for them, which is why mobilenet shows the smallest
+//! tensorization speedups in Figures 8 and 12.
+
+use unit_dsl::DType;
+
+use crate::ir::{Graph, GraphBuilder, NodeId, OpKind, TensorShape};
+use crate::workload::ConvSpec;
+
+fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let gap = b.add(OpKind::GlobalAvgPool, &[x], "global_pool");
+    let flat = b.add(OpKind::Flatten, &[gap], "flatten");
+    let fc = b.add(OpKind::Dense { units: 1000 }, &[flat], "fc1000");
+    let dq = b.add(OpKind::Dequantize, &[fc], "dequantize");
+    b.add(OpKind::Softmax, &[dq], "softmax")
+}
+
+/// MobileNet-v1 at width multiplier 1.0, 224x224 input.
+#[must_use]
+pub fn mobilenet_v1() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet-v1");
+    let input = b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let q = b.add(OpKind::Quantize, &[input], "quantize");
+    let mut x = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 32, 3, 2, 1), q, "conv0");
+    let mut hw = 112i64;
+    let mut c = 32i64;
+    // (output channels, stride) of each depthwise-separable pair.
+    let pairs: Vec<(i64, i64)> = vec![
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (out_c, stride)) in pairs.into_iter().enumerate() {
+        let dw = b.conv_bn_relu(
+            ConvSpec::depthwise(c, hw, 3, stride, 1),
+            x,
+            &format!("dw{i}"),
+        );
+        hw /= stride;
+        x = b.conv_bn_relu(ConvSpec::new_2d(c, hw, out_c, 1, 1, 0), dw, &format!("pw{i}"));
+        c = out_c;
+    }
+    let out = classifier(&mut b, x);
+    b.finish(out)
+}
+
+/// MobileNet-v2 at width multiplier 1.0, 224x224 input.
+#[must_use]
+pub fn mobilenet_v2() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet-v2");
+    let input = b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let q = b.add(OpKind::Quantize, &[input], "quantize");
+    let mut x = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 32, 3, 2, 1), q, "conv0");
+    let mut hw = 112i64;
+    let mut c = 32i64;
+    // (expansion, output channels, repeats, stride) per inverted-residual
+    // stage, from Table 2 of the MobileNet-v2 paper.
+    let stages: Vec<(i64, i64, i64, i64)> = vec![
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (stage, (t, out_c, n, s)) in stages.into_iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            let name = format!("ir{stage}_{i}");
+            let hidden = c * t;
+            let expanded = if t > 1 {
+                b.conv_bn_relu(ConvSpec::new_2d(c, hw, hidden, 1, 1, 0), x, &format!("{name}_exp"))
+            } else {
+                x
+            };
+            let dw = b.conv_bn_relu(
+                ConvSpec::depthwise(hidden, hw, 3, stride, 1),
+                expanded,
+                &format!("{name}_dw"),
+            );
+            let new_hw = hw / stride;
+            // Linear bottleneck: conv + bias, no relu.
+            let pc = b.add(
+                OpKind::Conv(ConvSpec::new_2d(hidden, new_hw, out_c, 1, 1, 0)),
+                &[dw],
+                format!("{name}_proj_conv"),
+            );
+            let proj = b.add(OpKind::BiasAdd, &[pc], format!("{name}_proj_bias"));
+            x = if stride == 1 && c == out_c {
+                b.add(OpKind::Add, &[proj, x], format!("{name}_add"))
+            } else {
+                proj
+            };
+            hw = new_hw;
+            c = out_c;
+        }
+    }
+    x = b.conv_bn_relu(ConvSpec::new_2d(c, hw, 1280, 1, 1, 0), x, "conv_last");
+    let out = classifier(&mut b, x);
+    b.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_is_mostly_depthwise_separable() {
+        let g = mobilenet_v1();
+        let convs = g.conv_workloads();
+        assert_eq!(convs.len(), 1 + 13 * 2);
+        assert_eq!(convs.iter().filter(|w| w.is_depthwise()).count(), 13);
+    }
+
+    #[test]
+    fn v2_final_feature_map_is_7x7x320_before_the_head() {
+        let g = mobilenet_v2();
+        let shapes = g.infer_shapes();
+        let last_proj = g
+            .nodes
+            .iter()
+            .rev()
+            .find(|n| {
+                matches!(&n.op, OpKind::Conv(w) if w.k == 320)
+            })
+            .unwrap();
+        assert_eq!(shapes[last_proj.id.0 as usize].dims[1..], [7, 7]);
+    }
+
+    #[test]
+    fn depthwise_layers_shrink_with_stride() {
+        let g = mobilenet_v1();
+        let dws: Vec<_> = g.conv_workloads().into_iter().filter(|w| w.is_depthwise()).collect();
+        assert_eq!(dws[0].ihw, 112);
+        assert_eq!(dws.last().unwrap().ihw, 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! The model zoo of the paper's evaluation (Section V-C): nine CNNs from
+//! the MXNet model zoo, at batch size 1, plus the conv3d variant of
+//! resnet-18 used by the Figure 13 extensibility study.
+
+mod inception;
+mod mobilenet;
+mod resnet;
+
+pub use inception::{inception_bn, inception_v3};
+pub use mobilenet::{mobilenet_v1, mobilenet_v2};
+pub use resnet::{res18_3d_convs, resnet, resnet_v1b, ResnetDepth};
+
+use crate::ir::Graph;
+
+/// The nine evaluation models in the order the paper's figures plot them.
+#[must_use]
+pub fn all_models() -> Vec<Graph> {
+    vec![
+        resnet(ResnetDepth::R18),
+        resnet(ResnetDepth::R50),
+        resnet_v1b(ResnetDepth::R50),
+        inception_bn(),
+        inception_v3(),
+        resnet(ResnetDepth::R101),
+        resnet(ResnetDepth::R152),
+        mobilenet_v1(),
+        mobilenet_v2(),
+    ]
+}
+
+/// The figure x-axis labels, aligned with [`all_models`].
+#[must_use]
+pub fn model_labels() -> Vec<&'static str> {
+    vec![
+        "resnet-18",
+        "resnet-50",
+        "resnet-50_v1b",
+        "inception-bn",
+        "inception-v3",
+        "resnet-101",
+        "resnet-152",
+        "mobilenet-v1",
+        "mobilenet-v2",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_models_in_paper_order() {
+        let models = all_models();
+        assert_eq!(models.len(), 9);
+        assert_eq!(models.len(), model_labels().len());
+        for (g, label) in models.iter().zip(model_labels()) {
+            assert_eq!(g.name, label);
+        }
+    }
+
+    #[test]
+    fn mac_counts_are_in_published_ballparks() {
+        // Published GMACs at 224x224: resnet-18 ~1.8, resnet-50 ~4.1,
+        // resnet-101 ~7.8, resnet-152 ~11.5, mobilenet-v1 ~0.57,
+        // mobilenet-v2 ~0.3, inception-v3 (299) ~5.7, inception-bn ~2.0.
+        let checks: Vec<(&str, f64, f64)> = vec![
+            ("resnet-18", 1.6, 2.1),
+            ("resnet-50", 3.5, 4.5),
+            ("resnet-50_v1b", 3.5, 4.7),
+            ("inception-bn", 1.2, 2.6),
+            ("inception-v3", 4.5, 6.5),
+            ("resnet-101", 7.0, 8.5),
+            ("resnet-152", 10.5, 12.5),
+            ("mobilenet-v1", 0.45, 0.72),
+            ("mobilenet-v2", 0.25, 0.45),
+        ];
+        for (g, (name, lo, hi)) in all_models().iter().zip(checks) {
+            let gmacs = g.total_macs() as f64 / 1e9;
+            assert!(
+                gmacs > lo && gmacs < hi,
+                "{name}: {gmacs:.2} GMACs outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_inference_succeeds_on_every_model() {
+        for g in all_models() {
+            let shapes = g.infer_shapes();
+            assert_eq!(shapes.len(), g.nodes.len());
+            // Classifier output: 1000 classes.
+            assert_eq!(shapes[g.output.0 as usize].dims, vec![1000]);
+        }
+    }
+
+    #[test]
+    fn the_148_conv_workloads_claim_is_near() {
+        // "There are 148 different convolution workloads in the models."
+        use std::collections::BTreeSet;
+        let mut unique = BTreeSet::new();
+        for g in all_models() {
+            for w in g.conv_workloads() {
+                unique.insert(w);
+            }
+        }
+        let n = unique.len();
+        assert!(
+            (100..=200).contains(&n),
+            "expected on the order of 148 unique conv workloads, got {n}"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! ResNet family: resnet-18 (basic blocks), resnet-50/101/152 (bottleneck
+//! blocks), the v1b variant (stride moved from the 1x1 to the 3x3), and the
+//! conv3d conversion of resnet-18 for Figure 13.
+
+use unit_dsl::DType;
+
+use crate::ir::{Graph, GraphBuilder, NodeId, OpKind, TensorShape};
+use crate::workload::ConvSpec;
+
+/// Supported depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResnetDepth {
+    /// resnet-18 (basic blocks, [2, 2, 2, 2]).
+    R18,
+    /// resnet-50 (bottlenecks, [3, 4, 6, 3]).
+    R50,
+    /// resnet-101 (bottlenecks, [3, 4, 23, 3]).
+    R101,
+    /// resnet-152 (bottlenecks, [3, 8, 36, 3]).
+    R152,
+}
+
+impl ResnetDepth {
+    fn label(self) -> &'static str {
+        match self {
+            ResnetDepth::R18 => "resnet-18",
+            ResnetDepth::R50 => "resnet-50",
+            ResnetDepth::R101 => "resnet-101",
+            ResnetDepth::R152 => "resnet-152",
+        }
+    }
+
+    fn stage_blocks(self) -> [i64; 4] {
+        match self {
+            ResnetDepth::R18 => [2, 2, 2, 2],
+            ResnetDepth::R50 => [3, 4, 6, 3],
+            ResnetDepth::R101 => [3, 4, 23, 3],
+            ResnetDepth::R152 => [3, 8, 36, 3],
+        }
+    }
+
+    fn bottleneck(self) -> bool {
+        !matches!(self, ResnetDepth::R18)
+    }
+}
+
+struct Stem {
+    node: NodeId,
+    hw: i64,
+    channels: i64,
+}
+
+fn stem(b: &mut GraphBuilder) -> Stem {
+    let input =
+        b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let q = b.add(OpKind::Quantize, &[input], "quantize");
+    let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 64, 7, 2, 3), q, "conv0");
+    let pool = b.add(OpKind::MaxPool { k: 3, s: 2, pad: 1 }, &[c1], "pool0");
+    Stem { node: pool, hw: 56, channels: 64 }
+}
+
+fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let gap = b.add(OpKind::GlobalAvgPool, &[x], "global_pool");
+    let flat = b.add(OpKind::Flatten, &[gap], "flatten");
+    let fc = b.add(OpKind::Dense { units: 1000 }, &[flat], "fc1000");
+    let dq = b.add(OpKind::Dequantize, &[fc], "dequantize");
+    b.add(OpKind::Softmax, &[dq], "softmax")
+}
+
+fn basic_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: i64,
+    out_c: i64,
+    hw: i64,
+    stride: i64,
+    name: &str,
+) -> NodeId {
+    let c1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 3, stride, 1), x, &format!("{name}_a"));
+    let c2 = b.conv_bn_relu(
+        ConvSpec::new_2d(out_c, hw / stride, out_c, 3, 1, 1),
+        c1,
+        &format!("{name}_b"),
+    );
+    let shortcut = if stride != 1 || in_c != out_c {
+        b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0), x, &format!("{name}_sc"))
+    } else {
+        x
+    };
+    b.add(OpKind::Add, &[c2, shortcut], format!("{name}_add"))
+}
+
+/// `v1b`: stride lives on the 3x3 (better accuracy, different workload mix).
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: i64,
+    mid_c: i64,
+    hw: i64,
+    stride: i64,
+    v1b: bool,
+    name: &str,
+) -> NodeId {
+    let out_c = mid_c * 4;
+    let (s1, s2) = if v1b { (1, stride) } else { (stride, 1) };
+    let c1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, mid_c, 1, s1, 0), x, &format!("{name}_a"));
+    let c2 = b.conv_bn_relu(
+        ConvSpec::new_2d(mid_c, hw / s1, mid_c, 3, s2, 1),
+        c1,
+        &format!("{name}_b"),
+    );
+    let c3 = b.conv_bn_relu(
+        ConvSpec::new_2d(mid_c, hw / stride, out_c, 1, 1, 0),
+        c2,
+        &format!("{name}_c"),
+    );
+    let shortcut = if stride != 1 || in_c != out_c {
+        b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0), x, &format!("{name}_sc"))
+    } else {
+        x
+    };
+    b.add(OpKind::Add, &[c3, shortcut], format!("{name}_add"))
+}
+
+fn build(depth: ResnetDepth, v1b: bool) -> Graph {
+    let name = if v1b { format!("{}_v1b", depth.label()) } else { depth.label().to_string() };
+    let mut b = GraphBuilder::new(name);
+    let s = stem(&mut b);
+    let mut x = s.node;
+    let mut hw = s.hw;
+    let mut in_c = s.channels;
+    let widths = [64i64, 128, 256, 512];
+    for (stage, (&blocks, &width)) in
+        depth.stage_blocks().iter().zip(widths.iter()).enumerate()
+    {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let label = format!("stage{}_block{}", stage + 1, blk + 1);
+            if depth.bottleneck() {
+                x = bottleneck_block(&mut b, x, in_c, width, hw, stride, v1b, &label);
+                in_c = width * 4;
+            } else {
+                x = basic_block(&mut b, x, in_c, width, hw, stride, &label);
+                in_c = width;
+            }
+            hw /= stride;
+        }
+    }
+    let out = classifier(&mut b, x);
+    b.finish(out)
+}
+
+/// The standard (v1) ResNet of the given depth.
+#[must_use]
+pub fn resnet(depth: ResnetDepth) -> Graph {
+    build(depth, false)
+}
+
+/// The v1b variant (stride on the 3x3 convolution).
+#[must_use]
+pub fn resnet_v1b(depth: ResnetDepth) -> Graph {
+    build(depth, true)
+}
+
+/// The Figure 13 workload: the unique convolutions of resnet-18, manually
+/// converted to 3D by adding a depth dimension of 8 frames (kernels keep
+/// their size, gaining a matching depth tap). Layer 0 is the stem; layers
+/// 1-10 are the body and downsample convs.
+#[must_use]
+pub fn res18_3d_convs() -> Vec<ConvSpec> {
+    let g = resnet(ResnetDepth::R18);
+    let mut seen = Vec::new();
+    for w in g.conv_workloads() {
+        if !seen.contains(&w) {
+            seen.push(w);
+        }
+    }
+    seen.into_iter()
+        .map(|w| ConvSpec::new_3d(w.c, w.ihw, 8, w.k, w.r, w.stride, w.pad))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_has_the_expected_conv_count() {
+        let g = resnet(ResnetDepth::R18);
+        // 1 stem + 2*2 stages*2 convs + 3 downsamples = 1 + 16 + 3 = 20.
+        assert_eq!(g.conv_workloads().len(), 20);
+    }
+
+    #[test]
+    fn resnet50_has_the_expected_conv_count() {
+        let g = resnet(ResnetDepth::R50);
+        // 1 stem + (3+4+6+3)*3 + 4 downsamples = 1 + 48 + 4 = 53.
+        assert_eq!(g.conv_workloads().len(), 53);
+    }
+
+    #[test]
+    fn v1b_moves_the_stride_to_the_3x3() {
+        let v1 = resnet(ResnetDepth::R50);
+        let v1b = resnet_v1b(ResnetDepth::R50);
+        let strided_1x1_v1 =
+            v1.conv_workloads().iter().filter(|w| w.r == 1 && w.stride == 2 && w.k != w.c * 4).count();
+        let strided_3x3_v1b =
+            v1b.conv_workloads().iter().filter(|w| w.r == 3 && w.stride == 2).count();
+        assert!(strided_1x1_v1 > 0);
+        assert_eq!(strided_3x3_v1b, 3); // one per stage 2..4
+    }
+
+    #[test]
+    fn feature_map_sizes_halve_per_stage() {
+        let g = resnet(ResnetDepth::R18);
+        let shapes = g.infer_shapes();
+        let out = &shapes[g.output.0 as usize];
+        assert_eq!(out.dims, vec![1000]);
+        // Find the last conv: 7x7 spatial, 512 channels.
+        let last_conv = g
+            .nodes
+            .iter()
+            .rev()
+            .find(|n| matches!(n.op, OpKind::Conv(_)))
+            .unwrap();
+        assert_eq!(shapes[last_conv.id.0 as usize].dims[1..], [7, 7]);
+    }
+
+    #[test]
+    fn res18_3d_produces_eleven_layers() {
+        let layers = res18_3d_convs();
+        assert_eq!(layers.len(), 11, "Figure 13 plots layers 0..10");
+        assert!(layers.iter().all(|w| w.is_3d()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Convolution workload descriptors — the unit the evaluation (Table I,
+//! Figures 10/11/13) is phrased in.
+
+use serde::{Deserialize, Serialize};
+
+/// One (grouped, strided, padded) 2D or 3D convolution layer at batch 1.
+///
+/// Kernels may be rectangular (`r x rw`, e.g. inception-v3's 1x7 and 7x1
+/// factorized convolutions); the evaluation layers keep square feature maps
+/// via SAME-style padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub c: i64,
+    /// Input height and width (the evaluation layers are square).
+    pub ihw: i64,
+    /// Input depth for 3D convolutions (1 = 2D).
+    pub id: i64,
+    /// Output channels.
+    pub k: i64,
+    /// Kernel height (and depth for 3D).
+    pub r: i64,
+    /// Kernel width.
+    pub rw: i64,
+    /// Spatial stride.
+    pub stride: i64,
+    /// Padding on top/bottom.
+    pub pad: i64,
+    /// Padding on left/right.
+    pub pad_w: i64,
+    /// Groups (1 = dense conv, `c` = depthwise).
+    pub groups: i64,
+}
+
+impl ConvSpec {
+    /// A plain dense 2D convolution with a square kernel.
+    #[must_use]
+    pub fn new_2d(c: i64, ihw: i64, k: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
+        ConvSpec { c, ihw, id: 1, k, r, rw: r, stride, pad, pad_w: pad, groups: 1 }
+    }
+
+    /// A dense 2D convolution with a rectangular `r x rw` kernel.
+    #[must_use]
+    pub fn new_rect(
+        c: i64,
+        ihw: i64,
+        k: i64,
+        (r, rw): (i64, i64),
+        stride: i64,
+        (pad, pad_w): (i64, i64),
+    ) -> ConvSpec {
+        ConvSpec { c, ihw, id: 1, k, r, rw, stride, pad, pad_w, groups: 1 }
+    }
+
+    /// A depthwise 2D convolution.
+    #[must_use]
+    pub fn depthwise(c: i64, ihw: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
+        ConvSpec { c, ihw, id: 1, k: c, r, rw: r, stride, pad, pad_w: pad, groups: c }
+    }
+
+    /// A dense 3D convolution with input `id x ihw x ihw`.
+    #[must_use]
+    pub fn new_3d(c: i64, ihw: i64, id: i64, k: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
+        ConvSpec { c, ihw, id, k, r, rw: r, stride, pad, pad_w: pad, groups: 1 }
+    }
+
+    /// Output height.
+    #[must_use]
+    pub fn oh(&self) -> i64 {
+        (self.ihw + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn ow(&self) -> i64 {
+        (self.ihw + 2 * self.pad_w - self.rw) / self.stride + 1
+    }
+
+    /// Output height/width for square-output layers (all evaluation layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not square (misuse of a rectangular layer).
+    #[must_use]
+    pub fn ohw(&self) -> i64 {
+        assert_eq!(self.oh(), self.ow(), "layer output is not square");
+        self.oh()
+    }
+
+    /// Output depth (3D).
+    #[must_use]
+    pub fn od(&self) -> i64 {
+        if self.id == 1 {
+            1
+        } else {
+            (self.id + 2 * self.pad - self.r) / self.stride + 1
+        }
+    }
+
+    /// Whether this is a depthwise convolution.
+    #[must_use]
+    pub fn is_depthwise(&self) -> bool {
+        self.groups == self.c && self.groups > 1
+    }
+
+    /// Whether this is a 3D convolution.
+    #[must_use]
+    pub fn is_3d(&self) -> bool {
+        self.id > 1
+    }
+
+    /// Total multiply-accumulates at batch 1.
+    #[must_use]
+    pub fn macs(&self) -> i64 {
+        let spatial = self.oh() * self.ow() * self.od();
+        let depth_taps = if self.is_3d() { self.r } else { 1 };
+        let per_output = (self.c / self.groups) * self.r * self.rw * depth_taps;
+        spatial * self.k * per_output
+    }
+
+    /// Input feature-map elements.
+    #[must_use]
+    pub fn input_elems(&self) -> i64 {
+        self.c * self.ihw * self.ihw * self.id
+    }
+
+    /// Weight elements.
+    #[must_use]
+    pub fn weight_elems(&self) -> i64 {
+        let depth_taps = if self.is_3d() { self.r } else { 1 };
+        self.k * (self.c / self.groups) * self.r * self.rw * depth_taps
+    }
+
+    /// Output feature-map elements.
+    #[must_use]
+    pub fn output_elems(&self) -> i64 {
+        self.k * self.oh() * self.ow() * self.od()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_follow_the_conv_formula() {
+        // Table I workload #1: C=288, IHW=35, K=384, R=3, stride 2 -> OHW 17.
+        let w = ConvSpec::new_2d(288, 35, 384, 3, 2, 0);
+        assert_eq!(w.ohw(), 17);
+        // Workload #4: C=80, IHW=73, K=192, R=3, stride 1 -> OHW 71.
+        let w4 = ConvSpec::new_2d(80, 73, 192, 3, 1, 0);
+        assert_eq!(w4.ohw(), 71);
+    }
+
+    #[test]
+    fn macs_count_depthwise_correctly() {
+        let dense = ConvSpec::new_2d(32, 16, 64, 3, 1, 1);
+        assert_eq!(dense.macs(), 16 * 16 * 64 * 32 * 9);
+        let dw = ConvSpec::depthwise(32, 16, 3, 1, 1);
+        assert!(dw.is_depthwise());
+        assert_eq!(dw.macs(), 16 * 16 * 32 * 9);
+    }
+
+    #[test]
+    fn rectangular_kernels_keep_square_outputs_with_same_padding() {
+        // inception-v3's 1x7 conv at 17x17 with (0,3) padding.
+        let w = ConvSpec::new_rect(128, 17, 128, (1, 7), 1, (0, 3));
+        assert_eq!(w.oh(), 17);
+        assert_eq!(w.ow(), 17);
+        assert_eq!(w.macs(), 17 * 17 * 128 * 128 * 7);
+    }
+
+    #[test]
+    fn conv3d_dimensions() {
+        let w = ConvSpec::new_3d(64, 56, 8, 64, 3, 1, 1);
+        assert!(w.is_3d());
+        assert_eq!(w.ohw(), 56);
+        assert_eq!(w.od(), 8);
+        assert_eq!(w.macs(), 56 * 56 * 8 * 64 * 64 * 27);
+    }
+}

@@ -1,0 +1,107 @@
+//! Buffer allocation and deterministic random initialization for tests,
+//! examples and the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unit_dsl::ComputeOp;
+use unit_isa::TypedBuf;
+use unit_tir::TirFunc;
+
+/// Allocate one zeroed buffer per declared TIR buffer, in id order.
+#[must_use]
+pub fn alloc_buffers(func: &TirFunc) -> Vec<TypedBuf> {
+    func.buffers.iter().map(|b| TypedBuf::zeros(b.dtype, b.len())).collect()
+}
+
+/// Allocate one zeroed buffer per tensor of a [`ComputeOp`], in id order.
+#[must_use]
+pub fn alloc_op_buffers(op: &ComputeOp) -> Vec<TypedBuf> {
+    op.tensors.iter().map(|t| TypedBuf::zeros(t.dtype, t.len())).collect()
+}
+
+/// Fill every buffer with deterministic pseudo-random values appropriate to
+/// its dtype: integers over the full storage range, floats in `[-2, 2]`
+/// (small enough that fp16 accumulation stays well-conditioned).
+pub fn random_fill(bufs: &mut [TypedBuf], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for buf in bufs {
+        fill_one(buf, &mut rng);
+    }
+}
+
+fn fill_one(buf: &mut TypedBuf, rng: &mut StdRng) {
+    use unit_dsl::DType;
+    let n = buf.len();
+    match buf.dtype {
+        DType::I8 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-128..=127)));
+            }
+        }
+        DType::U8 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(0..=255)));
+            }
+        }
+        DType::I16 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-32768..=32767)));
+            }
+        }
+        DType::U16 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(0..=65535)));
+            }
+        }
+        DType::I32 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)));
+            }
+        }
+        DType::I64 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)));
+            }
+        }
+        DType::F16 | DType::F32 => {
+            for i in 0..n {
+                buf.set(i, unit_isa::Scalar::Float(rng.gen_range(-2.0..2.0)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_dsl::builder::matmul_u8i8;
+    use unit_tir::{lower::lower, schedule::Schedule};
+
+    #[test]
+    fn allocation_matches_declarations() {
+        let op = matmul_u8i8(4, 8, 16);
+        let func = lower(&Schedule::new(&op), "mm").unwrap();
+        let bufs = alloc_buffers(&func);
+        assert_eq!(bufs.len(), 3);
+        assert_eq!(bufs[0].len(), 64);
+        assert_eq!(bufs[2].len(), 32);
+        let ob = alloc_op_buffers(&op);
+        assert_eq!(ob.len(), bufs.len());
+    }
+
+    #[test]
+    fn random_fill_is_deterministic_and_in_range() {
+        let op = matmul_u8i8(4, 8, 16);
+        let mut a = alloc_op_buffers(&op);
+        let mut b = alloc_op_buffers(&op);
+        random_fill(&mut a, 7);
+        random_fill(&mut b, 7);
+        assert_eq!(a, b);
+        for v in a[0].to_ints() {
+            assert!((0..=255).contains(&v));
+        }
+        for v in a[1].to_ints() {
+            assert!((-128..=127).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Naive reference execution of [`ComputeOp`]s.
+//!
+//! This is the "ground truth" side of every correctness comparison: it
+//! evaluates the op's DSL semantics directly (via the shared evaluator in
+//! [`unit_isa::emulate`]), with no scheduling, tiling or tensorization.
+
+use unit_dsl::ComputeOp;
+use unit_isa::{EmulationError, TypedBuf};
+
+use crate::buffers::{alloc_op_buffers, random_fill};
+
+/// Execute `op` on the given buffers (`bufs[t.0]` binds tensor `t`).
+///
+/// # Errors
+///
+/// Propagates buffer-shape/dtype validation from the evaluator.
+pub fn run_reference(op: &ComputeOp, bufs: &mut [TypedBuf]) -> Result<(), EmulationError> {
+    unit_isa::eval_compute_op(op, bufs)
+}
+
+/// Convenience for tests: allocate fresh buffers, fill the *inputs* with
+/// the same pseudo-random data that [`random_fill`] with `seed` produces,
+/// run the reference, and return the output buffer.
+///
+/// The provided `current` buffers are only used for their shapes; inputs
+/// are regenerated from the seed so the caller can compare against a kernel
+/// run that consumed identically-seeded buffers.
+///
+/// # Errors
+///
+/// Propagates buffer validation from the evaluator.
+pub fn reference_output(
+    op: &ComputeOp,
+    current: &[TypedBuf],
+    seed: u64,
+) -> Result<TypedBuf, EmulationError> {
+    let mut bufs = alloc_op_buffers(op);
+    if bufs.len() != current.len() {
+        return Err(EmulationError::OperandCount {
+            expected: bufs.len(),
+            got: current.len(),
+        });
+    }
+    random_fill(&mut bufs, seed);
+    unit_isa::eval_compute_op(op, &mut bufs)?;
+    Ok(bufs[op.output.0 as usize].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_dsl::builder::{matmul_f16, matmul_u8i8};
+
+    #[test]
+    fn reference_matmul_spot_check() {
+        let op = matmul_u8i8(2, 2, 3);
+        let mut bufs = alloc_op_buffers(&op);
+        // a = [[1,2,3],[4,5,6]], b = [[1,0,1],[0,1,0]] (b is [m,k]).
+        for (i, v) in [1, 2, 3, 4, 5, 6].iter().enumerate() {
+            bufs[0].set(i, unit_isa::Scalar::Int(*v));
+        }
+        for (i, v) in [1, 0, 1, 0, 1, 0].iter().enumerate() {
+            bufs[1].set(i, unit_isa::Scalar::Int(*v));
+        }
+        run_reference(&op, &mut bufs).unwrap();
+        assert_eq!(bufs[2].to_ints(), vec![4, 2, 10, 5]);
+    }
+
+    #[test]
+    fn reference_f16_matmul_accumulates_in_f32() {
+        let op = matmul_f16(4, 4, 8);
+        let mut bufs = alloc_op_buffers(&op);
+        random_fill(&mut bufs, 9);
+        run_reference(&op, &mut bufs).unwrap();
+        // Oracle computed in f32 from the f16-rounded inputs.
+        let a = bufs[0].to_floats();
+        let b = bufs[1].to_floats();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0f32;
+                for k in 0..8 {
+                    acc += a[i * 8 + k] as f32 * b[k * 4 + j] as f32;
+                }
+                let got = bufs[2].to_floats()[i * 4 + j];
+                assert!((got - acc as f64).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_output_is_reproducible() {
+        let op = matmul_u8i8(3, 5, 7);
+        let bufs = alloc_op_buffers(&op);
+        let o1 = reference_output(&op, &bufs, 123).unwrap();
+        let o2 = reference_output(&op, &bufs, 123).unwrap();
+        assert_eq!(o1, o2);
+        let o3 = reference_output(&op, &bufs, 124).unwrap();
+        assert_ne!(o1, o3);
+    }
+}

@@ -1,0 +1,89 @@
+//! ARM dot-product instruction descriptors (Figure 4(b) of the paper).
+//!
+//! `sdot`/`udot` (ARMv8.2 dot-product extension, available on Graviton2's
+//! Neoverse-N1 cores) multiply 16 8-bit elements against 16 8-bit elements,
+//! sum groups of four, and accumulate into 4 signed 32-bit lanes. The
+//! 64-bit encodings halve every width.
+
+use unit_dsl::{DType, InitExpr, OpBuilder};
+
+use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+
+fn dot(lanes: i64, in_dtype: DType, name: &str) -> TensorIntrinsic {
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[4 * lanes], in_dtype);
+    let w = b.tensor("b", &[4 * lanes], in_dtype);
+    let c = b.tensor("c", &[lanes], DType::I32);
+    let i = b.axis("i", lanes);
+    let j = b.reduce_axis("j", 4);
+    let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+        * b.load(w, vec![(i * 4 + j).into()]).cast(DType::I32);
+    let semantics =
+        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    TensorIntrinsic {
+        name: name.to_string(),
+        platform: Platform::ArmDot,
+        semantics,
+        // Neoverse-N1: DOT executes on both ASIMD pipes, 2/cycle, latency
+        // ~4 cycles with a 1-cycle accumulate forwarding path; we use the
+        // architectural latency for the hazard model.
+        perf: PerfAttrs {
+            latency_cycles: 4.0,
+            throughput_ipc: 2.0,
+            macs: (4 * lanes) as u64,
+            uops: 1,
+        },
+    }
+}
+
+/// 128-bit signed dot product: `i8x16 × i8x16 → i32x4` (Figure 4(b)).
+#[must_use]
+pub fn sdot_v4i32() -> TensorIntrinsic {
+    dot(4, DType::I8, "llvm.arm.neon.sdot.v4i32.v16i8")
+}
+
+/// 128-bit unsigned dot product: `u8x16 × u8x16 → i32x4`.
+#[must_use]
+pub fn udot_v4i32() -> TensorIntrinsic {
+    dot(4, DType::U8, "llvm.arm.neon.udot.v4i32.v16i8")
+}
+
+/// 64-bit signed dot product: `i8x8 × i8x8 → i32x2`.
+#[must_use]
+pub fn sdot_v2i32() -> TensorIntrinsic {
+    dot(2, DType::I8, "llvm.arm.neon.sdot.v2i32.v8i8")
+}
+
+/// All ARM descriptors, widest first.
+#[must_use]
+pub fn all() -> Vec<TensorIntrinsic> {
+    vec![sdot_v4i32(), udot_v4i32(), sdot_v2i32()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdot_matches_figure_4b() {
+        let d = sdot_v4i32();
+        assert_eq!(d.output_lanes(), 4);
+        assert_eq!(d.reduce_extents(), vec![4]);
+        assert_eq!(d.macs_per_call(), 16);
+        assert_eq!(d.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::I8);
+    }
+
+    #[test]
+    fn udot_differs_only_in_signedness() {
+        let s = sdot_v4i32();
+        let u = udot_v4i32();
+        assert_eq!(s.output_lanes(), u.output_lanes());
+        assert_eq!(u.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::U8);
+    }
+
+    #[test]
+    fn narrow_encoding_halves_lanes() {
+        assert_eq!(sdot_v2i32().output_lanes(), 2);
+        assert_eq!(sdot_v2i32().macs_per_call(), 8);
+    }
+}

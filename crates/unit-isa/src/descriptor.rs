@@ -1,0 +1,249 @@
+//! The tensorized-instruction descriptor.
+//!
+//! A [`TensorIntrinsic`] is UNIT's unified abstraction (Section III-A of the
+//! paper): the instruction's arithmetic is a [`unit_dsl::ComputeOp`] whose
+//! tensors stand for register operands, and the descriptor adds the metadata
+//! the rest of the pipeline needs — which platform provides it, whether its
+//! accumulator is read-modify-write in place (Tensor Core) or a separate
+//! source register (VNNI/DOT), and pipeline attributes for the performance
+//! model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::{AxisKind, ComputeOp, InitExpr, TensorId};
+
+/// Hardware platform providing an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel x86 with AVX-512 VNNI (Cascade Lake and later).
+    X86Vnni,
+    /// ARMv8.2 with the dot-product extension (e.g. Graviton2).
+    ArmDot,
+    /// Nvidia GPUs with Tensor Cores (Volta and later).
+    NvidiaTensorCore,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::X86Vnni => f.write_str("x86-avx512-vnni"),
+            Platform::ArmDot => f.write_str("arm-neon-dot"),
+            Platform::NvidiaTensorCore => f.write_str("nvidia-tensor-core"),
+        }
+    }
+}
+
+/// Pipeline attributes of one instruction, consumed by the machine model.
+///
+/// All values are per dynamic instruction on the modelled microarchitecture
+/// (per warp-wide `mma.sync` on the GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfAttrs {
+    /// Result latency in cycles: the length a loop-carried accumulation
+    /// chain adds per instruction when there is no independent work to hide
+    /// it behind (the RAW hazard of Section III-C).
+    pub latency_cycles: f64,
+    /// Sustained throughput in instructions/cycle when chains are hidden
+    /// (number of issue ports able to execute it).
+    pub throughput_ipc: f64,
+    /// Multiply-accumulate operations performed by one instruction.
+    pub macs: u64,
+    /// Micro-ops occupied in the front-end (used for the unrolling vs.
+    /// I-cache pressure trade-off).
+    pub uops: u32,
+}
+
+/// A tensorized instruction with unified DSL semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TensorIntrinsic {
+    /// Canonical (LLVM-style) intrinsic name.
+    pub name: String,
+    /// Providing platform.
+    pub platform: Platform,
+    /// The instruction's arithmetic as a tensor-DSL program. Tensors are
+    /// register operands; data-parallel axes enumerate output lanes and
+    /// reduce axes enumerate the horizontal reduction.
+    pub semantics: ComputeOp,
+    /// Pipeline attributes for the performance model.
+    pub perf: PerfAttrs,
+}
+
+impl TensorIntrinsic {
+    /// Number of output lanes (elements of the destination register).
+    #[must_use]
+    pub fn output_lanes(&self) -> usize {
+        self.semantics.output_len()
+    }
+
+    /// Multiply-accumulates per call, derived from the semantics.
+    #[must_use]
+    pub fn macs_per_call(&self) -> u64 {
+        self.semantics.mac_count() as u64
+    }
+
+    /// Whether the accumulator register is the destination register
+    /// (`+=`, the Tensor Core restriction of Figure 4(c)): the instruction
+    /// cannot take an arbitrary third source as the initial value.
+    #[must_use]
+    pub fn in_place_accumulator(&self) -> bool {
+        matches!(self.semantics.init, InitExpr::InPlace)
+    }
+
+    /// The register operand (if any) that carries the accumulator *input*
+    /// when it is distinct from the destination (VNNI's `c`).
+    #[must_use]
+    pub fn accumulator_operand(&self) -> Option<TensorId> {
+        match &self.semantics.init {
+            InitExpr::Tensor(l) => Some(l.tensor),
+            _ => None,
+        }
+    }
+
+    /// Register operands read by the element-wise computation (excludes the
+    /// accumulator and the destination), in declaration order.
+    #[must_use]
+    pub fn data_operands(&self) -> Vec<TensorId> {
+        let acc = self.accumulator_operand();
+        self.semantics
+            .tensors
+            .iter()
+            .map(|t| t.id)
+            .filter(|id| *id != self.semantics.output && Some(*id) != acc)
+            .collect()
+    }
+
+    /// Extents of the instruction's data-parallel axes, in order.
+    #[must_use]
+    pub fn parallel_extents(&self) -> Vec<i64> {
+        self.semantics.axes.iter().map(|a| a.extent).collect()
+    }
+
+    /// Extents of the instruction's reduction axes, in order.
+    #[must_use]
+    pub fn reduce_extents(&self) -> Vec<i64> {
+        self.semantics.reduce_axes.iter().map(|a| a.extent).collect()
+    }
+
+    /// Sanity-check structural invariants of the descriptor. Called by the
+    /// registry tests for every registered instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        unit_dsl::verify_op(&self.semantics).map_err(|e| e.to_string())?;
+        // Every register tensor must be fully addressed by the instruction
+        // axes: the number of register elements must equal the product of
+        // the extents of the axes its access uses.
+        for t in &self.semantics.tensors {
+            if t.id == self.semantics.output {
+                continue;
+            }
+            let accesses: Vec<_> = self
+                .semantics
+                .combiner()
+                .loads()
+                .iter()
+                .filter(|l| l.tensor == t.id)
+                .map(|l| l.indices.clone())
+                .collect();
+            if accesses.is_empty() {
+                return Err(format!("register operand {} is never read", t.name));
+            }
+            for idx in &accesses {
+                let mut span = 1i64;
+                let mut seen = std::collections::BTreeSet::new();
+                for ix in idx {
+                    for v in ix.vars() {
+                        if seen.insert(v) {
+                            span *= self.semantics.extent(v);
+                        }
+                    }
+                }
+                if span != t.len() as i64 {
+                    return Err(format!(
+                        "register operand {} has {} elements but its access spans {span} points",
+                        t.name,
+                        t.len()
+                    ));
+                }
+            }
+        }
+        // Data-parallel axes must cover the destination register exactly.
+        let dp_span: i64 = self.semantics.axes.iter().map(|a| a.extent).product();
+        if dp_span != self.output_lanes() as i64 {
+            return Err(format!(
+                "data-parallel axes span {dp_span} points but the destination has {} lanes",
+                self.output_lanes()
+            ));
+        }
+        for a in &self.semantics.axes {
+            if a.kind != AxisKind::DataParallel {
+                return Err(format!("axis {} in `axes` is not data-parallel", a.name));
+            }
+        }
+        if self.perf.macs != self.macs_per_call() {
+            return Err(format!(
+                "perf.macs = {} disagrees with semantics mac count {}",
+                self.perf.macs,
+                self.macs_per_call()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TensorIntrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} lanes x {} reduce, {} MACs/call",
+            self.name,
+            self.platform,
+            self.output_lanes(),
+            self.reduce_extents().iter().product::<i64>(),
+            self.macs_per_call()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn every_registered_instruction_validates() {
+        for intrin in registry::all() {
+            intrin.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", intrin.name));
+        }
+    }
+
+    #[test]
+    fn vnni_operand_roles() {
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+        assert!(!vnni.in_place_accumulator());
+        assert!(vnni.accumulator_operand().is_some());
+        assert_eq!(vnni.data_operands().len(), 2);
+        assert_eq!(vnni.parallel_extents(), vec![16]);
+        assert_eq!(vnni.reduce_extents(), vec![4]);
+    }
+
+    #[test]
+    fn tensor_core_is_in_place() {
+        let wmma = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
+        assert!(wmma.in_place_accumulator());
+        assert_eq!(wmma.accumulator_operand(), None);
+        assert_eq!(wmma.output_lanes(), 256);
+        assert_eq!(wmma.macs_per_call(), 4096);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+        let text = vnni.to_string();
+        assert!(text.contains("16 lanes"));
+        assert!(text.contains("64 MACs"));
+    }
+}

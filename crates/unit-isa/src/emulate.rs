@@ -1,0 +1,378 @@
+//! Bit-accurate software emulation of tensorized instructions.
+//!
+//! Because every instruction's semantics is itself a [`ComputeOp`], emulation
+//! is *evaluation of the DSL*: [`eval_compute_op`] executes any op directly
+//! on [`TypedBuf`]s, and [`execute`] applies it to an intrinsic's register
+//! operands. The same evaluator doubles as the naive reference executor used
+//! by correctness tests throughout the workspace, so the tensorized and the
+//! reference kernels are compared against one semantic definition.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use unit_dsl::{AxisId, ComputeOp, Expr, InitExpr, Load, TensorId};
+
+use crate::descriptor::TensorIntrinsic;
+use crate::scalar::{Scalar, TypedBuf};
+
+/// Emulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmulationError {
+    /// Number of buffers does not match the op's tensor count.
+    OperandCount {
+        /// Expected count (one per declared tensor).
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// A buffer's length does not match its tensor declaration.
+    OperandShape {
+        /// The mismatched tensor.
+        tensor: TensorId,
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A buffer's dtype does not match its tensor declaration.
+    OperandDType {
+        /// The mismatched tensor.
+        tensor: TensorId,
+        /// Expected dtype.
+        expected: unit_dsl::DType,
+        /// Provided dtype.
+        got: unit_dsl::DType,
+    },
+}
+
+impl fmt::Display for EmulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmulationError::OperandCount { expected, got } => {
+                write!(f, "expected {expected} operand buffers, got {got}")
+            }
+            EmulationError::OperandShape { tensor, expected, got } => {
+                write!(f, "operand {tensor} expects {expected} elements, got {got}")
+            }
+            EmulationError::OperandDType { tensor, expected, got } => {
+                write!(f, "operand {tensor} expects dtype {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmulationError {}
+
+/// Evaluate a scalar expression under an axis environment, reading tensor
+/// elements from `bufs` (indexed by [`TensorId`]).
+fn eval_expr(expr: &Expr, env: &BTreeMap<AxisId, i64>, op: &ComputeOp, bufs: &[TypedBuf]) -> Scalar {
+    match expr {
+        Expr::Int(v, dt) => Scalar::Int(*v).wrap(*dt),
+        Expr::Float(bits, dt) => Scalar::Float(f64::from_bits(*bits)).wrap(*dt),
+        Expr::Load(l) => read_load(l, env, op, bufs),
+        Expr::Cast(dt, inner) => {
+            let resolver = |t: TensorId| op.dtype_of(t);
+            let from = inner.dtype(&resolver);
+            eval_expr(inner, env, op, bufs).cast(from, *dt)
+        }
+        Expr::Bin(bop, lhs, rhs) => {
+            let resolver = |t: TensorId| op.dtype_of(t);
+            let dt = lhs.dtype(&resolver);
+            let a = eval_expr(lhs, env, op, bufs);
+            let b = eval_expr(rhs, env, op, bufs);
+            Scalar::binop(*bop, a, b, dt)
+        }
+    }
+}
+
+fn read_load(l: &Load, env: &BTreeMap<AxisId, i64>, op: &ComputeOp, bufs: &[TypedBuf]) -> Scalar {
+    let decl = op.tensor(l.tensor);
+    let flat = decl.flatten_access(&l.indices).eval_map(env);
+    bufs[l.tensor.0 as usize].get(flat as usize)
+}
+
+/// Execute a [`ComputeOp`] on dense buffers, one per declared tensor
+/// (`bufs[t.0]` holds tensor `t`; the output buffer is written, and for
+/// [`InitExpr::InPlace`] its prior contents seed the accumulation).
+///
+/// # Errors
+///
+/// Returns an [`EmulationError`] if buffer counts, lengths, or dtypes do not
+/// match the op's tensor declarations.
+pub fn eval_compute_op(op: &ComputeOp, bufs: &mut [TypedBuf]) -> Result<(), EmulationError> {
+    if bufs.len() != op.tensors.len() {
+        return Err(EmulationError::OperandCount { expected: op.tensors.len(), got: bufs.len() });
+    }
+    for t in &op.tensors {
+        let b = &bufs[t.id.0 as usize];
+        if b.len() != t.len() {
+            return Err(EmulationError::OperandShape {
+                tensor: t.id,
+                expected: t.len(),
+                got: b.len(),
+            });
+        }
+        if b.dtype != t.dtype {
+            return Err(EmulationError::OperandDType {
+                tensor: t.id,
+                expected: t.dtype,
+                got: b.dtype,
+            });
+        }
+    }
+
+    let out_decl = op.output_decl().clone();
+    let out_dt = out_decl.dtype;
+    let flat_out = |env: &BTreeMap<AxisId, i64>| -> usize {
+        out_decl.flatten_access(&op.out_indices).eval_map(env) as usize
+    };
+
+    // Iterate the data-parallel space.
+    let dp: Vec<_> = op.axes.iter().map(|a| (a.id, a.extent)).collect();
+    let red: Vec<_> = op.reduce_axes.iter().map(|a| (a.id, a.extent)).collect();
+    let mut env: BTreeMap<AxisId, i64> = BTreeMap::new();
+
+    let mut dp_idx = vec![0i64; dp.len()];
+    loop {
+        for (slot, (id, _)) in dp_idx.iter().zip(&dp) {
+            env.insert(*id, *slot);
+        }
+        // Initialize the accumulator.
+        let out_at = flat_out(&env);
+        let acc0 = match &op.init {
+            InitExpr::Identity => Scalar::reduce_identity(op.reduce_op, out_dt),
+            InitExpr::Tensor(l) => read_load(l, &env, op, bufs),
+            InitExpr::InPlace => bufs[op.output.0 as usize].get(out_at),
+        };
+        let mut acc = acc0;
+
+        // Iterate the reduction space (possibly empty).
+        let mut red_idx = vec![0i64; red.len()];
+        loop {
+            for (slot, (id, _)) in red_idx.iter().zip(&red) {
+                env.insert(*id, *slot);
+            }
+            let update = eval_expr(&op.update, &env, op, bufs);
+            acc = Scalar::binop(op.reduce_op.combine_op(), acc, update, out_dt);
+            // Advance the reduction odometer.
+            let mut d = red.len();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                red_idx[d] += 1;
+                if red_idx[d] < red[d].1 {
+                    break;
+                }
+                red_idx[d] = 0;
+                if d == 0 {
+                    break;
+                }
+            }
+            if red.is_empty() || red_idx.iter().all(|&v| v == 0) {
+                break;
+            }
+        }
+        for (id, _) in &red {
+            env.remove(id);
+        }
+
+        bufs[op.output.0 as usize].set(out_at, acc);
+
+        // Advance the data-parallel odometer.
+        if dp.is_empty() {
+            break;
+        }
+        let mut d = dp.len();
+        loop {
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+            dp_idx[d] += 1;
+            if dp_idx[d] < dp[d].1 {
+                break;
+            }
+            dp_idx[d] = 0;
+            if d == 0 {
+                break;
+            }
+        }
+        if dp_idx.iter().all(|&v| v == 0) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Execute one dynamic instance of a tensorized instruction on its register
+/// operands: `regs[t.0]` is the register bound to tensor `t` of the
+/// instruction's semantics (destination included).
+///
+/// # Errors
+///
+/// Propagates [`eval_compute_op`] validation errors.
+pub fn execute(intrin: &TensorIntrinsic, regs: &mut [TypedBuf]) -> Result<(), EmulationError> {
+    eval_compute_op(&intrin.semantics, regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use unit_dsl::DType;
+
+    /// Scalar specification of vpdpbusd used as an independent oracle.
+    fn vpdpbusd_spec(a: &[i64], b: &[i64], c: &[i64]) -> Vec<i64> {
+        (0..16)
+            .map(|i| {
+                let mut acc = c[i];
+                for j in 0..4 {
+                    acc = (acc as i32).wrapping_add((a[i * 4 + j] as i32) * (b[i * 4 + j] as i32))
+                        as i64;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vnni_matches_scalar_specification() {
+        let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a: Vec<i64> = (0..64).map(|_| rng.gen_range(0..=255)).collect();
+            let b: Vec<i64> = (0..64).map(|_| rng.gen_range(-128..=127)).collect();
+            let c: Vec<i64> = (0..16).map(|_| rng.gen_range(-1_000_000..=1_000_000)).collect();
+            let mut regs = vec![
+                TypedBuf::from_ints(DType::U8, &a),
+                TypedBuf::from_ints(DType::I8, &b),
+                TypedBuf::from_ints(DType::I32, &c),
+                TypedBuf::zeros(DType::I32, 16),
+            ];
+            execute(&intrin, &mut regs).unwrap();
+            assert_eq!(regs[3].to_ints(), vpdpbusd_spec(&a, &b, &c));
+        }
+    }
+
+    #[test]
+    fn vnni_extreme_values_do_not_overflow_incorrectly() {
+        // 4 * (255 * -128) = -130560 must be representable: check against spec.
+        let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+        let a = vec![255i64; 64];
+        let b = vec![-128i64; 64];
+        let c = vec![0i64; 16];
+        let mut regs = vec![
+            TypedBuf::from_ints(DType::U8, &a),
+            TypedBuf::from_ints(DType::I8, &b),
+            TypedBuf::from_ints(DType::I32, &c),
+            TypedBuf::zeros(DType::I32, 16),
+        ];
+        execute(&intrin, &mut regs).unwrap();
+        assert_eq!(regs[3].to_ints(), vec![-130_560i64; 16]);
+    }
+
+    #[test]
+    fn sdot_matches_scalar_specification() {
+        let intrin = registry::by_name("llvm.arm.neon.sdot.v4i32.v16i8").unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: Vec<i64> = (0..16).map(|_| rng.gen_range(-128..=127)).collect();
+        let b: Vec<i64> = (0..16).map(|_| rng.gen_range(-128..=127)).collect();
+        let c: Vec<i64> = (0..4).map(|_| rng.gen_range(-1000..=1000)).collect();
+        let mut regs = vec![
+            TypedBuf::from_ints(DType::I8, &a),
+            TypedBuf::from_ints(DType::I8, &b),
+            TypedBuf::from_ints(DType::I32, &c),
+            TypedBuf::zeros(DType::I32, 4),
+        ];
+        execute(&intrin, &mut regs).unwrap();
+        let expect: Vec<i64> = (0..4)
+            .map(|i| c[i] + (0..4).map(|j| a[i * 4 + j] * b[i * 4 + j]).sum::<i64>())
+            .collect();
+        assert_eq!(regs[3].to_ints(), expect);
+    }
+
+    #[test]
+    fn wmma_is_a_matrix_multiply_with_inplace_accumulate() {
+        let intrin = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let a: Vec<f64> = (0..256).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..256).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let c0: Vec<f64> = (0..256).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let af = TypedBuf::from_floats(DType::F16, &a);
+        let bf = TypedBuf::from_floats(DType::F16, &b);
+        let cf = TypedBuf::from_floats(DType::F32, &c0);
+        let mut regs = vec![af.clone(), bf.clone(), cf.clone()];
+        execute(&intrin, &mut regs).unwrap();
+        // Oracle: f32 accumulation over f16-rounded inputs.
+        let av = af.to_floats();
+        let bv = bf.to_floats();
+        let cv = cf.to_floats();
+        for i in 0..16 {
+            for j in 0..16 {
+                let mut acc = cv[i * 16 + j] as f32;
+                for k in 0..16 {
+                    acc += (av[i * 16 + k] as f32) * (bv[k * 16 + j] as f32);
+                }
+                let got = regs[2].to_floats()[i * 16 + j];
+                assert!(
+                    (got - acc as f64).abs() < 1e-6,
+                    "({i},{j}): got {got}, want {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_validation_rejects_bad_operands() {
+        let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+        let mut regs = vec![
+            TypedBuf::zeros(DType::U8, 32), // wrong length
+            TypedBuf::zeros(DType::I8, 64),
+            TypedBuf::zeros(DType::I32, 16),
+            TypedBuf::zeros(DType::I32, 16),
+        ];
+        assert!(matches!(
+            execute(&intrin, &mut regs),
+            Err(EmulationError::OperandShape { .. })
+        ));
+        let mut regs = vec![
+            TypedBuf::zeros(DType::I8, 64), // wrong dtype
+            TypedBuf::zeros(DType::I8, 64),
+            TypedBuf::zeros(DType::I32, 16),
+            TypedBuf::zeros(DType::I32, 16),
+        ];
+        assert!(matches!(
+            execute(&intrin, &mut regs),
+            Err(EmulationError::OperandDType { .. })
+        ));
+    }
+
+    #[test]
+    fn reference_evaluator_runs_a_conv() {
+        // Tiny 4x4x4 conv with 2 output channels, 3x3 kernel.
+        let op = unit_dsl::builder::conv2d_hwc(4, 4, 4, 2, 3, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<i64> = (0..4 * 4 * 4).map(|_| rng.gen_range(0..=255)).collect();
+        let w: Vec<i64> = (0..3 * 3 * 2 * 4).map(|_| rng.gen_range(-128..=127)).collect();
+        let mut bufs = vec![
+            TypedBuf::from_ints(DType::U8, &a),
+            TypedBuf::from_ints(DType::I8, &w),
+            TypedBuf::zeros(DType::I32, 2 * 2 * 2),
+        ];
+        eval_compute_op(&op, &mut bufs).unwrap();
+        // Spot-check output (0,0,0) against a hand computation.
+        let mut expect = 0i64;
+        for r in 0..3 {
+            for s in 0..3 {
+                for c in 0..4 {
+                    expect += a[(r * 4 + s) * 4 + c] * w[((r * 3 + s) * 2) * 4 + c];
+                }
+            }
+        }
+        assert_eq!(bufs[2].to_ints()[0], expect);
+    }
+}

@@ -1,0 +1,39 @@
+//! Tensorized instruction substrate for UNIT.
+//!
+//! The key idea of the paper is a *unified semantics abstraction*: every
+//! tensorized instruction — Intel VNNI, ARM DOT, Nvidia Tensor Core — is
+//! described as a small tensor-DSL program ([`unit_dsl::ComputeOp`]), so that
+//! one Inspector and one Rewriter serve every platform. This crate provides:
+//!
+//! * [`TensorIntrinsic`] — the descriptor bundling a name, a platform, the
+//!   DSL semantics, operand roles, and pipeline attributes used by the
+//!   performance model.
+//! * A [`registry`] of the instructions evaluated in the paper (plus the
+//!   int8 Tensor Core and `vpdpwssd` extensions discussed as future targets).
+//! * [`scalar`] — the single source of truth for mixed-precision scalar
+//!   arithmetic (wrapping integer narrowing, `f16`/`f32` rounding).
+//! * [`emulate`] — a bit-accurate executor: any intrinsic can be applied to
+//!   register buffers by evaluating its own DSL semantics. This is what lets
+//!   the interpreter run tensorized kernels without LLVM or real silicon.
+//!
+//! # Example
+//!
+//! ```
+//! use unit_isa::registry;
+//!
+//! let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
+//! assert_eq!(vnni.output_lanes(), 16);
+//! assert_eq!(vnni.macs_per_call(), 64);
+//! ```
+
+pub mod arm;
+pub mod descriptor;
+pub mod emulate;
+pub mod nvidia;
+pub mod registry;
+pub mod scalar;
+pub mod x86;
+
+pub use descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+pub use emulate::{eval_compute_op, execute, EmulationError};
+pub use scalar::{Scalar, TypedBuf};

@@ -1,0 +1,100 @@
+//! Nvidia Tensor Core (WMMA) instruction descriptors (Figure 4(c)).
+//!
+//! A warp-wide `wmma.mma.sync` performs a complete `M×N×K` matrix multiply
+//! and accumulates *in place* into the `C` fragment — the accumulator
+//! register must equal the destination register (`+=` in the paper's DSL),
+//! a constraint the Inspector enforces via [`unit_dsl::InitExpr::InPlace`].
+//!
+//! Volta supports the fp16 shapes `16×16×16`, `32×8×16` and `8×32×16`;
+//! Turing adds int8 variants, included here for extensibility.
+
+use unit_dsl::{DType, InitExpr, OpBuilder};
+
+use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+
+fn wmma(m: i64, n: i64, k: i64, in_dtype: DType, out_dtype: DType, name: &str) -> TensorIntrinsic {
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[m, k], in_dtype);
+    let w = b.tensor("b", &[k, n], in_dtype);
+    let i = b.axis("i", m);
+    let j = b.axis("j", n);
+    let kk = b.reduce_axis("k", k);
+    let elem = b.load(a, vec![i.into(), kk.into()]).cast(out_dtype)
+        * b.load(w, vec![kk.into(), j.into()]).cast(out_dtype);
+    let semantics =
+        b.compute("c", out_dtype, vec![i.into(), j.into()], InitExpr::InPlace, elem);
+    TensorIntrinsic {
+        name: name.to_string(),
+        platform: Platform::NvidiaTensorCore,
+        semantics,
+        // V100: 8 tensor cores per SM, 64 FMA/cycle each = 512 MACs/cycle/SM.
+        // One warp-wide m16n16k16 wmma (4096 MACs) therefore sustains one
+        // instruction per 8 cycles when all tensor cores are fed; the
+        // latency of the fragment accumulate is ~16 cycles.
+        perf: PerfAttrs {
+            latency_cycles: 16.0,
+            throughput_ipc: (512.0 / (m * n * k) as f64).min(1.0),
+            macs: (m * n * k) as u64,
+            uops: 1,
+        },
+    }
+}
+
+/// `wmma.m16n16k16` fp16×fp16 → fp32, the instruction of Figure 2(b).
+#[must_use]
+pub fn wmma_16x16x16_f32() -> TensorIntrinsic {
+    wmma(16, 16, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32")
+}
+
+/// `wmma.m32n8k16` fp16×fp16 → fp32 (tall fragment).
+#[must_use]
+pub fn wmma_32x8x16_f32() -> TensorIntrinsic {
+    wmma(32, 8, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m32n8k16.mma.row.row.f32.f32")
+}
+
+/// `wmma.m8n32k16` fp16×fp16 → fp32 (wide fragment).
+#[must_use]
+pub fn wmma_8x32x16_f32() -> TensorIntrinsic {
+    wmma(8, 32, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m8n32k16.mma.row.row.f32.f32")
+}
+
+/// `wmma.m16n16k16` s8×s8 → s32 (Turing int8 Tensor Core).
+#[must_use]
+pub fn wmma_16x16x16_s8() -> TensorIntrinsic {
+    wmma(16, 16, 16, DType::I8, DType::I32, "llvm.nvvm.wmma.m16n16k16.mma.row.row.s32.s8")
+}
+
+/// All Nvidia descriptors; the square fp16 shape first (preferred match).
+#[must_use]
+pub fn all() -> Vec<TensorIntrinsic> {
+    vec![wmma_16x16x16_f32(), wmma_32x8x16_f32(), wmma_8x32x16_f32(), wmma_16x16x16_s8()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_wmma_matches_figure_2b() {
+        let w = wmma_16x16x16_f32();
+        assert_eq!(w.output_lanes(), 256);
+        assert_eq!(w.macs_per_call(), 4096);
+        assert!(w.in_place_accumulator());
+        assert_eq!(w.parallel_extents(), vec![16, 16]);
+        assert_eq!(w.reduce_extents(), vec![16]);
+    }
+
+    #[test]
+    fn rectangular_shapes_preserve_mac_count() {
+        assert_eq!(wmma_32x8x16_f32().macs_per_call(), 4096);
+        assert_eq!(wmma_8x32x16_f32().macs_per_call(), 4096);
+        assert_eq!(wmma_32x8x16_f32().parallel_extents(), vec![32, 8]);
+    }
+
+    #[test]
+    fn int8_variant_accumulates_in_i32() {
+        let w = wmma_16x16x16_s8();
+        assert_eq!(w.semantics.output_decl().dtype, DType::I32);
+        assert_eq!(w.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::I8);
+    }
+}

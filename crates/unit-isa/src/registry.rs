@@ -1,0 +1,109 @@
+//! The instruction registry.
+//!
+//! Integrating a new tensorized instruction into UNIT means adding one
+//! descriptor here — the Inspector, Rewriter and Tuner need no changes
+//! (the extensibility claim of Section VI-C). Downstream users can
+//! [`register`] additional descriptors at runtime; they participate in
+//! lookup, compilation and emulation like the built-ins.
+
+use std::sync::RwLock;
+
+use crate::arm;
+use crate::descriptor::{Platform, TensorIntrinsic};
+use crate::nvidia;
+use crate::x86;
+
+static CUSTOM: RwLock<Vec<TensorIntrinsic>> = RwLock::new(Vec::new());
+
+/// Register a user-defined instruction. Later registrations shadow earlier
+/// ones of the same name; built-ins cannot be shadowed.
+///
+/// # Errors
+///
+/// Returns the descriptor's validation failure, or an error if the name
+/// collides with a built-in instruction.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+pub fn register(intrinsic: TensorIntrinsic) -> Result<(), String> {
+    intrinsic.validate()?;
+    if builtin().iter().any(|i| i.name == intrinsic.name) {
+        return Err(format!("{} is a built-in instruction", intrinsic.name));
+    }
+    let mut lock = CUSTOM.write().expect("registry lock");
+    lock.retain(|i| i.name != intrinsic.name);
+    lock.push(intrinsic);
+    Ok(())
+}
+
+fn builtin() -> Vec<TensorIntrinsic> {
+    let mut out = x86::all();
+    out.extend(arm::all());
+    out.extend(nvidia::all());
+    out
+}
+
+/// Every registered instruction — built-ins grouped by platform (widest
+/// encodings first within each platform, the order the Inspector tries
+/// them in), then runtime registrations.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned.
+#[must_use]
+pub fn all() -> Vec<TensorIntrinsic> {
+    let mut out = builtin();
+    out.extend(CUSTOM.read().expect("registry lock").iter().cloned());
+    out
+}
+
+/// Instructions available on one platform.
+#[must_use]
+pub fn for_platform(platform: Platform) -> Vec<TensorIntrinsic> {
+    all().into_iter().filter(|i| i.platform == platform).collect()
+}
+
+/// Look an instruction up by its canonical name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<TensorIntrinsic> {
+    all().into_iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_papers_three_platforms() {
+        assert!(!for_platform(Platform::X86Vnni).is_empty());
+        assert!(!for_platform(Platform::ArmDot).is_empty());
+        assert!(!for_platform(Platform::NvidiaTensorCore).is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<String> = all().into_iter().map(|i| i.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for intrin in all() {
+            let found = by_name(&intrin.name).expect("registered instruction must be found");
+            assert_eq!(found.platform, intrin.platform);
+        }
+        assert!(by_name("llvm.bogus").is_none());
+    }
+
+    #[test]
+    fn widest_encoding_comes_first_per_platform() {
+        let x = for_platform(Platform::X86Vnni);
+        assert!(x[0].macs_per_call() >= x[1].macs_per_call());
+        let a = for_platform(Platform::ArmDot);
+        assert!(a[0].macs_per_call() >= a[a.len() - 1].macs_per_call());
+    }
+}

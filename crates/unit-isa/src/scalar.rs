@@ -1,0 +1,386 @@
+//! Mixed-precision scalar semantics.
+//!
+//! One module defines how every dtype behaves — integer narrowing wraps
+//! (two's complement, like the underlying ISAs), `f32` and `f16` round
+//! through their storage formats — and both the instruction emulator and the
+//! tensor-IR interpreter use it, so "the tensorized kernel computes exactly
+//! what the naive kernel computes" is checked against a single semantic
+//! definition.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::{BinOp, DType, F16};
+
+/// A dynamically-typed scalar value.
+///
+/// Integers are carried as `i64`, floats as `f64`; the *stored* precision is
+/// imposed by [`Scalar::wrap`] whenever a value is materialized into a buffer
+/// or produced by a cast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// An integer value.
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+}
+
+impl Scalar {
+    /// The additive identity for a dtype.
+    #[must_use]
+    pub fn zero(dtype: DType) -> Scalar {
+        if dtype.is_float() {
+            Scalar::Float(0.0)
+        } else {
+            Scalar::Int(0)
+        }
+    }
+
+    /// The identity of a reduction (`0` for sum, `-inf`/`MIN` for max).
+    #[must_use]
+    pub fn reduce_identity(op: unit_dsl::ReduceOp, dtype: DType) -> Scalar {
+        match op {
+            unit_dsl::ReduceOp::Sum => Scalar::zero(dtype),
+            unit_dsl::ReduceOp::Max => {
+                if dtype.is_float() {
+                    Scalar::Float(f64::NEG_INFINITY)
+                } else {
+                    Scalar::Int(int_min(dtype))
+                }
+            }
+        }
+    }
+
+    /// View as integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is a float (that is a compiler type error, not a
+    /// data error).
+    #[must_use]
+    pub fn as_int(self) -> i64 {
+        match self {
+            Scalar::Int(v) => v,
+            Scalar::Float(v) => panic!("expected integer scalar, found float {v}"),
+        }
+    }
+
+    /// View as float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is an integer.
+    #[must_use]
+    pub fn as_float(self) -> f64 {
+        match self {
+            Scalar::Float(v) => v,
+            Scalar::Int(v) => panic!("expected float scalar, found integer {v}"),
+        }
+    }
+
+    /// Impose the storage semantics of `dtype` on this value: wrap integers
+    /// to the dtype's width (two's complement) and round floats through
+    /// their storage format.
+    #[must_use]
+    pub fn wrap(self, dtype: DType) -> Scalar {
+        match (self, dtype.is_float()) {
+            (Scalar::Int(v), false) => Scalar::Int(wrap_int(v, dtype)),
+            (Scalar::Float(v), true) => Scalar::Float(round_float(v, dtype)),
+            (s, _) => panic!("scalar {s} cannot be stored as {dtype} without a cast"),
+        }
+    }
+
+    /// Cast between dtypes, following C-style conversion semantics
+    /// (float-to-int truncates toward zero; int-to-float rounds to nearest).
+    #[must_use]
+    pub fn cast(self, from: DType, to: DType) -> Scalar {
+        match (from.is_float(), to.is_float()) {
+            (false, false) => Scalar::Int(wrap_int(self.as_int(), to)),
+            (false, true) => Scalar::Float(round_float(self.as_int() as f64, to)),
+            (true, false) => {
+                let t = self.as_float().trunc();
+                // Saturate at the representable i64 range first (matches
+                // Rust's and hardware saturating float->int behaviour),
+                // then wrap into the target width.
+                let v = if t >= i64::MAX as f64 {
+                    i64::MAX
+                } else if t <= i64::MIN as f64 {
+                    i64::MIN
+                } else {
+                    t as i64
+                };
+                Scalar::Int(wrap_int(v, to))
+            }
+            (true, true) => Scalar::Float(round_float(self.as_float(), to)),
+        }
+    }
+
+    /// Apply a binary operation. Both operands must already have the same
+    /// representation class; the result is wrapped to `dtype`.
+    #[must_use]
+    pub fn binop(op: BinOp, lhs: Scalar, rhs: Scalar, dtype: DType) -> Scalar {
+        let out = match (lhs, rhs) {
+            (Scalar::Int(a), Scalar::Int(b)) => Scalar::Int(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+            }),
+            (Scalar::Float(a), Scalar::Float(b)) => Scalar::Float(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+            }),
+            (a, b) => panic!("binop {op:?} on mixed scalar classes {a} and {b}"),
+        };
+        out.wrap(dtype)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+fn int_min(dtype: DType) -> i64 {
+    match dtype {
+        DType::I8 => i8::MIN as i64,
+        DType::U8 | DType::U16 => 0,
+        DType::I16 => i16::MIN as i64,
+        DType::I32 => i32::MIN as i64,
+        DType::I64 => i64::MIN,
+        _ => unreachable!("int_min on float dtype"),
+    }
+}
+
+/// Wrap an integer into the representable range of `dtype`
+/// (two's-complement truncation, as performed by the modelled ISAs).
+#[must_use]
+pub fn wrap_int(v: i64, dtype: DType) -> i64 {
+    match dtype {
+        DType::I8 => v as i8 as i64,
+        DType::U8 => v as u8 as i64,
+        DType::I16 => v as i16 as i64,
+        DType::U16 => v as u16 as i64,
+        DType::I32 => v as i32 as i64,
+        DType::I64 => v,
+        DType::F16 | DType::F32 => panic!("wrap_int on float dtype {dtype}"),
+    }
+}
+
+/// Round a float through the storage format of `dtype`.
+#[must_use]
+pub fn round_float(v: f64, dtype: DType) -> f64 {
+    match dtype {
+        DType::F32 => v as f32 as f64,
+        DType::F16 => F16::from_f32(v as f32).to_f32() as f64,
+        _ => panic!("round_float on integer dtype {dtype}"),
+    }
+}
+
+/// A dense, dtype-tagged buffer of scalars.
+///
+/// The invariant is that every element is already wrapped to `dtype`
+/// ([`Scalar::wrap`] is applied on every store), so reads never re-wrap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedBuf {
+    /// Element type.
+    pub dtype: DType,
+    /// Element values; integers and floats are segregated by construction.
+    data: Vec<Scalar>,
+}
+
+impl TypedBuf {
+    /// A zero-filled buffer.
+    #[must_use]
+    pub fn zeros(dtype: DType, len: usize) -> TypedBuf {
+        TypedBuf { dtype, data: vec![Scalar::zero(dtype); len] }
+    }
+
+    /// Build from integer values (wrapped to `dtype`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dtype` is a float type.
+    #[must_use]
+    pub fn from_ints(dtype: DType, values: &[i64]) -> TypedBuf {
+        assert!(dtype.is_int(), "from_ints requires an integer dtype");
+        TypedBuf { dtype, data: values.iter().map(|&v| Scalar::Int(wrap_int(v, dtype))).collect() }
+    }
+
+    /// Build from float values (rounded to `dtype`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dtype` is an integer type.
+    #[must_use]
+    pub fn from_floats(dtype: DType, values: &[f64]) -> TypedBuf {
+        assert!(dtype.is_float(), "from_floats requires a float dtype");
+        TypedBuf {
+            dtype,
+            data: values.iter().map(|&v| Scalar::Float(round_float(v, dtype))).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Scalar {
+        self.data[idx]
+    }
+
+    /// Store an element (wrapped to the buffer dtype).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or the scalar class mismatches.
+    pub fn set(&mut self, idx: usize, value: Scalar) {
+        self.data[idx] = value.wrap(self.dtype);
+    }
+
+    /// All values as `i64` (integer buffers only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds floats.
+    #[must_use]
+    pub fn to_ints(&self) -> Vec<i64> {
+        self.data.iter().map(|s| s.as_int()).collect()
+    }
+
+    /// All values as `f64` (float buffers only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds integers.
+    #[must_use]
+    pub fn to_floats(&self) -> Vec<f64> {
+        self.data.iter().map(|s| s.as_float()).collect()
+    }
+
+    /// Size of the buffer in bytes under its storage dtype.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.dtype.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_wrapping_matches_twos_complement() {
+        assert_eq!(wrap_int(200, DType::I8), -56);
+        assert_eq!(wrap_int(-1, DType::U8), 255);
+        assert_eq!(wrap_int(70000, DType::I16), 4464);
+        assert_eq!(wrap_int(i64::from(i32::MAX) + 1, DType::I32), i64::from(i32::MIN));
+    }
+
+    #[test]
+    fn float_rounding_goes_through_storage_format() {
+        // 0.1 is inexact in f32 and much coarser in f16.
+        let f32v = round_float(0.1, DType::F32);
+        let f16v = round_float(0.1, DType::F16);
+        assert_ne!(f32v, 0.1);
+        assert_ne!(f16v, f32v);
+        assert!((f16v - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn casts_between_classes() {
+        assert_eq!(Scalar::Int(-3).cast(DType::I8, DType::F32), Scalar::Float(-3.0));
+        assert_eq!(Scalar::Float(2.9).cast(DType::F32, DType::I32), Scalar::Int(2));
+        assert_eq!(Scalar::Float(-2.9).cast(DType::F32, DType::I32), Scalar::Int(-2));
+        // Narrowing int cast wraps.
+        assert_eq!(Scalar::Int(300).cast(DType::I32, DType::I8), Scalar::Int(44));
+        // u8 -> i32 is value-preserving.
+        assert_eq!(Scalar::Int(255).cast(DType::U8, DType::I32), Scalar::Int(255));
+    }
+
+    #[test]
+    fn binops_wrap_to_target() {
+        let a = Scalar::Int(i32::MAX as i64);
+        let out = Scalar::binop(BinOp::Add, a, Scalar::Int(1), DType::I32);
+        assert_eq!(out, Scalar::Int(i32::MIN as i64));
+        let f = Scalar::binop(BinOp::Mul, Scalar::Float(1.5), Scalar::Float(2.0), DType::F16);
+        assert_eq!(f, Scalar::Float(3.0));
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(Scalar::reduce_identity(unit_dsl::ReduceOp::Sum, DType::I32), Scalar::Int(0));
+        assert_eq!(
+            Scalar::reduce_identity(unit_dsl::ReduceOp::Max, DType::I8),
+            Scalar::Int(i8::MIN as i64)
+        );
+    }
+
+    #[test]
+    fn typed_buf_wraps_on_store() {
+        let mut b = TypedBuf::zeros(DType::I8, 4);
+        b.set(0, Scalar::Int(200));
+        assert_eq!(b.get(0), Scalar::Int(-56));
+        let f = TypedBuf::from_floats(DType::F16, &[0.1]);
+        assert_eq!(f.get(0).as_float(), round_float(0.1, DType::F16));
+        assert_eq!(f.byte_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be stored")]
+    fn storing_wrong_class_panics() {
+        let mut b = TypedBuf::zeros(DType::I8, 1);
+        b.set(0, Scalar::Float(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn wrap_is_idempotent(v in any::<i64>()) {
+            for dt in [DType::I8, DType::U8, DType::I16, DType::U16, DType::I32] {
+                let once = wrap_int(v, dt);
+                prop_assert_eq!(wrap_int(once, dt), once);
+            }
+        }
+
+        #[test]
+        fn wrap_preserves_in_range_values(v in -128i64..=127) {
+            prop_assert_eq!(wrap_int(v, DType::I8), v);
+        }
+
+        #[test]
+        fn u8_i8_product_fits_i32_exactly(a in 0i64..=255, b in -128i64..=127) {
+            // The VNNI inner product: 4 u8*i8 products summed can never wrap i32.
+            let p = a * b;
+            prop_assert_eq!(wrap_int(4 * p, DType::I32), 4 * p);
+        }
+
+        #[test]
+        fn f16_rounding_is_idempotent(v in -1.0e5f64..1.0e5) {
+            let once = round_float(v, DType::F16);
+            prop_assert_eq!(round_float(once, DType::F16), once);
+        }
+    }
+}

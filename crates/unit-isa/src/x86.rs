@@ -1,0 +1,120 @@
+//! Intel VNNI instruction descriptors (Figure 4(a) of the paper).
+//!
+//! `vpdpbusd` multiplies 64 unsigned 8-bit elements with 64 signed 8-bit
+//! elements, sums groups of four products, and accumulates the sums into 16
+//! signed 32-bit lanes. The 256- and 128-bit encodings are the same idiom at
+//! smaller width. `vpdpwssd` is the 16-bit sibling (pairs of `i16`
+//! products into `i32`).
+//!
+//! Pipeline attributes model Cascade Lake: `vpdpbusd zmm` executes on ports
+//! 0 and 5 with 5-cycle latency — which is exactly why the Rewriter must
+//! unroll independent accumulators to cover the RAW hazard (Section III-C).
+
+use unit_dsl::{DType, InitExpr, OpBuilder};
+
+use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+
+/// Build a `vpdpbusd`-style descriptor with `lanes` i32 output lanes.
+fn vpdpbusd(lanes: i64, name: &str, throughput_ipc: f64) -> TensorIntrinsic {
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[4 * lanes], DType::U8);
+    let w = b.tensor("b", &[4 * lanes], DType::I8);
+    let c = b.tensor("c", &[lanes], DType::I32);
+    let i = b.axis("i", lanes);
+    let j = b.reduce_axis("j", 4);
+    let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
+        * b.load(w, vec![(i * 4 + j).into()]).cast(DType::I32);
+    let semantics =
+        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    TensorIntrinsic {
+        name: name.to_string(),
+        platform: Platform::X86Vnni,
+        semantics,
+        perf: PerfAttrs {
+            latency_cycles: 5.0,
+            throughput_ipc,
+            macs: (4 * lanes) as u64,
+            uops: 1,
+        },
+    }
+}
+
+/// 512-bit VNNI: `u8x64 × i8x64 → i32x16` (the instruction of Figure 2(a)).
+#[must_use]
+pub fn vpdpbusd_512() -> TensorIntrinsic {
+    vpdpbusd(16, "llvm.x86.avx512.vpdpbusd.512", 2.0)
+}
+
+/// 256-bit VNNI: `u8x32 × i8x32 → i32x8`.
+#[must_use]
+pub fn vpdpbusd_256() -> TensorIntrinsic {
+    vpdpbusd(8, "llvm.x86.avx512.vpdpbusd.256", 2.0)
+}
+
+/// 128-bit VNNI: `u8x16 × i8x16 → i32x4`.
+#[must_use]
+pub fn vpdpbusd_128() -> TensorIntrinsic {
+    vpdpbusd(4, "llvm.x86.avx512.vpdpbusd.128", 2.0)
+}
+
+/// 512-bit 16-bit VNNI: `i16x32 × i16x32 → i32x16` (pairs of products).
+///
+/// Not evaluated in the paper's figures but listed here to demonstrate that
+/// integrating a new instruction is a single descriptor (Section VI-C's
+/// extensibility claim).
+#[must_use]
+pub fn vpdpwssd_512() -> TensorIntrinsic {
+    let name = "llvm.x86.avx512.vpdpwssd.512";
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[32], DType::I16);
+    let w = b.tensor("b", &[32], DType::I16);
+    let c = b.tensor("c", &[16], DType::I32);
+    let i = b.axis("i", 16);
+    let j = b.reduce_axis("j", 2);
+    let elem = b.load(a, vec![(i * 2 + j).into()]).cast(DType::I32)
+        * b.load(w, vec![(i * 2 + j).into()]).cast(DType::I32);
+    let semantics =
+        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    TensorIntrinsic {
+        name: name.to_string(),
+        platform: Platform::X86Vnni,
+        semantics,
+        perf: PerfAttrs { latency_cycles: 5.0, throughput_ipc: 2.0, macs: 32, uops: 1 },
+    }
+}
+
+/// All x86 descriptors, widest first (the Inspector prefers wider matches).
+#[must_use]
+pub fn all() -> Vec<TensorIntrinsic> {
+    vec![vpdpbusd_512(), vpdpbusd_256(), vpdpbusd_128(), vpdpwssd_512()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnni_512_matches_figure_2a() {
+        let v = vpdpbusd_512();
+        assert_eq!(v.semantics.tensor(unit_dsl::TensorId(0)).shape, vec![64]);
+        assert_eq!(v.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::U8);
+        assert_eq!(v.semantics.tensor(unit_dsl::TensorId(1)).dtype, DType::I8);
+        assert_eq!(v.semantics.tensor(unit_dsl::TensorId(2)).dtype, DType::I32);
+        assert_eq!(v.output_lanes(), 16);
+        assert_eq!(v.reduce_extents(), vec![4]);
+    }
+
+    #[test]
+    fn narrower_encodings_scale_down() {
+        assert_eq!(vpdpbusd_256().output_lanes(), 8);
+        assert_eq!(vpdpbusd_128().output_lanes(), 4);
+        assert_eq!(vpdpbusd_128().macs_per_call(), 16);
+    }
+
+    #[test]
+    fn wssd_reduces_pairs() {
+        let v = vpdpwssd_512();
+        assert_eq!(v.reduce_extents(), vec![2]);
+        assert_eq!(v.macs_per_call(), 32);
+    }
+}

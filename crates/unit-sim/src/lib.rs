@@ -1,0 +1,35 @@
+//! Performance substrate for UNIT.
+//!
+//! The paper's Tuner profiles candidate schedules on real Cascade Lake,
+//! Graviton2 and V100 machines. This reproduction substitutes analytic
+//! machine models (documented in `DESIGN.md`):
+//!
+//! * [`cpu::estimate_cpu`] walks a lowered [`unit_tir::TirFunc`] and models
+//!   the microarchitectural effects the paper's CPU tuner trades off —
+//!   issue throughput vs. the RAW-hazard latency of the accumulation chain
+//!   (hidden by unrolled independent accumulators), I-cache pressure from
+//!   over-unrolling, thread fork/join overhead and load imbalance from
+//!   parallelization, `likely`-guard penalties from imperfect tilings, and a
+//!   DRAM-bandwidth roofline with stride-dependent cache-line utilization.
+//! * [`gpu::estimate_gpu`] models a Tensor-Core kernel from a structured
+//!   descriptor — SM occupancy from the block count (the reason batch-1
+//!   inference needs split-K), register pressure from the p×p accumulation
+//!   window of Figure 6, shared-memory reduction and synchronization costs,
+//!   and the memory roofline.
+//!
+//! Both produce an [`Estimate`] with a cycle breakdown, so the benchmark
+//! harness can report *why* a schedule wins, not only that it does.
+//!
+//! Absolute numbers are not calibrated to silicon; the reproduction targets
+//! the figures' *shape* (orderings, crossovers, saturation), as recorded in
+//! `EXPERIMENTS.md`.
+
+pub mod cpu;
+pub mod gpu;
+pub mod machine;
+pub mod report;
+
+pub use cpu::estimate_cpu;
+pub use gpu::{estimate_gpu, GpuKernelDesc};
+pub use machine::{CpuMachine, GpuMachine};
+pub use report::Estimate;

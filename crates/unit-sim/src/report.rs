@@ -1,0 +1,128 @@
+//! Cost estimates with breakdowns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A latency estimate in machine cycles, with a breakdown explaining which
+/// resource bound it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Total cycles (the roofline maximum of compute/memory plus overheads).
+    pub cycles: f64,
+    /// Cycles the execution units are busy.
+    pub compute_cycles: f64,
+    /// Cycles the memory system needs (DRAM roofline).
+    pub memory_cycles: f64,
+    /// Fixed overheads: fork/join, kernel launch, synchronization.
+    pub overhead_cycles: f64,
+    /// Human-readable notes accumulated by the model (penalties applied,
+    /// dominant bound, ...).
+    pub notes: Vec<String>,
+}
+
+impl Estimate {
+    /// An estimate with no work.
+    #[must_use]
+    pub fn zero() -> Estimate {
+        Estimate {
+            cycles: 0.0,
+            compute_cycles: 0.0,
+            memory_cycles: 0.0,
+            overhead_cycles: 0.0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Construct from the breakdown with the roofline rule
+    /// `cycles = max(compute, memory) + overhead`.
+    #[must_use]
+    pub fn roofline(compute: f64, memory: f64, overhead: f64) -> Estimate {
+        Estimate {
+            cycles: compute.max(memory) + overhead,
+            compute_cycles: compute,
+            memory_cycles: memory,
+            overhead_cycles: overhead,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Convert to microseconds at the given clock.
+    #[must_use]
+    pub fn micros(&self, freq_ghz: f64) -> f64 {
+        self.cycles / (freq_ghz * 1e3)
+    }
+
+    /// Convert to milliseconds at the given clock.
+    #[must_use]
+    pub fn millis(&self, freq_ghz: f64) -> f64 {
+        self.micros(freq_ghz) / 1e3
+    }
+
+    /// Whether the memory system is the bottleneck.
+    #[must_use]
+    pub fn memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Sum of two estimates (sequential composition of kernels).
+    #[must_use]
+    pub fn then(&self, other: &Estimate) -> Estimate {
+        Estimate {
+            cycles: self.cycles + other.cycles,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            memory_cycles: self.memory_cycles + other.memory_cycles,
+            overhead_cycles: self.overhead_cycles + other.overhead_cycles,
+            notes: self.notes.iter().chain(&other.notes).cloned().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} cycles (compute {:.0}, memory {:.0}, overhead {:.0}; {}-bound)",
+            self.cycles,
+            self.compute_cycles,
+            self.memory_cycles,
+            self.overhead_cycles,
+            if self.memory_bound() { "memory" } else { "compute" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let e = Estimate::roofline(100.0, 250.0, 10.0);
+        assert_eq!(e.cycles, 260.0);
+        assert!(e.memory_bound());
+        let c = Estimate::roofline(300.0, 250.0, 0.0);
+        assert!(!c.memory_bound());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let e = Estimate::roofline(3_000_000.0, 0.0, 0.0);
+        assert!((e.micros(3.0) - 1000.0).abs() < 1e-9);
+        assert!((e.millis(3.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_composition_adds() {
+        let a = Estimate::roofline(10.0, 5.0, 1.0);
+        let b = Estimate::roofline(20.0, 30.0, 2.0);
+        let c = a.then(&b);
+        assert_eq!(c.cycles, a.cycles + b.cycles);
+        assert_eq!(c.overhead_cycles, 3.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! TIR scalar expressions.
+//!
+//! Structurally these mirror [`unit_dsl::Expr`], but loads index buffers by
+//! [`IdxExpr`] (which may contain the div/mod that loop fusion introduces)
+//! instead of purely affine [`unit_dsl::LinExpr`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::{BinOp, DType};
+
+use crate::func::BufId;
+use crate::idx::IdxExpr;
+
+/// A TIR scalar expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TExpr {
+    /// Integer immediate.
+    Int(i64, DType),
+    /// Float immediate (raw bits, so the type stays `PartialEq`-friendly).
+    Float(u64, DType),
+    /// Buffer element read.
+    Load {
+        /// The buffer read from.
+        buffer: BufId,
+        /// One index per buffer dimension.
+        indices: Vec<IdxExpr>,
+    },
+    /// Type conversion.
+    Cast(DType, Box<TExpr>),
+    /// Binary arithmetic (operands share a dtype).
+    Bin(BinOp, Box<TExpr>, Box<TExpr>),
+}
+
+impl TExpr {
+    /// Float immediate constructor.
+    #[must_use]
+    pub fn float(value: f64, dtype: DType) -> TExpr {
+        TExpr::Float(value.to_bits(), dtype)
+    }
+
+    /// The expression's dtype given a buffer-dtype resolver.
+    #[must_use]
+    pub fn dtype(&self, buf_dtype: &dyn Fn(BufId) -> DType) -> DType {
+        match self {
+            TExpr::Int(_, dt) | TExpr::Float(_, dt) | TExpr::Cast(dt, _) => *dt,
+            TExpr::Load { buffer, .. } => buf_dtype(*buffer),
+            TExpr::Bin(_, lhs, _) => lhs.dtype(buf_dtype),
+        }
+    }
+
+    /// Collect all loads (buffer and indices), left to right.
+    #[must_use]
+    pub fn loads(&self) -> Vec<(BufId, &[IdxExpr])> {
+        let mut out = Vec::new();
+        self.collect_loads(&mut out);
+        out
+    }
+
+    fn collect_loads<'a>(&'a self, out: &mut Vec<(BufId, &'a [IdxExpr])>) {
+        match self {
+            TExpr::Load { buffer, indices } => out.push((*buffer, indices)),
+            TExpr::Cast(_, inner) => inner.collect_loads(out),
+            TExpr::Bin(_, lhs, rhs) => {
+                lhs.collect_loads(out);
+                rhs.collect_loads(out);
+            }
+            TExpr::Int(..) | TExpr::Float(..) => {}
+        }
+    }
+
+    /// Substitute a loop variable in every index expression.
+    #[must_use]
+    pub fn substitute(&self, var: crate::func::VarId, rep: &IdxExpr) -> TExpr {
+        match self {
+            TExpr::Load { buffer, indices } => TExpr::Load {
+                buffer: *buffer,
+                indices: indices.iter().map(|ix| ix.substitute(var, rep)).collect(),
+            },
+            TExpr::Cast(dt, inner) => TExpr::Cast(*dt, Box::new(inner.substitute(var, rep))),
+            TExpr::Bin(op, lhs, rhs) => TExpr::Bin(
+                *op,
+                Box::new(lhs.substitute(var, rep)),
+                Box::new(rhs.substitute(var, rep)),
+            ),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for TExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TExpr::Int(v, dt) => write!(f, "{v}{dt}"),
+            TExpr::Float(bits, dt) => write!(f, "{}{dt}", f64::from_bits(*bits)),
+            TExpr::Load { buffer, indices } => {
+                write!(f, "{buffer}[")?;
+                for (i, ix) in indices.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{ix}")?;
+                }
+                f.write_str("]")
+            }
+            TExpr::Cast(dt, inner) => write!(f, "{dt}({inner})"),
+            TExpr::Bin(op, lhs, rhs) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{}({lhs}, {rhs})", op.symbol()),
+                _ => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::VarId;
+
+    #[test]
+    fn load_substitution_rewrites_indices() {
+        let e = TExpr::Load {
+            buffer: BufId(0),
+            indices: vec![IdxExpr::Var(VarId(3)).mul(4).add(IdxExpr::Var(VarId(4)))],
+        };
+        let s = e.substitute(VarId(3), &IdxExpr::Const(2));
+        match &s {
+            TExpr::Load { indices, .. } => {
+                assert_eq!(indices[0].eval(&|_| 1), 9); // 2*4 + 1
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dtype_resolution() {
+        let resolver = |_: BufId| DType::I8;
+        let e = TExpr::Load { buffer: BufId(0), indices: vec![] }.clone();
+        assert_eq!(e.dtype(&resolver), DType::I8);
+        let c = TExpr::Cast(DType::I32, Box::new(e));
+        assert_eq!(c.dtype(&resolver), DType::I32);
+    }
+
+    #[test]
+    fn loads_are_enumerated() {
+        let l0 = TExpr::Load { buffer: BufId(0), indices: vec![IdxExpr::Const(0)] };
+        let l1 = TExpr::Load { buffer: BufId(1), indices: vec![IdxExpr::Const(1)] };
+        let e = TExpr::Bin(BinOp::Mul, Box::new(l0), Box::new(l1));
+        assert_eq!(e.loads().len(), 2);
+        assert_eq!(e.loads()[0].0, BufId(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! TIR functions, loop variables and buffers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::DType;
+
+use crate::stmt::Stmt;
+
+/// Identifier of a TIR loop variable. Indexes [`TirFunc::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Declaration of a loop variable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Identifier (index into the function's variable table).
+    pub id: VarId,
+    /// Human-readable name (derived from the axis it came from).
+    pub name: String,
+    /// Trip count of the loop binding this variable.
+    pub extent: i64,
+}
+
+/// Identifier of a buffer. Indexes [`TirFunc::buffers`]; for lowered
+/// [`unit_dsl::ComputeOp`]s, `BufId(i)` corresponds to `TensorId(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BufId(pub u32);
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Storage scope of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferScope {
+    /// Ordinary memory (function argument).
+    Global,
+    /// GPU shared memory (split-K partial sums).
+    Shared,
+    /// Register-allocated temporary (accumulation windows).
+    Register,
+}
+
+/// A buffer declaration. Buffers never alias (the "restrict" property the
+/// paper's analysis relies on).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferDecl {
+    /// Identifier (index into the function's buffer table).
+    pub id: BufId,
+    /// Human-readable name.
+    pub name: String,
+    /// Dimension extents.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+    /// Storage scope.
+    pub scope: BufferScope,
+}
+
+impl BufferDecl {
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<i64>() as usize
+    }
+
+    /// Whether the buffer is empty (never true for valid declarations).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides in elements.
+    #[must_use]
+    pub fn strides(&self) -> Vec<i64> {
+        let mut strides = vec![1i64; self.shape.len()];
+        for d in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.shape[d + 1];
+        }
+        strides
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.dtype.bytes()
+    }
+}
+
+/// A lowered TIR function: a loop nest over declared buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TirFunc {
+    /// Diagnostic name.
+    pub name: String,
+    /// Buffer table; global buffers are the function's arguments.
+    pub buffers: Vec<BufferDecl>,
+    /// Loop-variable table.
+    pub vars: Vec<VarDecl>,
+    /// The output buffer.
+    pub output: BufId,
+    /// Function body.
+    pub body: Stmt,
+}
+
+impl TirFunc {
+    /// Buffer lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn buffer(&self, id: BufId) -> &BufferDecl {
+        &self.buffers[id.0 as usize]
+    }
+
+    /// Variable lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn var(&self, id: VarId) -> &VarDecl {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Extent resolver closure, convenient for bounds analysis.
+    #[must_use]
+    pub fn extent_of(&self) -> impl Fn(VarId) -> i64 + '_ {
+        move |v| self.var(v).extent
+    }
+
+    /// Arguments: every global-scope buffer, in declaration order.
+    #[must_use]
+    pub fn args(&self) -> Vec<&BufferDecl> {
+        self.buffers.iter().filter(|b| b.scope == BufferScope::Global).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_strides_and_sizes() {
+        let b = BufferDecl {
+            id: BufId(0),
+            name: "a".into(),
+            shape: vec![2, 3, 4],
+            dtype: DType::I32,
+            scope: BufferScope::Global,
+        };
+        assert_eq!(b.strides(), vec![12, 4, 1]);
+        assert_eq!(b.len(), 24);
+        assert_eq!(b.byte_size(), 96);
+    }
+
+    #[test]
+    fn args_filter_by_scope() {
+        let mk = |id: u32, scope| BufferDecl {
+            id: BufId(id),
+            name: format!("b{id}"),
+            shape: vec![4],
+            dtype: DType::I32,
+            scope,
+        };
+        let f = TirFunc {
+            name: "f".into(),
+            buffers: vec![
+                mk(0, BufferScope::Global),
+                mk(1, BufferScope::Shared),
+                mk(2, BufferScope::Global),
+            ],
+            vars: vec![],
+            output: BufId(2),
+            body: Stmt::Nop,
+        };
+        assert_eq!(f.args().len(), 2);
+    }
+}

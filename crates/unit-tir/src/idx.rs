@@ -1,0 +1,340 @@
+//! Index expressions over loop variables.
+//!
+//! Unlike the DSL's purely affine [`unit_dsl::LinExpr`], TIR index
+//! expressions admit floor-division and modulo, which loop *fusion*
+//! introduces (`x = fused / ext_y`, `y = fused % ext_y`). Affine structure
+//! is recovered on demand by [`IdxExpr::as_affine`]; the tensorize pass
+//! requires it for the loops it replaces (tensorized loops are never fused,
+//! so this always succeeds there).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::func::VarId;
+
+/// An integer index expression over TIR loop variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IdxExpr {
+    /// A loop variable.
+    Var(VarId),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two expressions.
+    Add(Box<IdxExpr>, Box<IdxExpr>),
+    /// Product with a constant.
+    Mul(Box<IdxExpr>, i64),
+    /// Floor division by a positive constant.
+    FloorDiv(Box<IdxExpr>, i64),
+    /// Modulo a positive constant.
+    Mod(Box<IdxExpr>, i64),
+}
+
+impl IdxExpr {
+    /// Constant-folding addition.
+    #[must_use]
+    pub fn add(self, rhs: IdxExpr) -> IdxExpr {
+        match (self, rhs) {
+            (IdxExpr::Const(a), IdxExpr::Const(b)) => IdxExpr::Const(a + b),
+            (IdxExpr::Const(0), e) | (e, IdxExpr::Const(0)) => e,
+            (a, b) => IdxExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Constant-folding multiplication by a constant.
+    #[must_use]
+    pub fn mul(self, k: i64) -> IdxExpr {
+        match (self, k) {
+            (_, 0) => IdxExpr::Const(0),
+            (e, 1) => e,
+            (IdxExpr::Const(a), k) => IdxExpr::Const(a * k),
+            (IdxExpr::Mul(e, k0), k) => IdxExpr::Mul(e, k0 * k),
+            (e, k) => IdxExpr::Mul(Box::new(e), k),
+        }
+    }
+
+    /// Constant-folding floor division by a positive constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive.
+    #[must_use]
+    pub fn floor_div(self, k: i64) -> IdxExpr {
+        assert!(k > 0, "floor_div by non-positive constant {k}");
+        match (self, k) {
+            (e, 1) => e,
+            (IdxExpr::Const(a), k) => IdxExpr::Const(a.div_euclid(k)),
+            (e, k) => IdxExpr::FloorDiv(Box::new(e), k),
+        }
+    }
+
+    /// Constant-folding modulo by a positive constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive.
+    #[must_use]
+    pub fn modulo(self, k: i64) -> IdxExpr {
+        assert!(k > 0, "modulo by non-positive constant {k}");
+        match (self, k) {
+            (_, 1) => IdxExpr::Const(0),
+            (IdxExpr::Const(a), k) => IdxExpr::Const(a.rem_euclid(k)),
+            (e, k) => IdxExpr::Mod(Box::new(e), k),
+        }
+    }
+
+    /// Evaluate under an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable has no binding (a compiler bug, not user error).
+    #[must_use]
+    pub fn eval(&self, env: &dyn Fn(VarId) -> i64) -> i64 {
+        match self {
+            IdxExpr::Var(v) => env(*v),
+            IdxExpr::Const(c) => *c,
+            IdxExpr::Add(a, b) => a.eval(env) + b.eval(env),
+            IdxExpr::Mul(a, k) => a.eval(env) * k,
+            IdxExpr::FloorDiv(a, k) => a.eval(env).div_euclid(*k),
+            IdxExpr::Mod(a, k) => a.eval(env).rem_euclid(*k),
+        }
+    }
+
+    /// All variables referenced.
+    #[must_use]
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            IdxExpr::Var(v) => out.push(*v),
+            IdxExpr::Const(_) => {}
+            IdxExpr::Add(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            IdxExpr::Mul(a, _) | IdxExpr::FloorDiv(a, _) | IdxExpr::Mod(a, _) => {
+                a.collect_vars(out)
+            }
+        }
+    }
+
+    /// Extract affine structure: `Some((coeffs, offset))` when the expression
+    /// contains no division or modulo.
+    #[must_use]
+    pub fn as_affine(&self) -> Option<(BTreeMap<VarId, i64>, i64)> {
+        let mut coeffs = BTreeMap::new();
+        let mut offset = 0i64;
+        if self.affine_into(1, &mut coeffs, &mut offset) {
+            coeffs.retain(|_, c| *c != 0);
+            Some((coeffs, offset))
+        } else {
+            None
+        }
+    }
+
+    fn affine_into(&self, scale: i64, coeffs: &mut BTreeMap<VarId, i64>, offset: &mut i64) -> bool {
+        match self {
+            IdxExpr::Var(v) => {
+                *coeffs.entry(*v).or_insert(0) += scale;
+                true
+            }
+            IdxExpr::Const(c) => {
+                *offset += c * scale;
+                true
+            }
+            IdxExpr::Add(a, b) => {
+                a.affine_into(scale, coeffs, offset) && b.affine_into(scale, coeffs, offset)
+            }
+            IdxExpr::Mul(a, k) => a.affine_into(scale * k, coeffs, offset),
+            IdxExpr::FloorDiv(..) | IdxExpr::Mod(..) => false,
+        }
+    }
+
+    /// Substitute a variable with an expression.
+    #[must_use]
+    pub fn substitute(&self, var: VarId, rep: &IdxExpr) -> IdxExpr {
+        match self {
+            IdxExpr::Var(v) if *v == var => rep.clone(),
+            IdxExpr::Var(_) | IdxExpr::Const(_) => self.clone(),
+            IdxExpr::Add(a, b) => a.substitute(var, rep).add(b.substitute(var, rep)),
+            IdxExpr::Mul(a, k) => a.substitute(var, rep).mul(*k),
+            IdxExpr::FloorDiv(a, k) => a.substitute(var, rep).floor_div(*k),
+            IdxExpr::Mod(a, k) => a.substitute(var, rep).modulo(*k),
+        }
+    }
+
+    /// Inclusive (min, max) bounds given per-variable extents (variables
+    /// range over `0..extent`).
+    #[must_use]
+    pub fn bounds(&self, extent_of: &dyn Fn(VarId) -> i64) -> (i64, i64) {
+        match self {
+            IdxExpr::Var(v) => (0, extent_of(*v) - 1),
+            IdxExpr::Const(c) => (*c, *c),
+            IdxExpr::Add(a, b) => {
+                let (la, ha) = a.bounds(extent_of);
+                let (lb, hb) = b.bounds(extent_of);
+                (la + lb, ha + hb)
+            }
+            IdxExpr::Mul(a, k) => {
+                let (l, h) = a.bounds(extent_of);
+                if *k >= 0 {
+                    (l * k, h * k)
+                } else {
+                    (h * k, l * k)
+                }
+            }
+            IdxExpr::FloorDiv(a, k) => {
+                let (l, h) = a.bounds(extent_of);
+                (l.div_euclid(*k), h.div_euclid(*k))
+            }
+            IdxExpr::Mod(a, k) => {
+                let (l, h) = a.bounds(extent_of);
+                if l.div_euclid(*k) == h.div_euclid(*k) {
+                    // The whole range falls into one modulo period.
+                    (l.rem_euclid(*k), h.rem_euclid(*k))
+                } else {
+                    (0, k - 1)
+                }
+            }
+        }
+    }
+}
+
+impl From<VarId> for IdxExpr {
+    fn from(v: VarId) -> IdxExpr {
+        IdxExpr::Var(v)
+    }
+}
+
+impl From<i64> for IdxExpr {
+    fn from(c: i64) -> IdxExpr {
+        IdxExpr::Const(c)
+    }
+}
+
+impl fmt::Display for IdxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxExpr::Var(v) => write!(f, "{v}"),
+            IdxExpr::Const(c) => write!(f, "{c}"),
+            IdxExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            IdxExpr::Mul(a, k) => write!(f, "{a}*{k}"),
+            IdxExpr::FloorDiv(a, k) => write!(f, "({a} / {k})"),
+            IdxExpr::Mod(a, k) => write!(f, "({a} % {k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        let e = IdxExpr::Const(6).add(IdxExpr::Const(4));
+        assert_eq!(e, IdxExpr::Const(10));
+        assert_eq!(IdxExpr::Var(v(0)).mul(0), IdxExpr::Const(0));
+        assert_eq!(IdxExpr::Var(v(0)).mul(1), IdxExpr::Var(v(0)));
+        assert_eq!(IdxExpr::Const(7).floor_div(2), IdxExpr::Const(3));
+        assert_eq!(IdxExpr::Const(7).modulo(4), IdxExpr::Const(3));
+        assert_eq!(IdxExpr::Var(v(0)).modulo(1), IdxExpr::Const(0));
+    }
+
+    #[test]
+    fn nested_mul_collapses() {
+        let e = IdxExpr::Var(v(0)).mul(4).mul(2);
+        assert_eq!(e, IdxExpr::Mul(Box::new(IdxExpr::Var(v(0))), 8));
+    }
+
+    #[test]
+    fn affine_extraction() {
+        // 4*x + y + 3
+        let e = IdxExpr::Var(v(0)).mul(4).add(IdxExpr::Var(v(1))).add(IdxExpr::Const(3));
+        let (coeffs, off) = e.as_affine().unwrap();
+        assert_eq!(coeffs.get(&v(0)), Some(&4));
+        assert_eq!(coeffs.get(&v(1)), Some(&1));
+        assert_eq!(off, 3);
+        // Division defeats affine extraction.
+        let d = IdxExpr::Var(v(0)).floor_div(2);
+        assert!(d.as_affine().is_none());
+    }
+
+    #[test]
+    fn fusion_expressions_evaluate_correctly() {
+        // x = fused / 5, y = fused % 5 must enumerate the 3x5 rectangle.
+        let fused = IdxExpr::Var(v(9));
+        let x = fused.clone().floor_div(5);
+        let y = fused.modulo(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for fv in 0..15 {
+            let env = |_: VarId| fv;
+            seen.insert((x.eval(&env), y.eval(&env)));
+        }
+        assert_eq!(seen.len(), 15);
+        assert!(seen.contains(&(2, 4)));
+        assert!(seen.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn bounds_of_mod_and_div() {
+        let e = IdxExpr::Var(v(0)); // extent 15
+        let extent = |_: VarId| 15i64;
+        assert_eq!(e.clone().floor_div(5).bounds(&extent), (0, 2));
+        assert_eq!(e.modulo(5).bounds(&extent), (0, 4));
+        // A small range within one period keeps tight bounds.
+        let f = IdxExpr::Var(v(0)).add(IdxExpr::Const(20)); // 20..34
+        assert_eq!(f.modulo(100).bounds(&extent), (20, 34));
+    }
+
+    proptest! {
+        #[test]
+        fn substitution_commutes_with_eval(
+            a in 0i64..40, b in 0i64..40, k in 1i64..8,
+        ) {
+            // e = (x*3 + y) % k with x := a substituted, evaluated at y = b.
+            let e = IdxExpr::Var(v(0)).mul(3).add(IdxExpr::Var(v(1))).modulo(k);
+            let sub = e.substitute(v(0), &IdxExpr::Const(a));
+            let direct = e.eval(&|var| if var == v(0) { a } else { b });
+            let indirect = sub.eval(&|_| b);
+            prop_assert_eq!(direct, indirect);
+        }
+
+        #[test]
+        fn bounds_are_sound(
+            c0 in -4i64..4, off in -10i64..10, k in 1i64..6, e0 in 1i64..12,
+        ) {
+            let e = IdxExpr::Var(v(0)).mul(c0).add(IdxExpr::Const(off)).floor_div(k);
+            let extent = |_: VarId| e0;
+            let (lo, hi) = e.bounds(&extent);
+            for x in 0..e0 {
+                let val = e.eval(&|_| x);
+                prop_assert!(val >= lo && val <= hi, "{val} outside [{lo}, {hi}]");
+            }
+        }
+
+        #[test]
+        fn affine_extraction_agrees_with_eval(
+            c0 in -5i64..5, c1 in -5i64..5, off in -9i64..9, x in 0i64..20, y in 0i64..20,
+        ) {
+            let e = IdxExpr::Var(v(0)).mul(c0)
+                .add(IdxExpr::Var(v(1)).mul(c1))
+                .add(IdxExpr::Const(off));
+            let (coeffs, o) = e.as_affine().unwrap();
+            let lin = coeffs.get(&v(0)).copied().unwrap_or(0) * x
+                + coeffs.get(&v(1)).copied().unwrap_or(0) * y + o;
+            prop_assert_eq!(lin, e.eval(&|var| if var == v(0) { x } else { y }));
+        }
+    }
+}

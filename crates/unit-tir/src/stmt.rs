@@ -1,0 +1,282 @@
+//! TIR statements.
+//!
+//! The statement forms cover what the paper's pipeline produces: canonical
+//! `for` loops with annotations (Figure 7's parallel/serial/unroll regions
+//! and GPU bindings), guarded bodies for imperfect tilings (TVM's `likely`),
+//! plain stores, and — after the Rewriter runs — tensorized intrinsic calls
+//! whose operands are described by per-loop stride patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::TExpr;
+use crate::func::{BufId, VarId};
+use crate::idx::IdxExpr;
+
+/// Execution annotation of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// CPU thread-parallel loop (`parallel` in Figure 7).
+    Parallel,
+    /// Fully unrolled loop (fills the RAW-hazard shadow with independent
+    /// accumulation chains).
+    Unrolled,
+    /// SIMD-vectorized loop (used by non-tensorized baselines).
+    Vectorized,
+    /// GPU grid dimension (`blockIdx.x`).
+    GpuBlock,
+    /// GPU block dimension (`threadIdx.x`).
+    GpuThread,
+}
+
+impl LoopKind {
+    /// Keyword used by the printer.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::Serial => "for",
+            LoopKind::Parallel => "parallel",
+            LoopKind::Unrolled => "unroll",
+            LoopKind::Vectorized => "vectorize",
+            LoopKind::GpuBlock => "block",
+            LoopKind::GpuThread => "thread",
+        }
+    }
+}
+
+/// A `for` loop over `0..extent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForStmt {
+    /// The loop variable (bound within `body`).
+    pub var: VarId,
+    /// Trip count.
+    pub extent: i64,
+    /// Execution annotation.
+    pub kind: LoopKind,
+    /// Optional pragma (the Rewriter marks the tensorized nest with
+    /// `"tensorize"` before the replacement pass runs).
+    pub pragma: Option<String>,
+    /// Loop body.
+    pub body: Box<Stmt>,
+}
+
+/// A store `buffer[indices] = value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStmt {
+    /// Destination buffer.
+    pub buffer: BufId,
+    /// One index per buffer dimension.
+    pub indices: Vec<IdxExpr>,
+    /// Value to store.
+    pub value: TExpr,
+}
+
+/// How one register operand of a tensorized instruction is filled from (or
+/// drained to) memory: a base element offset plus one stride pair per
+/// instruction axis.
+///
+/// This encodes the three operand-preparation patterns of Section III-C.2:
+/// `mem_stride == 1` along an axis is a *vectorized* load, `mem_stride == 0`
+/// is a *broadcast*, and larger strides are the *unroll-and-concatenate*
+/// pattern (e.g. VNNI's weight operand, strided by the channel block).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperandStep {
+    /// Index into the instruction's axis list (`axes ++ reduce_axes`).
+    pub inst_axis: usize,
+    /// Trip count of that instruction axis.
+    pub extent: i64,
+    /// Stride in register elements.
+    pub reg_stride: i64,
+    /// Stride in buffer elements.
+    pub mem_stride: i64,
+}
+
+impl OperandStep {
+    /// Classify the access pattern along this axis for diagnostics.
+    #[must_use]
+    pub fn pattern(&self) -> &'static str {
+        match self.mem_stride {
+            0 => "broadcast",
+            1 => "vectorize",
+            _ => "strided",
+        }
+    }
+}
+
+/// One register operand binding of an [`IntrinStmt`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperandSpec {
+    /// The op-side buffer feeding (or fed by) the register.
+    pub buffer: BufId,
+    /// Flattened element offset with all tensorized loop variables at zero;
+    /// depends only on loops outside the tensorized nest.
+    pub base: IdxExpr,
+    /// Per-instruction-axis steps (axes with zero register stride omitted).
+    pub steps: Vec<OperandStep>,
+    /// Total register elements.
+    pub reg_len: usize,
+}
+
+impl OperandSpec {
+    /// Human-readable classification: the dominant pattern along each step.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.steps.is_empty() {
+            return "scalar".to_string();
+        }
+        self.steps
+            .iter()
+            .map(|s| format!("{}(x{})", s.pattern(), s.extent))
+            .collect::<Vec<_>>()
+            .join("·")
+    }
+}
+
+/// A tensorized instruction call, produced by the replacement pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntrinStmt {
+    /// Registry name of the instruction.
+    pub intrinsic: String,
+    /// Destination register scatter (also the accumulator input when the
+    /// instruction accumulates in place, or when `acc` is `None`).
+    pub dst: OperandSpec,
+    /// Distinct accumulator-source register (VNNI's `c`), if any.
+    pub acc: Option<OperandSpec>,
+    /// Data operands in the order of the instruction's data tensors.
+    pub srcs: Vec<OperandSpec>,
+}
+
+/// A guard condition `index < bound` (TVM's `likely`, produced by imperfect
+/// splits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Guard {
+    /// The guarded index expression.
+    pub index: IdxExpr,
+    /// Exclusive upper bound.
+    pub bound: i64,
+}
+
+/// A TIR statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A loop.
+    For(ForStmt),
+    /// Statement sequence.
+    Seq(Vec<Stmt>),
+    /// A store.
+    Store(StoreStmt),
+    /// Body guarded by `likely` residue conditions.
+    IfLikely {
+        /// All conditions must hold for the body to execute.
+        guards: Vec<Guard>,
+        /// Guarded statement.
+        body: Box<Stmt>,
+    },
+    /// A tensorized instruction call.
+    Intrin(IntrinStmt),
+    /// GPU barrier (`__syncthreads`), used by split-K reductions.
+    Sync,
+    /// Empty statement.
+    Nop,
+}
+
+impl Stmt {
+    /// Wrap in a serial loop.
+    #[must_use]
+    pub fn in_loop(self, var: VarId, extent: i64, kind: LoopKind) -> Stmt {
+        Stmt::For(ForStmt { var, extent, kind, pragma: None, body: Box::new(self) })
+    }
+
+    /// Visit every statement (pre-order).
+    pub fn visit(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::For(fs) => fs.body.visit(f),
+            Stmt::Seq(items) => {
+                for s in items {
+                    s.visit(f);
+                }
+            }
+            Stmt::IfLikely { body, .. } => body.visit(f),
+            Stmt::Store(_) | Stmt::Intrin(_) | Stmt::Sync | Stmt::Nop => {}
+        }
+    }
+
+    /// Count statements satisfying a predicate.
+    #[must_use]
+    pub fn count(&self, pred: &dyn Fn(&Stmt) -> bool) -> usize {
+        let mut n = 0;
+        self.visit(&mut |s| {
+            if pred(s) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Find the loop carrying a given pragma.
+    #[must_use]
+    pub fn find_pragma(&self, pragma: &str) -> Option<&ForStmt> {
+        match self {
+            Stmt::For(fs) => {
+                if fs.pragma.as_deref() == Some(pragma) {
+                    Some(fs)
+                } else {
+                    fs.body.find_pragma(pragma)
+                }
+            }
+            Stmt::Seq(items) => items.iter().find_map(|s| s.find_pragma(pragma)),
+            Stmt::IfLikely { body, .. } => body.find_pragma(pragma),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::print_stmt(self, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_step_patterns() {
+        let v = OperandStep { inst_axis: 0, extent: 4, reg_stride: 1, mem_stride: 1 };
+        assert_eq!(v.pattern(), "vectorize");
+        let b = OperandStep { inst_axis: 1, extent: 16, reg_stride: 4, mem_stride: 0 };
+        assert_eq!(b.pattern(), "broadcast");
+        let s = OperandStep { inst_axis: 1, extent: 16, reg_stride: 4, mem_stride: 64 };
+        assert_eq!(s.pattern(), "strided");
+    }
+
+    #[test]
+    fn find_pragma_locates_nested_loops() {
+        let inner = Stmt::Nop.in_loop(VarId(1), 4, LoopKind::Serial);
+        let mut tagged = match inner {
+            Stmt::For(fs) => fs,
+            _ => unreachable!(),
+        };
+        tagged.pragma = Some("tensorize".into());
+        let outer = Stmt::For(tagged).in_loop(VarId(0), 8, LoopKind::Parallel);
+        let found = outer.find_pragma("tensorize").expect("pragma must be found");
+        assert_eq!(found.var, VarId(1));
+        assert!(outer.find_pragma("nope").is_none());
+    }
+
+    #[test]
+    fn count_visits_all_statements() {
+        let s = Stmt::Seq(vec![
+            Stmt::Nop,
+            Stmt::Nop.in_loop(VarId(0), 2, LoopKind::Serial),
+            Stmt::Sync,
+        ]);
+        assert_eq!(s.count(&|s| matches!(s, Stmt::Nop)), 2);
+        assert_eq!(s.count(&|s| matches!(s, Stmt::For(_))), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Shape assertions for every regenerated figure: who wins, by roughly
+//! what factor, and where the crossovers fall — the reproduction contract
+//! stated in `EXPERIMENTS.md`.
+//!
+//! These re-run the full harness, so they are the slowest tests in the
+//! workspace; each figure is a separate test so they parallelize.
+
+use unit_bench::figures;
+use unit_bench::geomean;
+
+#[test]
+fn fig01_naive_mixed_precision_is_a_slowdown() {
+    let f = figures::fig01();
+    assert_eq!(f.rows.len(), 9);
+    // Every model: fp16 without Tensor Cores must NOT beat fp32.
+    for row in &f.rows {
+        assert!(
+            row.values[1] <= 1.02,
+            "{}: fp16-no-TC should not beat fp32 (got {:.2})",
+            row.label,
+            row.values[1]
+        );
+    }
+    // Geomean clearly below 1 (the paper reports ~0.76).
+    assert!(f.geomean[1] < 0.95, "geomean {:.2} should show a clear slowdown", f.geomean[1]);
+}
+
+#[test]
+fn fig08_unit_beats_both_x86_baselines() {
+    let f = figures::fig08();
+    let tvm = f.geomean[1];
+    let unit = f.geomean[2];
+    assert!(unit > 1.05, "UNIT must beat MXNet+oneDNN (geomean {unit:.2})");
+    assert!(unit > tvm, "UNIT ({unit:.2}) must beat TVM ({tvm:.2})");
+    assert!(unit < 2.0, "the win must stay plausible (geomean {unit:.2})");
+    // Mobilenets gain least: depthwise layers cannot tensorize.
+    let mob: Vec<f64> = f
+        .rows
+        .iter()
+        .filter(|r| r.label.starts_with("mobilenet"))
+        .map(|r| r.values[2])
+        .collect();
+    let dense_models: Vec<f64> = f
+        .rows
+        .iter()
+        .filter(|r| r.label.starts_with("resnet"))
+        .map(|r| r.values[2])
+        .collect();
+    assert!(
+        geomean(&mob) < geomean(&dense_models),
+        "depthwise-heavy models must gain less from tensorization"
+    );
+}
+
+#[test]
+fn fig09_unit_beats_cudnn_on_every_model() {
+    let f = figures::fig09();
+    for row in &f.rows {
+        assert!(
+            row.values[1] > 1.0,
+            "{}: UNIT must beat cuDNN-TC (got {:.2})",
+            row.label,
+            row.values[1]
+        );
+    }
+    let g = f.geomean[1];
+    assert!(
+        (1.3..=2.4).contains(&g),
+        "geomean {g:.2} should land near the paper's 1.75x"
+    );
+}
+
+#[test]
+fn fig10_stages_order_correctly() {
+    let f = figures::fig10();
+    // Parallel-only loses to oneDNN; +Unroll recovers most of it; +Tune
+    // dominates both and beats oneDNN in geomean.
+    let (par, unr, tune) = (f.geomean[1], f.geomean[2], f.geomean[3]);
+    assert!(par < 1.0, "Parallel-only should lose to oneDNN ({par:.2})");
+    assert!(unr > par, "+Unroll ({unr:.2}) must improve on Parallel ({par:.2})");
+    assert!(tune >= unr, "+Tune ({tune:.2}) must dominate +Unroll ({unr:.2})");
+    assert!(tune > 1.0, "+Tune must beat oneDNN in geomean ({tune:.2})");
+    // Per-row: +Tune never loses to +Unroll (superset search space).
+    for row in &f.rows {
+        assert!(
+            row.values[3] >= row.values[2] * 0.999,
+            "{}: tuning regressed ({:.2} -> {:.2})",
+            row.label,
+            row.values[2],
+            row.values[3]
+        );
+    }
+}
+
+#[test]
+fn fig10_most_kernels_tune_quickly() {
+    // Section VI-B: >50% of kernels are optimal at the first pair and
+    // >95% within the first 8 pairs.
+    let found_at = figures::candidates_to_optimum();
+    let first = found_at.iter().filter(|n| **n == 1).count();
+    let within8 = found_at.iter().filter(|n| **n <= 8).count();
+    assert!(
+        first * 2 >= found_at.len(),
+        "at least half the kernels should be optimal at the default pair, got {first}/16"
+    );
+    assert!(
+        within8 * 100 >= found_at.len() * 85,
+        "most kernels should be optimal within 8 pairs, got {within8}/16"
+    );
+}
+
+#[test]
+fn fig11_splitk_is_the_big_gpu_lever() {
+    let f = figures::fig11();
+    let (generic, fuse, split, tune) = (f.geomean[1], f.geomean[2], f.geomean[3], f.geomean[4]);
+    // Generic is roughly at cuDNN's level; split-K provides the main gain;
+    // +Tune dominates every fixed stage.
+    assert!((0.8..=1.3).contains(&generic), "Generic should be near cuDNN ({generic:.2})");
+    assert!(split > generic, "+SplitK ({split:.2}) must beat Generic ({generic:.2})");
+    assert!(tune >= split.max(fuse), "+Tune must dominate the fixed stages");
+    assert!(tune > 1.05, "+Tune must beat cuDNN in geomean ({tune:.2})");
+}
+
+#[test]
+fn fig12_arm_ordering_and_magnitudes() {
+    let f = figures::fig12();
+    let (manual, unit) = (f.geomean[1], f.geomean[2]);
+    assert!(manual > 1.5, "DOT must crush the NEON baseline ({manual:.2})");
+    assert!(unit >= manual, "UNIT ({unit:.2}) must beat the manual schedule ({manual:.2})");
+    let ratio = unit / manual;
+    assert!(
+        (1.0..=1.5).contains(&ratio),
+        "UNIT-over-manual ratio {ratio:.2} should be near the paper's 1.13x"
+    );
+}
+
+#[test]
+fn fig13_conv3d_extends_without_changes() {
+    let f = figures::fig13();
+    assert_eq!(f.rows.len(), 11, "Figure 13 plots layers 0..10");
+    let g = f.geomean[1];
+    assert!(
+        (1.0..=1.6).contains(&g),
+        "conv3d geomean {g:.2} should land near the paper's 1.2x"
+    );
+}

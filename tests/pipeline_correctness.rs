@@ -1,0 +1,166 @@
+//! Cross-crate correctness: every kernel the pipeline emits must compute
+//! exactly what the naive reference computes, across operations,
+//! instructions, platforms and tuning modes.
+
+use unit::dsl::builder::{conv2d_hwc, matmul_f16, matmul_u8i8};
+use unit::dsl::{ComputeOp, DType, InitExpr, OpBuilder};
+use unit::interp::{alloc_buffers, random_fill, run, run_reference};
+use unit::pipeline::{Target, Tensorizer, TuningConfig};
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_graph::layout::{blocked_conv2d, blocked_conv3d, blocked_dense};
+use unit_graph::ConvSpec;
+
+fn assert_kernel_correct(op: &ComputeOp, target: Target, tuning: TuningConfig, seed: u64) {
+    let kernel = Tensorizer::new(target).with_tuning(tuning).compile(op).unwrap_or_else(|e| {
+        panic!("{} must compile: {e}", op.name);
+    });
+    let mut bufs = alloc_buffers(&kernel.func);
+    random_fill(&mut bufs, seed);
+    let mut reference = bufs.clone();
+    run(&kernel.func, &mut bufs).expect("interpretation succeeds");
+    run_reference(op, &mut reference).expect("reference succeeds");
+    assert_eq!(
+        bufs[op.output.0 as usize], reference[op.output.0 as usize],
+        "kernel {} ({}) diverges from the reference",
+        op.name, kernel.intrinsic.name
+    );
+}
+
+#[test]
+fn vnni_matmul_is_correct_under_every_tuning_mode() {
+    let op = matmul_u8i8(24, 32, 64);
+    for (i, mode) in [
+        CpuTuneMode::ParallelOnly,
+        CpuTuneMode::ParallelUnroll,
+        CpuTuneMode::Tuned { max_pairs: 8 },
+        CpuTuneMode::Fixed { par: 500, unroll: 4 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        assert_kernel_correct(
+            &op,
+            Target::x86_avx512_vnni(),
+            TuningConfig { cpu: mode, gpu: GpuTuneMode::Tuned },
+            1000 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn blocked_conv2d_correct_on_x86_and_arm() {
+    let spec = ConvSpec::new_2d(8, 8, 16, 3, 1, 1);
+    let op_x86 = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+    assert_kernel_correct(&op_x86, Target::x86_avx512_vnni(), TuningConfig::default(), 11);
+    let op_arm = blocked_conv2d(&spec, 4, 4, DType::I8, DType::I8);
+    assert_kernel_correct(&op_arm, Target::arm_neon_dot(), TuningConfig::default(), 12);
+}
+
+#[test]
+fn strided_and_rectangular_convs_are_correct() {
+    // Stride-2 (Table I #1-style, shrunk) and a 1x7-equivalent 1x3 layer.
+    let strided = ConvSpec::new_2d(8, 11, 16, 3, 2, 0);
+    let op = blocked_conv2d(&strided, 16, 4, DType::U8, DType::I8);
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 21);
+
+    let rect = ConvSpec::new_rect(8, 9, 16, (1, 3), 1, (0, 1));
+    let op = blocked_conv2d(&rect, 16, 4, DType::U8, DType::I8);
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 22);
+}
+
+#[test]
+fn conv3d_is_correct_without_pipeline_changes() {
+    // The Figure 13 extensibility claim, verified functionally.
+    let spec = ConvSpec::new_3d(8, 6, 4, 16, 3, 1, 1);
+    let op = blocked_conv3d(&spec, 16, 4, DType::U8, DType::I8);
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 31);
+}
+
+#[test]
+fn dense_layers_are_correct() {
+    let op = blocked_dense(96, 40, 16, 4, DType::U8, DType::I8);
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 41);
+}
+
+#[test]
+fn wmma_matmul_is_correct_on_the_gpu_target() {
+    let op = matmul_f16(32, 48, 32);
+    assert_kernel_correct(&op, Target::nvidia_tensor_core(), TuningConfig::default(), 51);
+}
+
+#[test]
+fn narrow_encodings_cover_small_channel_counts() {
+    // 8 output channels: only the 256-bit VNNI encoding applies.
+    let op = matmul_u8i8(24, 8, 32);
+    let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.256");
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 61);
+}
+
+#[test]
+fn conv_with_hwc_layout_matches_figure_5_mapping() {
+    let op = conv2d_hwc(10, 10, 16, 32, 3, 3);
+    let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    // The only feasible mapping is k -> lanes, rc -> reduction (Figure 5).
+    let names: Vec<String> =
+        k.mapping.iter().map(|(a, _)| op.axis(*a).expect("axis").name.clone()).collect();
+    assert_eq!(names, vec!["k", "rc"]);
+    assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 71);
+}
+
+#[test]
+fn in_place_accumulation_seeds_from_existing_output() {
+    // Tensor-Core-style += with a nonzero initial accumulator.
+    let mut op = matmul_f16(16, 16, 16);
+    op.init = InitExpr::InPlace;
+    let kernel = Tensorizer::new(Target::nvidia_tensor_core()).compile(&op).expect("compiles");
+    let mut bufs = alloc_buffers(&kernel.func);
+    random_fill(&mut bufs, 81);
+    let mut reference = bufs.clone();
+    run(&kernel.func, &mut bufs).expect("runs");
+    run_reference(&op, &mut reference).expect("reference");
+    assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+}
+
+#[test]
+fn runtime_registered_instructions_compile_and_emulate() {
+    // A custom 2-lane, width-2 dot instruction.
+    let mut b = OpBuilder::new("custom.dot.v2");
+    let a = b.tensor("a", &[4], DType::I8);
+    let w = b.tensor("b", &[4], DType::I8);
+    let c = b.tensor("c", &[2], DType::I32);
+    let i = b.axis("i", 2);
+    let j = b.reduce_axis("j", 2);
+    let elem = b.load(a, vec![(i * 2 + j).into()]).cast(DType::I32)
+        * b.load(w, vec![(i * 2 + j).into()]).cast(DType::I32);
+    let semantics =
+        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let intrin = unit::isa::TensorIntrinsic {
+        name: "custom.dot.v2".to_string(),
+        platform: unit::isa::Platform::ArmDot,
+        semantics,
+        perf: unit::isa::PerfAttrs { latency_cycles: 3.0, throughput_ipc: 1.0, macs: 4, uops: 1 },
+    };
+    unit::isa::registry::register(intrin.clone()).expect("valid descriptor");
+    assert!(unit::isa::registry::by_name("custom.dot.v2").is_some());
+
+    // Map it manually (the platform registry prefers the wider sdot).
+    let mut mb = OpBuilder::new("mm_tiny");
+    let ma = mb.tensor("a", &[4, 4], DType::I8);
+    let mw = mb.tensor("b", &[4, 4], DType::I8);
+    let mi = mb.axis("i", 4);
+    let mj = mb.axis("j", 4);
+    let mk = mb.reduce_axis("k", 4);
+    let me = mb.load(ma, vec![mi.into(), mk.into()]).cast(DType::I32)
+        * mb.load(mw, vec![mj.into(), mk.into()]).cast(DType::I32);
+    let op = mb.compute("d", DType::I32, vec![mi.into(), mj.into()], InitExpr::Identity, me);
+    let m = unit_core::inspector::inspect(&intrin, &op).expect("applies");
+    let ts = unit_core::rewriter::build_tensorized_schedule(&op, &m, &intrin).expect("schedules");
+    let func = unit_core::rewriter::finalize(&ts, "mm_custom").expect("tensorizes");
+    let mut bufs = alloc_buffers(&func);
+    random_fill(&mut bufs, 91);
+    let mut reference = bufs.clone();
+    run(&func, &mut bufs).expect("emulates the custom instruction");
+    run_reference(&op, &mut reference).expect("reference");
+    assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+}

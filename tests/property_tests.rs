@@ -1,0 +1,86 @@
+//! Property-based tests on the pipeline's core invariants.
+
+use proptest::prelude::*;
+use unit::dsl::builder::matmul_u8i8;
+use unit::dsl::DType;
+use unit::interp::{alloc_buffers, random_fill, run, run_reference};
+use unit::pipeline::{Target, Tensorizer, TuningConfig};
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_graph::layout::blocked_conv2d;
+use unit_graph::ConvSpec;
+use unit_tir::{lower::lower, Schedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any matmul whose dimensions tile a VNNI encoding compiles and
+    /// computes exactly the reference result, for arbitrary tuning pairs.
+    #[test]
+    fn tensorized_matmul_always_matches_reference(
+        n in 1i64..5, m in 1i64..5, k in 1i64..5,
+        par in prop::sample::select(vec![500i64, 1500, 3000, 6000]),
+        unroll in prop::sample::select(vec![1i64, 2, 4, 8, 16]),
+        seed in 0u64..1000,
+    ) {
+        let op = matmul_u8i8(n * 8, m * 8, k * 4);
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Fixed { par, unroll },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+            .with_tuning(tuning)
+            .compile(&op)
+            .expect("tileable matmul compiles");
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+
+    /// Random schedule transformations (split/reorder/annotate) never
+    /// change what a kernel computes.
+    #[test]
+    fn random_schedules_preserve_semantics(
+        split_axis in 0usize..3,
+        factor in prop::sample::select(vec![2i64, 3, 4, 5, 7]),
+        swap in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let op = matmul_u8i8(12, 10, 21);
+        let mut s = Schedule::new(&op);
+        let leaves = s.leaves();
+        let target = leaves[split_axis];
+        let (o, i) = s.split(target, factor).expect("leaf split");
+        if swap {
+            s.reorder(&[i, o]).expect("reorder");
+        }
+        let func = lower(&s, "mm_random").expect("lowers");
+        let mut bufs = alloc_buffers(&func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[2], &reference[2]);
+    }
+
+    /// Channel padding in the blocked layout never changes the math: the
+    /// padded regions are zero and contribute nothing to the dot products.
+    #[test]
+    fn channel_padding_is_sound(
+        c in 1i64..20, k in 1i64..20, seed in 0u64..100,
+    ) {
+        let spec = ConvSpec::new_2d(c, 6, k, 3, 1, 1);
+        let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+        let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .expect("padded conv compiles");
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+}
