@@ -59,12 +59,10 @@ impl CudnnProvider {
         // 2 FMA pipes' worth of fp32 lanes; fp16 without tensor cores pays
         // conversion and packing instructions on the same pipes.
         let inst_factor = if fp16_overhead { 1.45 } else { 1.0 };
-        let compute =
-            macs * inst_factor / (f64::from(m.fp32_lanes_per_sm) * f64::from(m.sms));
+        let compute = macs * inst_factor / (f64::from(m.fp32_lanes_per_sm) * f64::from(m.sms));
         let elem_bytes = if fp16_overhead { 2.0 } else { 4.0 };
-        let bytes =
-            (spec.input_elems() + spec.weight_elems()) as f64 * elem_bytes
-                + spec.output_elems() as f64 * 4.0;
+        let bytes = (spec.input_elems() + spec.weight_elems()) as f64 * elem_bytes
+            + spec.output_elems() as f64 * 4.0;
         let memory = bytes / m.bytes_per_cycle();
         let cycles = compute.max(memory) + m.kernel_launch_us * m.freq_ghz * 1e3;
         cycles / (m.freq_ghz * 1e3)
@@ -112,7 +110,10 @@ impl ConvProvider for CudnnProvider {
 
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
         match self.mode {
-            CudnnMode::Fp32 => (self.cuda_core_micros(spec, false), "fp32 implicit GEMM".into()),
+            CudnnMode::Fp32 => (
+                self.cuda_core_micros(spec, false),
+                "fp32 implicit GEMM".into(),
+            ),
             CudnnMode::Fp16NoTensorCore => (
                 self.cuda_core_micros(spec, true),
                 "fp16 CUDA-core path (cast overhead)".into(),
@@ -120,9 +121,15 @@ impl ConvProvider for CudnnProvider {
             CudnnMode::Fp16TensorCore => {
                 if spec.is_depthwise() {
                     // No dot-product idiom: CUDA-core path regardless.
-                    (self.cuda_core_micros(spec, true), "depthwise CUDA-core".into())
+                    (
+                        self.cuda_core_micros(spec, true),
+                        "depthwise CUDA-core".into(),
+                    )
                 } else {
-                    (self.tensor_core_micros(spec), "WMMA 64x64 tile, no split-K".into())
+                    (
+                        self.tensor_core_micros(spec),
+                        "WMMA 64x64 tile, no split-K".into(),
+                    )
                 }
             }
         }
@@ -152,8 +159,13 @@ mod tests {
         // The Figure 1 motivation: naive mixed precision loses.
         let spec = ConvSpec::new_2d(256, 14, 256, 3, 1, 1);
         let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(&spec).0;
-        let fp16 = CudnnProvider::new(CudnnMode::Fp16NoTensorCore).conv_micros(&spec).0;
-        assert!(fp16 > fp32, "fp16-no-TC ({fp16:.1}) must lose to fp32 ({fp32:.1})");
+        let fp16 = CudnnProvider::new(CudnnMode::Fp16NoTensorCore)
+            .conv_micros(&spec)
+            .0;
+        assert!(
+            fp16 > fp32,
+            "fp16-no-TC ({fp16:.1}) must lose to fp32 ({fp32:.1})"
+        );
     }
 
     #[test]
@@ -162,7 +174,9 @@ mod tests {
         // the Tensor-Core advantage materializes.
         let spec = ConvSpec::new_2d(128, 56, 128, 3, 1, 1);
         let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(&spec).0;
-        let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore).conv_micros(&spec).0;
+        let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore)
+            .conv_micros(&spec)
+            .0;
         assert!(tc < fp32 / 2.0, "TC ({tc:.1}) vs fp32 ({fp32:.1})");
     }
 
@@ -175,7 +189,9 @@ mod tests {
         let big = ConvSpec::new_2d(128, 56, 128, 3, 1, 1);
         let ratio = |spec: &ConvSpec| {
             let fp32 = CudnnProvider::new(CudnnMode::Fp32).conv_micros(spec).0;
-            let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore).conv_micros(spec).0;
+            let tc = CudnnProvider::new(CudnnMode::Fp16TensorCore)
+                .conv_micros(spec)
+                .0;
             fp32 / tc
         };
         assert!(

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
@@ -69,11 +69,17 @@ impl MxnetOneDnnProvider {
     fn tuning_for(spec: &ConvSpec) -> TuningConfig {
         if Self::hand_tuned_shape(spec) {
             // Aggressively tuned by domain experts: full search.
-            TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs: 16 }, gpu: GpuTuneMode::Generic }
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+                gpu: GpuTuneMode::Generic,
+            }
         } else {
             // The JIT picks a per-shape blocking at primitive creation —
             // a competent but shallower search than UNIT's.
-            TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs: 6 }, gpu: GpuTuneMode::Generic }
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 6 },
+                gpu: GpuTuneMode::Generic,
+            }
         }
     }
 
@@ -95,7 +101,7 @@ impl ConvProvider for MxnetOneDnnProvider {
     }
 
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
-        if let Some(hit) = self.cache.lock().get(spec) {
+        if let Some(hit) = self.cache.lock().unwrap().get(spec) {
             return hit.clone();
         }
         let result = if spec.is_depthwise() {
@@ -126,18 +132,26 @@ impl ConvProvider for MxnetOneDnnProvider {
                 Err(_) => fallback_cpu(&self.target, &op),
             }
         };
-        self.cache.lock().insert(*spec, result.clone());
+        self.cache.lock().unwrap().insert(*spec, result.clone());
         result
     }
 
     fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
         let op = blocked_dense(in_features, units, 16, 4, DType::U8, DType::I8);
-        let tuning =
-            TuningConfig { cpu: CpuTuneMode::Fixed { par: 2000, unroll: 16 }, gpu: GpuTuneMode::Generic };
-        match Tensorizer::new(self.target.clone()).with_tuning(tuning).compile(&op) {
-            Ok(kernel) => {
-                kernel.estimate.micros(self.target.cpu.as_ref().expect("cpu").freq_ghz)
-            }
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Fixed {
+                par: 2000,
+                unroll: 16,
+            },
+            gpu: GpuTuneMode::Generic,
+        };
+        match Tensorizer::new(self.target.clone())
+            .with_tuning(tuning)
+            .compile(&op)
+        {
+            Ok(kernel) => kernel
+                .estimate
+                .micros(self.target.cpu.as_ref().expect("cpu").freq_ghz),
             Err(_) => fallback_cpu(&self.target, &op).0,
         }
     }
@@ -162,7 +176,10 @@ pub(crate) fn fallback_cpu(target: &Target, op: &unit_dsl::ComputeOp) -> (f64, S
     let machine = target.cpu.as_ref().expect("cpu target");
     let func = unit_graph::compile::simd_fallback_func(op);
     let est = unit_sim::estimate_cpu(&func, machine);
-    (est.micros(machine.freq_ghz), "SIMD (no dot-product idiom)".to_string())
+    (
+        est.micros(machine.freq_ghz),
+        "SIMD (no dot-product idiom)".to_string(),
+    )
 }
 
 #[cfg(test)]
@@ -171,11 +188,19 @@ mod tests {
 
     #[test]
     fn resnet_shapes_are_recognized_as_hand_tuned() {
-        assert!(MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(256, 14, 256, 3, 1, 1)));
-        assert!(MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(64, 56, 256, 1, 1, 0)));
+        assert!(MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(
+            256, 14, 256, 3, 1, 1
+        )));
+        assert!(MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(
+            64, 56, 256, 1, 1, 0
+        )));
         // Inception's 288-channel 35x35 layer is not in the tuned set.
-        assert!(!MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(288, 35, 384, 3, 2, 0)));
-        assert!(!MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(80, 73, 192, 3, 1, 0)));
+        assert!(!MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(
+            288, 35, 384, 3, 2, 0
+        )));
+        assert!(!MxnetOneDnnProvider::hand_tuned_shape(&ConvSpec::new_2d(
+            80, 73, 192, 3, 1, 0
+        )));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
@@ -38,9 +38,21 @@ pub struct FixedScheduleProvider {
 impl FixedScheduleProvider {
     fn conv_op(&self, spec: &ConvSpec) -> unit_dsl::ComputeOp {
         if spec.is_3d() {
-            blocked_conv3d(spec, self.lanes, self.rwidth, self.data_dtype, self.weight_dtype)
+            blocked_conv3d(
+                spec,
+                self.lanes,
+                self.rwidth,
+                self.data_dtype,
+                self.weight_dtype,
+            )
         } else {
-            blocked_conv2d(spec, self.lanes, self.rwidth, self.data_dtype, self.weight_dtype)
+            blocked_conv2d(
+                spec,
+                self.lanes,
+                self.rwidth,
+                self.data_dtype,
+                self.weight_dtype,
+            )
         }
     }
 }
@@ -51,7 +63,7 @@ impl ConvProvider for FixedScheduleProvider {
     }
 
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
-        if let Some(hit) = self.cache.lock().get(spec) {
+        if let Some(hit) = self.cache.lock().unwrap().get(spec) {
             return hit.clone();
         }
         let result = if spec.is_depthwise() {
@@ -65,7 +77,9 @@ impl ConvProvider for FixedScheduleProvider {
                         cpu: CpuTuneMode::Fixed { par, unroll },
                         gpu: GpuTuneMode::Generic,
                     };
-                    match Tensorizer::new(self.target.clone()).with_tuning(tuning).compile(&op)
+                    match Tensorizer::new(self.target.clone())
+                        .with_tuning(tuning)
+                        .compile(&op)
                     {
                         Ok(kernel) => {
                             let ghz = self.target.cpu.as_ref().expect("cpu").freq_ghz;
@@ -80,7 +94,7 @@ impl ConvProvider for FixedScheduleProvider {
                 None => fallback_cpu(&self.target, &op),
             }
         };
-        self.cache.lock().insert(*spec, result.clone());
+        self.cache.lock().unwrap().insert(*spec, result.clone());
         result
     }
 
@@ -99,8 +113,13 @@ impl ConvProvider for FixedScheduleProvider {
                     cpu: CpuTuneMode::Fixed { par, unroll },
                     gpu: GpuTuneMode::Generic,
                 };
-                match Tensorizer::new(self.target.clone()).with_tuning(tuning).compile(&op) {
-                    Ok(k) => k.estimate.micros(self.target.cpu.as_ref().expect("cpu").freq_ghz),
+                match Tensorizer::new(self.target.clone())
+                    .with_tuning(tuning)
+                    .compile(&op)
+                {
+                    Ok(k) => k
+                        .estimate
+                        .micros(self.target.cpu.as_ref().expect("cpu").freq_ghz),
                     Err(_) => fallback_cpu(&self.target, &op).0,
                 }
             }

@@ -35,8 +35,14 @@ fn main() {
                 mapping: mapping.clone(),
                 alternatives: mappings.clone(),
             };
-            let tuned = tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::Tuned { max_pairs: 8 })
-                .expect("tuning succeeds");
+            let tuned = tune_cpu(
+                &op,
+                &m,
+                &intrin,
+                &machine,
+                CpuTuneMode::Tuned { max_pairs: 8 },
+            )
+            .expect("tuning succeeds");
             let us = tuned.estimate.micros(machine.freq_ghz);
             if idx == 0 {
                 greedy = us;

@@ -22,8 +22,10 @@ fn main() {
     let m = inspect(&intrin, &op).expect("conv matches VNNI");
     let machine = Target::x86_avx512_vnni().cpu.expect("cpu model");
 
-    let header: Vec<String> =
-        ["unroll", "cycles", "us", "note"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["unroll", "cycles", "us", "note"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for unroll in [1i64, 2, 4, 8, 16, 32, 64, 128] {
         let tuned = tune_cpu(

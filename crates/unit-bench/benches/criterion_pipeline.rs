@@ -17,7 +17,13 @@ use unit_interp::{alloc_buffers, random_fill, run};
 use unit_isa::registry;
 
 fn bench_inspector(c: &mut Criterion) {
-    let op = blocked_conv2d(&ConvSpec::new_2d(256, 16, 256, 3, 1, 0), 16, 4, DType::U8, DType::I8);
+    let op = blocked_conv2d(
+        &ConvSpec::new_2d(256, 16, 256, 3, 1, 0),
+        16,
+        4,
+        DType::U8,
+        DType::I8,
+    );
     let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
     c.bench_function("inspector/conv2d_vnni", |b| {
         b.iter(|| inspect(black_box(&intrin), black_box(&op)).expect("matches"))
@@ -25,7 +31,13 @@ fn bench_inspector(c: &mut Criterion) {
 }
 
 fn bench_rewriter(c: &mut Criterion) {
-    let op = blocked_conv2d(&ConvSpec::new_2d(256, 16, 256, 3, 1, 0), 16, 4, DType::U8, DType::I8);
+    let op = blocked_conv2d(
+        &ConvSpec::new_2d(256, 16, 256, 3, 1, 0),
+        16,
+        4,
+        DType::U8,
+        DType::I8,
+    );
     let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
     let m = inspect(&intrin, &op).expect("matches");
     c.bench_function("rewriter/tile_sink_replace", |b| {
@@ -37,7 +49,13 @@ fn bench_rewriter(c: &mut Criterion) {
 }
 
 fn bench_tuner(c: &mut Criterion) {
-    let op = blocked_conv2d(&ConvSpec::new_2d(128, 14, 128, 3, 1, 1), 16, 4, DType::U8, DType::I8);
+    let op = blocked_conv2d(
+        &ConvSpec::new_2d(128, 14, 128, 3, 1, 1),
+        16,
+        4,
+        DType::U8,
+        DType::I8,
+    );
     let tensorizer = Tensorizer::new(Target::x86_avx512_vnni()).with_tuning(TuningConfig {
         cpu: CpuTuneMode::Tuned { max_pairs: 8 },
         gpu: GpuTuneMode::Tuned,
@@ -49,7 +67,9 @@ fn bench_tuner(c: &mut Criterion) {
 
 fn bench_interpreter(c: &mut Criterion) {
     let op = conv2d_hwc(10, 10, 16, 32, 3, 3);
-    let kernel = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+        .compile(&op)
+        .expect("compiles");
     let mut bufs = alloc_buffers(&kernel.func);
     random_fill(&mut bufs, 7);
     c.bench_function("interpreter/tensorized_conv_8x8x16x32", |b| {

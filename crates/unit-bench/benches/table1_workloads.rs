@@ -4,8 +4,10 @@
 use unit_bench::{render_table, workloads::table_i};
 
 fn main() {
-    let header: Vec<String> =
-        ["#", "C", "IHW", "K", "R=S", "Stride", "OHW"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["#", "C", "IHW", "K", "R=S", "Stride", "OHW"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let rows: Vec<Vec<String>> = table_i()
         .iter()
         .enumerate()

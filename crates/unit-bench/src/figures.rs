@@ -53,7 +53,13 @@ impl FigureResult {
         let geomean = (0..series.len())
             .map(|i| geomean(&rows.iter().map(|r| r.values[i]).collect::<Vec<_>>()))
             .collect();
-        FigureResult { title: title.to_string(), series, rows, geomean, paper_geomean }
+        FigureResult {
+            title: title.to_string(),
+            series,
+            rows,
+            geomean,
+            paper_geomean,
+        }
     }
 
     /// Render as an aligned text table with a geomean footer.
@@ -81,7 +87,10 @@ impl FigureResult {
 }
 
 fn unit_cpu_tuning(max_pairs: usize) -> TuningConfig {
-    TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs }, gpu: GpuTuneMode::Tuned }
+    TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs },
+        gpu: GpuTuneMode::Tuned,
+    }
 }
 
 /// Figure 1: cuDNN fp16 *without* Tensor Cores, relative to fp32 (values
@@ -94,11 +103,17 @@ pub fn fig01() -> FigureResult {
     for (graph, label) in all_models().iter().zip(model_labels()) {
         let base = e2e_latency(graph, &fp32).total_ms;
         let naive = e2e_latency(graph, &fp16).total_ms;
-        rows.push(FigureRow { label: label.to_string(), values: vec![1.0, base / naive] });
+        rows.push(FigureRow {
+            label: label.to_string(),
+            values: vec![1.0, base / naive],
+        });
     }
     FigureResult::from_rows(
         "Figure 1: fp16 without mixed-precision instructions (V100, bs=1)",
-        vec!["cuDNN(fp32)".to_string(), "cuDNN(fp16) w/o Tensor Core".to_string()],
+        vec![
+            "cuDNN(fp32)".to_string(),
+            "cuDNN(fp16) w/o Tensor Core".to_string(),
+        ],
         rows,
         vec![1.0, 0.76],
     )
@@ -123,7 +138,11 @@ pub fn fig08() -> FigureResult {
     }
     FigureResult::from_rows(
         "Figure 8: quantized e2e inference (bs=1) accelerated by Intel VNNI",
-        vec!["MXNet w/ oneDNN".to_string(), "TVM".to_string(), "UNIT".to_string()],
+        vec![
+            "MXNet w/ oneDNN".to_string(),
+            "TVM".to_string(),
+            "UNIT".to_string(),
+        ],
         rows,
         vec![1.0, 1.10, 1.30],
     )
@@ -139,11 +158,17 @@ pub fn fig09() -> FigureResult {
     for (graph, label) in all_models().iter().zip(model_labels()) {
         let base = e2e_latency(graph, &cudnn).total_ms;
         let u = e2e_latency(graph, &unit).total_ms;
-        rows.push(FigureRow { label: label.to_string(), values: vec![1.0, base / u] });
+        rows.push(FigureRow {
+            label: label.to_string(),
+            values: vec![1.0, base / u],
+        });
     }
     FigureResult::from_rows(
         "Figure 9: mixed-precision e2e inference (bs=1) accelerated by Tensor Cores",
-        vec!["cuDNN (fp16) w/ Tensor Core".to_string(), "UNIT".to_string()],
+        vec![
+            "cuDNN (fp16) w/ Tensor Core".to_string(),
+            "UNIT".to_string(),
+        ],
         rows,
         vec![1.0, 1.75],
     )
@@ -164,7 +189,10 @@ pub fn fig10() -> FigureResult {
         .map(|(label, mode)| {
             UnitProvider::new(
                 Target::x86_avx512_vnni(),
-                TuningConfig { cpu: *mode, gpu: GpuTuneMode::Tuned },
+                TuningConfig {
+                    cpu: *mode,
+                    gpu: GpuTuneMode::Tuned,
+                },
             )
             .with_label(*label)
         })
@@ -177,7 +205,10 @@ pub fn fig10() -> FigureResult {
         for p in &providers {
             values.push(base / p.conv_micros(spec).0);
         }
-        rows.push(FigureRow { label: format!("#{}", i + 1), values });
+        rows.push(FigureRow {
+            label: format!("#{}", i + 1),
+            values,
+        });
     }
     let mut series = vec!["oneDNN".to_string()];
     series.extend(stages.iter().map(|(l, _)| (*l).to_string()));
@@ -205,7 +236,10 @@ pub fn fig11() -> FigureResult {
         .map(|(label, mode)| {
             UnitProvider::new(
                 Target::nvidia_tensor_core(),
-                TuningConfig { cpu: CpuTuneMode::ParallelUnroll, gpu: *mode },
+                TuningConfig {
+                    cpu: CpuTuneMode::ParallelUnroll,
+                    gpu: *mode,
+                },
             )
             .with_label(*label)
         })
@@ -217,7 +251,10 @@ pub fn fig11() -> FigureResult {
         for p in &providers {
             values.push(base / p.conv_micros(spec).0);
         }
-        rows.push(FigureRow { label: format!("#{}", i + 1), values });
+        rows.push(FigureRow {
+            label: format!("#{}", i + 1),
+            values,
+        });
     }
     let mut series = vec!["cuDNN".to_string()];
     series.extend(stages.iter().map(|(l, _)| (*l).to_string()));
@@ -248,7 +285,11 @@ pub fn fig12() -> FigureResult {
     }
     FigureResult::from_rows(
         "Figure 12: e2e inference on ARM (bs=1) accelerated by DOT",
-        vec!["TVM-NEON".to_string(), "TVM-Manual".to_string(), "UNIT".to_string()],
+        vec![
+            "TVM-NEON".to_string(),
+            "TVM-Manual".to_string(),
+            "UNIT".to_string(),
+        ],
         rows,
         vec![1.0, 4.2, 4.7],
     )
@@ -264,7 +305,10 @@ pub fn fig13() -> FigureResult {
     for (i, spec) in res18_3d_convs().iter().enumerate() {
         let base = onednn.conv_micros(spec).0;
         let u = unit.conv_micros(spec).0;
-        rows.push(FigureRow { label: format!("{i}"), values: vec![1.0, base / u] });
+        rows.push(FigureRow {
+            label: format!("{i}"),
+            values: vec![1.0, base / u],
+        });
     }
     FigureResult::from_rows(
         "Figure 13: per-layer conv3d performance on res18-3d (VNNI)",
@@ -283,8 +327,7 @@ pub fn candidates_to_optimum() -> Vec<usize> {
     let mut out = Vec::new();
     for spec in table_i() {
         let op = blocked_conv2d(&spec, 16, 4, unit_dsl::DType::U8, unit_dsl::DType::I8);
-        let t = Tensorizer::new(Target::x86_avx512_vnni())
-            .with_tuning(unit_cpu_tuning(16));
+        let t = Tensorizer::new(Target::x86_avx512_vnni()).with_tuning(unit_cpu_tuning(16));
         let kernel = t.compile(&op).expect("Table I layers all tensorize");
         let best = kernel
             .tuning_log

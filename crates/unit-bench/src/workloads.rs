@@ -9,24 +9,26 @@ use unit_graph::ConvSpec;
 pub fn table_i() -> Vec<ConvSpec> {
     // (C, IHW, K, R=S, stride). OHW is derived and checked in tests.
     let raw: [(i64, i64, i64, i64, i64); 16] = [
-        (288, 35, 384, 3, 2),   // #1
-        (160, 9, 224, 3, 1),    // #2
-        (1056, 7, 192, 1, 1),   // #3
-        (80, 73, 192, 3, 1),    // #4
-        (128, 16, 128, 3, 1),   // #5
-        (192, 16, 192, 3, 1),   // #6
-        (256, 16, 256, 3, 1),   // #7
-        (1024, 14, 512, 1, 1),  // #8
-        (128, 16, 160, 3, 1),   // #9
-        (576, 14, 192, 1, 1),   // #10
-        (96, 16, 128, 3, 1),    // #11
-        (1024, 14, 256, 1, 1),  // #12
-        (576, 14, 128, 1, 1),   // #13
-        (64, 29, 96, 3, 1),     // #14
-        (64, 56, 128, 1, 2),    // #15
-        (608, 14, 192, 1, 1),   // #16
+        (288, 35, 384, 3, 2),  // #1
+        (160, 9, 224, 3, 1),   // #2
+        (1056, 7, 192, 1, 1),  // #3
+        (80, 73, 192, 3, 1),   // #4
+        (128, 16, 128, 3, 1),  // #5
+        (192, 16, 192, 3, 1),  // #6
+        (256, 16, 256, 3, 1),  // #7
+        (1024, 14, 512, 1, 1), // #8
+        (128, 16, 160, 3, 1),  // #9
+        (576, 14, 192, 1, 1),  // #10
+        (96, 16, 128, 3, 1),   // #11
+        (1024, 14, 256, 1, 1), // #12
+        (576, 14, 128, 1, 1),  // #13
+        (64, 29, 96, 3, 1),    // #14
+        (64, 56, 128, 1, 2),   // #15
+        (608, 14, 192, 1, 1),  // #16
     ];
-    raw.into_iter().map(|(c, ihw, k, r, s)| ConvSpec::new_2d(c, ihw, k, r, s, 0)).collect()
+    raw.into_iter()
+        .map(|(c, ihw, k, r, s)| ConvSpec::new_2d(c, ihw, k, r, s, 0))
+        .collect()
 }
 
 /// The OHW row of Table I, used to validate the transcription.

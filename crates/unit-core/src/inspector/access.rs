@@ -62,8 +62,14 @@ pub fn enumerate_mappings(
         .iter()
         .map(|p| (axis_set(&p.op), axis_set(&p.inst)))
         .collect();
-    let dst_op = Load { tensor: op.output, indices: op.out_indices.clone() };
-    let dst_inst = Load { tensor: inst.output, indices: inst.out_indices.clone() };
+    let dst_op = Load {
+        tensor: op.output,
+        indices: op.out_indices.clone(),
+    };
+    let dst_inst = Load {
+        tensor: inst.output,
+        indices: inst.out_indices.clone(),
+    };
     sets.push((axis_set(&dst_op), axis_set(&dst_inst)));
 
     // Candidate operation axes per instruction axis: same annotation,
@@ -86,7 +92,15 @@ pub fn enumerate_mappings(
     let mut out = Vec::new();
     let mut current: AxisMapping = Vec::new();
     let mut used: BTreeSet<AxisId> = BTreeSet::new();
-    dfs(&inst_axes, &candidates, 0, &mut current, &mut used, &sets, &mut out);
+    dfs(
+        &inst_axes,
+        &candidates,
+        0,
+        &mut current,
+        &mut used,
+        &sets,
+        &mut out,
+    );
     out
 }
 
@@ -130,7 +144,9 @@ mod tests {
 
     #[test]
     fn conv_maps_channels_to_vnni_exactly_as_figure_5() {
-        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics;
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512")
+            .unwrap()
+            .semantics;
         let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
         let (_, pairs) = match_compute(&vnni, &op).unwrap();
         let mappings = enumerate_mappings(&vnni, &op, &pairs);
@@ -145,7 +161,9 @@ mod tests {
 
     #[test]
     fn matmul_prefers_innermost_data_parallel_axis() {
-        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics;
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512")
+            .unwrap()
+            .semantics;
         // Both i (extent 32) and j (extent 64) are divisible by 16, but the
         // feasibility check rules i out: a[i,k] would make lane-parallel i
         // index the a register while the instruction's a access has no i...
@@ -167,7 +185,9 @@ mod tests {
 
     #[test]
     fn infeasible_when_reduce_axis_not_divisible() {
-        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics;
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512")
+            .unwrap()
+            .semantics;
         // Reduction depth 6 is not a multiple of 4.
         let op = matmul_u8i8(32, 64, 6);
         let (_, pairs) = match_compute(&vnni, &op).unwrap();
@@ -197,7 +217,9 @@ mod tests {
         // The matmul activation a[i,k] does not vary along the instruction
         // lane axis when j maps to lanes: S'(a) = {j_inst} minus... it is a
         // strict subset, i.e. a broadcast, and must be accepted.
-        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics;
+        let vnni = registry::by_name("llvm.x86.avx512.vpdpbusd.512")
+            .unwrap()
+            .semantics;
         let op = matmul_u8i8(16, 16, 16);
         let (_, pairs) = match_compute(&vnni, &op).unwrap();
         let mappings = enumerate_mappings(&vnni, &op, &pairs);

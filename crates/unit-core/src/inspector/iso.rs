@@ -73,7 +73,10 @@ fn inspect_expr(
             if !binding.bind(la.tensor, lb.tensor) {
                 return false;
             }
-            pairs.push(LoadPair { inst: la.clone(), op: lb.clone() });
+            pairs.push(LoadPair {
+                inst: la.clone(),
+                op: lb.clone(),
+            });
             true
         }
         (Expr::Int(va, _), Expr::Int(vb, _)) => va == vb,
@@ -98,7 +101,10 @@ fn inspect_expr(
 fn runtime_combiner(op: &ComputeOp) -> Expr {
     Expr::bin(
         op.reduce_op.combine_op(),
-        Expr::Load(Load { tensor: op.output, indices: op.out_indices.clone() }),
+        Expr::Load(Load {
+            tensor: op.output,
+            indices: op.out_indices.clone(),
+        }),
         op.update.clone(),
     )
 }
@@ -142,7 +148,9 @@ mod tests {
     use unit_isa::registry;
 
     fn vnni() -> ComputeOp {
-        registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap().semantics
+        registry::by_name("llvm.x86.avx512.vpdpbusd.512")
+            .unwrap()
+            .semantics
     }
 
     #[test]
@@ -186,7 +194,9 @@ mod tests {
     fn sdot_rejects_unsigned_activations() {
         // sdot is i8 x i8; conv2d_hwc uses u8 activations, so the dtype
         // check at the cast leaf must fail.
-        let sdot = registry::by_name("llvm.arm.neon.sdot.v4i32.v16i8").unwrap().semantics;
+        let sdot = registry::by_name("llvm.arm.neon.sdot.v4i32.v16i8")
+            .unwrap()
+            .semantics;
         let op = conv2d_hwc(8, 8, 16, 32, 3, 3);
         assert!(match_compute(&sdot, &op).is_none());
     }
@@ -201,8 +211,8 @@ mod tests {
         let a = b.tensor("a", &[64], DType::U8);
         let i = b.axis("i", 16);
         let j = b.reduce_axis("j", 4);
-        let e = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
-            * b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32);
+        let e = b.load(a, vec![(i * 4 + j)]).cast(DType::I32)
+            * b.load(a, vec![(i * 4 + j)]).cast(DType::I32);
         let square = b.compute("d", DType::I32, vec![i.into()], InitExpr::Identity, e);
 
         // Instruction that squares its single register.
@@ -210,8 +220,8 @@ mod tests {
         let ra = ib.tensor("r", &[64], DType::U8);
         let ii = ib.axis("i", 16);
         let jj = ib.reduce_axis("j", 4);
-        let ie = ib.load(ra, vec![(ii * 4 + jj).into()]).cast(DType::I32)
-            * ib.load(ra, vec![(ii * 4 + jj).into()]).cast(DType::I32);
+        let ie = ib.load(ra, vec![(ii * 4 + jj)]).cast(DType::I32)
+            * ib.load(ra, vec![(ii * 4 + jj)]).cast(DType::I32);
         let sq_inst = ib.compute("d", DType::I32, vec![ii.into()], InitExpr::Identity, ie);
 
         // The squaring instruction matches the squaring op...

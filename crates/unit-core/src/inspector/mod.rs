@@ -39,5 +39,9 @@ pub fn inspect(intrinsic: &TensorIntrinsic, op: &ComputeOp) -> Result<Match, Str
         .first()
         .cloned()
         .ok_or_else(|| "no feasible loop mapping satisfies S'(u) ⊆ S(v)".to_string())?;
-    Ok(Match { binding, mapping, alternatives: mappings })
+    Ok(Match {
+        binding,
+        mapping,
+        alternatives: mappings,
+    })
 }

@@ -36,7 +36,11 @@ impl Target {
     /// AWS Graviton2 with the ARM dot-product extension (m6g.8xlarge).
     #[must_use]
     pub fn arm_neon_dot() -> Target {
-        Target { platform: Platform::ArmDot, cpu: Some(CpuMachine::graviton2()), gpu: None }
+        Target {
+            platform: Platform::ArmDot,
+            cpu: Some(CpuMachine::graviton2()),
+            gpu: None,
+        }
     }
 
     /// Nvidia V100 with Tensor Cores (p3.2xlarge).
@@ -61,7 +65,10 @@ pub struct TuningConfig {
 
 impl Default for TuningConfig {
     fn default() -> TuningConfig {
-        TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs: 16 }, gpu: GpuTuneMode::Tuned }
+        TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+            gpu: GpuTuneMode::Tuned,
+        }
     }
 }
 
@@ -100,7 +107,10 @@ impl Tensorizer {
     /// A tensorizer with default (full) tuning.
     #[must_use]
     pub fn new(target: Target) -> Tensorizer {
-        Tensorizer { target, tuning: TuningConfig::default() }
+        Tensorizer {
+            target,
+            tuning: TuningConfig::default(),
+        }
     }
 
     /// Override the tuning effort (used by the ablation benches).
@@ -158,8 +168,11 @@ impl Tensorizer {
         let (intrinsic, m) = self.inspect(op)?;
         match self.target.platform {
             Platform::X86Vnni | Platform::ArmDot => {
-                let machine =
-                    self.target.cpu.as_ref().expect("CPU platform carries a CPU machine");
+                let machine = self
+                    .target
+                    .cpu
+                    .as_ref()
+                    .expect("CPU platform carries a CPU machine");
                 let tuned = tune_cpu(op, &m, &intrinsic, machine, self.tuning.cpu)?;
                 Ok(CompiledKernel {
                     op_name: op.name.clone(),
@@ -173,8 +186,11 @@ impl Tensorizer {
                 })
             }
             Platform::NvidiaTensorCore => {
-                let machine =
-                    self.target.gpu.as_ref().expect("GPU platform carries a GPU machine");
+                let machine = self
+                    .target
+                    .gpu
+                    .as_ref()
+                    .expect("GPU platform carries a GPU machine");
                 let tuned = tune_gpu(op, &m, &intrinsic, machine, self.tuning.gpu, hint);
                 // The functional kernel: base tensorized lowering (the GPU
                 // scheduling knobs do not change semantics).
@@ -203,7 +219,9 @@ mod tests {
     #[test]
     fn x86_pipeline_compiles_quantized_conv() {
         let op = conv2d_hwc(18, 18, 32, 64, 3, 3);
-        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
         assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.512");
         assert!(k.estimate.cycles > 0.0);
         assert!(!k.tuning_log.is_empty());
@@ -212,7 +230,9 @@ mod tests {
     #[test]
     fn gpu_pipeline_compiles_fp16_matmul() {
         let op = matmul_f16(112, 256, 512);
-        let k = Tensorizer::new(Target::nvidia_tensor_core()).compile(&op).unwrap();
+        let k = Tensorizer::new(Target::nvidia_tensor_core())
+            .compile(&op)
+            .unwrap();
         assert!(k.intrinsic.name.contains("wmma"));
         assert!(k.gpu_desc.is_some());
     }
@@ -221,7 +241,9 @@ mod tests {
     fn inapplicable_ops_report_reasons() {
         // fp16 matmul on VNNI: every x86 instruction must report why not.
         let op = matmul_f16(64, 64, 64);
-        let err = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap_err();
+        let err = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap_err();
         match err {
             CompileError::NoApplicableInstruction { tried } => {
                 assert_eq!(tried.len(), registry::for_platform(Platform::X86Vnni).len());
@@ -235,7 +257,9 @@ mod tests {
         // Neither data-parallel extent (24, 8) tiles by 16 lanes, so the
         // 512-bit encoding is inapplicable; the 256-bit one (8 lanes) fits.
         let op = matmul_u8i8(24, 8, 64);
-        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
         assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.256");
     }
 
@@ -243,7 +267,9 @@ mod tests {
     fn compiled_kernels_are_correct_end_to_end() {
         use unit_interp::{alloc_buffers, random_fill, run, run_reference};
         let op = conv2d_hwc(12, 12, 16, 32, 3, 3);
-        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
         let mut bufs = alloc_buffers(&k.func);
         random_fill(&mut bufs, 77);
         let mut reference = bufs.clone();

@@ -74,18 +74,23 @@ pub fn build_tensorized_schedule(
     for (op_axis, inst_axis) in &m.mapping {
         let factor = intrinsic.semantics.extent(*inst_axis);
         let root = s.root_of(*op_axis);
-        let (_outer, inner) =
-            s.split(root, factor).map_err(|e| CompileError::Schedule(e.to_string()))?;
+        let (_outer, inner) = s
+            .split(root, factor)
+            .map_err(|e| CompileError::Schedule(e.to_string()))?;
         loop_map.push((inner, *inst_axis));
         inner_vars.push(inner);
     }
 
     // Desired order: all non-tensorized leaves in current relative order,
     // then the tensorized tiles in instruction-axis order.
-    let mut order: Vec<VarId> =
-        s.leaves().into_iter().filter(|v| !inner_vars.contains(v)).collect();
+    let mut order: Vec<VarId> = s
+        .leaves()
+        .into_iter()
+        .filter(|v| !inner_vars.contains(v))
+        .collect();
     order.extend(&inner_vars);
-    s.reorder(&order).map_err(|e| CompileError::Schedule(e.to_string()))?;
+    s.reorder(&order)
+        .map_err(|e| CompileError::Schedule(e.to_string()))?;
     s.pragma_tensorize(inner_vars[0], intrinsic.name.clone())
         .map_err(|e| CompileError::Schedule(e.to_string()))?;
 
@@ -117,11 +122,10 @@ pub fn build_tensorized_schedule(
 ///
 /// [`CompileError::Lower`] / [`CompileError::Tensorize`].
 pub fn finalize(ts: &TensorizedSchedule, name: &str) -> Result<TirFunc, CompileError> {
-    let func =
-        lower(&ts.schedule, name).map_err(|e| CompileError::Lower(e.to_string()))?;
+    let func = lower(&ts.schedule, name).map_err(|e| CompileError::Lower(e.to_string()))?;
     let func = elide_proven_guards(&func);
-    let func = tensorize_pass(&func, &ts.request())
-        .map_err(|e| CompileError::Tensorize(e.to_string()))?;
+    let func =
+        tensorize_pass(&func, &ts.request()).map_err(|e| CompileError::Tensorize(e.to_string()))?;
     Ok(simplify(&func))
 }
 
@@ -142,7 +146,10 @@ mod tests {
 
     #[test]
     fn conv_rewrites_to_one_vnni_call_site() {
-        let func = rewrite(&conv2d_hwc(8, 8, 16, 32, 3, 3), "llvm.x86.avx512.vpdpbusd.512");
+        let func = rewrite(
+            &conv2d_hwc(8, 8, 16, 32, 3, 3),
+            "llvm.x86.avx512.vpdpbusd.512",
+        );
         assert_eq!(func.body.count(&|s| matches!(s, Stmt::Intrin(_))), 1);
         // No residue guards: 32 % 16 == 0 and 16 % 4 == 0.
         assert_eq!(func.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 0);
@@ -150,7 +157,10 @@ mod tests {
 
     #[test]
     fn matmul_rewrites_for_wmma() {
-        let func = rewrite(&matmul_f16(64, 48, 32), "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32");
+        let func = rewrite(
+            &matmul_f16(64, 48, 32),
+            "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+        );
         let mut seen = None;
         func.body.visit(&mut |s| {
             if let Stmt::Intrin(is) = s {
@@ -169,8 +179,14 @@ mod tests {
         for (op, intrin) in [
             (matmul_u8i8(16, 32, 64), "llvm.x86.avx512.vpdpbusd.512"),
             (matmul_u8i8(16, 32, 64), "llvm.x86.avx512.vpdpbusd.128"),
-            (conv2d_hwc(10, 10, 8, 16, 3, 3), "llvm.x86.avx512.vpdpbusd.128"),
-            (matmul_f16(32, 32, 32), "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32"),
+            (
+                conv2d_hwc(10, 10, 8, 16, 3, 3),
+                "llvm.x86.avx512.vpdpbusd.128",
+            ),
+            (
+                matmul_f16(32, 32, 32),
+                "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+            ),
         ] {
             let func = rewrite(&op, intrin);
             let mut bufs = alloc_buffers(&func);
@@ -198,7 +214,13 @@ mod tests {
         let k = b.reduce_axis("k", 16);
         let e = b.load(a, vec![i.into(), k.into()]).cast(DType::I32)
             * b.load(w, vec![j.into(), k.into()]).cast(DType::I32);
-        let op = b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, e);
+        let op = b.compute(
+            "d",
+            DType::I32,
+            vec![i.into(), j.into()],
+            InitExpr::Identity,
+            e,
+        );
 
         let func = rewrite(&op, "llvm.arm.neon.sdot.v4i32.v16i8");
         use unit_interp::{alloc_buffers, random_fill, run, run_reference};

@@ -164,7 +164,10 @@ fn build_candidate(
         s.reorder(&[fused, next]).map_err(sched_err)?;
         // `reorder` keeps positions; ensure adjacency by full order fix-up:
         let mut order = s.leaves();
-        let fp = order.iter().position(|v| *v == fused).expect("fused is a leaf");
+        let fp = order
+            .iter()
+            .position(|v| *v == fused)
+            .expect("fused is a leaf");
         order.retain(|v| *v != next);
         order.insert(fp + 1, next);
         s.reorder(&order).map_err(sched_err)?;
@@ -234,9 +237,10 @@ pub fn tune_cpu(
     let pairs: Vec<(i64, i64)> = match mode {
         CpuTuneMode::ParallelOnly => vec![(3000, 1)],
         CpuTuneMode::ParallelUnroll => vec![(3000, 8)],
-        CpuTuneMode::Tuned { max_pairs } => {
-            candidate_pairs().into_iter().take(max_pairs.max(1)).collect()
-        }
+        CpuTuneMode::Tuned { max_pairs } => candidate_pairs()
+            .into_iter()
+            .take(max_pairs.max(1))
+            .collect(),
         CpuTuneMode::Fixed { par, unroll } => vec![(par, unroll)],
     };
 
@@ -247,13 +251,18 @@ pub fn tune_cpu(
         let func = build_candidate(op, m, intrinsic, par, unroll, &op.name)?;
         let est = estimate_cpu(&func, machine);
         log.push((desc.clone(), est.cycles));
-        let better = best.as_ref().map_or(true, |(_, b, _)| est.cycles < b.cycles);
+        let better = best.as_ref().is_none_or(|(_, b, _)| est.cycles < b.cycles);
         if better {
             best = Some((func, est, desc));
         }
     }
     let (func, estimate, chosen) = best.expect("at least one candidate is always profiled");
-    Ok(CpuTuneResult { func, estimate, chosen, log })
+    Ok(CpuTuneResult {
+        func,
+        estimate,
+        chosen,
+        log,
+    })
 }
 
 #[cfg(test)]
@@ -289,8 +298,14 @@ mod tests {
         let (op, m, intrin) = setup();
         let machine = CpuMachine::cascade_lake();
         let unr = tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::ParallelUnroll).unwrap();
-        let tuned =
-            tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::Tuned { max_pairs: 16 }).unwrap();
+        let tuned = tune_cpu(
+            &op,
+            &m,
+            &intrin,
+            &machine,
+            CpuTuneMode::Tuned { max_pairs: 16 },
+        )
+        .unwrap();
         assert!(tuned.estimate.cycles <= unr.estimate.cycles);
         assert_eq!(tuned.log.len(), 16);
     }

@@ -74,8 +74,12 @@ fn mnk_view(op: &ComputeOp, m: &Match, intrinsic: &TensorIntrinsic) -> (i64, i64
         .map(|(a, _)| *a)
         .expect("mapping covers all instruction axes");
     let cols: i64 = op.extent(col_op_axis);
-    let rows: i64 =
-        op.axes.iter().filter(|a| a.id != col_op_axis).map(|a| a.extent).product();
+    let rows: i64 = op
+        .axes
+        .iter()
+        .filter(|a| a.id != col_op_axis)
+        .map(|a| a.extent)
+        .product();
     let reduce: i64 = op.reduce_axes.iter().map(|a| a.extent).product();
     let spatial_axes = op.axes.iter().filter(|a| a.id != col_op_axis).count();
     (rows, cols, reduce, spatial_axes)
@@ -177,13 +181,18 @@ pub fn tune_gpu(
         let est = estimate_gpu(&desc, machine);
         let name = format!("p={p},fuse={fuse},splitK={split}");
         log.push((name.clone(), est.cycles));
-        let better = best.as_ref().map_or(true, |(_, b, _)| est.cycles < b.cycles);
+        let better = best.as_ref().is_none_or(|(_, b, _)| est.cycles < b.cycles);
         if better {
             best = Some((desc, est, name));
         }
     }
     let (desc, estimate, chosen) = best.expect("at least one configuration profiled");
-    GpuTuneResult { desc, estimate, chosen, log }
+    GpuTuneResult {
+        desc,
+        estimate,
+        chosen,
+        log,
+    }
 }
 
 /// Decompose a sum-reduction op into (partial, combine) for split-K:
@@ -202,7 +211,11 @@ pub fn split_reduce_decompose(
     axis: unit_dsl::AxisId,
     segments: i64,
 ) -> (ComputeOp, ComputeOp) {
-    assert_eq!(op.reduce_op, unit_dsl::ReduceOp::Sum, "split-K requires a sum reduction");
+    assert_eq!(
+        op.reduce_op,
+        unit_dsl::ReduceOp::Sum,
+        "split-K requires a sum reduction"
+    );
     let target = op
         .reduce_axes
         .iter()
@@ -291,8 +304,8 @@ mod tests {
     use super::*;
     use crate::inspector::inspect;
     use unit_dsl::builder::matmul_f16;
-    use unit_isa::registry;
     use unit_interp::{alloc_op_buffers, random_fill, run_reference};
+    use unit_isa::registry;
 
     fn setup(n: i64, m_: i64, k: i64) -> (ComputeOp, Match, TensorIntrinsic) {
         let op = matmul_f16(n, m_, k);
@@ -328,7 +341,10 @@ mod tests {
         let tuned = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
         for s in stages {
             let r = tune_gpu(&op, &m, &intrin, &machine, s, None);
-            assert!(tuned.estimate.cycles <= r.estimate.cycles, "stage {s:?} beat Tuned");
+            assert!(
+                tuned.estimate.cycles <= r.estimate.cycles,
+                "stage {s:?} beat Tuned"
+            );
         }
         assert!(tuned.log.len() > 10);
     }

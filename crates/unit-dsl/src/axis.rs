@@ -65,13 +65,22 @@ impl Axis {
     #[must_use]
     pub fn new(id: AxisId, name: impl Into<String>, extent: i64, kind: AxisKind) -> Axis {
         assert!(extent > 0, "axis extent must be positive, got {extent}");
-        Axis { id, name: name.into(), extent, kind }
+        Axis {
+            id,
+            name: name.into(),
+            extent,
+            kind,
+        }
     }
 
     /// Lightweight copyable handle used by expression-building sugar.
     #[must_use]
     pub fn handle(&self) -> Ax {
-        Ax { id: self.id, extent: self.extent, kind: self.kind }
+        Ax {
+            id: self.id,
+            extent: self.extent,
+            kind: self.kind,
+        }
     }
 }
 

@@ -65,7 +65,12 @@ impl OpBuilder {
             shape.iter().all(|&d| d > 0),
             "tensor dimensions must be positive, got {shape:?}"
         );
-        self.tensors.push(TensorDecl { id, name: name.into(), shape: shape.to_vec(), dtype });
+        self.tensors.push(TensorDecl {
+            id,
+            name: name.into(),
+            shape: shape.to_vec(),
+            dtype,
+        });
         id
     }
 
@@ -170,8 +175,11 @@ pub fn conv2d_hwc(h: i64, w: i64, c: i64, k: i64, r: i64, s: i64) -> ComputeOp {
     let rr = b.reduce_axis("r", r);
     let ss = b.reduce_axis("s", s);
     let rc = b.reduce_axis("rc", c);
-    let elem = b.load(a, vec![(x + rr).into(), (y + ss).into(), rc.into()]).cast(DType::I32)
-        * b.load(wt, vec![rr.into(), ss.into(), kk.into(), rc.into()]).cast(DType::I32);
+    let elem = b
+        .load(a, vec![(x + rr), (y + ss), rc.into()])
+        .cast(DType::I32)
+        * b.load(wt, vec![rr.into(), ss.into(), kk.into(), rc.into()])
+            .cast(DType::I32);
     b.compute(
         "c",
         DType::I32,
@@ -193,7 +201,13 @@ pub fn matmul_u8i8(n: i64, m: i64, k: i64) -> ComputeOp {
     let kk = b.reduce_axis("k", k);
     let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::I32)
         * b.load(wt, vec![j.into(), kk.into()]).cast(DType::I32);
-    b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+    b.compute(
+        "d",
+        DType::I32,
+        vec![i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
 }
 
 /// An fp16 matrix multiplication with fp32 accumulation,
@@ -208,7 +222,13 @@ pub fn matmul_f16(n: i64, m: i64, k: i64) -> ComputeOp {
     let kk = b.reduce_axis("k", k);
     let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::F32)
         * b.load(wt, vec![kk.into(), j.into()]).cast(DType::F32);
-    b.compute("c", DType::F32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+    b.compute(
+        "c",
+        DType::F32,
+        vec![i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
 }
 
 #[cfg(test)]
@@ -241,7 +261,13 @@ mod tests {
     #[test]
     fn matmul_helpers_have_expected_kinds() {
         let op = matmul_u8i8(4, 8, 16);
-        assert_eq!(op.axes.iter().filter(|a| a.kind == AxisKind::DataParallel).count(), 2);
+        assert_eq!(
+            op.axes
+                .iter()
+                .filter(|a| a.kind == AxisKind::DataParallel)
+                .count(),
+            2
+        );
         assert_eq!(op.reduce_axes[0].extent, 16);
         let opf = matmul_f16(16, 16, 16);
         assert_eq!(opf.output_decl().dtype, DType::F32);
@@ -254,7 +280,7 @@ mod tests {
         let a = b.tensor("a", &[4], DType::I8);
         let i = b.axis("i", 4);
         let e = b.load(a, vec![i.into()]).cast(DType::I32);
-        let _ = b.compute("o", DType::I32, vec![(i * 2).into()], InitExpr::Identity, e);
+        let _ = b.compute("o", DType::I32, vec![(i * 2)], InitExpr::Identity, e);
     }
 
     #[test]

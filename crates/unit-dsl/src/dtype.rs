@@ -279,7 +279,10 @@ mod tests {
             let h = F16::from_f32(v);
             let back = h.to_f32();
             let again = F16::from_f32(back);
-            assert_eq!(h.0, again.0, "value {v} must be stable after one round trip");
+            assert_eq!(
+                h.0, again.0,
+                "value {v} must be stable after one round trip"
+            );
         }
     }
 

@@ -157,12 +157,14 @@ impl Expr {
         match self {
             Expr::Load(l) => Expr::Load(Load {
                 tensor: l.tensor,
-                indices: l.indices.iter().map(|ix| f(ix)).collect(),
+                indices: l.indices.iter().map(f).collect(),
             }),
             Expr::Cast(dt, inner) => Expr::Cast(*dt, Box::new(inner.map_indices(f))),
-            Expr::Bin(op, lhs, rhs) => {
-                Expr::Bin(*op, Box::new(lhs.map_indices(f)), Box::new(rhs.map_indices(f)))
-            }
+            Expr::Bin(op, lhs, rhs) => Expr::Bin(
+                *op,
+                Box::new(lhs.map_indices(f)),
+                Box::new(rhs.map_indices(f)),
+            ),
             other => other.clone(),
         }
     }
@@ -238,7 +240,10 @@ mod tests {
         let flat = LinExpr::from_terms([(AxisId(0), 4), (AxisId(1), 1)], 0);
         let e = Expr::load(a, vec![flat.clone()]).cast(DType::I32)
             * Expr::load(b, vec![flat]).cast(DType::I32);
-        assert_eq!(e.to_string(), "(i32(t0[4*ax0 + ax1]) * i32(t1[4*ax0 + ax1]))");
+        assert_eq!(
+            e.to_string(),
+            "(i32(t0[4*ax0 + ax1]) * i32(t1[4*ax0 + ax1]))"
+        );
         assert_eq!(e.size(), 5);
     }
 

@@ -31,7 +31,10 @@ impl LinExpr {
     /// The constant expression `value`.
     #[must_use]
     pub fn constant(value: i64) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), offset: value }
+        LinExpr {
+            terms: BTreeMap::new(),
+            offset: value,
+        }
     }
 
     /// The expression consisting of a single axis with coefficient 1.
@@ -205,12 +208,17 @@ impl Add for LinExpr {
             *terms.entry(ax).or_insert(0) += c;
         }
         terms.retain(|_, c| *c != 0);
-        LinExpr { terms, offset: self.offset + rhs.offset }
+        LinExpr {
+            terms,
+            offset: self.offset + rhs.offset,
+        }
     }
 }
 
 impl Sub for LinExpr {
     type Output = LinExpr;
+    // Subtraction genuinely is addition of the negation here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: LinExpr) -> LinExpr {
         self + rhs.neg()
     }
@@ -362,8 +370,16 @@ mod tests {
 
     #[test]
     fn axis_handle_sugar_builds_expected_expressions() {
-        let i = Ax { id: ax(0), extent: 16, kind: crate::AxisKind::DataParallel };
-        let j = Ax { id: ax(1), extent: 4, kind: crate::AxisKind::Reduce };
+        let i = Ax {
+            id: ax(0),
+            extent: 16,
+            kind: crate::AxisKind::DataParallel,
+        };
+        let j = Ax {
+            id: ax(1),
+            extent: 4,
+            kind: crate::AxisKind::Reduce,
+        };
         let e = i * 4 + j;
         assert_eq!(e.coeff(ax(0)), 4);
         assert_eq!(e.coeff(ax(1)), 1);

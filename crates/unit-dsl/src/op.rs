@@ -181,7 +181,10 @@ impl ComputeOp {
     /// Look up any axis (data-parallel or reduce) by id.
     #[must_use]
     pub fn axis(&self, id: AxisId) -> Option<&Axis> {
-        self.axes.iter().chain(&self.reduce_axes).find(|a| a.id == id)
+        self.axes
+            .iter()
+            .chain(&self.reduce_axes)
+            .find(|a| a.id == id)
     }
 
     /// All axes, data-parallel first.
@@ -203,9 +206,10 @@ impl ComputeOp {
     pub fn accumulator_load(&self) -> Load {
         match &self.init {
             InitExpr::Tensor(l) => l.clone(),
-            InitExpr::Identity | InitExpr::InPlace => {
-                Load { tensor: self.output, indices: self.out_indices.clone() }
-            }
+            InitExpr::Identity | InitExpr::InPlace => Load {
+                tensor: self.output,
+                indices: self.out_indices.clone(),
+            },
         }
     }
 
@@ -233,7 +237,9 @@ impl ComputeOp {
     /// Panics if the axis is not declared in this op.
     #[must_use]
     pub fn extent(&self, id: AxisId) -> i64 {
-        self.axis(id).unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name)).extent
+        self.axis(id)
+            .unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name))
+            .extent
     }
 
     /// Kind (annotation) of an axis.
@@ -243,7 +249,9 @@ impl ComputeOp {
     /// Panics if the axis is not declared in this op.
     #[must_use]
     pub fn kind(&self, id: AxisId) -> AxisKind {
-        self.axis(id).unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name)).kind
+        self.axis(id)
+            .unwrap_or_else(|| panic!("axis {id} not declared in op {}", self.name))
+            .kind
     }
 
     /// Total multiply-accumulate count of one execution of this op
@@ -251,7 +259,11 @@ impl ComputeOp {
     /// performance model.
     #[must_use]
     pub fn mac_count(&self) -> i64 {
-        self.axes.iter().chain(&self.reduce_axes).map(|a| a.extent).product()
+        self.axes
+            .iter()
+            .chain(&self.reduce_axes)
+            .map(|a| a.extent)
+            .product()
     }
 
     /// Number of output elements.
@@ -273,9 +285,15 @@ mod tests {
         let c = b.tensor("c", &[16], DType::I32);
         let i = b.axis("i", 16);
         let j = b.reduce_axis("j", 4);
-        let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
-            * b.load(bb, vec![(i * 4 + j).into()]).cast(DType::I32);
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem)
+        let elem = b.load(a, vec![(i * 4 + j)]).cast(DType::I32)
+            * b.load(bb, vec![(i * 4 + j)]).cast(DType::I32);
+        b.compute(
+            "d",
+            DType::I32,
+            vec![i.into()],
+            InitExpr::load(c, vec![i.into()]),
+            elem,
+        )
     }
 
     #[test]
@@ -299,8 +317,11 @@ mod tests {
             dtype: DType::I8,
         };
         let a0 = AxisId(0);
-        let flat =
-            t.flatten_access(&[LinExpr::axis(a0), LinExpr::constant(2), LinExpr::constant(3)]);
+        let flat = t.flatten_access(&[
+            LinExpr::axis(a0),
+            LinExpr::constant(2),
+            LinExpr::constant(3),
+        ]);
         assert_eq!(flat.coeff(a0), 20);
         assert_eq!(flat.offset(), 13);
     }
@@ -329,8 +350,13 @@ mod tests {
         let k = b.reduce_axis("k", 16);
         let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::F32)
             * b.load(bb, vec![k.into(), j.into()]).cast(DType::F32);
-        let op =
-            b.compute("c", DType::F32, vec![i.into(), j.into()], InitExpr::InPlace, elem);
+        let op = b.compute(
+            "c",
+            DType::F32,
+            vec![i.into(), j.into()],
+            InitExpr::InPlace,
+            elem,
+        );
         let acc = op.accumulator_load();
         assert_eq!(acc.tensor, op.output);
         assert_eq!(acc.indices, op.out_indices);

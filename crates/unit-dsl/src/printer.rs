@@ -18,7 +18,13 @@ pub fn print_op(op: &ComputeOp) -> String {
     let _ = writeln!(out, "// {}", op.name);
     for t in &op.tensors {
         let dims: Vec<String> = t.shape.iter().map(ToString::to_string).collect();
-        let _ = writeln!(out, "{} = tensor(({},), {})", t.name, dims.join(", "), t.dtype);
+        let _ = writeln!(
+            out,
+            "{} = tensor(({},), {})",
+            t.name,
+            dims.join(", "),
+            t.dtype
+        );
     }
     for a in op.all_axes() {
         let _ = writeln!(out, "{a}");
@@ -30,7 +36,8 @@ pub fn print_op(op: &ComputeOp) -> String {
         .map(|ix| {
             let vars = ix.vars();
             if vars.len() == 1 && ix.coeff(vars[0]) == 1 && ix.offset() == 0 {
-                op.axis(vars[0]).map_or_else(|| ix.to_string(), |a| a.name.clone())
+                op.axis(vars[0])
+                    .map_or_else(|| ix.to_string(), |a| a.name.clone())
             } else {
                 ix.to_string()
             }
@@ -47,7 +54,10 @@ pub fn print_op(op: &ComputeOp) -> String {
         }
         InitExpr::Tensor(l) => {
             let init_name = &op.tensor(l.tensor).name;
-            format!("{out_name}[{}] = {init_name}[..] + sum({update})", idx.join(", "))
+            format!(
+                "{out_name}[{}] = {init_name}[..] + sum({update})",
+                idx.join(", ")
+            )
         }
         InitExpr::InPlace => format!("{out_name}[{}] += sum({update})", idx.join(", ")),
     };
@@ -79,9 +89,16 @@ fn rename_tensors(op: &ComputeOp, text: &str) -> String {
 /// One-line summary used in logs: name, axis extents, dtypes.
 #[must_use]
 pub fn summarize_op(op: &ComputeOp) -> String {
-    let dp: Vec<String> = op.axes.iter().map(|a| format!("{}:{}", a.name, a.extent)).collect();
-    let red: Vec<String> =
-        op.reduce_axes.iter().map(|a| format!("{}:{}", a.name, a.extent)).collect();
+    let dp: Vec<String> = op
+        .axes
+        .iter()
+        .map(|a| format!("{}:{}", a.name, a.extent))
+        .collect();
+    let red: Vec<String> = op
+        .reduce_axes
+        .iter()
+        .map(|a| format!("{}:{}", a.name, a.extent))
+        .collect();
     format!(
         "{} [{}][reduce {}] {} -> {}",
         op.name,
@@ -116,7 +133,10 @@ mod tests {
         let mut op = matmul_f16(16, 16, 16);
         op.init = crate::InitExpr::InPlace;
         let text = print_op(&op);
-        assert!(text.contains("+="), "expected accumulate syntax in:\n{text}");
+        assert!(
+            text.contains("+="),
+            "expected accumulate syntax in:\n{text}"
+        );
     }
 
     #[test]

@@ -67,10 +67,23 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::UnknownAxis(a) => write!(f, "expression uses undeclared axis {a}"),
             VerifyError::UnknownTensor(t) => write!(f, "expression uses undeclared tensor {t}"),
-            VerifyError::RankMismatch { tensor, expected, got } => {
-                write!(f, "load of {tensor} has {got} indices but rank is {expected}")
+            VerifyError::RankMismatch {
+                tensor,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "load of {tensor} has {got} indices but rank is {expected}"
+                )
             }
-            VerifyError::OutOfBounds { tensor, dim, min, max, extent } => write!(
+            VerifyError::OutOfBounds {
+                tensor,
+                dim,
+                min,
+                max,
+                extent,
+            } => write!(
                 f,
                 "access of {tensor} dim {dim} spans [{min}, {max}] outside extent {extent}"
             ),
@@ -78,7 +91,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "binary operands have mismatched dtypes {a} and {b}")
             }
             VerifyError::UpdateDTypeMismatch { output, update } => {
-                write!(f, "update dtype {update} does not match output dtype {output}")
+                write!(
+                    f,
+                    "update dtype {update} does not match output dtype {output}"
+                )
             }
             VerifyError::InitDTypeMismatch { output, init } => {
                 write!(f, "init dtype {init} does not match output dtype {output}")
@@ -167,7 +183,10 @@ pub fn verify_op(op: &ComputeOp) -> Result<(), VerifyError> {
     let update_dt = op.update.dtype(&resolver);
     let out_dt = op.output_decl().dtype;
     if update_dt != out_dt {
-        return Err(VerifyError::UpdateDTypeMismatch { output: out_dt, update: update_dt });
+        return Err(VerifyError::UpdateDTypeMismatch {
+            output: out_dt,
+            update: update_dt,
+        });
     }
 
     // Init consistency.
@@ -179,7 +198,10 @@ pub fn verify_op(op: &ComputeOp) -> Result<(), VerifyError> {
             .map(|t| t.dtype)
             .ok_or(VerifyError::UnknownTensor(l.tensor))?;
         if init_dt != out_dt {
-            return Err(VerifyError::InitDTypeMismatch { output: out_dt, init: init_dt });
+            return Err(VerifyError::InitDTypeMismatch {
+                output: out_dt,
+                init: init_dt,
+            });
         }
     }
 
@@ -195,7 +217,13 @@ pub fn verify_op(op: &ComputeOp) -> Result<(), VerifyError> {
         let max = ix.max_value(&extent_of);
         let extent = op.output_decl().shape[dim];
         if min < 0 || max >= extent {
-            return Err(VerifyError::OutOfBounds { tensor: op.output, dim, min, max, extent });
+            return Err(VerifyError::OutOfBounds {
+                tensor: op.output,
+                dim,
+                min,
+                max,
+                extent,
+            });
         }
     }
     Ok(())
@@ -220,7 +248,9 @@ mod tests {
         // Corrupt: shrink the data tensor so x+r overflows.
         op.tensors[0].shape[0] = 4;
         match verify_op(&op) {
-            Err(VerifyError::OutOfBounds { dim: 0, extent: 4, .. }) => {}
+            Err(VerifyError::OutOfBounds {
+                dim: 0, extent: 4, ..
+            }) => {}
             other => panic!("expected out-of-bounds, got {other:?}"),
         }
     }
@@ -235,28 +265,47 @@ mod tests {
         let e = b.load(a, vec![i.into()]) * b.load(c, vec![i.into()]);
         let op = ComputeOp {
             name: "bad".into(),
-            tensors: {
-                let mut t = vec![];
-                std::mem::swap(&mut t, &mut bd_tensors(&b));
-                t
-            },
+            tensors: bd_tensors(&b),
             output: TensorId(2),
-            axes: vec![crate::Axis::new(AxisId(0), "i", 4, crate::AxisKind::DataParallel)],
+            axes: vec![crate::Axis::new(
+                AxisId(0),
+                "i",
+                4,
+                crate::AxisKind::DataParallel,
+            )],
             reduce_axes: vec![],
             out_indices: vec![LinExpr::axis(AxisId(0))],
             init: InitExpr::Identity,
             update: e,
             reduce_op: crate::ReduceOp::Sum,
         };
-        assert!(matches!(verify_op(&op), Err(VerifyError::BinaryDTypeMismatch(..))));
+        assert!(matches!(
+            verify_op(&op),
+            Err(VerifyError::BinaryDTypeMismatch(..))
+        ));
     }
 
     // Helper to pull the builder's tensors plus a synthetic output decl.
     fn bd_tensors(_b: &OpBuilder) -> Vec<crate::TensorDecl> {
         vec![
-            crate::TensorDecl { id: TensorId(0), name: "a".into(), shape: vec![4], dtype: DType::U8 },
-            crate::TensorDecl { id: TensorId(1), name: "c".into(), shape: vec![4], dtype: DType::I8 },
-            crate::TensorDecl { id: TensorId(2), name: "o".into(), shape: vec![4], dtype: DType::U8 },
+            crate::TensorDecl {
+                id: TensorId(0),
+                name: "a".into(),
+                shape: vec![4],
+                dtype: DType::U8,
+            },
+            crate::TensorDecl {
+                id: TensorId(1),
+                name: "c".into(),
+                shape: vec![4],
+                dtype: DType::I8,
+            },
+            crate::TensorDecl {
+                id: TensorId(2),
+                name: "o".into(),
+                shape: vec![4],
+                dtype: DType::U8,
+            },
         ]
     }
 
@@ -271,7 +320,10 @@ mod tests {
                 }
             }
         }
-        assert!(matches!(verify_op(&op), Err(VerifyError::RankMismatch { .. })));
+        assert!(matches!(
+            verify_op(&op),
+            Err(VerifyError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -283,6 +335,9 @@ mod tests {
         let mut op = b.compute("o", DType::I32, vec![i.into()], InitExpr::Identity, e);
         // Corrupt: make the update read the output.
         op.update = Expr::load(op.output, vec![LinExpr::axis(AxisId(0))]);
-        assert!(matches!(verify_op(&op), Err(VerifyError::OutputReadInUpdate)));
+        assert!(matches!(
+            verify_op(&op),
+            Err(VerifyError::OutputReadInUpdate)
+        ));
     }
 }

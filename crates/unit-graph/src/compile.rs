@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
@@ -106,15 +106,25 @@ pub fn e2e_latency(graph: &Graph, provider: &dyn ConvProvider) -> E2eReport {
                 (provider.dense_micros(in_features, *units), String::new())
             }
             _ => {
-                let in_bytes: i64 =
-                    node.inputs.iter().map(|i| shapes[i.0 as usize].bytes()).sum();
+                let in_bytes: i64 = node
+                    .inputs
+                    .iter()
+                    .map(|i| shapes[i.0 as usize].bytes())
+                    .sum();
                 let out_bytes = shapes[node.id.0 as usize].bytes();
-                (provider.memory_op_micros((in_bytes + out_bytes) as f64), String::new())
+                (
+                    provider.memory_op_micros((in_bytes + out_bytes) as f64),
+                    String::new(),
+                )
             }
         };
         let us = us + provider.per_op_overhead_us();
         total_us += us;
-        layers.push(LayerLatency { name: node.name.clone(), micros: us, note });
+        layers.push(LayerLatency {
+            name: node.name.clone(),
+            micros: us,
+            note,
+        });
     }
     E2eReport {
         model: graph.name.clone(),
@@ -188,7 +198,12 @@ impl UnitProvider {
     /// A provider with the given tuning effort.
     #[must_use]
     pub fn new(target: Target, tuning: TuningConfig) -> UnitProvider {
-        UnitProvider { target, tuning, label: "UNIT".to_string(), cache: Mutex::new(HashMap::new()) }
+        UnitProvider {
+            target,
+            tuning,
+            label: "UNIT".to_string(),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Override the display label (used by ablation stages).
@@ -231,7 +246,10 @@ impl UnitProvider {
             Some(machine) => {
                 let func = simd_fallback_func(op);
                 let est = estimate_cpu(&func, machine);
-                (est.micros(machine.freq_ghz), "SIMD fallback (no applicable instruction)".into())
+                (
+                    est.micros(machine.freq_ghz),
+                    "SIMD fallback (no applicable instruction)".into(),
+                )
             }
             None => {
                 // GPU fallback: CUDA-core fp16 path, memory bound.
@@ -244,7 +262,8 @@ impl UnitProvider {
                     .map(|t| (t.len() * t.dtype.bytes()) as f64)
                     .sum();
                 let mem_cycles = bytes / gpu.bytes_per_cycle();
-                let cycles = flops_cycles.max(mem_cycles) + gpu.kernel_launch_us * gpu.freq_ghz * 1e3;
+                let cycles =
+                    flops_cycles.max(mem_cycles) + gpu.kernel_launch_us * gpu.freq_ghz * 1e3;
                 (cycles / (gpu.freq_ghz * 1e3), "CUDA-core fallback".into())
             }
         }
@@ -264,7 +283,7 @@ impl ConvProvider for UnitProvider {
             (_, GpuTuneMode::SplitK) => 3,
             _ => 4,
         };
-        if let Some(hit) = self.cache.lock().get(&(*spec, mode_key)) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&(*spec, mode_key)) {
             return hit.clone();
         }
         let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
@@ -295,7 +314,10 @@ impl ConvProvider for UnitProvider {
                 Err(_) => self.fallback_micros(&op),
             }
         };
-        self.cache.lock().insert((*spec, mode_key), result.clone());
+        self.cache
+            .lock()
+            .unwrap()
+            .insert((*spec, mode_key), result.clone());
         result
     }
 
@@ -307,7 +329,10 @@ impl ConvProvider for UnitProvider {
                     crate::layout::round_up(units, 16),
                     crate::layout::round_up(in_features, 16),
                 );
-                match Tensorizer::new(self.target.clone()).with_tuning(self.tuning).compile(&op) {
+                match Tensorizer::new(self.target.clone())
+                    .with_tuning(self.tuning)
+                    .compile(&op)
+                {
                     Ok(k) => k.estimate.micros(self.clock_ghz()),
                     Err(_) => 10.0,
                 }
@@ -315,7 +340,10 @@ impl ConvProvider for UnitProvider {
             _ => {
                 let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
                 let op = blocked_dense(in_features, units, lanes, rwidth, ddt, wdt);
-                match Tensorizer::new(self.target.clone()).with_tuning(self.tuning).compile(&op) {
+                match Tensorizer::new(self.target.clone())
+                    .with_tuning(self.tuning)
+                    .compile(&op)
+                {
                     Ok(k) => k.estimate.micros(self.clock_ghz()),
                     Err(_) => self.fallback_micros(&op).0,
                 }
@@ -348,15 +376,29 @@ mod tests {
         let report = compile_graph(
             &g,
             Target::x86_avx512_vnni(),
-            TuningConfig { cpu: CpuTuneMode::Tuned { max_pairs: 4 }, gpu: GpuTuneMode::Tuned },
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 4 },
+                gpu: GpuTuneMode::Tuned,
+            },
         );
-        assert!(report.total_ms > 0.1, "implausibly fast: {} ms", report.total_ms);
-        assert!(report.total_ms < 50.0, "implausibly slow: {} ms", report.total_ms);
+        assert!(
+            report.total_ms > 0.1,
+            "implausibly fast: {} ms",
+            report.total_ms
+        );
+        assert!(
+            report.total_ms < 50.0,
+            "implausibly slow: {} ms",
+            report.total_ms
+        );
         // All 20 convs plus the dense layer appear.
         assert!(report.layers.len() > 20);
         // The hot layers are tensorized with VNNI.
-        let tensorized =
-            report.layers.iter().filter(|l| l.note.contains("vpdpbusd")).count();
+        let tensorized = report
+            .layers
+            .iter()
+            .filter(|l| l.note.contains("vpdpbusd"))
+            .count();
         assert!(tensorized >= 20, "only {tensorized} layers tensorized");
     }
 
@@ -365,11 +407,14 @@ mod tests {
         let g = resnet(ResnetDepth::R18);
         let provider = UnitProvider::new(
             Target::x86_avx512_vnni(),
-            TuningConfig { cpu: CpuTuneMode::ParallelUnroll, gpu: GpuTuneMode::Generic },
+            TuningConfig {
+                cpu: CpuTuneMode::ParallelUnroll,
+                gpu: GpuTuneMode::Generic,
+            },
         );
         let r = e2e_latency(&g, &provider);
         // 20 convs but only ~11 unique shapes: the cache must be smaller.
-        assert!(provider.cache.lock().len() <= 12);
+        assert!(provider.cache.lock().unwrap().len() <= 12);
         assert!(r.total_ms > 0.0);
     }
 
@@ -379,9 +424,16 @@ mod tests {
         let report = compile_graph(
             &g,
             Target::nvidia_tensor_core(),
-            TuningConfig { cpu: CpuTuneMode::ParallelUnroll, gpu: GpuTuneMode::Tuned },
+            TuningConfig {
+                cpu: CpuTuneMode::ParallelUnroll,
+                gpu: GpuTuneMode::Tuned,
+            },
         );
-        let wmma = report.layers.iter().filter(|l| l.note.contains("wmma")).count();
+        let wmma = report
+            .layers
+            .iter()
+            .filter(|l| l.note.contains("wmma"))
+            .count();
         assert!(wmma >= 20);
     }
 }

@@ -35,7 +35,10 @@ impl TensorShape {
     /// Feature-map shape `C x H x W`.
     #[must_use]
     pub fn chw(c: i64, h: i64, w: i64, dtype: DType) -> TensorShape {
-        TensorShape { dims: vec![c, h, w], dtype }
+        TensorShape {
+            dims: vec![c, h, w],
+            dtype,
+        }
     }
 
     /// Total element count.
@@ -205,18 +208,27 @@ impl Graph {
                     let input = &shapes[node.inputs[0].0 as usize];
                     let mut dims = input.dims.clone();
                     let n = dims.len();
-                    for d in (n - 2)..n {
-                        dims[d] = (dims[d] + 2 * pad - k) / s + 1;
+                    for dim in dims.iter_mut().skip(n - 2) {
+                        *dim = (*dim + 2 * pad - k) / s + 1;
                     }
-                    TensorShape { dims, dtype: input.dtype }
+                    TensorShape {
+                        dims,
+                        dtype: input.dtype,
+                    }
                 }
                 OpKind::GlobalAvgPool => {
                     let input = &shapes[node.inputs[0].0 as usize];
-                    TensorShape { dims: vec![input.dims[0], 1, 1], dtype: input.dtype }
+                    TensorShape {
+                        dims: vec![input.dims[0], 1, 1],
+                        dtype: input.dtype,
+                    }
                 }
                 OpKind::Flatten => {
                     let input = &shapes[node.inputs[0].0 as usize];
-                    TensorShape { dims: vec![input.elems()], dtype: input.dtype }
+                    TensorShape {
+                        dims: vec![input.elems()],
+                        dtype: input.dtype,
+                    }
                 }
                 OpKind::Softmax => shapes[node.inputs[0].0 as usize].clone(),
             };
@@ -233,9 +245,7 @@ impl Graph {
             .iter()
             .map(|n| match &n.op {
                 OpKind::Conv(w) => w.macs(),
-                OpKind::Dense { units } => {
-                    units * shapes[n.inputs[0].0 as usize].elems()
-                }
+                OpKind::Dense { units } => units * shapes[n.inputs[0].0 as usize].elems(),
                 _ => 0,
             })
             .sum()
@@ -254,14 +264,20 @@ impl GraphBuilder {
     /// Start a new graph.
     #[must_use]
     pub fn new(name: impl Into<String>) -> GraphBuilder {
-        GraphBuilder { name: name.into(), nodes: Vec::new() }
+        GraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
     }
 
     /// Append a node.
     pub fn add(&mut self, op: OpKind, inputs: &[NodeId], name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         for i in inputs {
-            assert!(i.0 < id.0, "inputs must precede the node (topological order)");
+            assert!(
+                i.0 < id.0,
+                "inputs must precede the node (topological order)"
+            );
         }
         self.nodes.push(Node {
             id,
@@ -283,7 +299,11 @@ impl GraphBuilder {
     /// Finish with the given output node.
     #[must_use]
     pub fn finish(self, output: NodeId) -> Graph {
-        Graph { name: self.name, nodes: self.nodes, output }
+        Graph {
+            name: self.name,
+            nodes: self.nodes,
+            output,
+        }
     }
 }
 
@@ -294,7 +314,11 @@ mod tests {
     #[test]
     fn shape_inference_through_a_small_cnn() {
         let mut b = GraphBuilder::new("tiny");
-        let input = b.add(OpKind::Input(TensorShape::chw(3, 32, 32, DType::F32)), &[], "data");
+        let input = b.add(
+            OpKind::Input(TensorShape::chw(3, 32, 32, DType::F32)),
+            &[],
+            "data",
+        );
         let q = b.add(OpKind::Quantize, &[input], "q");
         let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 32, 16, 3, 1, 1), q, "c1");
         let p = b.add(OpKind::MaxPool { k: 2, s: 2, pad: 0 }, &[c1], "pool");
@@ -314,7 +338,11 @@ mod tests {
     #[test]
     fn concat_sums_channels() {
         let mut b = GraphBuilder::new("branches");
-        let input = b.add(OpKind::Input(TensorShape::chw(8, 14, 14, DType::U8)), &[], "data");
+        let input = b.add(
+            OpKind::Input(TensorShape::chw(8, 14, 14, DType::U8)),
+            &[],
+            "data",
+        );
         let l = b.conv_bn_relu(ConvSpec::new_2d(8, 14, 16, 1, 1, 0), input, "l");
         let r = b.conv_bn_relu(ConvSpec::new_2d(8, 14, 32, 3, 1, 1), input, "r");
         let cat = b.add(OpKind::Concat, &[l, r], "cat");

@@ -37,7 +37,10 @@ pub fn blocked_conv2d(
     data_dtype: DType,
     weight_dtype: DType,
 ) -> ComputeOp {
-    assert!(!spec.is_depthwise(), "use depthwise_conv_op for depthwise layers");
+    assert!(
+        !spec.is_depthwise(),
+        "use depthwise_conv_op for depthwise layers"
+    );
     assert!(!spec.is_3d(), "use blocked_conv3d for 3D layers");
     let cb = round_up(spec.c, rwidth) / rwidth;
     let kb = round_up(spec.k, lanes) / lanes;
@@ -46,10 +49,15 @@ pub fn blocked_conv2d(
     let acc = data_dtype.accumulator();
 
     let mut b = OpBuilder::new(format!(
-        "conv2d_c{}hw{}k{}r{}x{}s{}", spec.c, spec.ihw, spec.k, spec.r, spec.rw, spec.stride
+        "conv2d_c{}hw{}k{}r{}x{}s{}",
+        spec.c, spec.ihw, spec.k, spec.r, spec.rw, spec.stride
     ));
     let data = b.tensor("data", &[cb, ih, iw, rwidth], data_dtype);
-    let weight = b.tensor("weight", &[kb, cb, spec.r, spec.rw, lanes, rwidth], weight_dtype);
+    let weight = b.tensor(
+        "weight",
+        &[kb, cb, spec.r, spec.rw, lanes, rwidth],
+        weight_dtype,
+    );
     let ko = b.axis("ko", kb);
     let x = b.axis("x", spec.oh());
     let y = b.axis("y", spec.ow());
@@ -59,10 +67,28 @@ pub fn blocked_conv2d(
     let s = b.reduce_axis("s", spec.rw);
     let ci = b.reduce_axis("ci", rwidth);
     let elem = b
-        .load(data, vec![co.into(), (x * spec.stride + r), (y * spec.stride + s), ci.into()])
+        .load(
+            data,
+            vec![
+                co.into(),
+                (x * spec.stride + r),
+                (y * spec.stride + s),
+                ci.into(),
+            ],
+        )
         .cast(acc)
-        * b.load(weight, vec![ko.into(), co.into(), r.into(), s.into(), ki.into(), ci.into()])
-            .cast(acc);
+        * b.load(
+            weight,
+            vec![
+                ko.into(),
+                co.into(),
+                r.into(),
+                s.into(),
+                ki.into(),
+                ci.into(),
+            ],
+        )
+        .cast(acc);
     b.compute(
         "out",
         acc,
@@ -93,11 +119,15 @@ pub fn blocked_conv3d(
     let acc = data_dtype.accumulator();
 
     let mut b = OpBuilder::new(format!(
-        "conv3d_c{}hw{}d{}k{}r{}", spec.c, spec.ihw, spec.id, spec.k, spec.r
+        "conv3d_c{}hw{}d{}k{}r{}",
+        spec.c, spec.ihw, spec.id, spec.k, spec.r
     ));
     let data = b.tensor("data", &[cb, idd, ih, ih, rwidth], data_dtype);
-    let weight =
-        b.tensor("weight", &[kb, cb, spec.r, spec.r, spec.r, lanes, rwidth], weight_dtype);
+    let weight = b.tensor(
+        "weight",
+        &[kb, cb, spec.r, spec.r, spec.r, lanes, rwidth],
+        weight_dtype,
+    );
     let ko = b.axis("ko", kb);
     let z = b.axis("z", od);
     let x = b.axis("x", ohw);
@@ -163,8 +193,15 @@ pub fn blocked_dense(
     let co = b.reduce_axis("co", cb);
     let ci = b.reduce_axis("ci", rwidth);
     let elem = b.load(data, vec![co.into(), ci.into()]).cast(acc)
-        * b.load(weight, vec![uo.into(), co.into(), ui.into(), ci.into()]).cast(acc);
-    b.compute("out", acc, vec![uo.into(), ui.into()], InitExpr::Identity, elem)
+        * b.load(weight, vec![uo.into(), co.into(), ui.into(), ci.into()])
+            .cast(acc);
+    b.compute(
+        "out",
+        acc,
+        vec![uo.into(), ui.into()],
+        InitExpr::Identity,
+        elem,
+    )
 }
 
 /// A depthwise convolution: no reduction over channels, so *no* dot-product
@@ -186,10 +223,19 @@ pub fn depthwise_conv_op(spec: &ConvSpec, data_dtype: DType) -> ComputeOp {
     let r = b.reduce_axis("r", spec.r);
     let s = b.reduce_axis("s", spec.r);
     let elem = b
-        .load(data, vec![c.into(), (x * spec.stride + r), (y * spec.stride + s)])
+        .load(
+            data,
+            vec![c.into(), (x * spec.stride + r), (y * spec.stride + s)],
+        )
         .cast(acc)
         * b.load(weight, vec![c.into(), r.into(), s.into()]).cast(acc);
-    b.compute("out", acc, vec![c.into(), x.into(), y.into()], InitExpr::Identity, elem)
+    b.compute(
+        "out",
+        acc,
+        vec![c.into(), x.into(), y.into()],
+        InitExpr::Identity,
+        elem,
+    )
 }
 
 /// An fp16 convolution as implicit GEMM (the Tensor Core path): rows are
@@ -201,7 +247,8 @@ pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
     let cols = round_up(spec.k, 16);
     let red = round_up(spec.c * spec.r * spec.rw, 16);
     let mut b = OpBuilder::new(format!(
-        "conv_gemm_c{}hw{}k{}r{}s{}", spec.c, spec.ihw, spec.k, spec.r, spec.stride
+        "conv_gemm_c{}hw{}k{}r{}s{}",
+        spec.c, spec.ihw, spec.k, spec.r, spec.stride
     ));
     let a = b.tensor("im2col", &[rows, red], DType::F16);
     let w = b.tensor("weight", &[red, cols], DType::F16);
@@ -210,7 +257,13 @@ pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
     let k = b.reduce_axis("k", red);
     let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::F32)
         * b.load(w, vec![k.into(), j.into()]).cast(DType::F32);
-    b.compute("out", DType::F32, vec![i.into(), j.into()], InitExpr::Identity, elem)
+    b.compute(
+        "out",
+        DType::F32,
+        vec![i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
 }
 
 #[cfg(test)]
@@ -279,7 +332,9 @@ mod tests {
         use unit_interp::{alloc_buffers, random_fill, run, run_reference};
         let spec = ConvSpec::new_2d(8, 6, 16, 3, 1, 1);
         let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
-        let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).unwrap();
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
         let mut bufs = alloc_buffers(&k.func);
         random_fill(&mut bufs, 2024);
         let mut reference = bufs.clone();

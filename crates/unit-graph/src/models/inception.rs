@@ -35,18 +35,34 @@ fn bn_block(
     let mut branches = Vec::new();
     let mut out_c = 0;
     if c1 > 0 {
-        branches.push(b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, c1, 1, 1, 0), x, &format!("{name}_1x1")));
+        branches.push(b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, hw, c1, 1, 1, 0),
+            x,
+            &format!("{name}_1x1"),
+        ));
         out_c += c1;
     }
-    let r3 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, c3r, 1, 1, 0), x, &format!("{name}_3x3r"));
+    let r3 = b.conv_bn_relu(
+        ConvSpec::new_2d(in_c, hw, c3r, 1, 1, 0),
+        x,
+        &format!("{name}_3x3r"),
+    );
     branches.push(b.conv_bn_relu(
         ConvSpec::new_2d(c3r, hw, c3, 3, stride, 1),
         r3,
         &format!("{name}_3x3"),
     ));
     out_c += c3;
-    let d1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, d3r, 1, 1, 0), x, &format!("{name}_d3x3r"));
-    let d2 = b.conv_bn_relu(ConvSpec::new_2d(d3r, hw, d3, 3, 1, 1), d1, &format!("{name}_d3x3a"));
+    let d1 = b.conv_bn_relu(
+        ConvSpec::new_2d(in_c, hw, d3r, 1, 1, 0),
+        x,
+        &format!("{name}_d3x3r"),
+    );
+    let d2 = b.conv_bn_relu(
+        ConvSpec::new_2d(d3r, hw, d3, 3, 1, 1),
+        d1,
+        &format!("{name}_d3x3a"),
+    );
     branches.push(b.conv_bn_relu(
         ConvSpec::new_2d(d3, hw, d3, 3, stride, 1),
         d2,
@@ -54,28 +70,47 @@ fn bn_block(
     ));
     out_c += d3;
     if pool_proj > 0 {
-        let p = b.add(OpKind::AvgPool { k: 3, s: 1, pad: 1 }, &[x], format!("{name}_pool"));
-        let pp = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, pool_proj, 1, stride, 0), p, &format!("{name}_proj"));
+        let p = b.add(
+            OpKind::AvgPool { k: 3, s: 1, pad: 1 },
+            &[x],
+            format!("{name}_pool"),
+        );
+        let pp = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, hw, pool_proj, 1, stride, 0),
+            p,
+            &format!("{name}_proj"),
+        );
         branches.push(pp);
         out_c += pool_proj;
     } else {
         // Stride-2 blocks pass the pooled input straight through.
         let p = b.add(
-            OpKind::MaxPool { k: 3, s: stride, pad: 1 },
+            OpKind::MaxPool {
+                k: 3,
+                s: stride,
+                pad: 1,
+            },
             &[x],
             format!("{name}_pool"),
         );
         branches.push(p);
         out_c += in_c;
     }
-    (b.add(OpKind::Concat, &branches, format!("{name}_concat")), out_c)
+    (
+        b.add(OpKind::Concat, &branches, format!("{name}_concat")),
+        out_c,
+    )
 }
 
 /// inception-bn (BN-GoogLeNet), 224x224 input.
 #[must_use]
 pub fn inception_bn() -> Graph {
     let mut b = GraphBuilder::new("inception-bn");
-    let input = b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let input = b.add(
+        OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)),
+        &[],
+        "data",
+    );
     let q = b.add(OpKind::Quantize, &[input], "quantize");
     let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 64, 7, 2, 3), q, "conv1");
     let p1 = b.add(OpKind::MaxPool { k: 3, s: 2, pad: 1 }, &[c1], "pool1");
@@ -100,7 +135,9 @@ pub fn inception_bn() -> Graph {
         ("5b", [352, 192, 320, 192, 224, 128], 1),
     ];
     for (name, [c1, c3r, c3, d3r, d3, proj], stride) in blocks {
-        let (nx, nc) = bn_block(&mut b, x, in_c, hw, c1, c3r, c3, d3r, d3, proj, stride, name);
+        let (nx, nc) = bn_block(
+            &mut b, x, in_c, hw, c1, c3r, c3, d3r, d3, proj, stride, name,
+        );
         x = nx;
         in_c = nc;
         hw /= stride;
@@ -114,7 +151,11 @@ pub fn inception_bn() -> Graph {
 #[must_use]
 pub fn inception_v3() -> Graph {
     let mut b = GraphBuilder::new("inception-v3");
-    let input = b.add(OpKind::Input(TensorShape::chw(3, 299, 299, DType::F32)), &[], "data");
+    let input = b.add(
+        OpKind::Input(TensorShape::chw(3, 299, 299, DType::F32)),
+        &[],
+        "data",
+    );
     let q = b.add(OpKind::Quantize, &[input], "quantize");
     // Stem: 299 -> 35x35x192.
     let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 299, 32, 3, 2, 0), q, "conv1"); // 149
@@ -131,14 +172,46 @@ pub fn inception_v3() -> Graph {
     // Three Inception-A blocks at 35x35.
     for (i, pool_c) in [32i64, 64, 64].iter().enumerate() {
         let name = format!("mixed_a{i}");
-        let b1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 35, 64, 1, 1, 0), x, &format!("{name}_1x1"));
-        let b5r = b.conv_bn_relu(ConvSpec::new_2d(in_c, 35, 48, 1, 1, 0), x, &format!("{name}_5x5r"));
-        let b5 = b.conv_bn_relu(ConvSpec::new_2d(48, 35, 64, 5, 1, 2), b5r, &format!("{name}_5x5"));
-        let d1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 35, 64, 1, 1, 0), x, &format!("{name}_d3r"));
-        let d2 = b.conv_bn_relu(ConvSpec::new_2d(64, 35, 96, 3, 1, 1), d1, &format!("{name}_d3a"));
-        let d3 = b.conv_bn_relu(ConvSpec::new_2d(96, 35, 96, 3, 1, 1), d2, &format!("{name}_d3b"));
-        let p = b.add(OpKind::AvgPool { k: 3, s: 1, pad: 1 }, &[x], format!("{name}_pool"));
-        let pp = b.conv_bn_relu(ConvSpec::new_2d(in_c, 35, *pool_c, 1, 1, 0), p, &format!("{name}_proj"));
+        let b1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 35, 64, 1, 1, 0),
+            x,
+            &format!("{name}_1x1"),
+        );
+        let b5r = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 35, 48, 1, 1, 0),
+            x,
+            &format!("{name}_5x5r"),
+        );
+        let b5 = b.conv_bn_relu(
+            ConvSpec::new_2d(48, 35, 64, 5, 1, 2),
+            b5r,
+            &format!("{name}_5x5"),
+        );
+        let d1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 35, 64, 1, 1, 0),
+            x,
+            &format!("{name}_d3r"),
+        );
+        let d2 = b.conv_bn_relu(
+            ConvSpec::new_2d(64, 35, 96, 3, 1, 1),
+            d1,
+            &format!("{name}_d3a"),
+        );
+        let d3 = b.conv_bn_relu(
+            ConvSpec::new_2d(96, 35, 96, 3, 1, 1),
+            d2,
+            &format!("{name}_d3b"),
+        );
+        let p = b.add(
+            OpKind::AvgPool { k: 3, s: 1, pad: 1 },
+            &[x],
+            format!("{name}_pool"),
+        );
+        let pp = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 35, *pool_c, 1, 1, 0),
+            p,
+            &format!("{name}_proj"),
+        );
         x = b.add(OpKind::Concat, &[b1, b5, d3, pp], format!("{name}_concat"));
         in_c = 64 + 64 + 96 + pool_c;
     }
@@ -151,15 +224,23 @@ pub fn inception_v3() -> Graph {
         let d3 = b.conv_bn_relu(ConvSpec::new_2d(96, 35, 96, 3, 2, 0), d2, "red_a_d3b");
         let p = b.add(OpKind::MaxPool { k: 3, s: 2, pad: 0 }, &[x], "red_a_pool");
         x = b.add(OpKind::Concat, &[r3, d3, p], "red_a_concat");
-        in_c = 384 + 96 + in_c;
+        in_c += 384 + 96;
     }
 
     // Four Inception-B blocks at 17x17 with 1x7/7x1 factorization.
     for (i, c7) in [128i64, 160, 160, 192].iter().enumerate() {
         let name = format!("mixed_b{i}");
         let c7 = *c7;
-        let b1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0), x, &format!("{name}_1x1"));
-        let s1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, c7, 1, 1, 0), x, &format!("{name}_7r"));
+        let b1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0),
+            x,
+            &format!("{name}_1x1"),
+        );
+        let s1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 17, c7, 1, 1, 0),
+            x,
+            &format!("{name}_7r"),
+        );
         let s2 = b.conv_bn_relu(
             ConvSpec::new_rect(c7, 17, c7, (1, 7), 1, (0, 3)),
             s1,
@@ -170,7 +251,11 @@ pub fn inception_v3() -> Graph {
             s2,
             &format!("{name}_7x1"),
         );
-        let d1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, c7, 1, 1, 0), x, &format!("{name}_d7r"));
+        let d1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 17, c7, 1, 1, 0),
+            x,
+            &format!("{name}_d7r"),
+        );
         let d2 = b.conv_bn_relu(
             ConvSpec::new_rect(c7, 17, c7, (7, 1), 1, (3, 0)),
             d1,
@@ -191,8 +276,16 @@ pub fn inception_v3() -> Graph {
             d4,
             &format!("{name}_d7d"),
         );
-        let p = b.add(OpKind::AvgPool { k: 3, s: 1, pad: 1 }, &[x], format!("{name}_pool"));
-        let pp = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0), p, &format!("{name}_proj"));
+        let p = b.add(
+            OpKind::AvgPool { k: 3, s: 1, pad: 1 },
+            &[x],
+            format!("{name}_pool"),
+        );
+        let pp = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0),
+            p,
+            &format!("{name}_proj"),
+        );
         x = b.add(OpKind::Concat, &[b1, s3, d5, pp], format!("{name}_concat"));
         in_c = 192 * 4;
     }
@@ -202,27 +295,75 @@ pub fn inception_v3() -> Graph {
         let t1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0), x, "red_b_3r");
         let t2 = b.conv_bn_relu(ConvSpec::new_2d(192, 17, 320, 3, 2, 0), t1, "red_b_3x3");
         let s1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 17, 192, 1, 1, 0), x, "red_b_7r");
-        let s2 = b.conv_bn_relu(ConvSpec::new_rect(192, 17, 192, (1, 7), 1, (0, 3)), s1, "red_b_1x7");
-        let s3 = b.conv_bn_relu(ConvSpec::new_rect(192, 17, 192, (7, 1), 1, (3, 0)), s2, "red_b_7x1");
+        let s2 = b.conv_bn_relu(
+            ConvSpec::new_rect(192, 17, 192, (1, 7), 1, (0, 3)),
+            s1,
+            "red_b_1x7",
+        );
+        let s3 = b.conv_bn_relu(
+            ConvSpec::new_rect(192, 17, 192, (7, 1), 1, (3, 0)),
+            s2,
+            "red_b_7x1",
+        );
         let s4 = b.conv_bn_relu(ConvSpec::new_2d(192, 17, 192, 3, 2, 0), s3, "red_b_3x3b");
         let p = b.add(OpKind::MaxPool { k: 3, s: 2, pad: 0 }, &[x], "red_b_pool");
         x = b.add(OpKind::Concat, &[t2, s4, p], "red_b_concat");
-        in_c = 320 + 192 + in_c;
+        in_c += 320 + 192;
     }
 
     // Two Inception-C blocks at 8x8.
     for i in 0..2 {
         let name = format!("mixed_c{i}");
-        let b1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 8, 320, 1, 1, 0), x, &format!("{name}_1x1"));
-        let s1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 8, 384, 1, 1, 0), x, &format!("{name}_3r"));
-        let s2a = b.conv_bn_relu(ConvSpec::new_rect(384, 8, 384, (1, 3), 1, (0, 1)), s1, &format!("{name}_1x3"));
-        let s2b = b.conv_bn_relu(ConvSpec::new_rect(384, 8, 384, (3, 1), 1, (1, 0)), s1, &format!("{name}_3x1"));
-        let d1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, 8, 448, 1, 1, 0), x, &format!("{name}_d3r"));
-        let d2 = b.conv_bn_relu(ConvSpec::new_2d(448, 8, 384, 3, 1, 1), d1, &format!("{name}_d3"));
-        let d3a = b.conv_bn_relu(ConvSpec::new_rect(384, 8, 384, (1, 3), 1, (0, 1)), d2, &format!("{name}_d1x3"));
-        let d3b = b.conv_bn_relu(ConvSpec::new_rect(384, 8, 384, (3, 1), 1, (1, 0)), d2, &format!("{name}_d3x1"));
-        let p = b.add(OpKind::AvgPool { k: 3, s: 1, pad: 1 }, &[x], format!("{name}_pool"));
-        let pp = b.conv_bn_relu(ConvSpec::new_2d(in_c, 8, 192, 1, 1, 0), p, &format!("{name}_proj"));
+        let b1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 8, 320, 1, 1, 0),
+            x,
+            &format!("{name}_1x1"),
+        );
+        let s1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 8, 384, 1, 1, 0),
+            x,
+            &format!("{name}_3r"),
+        );
+        let s2a = b.conv_bn_relu(
+            ConvSpec::new_rect(384, 8, 384, (1, 3), 1, (0, 1)),
+            s1,
+            &format!("{name}_1x3"),
+        );
+        let s2b = b.conv_bn_relu(
+            ConvSpec::new_rect(384, 8, 384, (3, 1), 1, (1, 0)),
+            s1,
+            &format!("{name}_3x1"),
+        );
+        let d1 = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 8, 448, 1, 1, 0),
+            x,
+            &format!("{name}_d3r"),
+        );
+        let d2 = b.conv_bn_relu(
+            ConvSpec::new_2d(448, 8, 384, 3, 1, 1),
+            d1,
+            &format!("{name}_d3"),
+        );
+        let d3a = b.conv_bn_relu(
+            ConvSpec::new_rect(384, 8, 384, (1, 3), 1, (0, 1)),
+            d2,
+            &format!("{name}_d1x3"),
+        );
+        let d3b = b.conv_bn_relu(
+            ConvSpec::new_rect(384, 8, 384, (3, 1), 1, (1, 0)),
+            d2,
+            &format!("{name}_d3x1"),
+        );
+        let p = b.add(
+            OpKind::AvgPool { k: 3, s: 1, pad: 1 },
+            &[x],
+            format!("{name}_pool"),
+        );
+        let pp = b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, 8, 192, 1, 1, 0),
+            p,
+            &format!("{name}_proj"),
+        );
         x = b.add(
             OpKind::Concat,
             &[b1, s2a, s2b, d3a, d3b, pp],
@@ -245,22 +386,31 @@ mod tests {
         let shapes = g.infer_shapes();
         assert_eq!(shapes[g.output.0 as usize].dims, vec![1000]);
         // 5b output: 1024 channels at 7x7.
-        let concat = g.nodes.iter().rev().find(|n| matches!(n.op, OpKind::Concat)).unwrap();
+        let concat = g
+            .nodes
+            .iter()
+            .rev()
+            .find(|n| matches!(n.op, OpKind::Concat))
+            .unwrap();
         assert_eq!(shapes[concat.id.0 as usize].dims, vec![1024, 7, 7]);
     }
 
     #[test]
     fn inception_v3_has_factorized_convs() {
         let g = inception_v3();
-        let rect = g
-            .conv_workloads()
-            .iter()
-            .filter(|w| w.r != w.rw)
-            .count();
-        assert!(rect >= 20, "expected many 1x7/7x1/1x3/3x1 layers, got {rect}");
+        let rect = g.conv_workloads().iter().filter(|w| w.r != w.rw).count();
+        assert!(
+            rect >= 20,
+            "expected many 1x7/7x1/1x3/3x1 layers, got {rect}"
+        );
         // Final feature map: 2048 channels at 8x8.
         let shapes = g.infer_shapes();
-        let concat = g.nodes.iter().rev().find(|n| matches!(n.op, OpKind::Concat)).unwrap();
+        let concat = g
+            .nodes
+            .iter()
+            .rev()
+            .find(|n| matches!(n.op, OpKind::Concat))
+            .unwrap();
         assert_eq!(shapes[concat.id.0 as usize].dims, vec![2048, 8, 8]);
     }
 }

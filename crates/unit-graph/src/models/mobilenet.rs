@@ -22,7 +22,11 @@ fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {
 #[must_use]
 pub fn mobilenet_v1() -> Graph {
     let mut b = GraphBuilder::new("mobilenet-v1");
-    let input = b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let input = b.add(
+        OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)),
+        &[],
+        "data",
+    );
     let q = b.add(OpKind::Quantize, &[input], "quantize");
     let mut x = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 32, 3, 2, 1), q, "conv0");
     let mut hw = 112i64;
@@ -50,7 +54,11 @@ pub fn mobilenet_v1() -> Graph {
             &format!("dw{i}"),
         );
         hw /= stride;
-        x = b.conv_bn_relu(ConvSpec::new_2d(c, hw, out_c, 1, 1, 0), dw, &format!("pw{i}"));
+        x = b.conv_bn_relu(
+            ConvSpec::new_2d(c, hw, out_c, 1, 1, 0),
+            dw,
+            &format!("pw{i}"),
+        );
         c = out_c;
     }
     let out = classifier(&mut b, x);
@@ -61,7 +69,11 @@ pub fn mobilenet_v1() -> Graph {
 #[must_use]
 pub fn mobilenet_v2() -> Graph {
     let mut b = GraphBuilder::new("mobilenet-v2");
-    let input = b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let input = b.add(
+        OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)),
+        &[],
+        "data",
+    );
     let q = b.add(OpKind::Quantize, &[input], "quantize");
     let mut x = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 32, 3, 2, 1), q, "conv0");
     let mut hw = 112i64;
@@ -83,7 +95,11 @@ pub fn mobilenet_v2() -> Graph {
             let name = format!("ir{stage}_{i}");
             let hidden = c * t;
             let expanded = if t > 1 {
-                b.conv_bn_relu(ConvSpec::new_2d(c, hw, hidden, 1, 1, 0), x, &format!("{name}_exp"))
+                b.conv_bn_relu(
+                    ConvSpec::new_2d(c, hw, hidden, 1, 1, 0),
+                    x,
+                    &format!("{name}_exp"),
+                )
             } else {
                 x
             };
@@ -134,9 +150,7 @@ mod tests {
             .nodes
             .iter()
             .rev()
-            .find(|n| {
-                matches!(&n.op, OpKind::Conv(w) if w.k == 320)
-            })
+            .find(|n| matches!(&n.op, OpKind::Conv(w) if w.k == 320))
             .unwrap();
         assert_eq!(shapes[last_proj.id.0 as usize].dims[1..], [7, 7]);
     }
@@ -144,7 +158,11 @@ mod tests {
     #[test]
     fn depthwise_layers_shrink_with_stride() {
         let g = mobilenet_v1();
-        let dws: Vec<_> = g.conv_workloads().into_iter().filter(|w| w.is_depthwise()).collect();
+        let dws: Vec<_> = g
+            .conv_workloads()
+            .into_iter()
+            .filter(|w| w.is_depthwise())
+            .collect();
         assert_eq!(dws[0].ihw, 112);
         assert_eq!(dws.last().unwrap().ihw, 7);
     }

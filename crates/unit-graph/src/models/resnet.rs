@@ -51,12 +51,19 @@ struct Stem {
 }
 
 fn stem(b: &mut GraphBuilder) -> Stem {
-    let input =
-        b.add(OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)), &[], "data");
+    let input = b.add(
+        OpKind::Input(TensorShape::chw(3, 224, 224, DType::F32)),
+        &[],
+        "data",
+    );
     let q = b.add(OpKind::Quantize, &[input], "quantize");
     let c1 = b.conv_bn_relu(ConvSpec::new_2d(3, 224, 64, 7, 2, 3), q, "conv0");
     let pool = b.add(OpKind::MaxPool { k: 3, s: 2, pad: 1 }, &[c1], "pool0");
-    Stem { node: pool, hw: 56, channels: 64 }
+    Stem {
+        node: pool,
+        hw: 56,
+        channels: 64,
+    }
 }
 
 fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {
@@ -76,14 +83,22 @@ fn basic_block(
     stride: i64,
     name: &str,
 ) -> NodeId {
-    let c1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 3, stride, 1), x, &format!("{name}_a"));
+    let c1 = b.conv_bn_relu(
+        ConvSpec::new_2d(in_c, hw, out_c, 3, stride, 1),
+        x,
+        &format!("{name}_a"),
+    );
     let c2 = b.conv_bn_relu(
         ConvSpec::new_2d(out_c, hw / stride, out_c, 3, 1, 1),
         c1,
         &format!("{name}_b"),
     );
     let shortcut = if stride != 1 || in_c != out_c {
-        b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0), x, &format!("{name}_sc"))
+        b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0),
+            x,
+            &format!("{name}_sc"),
+        )
     } else {
         x
     };
@@ -91,6 +106,7 @@ fn basic_block(
 }
 
 /// `v1b`: stride lives on the 3x3 (better accuracy, different workload mix).
+#[allow(clippy::too_many_arguments)]
 fn bottleneck_block(
     b: &mut GraphBuilder,
     x: NodeId,
@@ -103,7 +119,11 @@ fn bottleneck_block(
 ) -> NodeId {
     let out_c = mid_c * 4;
     let (s1, s2) = if v1b { (1, stride) } else { (stride, 1) };
-    let c1 = b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, mid_c, 1, s1, 0), x, &format!("{name}_a"));
+    let c1 = b.conv_bn_relu(
+        ConvSpec::new_2d(in_c, hw, mid_c, 1, s1, 0),
+        x,
+        &format!("{name}_a"),
+    );
     let c2 = b.conv_bn_relu(
         ConvSpec::new_2d(mid_c, hw / s1, mid_c, 3, s2, 1),
         c1,
@@ -115,7 +135,11 @@ fn bottleneck_block(
         &format!("{name}_c"),
     );
     let shortcut = if stride != 1 || in_c != out_c {
-        b.conv_bn_relu(ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0), x, &format!("{name}_sc"))
+        b.conv_bn_relu(
+            ConvSpec::new_2d(in_c, hw, out_c, 1, stride, 0),
+            x,
+            &format!("{name}_sc"),
+        )
     } else {
         x
     };
@@ -123,16 +147,18 @@ fn bottleneck_block(
 }
 
 fn build(depth: ResnetDepth, v1b: bool) -> Graph {
-    let name = if v1b { format!("{}_v1b", depth.label()) } else { depth.label().to_string() };
+    let name = if v1b {
+        format!("{}_v1b", depth.label())
+    } else {
+        depth.label().to_string()
+    };
     let mut b = GraphBuilder::new(name);
     let s = stem(&mut b);
     let mut x = s.node;
     let mut hw = s.hw;
     let mut in_c = s.channels;
     let widths = [64i64, 128, 256, 512];
-    for (stage, (&blocks, &width)) in
-        depth.stage_blocks().iter().zip(widths.iter()).enumerate()
-    {
+    for (stage, (&blocks, &width)) in depth.stage_blocks().iter().zip(widths.iter()).enumerate() {
         for blk in 0..blocks {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let label = format!("stage{}_block{}", stage + 1, blk + 1);
@@ -202,10 +228,16 @@ mod tests {
     fn v1b_moves_the_stride_to_the_3x3() {
         let v1 = resnet(ResnetDepth::R50);
         let v1b = resnet_v1b(ResnetDepth::R50);
-        let strided_1x1_v1 =
-            v1.conv_workloads().iter().filter(|w| w.r == 1 && w.stride == 2 && w.k != w.c * 4).count();
-        let strided_3x3_v1b =
-            v1b.conv_workloads().iter().filter(|w| w.r == 3 && w.stride == 2).count();
+        let strided_1x1_v1 = v1
+            .conv_workloads()
+            .iter()
+            .filter(|w| w.r == 1 && w.stride == 2 && w.k != w.c * 4)
+            .count();
+        let strided_3x3_v1b = v1b
+            .conv_workloads()
+            .iter()
+            .filter(|w| w.r == 3 && w.stride == 2)
+            .count();
         assert!(strided_1x1_v1 > 0);
         assert_eq!(strided_3x3_v1b, 3); // one per stage 2..4
     }

@@ -23,8 +23,11 @@ pub fn quantize(graph: &Graph) -> Graph {
                 b.add(OpKind::Quantize, &[inp], format!("{}_q", node.name))
             }
             OpKind::Softmax => {
-                let dq =
-                    b.add(OpKind::Dequantize, &[inputs[0]], format!("{}_dq", node.name));
+                let dq = b.add(
+                    OpKind::Dequantize,
+                    &[inputs[0]],
+                    format!("{}_dq", node.name),
+                );
                 b.add(node.op.clone(), &[dq], node.name.clone())
             }
             other => b.add(other.clone(), &inputs, node.name.clone()),
@@ -74,7 +77,10 @@ pub fn kernel_count(graph: &Graph) -> usize {
 /// Build a `TensorShape` for the quantized domain of a given shape.
 #[must_use]
 pub fn quantized_shape(shape: &TensorShape) -> TensorShape {
-    TensorShape { dims: shape.dims.clone(), dtype: DType::U8 }
+    TensorShape {
+        dims: shape.dims.clone(),
+        dtype: DType::U8,
+    }
 }
 
 #[cfg(test)]
@@ -99,8 +105,11 @@ mod tests {
     #[test]
     fn quantize_brackets_the_graph() {
         let q = quantize(&tiny());
-        let kinds: Vec<bool> =
-            q.nodes.iter().map(|n| matches!(n.op, OpKind::Quantize)).collect();
+        let kinds: Vec<bool> = q
+            .nodes
+            .iter()
+            .map(|n| matches!(n.op, OpKind::Quantize))
+            .collect();
         assert_eq!(kinds.iter().filter(|k| **k).count(), 1);
         assert!(q.nodes.iter().any(|n| matches!(n.op, OpKind::Dequantize)));
         // Same conv workloads survive.

@@ -36,7 +36,18 @@ impl ConvSpec {
     /// A plain dense 2D convolution with a square kernel.
     #[must_use]
     pub fn new_2d(c: i64, ihw: i64, k: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
-        ConvSpec { c, ihw, id: 1, k, r, rw: r, stride, pad, pad_w: pad, groups: 1 }
+        ConvSpec {
+            c,
+            ihw,
+            id: 1,
+            k,
+            r,
+            rw: r,
+            stride,
+            pad,
+            pad_w: pad,
+            groups: 1,
+        }
     }
 
     /// A dense 2D convolution with a rectangular `r x rw` kernel.
@@ -49,19 +60,52 @@ impl ConvSpec {
         stride: i64,
         (pad, pad_w): (i64, i64),
     ) -> ConvSpec {
-        ConvSpec { c, ihw, id: 1, k, r, rw, stride, pad, pad_w, groups: 1 }
+        ConvSpec {
+            c,
+            ihw,
+            id: 1,
+            k,
+            r,
+            rw,
+            stride,
+            pad,
+            pad_w,
+            groups: 1,
+        }
     }
 
     /// A depthwise 2D convolution.
     #[must_use]
     pub fn depthwise(c: i64, ihw: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
-        ConvSpec { c, ihw, id: 1, k: c, r, rw: r, stride, pad, pad_w: pad, groups: c }
+        ConvSpec {
+            c,
+            ihw,
+            id: 1,
+            k: c,
+            r,
+            rw: r,
+            stride,
+            pad,
+            pad_w: pad,
+            groups: c,
+        }
     }
 
     /// A dense 3D convolution with input `id x ihw x ihw`.
     #[must_use]
     pub fn new_3d(c: i64, ihw: i64, id: i64, k: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
-        ConvSpec { c, ihw, id, k, r, rw: r, stride, pad, pad_w: pad, groups: 1 }
+        ConvSpec {
+            c,
+            ihw,
+            id,
+            k,
+            r,
+            rw: r,
+            stride,
+            pad,
+            pad_w: pad,
+            groups: 1,
+        }
     }
 
     /// Output height.

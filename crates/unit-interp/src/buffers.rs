@@ -10,13 +10,19 @@ use unit_tir::TirFunc;
 /// Allocate one zeroed buffer per declared TIR buffer, in id order.
 #[must_use]
 pub fn alloc_buffers(func: &TirFunc) -> Vec<TypedBuf> {
-    func.buffers.iter().map(|b| TypedBuf::zeros(b.dtype, b.len())).collect()
+    func.buffers
+        .iter()
+        .map(|b| TypedBuf::zeros(b.dtype, b.len()))
+        .collect()
 }
 
 /// Allocate one zeroed buffer per tensor of a [`ComputeOp`], in id order.
 #[must_use]
 pub fn alloc_op_buffers(op: &ComputeOp) -> Vec<TypedBuf> {
-    op.tensors.iter().map(|t| TypedBuf::zeros(t.dtype, t.len())).collect()
+    op.tensors
+        .iter()
+        .map(|t| TypedBuf::zeros(t.dtype, t.len()))
+        .collect()
 }
 
 /// Fill every buffer with deterministic pseudo-random values appropriate to
@@ -55,12 +61,18 @@ fn fill_one(buf: &mut TypedBuf, rng: &mut StdRng) {
         }
         DType::I32 => {
             for i in 0..n {
-                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)));
+                buf.set(
+                    i,
+                    unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)),
+                );
             }
         }
         DType::I64 => {
             for i in 0..n {
-                buf.set(i, unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)));
+                buf.set(
+                    i,
+                    unit_isa::Scalar::Int(rng.gen_range(-1_000_000..=1_000_000)),
+                );
             }
         }
         DType::F16 | DType::F32 => {

@@ -70,7 +70,10 @@ struct Interp<'a> {
 /// wrapped, because they would be undefined behaviour in generated code.
 pub fn run(func: &TirFunc, bufs: &mut [TypedBuf]) -> Result<(), ExecError> {
     if bufs.len() != func.buffers.len() {
-        return Err(ExecError::BufferCount { expected: func.buffers.len(), got: bufs.len() });
+        return Err(ExecError::BufferCount {
+            expected: func.buffers.len(),
+            got: bufs.len(),
+        });
     }
     for (decl, buf) in func.buffers.iter().zip(bufs.iter()) {
         if decl.len() != buf.len() || decl.dtype != buf.dtype {
@@ -84,7 +87,11 @@ pub fn run(func: &TirFunc, bufs: &mut [TypedBuf]) -> Result<(), ExecError> {
             )));
         }
     }
-    let mut interp = Interp { func, bufs, env: vec![0; func.vars.len()] };
+    let mut interp = Interp {
+        func,
+        bufs,
+        env: vec![0; func.vars.len()],
+    };
     interp.stmt(&func.body)
 }
 
@@ -102,7 +109,11 @@ impl Interp<'_> {
         }
         let len = self.bufs[buffer.0 as usize].len();
         if flat < 0 || flat as usize >= len {
-            return Err(ExecError::OutOfBounds { buffer: buffer.0, index: flat, len });
+            return Err(ExecError::OutOfBounds {
+                buffer: buffer.0,
+                index: flat,
+                len,
+            });
         }
         Ok(flat as usize)
     }
@@ -246,8 +257,11 @@ impl Interp<'_> {
         let intrin = registry::by_name(&is.intrinsic)
             .ok_or_else(|| ExecError::UnknownIntrinsic(is.intrinsic.clone()))?;
         let sem = &intrin.semantics;
-        let mut regs: Vec<TypedBuf> =
-            sem.tensors.iter().map(|t| TypedBuf::zeros(t.dtype, t.len())).collect();
+        let mut regs: Vec<TypedBuf> = sem
+            .tensors
+            .iter()
+            .map(|t| TypedBuf::zeros(t.dtype, t.len()))
+            .collect();
 
         // Data operands, positionally paired with the semantics' loads.
         let inst_loads = sem.update.loads();

@@ -16,10 +16,15 @@ fn dot(lanes: i64, in_dtype: DType, name: &str) -> TensorIntrinsic {
     let c = b.tensor("c", &[lanes], DType::I32);
     let i = b.axis("i", lanes);
     let j = b.reduce_axis("j", 4);
-    let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
-        * b.load(w, vec![(i * 4 + j).into()]).cast(DType::I32);
-    let semantics =
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let elem = b.load(a, vec![(i * 4 + j)]).cast(DType::I32)
+        * b.load(w, vec![(i * 4 + j)]).cast(DType::I32);
+    let semantics = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into()],
+        InitExpr::load(c, vec![i.into()]),
+        elem,
+    );
     TensorIntrinsic {
         name: name.to_string(),
         platform: Platform::ArmDot,

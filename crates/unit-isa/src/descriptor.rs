@@ -122,7 +122,11 @@ impl TensorIntrinsic {
     /// Extents of the instruction's reduction axes, in order.
     #[must_use]
     pub fn reduce_extents(&self) -> Vec<i64> {
-        self.semantics.reduce_axes.iter().map(|a| a.extent).collect()
+        self.semantics
+            .reduce_axes
+            .iter()
+            .map(|a| a.extent)
+            .collect()
     }
 
     /// Sanity-check structural invariants of the descriptor. Called by the
@@ -210,13 +214,15 @@ impl fmt::Display for TensorIntrinsic {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::registry;
 
     #[test]
     fn every_registered_instruction_validates() {
         for intrin in registry::all() {
-            intrin.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", intrin.name));
+            intrin
+                .validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", intrin.name));
         }
     }
 

@@ -51,10 +51,18 @@ impl fmt::Display for EmulationError {
             EmulationError::OperandCount { expected, got } => {
                 write!(f, "expected {expected} operand buffers, got {got}")
             }
-            EmulationError::OperandShape { tensor, expected, got } => {
+            EmulationError::OperandShape {
+                tensor,
+                expected,
+                got,
+            } => {
                 write!(f, "operand {tensor} expects {expected} elements, got {got}")
             }
-            EmulationError::OperandDType { tensor, expected, got } => {
+            EmulationError::OperandDType {
+                tensor,
+                expected,
+                got,
+            } => {
                 write!(f, "operand {tensor} expects dtype {expected}, got {got}")
             }
         }
@@ -65,7 +73,12 @@ impl std::error::Error for EmulationError {}
 
 /// Evaluate a scalar expression under an axis environment, reading tensor
 /// elements from `bufs` (indexed by [`TensorId`]).
-fn eval_expr(expr: &Expr, env: &BTreeMap<AxisId, i64>, op: &ComputeOp, bufs: &[TypedBuf]) -> Scalar {
+fn eval_expr(
+    expr: &Expr,
+    env: &BTreeMap<AxisId, i64>,
+    op: &ComputeOp,
+    bufs: &[TypedBuf],
+) -> Scalar {
     match expr {
         Expr::Int(v, dt) => Scalar::Int(*v).wrap(*dt),
         Expr::Float(bits, dt) => Scalar::Float(f64::from_bits(*bits)).wrap(*dt),
@@ -101,7 +114,10 @@ fn read_load(l: &Load, env: &BTreeMap<AxisId, i64>, op: &ComputeOp, bufs: &[Type
 /// match the op's tensor declarations.
 pub fn eval_compute_op(op: &ComputeOp, bufs: &mut [TypedBuf]) -> Result<(), EmulationError> {
     if bufs.len() != op.tensors.len() {
-        return Err(EmulationError::OperandCount { expected: op.tensors.len(), got: bufs.len() });
+        return Err(EmulationError::OperandCount {
+            expected: op.tensors.len(),
+            got: bufs.len(),
+        });
     }
     for t in &op.tensors {
         let b = &bufs[t.id.0 as usize];
@@ -246,7 +262,9 @@ mod tests {
         for _ in 0..50 {
             let a: Vec<i64> = (0..64).map(|_| rng.gen_range(0..=255)).collect();
             let b: Vec<i64> = (0..64).map(|_| rng.gen_range(-128..=127)).collect();
-            let c: Vec<i64> = (0..16).map(|_| rng.gen_range(-1_000_000..=1_000_000)).collect();
+            let c: Vec<i64> = (0..16)
+                .map(|_| rng.gen_range(-1_000_000..=1_000_000))
+                .collect();
             let mut regs = vec![
                 TypedBuf::from_ints(DType::U8, &a),
                 TypedBuf::from_ints(DType::I8, &b),
@@ -357,7 +375,9 @@ mod tests {
         let op = unit_dsl::builder::conv2d_hwc(4, 4, 4, 2, 3, 3);
         let mut rng = StdRng::seed_from_u64(3);
         let a: Vec<i64> = (0..4 * 4 * 4).map(|_| rng.gen_range(0..=255)).collect();
-        let w: Vec<i64> = (0..3 * 3 * 2 * 4).map(|_| rng.gen_range(-128..=127)).collect();
+        let w: Vec<i64> = (0..3 * 3 * 2 * 4)
+            .map(|_| rng.gen_range(-128..=127))
+            .collect();
         let mut bufs = vec![
             TypedBuf::from_ints(DType::U8, &a),
             TypedBuf::from_ints(DType::I8, &w),

@@ -21,8 +21,13 @@ fn wmma(m: i64, n: i64, k: i64, in_dtype: DType, out_dtype: DType, name: &str) -
     let kk = b.reduce_axis("k", k);
     let elem = b.load(a, vec![i.into(), kk.into()]).cast(out_dtype)
         * b.load(w, vec![kk.into(), j.into()]).cast(out_dtype);
-    let semantics =
-        b.compute("c", out_dtype, vec![i.into(), j.into()], InitExpr::InPlace, elem);
+    let semantics = b.compute(
+        "c",
+        out_dtype,
+        vec![i.into(), j.into()],
+        InitExpr::InPlace,
+        elem,
+    );
     TensorIntrinsic {
         name: name.to_string(),
         platform: Platform::NvidiaTensorCore,
@@ -43,31 +48,64 @@ fn wmma(m: i64, n: i64, k: i64, in_dtype: DType, out_dtype: DType, name: &str) -
 /// `wmma.m16n16k16` fp16×fp16 → fp32, the instruction of Figure 2(b).
 #[must_use]
 pub fn wmma_16x16x16_f32() -> TensorIntrinsic {
-    wmma(16, 16, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32")
+    wmma(
+        16,
+        16,
+        16,
+        DType::F16,
+        DType::F32,
+        "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+    )
 }
 
 /// `wmma.m32n8k16` fp16×fp16 → fp32 (tall fragment).
 #[must_use]
 pub fn wmma_32x8x16_f32() -> TensorIntrinsic {
-    wmma(32, 8, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m32n8k16.mma.row.row.f32.f32")
+    wmma(
+        32,
+        8,
+        16,
+        DType::F16,
+        DType::F32,
+        "llvm.nvvm.wmma.m32n8k16.mma.row.row.f32.f32",
+    )
 }
 
 /// `wmma.m8n32k16` fp16×fp16 → fp32 (wide fragment).
 #[must_use]
 pub fn wmma_8x32x16_f32() -> TensorIntrinsic {
-    wmma(8, 32, 16, DType::F16, DType::F32, "llvm.nvvm.wmma.m8n32k16.mma.row.row.f32.f32")
+    wmma(
+        8,
+        32,
+        16,
+        DType::F16,
+        DType::F32,
+        "llvm.nvvm.wmma.m8n32k16.mma.row.row.f32.f32",
+    )
 }
 
 /// `wmma.m16n16k16` s8×s8 → s32 (Turing int8 Tensor Core).
 #[must_use]
 pub fn wmma_16x16x16_s8() -> TensorIntrinsic {
-    wmma(16, 16, 16, DType::I8, DType::I32, "llvm.nvvm.wmma.m16n16k16.mma.row.row.s32.s8")
+    wmma(
+        16,
+        16,
+        16,
+        DType::I8,
+        DType::I32,
+        "llvm.nvvm.wmma.m16n16k16.mma.row.row.s32.s8",
+    )
 }
 
 /// All Nvidia descriptors; the square fp16 shape first (preferred match).
 #[must_use]
 pub fn all() -> Vec<TensorIntrinsic> {
-    vec![wmma_16x16x16_f32(), wmma_32x8x16_f32(), wmma_8x32x16_f32(), wmma_16x16x16_s8()]
+    vec![
+        wmma_16x16x16_f32(),
+        wmma_32x8x16_f32(),
+        wmma_8x32x16_f32(),
+        wmma_16x16x16_s8(),
+    ]
 }
 
 #[cfg(test)]

@@ -61,7 +61,10 @@ pub fn all() -> Vec<TensorIntrinsic> {
 /// Instructions available on one platform.
 #[must_use]
 pub fn for_platform(platform: Platform) -> Vec<TensorIntrinsic> {
-    all().into_iter().filter(|i| i.platform == platform).collect()
+    all()
+        .into_iter()
+        .filter(|i| i.platform == platform)
+        .collect()
 }
 
 /// Look an instruction up by its canonical name.

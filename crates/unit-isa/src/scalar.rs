@@ -201,7 +201,10 @@ impl TypedBuf {
     /// A zero-filled buffer.
     #[must_use]
     pub fn zeros(dtype: DType, len: usize) -> TypedBuf {
-        TypedBuf { dtype, data: vec![Scalar::zero(dtype); len] }
+        TypedBuf {
+            dtype,
+            data: vec![Scalar::zero(dtype); len],
+        }
     }
 
     /// Build from integer values (wrapped to `dtype`).
@@ -212,7 +215,13 @@ impl TypedBuf {
     #[must_use]
     pub fn from_ints(dtype: DType, values: &[i64]) -> TypedBuf {
         assert!(dtype.is_int(), "from_ints requires an integer dtype");
-        TypedBuf { dtype, data: values.iter().map(|&v| Scalar::Int(wrap_int(v, dtype))).collect() }
+        TypedBuf {
+            dtype,
+            data: values
+                .iter()
+                .map(|&v| Scalar::Int(wrap_int(v, dtype)))
+                .collect(),
+        }
     }
 
     /// Build from float values (rounded to `dtype`).
@@ -225,7 +234,10 @@ impl TypedBuf {
         assert!(dtype.is_float(), "from_floats requires a float dtype");
         TypedBuf {
             dtype,
-            data: values.iter().map(|&v| Scalar::Float(round_float(v, dtype))).collect(),
+            data: values
+                .iter()
+                .map(|&v| Scalar::Float(round_float(v, dtype)))
+                .collect(),
         }
     }
 
@@ -297,7 +309,10 @@ mod tests {
         assert_eq!(wrap_int(200, DType::I8), -56);
         assert_eq!(wrap_int(-1, DType::U8), 255);
         assert_eq!(wrap_int(70000, DType::I16), 4464);
-        assert_eq!(wrap_int(i64::from(i32::MAX) + 1, DType::I32), i64::from(i32::MIN));
+        assert_eq!(
+            wrap_int(i64::from(i32::MAX) + 1, DType::I32),
+            i64::from(i32::MIN)
+        );
     }
 
     #[test]
@@ -312,13 +327,28 @@ mod tests {
 
     #[test]
     fn casts_between_classes() {
-        assert_eq!(Scalar::Int(-3).cast(DType::I8, DType::F32), Scalar::Float(-3.0));
-        assert_eq!(Scalar::Float(2.9).cast(DType::F32, DType::I32), Scalar::Int(2));
-        assert_eq!(Scalar::Float(-2.9).cast(DType::F32, DType::I32), Scalar::Int(-2));
+        assert_eq!(
+            Scalar::Int(-3).cast(DType::I8, DType::F32),
+            Scalar::Float(-3.0)
+        );
+        assert_eq!(
+            Scalar::Float(2.9).cast(DType::F32, DType::I32),
+            Scalar::Int(2)
+        );
+        assert_eq!(
+            Scalar::Float(-2.9).cast(DType::F32, DType::I32),
+            Scalar::Int(-2)
+        );
         // Narrowing int cast wraps.
-        assert_eq!(Scalar::Int(300).cast(DType::I32, DType::I8), Scalar::Int(44));
+        assert_eq!(
+            Scalar::Int(300).cast(DType::I32, DType::I8),
+            Scalar::Int(44)
+        );
         // u8 -> i32 is value-preserving.
-        assert_eq!(Scalar::Int(255).cast(DType::U8, DType::I32), Scalar::Int(255));
+        assert_eq!(
+            Scalar::Int(255).cast(DType::U8, DType::I32),
+            Scalar::Int(255)
+        );
     }
 
     #[test]
@@ -326,13 +356,21 @@ mod tests {
         let a = Scalar::Int(i32::MAX as i64);
         let out = Scalar::binop(BinOp::Add, a, Scalar::Int(1), DType::I32);
         assert_eq!(out, Scalar::Int(i32::MIN as i64));
-        let f = Scalar::binop(BinOp::Mul, Scalar::Float(1.5), Scalar::Float(2.0), DType::F16);
+        let f = Scalar::binop(
+            BinOp::Mul,
+            Scalar::Float(1.5),
+            Scalar::Float(2.0),
+            DType::F16,
+        );
         assert_eq!(f, Scalar::Float(3.0));
     }
 
     #[test]
     fn reduce_identities() {
-        assert_eq!(Scalar::reduce_identity(unit_dsl::ReduceOp::Sum, DType::I32), Scalar::Int(0));
+        assert_eq!(
+            Scalar::reduce_identity(unit_dsl::ReduceOp::Sum, DType::I32),
+            Scalar::Int(0)
+        );
         assert_eq!(
             Scalar::reduce_identity(unit_dsl::ReduceOp::Max, DType::I8),
             Scalar::Int(i8::MIN as i64)

@@ -22,10 +22,15 @@ fn vpdpbusd(lanes: i64, name: &str, throughput_ipc: f64) -> TensorIntrinsic {
     let c = b.tensor("c", &[lanes], DType::I32);
     let i = b.axis("i", lanes);
     let j = b.reduce_axis("j", 4);
-    let elem = b.load(a, vec![(i * 4 + j).into()]).cast(DType::I32)
-        * b.load(w, vec![(i * 4 + j).into()]).cast(DType::I32);
-    let semantics =
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let elem = b.load(a, vec![(i * 4 + j)]).cast(DType::I32)
+        * b.load(w, vec![(i * 4 + j)]).cast(DType::I32);
+    let semantics = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into()],
+        InitExpr::load(c, vec![i.into()]),
+        elem,
+    );
     TensorIntrinsic {
         name: name.to_string(),
         platform: Platform::X86Vnni,
@@ -71,22 +76,37 @@ pub fn vpdpwssd_512() -> TensorIntrinsic {
     let c = b.tensor("c", &[16], DType::I32);
     let i = b.axis("i", 16);
     let j = b.reduce_axis("j", 2);
-    let elem = b.load(a, vec![(i * 2 + j).into()]).cast(DType::I32)
-        * b.load(w, vec![(i * 2 + j).into()]).cast(DType::I32);
-    let semantics =
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let elem = b.load(a, vec![(i * 2 + j)]).cast(DType::I32)
+        * b.load(w, vec![(i * 2 + j)]).cast(DType::I32);
+    let semantics = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into()],
+        InitExpr::load(c, vec![i.into()]),
+        elem,
+    );
     TensorIntrinsic {
         name: name.to_string(),
         platform: Platform::X86Vnni,
         semantics,
-        perf: PerfAttrs { latency_cycles: 5.0, throughput_ipc: 2.0, macs: 32, uops: 1 },
+        perf: PerfAttrs {
+            latency_cycles: 5.0,
+            throughput_ipc: 2.0,
+            macs: 32,
+            uops: 1,
+        },
     }
 }
 
 /// All x86 descriptors, widest first (the Inspector prefers wider matches).
 #[must_use]
 pub fn all() -> Vec<TensorIntrinsic> {
-    vec![vpdpbusd_512(), vpdpbusd_256(), vpdpbusd_128(), vpdpwssd_512()]
+    vec![
+        vpdpbusd_512(),
+        vpdpbusd_256(),
+        vpdpbusd_128(),
+        vpdpwssd_512(),
+    ]
 }
 
 #[cfg(test)]

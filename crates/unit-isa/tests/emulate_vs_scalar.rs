@@ -1,0 +1,228 @@
+//! Every registered instruction's bit-accurate emulation must match an
+//! independent scalar oracle on randomized inputs.
+//!
+//! The oracle never calls `emulate::eval_compute_op` — it recomputes each
+//! instruction from the *descriptor structure* (lane/reduction extents,
+//! operand dtypes) using the `scalar` module's wrapping/rounding
+//! primitives directly, so a bug in the DSL evaluator cannot cancel
+//! itself out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unit_dsl::DType;
+use unit_isa::scalar::wrap_int;
+use unit_isa::{execute, registry, TensorIntrinsic, TypedBuf};
+
+/// Draw a random buffer covering the full value range of `dtype`.
+fn random_buf(dtype: DType, len: usize, rng: &mut StdRng) -> TypedBuf {
+    if dtype.is_float() {
+        let vals: Vec<f64> = (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        TypedBuf::from_floats(dtype, &vals)
+    } else {
+        let (lo, hi) = match dtype {
+            DType::I8 => (-128, 127),
+            DType::U8 => (0, 255),
+            DType::I16 => (-32_768, 32_767),
+            DType::U16 => (0, 65_535),
+            // Keep accumulators away from i32 overflow so the oracle's
+            // "no wrap expected" reading stays honest; wrap behaviour is
+            // covered separately below.
+            _ => (-1_000_000, 1_000_000),
+        };
+        let vals: Vec<i64> = (0..len).map(|_| rng.gen_range(lo..=hi)).collect();
+        TypedBuf::from_ints(dtype, &vals)
+    }
+}
+
+/// Allocate one register per declared tensor (destination included),
+/// every one randomly filled — for in-place accumulators the destination
+/// contents seed the accumulation.
+fn random_regs(intrin: &TensorIntrinsic, rng: &mut StdRng) -> Vec<TypedBuf> {
+    intrin
+        .semantics
+        .tensors
+        .iter()
+        .map(|t| random_buf(t.dtype, t.len(), rng))
+        .collect()
+}
+
+/// Oracle for the dot-product family (VNNI `vpdpbusd`/`vpdpwssd`, ARM
+/// `sdot`/`udot`): `d[i] = c[i] + Σ_j a[i*R+j] * b[i*R+j]`, products and
+/// accumulation wrapped to the i32 destination exactly as hardware does.
+fn dot_oracle(intrin: &TensorIntrinsic, regs: &[TypedBuf]) -> Vec<i64> {
+    let lanes = intrin.parallel_extents()[0] as usize;
+    let red = intrin.reduce_extents()[0] as usize;
+    let ops = intrin.data_operands();
+    let a = regs[ops[0].0 as usize].to_ints();
+    let b = regs[ops[1].0 as usize].to_ints();
+    let acc_id = intrin
+        .accumulator_operand()
+        .expect("dot family has a separate accumulator");
+    let c = regs[acc_id.0 as usize].to_ints();
+    (0..lanes)
+        .map(|i| {
+            let mut acc = c[i];
+            for j in 0..red {
+                let prod = wrap_int(a[i * red + j] * b[i * red + j], DType::I32);
+                acc = wrap_int(acc + prod, DType::I32);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Round an `f64` through `f32` precision — one accumulation step of a
+/// Tensor Core fp32 accumulator.
+fn round32(v: f64) -> f64 {
+    f64::from(v as f32)
+}
+
+/// Oracle for the WMMA family: a full `M×N×K` matmul accumulating in
+/// place into the destination fragment. `a` is `M×K` row-major, `b` is
+/// `K×N` row-major.
+fn wmma_oracle_f32(intrin: &TensorIntrinsic, regs: &[TypedBuf]) -> Vec<f64> {
+    let (m, n) = {
+        let p = intrin.parallel_extents();
+        (p[0] as usize, p[1] as usize)
+    };
+    let k = intrin.reduce_extents()[0] as usize;
+    let ops = intrin.data_operands();
+    // `to_floats` reads back post-f16-rounding values, as the hardware
+    // fragment would hold them.
+    let a = regs[ops[0].0 as usize].to_floats();
+    let b = regs[ops[1].0 as usize].to_floats();
+    let c = regs[intrin.semantics.output.0 as usize].to_floats();
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for kk in 0..k {
+                acc = round32(acc + round32(a[i * k + kk] * b[kk * n + j]));
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Int8 WMMA variant: same matmul with wrapping i32 accumulation.
+fn wmma_oracle_i32(intrin: &TensorIntrinsic, regs: &[TypedBuf]) -> Vec<i64> {
+    let (m, n) = {
+        let p = intrin.parallel_extents();
+        (p[0] as usize, p[1] as usize)
+    };
+    let k = intrin.reduce_extents()[0] as usize;
+    let ops = intrin.data_operands();
+    let a = regs[ops[0].0 as usize].to_ints();
+    let b = regs[ops[1].0 as usize].to_ints();
+    let c = regs[intrin.semantics.output.0 as usize].to_ints();
+    let mut out = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for kk in 0..k {
+                acc = wrap_int(
+                    acc + wrap_int(a[i * k + kk] * b[kk * n + j], DType::I32),
+                    DType::I32,
+                );
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn check_one(intrin: &TensorIntrinsic, rng: &mut StdRng) {
+    let mut regs = random_regs(intrin, rng);
+    let out_id = intrin.semantics.output.0 as usize;
+    if intrin.in_place_accumulator() {
+        // Matmul family. Compute the oracle BEFORE executing: the
+        // destination doubles as the accumulator input.
+        if intrin.semantics.output_decl().dtype.is_float() {
+            let expect = wmma_oracle_f32(intrin, &regs);
+            execute(intrin, &mut regs).expect("emulation runs");
+            assert_eq!(
+                regs[out_id].to_floats(),
+                expect,
+                "instruction {}",
+                intrin.name
+            );
+        } else {
+            let expect = wmma_oracle_i32(intrin, &regs);
+            execute(intrin, &mut regs).expect("emulation runs");
+            assert_eq!(
+                regs[out_id].to_ints(),
+                expect,
+                "instruction {}",
+                intrin.name
+            );
+        }
+    } else {
+        let expect = dot_oracle(intrin, &regs);
+        execute(intrin, &mut regs).expect("emulation runs");
+        assert_eq!(
+            regs[out_id].to_ints(),
+            expect,
+            "instruction {}",
+            intrin.name
+        );
+    }
+}
+
+#[test]
+fn every_registered_instruction_matches_the_scalar_oracle() {
+    let intrinsics = registry::all();
+    assert!(
+        intrinsics.len() >= 11,
+        "expected the 11 built-in instructions, found {}",
+        intrinsics.len()
+    );
+    for intrin in &intrinsics {
+        // Derive the seed from the name so each instruction gets a
+        // reproducible but distinct stream.
+        let seed = intrin.name.bytes().map(u64::from).sum::<u64>();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..25 {
+            check_one(intrin, &mut rng);
+        }
+    }
+}
+
+#[test]
+fn dot_family_wraps_on_i32_overflow_like_hardware() {
+    // Saturate the accumulator near i32::MAX: the emulation must wrap,
+    // not saturate and not widen to i64.
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("registered");
+    let lanes = 16usize;
+    let a = vec![255i64; 64];
+    let b = vec![127i64; 64];
+    let c = vec![i64::from(i32::MAX); lanes];
+    let mut regs = vec![
+        TypedBuf::from_ints(DType::U8, &a),
+        TypedBuf::from_ints(DType::I8, &b),
+        TypedBuf::from_ints(DType::I32, &c),
+        TypedBuf::zeros(DType::I32, lanes),
+    ];
+    execute(&intrin, &mut regs).expect("emulation runs");
+    let mut acc = i64::from(i32::MAX);
+    for _ in 0..4 {
+        acc = wrap_int(acc + 255 * 127, DType::I32);
+    }
+    assert_eq!(regs[3].to_ints(), vec![acc; lanes]);
+    assert!(acc < 0, "accumulator should have wrapped negative");
+}
+
+#[test]
+fn every_platform_is_represented_in_the_registry() {
+    use unit_isa::Platform;
+    for platform in [
+        Platform::X86Vnni,
+        Platform::ArmDot,
+        Platform::NvidiaTensorCore,
+    ] {
+        assert!(
+            registry::all().iter().any(|i| i.platform == platform),
+            "no instruction registered for {platform}"
+        );
+    }
+}

@@ -50,7 +50,11 @@ fn collect_leaves<'a>(
 ) {
     match stmt {
         Stmt::For(fs) => {
-            stack.push(LoopCtx { var: fs.var, extent: fs.extent, kind: fs.kind });
+            stack.push(LoopCtx {
+                var: fs.var,
+                extent: fs.extent,
+                kind: fs.kind,
+            });
             collect_leaves(&fs.body, stack, guards, out);
             stack.pop();
         }
@@ -63,7 +67,11 @@ fn collect_leaves<'a>(
             collect_leaves(body, stack, guards + g.len(), out);
         }
         Stmt::Store(_) | Stmt::Intrin(_) => {
-            out.push(Leaf { stack: stack.clone(), guards, stmt });
+            out.push(Leaf {
+                stack: stack.clone(),
+                guards,
+                stmt,
+            });
         }
         Stmt::Sync | Stmt::Nop => {}
     }
@@ -120,8 +128,17 @@ fn leaf_cost(leaf: &Leaf<'_>, func: &TirFunc, m: &CpuMachine) -> LeafCost {
         Stmt::Store(st) => {
             let ops = f64::from(op_count(&st.value).max(1));
             let vectorized = leaf.stack.iter().any(|l| l.kind == LoopKind::Vectorized);
-            let ports = if vectorized { m.vector_issue_ports } else { m.scalar_ipc };
-            (ops / ports, m.vector_fma_latency, op_count(&st.value).max(1), 1.0)
+            let ports = if vectorized {
+                m.vector_issue_ports
+            } else {
+                m.scalar_ipc
+            };
+            (
+                ops / ports,
+                m.vector_fma_latency,
+                op_count(&st.value).max(1),
+                1.0,
+            )
         }
         _ => (0.0, 0.0, 0, 0.0),
     };
@@ -142,9 +159,7 @@ fn leaf_cost(leaf: &Leaf<'_>, func: &TirFunc, m: &CpuMachine) -> LeafCost {
             }
             LoopKind::Vectorized => {
                 let elem_bits = match leaf.stmt {
-                    Stmt::Store(st) => {
-                        st.value.dtype(&|b: BufId| func.buffer(b).dtype).bits()
-                    }
+                    Stmt::Store(st) => st.value.dtype(&|b: BufId| func.buffer(b).dtype).bits(),
                     _ => 32,
                 };
                 let lanes = f64::from(m.simd_bits / elem_bits).max(1.0);
@@ -214,7 +229,11 @@ fn leaf_cost(leaf: &Leaf<'_>, func: &TirFunc, m: &CpuMachine) -> LeafCost {
         notes.push(format!("{} likely-guards on the hot path", leaf.guards));
     }
 
-    LeafCost { compute: trips * per_instance, overhead, notes }
+    LeafCost {
+        compute: trips * per_instance,
+        overhead,
+        notes,
+    }
 }
 
 /// Contiguity of the innermost access to a buffer: the length in bytes of a
@@ -255,7 +274,7 @@ fn memory_traffic(func: &TirFunc, m: &CpuMachine) -> f64 {
             if runs.is_some() {
                 return;
             }
-            let mut from_flat = |indices: &[IdxExpr]| {
+            let from_flat = |indices: &[IdxExpr]| {
                 let strides = func.buffer(buf.id).strides();
                 let mut pairs = Vec::new();
                 for (ix, bstride) in indices.iter().zip(&strides) {
@@ -281,7 +300,10 @@ fn memory_traffic(func: &TirFunc, m: &CpuMachine) -> f64 {
                     }
                 }
                 Stmt::Intrin(is) => {
-                    for spec in std::iter::once(&is.dst).chain(is.acc.iter()).chain(&is.srcs) {
+                    for spec in std::iter::once(&is.dst)
+                        .chain(is.acc.iter())
+                        .chain(&is.srcs)
+                    {
                         if spec.buffer == buf.id && runs.is_none() {
                             let mut pairs: Vec<(i64, i64)> = spec
                                 .steps
@@ -375,7 +397,7 @@ mod tests {
         // Tensorize-free proxy: a scalar accumulation store. The unrolled
         // version must be faster per the chain model.
         let op = matmul_u8i8(64, 64, 256);
-        let mut plain = Schedule::new(&op);
+        let plain = Schedule::new(&op);
         let ls = plain.leaves();
         // Keep reduction innermost: i, j, k -> chain carried by k.
         let base = estimate_cpu(&lower(&plain, "plain").unwrap(), &clx());

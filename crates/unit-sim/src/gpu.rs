@@ -96,8 +96,7 @@ pub fn estimate_gpu(desc: &GpuKernelDesc, m: &GpuMachine) -> Estimate {
     // fragment-accumulate latency.
     let k_per_block = (desc.reduce_k as f64 / desc.split_k as f64).ceil();
     let wmma_k = 16.0;
-    let macs_per_block =
-        desc.tile_m as f64 * desc.tile_n as f64 * k_per_block;
+    let macs_per_block = desc.tile_m as f64 * desc.tile_n as f64 * k_per_block;
     let wmma_count = (macs_per_block / desc.wmma_macs).ceil();
     let issue = desc.wmma_macs / m.tensor_macs_per_sm_cycle; // cycles per wmma
     let window = (desc.p * desc.p) as f64;
@@ -130,7 +129,9 @@ pub fn estimate_gpu(desc: &GpuKernelDesc, m: &GpuMachine) -> Estimate {
         let reduce_elems = desc.tile_m as f64 * desc.tile_n as f64;
         let reduce_cycles = reduce_elems * segments / f64::from(m.fp32_lanes_per_sm);
         overhead += m.sync_cycles * segments + reduce_cycles;
-        notes.push(format!("split-K by {segments:.0}: sync + shared-memory reduce"));
+        notes.push(format!(
+            "split-K by {segments:.0}: sync + shared-memory reduce"
+        ));
     }
 
     // Dimension-fusion bookkeeping: fused H*W saves padding traffic but
@@ -222,7 +223,12 @@ mod tests {
         let m = GpuMachine::v100();
         let p1 = estimate_gpu(&desc(1, 8), &m);
         let p2 = estimate_gpu(&desc(2, 8), &m);
-        assert!(p1.cycles > p2.cycles, "p=1: {} vs p=2: {}", p1.cycles, p2.cycles);
+        assert!(
+            p1.cycles > p2.cycles,
+            "p=1: {} vs p=2: {}",
+            p1.cycles,
+            p2.cycles
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl fmt::Display for Estimate {
             self.compute_cycles,
             self.memory_cycles,
             self.overhead_cycles,
-            if self.memory_bound() { "memory" } else { "compute" }
+            if self.memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            }
         )
     }
 }

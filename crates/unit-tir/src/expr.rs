@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn dtype_resolution() {
         let resolver = |_: BufId| DType::I8;
-        let e = TExpr::Load { buffer: BufId(0), indices: vec![] }.clone();
+        let e = TExpr::Load {
+            buffer: BufId(0),
+            indices: vec![],
+        }
+        .clone();
         assert_eq!(e.dtype(&resolver), DType::I8);
         let c = TExpr::Cast(DType::I32, Box::new(e));
         assert_eq!(c.dtype(&resolver), DType::I32);
@@ -143,8 +147,14 @@ mod tests {
 
     #[test]
     fn loads_are_enumerated() {
-        let l0 = TExpr::Load { buffer: BufId(0), indices: vec![IdxExpr::Const(0)] };
-        let l1 = TExpr::Load { buffer: BufId(1), indices: vec![IdxExpr::Const(1)] };
+        let l0 = TExpr::Load {
+            buffer: BufId(0),
+            indices: vec![IdxExpr::Const(0)],
+        };
+        let l1 = TExpr::Load {
+            buffer: BufId(1),
+            indices: vec![IdxExpr::Const(1)],
+        };
         let e = TExpr::Bin(BinOp::Mul, Box::new(l0), Box::new(l1));
         assert_eq!(e.loads().len(), 2);
         assert_eq!(e.loads()[0].0, BufId(0));

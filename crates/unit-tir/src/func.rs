@@ -133,7 +133,6 @@ impl TirFunc {
     }
 
     /// Extent resolver closure, convenient for bounds analysis.
-    #[must_use]
     pub fn extent_of(&self) -> impl Fn(VarId) -> i64 + '_ {
         move |v| self.var(v).extent
     }
@@ -141,7 +140,10 @@ impl TirFunc {
     /// Arguments: every global-scope buffer, in declaration order.
     #[must_use]
     pub fn args(&self) -> Vec<&BufferDecl> {
-        self.buffers.iter().filter(|b| b.scope == BufferScope::Global).collect()
+        self.buffers
+            .iter()
+            .filter(|b| b.scope == BufferScope::Global)
+            .collect()
     }
 }
 

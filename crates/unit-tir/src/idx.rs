@@ -32,8 +32,10 @@ pub enum IdxExpr {
 }
 
 impl IdxExpr {
-    /// Constant-folding addition.
+    /// Constant-folding addition. (Deliberately not `std::ops::Add`: the
+    /// smart constructors fold constants and are used by value.)
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: IdxExpr) -> IdxExpr {
         match (self, rhs) {
             (IdxExpr::Const(a), IdxExpr::Const(b)) => IdxExpr::Const(a + b),
@@ -44,6 +46,7 @@ impl IdxExpr {
 
     /// Constant-folding multiplication by a constant.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: i64) -> IdxExpr {
         match (self, k) {
             (_, 0) => IdxExpr::Const(0),
@@ -261,7 +264,10 @@ mod tests {
     #[test]
     fn affine_extraction() {
         // 4*x + y + 3
-        let e = IdxExpr::Var(v(0)).mul(4).add(IdxExpr::Var(v(1))).add(IdxExpr::Const(3));
+        let e = IdxExpr::Var(v(0))
+            .mul(4)
+            .add(IdxExpr::Var(v(1)))
+            .add(IdxExpr::Const(3));
         let (coeffs, off) = e.as_affine().unwrap();
         assert_eq!(coeffs.get(&v(0)), Some(&4));
         assert_eq!(coeffs.get(&v(1)), Some(&1));
@@ -335,6 +341,50 @@ mod tests {
             let lin = coeffs.get(&v(0)).copied().unwrap_or(0) * x
                 + coeffs.get(&v(1)).copied().unwrap_or(0) * y + o;
             prop_assert_eq!(lin, e.eval(&|var| if var == v(0) { x } else { y }));
+        }
+
+        /// The split identity `(x / k) * k + x % k == x` — the index
+        /// arithmetic `lower` emits for a split loop must reconstruct the
+        /// original index for every value in range.
+        #[test]
+        fn split_reconstruction_is_identity(
+            k in 1i64..9, x in 0i64..200,
+        ) {
+            let var = IdxExpr::Var(v(0));
+            let rebuilt = var.clone().floor_div(k).mul(k).add(var.modulo(k));
+            prop_assert_eq!(rebuilt.eval(&|_| x), x);
+        }
+
+        /// Fusing two loops into `fused = x * ey + y` and re-deriving
+        /// `x = fused / ey`, `y = fused % ey` round-trips exactly — the
+        /// identity behind the Rewriter's fuse + re-split reorganization.
+        #[test]
+        fn fuse_then_split_round_trips(
+            ey in 1i64..12, x in 0i64..15, y_frac in 0i64..12,
+        ) {
+            let y = y_frac % ey;
+            let fused = IdxExpr::Var(v(0)).mul(ey).add(IdxExpr::Var(v(1)));
+            let fused_val = fused.eval(&|var| if var == v(0) { x } else { y });
+            let x_back = IdxExpr::Var(v(9)).floor_div(ey).eval(&|_| fused_val);
+            let y_back = IdxExpr::Var(v(9)).modulo(ey).eval(&|_| fused_val);
+            prop_assert_eq!((x_back, y_back), (x, y));
+        }
+
+        /// Substituting the split decomposition into an expression and
+        /// evaluating equals evaluating the original directly — the
+        /// whole-expression version of the round-trip, with div/mod
+        /// composed under affine arithmetic.
+        #[test]
+        fn split_substitution_commutes_with_eval(
+            c0 in -6i64..6, off in -20i64..20, k in 1i64..8, x in 0i64..100,
+        ) {
+            let e = IdxExpr::Var(v(0)).mul(c0).add(IdxExpr::Const(off));
+            let decomposed = IdxExpr::Var(v(0))
+                .floor_div(k)
+                .mul(k)
+                .add(IdxExpr::Var(v(0)).modulo(k));
+            let rebuilt = e.substitute(v(0), &decomposed);
+            prop_assert_eq!(rebuilt.eval(&|_| x), e.eval(&|_| x));
         }
     }
 }

@@ -54,7 +54,11 @@ fn expr_to_texpr(e: &Expr, axis_def: &BTreeMap<AxisId, IdxExpr>) -> TExpr {
         Expr::Float(bits, dt) => TExpr::Float(*bits, *dt),
         Expr::Load(l) => TExpr::Load {
             buffer: BufId(l.tensor.0),
-            indices: l.indices.iter().map(|ix| lin_to_idx(ix, axis_def)).collect(),
+            indices: l
+                .indices
+                .iter()
+                .map(|ix| lin_to_idx(ix, axis_def))
+                .collect(),
         },
         Expr::Cast(dt, inner) => TExpr::Cast(*dt, Box::new(expr_to_texpr(inner, axis_def))),
         Expr::Bin(op, lhs, rhs) => TExpr::Bin(
@@ -111,7 +115,11 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
     let vars: Vec<VarDecl> = schedule
         .all_vars()
         .iter()
-        .map(|v| VarDecl { id: v.id, name: v.name.clone(), extent: v.extent })
+        .map(|v| VarDecl {
+            id: v.id,
+            name: v.name.clone(),
+            extent: v.extent,
+        })
         .collect();
 
     let defs = schedule.leaf_definitions();
@@ -123,15 +131,21 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
 
     let out_buf = BufId(op.output.0);
     let out_dt = op.output_decl().dtype;
-    let out_indices_main: Vec<IdxExpr> =
-        op.out_indices.iter().map(|ix| lin_to_idx(ix, &axis_def_main)).collect();
+    let out_indices_main: Vec<IdxExpr> = op
+        .out_indices
+        .iter()
+        .map(|ix| lin_to_idx(ix, &axis_def_main))
+        .collect();
 
     // --- Main nest ---
     let update_t = expr_to_texpr(&op.update, &axis_def_main);
     let store_value = if op.has_reduction() {
         TExpr::Bin(
             op.reduce_op.combine_op(),
-            Box::new(TExpr::Load { buffer: out_buf, indices: out_indices_main.clone() }),
+            Box::new(TExpr::Load {
+                buffer: out_buf,
+                indices: out_indices_main.clone(),
+            }),
             Box::new(update_t),
         )
     } else {
@@ -148,7 +162,10 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
         .map(|(index, bound)| Guard { index, bound })
         .collect();
     if !guards.is_empty() {
-        body = Stmt::IfLikely { guards, body: Box::new(body) };
+        body = Stmt::IfLikely {
+            guards,
+            body: Box::new(body),
+        };
     }
 
     let pragma = schedule.tensorize_pragma().map(|(v, n)| (v, n.to_string()));
@@ -164,7 +181,11 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
             var: leaf,
             extent: iv.extent,
             kind: schedule.annotation(leaf),
-            pragma: if is_pragma { Some("tensorize".to_string()) } else { None },
+            pragma: if is_pragma {
+                Some("tensorize".to_string())
+            } else {
+                None
+            },
             body: Box::new(body),
         });
     }
@@ -179,13 +200,20 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
                 .iter()
                 .map(|a| (a.id, IdxExpr::Var(schedule.root_of(a.id))))
                 .collect();
-            let out_indices_init: Vec<IdxExpr> =
-                op.out_indices.iter().map(|ix| lin_to_idx(ix, &axis_def_init)).collect();
+            let out_indices_init: Vec<IdxExpr> = op
+                .out_indices
+                .iter()
+                .map(|ix| lin_to_idx(ix, &axis_def_init))
+                .collect();
             let value = match init {
                 InitExpr::Identity => identity_texpr(op.reduce_op, out_dt),
                 InitExpr::Tensor(l) => TExpr::Load {
                     buffer: BufId(l.tensor.0),
-                    indices: l.indices.iter().map(|ix| lin_to_idx(ix, &axis_def_init)).collect(),
+                    indices: l
+                        .indices
+                        .iter()
+                        .map(|ix| lin_to_idx(ix, &axis_def_init))
+                        .collect(),
                 },
                 InitExpr::InPlace => unreachable!("handled above"),
             };
@@ -208,7 +236,13 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
         None => body,
     };
 
-    Ok(TirFunc { name: name.to_string(), buffers, vars, output: out_buf, body })
+    Ok(TirFunc {
+        name: name.to_string(),
+        buffers,
+        vars,
+        output: out_buf,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -279,7 +313,8 @@ mod tests {
         let op = matmul_u8i8(32, 32, 64);
         let mut s = Schedule::new(&op);
         let ls = s.leaves();
-        s.pragma_tensorize(ls[2], "llvm.x86.avx512.vpdpbusd.512").unwrap();
+        s.pragma_tensorize(ls[2], "llvm.x86.avx512.vpdpbusd.512")
+            .unwrap();
         let f = lower(&s, "mm").unwrap();
         let found = f.body.find_pragma("tensorize").unwrap();
         assert_eq!(found.var, ls[2]);

@@ -23,18 +23,23 @@ fn substitute_stmt(stmt: &Stmt, var: crate::func::VarId, rep: &IdxExpr) -> Stmt 
             pragma: fs.pragma.clone(),
             body: Box::new(substitute_stmt(&fs.body, var, rep)),
         }),
-        Stmt::Seq(items) => {
-            Stmt::Seq(items.iter().map(|s| substitute_stmt(s, var, rep)).collect())
-        }
+        Stmt::Seq(items) => Stmt::Seq(items.iter().map(|s| substitute_stmt(s, var, rep)).collect()),
         Stmt::Store(st) => Stmt::Store(StoreStmt {
             buffer: st.buffer,
-            indices: st.indices.iter().map(|ix| ix.substitute(var, rep)).collect(),
+            indices: st
+                .indices
+                .iter()
+                .map(|ix| ix.substitute(var, rep))
+                .collect(),
             value: st.value.substitute(var, rep),
         }),
         Stmt::IfLikely { guards, body } => Stmt::IfLikely {
             guards: guards
                 .iter()
-                .map(|g| Guard { index: g.index.substitute(var, rep), bound: g.bound })
+                .map(|g| Guard {
+                    index: g.index.substitute(var, rep),
+                    bound: g.bound,
+                })
                 .collect(),
             body: Box::new(substitute_stmt(body, var, rep)),
         },
@@ -106,7 +111,10 @@ fn simplify_stmt(stmt: &Stmt) -> Stmt {
             if live.is_empty() {
                 body
             } else {
-                Stmt::IfLikely { guards: live, body: Box::new(body) }
+                Stmt::IfLikely {
+                    guards: live,
+                    body: Box::new(body),
+                }
             }
         }
         other => other.clone(),
@@ -143,7 +151,10 @@ fn elide_stmt(stmt: &Stmt, extent_of: &dyn Fn(crate::func::VarId) -> i64) -> Stm
             if live.is_empty() {
                 body
             } else {
-                Stmt::IfLikely { guards: live, body: Box::new(body) }
+                Stmt::IfLikely {
+                    guards: live,
+                    body: Box::new(body),
+                }
             }
         }
         other => other.clone(),
@@ -193,7 +204,11 @@ mod tests {
             buffers: vec![],
             vars: vec![],
             output: BufId(0),
-            body: Stmt::Seq(vec![Stmt::Nop, Stmt::Seq(vec![Stmt::Sync, Stmt::Nop]), Stmt::Nop]),
+            body: Stmt::Seq(vec![
+                Stmt::Nop,
+                Stmt::Seq(vec![Stmt::Sync, Stmt::Nop]),
+                Stmt::Nop,
+            ]),
         };
         let s = simplify(&f);
         assert_eq!(s.body, Stmt::Sync);
@@ -214,5 +229,122 @@ mod tests {
         s2.split(ls2[0], 8).unwrap();
         let f2 = elide_proven_guards(&lower(&s2, "mm2").unwrap());
         assert_eq!(f2.body.count(&|s| matches!(s, Stmt::IfLikely { .. })), 1);
+    }
+
+    /// One store event of [`trace`]: destination buffer, fully evaluated
+    /// indices, and the stored value with every loop variable substituted
+    /// by its constant iteration value.
+    type StoreEvent = (BufId, Vec<i64>, TExpr);
+
+    /// Concretely enumerate every loop iteration of a statement and record
+    /// the store trace — an independent "evaluation" of the loop nest's
+    /// index arithmetic that does not go through the interpreter crate.
+    fn trace(
+        stmt: &Stmt,
+        env: &mut std::collections::BTreeMap<VarId, i64>,
+        out: &mut Vec<StoreEvent>,
+    ) {
+        match stmt {
+            Stmt::For(fs) => {
+                for i in 0..fs.extent {
+                    env.insert(fs.var, i);
+                    trace(&fs.body, env, out);
+                }
+                env.remove(&fs.var);
+            }
+            Stmt::Seq(items) => {
+                for item in items {
+                    trace(item, env, out);
+                }
+            }
+            Stmt::IfLikely { guards, body } => {
+                let holds = guards.iter().all(|g| g.index.eval(&|v| env[&v]) < g.bound);
+                if holds {
+                    trace(body, env, out);
+                }
+            }
+            Stmt::Store(st) => {
+                let indices: Vec<i64> = st.indices.iter().map(|ix| ix.eval(&|v| env[&v])).collect();
+                let mut value = st.value.clone();
+                for (var, val) in env.iter() {
+                    value = value.substitute(*var, &IdxExpr::Const(*val));
+                }
+                out.push((st.buffer, indices, value));
+            }
+            Stmt::Intrin(_) => panic!("trace: untensorized nests only"),
+            Stmt::Sync | Stmt::Nop => {}
+        }
+    }
+
+    fn trace_func(f: &TirFunc) -> Vec<StoreEvent> {
+        let mut env = std::collections::BTreeMap::new();
+        let mut out = Vec::new();
+        trace(&f.body, &mut env, &mut out);
+        out
+    }
+
+    /// lower → simplify → evaluate must equal direct evaluation: the
+    /// simplified loop nest performs exactly the same stores, with the
+    /// same index arithmetic, in the same order.
+    #[test]
+    fn simplify_preserves_store_trace_of_lowered_funcs() {
+        // Imperfect split (30 % 8 != 0) exercises likely-guards; the
+        // extent-of-factor split leaves an extent-1 outer loop behind.
+        for (dims, factor) in [
+            ((30i64, 12i64, 21i64), 8),
+            ((6, 5, 7), 7),
+            ((16, 16, 16), 4),
+        ] {
+            let op = matmul_u8i8(dims.0, dims.1, dims.2);
+            let mut s = Schedule::new(&op);
+            let ls = s.leaves();
+            s.split(ls[0], factor).unwrap();
+            let f = lower(&s, "mm").unwrap();
+            let direct = trace_func(&f);
+            assert!(!direct.is_empty(), "matmul must store at least once");
+            assert_eq!(
+                trace_func(&simplify(&f)),
+                direct,
+                "dims {dims:?} factor {factor}"
+            );
+        }
+    }
+
+    /// Guard elision is part of the simplification pipeline and must also
+    /// be trace-neutral: a proven guard can be dropped only because it
+    /// always holds.
+    #[test]
+    fn elide_proven_guards_preserves_store_trace() {
+        let op = matmul_u8i8(30, 32, 64);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.split(ls[0], 8).unwrap();
+        let f = lower(&s, "mm").unwrap();
+        assert_eq!(trace_func(&elide_proven_guards(&f)), trace_func(&f));
+    }
+
+    /// Splitting by the full extent produces an extent-1 outer loop;
+    /// simplify must remove it (substituting the variable with zero) and
+    /// the store trace must survive the substitution.
+    #[test]
+    fn extent_one_loop_elimination_round_trips() {
+        let op = matmul_u8i8(6, 5, 7);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        s.split(ls[0], 6).unwrap(); // outer loop has extent 1
+        let f = lower(&s, "mm").unwrap();
+        let simplified = simplify(&f);
+        let ones_before = f
+            .body
+            .count(&|s| matches!(s, Stmt::For(fs) if fs.extent == 1));
+        let ones_after = simplified
+            .body
+            .count(&|s| matches!(s, Stmt::For(fs) if fs.extent == 1));
+        assert!(
+            ones_before > 0,
+            "split-by-extent must create an extent-1 loop"
+        );
+        assert_eq!(ones_after, 0, "simplify must eliminate extent-1 loops");
+        assert_eq!(trace_func(&simplified), trace_func(&f));
     }
 }

@@ -61,7 +61,10 @@ impl fmt::Display for TensorizeError {
             TensorizeError::NoPragma => write!(f, "no loop carries the tensorize pragma"),
             TensorizeError::NestMismatch(m) => write!(f, "tensorized nest mismatch: {m}"),
             TensorizeError::GuardOnTensorizedLoop => {
-                write!(f, "residue guard references a tensorized loop; pad the operation first")
+                write!(
+                    f,
+                    "residue guard references a tensorized loop; pad the operation first"
+                )
             }
             TensorizeError::BodyShape(m) => write!(f, "unsupported loop body: {m}"),
             TensorizeError::OperandMismatch(m) => write!(f, "operand preparation failed: {m}"),
@@ -74,10 +77,7 @@ impl std::error::Error for TensorizeError {}
 /// Split an index expression into (strides over tensorized vars, residual
 /// base). Fails if a tensorized variable occurs under division or modulo —
 /// which cannot happen for split-created loops, only fused ones.
-fn split_affine(
-    e: &IdxExpr,
-    tvars: &BTreeSet<VarId>,
-) -> Option<(BTreeMap<VarId, i64>, IdxExpr)> {
+fn split_affine(e: &IdxExpr, tvars: &BTreeSet<VarId>) -> Option<(BTreeMap<VarId, i64>, IdxExpr)> {
     match e {
         IdxExpr::Var(v) if tvars.contains(v) => {
             let mut m = BTreeMap::new();
@@ -96,7 +96,10 @@ fn split_affine(
         }
         IdxExpr::Mul(a, k) => {
             let (sa, ba) = split_affine(a, tvars)?;
-            Some((sa.into_iter().map(|(v, c)| (v, c * k)).collect(), ba.mul(*k)))
+            Some((
+                sa.into_iter().map(|(v, c)| (v, c * k)).collect(),
+                ba.mul(*k),
+            ))
         }
         IdxExpr::FloorDiv(a, k) => {
             if a.vars().iter().any(|v| tvars.contains(v)) {
@@ -185,7 +188,12 @@ fn build_operand(
             reg_decl.len()
         )));
     }
-    Ok(OperandSpec { buffer, base, steps, reg_len: reg_decl.len() })
+    Ok(OperandSpec {
+        buffer,
+        base,
+        steps,
+        reg_len: reg_decl.len(),
+    })
 }
 
 /// Walk inward from the pragma loop, collecting the tensorized loops and the
@@ -206,17 +214,16 @@ fn peel_nest(fs: &ForStmt) -> (Vec<(VarId, i64)>, &Stmt) {
 ///
 /// See [`TensorizeError`]; every variant corresponds to a structural
 /// precondition the Rewriter must establish.
-pub fn tensorize_pass(
-    func: &TirFunc,
-    req: &TensorizeRequest,
-) -> Result<TirFunc, TensorizeError> {
-    let pragma = func.body.find_pragma("tensorize").ok_or(TensorizeError::NoPragma)?;
+pub fn tensorize_pass(func: &TirFunc, req: &TensorizeRequest) -> Result<TirFunc, TensorizeError> {
+    let pragma = func
+        .body
+        .find_pragma("tensorize")
+        .ok_or(TensorizeError::NoPragma)?;
     let (nest, innermost) = peel_nest(pragma);
 
     let inst = &req.intrinsic.semantics;
     let map: BTreeMap<VarId, AxisId> = req.loop_map.iter().copied().collect();
-    let var_of_axis: BTreeMap<AxisId, VarId> =
-        req.loop_map.iter().map(|(v, a)| (*a, *v)).collect();
+    let var_of_axis: BTreeMap<AxisId, VarId> = req.loop_map.iter().map(|(v, a)| (*a, *v)).collect();
     let tvars: BTreeSet<VarId> = map.keys().copied().collect();
 
     // 1. Nest structure must equal the mapped instruction loops.
@@ -258,7 +265,9 @@ pub fn tensorize_pass(
         }
         Stmt::Store(st) => (Vec::new(), st),
         other => {
-            return Err(TensorizeError::BodyShape(format!("innermost is not a store: {other}")))
+            return Err(TensorizeError::BodyShape(format!(
+                "innermost is not a store: {other}"
+            )))
         }
     };
 
@@ -351,7 +360,10 @@ pub fn tensorize_pass(
         srcs,
     });
     if !outer_guards.is_empty() {
-        replacement = Stmt::IfLikely { guards: outer_guards, body: Box::new(replacement) };
+        replacement = Stmt::IfLikely {
+            guards: outer_guards,
+            body: Box::new(replacement),
+        };
     }
 
     let mut out = func.clone();
@@ -359,17 +371,15 @@ pub fn tensorize_pass(
     Ok(out)
 }
 
-fn check_binding(
-    req: &TensorizeRequest,
-    reg: TensorId,
-    buf: BufId,
-) -> Result<(), TensorizeError> {
+fn check_binding(req: &TensorizeRequest, reg: TensorId, buf: BufId) -> Result<(), TensorizeError> {
     match req.operand_map.get(&reg) {
         Some(b) if *b == buf => Ok(()),
         Some(b) => Err(TensorizeError::OperandMismatch(format!(
             "register {reg} is bound to {b} but the loop body uses {buf}"
         ))),
-        None => Err(TensorizeError::OperandMismatch(format!("register {reg} has no binding"))),
+        None => Err(TensorizeError::OperandMismatch(format!(
+            "register {reg} has no binding"
+        ))),
     }
 }
 
@@ -388,9 +398,12 @@ fn replace_pragma(stmt: &Stmt, replacement: &Stmt) -> Stmt {
                 })
             }
         }
-        Stmt::Seq(items) => {
-            Stmt::Seq(items.iter().map(|s| replace_pragma(s, replacement)).collect())
-        }
+        Stmt::Seq(items) => Stmt::Seq(
+            items
+                .iter()
+                .map(|s| replace_pragma(s, replacement))
+                .collect(),
+        ),
         Stmt::IfLikely { guards, body } => Stmt::IfLikely {
             guards: guards.clone(),
             body: Box::new(replace_pragma(body, replacement)),
@@ -427,7 +440,8 @@ mod tests {
         let leaves = s.leaves();
         // leaves: i, j_o, j_i, k_o, k_i -> reorder j_i after k_o.
         s.reorder(&[leaves[3], leaves[2]]).unwrap();
-        s.pragma_tensorize(ji, "llvm.x86.avx512.vpdpbusd.512").unwrap();
+        s.pragma_tensorize(ji, "llvm.x86.avx512.vpdpbusd.512")
+            .unwrap();
         let func = lower(&s, "mm_vnni").unwrap();
 
         let inst_axes: Vec<_> = intrin.semantics.all_axes().iter().map(|a| a.id).collect();
@@ -505,6 +519,9 @@ mod tests {
         let (func, mut req) = tensorized_matmul();
         req.operand_map.insert(TensorId(0), BufId(1));
         let err = tensorize_pass(&func, &req).unwrap_err();
-        assert!(matches!(err, TensorizeError::OperandMismatch(_)), "got {err}");
+        assert!(
+            matches!(err, TensorizeError::OperandMismatch(_)),
+            "got {err}"
+        );
     }
 }

@@ -41,10 +41,16 @@ impl fmt::Display for ValidateError {
             ValidateError::UndeclaredVar(v) => write!(f, "variable {v} not declared"),
             ValidateError::UndeclaredBuffer(b) => write!(f, "buffer {b} not declared"),
             ValidateError::RankMismatch(b, want, got) => {
-                write!(f, "buffer {b} has rank {want} but is accessed with {got} indices")
+                write!(
+                    f,
+                    "buffer {b} has rank {want} but is accessed with {got} indices"
+                )
             }
             ValidateError::OutOfBounds(b, dim, val, extent) => {
-                write!(f, "access of {b} dim {dim} may reach {val}, extent is {extent}")
+                write!(
+                    f,
+                    "access of {b} dim {dim} may reach {val}, extent is {extent}"
+                )
             }
             ValidateError::ExtentMismatch(v, decl, used) => {
                 write!(f, "loop over {v} has extent {used}, declared {decl}")
@@ -77,7 +83,11 @@ fn check_stmt(
             }
             let decl = func.var(fs.var);
             if decl.extent != fs.extent {
-                return Err(ValidateError::ExtentMismatch(fs.var, decl.extent, fs.extent));
+                return Err(ValidateError::ExtentMismatch(
+                    fs.var,
+                    decl.extent,
+                    fs.extent,
+                ));
             }
             if !bound.insert(fs.var) {
                 return Err(ValidateError::Rebound(fs.var));
@@ -103,8 +113,9 @@ fn check_stmt(
             check_stmt(func, body, bound)
         }
         Stmt::Intrin(is) => {
-            for spec in
-                std::iter::once(&is.dst).chain(is.acc.iter()).chain(is.srcs.iter())
+            for spec in std::iter::once(&is.dst)
+                .chain(is.acc.iter())
+                .chain(is.srcs.iter())
             {
                 if spec.buffer.0 as usize >= func.buffers.len() {
                     return Err(ValidateError::UndeclaredBuffer(spec.buffer));
@@ -152,7 +163,11 @@ fn check_access(
     }
     let decl = func.buffer(buffer);
     if decl.shape.len() != indices.len() {
-        return Err(ValidateError::RankMismatch(buffer, decl.shape.len(), indices.len()));
+        return Err(ValidateError::RankMismatch(
+            buffer,
+            decl.shape.len(),
+            indices.len(),
+        ));
     }
     let extent_of = func.extent_of();
     for (dim, ix) in indices.iter().enumerate() {
@@ -189,7 +204,12 @@ pub fn validate_strict_bounds(func: &TirFunc) -> Result<(), ValidateError> {
             for (dim, ix) in indices.iter().enumerate() {
                 let (lo, hi) = ix.bounds(&extent_of);
                 if lo < 0 || hi >= decl.shape[dim] {
-                    err = Some(ValidateError::OutOfBounds(buffer, dim, hi.max(-lo), decl.shape[dim]));
+                    err = Some(ValidateError::OutOfBounds(
+                        buffer,
+                        dim,
+                        hi.max(-lo),
+                        decl.shape[dim],
+                    ));
                 }
             }
         };
@@ -246,7 +266,11 @@ mod tests {
                 dtype: unit_dsl::DType::I32,
                 scope: crate::func::BufferScope::Global,
             }],
-            vars: vec![crate::func::VarDecl { id: VarId(0), name: "i".into(), extent: 4 }],
+            vars: vec![crate::func::VarDecl {
+                id: VarId(0),
+                name: "i".into(),
+                extent: 4,
+            }],
             output: BufId(0),
             body: Stmt::Store(StoreStmt {
                 buffer: BufId(0),
@@ -262,6 +286,9 @@ mod tests {
         let op = matmul_u8i8(8, 16, 32);
         let mut f = lower(&Schedule::new(&op), "t").unwrap();
         f.vars[0].extent = 99;
-        assert!(matches!(validate(&f), Err(ValidateError::ExtentMismatch(..))));
+        assert!(matches!(
+            validate(&f),
+            Err(ValidateError::ExtentMismatch(..))
+        ));
     }
 }

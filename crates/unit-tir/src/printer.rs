@@ -70,8 +70,10 @@ fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
         }
         Stmt::IfLikely { guards, body } => {
             indent(out, depth);
-            let conds: Vec<String> =
-                guards.iter().map(|g| format!("likely({} < {})", g.index, g.bound)).collect();
+            let conds: Vec<String> = guards
+                .iter()
+                .map(|g| format!("likely({} < {})", g.index, g.bound))
+                .collect();
             let _ = writeln!(out, "if ({}) {{", conds.join(" && "));
             write_stmt(out, body, depth + 1);
             indent(out, depth);
@@ -89,7 +91,13 @@ fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             if let Some(acc) = &is.acc {
                 parts.push(format!("acc={}", fmt_spec(acc)));
             }
-            let _ = writeln!(out, "{} = {}({});", fmt_spec(&is.dst), is.intrinsic, parts.join(", "));
+            let _ = writeln!(
+                out,
+                "{} = {}({});",
+                fmt_spec(&is.dst),
+                is.intrinsic,
+                parts.join(", ")
+            );
         }
         Stmt::Sync => {
             indent(out, depth);

@@ -100,7 +100,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "cannot fuse data-parallel {a} with reduce {b}")
             }
             ScheduleError::NotAPermutation => {
-                write!(f, "reorder argument must be a permutation of the current leaves")
+                write!(
+                    f,
+                    "reorder argument must be a permutation of the current leaves"
+                )
             }
             ScheduleError::IllegalAnnotation(v, k) => {
                 write!(f, "annotation {k:?} is illegal on loop {v}")
@@ -196,7 +199,10 @@ impl Schedule {
     /// The annotation of a leaf ([`LoopKind::Serial`] if unannotated).
     #[must_use]
     pub fn annotation(&self, v: VarId) -> LoopKind {
-        self.annotations.get(&v).copied().unwrap_or(LoopKind::Serial)
+        self.annotations
+            .get(&v)
+            .copied()
+            .unwrap_or(LoopKind::Serial)
     }
 
     /// The tensorize pragma, if set: `(leaf, intrinsic name)`.
@@ -207,12 +213,20 @@ impl Schedule {
 
     fn fresh(&mut self, name: String, extent: i64, class: IterClass) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(IterVar { id, name, extent, class });
+        self.vars.push(IterVar {
+            id,
+            name,
+            extent,
+            class,
+        });
         id
     }
 
     fn leaf_pos(&self, v: VarId) -> Result<usize, ScheduleError> {
-        self.leaves.iter().position(|l| *l == v).ok_or(ScheduleError::NotALeaf(v))
+        self.leaves
+            .iter()
+            .position(|l| *l == v)
+            .ok_or(ScheduleError::NotALeaf(v))
     }
 
     /// Split a leaf by `factor`: `v -> (outer, inner)` with
@@ -231,7 +245,12 @@ impl Schedule {
         let outer_extent = (parent.extent + factor - 1) / factor;
         let outer = self.fresh(format!("{}_o", parent.name), outer_extent, parent.class);
         let inner = self.fresh(format!("{}_i", parent.name), factor, parent.class);
-        self.rels.push(Rel::Split { parent: v, outer, inner, factor });
+        self.rels.push(Rel::Split {
+            parent: v,
+            outer,
+            inner,
+            factor,
+        });
         self.leaves.splice(pos..=pos, [outer, inner]);
         self.annotations.remove(&v);
         Ok((outer, inner))
@@ -258,7 +277,12 @@ impl Schedule {
             lv.extent * rv.extent,
             lv.class,
         );
-        self.rels.push(Rel::Fuse { left, right, right_extent: rv.extent, fused });
+        self.rels.push(Rel::Fuse {
+            left,
+            right,
+            right_extent: rv.extent,
+            fused,
+        });
         self.leaves.splice(lp..=rp, [fused]);
         self.annotations.remove(&left);
         self.annotations.remove(&right);
@@ -299,7 +323,10 @@ impl Schedule {
     pub fn annotate(&mut self, v: VarId, kind: LoopKind) -> Result<(), ScheduleError> {
         self.leaf_pos(v)?;
         let class = self.var(v).class;
-        let racy = matches!(kind, LoopKind::Parallel | LoopKind::GpuBlock | LoopKind::GpuThread);
+        let racy = matches!(
+            kind,
+            LoopKind::Parallel | LoopKind::GpuBlock | LoopKind::GpuThread
+        );
         if class == IterClass::Reduce && racy {
             return Err(ScheduleError::IllegalAnnotation(v, kind));
         }
@@ -333,11 +360,21 @@ impl Schedule {
         }
         for rel in self.rels.iter().rev() {
             match rel {
-                Rel::Split { parent, outer, inner, factor } => {
+                Rel::Split {
+                    parent,
+                    outer,
+                    inner,
+                    factor,
+                } => {
                     let expr = defs[outer].clone().mul(*factor).add(defs[inner].clone());
                     defs.insert(*parent, expr);
                 }
-                Rel::Fuse { left, right, right_extent, fused } => {
+                Rel::Fuse {
+                    left,
+                    right,
+                    right_extent,
+                    fused,
+                } => {
                     let f = defs[fused].clone();
                     defs.insert(*left, f.clone().floor_div(*right_extent));
                     defs.insert(*right, f.modulo(*right_extent));
@@ -423,7 +460,10 @@ mod tests {
         let mut s = Schedule::new(&op);
         let ls = s.leaves();
         let (i, j, k) = (ls[0], ls[1], ls[2]);
-        assert!(matches!(s.fuse(j, k), Err(ScheduleError::ClassMismatch(..))));
+        assert!(matches!(
+            s.fuse(j, k),
+            Err(ScheduleError::ClassMismatch(..))
+        ));
         assert!(matches!(s.fuse(j, i), Err(ScheduleError::NotAdjacent(..))));
         let f = s.fuse(i, j).unwrap();
         assert_eq!(s.var(f).extent, 24);
@@ -436,8 +476,7 @@ mod tests {
         let mut s = Schedule::new(&op);
         let ls = s.leaves(); // x y k r s rc
         s.reorder(&[ls[2], ls[0]]).unwrap(); // swap x and k
-        let names: Vec<String> =
-            s.leaves().iter().map(|v| s.var(*v).name.clone()).collect();
+        let names: Vec<String> = s.leaves().iter().map(|v| s.var(*v).name.clone()).collect();
         assert_eq!(names, vec!["k", "y", "x", "r", "s", "rc"]);
         assert!(matches!(
             s.reorder(&[ls[0], ls[0]]),
@@ -478,7 +517,8 @@ mod tests {
         let op = matmul_u8i8(4, 6, 8);
         let mut s = Schedule::new(&op);
         let j = s.leaves()[1];
-        s.pragma_tensorize(j, "llvm.x86.avx512.vpdpbusd.512").unwrap();
+        s.pragma_tensorize(j, "llvm.x86.avx512.vpdpbusd.512")
+            .unwrap();
         let (v, name) = s.tensorize_pragma().unwrap();
         assert_eq!(v, j);
         assert_eq!(name, "llvm.x86.avx512.vpdpbusd.512");

@@ -187,7 +187,13 @@ impl Stmt {
     /// Wrap in a serial loop.
     #[must_use]
     pub fn in_loop(self, var: VarId, extent: i64, kind: LoopKind) -> Stmt {
-        Stmt::For(ForStmt { var, extent, kind, pragma: None, body: Box::new(self) })
+        Stmt::For(ForStmt {
+            var,
+            extent,
+            kind,
+            pragma: None,
+            body: Box::new(self),
+        })
     }
 
     /// Visit every statement (pre-order).
@@ -247,11 +253,26 @@ mod tests {
 
     #[test]
     fn operand_step_patterns() {
-        let v = OperandStep { inst_axis: 0, extent: 4, reg_stride: 1, mem_stride: 1 };
+        let v = OperandStep {
+            inst_axis: 0,
+            extent: 4,
+            reg_stride: 1,
+            mem_stride: 1,
+        };
         assert_eq!(v.pattern(), "vectorize");
-        let b = OperandStep { inst_axis: 1, extent: 16, reg_stride: 4, mem_stride: 0 };
+        let b = OperandStep {
+            inst_axis: 1,
+            extent: 16,
+            reg_stride: 4,
+            mem_stride: 0,
+        };
         assert_eq!(b.pattern(), "broadcast");
-        let s = OperandStep { inst_axis: 1, extent: 16, reg_stride: 4, mem_stride: 64 };
+        let s = OperandStep {
+            inst_axis: 1,
+            extent: 16,
+            reg_stride: 4,
+            mem_stride: 64,
+        };
         assert_eq!(s.pattern(), "strided");
     }
 
@@ -264,7 +285,9 @@ mod tests {
         };
         tagged.pragma = Some("tensorize".into());
         let outer = Stmt::For(tagged).in_loop(VarId(0), 8, LoopKind::Parallel);
-        let found = outer.find_pragma("tensorize").expect("pragma must be found");
+        let found = outer
+            .find_pragma("tensorize")
+            .expect("pragma must be found");
         assert_eq!(found.var, VarId(1));
         assert!(outer.find_pragma("nope").is_none());
     }

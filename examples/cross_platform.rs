@@ -27,7 +27,13 @@ fn main() {
     let kk = b.reduce_axis("k", 256);
     let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::I32)
         * b.load(w, vec![j.into(), kk.into()]).cast(DType::I32);
-    let mm_arm = b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, elem);
+    let mm_arm = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    );
     let k = arm.compile(&mm_arm).expect("DOT applies");
     println!("ARM    : {:<45} -> {}", mm_arm.name, k.intrinsic.name);
     println!("         schedule {}, {}", k.chosen, k.estimate);

@@ -21,7 +21,11 @@ fn main() {
     let provider = UnitProvider::new(Target::x86_avx512_vnni(), TuningConfig::default());
     let report = e2e_latency(&graph, &provider);
 
-    println!("\nend-to-end latency: {:.3} ms ({} launched kernels)\n", report.total_ms, report.layers.len());
+    println!(
+        "\nend-to-end latency: {:.3} ms ({} launched kernels)\n",
+        report.total_ms,
+        report.layers.len()
+    );
     let mut layers = report.layers.clone();
     layers.sort_by(|a, b| b.micros.total_cmp(&a.micros));
     println!("top-8 layers by latency:");
@@ -29,8 +33,16 @@ fn main() {
         println!("  {:>9.1} us  {:<24} {}", l.micros, l.name, l.note);
     }
 
-    let tensorized = report.layers.iter().filter(|l| l.note.contains("vpdpbusd")).count();
-    let fallback = report.layers.iter().filter(|l| l.note.contains("fallback")).count();
+    let tensorized = report
+        .layers
+        .iter()
+        .filter(|l| l.note.contains("vpdpbusd"))
+        .count();
+    let fallback = report
+        .layers
+        .iter()
+        .filter(|l| l.note.contains("fallback"))
+        .count();
     println!(
         "\n{} kernels tensorized with VNNI, {} on the SIMD fallback path",
         tensorized, fallback

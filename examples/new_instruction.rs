@@ -23,15 +23,25 @@ fn octo_dot() -> TensorIntrinsic {
     let c = b.tensor("c", &[8], DType::I32);
     let i = b.axis("i", 8);
     let j = b.reduce_axis("j", 8);
-    let elem = b.load(a, vec![(i * 8 + j).into()]).cast(DType::I32)
-        * b.load(w, vec![(i * 8 + j).into()]).cast(DType::I32);
-    let semantics =
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let elem = b.load(a, vec![(i * 8 + j)]).cast(DType::I32)
+        * b.load(w, vec![(i * 8 + j)]).cast(DType::I32);
+    let semantics = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into()],
+        InitExpr::load(c, vec![i.into()]),
+        elem,
+    );
     TensorIntrinsic {
         name: "dsp.octo.dot.v8i32".to_string(),
         platform: Platform::ArmDot, // piggyback on a CPU platform profile
         semantics,
-        perf: PerfAttrs { latency_cycles: 6.0, throughput_ipc: 1.0, macs: 64, uops: 1 },
+        perf: PerfAttrs {
+            latency_cycles: 6.0,
+            throughput_ipc: 1.0,
+            macs: 64,
+            uops: 1,
+        },
     }
 }
 
@@ -49,7 +59,13 @@ fn main() {
     let k = b.reduce_axis("k", 64);
     let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::I32)
         * b.load(w, vec![j.into(), k.into()]).cast(DType::I32);
-    let op = b.compute("d", DType::I32, vec![i.into(), j.into()], InitExpr::Identity, elem);
+    let op = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    );
 
     // The generic pipeline pieces, driven manually with the new descriptor
     // (the registry is a static table in this reproduction; a production
@@ -66,7 +82,10 @@ fn main() {
         .expect("schedulable");
     let func = unit_tir::lower::lower(&ts.schedule, "matmul_octo").expect("lowers");
     let func = tensorize_pass(&func, &ts.request()).expect("replaces");
-    println!("\ntensorized IR:\n{}", unit::tir::printer::print_func(&func));
+    println!(
+        "\ntensorized IR:\n{}",
+        unit::tir::printer::print_func(&func)
+    );
 
     // Correctness through direct emulation of the new instruction's own
     // DSL semantics (the descriptor *is* its emulator).

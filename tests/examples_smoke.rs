@@ -1,0 +1,46 @@
+//! Smoke test: all four examples run to completion.
+//!
+//! Each example is executed through `cargo run --example` (the same
+//! entry point a user would type), so this also guards the example
+//! registration in the manifest. The examples share the workspace's
+//! `target/` directory with the test build, so the extra compile cost
+//! is a no-op cache hit in CI.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example("quickstart");
+}
+
+#[test]
+fn new_instruction_runs_to_completion() {
+    run_example("new_instruction");
+}
+
+#[test]
+fn cross_platform_runs_to_completion() {
+    run_example("cross_platform");
+}
+
+#[test]
+fn model_inference_runs_to_completion() {
+    run_example("model_inference");
+}

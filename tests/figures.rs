@@ -22,7 +22,11 @@ fn fig01_naive_mixed_precision_is_a_slowdown() {
         );
     }
     // Geomean clearly below 1 (the paper reports ~0.76).
-    assert!(f.geomean[1] < 0.95, "geomean {:.2} should show a clear slowdown", f.geomean[1]);
+    assert!(
+        f.geomean[1] < 0.95,
+        "geomean {:.2} should show a clear slowdown",
+        f.geomean[1]
+    );
 }
 
 #[test]
@@ -30,9 +34,15 @@ fn fig08_unit_beats_both_x86_baselines() {
     let f = figures::fig08();
     let tvm = f.geomean[1];
     let unit = f.geomean[2];
-    assert!(unit > 1.05, "UNIT must beat MXNet+oneDNN (geomean {unit:.2})");
+    assert!(
+        unit > 1.05,
+        "UNIT must beat MXNet+oneDNN (geomean {unit:.2})"
+    );
     assert!(unit > tvm, "UNIT ({unit:.2}) must beat TVM ({tvm:.2})");
-    assert!(unit < 2.0, "the win must stay plausible (geomean {unit:.2})");
+    assert!(
+        unit < 2.0,
+        "the win must stay plausible (geomean {unit:.2})"
+    );
     // Mobilenets gain least: depthwise layers cannot tensorize.
     let mob: Vec<f64> = f
         .rows
@@ -77,8 +87,14 @@ fn fig10_stages_order_correctly() {
     // dominates both and beats oneDNN in geomean.
     let (par, unr, tune) = (f.geomean[1], f.geomean[2], f.geomean[3]);
     assert!(par < 1.0, "Parallel-only should lose to oneDNN ({par:.2})");
-    assert!(unr > par, "+Unroll ({unr:.2}) must improve on Parallel ({par:.2})");
-    assert!(tune >= unr, "+Tune ({tune:.2}) must dominate +Unroll ({unr:.2})");
+    assert!(
+        unr > par,
+        "+Unroll ({unr:.2}) must improve on Parallel ({par:.2})"
+    );
+    assert!(
+        tune >= unr,
+        "+Tune ({tune:.2}) must dominate +Unroll ({unr:.2})"
+    );
     assert!(tune > 1.0, "+Tune must beat oneDNN in geomean ({tune:.2})");
     // Per-row: +Tune never loses to +Unroll (superset search space).
     for row in &f.rows {
@@ -115,9 +131,18 @@ fn fig11_splitk_is_the_big_gpu_lever() {
     let (generic, fuse, split, tune) = (f.geomean[1], f.geomean[2], f.geomean[3], f.geomean[4]);
     // Generic is roughly at cuDNN's level; split-K provides the main gain;
     // +Tune dominates every fixed stage.
-    assert!((0.8..=1.3).contains(&generic), "Generic should be near cuDNN ({generic:.2})");
-    assert!(split > generic, "+SplitK ({split:.2}) must beat Generic ({generic:.2})");
-    assert!(tune >= split.max(fuse), "+Tune must dominate the fixed stages");
+    assert!(
+        (0.8..=1.3).contains(&generic),
+        "Generic should be near cuDNN ({generic:.2})"
+    );
+    assert!(
+        split > generic,
+        "+SplitK ({split:.2}) must beat Generic ({generic:.2})"
+    );
+    assert!(
+        tune >= split.max(fuse),
+        "+Tune must dominate the fixed stages"
+    );
     assert!(tune > 1.05, "+Tune must beat cuDNN in geomean ({tune:.2})");
 }
 
@@ -125,8 +150,14 @@ fn fig11_splitk_is_the_big_gpu_lever() {
 fn fig12_arm_ordering_and_magnitudes() {
     let f = figures::fig12();
     let (manual, unit) = (f.geomean[1], f.geomean[2]);
-    assert!(manual > 1.5, "DOT must crush the NEON baseline ({manual:.2})");
-    assert!(unit >= manual, "UNIT ({unit:.2}) must beat the manual schedule ({manual:.2})");
+    assert!(
+        manual > 1.5,
+        "DOT must crush the NEON baseline ({manual:.2})"
+    );
+    assert!(
+        unit >= manual,
+        "UNIT ({unit:.2}) must beat the manual schedule ({manual:.2})"
+    );
     let ratio = unit / manual;
     assert!(
         (1.0..=1.5).contains(&ratio),

@@ -11,9 +11,12 @@ use unit_graph::layout::{blocked_conv2d, blocked_conv3d, blocked_dense};
 use unit_graph::ConvSpec;
 
 fn assert_kernel_correct(op: &ComputeOp, target: Target, tuning: TuningConfig, seed: u64) {
-    let kernel = Tensorizer::new(target).with_tuning(tuning).compile(op).unwrap_or_else(|e| {
-        panic!("{} must compile: {e}", op.name);
-    });
+    let kernel = Tensorizer::new(target)
+        .with_tuning(tuning)
+        .compile(op)
+        .unwrap_or_else(|e| {
+            panic!("{} must compile: {e}", op.name);
+        });
     let mut bufs = alloc_buffers(&kernel.func);
     random_fill(&mut bufs, seed);
     let mut reference = bufs.clone();
@@ -33,7 +36,10 @@ fn vnni_matmul_is_correct_under_every_tuning_mode() {
         CpuTuneMode::ParallelOnly,
         CpuTuneMode::ParallelUnroll,
         CpuTuneMode::Tuned { max_pairs: 8 },
-        CpuTuneMode::Fixed { par: 500, unroll: 4 },
+        CpuTuneMode::Fixed {
+            par: 500,
+            unroll: 4,
+        },
     ]
     .into_iter()
     .enumerate()
@@ -41,7 +47,10 @@ fn vnni_matmul_is_correct_under_every_tuning_mode() {
         assert_kernel_correct(
             &op,
             Target::x86_avx512_vnni(),
-            TuningConfig { cpu: mode, gpu: GpuTuneMode::Tuned },
+            TuningConfig {
+                cpu: mode,
+                gpu: GpuTuneMode::Tuned,
+            },
             1000 + i as u64,
         );
     }
@@ -51,7 +60,12 @@ fn vnni_matmul_is_correct_under_every_tuning_mode() {
 fn blocked_conv2d_correct_on_x86_and_arm() {
     let spec = ConvSpec::new_2d(8, 8, 16, 3, 1, 1);
     let op_x86 = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
-    assert_kernel_correct(&op_x86, Target::x86_avx512_vnni(), TuningConfig::default(), 11);
+    assert_kernel_correct(
+        &op_x86,
+        Target::x86_avx512_vnni(),
+        TuningConfig::default(),
+        11,
+    );
     let op_arm = blocked_conv2d(&spec, 4, 4, DType::I8, DType::I8);
     assert_kernel_correct(&op_arm, Target::arm_neon_dot(), TuningConfig::default(), 12);
 }
@@ -85,14 +99,21 @@ fn dense_layers_are_correct() {
 #[test]
 fn wmma_matmul_is_correct_on_the_gpu_target() {
     let op = matmul_f16(32, 48, 32);
-    assert_kernel_correct(&op, Target::nvidia_tensor_core(), TuningConfig::default(), 51);
+    assert_kernel_correct(
+        &op,
+        Target::nvidia_tensor_core(),
+        TuningConfig::default(),
+        51,
+    );
 }
 
 #[test]
 fn narrow_encodings_cover_small_channel_counts() {
     // 8 output channels: only the 256-bit VNNI encoding applies.
     let op = matmul_u8i8(24, 8, 32);
-    let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    let k = Tensorizer::new(Target::x86_avx512_vnni())
+        .compile(&op)
+        .expect("compiles");
     assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.256");
     assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 61);
 }
@@ -100,10 +121,15 @@ fn narrow_encodings_cover_small_channel_counts() {
 #[test]
 fn conv_with_hwc_layout_matches_figure_5_mapping() {
     let op = conv2d_hwc(10, 10, 16, 32, 3, 3);
-    let k = Tensorizer::new(Target::x86_avx512_vnni()).compile(&op).expect("compiles");
+    let k = Tensorizer::new(Target::x86_avx512_vnni())
+        .compile(&op)
+        .expect("compiles");
     // The only feasible mapping is k -> lanes, rc -> reduction (Figure 5).
-    let names: Vec<String> =
-        k.mapping.iter().map(|(a, _)| op.axis(*a).expect("axis").name.clone()).collect();
+    let names: Vec<String> = k
+        .mapping
+        .iter()
+        .map(|(a, _)| op.axis(*a).expect("axis").name.clone())
+        .collect();
     assert_eq!(names, vec!["k", "rc"]);
     assert_kernel_correct(&op, Target::x86_avx512_vnni(), TuningConfig::default(), 71);
 }
@@ -113,7 +139,9 @@ fn in_place_accumulation_seeds_from_existing_output() {
     // Tensor-Core-style += with a nonzero initial accumulator.
     let mut op = matmul_f16(16, 16, 16);
     op.init = InitExpr::InPlace;
-    let kernel = Tensorizer::new(Target::nvidia_tensor_core()).compile(&op).expect("compiles");
+    let kernel = Tensorizer::new(Target::nvidia_tensor_core())
+        .compile(&op)
+        .expect("compiles");
     let mut bufs = alloc_buffers(&kernel.func);
     random_fill(&mut bufs, 81);
     let mut reference = bufs.clone();
@@ -131,15 +159,25 @@ fn runtime_registered_instructions_compile_and_emulate() {
     let c = b.tensor("c", &[2], DType::I32);
     let i = b.axis("i", 2);
     let j = b.reduce_axis("j", 2);
-    let elem = b.load(a, vec![(i * 2 + j).into()]).cast(DType::I32)
-        * b.load(w, vec![(i * 2 + j).into()]).cast(DType::I32);
-    let semantics =
-        b.compute("d", DType::I32, vec![i.into()], InitExpr::load(c, vec![i.into()]), elem);
+    let elem = b.load(a, vec![(i * 2 + j)]).cast(DType::I32)
+        * b.load(w, vec![(i * 2 + j)]).cast(DType::I32);
+    let semantics = b.compute(
+        "d",
+        DType::I32,
+        vec![i.into()],
+        InitExpr::load(c, vec![i.into()]),
+        elem,
+    );
     let intrin = unit::isa::TensorIntrinsic {
         name: "custom.dot.v2".to_string(),
         platform: unit::isa::Platform::ArmDot,
         semantics,
-        perf: unit::isa::PerfAttrs { latency_cycles: 3.0, throughput_ipc: 1.0, macs: 4, uops: 1 },
+        perf: unit::isa::PerfAttrs {
+            latency_cycles: 3.0,
+            throughput_ipc: 1.0,
+            macs: 4,
+            uops: 1,
+        },
     };
     unit::isa::registry::register(intrin.clone()).expect("valid descriptor");
     assert!(unit::isa::registry::by_name("custom.dot.v2").is_some());
@@ -153,7 +191,13 @@ fn runtime_registered_instructions_compile_and_emulate() {
     let mk = mb.reduce_axis("k", 4);
     let me = mb.load(ma, vec![mi.into(), mk.into()]).cast(DType::I32)
         * mb.load(mw, vec![mj.into(), mk.into()]).cast(DType::I32);
-    let op = mb.compute("d", DType::I32, vec![mi.into(), mj.into()], InitExpr::Identity, me);
+    let op = mb.compute(
+        "d",
+        DType::I32,
+        vec![mi.into(), mj.into()],
+        InitExpr::Identity,
+        me,
+    );
     let m = unit_core::inspector::inspect(&intrin, &op).expect("applies");
     let ts = unit_core::rewriter::build_tensorized_schedule(&op, &m, &intrin).expect("schedules");
     let func = unit_core::rewriter::finalize(&ts, "mm_custom").expect("tensorizes");

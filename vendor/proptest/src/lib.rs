@@ -1,0 +1,261 @@
+//! Offline stub of `proptest`.
+//!
+//! The container has no crates.io access, so this vendors the slice of
+//! proptest used by `tests/property_tests.rs`: the `proptest!` macro,
+//! `ProptestConfig::with_cases`, range / `prop::sample::select` /
+//! `any::<bool>()` strategies, and `prop_assert_eq!`. Cases are drawn
+//! deterministically (SplitMix64 seeded per test from the test name), so
+//! failures reproduce run-to-run. There is no shrinking — a failing case
+//! panics via `assert_eq!` with the drawn values visible in the message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A source of random draws handed to strategies. Wraps the vendored
+/// SplitMix64 `StdRng`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: each test gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Subset of `proptest::strategy::Strategy`: something that can draw a
+/// value. (Real proptest separates strategy from value-tree/shrinking;
+/// the stub only ever needs sampling.)
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Strategy produced by [`prop::sample::select`].
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "select() needs a non-empty vec");
+        let idx = rng.0.gen_range(0..self.0.len());
+        self.0[idx].clone()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Subset of `proptest::prelude::any`.
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod sample {
+    use super::Select;
+
+    /// Subset of `proptest::sample::select` (the `Vec` overload).
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Mirrors `proptest::prelude::prop`.
+pub mod prop {
+    pub mod sample {
+        pub use crate::sample::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Stub of `prop_assert!`: panics (via `assert!`) instead of returning
+/// `Err`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Stub of `prop_assert_eq!`: panics (via `assert_eq!`) instead of
+/// returning `Err` — the stub has no shrinking machinery to hand a
+/// failure back to.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Stub of the `proptest!` macro: expands each property into a plain
+/// `#[test]` that draws `config.cases` deterministic samples per
+/// parameter and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || $body,
+                    ));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: {} failed at case {} with inputs: {}",
+                            stringify!($name),
+                            case,
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 1i64..5,
+            pick in prop::sample::select(vec![10i64, 20, 30]),
+            flag in any::<bool>(),
+            idx in 0usize..3,
+        ) {
+            assert!((1..5).contains(&n));
+            assert!([10, 20, 30].contains(&pick));
+            let _drawn: bool = flag;
+            assert!(idx < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

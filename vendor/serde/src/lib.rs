@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro)
+//! that the workspace's `#[derive(...)]` markers and `use serde::...`
+//! imports resolve against. No actual serialization machinery exists —
+//! nothing in the workspace serializes, it only tags types for a future
+//! wire format. The derive macros (from the sibling `serde_derive` stub)
+//! expand to nothing, so the traits below are intentionally never
+//! implemented by derived types.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

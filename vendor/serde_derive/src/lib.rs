@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container has no crates.io access, and this workspace only uses
+//! serde through `#[derive(Serialize, Deserialize)]` markers (no
+//! serialization is ever performed — there is no `serde_json`/`bincode`
+//! consumer). The derives therefore expand to nothing; swapping in the
+//! real serde later requires no source changes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
