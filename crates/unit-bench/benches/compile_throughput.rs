@@ -1,0 +1,139 @@
+//! Compile-time throughput: serial vs parallel whole-model compilation.
+//!
+//! Run via `cargo bench -p unit-bench --bench compile_throughput`. The
+//! tracked number is the wall-clock speedup of `compile_model_parallel`
+//! (unique workloads fanned out across worker threads, sharded kernel
+//! cache) over the serial `compile_graph` path, per model and for the
+//! whole batch.
+//!
+//! `COMPILE_THROUGHPUT_SMOKE=1` switches to a single-repetition smoke run
+//! that *fails loudly* on regressions: parallel compilation must produce a
+//! bit-identical latency report, and — when the machine actually has more
+//! than one core — must beat the serial wall-clock on resnet-50 with >= 4
+//! workers. On a single-core machine the speedup assertion degrades to an
+//! overhead bound, since no thread pool can beat serial there.
+
+use std::time::{Duration, Instant};
+
+use unit_bench::render_table;
+use unit_core::pipeline::{Target, TuningConfig};
+use unit_core::tuner::effective_workers;
+use unit_graph::compile::{compile_graph, compile_model_parallel, compile_models_parallel};
+use unit_graph::models::{inception_v3, mobilenet_v1, resnet, ResnetDepth};
+use unit_graph::{E2eReport, Graph};
+
+/// Allowed wall-clock ratio (parallel / serial) when only one core is
+/// available: thread-pool overhead must stay under 30%.
+const SINGLE_CORE_OVERHEAD_BOUND: f64 = 1.3;
+
+fn assert_reports_identical(serial: &E2eReport, parallel: &E2eReport, what: &str) {
+    assert_eq!(
+        serial.total_ms, parallel.total_ms,
+        "{what}: parallel compilation changed the latency report"
+    );
+    assert_eq!(serial.layers.len(), parallel.layers.len(), "{what}");
+    for (s, p) in serial.layers.iter().zip(&parallel.layers) {
+        assert_eq!(s.micros, p.micros, "{what}: layer {} diverged", s.name);
+        assert_eq!(s.note, p.note, "{what}: layer {} note diverged", s.name);
+    }
+}
+
+/// Best-of-`reps` wall clock of `f`, returning the last value for
+/// validation.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed());
+        last = Some(v);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let smoke = std::env::var("COMPILE_THROUGHPUT_SMOKE").is_ok();
+    // Best-of-3 even in smoke mode: a single sample per path on a shared
+    // CI runner can flip the speedup assertion on a noisy-neighbor stall,
+    // and whole-model compilation is cheap enough to repeat.
+    let reps = 3;
+    let workers = effective_workers(0).max(4);
+    let cores = effective_workers(0);
+    let tuning = TuningConfig::default();
+    let target = Target::x86_avx512_vnni();
+
+    let models: Vec<Graph> = vec![resnet(ResnetDepth::R50), mobilenet_v1(), inception_v3()];
+
+    println!(
+        "compile_throughput: {workers} workers on {cores} core(s), \
+         {reps} rep(s){}",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut resnet50_speedup = None;
+    for graph in &models {
+        let (t_serial, serial) = best_of(reps, || compile_graph(graph, target.clone(), tuning));
+        let (t_parallel, parallel) = best_of(reps, || {
+            compile_model_parallel(graph, target.clone(), tuning, workers)
+        });
+        assert_reports_identical(&serial, &parallel, &graph.name);
+        let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64();
+        if graph.name == "resnet-50" {
+            resnet50_speedup = Some(speedup);
+        }
+        rows.push(vec![
+            graph.name.clone(),
+            format!("{:.1}", t_serial.as_secs_f64() * 1e3),
+            format!("{:.1}", t_parallel.as_secs_f64() * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    // Batch compilation: the three models through one shared provider.
+    let refs: Vec<&Graph> = models.iter().collect();
+    let (t_batch_serial, batch_serial) = best_of(reps, || {
+        compile_models_parallel(&refs, target.clone(), tuning, 1)
+    });
+    let (t_batch_parallel, batch_parallel) = best_of(reps, || {
+        compile_models_parallel(&refs, target.clone(), tuning, workers)
+    });
+    for (s, p) in batch_serial.iter().zip(&batch_parallel) {
+        assert_reports_identical(s, p, "batch");
+    }
+    let batch_speedup = t_batch_serial.as_secs_f64() / t_batch_parallel.as_secs_f64();
+    rows.push(vec![
+        "batch(3 models)".to_string(),
+        format!("{:.1}", t_batch_serial.as_secs_f64() * 1e3),
+        format!("{:.1}", t_batch_parallel.as_secs_f64() * 1e3),
+        format!("{batch_speedup:.2}x"),
+    ]);
+
+    let header: Vec<String> = ["model", "serial ms", "parallel ms", "speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", render_table(&header, &rows));
+
+    let r50 = resnet50_speedup.expect("resnet-50 is always measured");
+    if cores >= 2 {
+        assert!(
+            r50 > 1.0,
+            "regression: parallel resnet-50 compilation ({r50:.2}x) no longer \
+             beats serial with {workers} workers on {cores} cores"
+        );
+        println!("resnet-50 parallel speedup {r50:.2}x with {workers} workers: OK");
+    } else {
+        assert!(
+            r50 >= 1.0 / SINGLE_CORE_OVERHEAD_BOUND,
+            "regression: parallel engine overhead on a single core exceeds \
+             {SINGLE_CORE_OVERHEAD_BOUND}x (measured {r50:.2}x)"
+        );
+        println!(
+            "single core: speedup assertion degraded to an overhead bound \
+             (measured {r50:.2}x, bound {:.2}x)",
+            1.0 / SINGLE_CORE_OVERHEAD_BOUND
+        );
+    }
+}

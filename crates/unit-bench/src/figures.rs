@@ -125,7 +125,8 @@ pub fn fig01() -> FigureResult {
 pub fn fig08() -> FigureResult {
     let onednn = MxnetOneDnnProvider::new();
     let tvm = TvmX86Provider::new();
-    let unit = UnitProvider::new(Target::x86_avx512_vnni(), unit_cpu_tuning(8));
+    let unit = UnitProvider::new(Target::x86_avx512_vnni(), unit_cpu_tuning(8))
+        .with_workers(crate::bench_workers());
     let mut rows = Vec::new();
     for (graph, label) in all_models().iter().zip(model_labels()) {
         let base = e2e_latency(graph, &onednn).total_ms;
@@ -153,7 +154,8 @@ pub fn fig08() -> FigureResult {
 #[must_use]
 pub fn fig09() -> FigureResult {
     let cudnn = CudnnProvider::new(CudnnMode::Fp16TensorCore);
-    let unit = UnitProvider::new(Target::nvidia_tensor_core(), unit_cpu_tuning(8));
+    let unit = UnitProvider::new(Target::nvidia_tensor_core(), unit_cpu_tuning(8))
+        .with_workers(crate::bench_workers());
     let mut rows = Vec::new();
     for (graph, label) in all_models().iter().zip(model_labels()) {
         let base = e2e_latency(graph, &cudnn).total_ms;
@@ -195,6 +197,7 @@ pub fn fig10() -> FigureResult {
                 },
             )
             .with_label(*label)
+            .with_workers(crate::bench_workers())
         })
         .collect();
     let mut rows = Vec::new();
@@ -242,6 +245,7 @@ pub fn fig11() -> FigureResult {
                 },
             )
             .with_label(*label)
+            .with_workers(crate::bench_workers())
         })
         .collect();
     let mut rows = Vec::new();
@@ -272,7 +276,8 @@ pub fn fig11() -> FigureResult {
 pub fn fig12() -> FigureResult {
     let neon = TvmNeonProvider::new();
     let manual = TvmArmManualProvider::new();
-    let unit = UnitProvider::new(Target::arm_neon_dot(), unit_cpu_tuning(8));
+    let unit = UnitProvider::new(Target::arm_neon_dot(), unit_cpu_tuning(8))
+        .with_workers(crate::bench_workers());
     let mut rows = Vec::new();
     for (graph, label) in all_models().iter().zip(model_labels()) {
         let base = e2e_latency(graph, &neon).total_ms;
@@ -300,7 +305,8 @@ pub fn fig12() -> FigureResult {
 #[must_use]
 pub fn fig13() -> FigureResult {
     let onednn = MxnetOneDnnProvider::new();
-    let unit = UnitProvider::new(Target::x86_avx512_vnni(), unit_cpu_tuning(8));
+    let unit = UnitProvider::new(Target::x86_avx512_vnni(), unit_cpu_tuning(8))
+        .with_workers(crate::bench_workers());
     let mut rows = Vec::new();
     for (i, spec) in res18_3d_convs().iter().enumerate() {
         let base = onednn.conv_micros(spec).0;
@@ -327,7 +333,9 @@ pub fn candidates_to_optimum() -> Vec<usize> {
     let mut out = Vec::new();
     for spec in table_i() {
         let op = blocked_conv2d(&spec, 16, 4, unit_dsl::DType::U8, unit_dsl::DType::I8);
-        let t = Tensorizer::new(Target::x86_avx512_vnni()).with_tuning(unit_cpu_tuning(16));
+        let t = Tensorizer::new(Target::x86_avx512_vnni())
+            .with_tuning(unit_cpu_tuning(16))
+            .with_workers(crate::bench_workers());
         let kernel = t.compile(&op).expect("Table I layers all tensorize");
         let best = kernel
             .tuning_log

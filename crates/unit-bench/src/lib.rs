@@ -9,6 +9,19 @@
 pub mod figures;
 pub mod workloads;
 
+/// Tuning worker count for the bench harness: `UNIT_BENCH_WORKERS` if
+/// set (0 = auto-size from the machine), otherwise one worker per
+/// available core. Results are deterministic at any value — the knob
+/// only changes wall-clock (see `unit_core::tuner::parallel`).
+#[must_use]
+pub fn bench_workers() -> usize {
+    let requested = std::env::var("UNIT_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    unit_core::tuner::effective_workers(requested)
+}
+
 /// Geometric mean of positive values.
 ///
 /// # Panics

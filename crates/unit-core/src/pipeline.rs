@@ -8,7 +8,7 @@ use unit_tir::TirFunc;
 use crate::error::CompileError;
 use crate::inspector::{inspect, Match};
 use crate::rewriter::{build_tensorized_schedule, finalize};
-use crate::tuner::{tune_cpu, tune_gpu, CpuTuneMode, GpuTuneMode};
+use crate::tuner::{tune_cpu_with_workers, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode};
 
 /// A compilation target: a platform's instruction set plus its machine
 /// model for profiling.
@@ -101,15 +101,17 @@ pub struct CompiledKernel {
 pub struct Tensorizer {
     target: Target,
     tuning: TuningConfig,
+    workers: usize,
 }
 
 impl Tensorizer {
-    /// A tensorizer with default (full) tuning.
+    /// A tensorizer with default (full) tuning and a serial search.
     #[must_use]
     pub fn new(target: Target) -> Tensorizer {
         Tensorizer {
             target,
             tuning: TuningConfig::default(),
+            workers: 1,
         }
     }
 
@@ -118,6 +120,22 @@ impl Tensorizer {
     pub fn with_tuning(mut self, tuning: TuningConfig) -> Tensorizer {
         self.tuning = tuning;
         self
+    }
+
+    /// Evaluate tuning candidates with up to `n` threads (`0` = one per
+    /// available core). The search stays deterministic: the chosen
+    /// schedule, estimate and tuning log are identical at any worker
+    /// count (see `crate::tuner::parallel`).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> Tensorizer {
+        self.workers = n;
+        self
+    }
+
+    /// The configured tuning worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The target this tensorizer compiles for.
@@ -173,7 +191,14 @@ impl Tensorizer {
                     .cpu
                     .as_ref()
                     .expect("CPU platform carries a CPU machine");
-                let tuned = tune_cpu(op, &m, &intrinsic, machine, self.tuning.cpu)?;
+                let tuned = tune_cpu_with_workers(
+                    op,
+                    &m,
+                    &intrinsic,
+                    machine,
+                    self.tuning.cpu,
+                    self.workers,
+                )?;
                 Ok(CompiledKernel {
                     op_name: op.name.clone(),
                     intrinsic,
@@ -191,7 +216,15 @@ impl Tensorizer {
                     .gpu
                     .as_ref()
                     .expect("GPU platform carries a GPU machine");
-                let tuned = tune_gpu(op, &m, &intrinsic, machine, self.tuning.gpu, hint);
+                let tuned = tune_gpu_with_workers(
+                    op,
+                    &m,
+                    &intrinsic,
+                    machine,
+                    self.tuning.gpu,
+                    hint,
+                    self.workers,
+                );
                 // The functional kernel: base tensorized lowering (the GPU
                 // scheduling knobs do not change semantics).
                 let ts = build_tensorized_schedule(op, &m, &intrinsic)?;
@@ -261,6 +294,21 @@ mod tests {
             .compile(&op)
             .unwrap();
         assert_eq!(k.intrinsic.name, "llvm.x86.avx512.vpdpbusd.256");
+    }
+
+    #[test]
+    fn with_workers_does_not_change_the_compilation_result() {
+        let op = conv2d_hwc(18, 18, 32, 64, 3, 3);
+        let serial = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
+        let parallel = Tensorizer::new(Target::x86_avx512_vnni())
+            .with_workers(8)
+            .compile(&op)
+            .unwrap();
+        assert_eq!(parallel.chosen, serial.chosen);
+        assert_eq!(parallel.estimate.cycles, serial.estimate.cycles);
+        assert_eq!(parallel.tuning_log, serial.tuning_log);
     }
 
     #[test]

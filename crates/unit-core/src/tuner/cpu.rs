@@ -21,9 +21,14 @@ use unit_tir::{LoopKind, TirFunc, VarId};
 use crate::error::CompileError;
 use crate::inspector::Match;
 use crate::rewriter::{build_tensorized_schedule, finalize};
+use crate::tuner::parallel::parallel_map;
 
 /// Tuning effort, matching the stages of Figure 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` cover every field, so a mode is usable as (part of) a
+/// kernel-cache key without collapsing distinct search budgets — see
+/// `unit_graph::compile::KernelCacheKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuTuneMode {
     /// Fuse and parallelize outer loops only (the `Parallel` series).
     ParallelOnly,
@@ -221,7 +226,7 @@ fn finalize_with(
     finalize(ts, name)
 }
 
-/// Tune a tensorized operation for a CPU target.
+/// Tune a tensorized operation for a CPU target (serial search).
 ///
 /// # Errors
 ///
@@ -234,6 +239,28 @@ pub fn tune_cpu(
     machine: &CpuMachine,
     mode: CpuTuneMode,
 ) -> Result<CpuTuneResult, CompileError> {
+    tune_cpu_with_workers(op, m, intrinsic, machine, mode, 1)
+}
+
+/// Tune with up to `workers` threads building and profiling candidates
+/// concurrently (`0` = one per core). Every candidate is still profiled,
+/// the log keeps the enumeration order, and the argmin breaks ties toward
+/// the earliest candidate — so the chosen pair, the estimate and the
+/// candidates-to-optimum statistic are identical to [`tune_cpu`] at any
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates schedule/lowering/tensorization failures (which indicate
+/// pipeline bugs rather than user errors).
+pub fn tune_cpu_with_workers(
+    op: &ComputeOp,
+    m: &Match,
+    intrinsic: &TensorIntrinsic,
+    machine: &CpuMachine,
+    mode: CpuTuneMode,
+    workers: usize,
+) -> Result<CpuTuneResult, CompileError> {
     let pairs: Vec<(i64, i64)> = match mode {
         CpuTuneMode::ParallelOnly => vec![(3000, 1)],
         CpuTuneMode::ParallelUnroll => vec![(3000, 8)],
@@ -244,13 +271,20 @@ pub fn tune_cpu(
         CpuTuneMode::Fixed { par, unroll } => vec![(par, unroll)],
     };
 
-    let mut log = Vec::new();
-    let mut best: Option<(TirFunc, Estimate, String)> = None;
-    for (par, unroll) in pairs {
-        let desc = format!("parallel<{par},unroll<{unroll}");
+    let profiled = parallel_map(&pairs, workers, |_, &(par, unroll)| {
         let func = build_candidate(op, m, intrinsic, par, unroll, &op.name)?;
         let est = estimate_cpu(&func, machine);
+        Ok::<(TirFunc, Estimate), CompileError>((func, est))
+    });
+
+    let mut log = Vec::new();
+    let mut best: Option<(TirFunc, Estimate, String)> = None;
+    for ((par, unroll), outcome) in pairs.iter().zip(profiled) {
+        let (func, est) = outcome?;
+        let desc = format!("parallel<{par},unroll<{unroll}");
         log.push((desc.clone(), est.cycles));
+        // Strict `<`: the earliest optimal candidate wins, exactly as in
+        // the serial loop.
         let better = best.as_ref().is_none_or(|(_, b, _)| est.cycles < b.cycles);
         if better {
             best = Some((func, est, desc));
@@ -332,6 +366,20 @@ mod tests {
                 bufs[op.output.0 as usize], reference[op.output.0 as usize],
                 "mode {mode:?} produced a wrong kernel"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let (op, m, intrin) = setup();
+        let machine = CpuMachine::cascade_lake();
+        let mode = CpuTuneMode::Tuned { max_pairs: 8 };
+        let serial = tune_cpu(&op, &m, &intrin, &machine, mode).unwrap();
+        for workers in [2, 4, 8] {
+            let par = tune_cpu_with_workers(&op, &m, &intrin, &machine, mode, workers).unwrap();
+            assert_eq!(par.chosen, serial.chosen, "{workers} workers");
+            assert_eq!(par.estimate.cycles, serial.estimate.cycles);
+            assert_eq!(par.log, serial.log, "log order must be enumeration order");
         }
     }
 

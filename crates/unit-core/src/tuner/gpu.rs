@@ -23,7 +23,10 @@ use unit_sim::{estimate_gpu, Estimate, GpuKernelDesc, GpuMachine};
 use crate::inspector::Match;
 
 /// Tuning effort, matching the stages of Figure 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make the mode usable as (part of) a kernel-cache key — see
+/// `unit_graph::compile::KernelCacheKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuTuneMode {
     /// Generic coarse/fine-grained parallelism only (`p = 2`).
     Generic,
@@ -139,7 +142,7 @@ pub fn build_desc(
     }
 }
 
-/// Tune a tensorized operation for a Tensor Core target.
+/// Tune a tensorized operation for a Tensor Core target (serial search).
 #[must_use]
 pub fn tune_gpu(
     op: &ComputeOp,
@@ -148,6 +151,24 @@ pub fn tune_gpu(
     machine: &GpuMachine,
     mode: GpuTuneMode,
     hint: Option<ConvGpuHint>,
+) -> GpuTuneResult {
+    tune_gpu_with_workers(op, m, intrinsic, machine, mode, hint, 1)
+}
+
+/// Tune with up to `workers` threads profiling `(p, fuse, split)`
+/// configurations concurrently (`0` = one per core). The log keeps the
+/// enumeration order and the argmin breaks ties toward the earliest
+/// configuration, so the result is identical to [`tune_gpu`] at any
+/// worker count.
+#[must_use]
+pub fn tune_gpu_with_workers(
+    op: &ComputeOp,
+    m: &Match,
+    intrinsic: &TensorIntrinsic,
+    machine: &GpuMachine,
+    mode: GpuTuneMode,
+    hint: Option<ConvGpuHint>,
+    workers: usize,
 ) -> GpuTuneResult {
     let (_, _, reduce, _) = mnk_view(op, m, intrinsic);
     // "We split the reduction dimension K by 64": segments of 64 channels.
@@ -174,13 +195,20 @@ pub fn tune_gpu(
         }
     };
 
+    let profiled =
+        crate::tuner::parallel::parallel_map(&configs, workers, |_, &(p, fuse, split)| {
+            let desc = build_desc(op, m, intrinsic, p, fuse, split, hint);
+            let est = estimate_gpu(&desc, machine);
+            (desc, est)
+        });
+
     let mut log = Vec::new();
     let mut best: Option<(GpuKernelDesc, Estimate, String)> = None;
-    for (p, fuse, split) in configs {
-        let desc = build_desc(op, m, intrinsic, p, fuse, split, hint);
-        let est = estimate_gpu(&desc, machine);
+    for ((p, fuse, split), (desc, est)) in configs.iter().zip(profiled) {
         let name = format!("p={p},fuse={fuse},splitK={split}");
         log.push((name.clone(), est.cycles));
+        // Strict `<`: ties go to the earliest configuration, as in the
+        // serial loop.
         let better = best.as_ref().is_none_or(|(_, b, _)| est.cycles < b.cycles);
         if better {
             best = Some((desc, est, name));
@@ -347,6 +375,27 @@ mod tests {
             );
         }
         assert!(tuned.log.len() > 10);
+    }
+
+    #[test]
+    fn parallel_gpu_search_is_bit_identical_to_serial() {
+        let (op, m, intrin) = setup(112, 256, 1024);
+        let machine = GpuMachine::v100();
+        let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
+        for workers in [2, 4, 8] {
+            let par = tune_gpu_with_workers(
+                &op,
+                &m,
+                &intrin,
+                &machine,
+                GpuTuneMode::Tuned,
+                None,
+                workers,
+            );
+            assert_eq!(par.chosen, serial.chosen, "{workers} workers");
+            assert_eq!(par.estimate.cycles, serial.estimate.cycles);
+            assert_eq!(par.log, serial.log);
+        }
     }
 
     #[test]

@@ -3,6 +3,11 @@
 
 pub mod cpu;
 pub mod gpu;
+pub mod parallel;
 
-pub use cpu::{tune_cpu, CpuTuneMode, CpuTuneResult};
-pub use gpu::{split_reduce_decompose, tune_gpu, ConvGpuHint, GpuTuneMode, GpuTuneResult};
+pub use cpu::{tune_cpu, tune_cpu_with_workers, CpuTuneMode, CpuTuneResult};
+pub use gpu::{
+    split_reduce_decompose, tune_gpu, tune_gpu_with_workers, ConvGpuHint, GpuTuneMode,
+    GpuTuneResult,
+};
+pub use parallel::{effective_workers, parallel_map};

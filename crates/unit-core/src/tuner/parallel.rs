@@ -1,0 +1,140 @@
+//! Worker-count-aware parallel mapping for candidate evaluation.
+//!
+//! The tuning searches of Section III-C are embarrassingly parallel: every
+//! breaking-point candidate (CPU) and every `(p, fuse, split)` configuration
+//! (GPU) is built and profiled independently, and only the final argmin
+//! couples them. This module provides the one primitive both tuners share:
+//! [`parallel_map`], an order-preserving map over a candidate list executed
+//! by a bounded pool of scoped threads.
+//!
+//! Determinism is the contract that makes the parallel tuner drop-in: the
+//! result vector is always in input order, so the serial "first optimal
+//! pair" tie-break (and with it the candidates-to-optimum statistic of
+//! Section VI-B) is reproduced bit-for-bit at any worker count. The
+//! differential suite (`tests/differential_tuning.rs`) enforces this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Resolve a requested worker count: `0` means "one per available core".
+/// The result is clamped to at least 1 and at most the item count handed
+/// to [`parallel_map`] (spawning more threads than candidates buys
+/// nothing).
+#[must_use]
+pub fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Chunk size for claiming work: coarse enough to amortize the atomic
+/// claim, fine enough (4 chunks per worker) that an expensive candidate
+/// doesn't leave the other workers idle at the tail.
+#[must_use]
+pub fn chunk_size(items: usize, workers: usize) -> usize {
+    (items / (workers * 4).max(1)).max(1)
+}
+
+/// Map `f` over `items` with up to `workers` threads, preserving input
+/// order: `out[i] == f(i, &items[i])` regardless of the worker count or
+/// scheduling. `f` is called exactly once per item.
+///
+/// `workers == 0` auto-sizes from [`effective_workers`]; `workers <= 1`
+/// (or a single item) degrades to a plain serial loop with no thread
+/// spawned, so the serial tuner path has zero overhead.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_workers(workers).min(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let chunk = chunk_size(items.len(), workers);
+    let cursor = AtomicUsize::new(0);
+    // Each slot is written exactly once, by the worker that claimed its
+    // index — OnceLock expresses that without a lock round-trip.
+    let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    let r = f(i, item);
+                    assert!(
+                        slots[i].set(r).is_ok(),
+                        "index {i} was claimed by two workers"
+                    );
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("every index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<i64> = (0..37).collect();
+        let expect: Vec<i64> = items.iter().map(|v| v * v).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, workers, |_, v| v * v);
+            assert_eq!(got, expect, "order broken at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = parallel_map(&items, 4, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, v| *v).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_workers_auto_sizes_and_still_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map(&items, 0, |i, _| i);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn chunking_is_worker_aware() {
+        assert_eq!(chunk_size(16, 4), 1);
+        assert_eq!(chunk_size(160, 4), 10);
+        assert_eq!(chunk_size(3, 8), 1);
+        assert!(chunk_size(1000, 2) >= 100);
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero_to_at_least_one() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(5), 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! An N-way sharded concurrent kernel cache.
+//!
+//! The graph compiler caches one compiled-kernel result per *(workload,
+//! full tuning config)*. Under `compile_model_parallel` many threads hit
+//! the cache at once; a single `Mutex<HashMap>` would serialize them on
+//! every lookup and insert. Sharding the map N ways by key hash keeps the
+//! critical sections tiny and lets distinct workloads proceed without
+//! contention — each shard is still a plain `std::sync::Mutex`, so there
+//! is no unsafe code and no external dependency.
+//!
+//! Consistency contract: a key is written at most once per distinct value
+//! via [`ShardedCache::get_or_insert_with`] — if two threads race on the
+//! same key, the first insert wins and the loser's value is discarded, so
+//! every reader observes one canonical value per key. With deterministic
+//! compilation (the tuner's guarantee) both racers compute the same value
+//! anyway; first-insert-wins makes the cache consistent even if that
+//! invariant were broken upstream.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Default shard count: enough to make collisions between a handful of
+/// worker threads unlikely, small enough to stay cheap to scan for
+/// [`ShardedCache::len`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent hash map sharded N ways by key hash.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// An empty cache with `shards` shards (clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a key, cloning the value out of the shard.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert unconditionally (last write wins). Prefer
+    /// [`ShardedCache::get_or_insert_with`] for racy fill paths.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().unwrap().insert(key, value);
+    }
+
+    /// Return the cached value for `key`, computing it with `compute`
+    /// (outside any lock) on a miss. If another thread inserted the key
+    /// between the miss and the insert, the earlier value wins and is
+    /// returned — every caller observes the same canonical value.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.get(&key) {
+            return hit;
+        }
+        let value = compute();
+        match self.shard(&key).lock().unwrap().entry(key) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(e) => e.insert(value).clone(),
+        }
+    }
+
+    /// Total entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards (fixed at construction).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> ShardedCache<K, V> {
+        ShardedCache::new(DEFAULT_SHARDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn get_or_insert_computes_once_per_key_when_uncontended() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(4);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(42, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                7
+            });
+            assert_eq!(v, 7);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(8);
+        for k in 0..256 {
+            cache.insert(k, k);
+        }
+        assert_eq!(cache.len(), 256);
+        assert_eq!(cache.shard_count(), 8);
+        for k in 0..256 {
+            assert_eq!(cache.get(&k), Some(k));
+        }
+    }
+
+    #[test]
+    fn first_insert_wins_under_a_race() {
+        // Simulate the race deterministically: manual miss, two inserts
+        // through get_or_insert_with.
+        let cache: ShardedCache<u32, &'static str> = ShardedCache::new(2);
+        assert_eq!(cache.get_or_insert_with(1, || "first"), "first");
+        assert_eq!(cache.get_or_insert_with(1, || "second"), "first");
+    }
+
+    #[test]
+    fn concurrent_fill_is_consistent() {
+        let cache: Arc<ShardedCache<usize, usize>> = Arc::new(ShardedCache::new(4));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for k in 0..64 {
+                        let v = cache.get_or_insert_with(k, || k * 10);
+                        assert_eq!(v, k * 10, "thread {t} saw a torn value");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::new(0);
+        cache.insert(1, 2);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.get(&1), Some(2));
+        assert!(!cache.is_empty());
+    }
+}

@@ -7,24 +7,72 @@
 //! costed by data volume; fused operators cost nothing; every launched
 //! kernel pays the provider's per-op framework overhead (this is where the
 //! MXNet-vs-TVM gap of Figure 8 lives).
+//!
+//! Compilation itself can be parallel: [`compile_model_parallel`] and
+//! [`compile_models_parallel`] deduplicate convolution workloads and fan
+//! the unique set out across worker threads into the provider's sharded
+//! kernel cache (see [`crate::cache`]), producing reports bit-identical
+//! to the serial path.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
-use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_core::tuner::{parallel_map, CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
 use unit_isa::Platform;
 use unit_sim::estimate_cpu;
 use unit_tir::{lower::lower, LoopKind, Schedule};
 
+use crate::cache::ShardedCache;
 use crate::ir::{Graph, OpKind};
 use crate::layout::{
     blocked_conv2d, blocked_conv3d, blocked_dense, conv_gemm_f16, depthwise_conv_op,
 };
 use crate::passes::fuse_elementwise;
 use crate::workload::ConvSpec;
+
+/// The kernel-cache key: the workload, the target platform, and the
+/// **full** tuning configuration.
+///
+/// An earlier revision collapsed the config to a hand-rolled `u8`
+/// "mode key" that mapped every `CpuTuneMode::Tuned { max_pairs }` (and
+/// every `Fixed { .. }` pair) to the same value, so providers sharing a
+/// cache with different search budgets poisoned each other's entries.
+/// Deriving the key from the platform and the whole config makes those
+/// collisions impossible; `kernel_cache_keys_distinguish_search_budgets`
+/// and `kernel_cache_keys_distinguish_platforms` below are the
+/// regression tests. (Two providers for the *same* platform but
+/// hand-customized machine models would still collide — don't share a
+/// cache across machine models.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelCacheKey {
+    /// The convolution workload.
+    pub spec: ConvSpec,
+    /// The instruction platform the kernel was compiled for.
+    pub platform: Platform,
+    /// CPU tuning mode, including its search budget / fixed pair.
+    pub cpu: CpuTuneMode,
+    /// GPU tuning mode.
+    pub gpu: GpuTuneMode,
+}
+
+impl KernelCacheKey {
+    /// The key for a workload on a platform under a tuning configuration.
+    #[must_use]
+    pub fn new(spec: ConvSpec, platform: Platform, tuning: TuningConfig) -> KernelCacheKey {
+        KernelCacheKey {
+            spec,
+            platform,
+            cpu: tuning.cpu,
+            gpu: tuning.gpu,
+        }
+    }
+}
+
+/// The shared kernel cache type: `(workload, platform, full config) ->
+/// (latency, note)`.
+pub type KernelCache = ShardedCache<KernelCacheKey, (f64, String)>;
 
 /// Executes convolutions and dense layers; costs everything else by volume.
 pub trait ConvProvider {
@@ -141,6 +189,68 @@ pub fn compile_graph(graph: &Graph, target: Target, tuning: TuningConfig) -> E2e
     e2e_latency(graph, &provider)
 }
 
+/// Deduplicated convolution workloads of a set of graphs, in first-seen
+/// topological order (CNNs repeat shapes heavily: resnet-18 has 20 convs
+/// but only ~11 unique workloads, so deduplicating before the fan-out is
+/// what keeps the parallel work list short).
+#[must_use]
+pub fn unique_conv_workloads(graphs: &[&Graph]) -> Vec<ConvSpec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for g in graphs {
+        for spec in g.conv_workloads() {
+            if seen.insert(spec) {
+                out.push(spec);
+            }
+        }
+    }
+    out
+}
+
+/// Compile a model with its independent convolution layers fanned out
+/// across `workers` threads (`0` = one per core).
+///
+/// Repeated workloads are deduplicated first, the unique set is compiled
+/// concurrently into the provider's sharded cache, and the final latency
+/// aggregation then runs serially against a fully warm cache. Because
+/// per-kernel tuning is deterministic, the report is identical to
+/// [`compile_graph`] at any worker count (the differential suite asserts
+/// this).
+#[must_use]
+pub fn compile_model_parallel(
+    graph: &Graph,
+    target: Target,
+    tuning: TuningConfig,
+    workers: usize,
+) -> E2eReport {
+    let provider = UnitProvider::new(target, tuning);
+    warm_kernel_cache(&provider, &[graph], workers);
+    e2e_latency(graph, &provider)
+}
+
+/// Batch compilation: one shared provider (and sharded kernel cache)
+/// across every model, with the union of unique workloads fanned out
+/// across `workers` threads. Workloads shared *between* models (1x1
+/// projections, stem convs, ...) are compiled once for the whole batch.
+#[must_use]
+pub fn compile_models_parallel(
+    graphs: &[&Graph],
+    target: Target,
+    tuning: TuningConfig,
+    workers: usize,
+) -> Vec<E2eReport> {
+    let provider = UnitProvider::new(target, tuning);
+    warm_kernel_cache(&provider, graphs, workers);
+    graphs.iter().map(|g| e2e_latency(g, &provider)).collect()
+}
+
+/// Fan the unique convolution workloads of `graphs` out across `workers`
+/// threads, filling the provider's kernel cache.
+fn warm_kernel_cache(provider: &UnitProvider, graphs: &[&Graph], workers: usize) {
+    let specs = unique_conv_workloads(graphs);
+    let _ = parallel_map(&specs, workers, |_, spec| provider.conv_micros(spec));
+}
+
 /// Lower an op with the conventional SIMD schedule compilers produce when
 /// no tensorized instruction applies: parallel outer loop, the innermost
 /// data-parallel loop vectorized *below* the reduction (keeping the
@@ -191,7 +301,8 @@ pub struct UnitProvider {
     target: Target,
     tuning: TuningConfig,
     label: String,
-    cache: Mutex<HashMap<(ConvSpec, u8), (f64, String)>>,
+    workers: usize,
+    cache: Arc<KernelCache>,
 }
 
 impl UnitProvider {
@@ -202,7 +313,8 @@ impl UnitProvider {
             target,
             tuning,
             label: "UNIT".to_string(),
-            cache: Mutex::new(HashMap::new()),
+            workers: 1,
+            cache: Arc::new(KernelCache::default()),
         }
     }
 
@@ -211,6 +323,31 @@ impl UnitProvider {
     pub fn with_label(mut self, label: impl Into<String>) -> UnitProvider {
         self.label = label.into();
         self
+    }
+
+    /// Evaluate tuning candidates with up to `n` threads per kernel
+    /// (`0` = one per core). Deterministic — see
+    /// [`Tensorizer::with_workers`].
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> UnitProvider {
+        self.workers = n;
+        self
+    }
+
+    /// Share a kernel cache with other providers (batch compilation).
+    /// Keys carry the full tuning config, so providers with different
+    /// budgets coexist without poisoning each other.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<KernelCache>) -> UnitProvider {
+        self.cache = cache;
+        self
+    }
+
+    /// The provider's kernel cache (shareable via
+    /// [`UnitProvider::with_shared_cache`]).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<KernelCache> {
+        &self.cache
     }
 
     /// Quantization convention of the target platform:
@@ -268,6 +405,39 @@ impl UnitProvider {
             }
         }
     }
+
+    /// Compile one convolution through the full pipeline, bypassing the
+    /// cache (the cache fill path).
+    fn compile_conv_uncached(&self, spec: &ConvSpec) -> (f64, String) {
+        let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
+        if spec.is_depthwise() {
+            let op = depthwise_conv_op(spec, ddt);
+            return self.fallback_micros(&op);
+        }
+        let (op, hint) = match self.target.platform {
+            Platform::NvidiaTensorCore => (
+                conv_gemm_f16(spec),
+                Some(unit_core::tuner::ConvGpuHint {
+                    oh: spec.oh(),
+                    ow: spec.ow(),
+                    channels: spec.c,
+                }),
+            ),
+            _ if spec.is_3d() => (blocked_conv3d(spec, lanes, rwidth, ddt, wdt), None),
+            _ => (blocked_conv2d(spec, lanes, rwidth, ddt, wdt), None),
+        };
+        match Tensorizer::new(self.target.clone())
+            .with_tuning(self.tuning)
+            .with_workers(self.workers)
+            .compile_with_hint(&op, hint)
+        {
+            Ok(kernel) => {
+                let us = kernel.estimate.micros(self.clock_ghz());
+                (us, format!("{} [{}]", kernel.intrinsic.name, kernel.chosen))
+            }
+            Err(_) => self.fallback_micros(&op),
+        }
+    }
 }
 
 impl ConvProvider for UnitProvider {
@@ -276,49 +446,9 @@ impl ConvProvider for UnitProvider {
     }
 
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
-        let mode_key = match (self.tuning.cpu, self.tuning.gpu) {
-            (CpuTuneMode::ParallelOnly, _) => 0u8,
-            (CpuTuneMode::ParallelUnroll, GpuTuneMode::Generic) => 1,
-            (_, GpuTuneMode::FuseDim) => 2,
-            (_, GpuTuneMode::SplitK) => 3,
-            _ => 4,
-        };
-        if let Some(hit) = self.cache.lock().unwrap().get(&(*spec, mode_key)) {
-            return hit.clone();
-        }
-        let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
-        let result = if spec.is_depthwise() {
-            let op = depthwise_conv_op(spec, ddt);
-            self.fallback_micros(&op)
-        } else {
-            let (op, hint) = match self.target.platform {
-                Platform::NvidiaTensorCore => (
-                    conv_gemm_f16(spec),
-                    Some(unit_core::tuner::ConvGpuHint {
-                        oh: spec.oh(),
-                        ow: spec.ow(),
-                        channels: spec.c,
-                    }),
-                ),
-                _ if spec.is_3d() => (blocked_conv3d(spec, lanes, rwidth, ddt, wdt), None),
-                _ => (blocked_conv2d(spec, lanes, rwidth, ddt, wdt), None),
-            };
-            match Tensorizer::new(self.target.clone())
-                .with_tuning(self.tuning)
-                .compile_with_hint(&op, hint)
-            {
-                Ok(kernel) => {
-                    let us = kernel.estimate.micros(self.clock_ghz());
-                    (us, format!("{} [{}]", kernel.intrinsic.name, kernel.chosen))
-                }
-                Err(_) => self.fallback_micros(&op),
-            }
-        };
+        let key = KernelCacheKey::new(*spec, self.target.platform, self.tuning);
         self.cache
-            .lock()
-            .unwrap()
-            .insert((*spec, mode_key), result.clone());
-        result
+            .get_or_insert_with(key, || self.compile_conv_uncached(spec))
     }
 
     fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
@@ -331,6 +461,7 @@ impl ConvProvider for UnitProvider {
                 );
                 match Tensorizer::new(self.target.clone())
                     .with_tuning(self.tuning)
+                    .with_workers(self.workers)
                     .compile(&op)
                 {
                     Ok(k) => k.estimate.micros(self.clock_ghz()),
@@ -342,6 +473,7 @@ impl ConvProvider for UnitProvider {
                 let op = blocked_dense(in_features, units, lanes, rwidth, ddt, wdt);
                 match Tensorizer::new(self.target.clone())
                     .with_tuning(self.tuning)
+                    .with_workers(self.workers)
                     .compile(&op)
                 {
                     Ok(k) => k.estimate.micros(self.clock_ghz()),
@@ -414,8 +546,145 @@ mod tests {
         );
         let r = e2e_latency(&g, &provider);
         // 20 convs but only ~11 unique shapes: the cache must be smaller.
-        assert!(provider.cache.lock().unwrap().len() <= 12);
+        assert!(provider.cache().len() <= 12);
+        assert_eq!(
+            provider.cache().len(),
+            unique_conv_workloads(&[&g]).len(),
+            "every unique workload is cached exactly once"
+        );
         assert!(r.total_ms > 0.0);
+    }
+
+    #[test]
+    fn kernel_cache_keys_distinguish_search_budgets() {
+        // Regression: the old u8 mode_key mapped every Tuned { max_pairs }
+        // (and every Fixed pair) to one value.
+        let spec = ConvSpec::new_2d(64, 14, 64, 3, 1, 1);
+        let gpu = GpuTuneMode::Tuned;
+        let tuned = |max_pairs| {
+            KernelCacheKey::new(
+                spec,
+                Platform::X86Vnni,
+                TuningConfig {
+                    cpu: CpuTuneMode::Tuned { max_pairs },
+                    gpu,
+                },
+            )
+        };
+        assert_ne!(tuned(1), tuned(16));
+        let fixed = |par, unroll| {
+            KernelCacheKey::new(
+                spec,
+                Platform::X86Vnni,
+                TuningConfig {
+                    cpu: CpuTuneMode::Fixed { par, unroll },
+                    gpu,
+                },
+            )
+        };
+        assert_ne!(fixed(500, 4), fixed(3000, 4));
+        assert_ne!(fixed(3000, 4), fixed(3000, 8));
+    }
+
+    #[test]
+    fn kernel_cache_keys_distinguish_platforms() {
+        // Regression: the key must carry the target platform, or
+        // cross-platform providers sharing a cache would serve each
+        // other's kernels.
+        let spec = ConvSpec::new_2d(64, 14, 64, 3, 1, 1);
+        let tuning = TuningConfig::default();
+        let key = |platform| KernelCacheKey::new(spec, platform, tuning);
+        assert_ne!(key(Platform::X86Vnni), key(Platform::ArmDot));
+        assert_ne!(key(Platform::X86Vnni), key(Platform::NvidiaTensorCore));
+
+        // Behaviorally: an x86 and an ARM provider sharing one cache must
+        // each serve their own platform's kernel.
+        let shared: Arc<KernelCache> = Arc::new(KernelCache::default());
+        let x86 = UnitProvider::new(Target::x86_avx512_vnni(), tuning)
+            .with_shared_cache(Arc::clone(&shared));
+        let arm = UnitProvider::new(Target::arm_neon_dot(), tuning)
+            .with_shared_cache(Arc::clone(&shared));
+        let (_, x86_note) = x86.conv_micros(&spec);
+        let (_, arm_note) = arm.conv_micros(&spec);
+        assert_eq!(shared.len(), 2, "one entry per platform");
+        assert!(x86_note.contains("vpdpbusd"), "x86 note: {x86_note}");
+        assert!(arm_note.contains("dot"), "ARM note: {arm_note}");
+    }
+
+    #[test]
+    fn shared_cache_providers_with_different_budgets_do_not_poison_each_other() {
+        let spec = ConvSpec::new_2d(128, 16, 128, 3, 1, 1);
+        let shared: Arc<KernelCache> = Arc::new(KernelCache::default());
+        let target = Target::x86_avx512_vnni();
+        let narrow = UnitProvider::new(
+            target.clone(),
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 1 },
+                gpu: GpuTuneMode::Tuned,
+            },
+        )
+        .with_shared_cache(Arc::clone(&shared));
+        let wide = UnitProvider::new(
+            target.clone(),
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+                gpu: GpuTuneMode::Tuned,
+            },
+        )
+        .with_shared_cache(Arc::clone(&shared));
+
+        // Fill in narrow-first order, then compare against fresh providers.
+        let narrow_us = narrow.conv_micros(&spec).0;
+        let wide_us = wide.conv_micros(&spec).0;
+        assert_eq!(shared.len(), 2, "two distinct keys for two budgets");
+        let fresh_wide = UnitProvider::new(
+            target.clone(),
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+                gpu: GpuTuneMode::Tuned,
+            },
+        );
+        assert_eq!(
+            wide_us,
+            fresh_wide.conv_micros(&spec).0,
+            "wide provider must not inherit the narrow provider's kernel"
+        );
+        // The 16-pair search can only improve on the 1-pair search.
+        assert!(wide_us <= narrow_us);
+    }
+
+    #[test]
+    fn parallel_model_compilation_matches_serial_report() {
+        let g = resnet(ResnetDepth::R18);
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 4 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let serial = compile_graph(&g, Target::x86_avx512_vnni(), tuning);
+        let parallel = compile_model_parallel(&g, Target::x86_avx512_vnni(), tuning, 8);
+        assert_eq!(serial.total_ms, parallel.total_ms);
+        assert_eq!(serial.layers.len(), parallel.layers.len());
+        for (s, p) in serial.layers.iter().zip(&parallel.layers) {
+            assert_eq!(s.micros, p.micros, "layer {} diverged", s.name);
+            assert_eq!(s.note, p.note);
+        }
+    }
+
+    #[test]
+    fn batch_compilation_shares_kernels_across_models() {
+        use crate::models::{mobilenet_v1, resnet, ResnetDepth};
+        let r18 = resnet(ResnetDepth::R18);
+        let mv1 = mobilenet_v1();
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::ParallelUnroll,
+            gpu: GpuTuneMode::Generic,
+        };
+        let reports = compile_models_parallel(&[&r18, &mv1], Target::x86_avx512_vnni(), tuning, 4);
+        assert_eq!(reports.len(), 2);
+        for (report, g) in reports.iter().zip([&r18, &mv1]) {
+            let solo = compile_graph(g, Target::x86_avx512_vnni(), tuning);
+            assert_eq!(report.total_ms, solo.total_ms, "{} diverged", g.name);
+        }
     }
 
     #[test]

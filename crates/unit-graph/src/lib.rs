@@ -17,7 +17,23 @@
 //! * [`compile`] — the graph compiler: per-layer UNIT invocation with a
 //!   kernel cache, memory-bound cost for elementwise/pooling ops, and
 //!   end-to-end latency aggregation.
+//! * [`cache`] — the sharded concurrent kernel cache backing the
+//!   compiler.
+//!
+//! # Sharded kernel cache
+//!
+//! Compiled-kernel results are cached per *(workload, full tuning
+//! config)* in an N-way sharded map ([`cache::ShardedCache`]): keys hash
+//! to a shard, each shard is an independently locked `HashMap`, and racy
+//! fills resolve first-insert-wins so every thread observes one canonical
+//! value per key. Sharding is what lets [`compile::compile_model_parallel`]
+//! fan independent layers out across threads without serializing on a
+//! single global lock; keying by the target platform and the **full**
+//! [`unit_core::pipeline::TuningConfig`] (not a lossy mode byte) is what
+//! lets providers with different platforms or search budgets share one
+//! cache — see [`compile::KernelCacheKey`].
 
+pub mod cache;
 pub mod compile;
 pub mod ir;
 pub mod layout;
@@ -25,6 +41,10 @@ pub mod models;
 pub mod passes;
 pub mod workload;
 
-pub use compile::{compile_graph, E2eReport, LayerLatency};
+pub use cache::ShardedCache;
+pub use compile::{
+    compile_graph, compile_model_parallel, compile_models_parallel, E2eReport, KernelCacheKey,
+    LayerLatency,
+};
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind, TensorShape};
 pub use workload::ConvSpec;

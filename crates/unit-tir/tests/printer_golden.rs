@@ -1,0 +1,93 @@
+//! Golden snapshot tests for the TIR pretty printer.
+//!
+//! The lowered (pre-tensorize) and finalized (tensorized + simplified)
+//! forms of a small blocked convolution are locked against committed
+//! snapshots, so refactors to lowering, the tensorize pass or `simplify`
+//! cannot silently change the emitted IR. A formatting-only change to the
+//! printer shows up here too — that is intentional: the printed form *is*
+//! the artifact the paper's Figure 5(c)/Figure 7 discussion is phrased in.
+//!
+//! To bless a deliberate change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p unit-tir --test printer_golden
+//! ```
+//!
+//! then review the diff under `tests/golden/` like any other code change.
+
+use unit_core::inspector::inspect;
+use unit_core::rewriter::{build_tensorized_schedule, finalize};
+use unit_dsl::DType;
+use unit_graph::layout::blocked_conv2d;
+use unit_graph::ConvSpec;
+use unit_isa::registry;
+use unit_tir::lower::lower;
+use unit_tir::printer::print_func;
+
+/// Compare `actual` against the committed snapshot at
+/// `tests/golden/<name>.txt`, rewriting it when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {}: {e} (run UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot {name} diverged; if the change is deliberate, re-bless \
+         with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The snapshot workload: a small VNNI-blocked conv whose channel counts
+/// exercise padding (3 -> 4 input channels) and whose lowered body keeps
+/// a guard until tensorization elides it.
+fn tensorized_conv() -> (unit_dsl::ComputeOp, unit_core::rewriter::TensorizedSchedule) {
+    let spec = ConvSpec::new_2d(3, 4, 16, 3, 1, 1);
+    let op = blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8);
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("VNNI is registered");
+    let m = inspect(&intrin, &op).expect("the snapshot conv tensorizes");
+    let ts = build_tensorized_schedule(&op, &m, &intrin).expect("rewriter succeeds");
+    (op, ts)
+}
+
+#[test]
+fn lowered_conv_before_simplify_matches_snapshot() {
+    let (_, ts) = tensorized_conv();
+    let func = lower(&ts.schedule, "conv_snapshot").expect("lowers");
+    assert_golden("conv_lowered", &print_func(&func));
+}
+
+#[test]
+fn tensorized_conv_after_simplify_matches_snapshot() {
+    let (_, ts) = tensorized_conv();
+    let func = finalize(&ts, "conv_snapshot").expect("finalizes");
+    let text = print_func(&func);
+    assert!(
+        text.contains("vpdpbusd"),
+        "the finalized kernel must contain the injected instruction"
+    );
+    assert_golden("conv_tensorized_simplified", &text);
+}
+
+#[test]
+fn simplify_is_idempotent_on_the_snapshot_kernel() {
+    use unit_tir::passes::simplify::simplify;
+    let (_, ts) = tensorized_conv();
+    let func = finalize(&ts, "conv_snapshot").expect("finalizes");
+    let once = print_func(&simplify(&func));
+    assert_eq!(
+        once,
+        print_func(&func),
+        "finalize already simplifies; a second pass must be a no-op"
+    );
+}

@@ -1,0 +1,213 @@
+//! Differential tests for the parallel compilation engine.
+//!
+//! Two properties are enforced over a grid of matmul/conv shapes on all
+//! three platforms (x86 VNNI, ARM DOT, NVIDIA Tensor Core):
+//!
+//! 1. **Numerical identity**: every tuning stage (`ParallelOnly`,
+//!    `ParallelUnroll`, `Tuned`) emits a kernel whose interpreter result
+//!    is bit-identical to `run_reference`.
+//! 2. **Search determinism**: the parallel candidate search picks exactly
+//!    the same `(par, unroll)` pair — same chosen description, same
+//!    estimate, same log — as the serial search, at every worker count.
+//!    This is the guard that keeps the candidates-to-optimum statistic of
+//!    Section VI-B meaningful when tuning runs multi-threaded.
+
+use unit::dsl::builder::{matmul_f16, matmul_u8i8};
+use unit::dsl::{ComputeOp, DType};
+use unit::interp::{alloc_buffers, random_fill, run, run_reference};
+use unit::pipeline::{Target, Tensorizer, TuningConfig};
+use unit_core::inspector::inspect;
+use unit_core::tuner::{
+    tune_cpu, tune_cpu_with_workers, tune_gpu, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode,
+};
+use unit_graph::layout::{blocked_conv2d, blocked_dense};
+use unit_graph::ConvSpec;
+use unit_isa::registry;
+
+/// The CPU tuning stages of Figure 10, in ablation order.
+fn cpu_stages() -> Vec<CpuTuneMode> {
+    vec![
+        CpuTuneMode::ParallelOnly,
+        CpuTuneMode::ParallelUnroll,
+        CpuTuneMode::Tuned { max_pairs: 6 },
+    ]
+}
+
+/// Compile `op` for `target` under `cpu_mode` and assert the interpreter
+/// result is bit-identical to the reference executor.
+fn assert_stage_matches_reference(
+    op: &ComputeOp,
+    target: Target,
+    cpu_mode: CpuTuneMode,
+    seed: u64,
+) {
+    let kernel = Tensorizer::new(target)
+        .with_tuning(TuningConfig {
+            cpu: cpu_mode,
+            gpu: GpuTuneMode::Tuned,
+        })
+        .compile(op)
+        .unwrap_or_else(|e| panic!("{} must compile under {cpu_mode:?}: {e}", op.name));
+    let mut bufs = alloc_buffers(&kernel.func);
+    random_fill(&mut bufs, seed);
+    let mut reference = bufs.clone();
+    run(&kernel.func, &mut bufs).expect("interpretation succeeds");
+    run_reference(op, &mut reference).expect("reference succeeds");
+    assert_eq!(
+        bufs[op.output.0 as usize], reference[op.output.0 as usize],
+        "{} under {cpu_mode:?} diverges from the reference",
+        op.name
+    );
+}
+
+/// The x86 differential grid: quantized matmuls plus blocked convs.
+fn x86_grid() -> Vec<ComputeOp> {
+    let mut ops = vec![
+        matmul_u8i8(16, 16, 16),
+        matmul_u8i8(24, 32, 64),
+        matmul_u8i8(8, 16, 32),
+    ];
+    for spec in [
+        ConvSpec::new_2d(8, 10, 16, 3, 1, 1),
+        ConvSpec::new_2d(16, 8, 32, 1, 1, 0),
+    ] {
+        ops.push(blocked_conv2d(&spec, 16, 4, DType::U8, DType::I8));
+    }
+    ops
+}
+
+/// The ARM differential grid: blocked convs and a dense layer in the
+/// i8 x i8 `sdot` convention (lanes 4, reduction width 4).
+fn arm_grid() -> Vec<ComputeOp> {
+    let mut ops = Vec::new();
+    for spec in [
+        ConvSpec::new_2d(8, 8, 16, 3, 1, 1),
+        ConvSpec::new_2d(12, 6, 8, 1, 1, 0),
+    ] {
+        ops.push(blocked_conv2d(&spec, 4, 4, DType::I8, DType::I8));
+    }
+    ops.push(blocked_dense(32, 12, 4, 4, DType::I8, DType::I8));
+    ops
+}
+
+#[test]
+fn every_x86_stage_matches_the_reference() {
+    for (i, op) in x86_grid().iter().enumerate() {
+        for (j, mode) in cpu_stages().into_iter().enumerate() {
+            assert_stage_matches_reference(
+                op,
+                Target::x86_avx512_vnni(),
+                mode,
+                4000 + (i * 10 + j) as u64,
+            );
+        }
+    }
+}
+
+#[test]
+fn every_arm_stage_matches_the_reference() {
+    for (i, op) in arm_grid().iter().enumerate() {
+        for (j, mode) in cpu_stages().into_iter().enumerate() {
+            assert_stage_matches_reference(
+                op,
+                Target::arm_neon_dot(),
+                mode,
+                5000 + (i * 10 + j) as u64,
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_kernels_match_the_reference() {
+    for (i, op) in [matmul_f16(32, 32, 32), matmul_f16(48, 64, 128)]
+        .iter()
+        .enumerate()
+    {
+        for gpu in [GpuTuneMode::Generic, GpuTuneMode::Tuned] {
+            let kernel = Tensorizer::new(Target::nvidia_tensor_core())
+                .with_tuning(TuningConfig {
+                    cpu: CpuTuneMode::ParallelUnroll,
+                    gpu,
+                })
+                .compile(op)
+                .expect("wmma matmul compiles");
+            let mut bufs = alloc_buffers(&kernel.func);
+            random_fill(&mut bufs, 6000 + i as u64);
+            let mut reference = bufs.clone();
+            run(&kernel.func, &mut bufs).expect("interprets");
+            run_reference(op, &mut reference).expect("reference");
+            assert_eq!(
+                bufs[op.output.0 as usize], reference[op.output.0 as usize],
+                "{} under {gpu:?} diverges",
+                op.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_cpu_tuning_picks_the_same_pair_as_serial() {
+    for target in [Target::x86_avx512_vnni(), Target::arm_neon_dot()] {
+        let machine = target.cpu.clone().expect("CPU target");
+        let grid = match target.platform {
+            unit_isa::Platform::ArmDot => arm_grid(),
+            _ => x86_grid(),
+        };
+        for op in &grid {
+            let t = Tensorizer::new(target.clone());
+            let (intrin, m) = t.inspect(op).expect("grid ops tensorize");
+            let mode = CpuTuneMode::Tuned { max_pairs: 8 };
+            let serial = tune_cpu(op, &m, &intrin, &machine, mode).expect("serial tunes");
+            for workers in [2, 4, 8] {
+                let par = tune_cpu_with_workers(op, &m, &intrin, &machine, mode, workers)
+                    .expect("parallel tunes");
+                assert_eq!(
+                    par.chosen, serial.chosen,
+                    "{}: {workers} workers chose a different pair",
+                    op.name
+                );
+                assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
+                assert_eq!(par.log, serial.log, "{}: log order changed", op.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_gpu_tuning_picks_the_same_config_as_serial() {
+    let op = matmul_f16(48, 512, 2048);
+    let intrin = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
+    let m = inspect(&intrin, &op).unwrap();
+    let machine = unit_sim::GpuMachine::v100();
+    let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
+    for workers in [2, 8] {
+        let par = tune_gpu_with_workers(
+            &op,
+            &m,
+            &intrin,
+            &machine,
+            GpuTuneMode::Tuned,
+            None,
+            workers,
+        );
+        assert_eq!(par.chosen, serial.chosen);
+        assert_eq!(par.estimate.cycles, serial.estimate.cycles);
+        assert_eq!(par.log, serial.log);
+    }
+}
+
+#[test]
+fn whole_model_parallel_compilation_is_deterministic_across_worker_counts() {
+    use unit_graph::models::{resnet, ResnetDepth};
+    let g = resnet(ResnetDepth::R18);
+    let tuning = TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 4 },
+        gpu: GpuTuneMode::Tuned,
+    };
+    let baseline = unit_graph::compile_graph(&g, Target::x86_avx512_vnni(), tuning);
+    for workers in [2, 8] {
+        let r = unit_graph::compile_model_parallel(&g, Target::x86_avx512_vnni(), tuning, workers);
+        assert_eq!(r.total_ms, baseline.total_ms, "{workers} workers");
+    }
+}

@@ -6,7 +6,7 @@ use unit::dsl::DType;
 use unit::interp::{alloc_buffers, random_fill, run, run_reference};
 use unit::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
-use unit_graph::layout::blocked_conv2d;
+use unit_graph::layout::{blocked_conv2d, blocked_conv3d};
 use unit_graph::ConvSpec;
 use unit_tir::{lower::lower, Schedule};
 
@@ -83,4 +83,117 @@ proptest! {
         run_reference(&op, &mut reference).expect("reference");
         prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
     }
+
+    /// The ARM dot-product path (i8 x i8 `sdot`, lanes 4, reduction width
+    /// 4) computes the reference result for arbitrary channel counts and
+    /// tuning pairs, including channel-padded ones.
+    #[test]
+    fn arm_dot_conv_always_matches_reference(
+        c in 1i64..12, k in 1i64..12,
+        par in prop::sample::select(vec![500i64, 3000]),
+        unroll in prop::sample::select(vec![1i64, 4, 8]),
+        seed in 0u64..1000,
+    ) {
+        let spec = ConvSpec::new_2d(c, 5, k, 3, 1, 1);
+        let op = blocked_conv2d(&spec, 4, 4, DType::I8, DType::I8);
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Fixed { par, unroll },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let kernel = Tensorizer::new(Target::arm_neon_dot())
+            .with_tuning(tuning)
+            .compile(&op)
+            .expect("ARM blocked conv compiles");
+        prop_assert!(kernel.intrinsic.name.contains("dot"));
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+}
+
+proptest! {
+    // Each 3D conv case interprets a 5D nest in debug mode; keep both
+    // the draw count and the shapes small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `blocked_conv3d` tensorizes through the unchanged pipeline (the
+    /// Figure 13 extensibility claim) and computes the reference result
+    /// for arbitrary channel counts and depths.
+    #[test]
+    fn blocked_conv3d_always_matches_reference(
+        c in 1i64..6, k in 1i64..8, depth in 2i64..4, seed in 0u64..1000,
+    ) {
+        let spec = ConvSpec::new_3d(c, 4, depth + 1, k, 3, 1, 1);
+        let op = blocked_conv3d(&spec, 16, 4, DType::U8, DType::I8);
+        let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+            .with_tuning(TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+                gpu: GpuTuneMode::Tuned,
+            })
+            .compile(&op)
+            .expect("blocked conv3d compiles");
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+}
+
+/// Concurrency stress: 8 threads hammer one shared `UnitProvider` with an
+/// overlapping workload mix. Every thread must observe exactly the value
+/// the serial path computes, and the sharded cache must end with exactly
+/// one entry per unique workload (no duplicates, no torn values, no
+/// cross-key poisoning).
+#[test]
+fn shared_provider_survives_8_thread_hammering() {
+    use std::sync::Arc;
+    use unit_graph::compile::{ConvProvider, UnitProvider};
+
+    let specs: Vec<ConvSpec> = vec![
+        ConvSpec::new_2d(8, 10, 16, 3, 1, 1),
+        ConvSpec::new_2d(16, 8, 32, 1, 1, 0),
+        ConvSpec::new_2d(32, 7, 16, 3, 1, 1),
+        ConvSpec::new_2d(8, 14, 8, 1, 2, 0),
+        ConvSpec::depthwise(16, 8, 3, 1, 1),
+        ConvSpec::new_2d(24, 6, 24, 3, 1, 1),
+    ];
+    let tuning = TuningConfig {
+        cpu: CpuTuneMode::ParallelUnroll,
+        gpu: GpuTuneMode::Generic,
+    };
+
+    // Serial oracle: a fresh provider, one thread.
+    let oracle = UnitProvider::new(Target::x86_avx512_vnni(), tuning);
+    let expected: Vec<(f64, String)> = specs.iter().map(|s| oracle.conv_micros(s)).collect();
+
+    let shared = Arc::new(UnitProvider::new(Target::x86_avx512_vnni(), tuning));
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let shared = Arc::clone(&shared);
+            let specs = &specs;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Different threads start at different offsets so cache
+                // fills and hits interleave.
+                for i in 0..specs.len() {
+                    let idx = (i + t) % specs.len();
+                    let got = shared.conv_micros(&specs[idx]);
+                    assert_eq!(
+                        got, expected[idx],
+                        "thread {t} observed a torn value for spec {idx}"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(
+        shared.cache().len(),
+        specs.len(),
+        "cache must hold exactly one entry per unique workload"
+    );
 }
