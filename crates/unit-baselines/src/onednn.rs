@@ -214,7 +214,9 @@ mod tests {
     #[test]
     fn depthwise_goes_through_the_simd_path() {
         let p = MxnetOneDnnProvider::new();
-        let (_, note) = p.conv_micros(&ConvSpec::depthwise(128, 14, 3, 1, 1));
+        #[allow(deprecated)] // the compat constructor must keep working
+        let spec = ConvSpec::depthwise(128, 14, 3, 1, 1);
+        let (_, note) = p.conv_micros(&spec);
         assert!(note.contains("SIMD"));
     }
 }

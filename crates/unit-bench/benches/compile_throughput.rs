@@ -19,7 +19,7 @@ use unit_bench::render_table;
 use unit_core::pipeline::{Target, TuningConfig};
 use unit_core::tuner::effective_workers;
 use unit_graph::compile::{compile_graph, compile_model_parallel, compile_models_parallel};
-use unit_graph::models::{inception_v3, mobilenet_v1, resnet, ResnetDepth};
+use unit_graph::models::{inception_v3, mobilenet_v1, resnet, transformer_tiny, ResnetDepth};
 use unit_graph::{E2eReport, Graph};
 
 /// Allowed wall-clock ratio (parallel / serial) when only one core is
@@ -63,7 +63,14 @@ fn main() {
     let tuning = TuningConfig::default();
     let target = Target::x86_avx512_vnni();
 
-    let models: Vec<Graph> = vec![resnet(ResnetDepth::R50), mobilenet_v1(), inception_v3()];
+    // Three CNNs plus the GEMM-built transformer block: the smoke run
+    // covers both workload families through one shared batch cache.
+    let models: Vec<Graph> = vec![
+        resnet(ResnetDepth::R50),
+        mobilenet_v1(),
+        inception_v3(),
+        transformer_tiny(),
+    ];
 
     println!(
         "compile_throughput: {workers} workers on {cores} core(s), \
@@ -104,7 +111,7 @@ fn main() {
     }
     let batch_speedup = t_batch_serial.as_secs_f64() / t_batch_parallel.as_secs_f64();
     rows.push(vec![
-        "batch(3 models)".to_string(),
+        format!("batch({} models)", models.len()),
         format!("{:.1}", t_batch_serial.as_secs_f64() * 1e3),
         format!("{:.1}", t_batch_parallel.as_secs_f64() * 1e3),
         format!("{batch_speedup:.2}x"),

@@ -1,7 +1,10 @@
-//! Table I: the 16 representative convolution layers of the ablation
-//! studies (Figures 10 and 11), transcribed verbatim from the paper.
+//! Benchmark workload suites: Table I's 16 representative convolution
+//! layers (the ablation studies of Figures 10 and 11, transcribed
+//! verbatim from the paper), plus the transformer-block GEMM suite the
+//! operator-generic pipeline is exercised with.
 
-use unit_graph::ConvSpec;
+use unit_graph::models::transformer_tiny;
+use unit_graph::{unique_workloads, ConvSpec, OpSpec};
 
 /// The 16 selected convolution layers of Table I, in paper order
 /// (1-indexed in the figures; index 0 here is workload #1).
@@ -37,6 +40,15 @@ pub fn table_i_ohw() -> [i64; 16] {
     [17, 7, 7, 71, 14, 14, 14, 14, 14, 14, 14, 14, 14, 27, 28, 14]
 }
 
+/// The GEMM counterpart of Table I: the distinct workloads of the
+/// `transformer-tiny` encoder block (projections, both batched attention
+/// matmuls, both FFN layers), derived from the model itself so the suite
+/// can never drift from what the graph compiler actually sees.
+#[must_use]
+pub fn transformer_gemms() -> Vec<OpSpec> {
+    unique_workloads(&[&transformer_tiny()])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +66,21 @@ mod tests {
         assert_eq!(t[0].stride, 2);
         assert_eq!(t[14].stride, 2);
         assert!(t.iter().filter(|w| w.stride == 2).count() == 2);
+    }
+
+    #[test]
+    fn transformer_suite_is_all_gemms_with_batched_attention() {
+        let suite = transformer_gemms();
+        assert_eq!(suite.len(), 5);
+        assert!(suite.iter().all(|w| matches!(w, OpSpec::Gemm { .. })));
+        assert_eq!(
+            suite
+                .iter()
+                .filter(|w| matches!(w, OpSpec::Gemm { batch, .. } if *batch > 1))
+                .count(),
+            2,
+            "QK^T and scores*V are batched per head"
+        );
+        assert!(suite.iter().all(|w| w.macs() > 0));
     }
 }

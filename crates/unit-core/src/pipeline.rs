@@ -247,7 +247,9 @@ impl Tensorizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unit_dsl::builder::{conv2d_hwc, matmul_f16, matmul_u8i8};
+    use unit_dsl::builder::{
+        batched_matmul_f16, batched_matmul_u8i8, conv2d_hwc, matmul_f16, matmul_u8i8,
+    };
 
     #[test]
     fn x86_pipeline_compiles_quantized_conv() {
@@ -268,6 +270,50 @@ mod tests {
             .unwrap();
         assert!(k.intrinsic.name.contains("wmma"));
         assert!(k.gpu_desc.is_some());
+    }
+
+    #[test]
+    fn batched_matmul_needs_no_pipeline_special_case() {
+        // The operator-agnosticism claim: a batched matmul is "just" a
+        // matmul with one more outer data-parallel loop, so the unchanged
+        // Inspector/Rewriter/Tuner compile it on both instruction families
+        // it is typed for. There is no `match op.kind` anywhere in the
+        // pipeline to extend.
+        let q = batched_matmul_u8i8(4, 8, 16, 16);
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&q)
+            .unwrap();
+        assert!(k.intrinsic.name.contains("vpdpbusd"));
+        let f = batched_matmul_f16(4, 32, 32, 32);
+        let k = Tensorizer::new(Target::nvidia_tensor_core())
+            .compile(&f)
+            .unwrap();
+        assert!(k.intrinsic.name.contains("wmma"));
+        assert!(k.gpu_desc.is_some());
+    }
+
+    #[test]
+    fn batched_matmul_kernels_are_correct_end_to_end() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        for (op, target) in [
+            (batched_matmul_u8i8(3, 8, 16, 8), Target::x86_avx512_vnni()),
+            (
+                batched_matmul_f16(2, 16, 16, 16),
+                Target::nvidia_tensor_core(),
+            ),
+        ] {
+            let k = Tensorizer::new(target).compile(&op).unwrap();
+            let mut bufs = alloc_buffers(&k.func);
+            random_fill(&mut bufs, 314);
+            let mut reference = bufs.clone();
+            run(&k.func, &mut bufs).unwrap();
+            run_reference(&op, &mut reference).unwrap();
+            assert_eq!(
+                bufs[op.output.0 as usize], reference[op.output.0 as usize],
+                "{} diverges from the reference",
+                op.name
+            );
+        }
     }
 
     #[test]

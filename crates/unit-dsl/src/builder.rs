@@ -231,6 +231,60 @@ pub fn matmul_f16(n: i64, m: i64, k: i64) -> ComputeOp {
     )
 }
 
+/// A batched quantized matrix multiplication
+/// `d[b,i,j] = sum_k i32(a[b,i,k]) * i32(w[b,j,k])`: `batch` independent
+/// instances of [`matmul_u8i8`] sharing one kernel. The batch loop is just
+/// one more data-parallel axis over the identical reduction nest — the
+/// Inspector needs no special case for it.
+#[must_use]
+pub fn batched_matmul_u8i8(batch: i64, n: i64, m: i64, k: i64) -> ComputeOp {
+    let mut b = OpBuilder::new("batched_matmul_u8i8");
+    let a = b.tensor("a", &[batch, n, k], DType::U8);
+    let wt = b.tensor("b", &[batch, m, k], DType::I8);
+    let bb = b.axis("b", batch);
+    let i = b.axis("i", n);
+    let j = b.axis("j", m);
+    let kk = b.reduce_axis("k", k);
+    let elem = b
+        .load(a, vec![bb.into(), i.into(), kk.into()])
+        .cast(DType::I32)
+        * b.load(wt, vec![bb.into(), j.into(), kk.into()])
+            .cast(DType::I32);
+    b.compute(
+        "d",
+        DType::I32,
+        vec![bb.into(), i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// A batched fp16 matrix multiplication with fp32 accumulation,
+/// `c[b,i,j] += fp32(a[b,i,k]) * fp32(w[b,k,j])` — the attention-style
+/// Tensor Core workload (`batch` = heads).
+#[must_use]
+pub fn batched_matmul_f16(batch: i64, n: i64, m: i64, k: i64) -> ComputeOp {
+    let mut b = OpBuilder::new("batched_matmul_f16");
+    let a = b.tensor("a", &[batch, n, k], DType::F16);
+    let wt = b.tensor("b", &[batch, k, m], DType::F16);
+    let bb = b.axis("b", batch);
+    let i = b.axis("i", n);
+    let j = b.axis("j", m);
+    let kk = b.reduce_axis("k", k);
+    let elem = b
+        .load(a, vec![bb.into(), i.into(), kk.into()])
+        .cast(DType::F32)
+        * b.load(wt, vec![bb.into(), kk.into(), j.into()])
+            .cast(DType::F32);
+    b.compute(
+        "c",
+        DType::F32,
+        vec![bb.into(), i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +324,17 @@ mod tests {
         );
         assert_eq!(op.reduce_axes[0].extent, 16);
         let opf = matmul_f16(16, 16, 16);
+        assert_eq!(opf.output_decl().dtype, DType::F32);
+    }
+
+    #[test]
+    fn batched_matmul_helpers_add_one_axis() {
+        let op = batched_matmul_u8i8(8, 4, 8, 16);
+        assert_eq!(op.axes.len(), 3);
+        assert_eq!(op.reduce_axes.len(), 1);
+        assert_eq!(op.output_decl().shape, vec![8, 4, 8]);
+        let opf = batched_matmul_f16(4, 16, 16, 16);
+        assert_eq!(opf.output_decl().shape, vec![4, 16, 16]);
         assert_eq!(opf.output_decl().dtype, DType::F32);
     }
 

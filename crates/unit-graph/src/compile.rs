@@ -1,18 +1,19 @@
 //! The graph compiler: per-layer kernel compilation and end-to-end latency
 //! aggregation.
 //!
-//! [`ConvProvider`] abstracts "who executes the convolutions": UNIT itself
-//! ([`UnitProvider`]), or the simulated vendor libraries in
-//! `unit-baselines`. Elementwise and pooling operators are memory-bound and
-//! costed by data volume; fused operators cost nothing; every launched
-//! kernel pays the provider's per-op framework overhead (this is where the
-//! MXNet-vs-TVM gap of Figure 8 lives).
+//! [`ConvProvider`] abstracts "who executes the tensor workloads"
+//! (convolutions, grouped convolutions and GEMMs, modeled uniformly as
+//! [`OpSpec`]): UNIT itself ([`UnitProvider`]), or the simulated vendor
+//! libraries in `unit-baselines`. Elementwise and pooling operators are
+//! memory-bound and costed by data volume; fused operators cost nothing;
+//! every launched kernel pays the provider's per-op framework overhead
+//! (this is where the MXNet-vs-TVM gap of Figure 8 lives).
 //!
 //! Compilation itself can be parallel: [`compile_model_parallel`] and
-//! [`compile_models_parallel`] deduplicate convolution workloads and fan
-//! the unique set out across worker threads into the provider's sharded
-//! kernel cache (see [`crate::cache`]), producing reports bit-identical
-//! to the serial path.
+//! [`compile_models_parallel`] deduplicate workloads and fan the unique
+//! set out across worker threads into the provider's sharded kernel cache
+//! (see [`crate::cache`]), producing reports bit-identical to the serial
+//! path.
 
 use std::sync::Arc;
 
@@ -26,11 +27,9 @@ use unit_tir::{lower::lower, LoopKind, Schedule};
 
 use crate::cache::ShardedCache;
 use crate::ir::{Graph, OpKind};
-use crate::layout::{
-    blocked_conv2d, blocked_conv3d, blocked_dense, conv_gemm_f16, depthwise_conv_op,
-};
+use crate::layout::{blocked_dense, op_for_platform, platform_blocking};
 use crate::passes::fuse_elementwise;
-use crate::workload::ConvSpec;
+use crate::workload::{ConvSpec, OpSpec};
 
 /// The kernel-cache key: the workload, the target platform, and the
 /// **full** tuning configuration.
@@ -47,8 +46,10 @@ use crate::workload::ConvSpec;
 /// cache across machine models.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelCacheKey {
-    /// The convolution workload.
-    pub spec: ConvSpec,
+    /// The workload (conv, grouped conv or GEMM — the `OpSpec` variant is
+    /// part of the key, so a GEMM can never collide with a conv of the
+    /// same MAC count).
+    pub spec: OpSpec,
     /// The instruction platform the kernel was compiled for.
     pub platform: Platform,
     /// CPU tuning mode, including its search budget / fixed pair.
@@ -59,10 +60,16 @@ pub struct KernelCacheKey {
 
 impl KernelCacheKey {
     /// The key for a workload on a platform under a tuning configuration.
+    /// Accepts a bare `ConvSpec` too (normalized via
+    /// [`OpSpec::from_conv`]).
     #[must_use]
-    pub fn new(spec: ConvSpec, platform: Platform, tuning: TuningConfig) -> KernelCacheKey {
+    pub fn new(
+        spec: impl Into<OpSpec>,
+        platform: Platform,
+        tuning: TuningConfig,
+    ) -> KernelCacheKey {
         KernelCacheKey {
-            spec,
+            spec: spec.into(),
             platform,
             cpu: tuning.cpu,
             gpu: tuning.gpu,
@@ -74,13 +81,45 @@ impl KernelCacheKey {
 /// (latency, note)`.
 pub type KernelCache = ShardedCache<KernelCacheKey, (f64, String)>;
 
-/// Executes convolutions and dense layers; costs everything else by volume.
+/// Executes tensor workloads (convolutions, grouped convolutions, GEMMs)
+/// and dense layers; costs everything else by volume.
+///
+/// The name is historical — the trait predates the operator-generic
+/// [`OpSpec`] model. Vendor baselines only implement the conv and dense
+/// hooks; the GEMM hook has a default that reuses their convolution cost
+/// model, while [`UnitProvider`] compiles GEMMs through the real pipeline.
 pub trait ConvProvider {
     /// Name shown in reports.
     fn name(&self) -> &str;
 
     /// Latency of one convolution in microseconds, plus a note.
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String);
+
+    /// Latency of one (batched) GEMM in microseconds, plus a note.
+    ///
+    /// Default: model the GEMM as its equivalent 1x1 convolution (`m`
+    /// spatial positions, `k` input / `n` output channels) through the
+    /// provider's own convolution cost model, scaled to the exact MAC
+    /// count and batch — vendor libraries dispatch both through the same
+    /// inner-product kernels, so this keeps the baselines meaningful
+    /// without per-library GEMM tables.
+    fn gemm_micros(&self, m: i64, n: i64, k: i64, batch: i64) -> (f64, String) {
+        let ihw = ((m as f64).sqrt().ceil() as i64).max(1);
+        let spec = ConvSpec::new_2d(k, ihw, n, 1, 1, 0);
+        let (us, note) = self.conv_micros(&spec);
+        let scale = (batch * m) as f64 / (ihw * ihw) as f64;
+        (us * scale, note)
+    }
+
+    /// Latency of any [`OpSpec`] workload: dispatches conv-family specs to
+    /// [`ConvProvider::conv_micros`] and GEMMs to
+    /// [`ConvProvider::gemm_micros`].
+    fn op_micros(&self, spec: &OpSpec) -> (f64, String) {
+        match spec {
+            OpSpec::Conv(c) | OpSpec::GroupedConv { conv: c, .. } => self.conv_micros(c),
+            OpSpec::Gemm { m, n, k, batch } => self.gemm_micros(*m, *n, *k, *batch),
+        }
+    }
 
     /// Latency of a dense layer in microseconds.
     fn dense_micros(&self, in_features: i64, units: i64) -> f64;
@@ -149,6 +188,12 @@ pub fn e2e_latency(graph: &Graph, provider: &dyn ConvProvider) -> E2eReport {
                 let (us, note) = provider.conv_micros(spec);
                 (us, note)
             }
+            OpKind::Gemm { m, n, k, batch } => provider.op_micros(&OpSpec::Gemm {
+                m: *m,
+                n: *n,
+                k: *k,
+                batch: *batch,
+            }),
             OpKind::Dense { units } => {
                 let in_features = shapes[node.inputs[0].0 as usize].elems();
                 (provider.dense_micros(in_features, *units), String::new())
@@ -189,10 +234,27 @@ pub fn compile_graph(graph: &Graph, target: Target, tuning: TuningConfig) -> E2e
     e2e_latency(graph, &provider)
 }
 
-/// Deduplicated convolution workloads of a set of graphs, in first-seen
-/// topological order (CNNs repeat shapes heavily: resnet-18 has 20 convs
-/// but only ~11 unique workloads, so deduplicating before the fan-out is
-/// what keeps the parallel work list short).
+/// Deduplicated tensor workloads (convolutions *and* GEMMs) of a set of
+/// graphs, in first-seen topological order (models repeat shapes heavily:
+/// resnet-18 has 20 convs but only ~11 unique workloads, and a transformer
+/// block reuses one projection GEMM shape four times, so deduplicating
+/// before the fan-out is what keeps the parallel work list short).
+#[must_use]
+pub fn unique_workloads(graphs: &[&Graph]) -> Vec<OpSpec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for g in graphs {
+        for spec in g.op_workloads() {
+            if seen.insert(spec) {
+                out.push(spec);
+            }
+        }
+    }
+    out
+}
+
+/// Deduplicated convolution workloads only (the historical entry point;
+/// the ablation figures are phrased in `ConvSpec`).
 #[must_use]
 pub fn unique_conv_workloads(graphs: &[&Graph]) -> Vec<ConvSpec> {
     let mut seen = std::collections::HashSet::new();
@@ -244,11 +306,11 @@ pub fn compile_models_parallel(
     graphs.iter().map(|g| e2e_latency(g, &provider)).collect()
 }
 
-/// Fan the unique convolution workloads of `graphs` out across `workers`
+/// Fan the unique tensor workloads of `graphs` out across `workers`
 /// threads, filling the provider's kernel cache.
 fn warm_kernel_cache(provider: &UnitProvider, graphs: &[&Graph], workers: usize) {
-    let specs = unique_conv_workloads(graphs);
-    let _ = parallel_map(&specs, workers, |_, spec| provider.conv_micros(spec));
+    let specs = unique_workloads(graphs);
+    let _ = parallel_map(&specs, workers, |_, spec| provider.op_micros(spec));
 }
 
 /// Lower an op with the conventional SIMD schedule compilers produce when
@@ -354,11 +416,7 @@ impl UnitProvider {
     /// (lanes, reduction width, data dtype, weight dtype).
     #[must_use]
     pub fn conv_blocking(&self) -> (i64, i64, DType, DType) {
-        match self.target.platform {
-            Platform::X86Vnni => (16, 4, DType::U8, DType::I8),
-            Platform::ArmDot => (4, 4, DType::I8, DType::I8),
-            Platform::NvidiaTensorCore => (16, 16, DType::F16, DType::F16),
-        }
+        platform_blocking(self.target.platform)
     }
 
     fn clock_ghz(&self) -> f64 {
@@ -406,26 +464,16 @@ impl UnitProvider {
         }
     }
 
-    /// Compile one convolution through the full pipeline, bypassing the
-    /// cache (the cache fill path).
-    fn compile_conv_uncached(&self, spec: &ConvSpec) -> (f64, String) {
-        let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
+    /// Compile one workload through the full pipeline, bypassing the
+    /// cache (the cache fill path). The lowering dispatch lives in
+    /// [`op_for_platform`] and is shared with the differential test
+    /// matrix; depthwise workloads (rejected by the Inspector) go straight
+    /// to the fallback.
+    fn compile_op_uncached(&self, spec: &OpSpec) -> (f64, String) {
+        let (op, hint) = op_for_platform(spec, self.target.platform);
         if spec.is_depthwise() {
-            let op = depthwise_conv_op(spec, ddt);
             return self.fallback_micros(&op);
         }
-        let (op, hint) = match self.target.platform {
-            Platform::NvidiaTensorCore => (
-                conv_gemm_f16(spec),
-                Some(unit_core::tuner::ConvGpuHint {
-                    oh: spec.oh(),
-                    ow: spec.ow(),
-                    channels: spec.c,
-                }),
-            ),
-            _ if spec.is_3d() => (blocked_conv3d(spec, lanes, rwidth, ddt, wdt), None),
-            _ => (blocked_conv2d(spec, lanes, rwidth, ddt, wdt), None),
-        };
         match Tensorizer::new(self.target.clone())
             .with_tuning(self.tuning)
             .with_workers(self.workers)
@@ -446,9 +494,19 @@ impl ConvProvider for UnitProvider {
     }
 
     fn conv_micros(&self, spec: &ConvSpec) -> (f64, String) {
+        self.op_micros(&OpSpec::from_conv(*spec))
+    }
+
+    fn gemm_micros(&self, m: i64, n: i64, k: i64, batch: i64) -> (f64, String) {
+        // Unlike the vendor default, UNIT compiles GEMMs through the real
+        // Inspector/Rewriter/Tuner pipeline.
+        self.op_micros(&OpSpec::batched_gemm(batch, m, n, k))
+    }
+
+    fn op_micros(&self, spec: &OpSpec) -> (f64, String) {
         let key = KernelCacheKey::new(*spec, self.target.platform, self.tuning);
         self.cache
-            .get_or_insert_with(key, || self.compile_conv_uncached(spec))
+            .get_or_insert_with(key, || self.compile_op_uncached(spec))
     }
 
     fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
@@ -584,6 +642,101 @@ mod tests {
         };
         assert_ne!(fixed(500, 4), fixed(3000, 4));
         assert_ne!(fixed(3000, 4), fixed(3000, 8));
+    }
+
+    #[test]
+    fn kernel_cache_keys_distinguish_gemm_from_conv_with_equal_macs() {
+        // Regression (extends the PR-2 collision tests): a 1x1 conv over
+        // 4x4 spatial positions with 16x16 channels and a 16x16x16 GEMM
+        // both count 4096 MACs. The OpSpec variant is part of the key, so
+        // they can never share a cache entry.
+        let conv = OpSpec::conv2d(16, 4, 16, 1, 1, 0);
+        let gemm = OpSpec::gemm(16, 16, 16);
+        assert_eq!(conv.macs(), gemm.macs(), "the trap requires equal MACs");
+        let tuning = TuningConfig::default();
+        let key = |spec| KernelCacheKey::new(spec, Platform::X86Vnni, tuning);
+        assert_ne!(key(conv), key(gemm));
+        // Batch is part of the GEMM identity too: a bmm with the same
+        // total MACs is a different kernel.
+        assert_ne!(
+            key(OpSpec::batched_gemm(4, 16, 16, 4)),
+            key(OpSpec::gemm(16, 16, 16))
+        );
+        // And grouped convs are distinct from the dense conv of the same
+        // geometry (the groups live in the key explicitly).
+        assert_ne!(
+            key(OpSpec::grouped(16, 4, 16, 1, 1, 0, 4)),
+            key(OpSpec::conv2d(16, 4, 16, 1, 1, 0))
+        );
+    }
+
+    #[test]
+    fn gemm_and_conv_kernels_coexist_in_one_cache() {
+        // Behaviorally: one provider compiles both families; each gets its
+        // own entry and its own tensorized kernel.
+        let provider = UnitProvider::new(
+            Target::x86_avx512_vnni(),
+            TuningConfig {
+                cpu: CpuTuneMode::ParallelUnroll,
+                gpu: GpuTuneMode::Generic,
+            },
+        );
+        let conv = ConvSpec::new_2d(16, 4, 16, 1, 1, 0);
+        let (_, conv_note) = provider.conv_micros(&conv);
+        let (_, gemm_note) = provider.gemm_micros(16, 16, 16, 1);
+        assert_eq!(provider.cache().len(), 2, "one entry per workload kind");
+        assert!(conv_note.contains("vpdpbusd"), "conv note: {conv_note}");
+        assert!(gemm_note.contains("vpdpbusd"), "gemm note: {gemm_note}");
+    }
+
+    #[test]
+    fn transformer_block_compiles_on_all_three_platforms() {
+        use crate::models::{transformer_tiny, TRANSFORMER_TINY_UNIQUE_GEMMS};
+        let g = transformer_tiny();
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        for (target, instr) in [
+            (Target::x86_avx512_vnni(), "vpdpbusd"),
+            (Target::arm_neon_dot(), "dot"),
+            (Target::nvidia_tensor_core(), "wmma"),
+        ] {
+            let provider = UnitProvider::new(target.clone(), tuning);
+            let report = e2e_latency(&g, &provider);
+            assert!(report.total_ms > 0.0, "{}", provider.name());
+            // Every GEMM node (8 per block) tensorizes on every platform.
+            let tensorized = report
+                .layers
+                .iter()
+                .filter(|l| l.note.contains(instr))
+                .count();
+            assert_eq!(
+                tensorized, 8,
+                "{:?}: {} layers tensorized with {instr}",
+                target.platform, tensorized
+            );
+            // The cache holds exactly the unique GEMM workloads, all of
+            // them Gemm-variant keys (cache-distinct from any conv).
+            assert_eq!(provider.cache().len(), TRANSFORMER_TINY_UNIQUE_GEMMS);
+        }
+    }
+
+    #[test]
+    fn transformer_parallel_compilation_matches_serial() {
+        use crate::models::transformer_tiny;
+        let g = transformer_tiny();
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let serial = compile_graph(&g, Target::x86_avx512_vnni(), tuning);
+        let parallel = compile_model_parallel(&g, Target::x86_avx512_vnni(), tuning, 8);
+        assert_eq!(serial.total_ms, parallel.total_ms);
+        for (s, p) in serial.layers.iter().zip(&parallel.layers) {
+            assert_eq!(s.micros, p.micros, "layer {} diverged", s.name);
+            assert_eq!(s.note, p.note);
+        }
     }
 
     #[test]

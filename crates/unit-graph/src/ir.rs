@@ -9,7 +9,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use unit_dsl::DType;
 
-use crate::workload::ConvSpec;
+use crate::workload::{ConvSpec, OpSpec};
 
 /// Identifier of a node within a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -62,6 +62,19 @@ pub enum OpKind {
     Input(TensorShape),
     /// 2D/3D (grouped) convolution.
     Conv(ConvSpec),
+    /// (Batched) matrix multiplication: `batch` instances of
+    /// `(m x k) * (k x n)` — projection layers at `batch == 1`,
+    /// attention matmuls at `batch == heads`.
+    Gemm {
+        /// Rows of the left operand (e.g. sequence length).
+        m: i64,
+        /// Output features.
+        n: i64,
+        /// Reduction depth.
+        k: i64,
+        /// Independent instances in one launch.
+        batch: i64,
+    },
     /// Fully connected layer: `units` outputs from a flattened input.
     Dense {
         /// Output feature count.
@@ -97,8 +110,10 @@ pub enum OpKind {
     GlobalAvgPool,
     /// Flatten to a vector.
     Flatten,
-    /// Softmax over the class vector.
+    /// Softmax over the class vector (or attention scores).
     Softmax,
+    /// Layer normalization (memory-bound, costed by data volume).
+    LayerNorm,
     /// fp32 -> quantized int8 domain entry.
     Quantize,
     /// Quantized -> fp32 domain exit.
@@ -155,6 +170,26 @@ impl Graph {
             .collect()
     }
 
+    /// Every tensorizable workload (convolution *and* GEMM) in the graph,
+    /// in topological order, normalized into the explicit [`OpSpec`]
+    /// model. This is what the graph compiler deduplicates and fans out.
+    #[must_use]
+    pub fn op_workloads(&self) -> Vec<OpSpec> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                OpKind::Conv(spec) => Some(OpSpec::from_conv(*spec)),
+                OpKind::Gemm { m, n, k, batch } => Some(OpSpec::Gemm {
+                    m: *m,
+                    n: *n,
+                    k: *k,
+                    batch: *batch,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Infer the output shape of every node.
     ///
     /// # Panics
@@ -179,6 +214,20 @@ impl Graph {
                             w.ohw(),
                             shapes[node.inputs[0].0 as usize].dtype.accumulator(),
                         )
+                    }
+                }
+                OpKind::Gemm { m, n, batch, .. } => {
+                    let dtype = shapes[node.inputs[0].0 as usize].dtype.accumulator();
+                    if *batch == 1 {
+                        TensorShape {
+                            dims: vec![*m, *n],
+                            dtype,
+                        }
+                    } else {
+                        TensorShape {
+                            dims: vec![*batch, *m, *n],
+                            dtype,
+                        }
                     }
                 }
                 OpKind::Dense { units } => TensorShape {
@@ -230,7 +279,7 @@ impl Graph {
                         dtype: input.dtype,
                     }
                 }
-                OpKind::Softmax => shapes[node.inputs[0].0 as usize].clone(),
+                OpKind::Softmax | OpKind::LayerNorm => shapes[node.inputs[0].0 as usize].clone(),
             };
             shapes.push(shape);
         }
@@ -245,6 +294,7 @@ impl Graph {
             .iter()
             .map(|n| match &n.op {
                 OpKind::Conv(w) => w.macs(),
+                OpKind::Gemm { m, n, k, batch } => batch * m * n * k,
                 OpKind::Dense { units } => units * shapes[n.inputs[0].0 as usize].elems(),
                 _ => 0,
             })
@@ -294,6 +344,24 @@ impl GraphBuilder {
         let c = self.add(OpKind::Conv(spec), &[input], format!("{name}_conv"));
         let b = self.add(OpKind::BiasAdd, &[c], format!("{name}_bias"));
         self.add(OpKind::Relu, &[b], format!("{name}_relu"))
+    }
+
+    /// Append a (batched) GEMM node `(m x k) * (k x n)` over `inputs`.
+    pub fn gemm(
+        &mut self,
+        (m, n, k): (i64, i64, i64),
+        batch: i64,
+        inputs: &[NodeId],
+        name: impl Into<String>,
+    ) -> NodeId {
+        self.add(OpKind::Gemm { m, n, k, batch }, inputs, name)
+    }
+
+    /// Append `gemm -> bias_add` (a projection layer) and return the bias
+    /// node.
+    pub fn gemm_bias(&mut self, (m, n, k): (i64, i64, i64), input: NodeId, name: &str) -> NodeId {
+        let g = self.gemm((m, n, k), 1, &[input], format!("{name}_gemm"));
+        self.add(OpKind::BiasAdd, &[g], format!("{name}_bias"))
     }
 
     /// Finish with the given output node.
@@ -349,6 +417,61 @@ mod tests {
         let graph = b.finish(cat);
         let shapes = graph.infer_shapes();
         assert_eq!(shapes[cat.0 as usize].dims, vec![48, 14, 14]);
+    }
+
+    #[test]
+    fn gemm_nodes_infer_shapes_and_workloads() {
+        use crate::workload::OpSpec;
+        let mut b = GraphBuilder::new("gemms");
+        let input = b.add(
+            OpKind::Input(TensorShape {
+                dims: vec![64, 128],
+                dtype: DType::F32,
+            }),
+            &[],
+            "tokens",
+        );
+        let q = b.add(OpKind::Quantize, &[input], "q");
+        let proj = b.gemm_bias((64, 128, 128), q, "proj");
+        let scores = b.gemm((64, 64, 16), 8, &[proj, proj], "scores");
+        let sm = b.add(OpKind::Softmax, &[scores], "sm");
+        let ln = b.add(OpKind::LayerNorm, &[sm], "ln");
+        let g = b.finish(ln);
+        let shapes = g.infer_shapes();
+        // batch == 1 GEMM: 2D output; batched: leading batch dim.
+        assert_eq!(shapes[(proj.0 - 1) as usize].dims, vec![64, 128]);
+        assert_eq!(shapes[scores.0 as usize].dims, vec![8, 64, 64]);
+        assert_eq!(shapes[ln.0 as usize].dims, vec![8, 64, 64]);
+        // Workloads surface as normalized OpSpecs, in topological order.
+        assert_eq!(
+            g.op_workloads(),
+            vec![
+                OpSpec::gemm(64, 128, 128),
+                OpSpec::batched_gemm(8, 64, 64, 16)
+            ]
+        );
+        assert!(g.conv_workloads().is_empty());
+        assert_eq!(g.total_macs(), 64 * 128 * 128 + 8 * 64 * 64 * 16);
+    }
+
+    #[test]
+    fn op_workloads_normalize_conv_groups() {
+        use crate::workload::OpSpec;
+        let mut b = GraphBuilder::new("mixed");
+        let input = b.add(
+            OpKind::Input(TensorShape::chw(8, 16, 16, DType::U8)),
+            &[],
+            "data",
+        );
+        #[allow(deprecated)]
+        let dw = b.conv_bn_relu(ConvSpec::depthwise(8, 16, 3, 1, 1), input, "dw");
+        let pw = b.conv_bn_relu(ConvSpec::new_2d(8, 16, 16, 1, 1, 0), dw, "pw");
+        let g = b.finish(pw);
+        let w = g.op_workloads();
+        assert_eq!(w.len(), 2);
+        assert!(w[0].is_depthwise());
+        assert_eq!(w[0], OpSpec::depthwise(8, 16, 3, 1, 1));
+        assert!(matches!(w[1], OpSpec::Conv(_)));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! the block sizes at graph level, so every tensorized loop tiles exactly
 //! (no residue guards inside the hot nest).
 
+use unit_core::tuner::ConvGpuHint;
 use unit_dsl::{ComputeOp, DType, InitExpr, OpBuilder};
+use unit_isa::Platform;
 
-use crate::workload::ConvSpec;
+use crate::workload::{ConvSpec, OpSpec};
 
 /// Round `v` up to a multiple of `block`.
 #[must_use]
@@ -266,6 +268,246 @@ pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
     )
 }
 
+/// A quantized blocked *grouped* 2D convolution: `groups` independent
+/// convolutions over `c/groups` input and `k/groups` output channels each,
+/// with the group index as an outer data-parallel axis. The inner
+/// reduction nest is identical to [`blocked_conv2d`]'s, so the same
+/// dot-product instructions apply per group — no Inspector changes needed
+/// (groups with very few channels per group simply pay more padding).
+///
+/// # Panics
+///
+/// Panics for depthwise specs (no channel reduction survives; use
+/// [`depthwise_conv_op`]) and for 3D or non-divisible geometries.
+#[must_use]
+pub fn blocked_grouped_conv2d(
+    spec: &ConvSpec,
+    groups: i64,
+    lanes: i64,
+    rwidth: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    assert!(groups > 1, "use blocked_conv2d for dense layers");
+    assert!(
+        !(groups == spec.c && spec.k == spec.c),
+        "use depthwise_conv_op for depthwise layers"
+    );
+    assert!(!spec.is_3d(), "grouped 3D convolutions are not modeled");
+    assert_eq!(spec.c % groups, 0, "groups must divide input channels");
+    assert_eq!(spec.k % groups, 0, "groups must divide output channels");
+    let cg = spec.c / groups;
+    let kg = spec.k / groups;
+    let cb = round_up(cg, rwidth) / rwidth;
+    let kb = round_up(kg, lanes) / lanes;
+    let ih = spec.ihw + 2 * spec.pad;
+    let iw = spec.ihw + 2 * spec.pad_w;
+    let acc = data_dtype.accumulator();
+
+    let mut b = OpBuilder::new(format!(
+        "grouped_conv2d_g{}c{}hw{}k{}r{}s{}",
+        groups, spec.c, spec.ihw, spec.k, spec.r, spec.stride
+    ));
+    let data = b.tensor("data", &[groups, cb, ih, iw, rwidth], data_dtype);
+    let weight = b.tensor(
+        "weight",
+        &[groups, kb, cb, spec.r, spec.rw, lanes, rwidth],
+        weight_dtype,
+    );
+    let g = b.axis("g", groups);
+    let ko = b.axis("ko", kb);
+    let x = b.axis("x", spec.oh());
+    let y = b.axis("y", spec.ow());
+    let ki = b.axis("ki", lanes);
+    let co = b.reduce_axis("co", cb);
+    let r = b.reduce_axis("r", spec.r);
+    let s = b.reduce_axis("s", spec.rw);
+    let ci = b.reduce_axis("ci", rwidth);
+    let elem = b
+        .load(
+            data,
+            vec![
+                g.into(),
+                co.into(),
+                (x * spec.stride + r),
+                (y * spec.stride + s),
+                ci.into(),
+            ],
+        )
+        .cast(acc)
+        * b.load(
+            weight,
+            vec![
+                g.into(),
+                ko.into(),
+                co.into(),
+                r.into(),
+                s.into(),
+                ki.into(),
+                ci.into(),
+            ],
+        )
+        .cast(acc);
+    b.compute(
+        "out",
+        acc,
+        vec![g.into(), ko.into(), x.into(), y.into(), ki.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// A quantized blocked (batched) GEMM in the CPU dot-product convention:
+/// `out[b, i, no, ni] += acc(data[b, i, co, ci]) * acc(weight[b, no, co, ni, ci])`.
+/// Same `[lanes]`-output / `[rwidth]`-reduction blocking as
+/// [`blocked_dense`], with the row (`m`) and batch dimensions as extra
+/// outer data-parallel loops — the reduction nest the Inspector matches is
+/// unchanged, which is the operator-agnosticism claim in practice.
+#[allow(clippy::too_many_arguments)] // shape quad + blocking quad, like the conv builders
+#[must_use]
+pub fn blocked_gemm(
+    m: i64,
+    n: i64,
+    k: i64,
+    batch: i64,
+    lanes: i64,
+    rwidth: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    let cb = round_up(k, rwidth) / rwidth;
+    let nb = round_up(n, lanes) / lanes;
+    let acc = data_dtype.accumulator();
+    let mut b = OpBuilder::new(format!("gemm_b{batch}m{m}n{n}k{k}"));
+    let data = b.tensor("data", &[batch, m, cb, rwidth], data_dtype);
+    let weight = b.tensor("weight", &[batch, nb, cb, lanes, rwidth], weight_dtype);
+    let bb = b.axis("b", batch);
+    let i = b.axis("i", m);
+    let no = b.axis("no", nb);
+    let ni = b.axis("ni", lanes);
+    let co = b.reduce_axis("co", cb);
+    let ci = b.reduce_axis("ci", rwidth);
+    let elem = b
+        .load(data, vec![bb.into(), i.into(), co.into(), ci.into()])
+        .cast(acc)
+        * b.load(
+            weight,
+            vec![bb.into(), no.into(), co.into(), ni.into(), ci.into()],
+        )
+        .cast(acc);
+    b.compute(
+        "out",
+        acc,
+        vec![bb.into(), i.into(), no.into(), ni.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+fn batched_gemm_f16_named(name: String, batch: i64, m: i64, n: i64, k: i64) -> ComputeOp {
+    let rows = round_up(m, 16);
+    let cols = round_up(n, 16);
+    let red = round_up(k, 16);
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[batch, rows, red], DType::F16);
+    let w = b.tensor("w", &[batch, red, cols], DType::F16);
+    let bb = b.axis("b", batch);
+    let i = b.axis("i", rows);
+    let j = b.axis("j", cols);
+    let kk = b.reduce_axis("k", red);
+    let elem = b
+        .load(a, vec![bb.into(), i.into(), kk.into()])
+        .cast(DType::F32)
+        * b.load(w, vec![bb.into(), kk.into(), j.into()])
+            .cast(DType::F32);
+    b.compute(
+        "out",
+        DType::F32,
+        vec![bb.into(), i.into(), j.into()],
+        InitExpr::Identity,
+        elem,
+    )
+}
+
+/// An fp16 (batched) GEMM with dimensions padded to the `16x16x16` Tensor
+/// Core tile — the GPU lowering of [`OpSpec::Gemm`]. The batch dimension
+/// is an extra outer data-parallel axis over the same `wmma` tile nest.
+#[must_use]
+pub fn gemm_f16(m: i64, n: i64, k: i64, batch: i64) -> ComputeOp {
+    batched_gemm_f16_named(format!("gemm_f16_b{batch}m{m}n{n}k{k}"), batch, m, n, k)
+}
+
+/// A grouped convolution as batched implicit GEMM (the Tensor Core path):
+/// one GEMM instance per group, rows the `OH*OW` image positions, columns
+/// the per-group output channels, reduction over `(C/groups)*R*S`.
+#[must_use]
+pub fn grouped_conv_gemm_f16(spec: &ConvSpec, groups: i64) -> ComputeOp {
+    assert_eq!(spec.c % groups, 0, "groups must divide input channels");
+    assert_eq!(spec.k % groups, 0, "groups must divide output channels");
+    batched_gemm_f16_named(
+        format!(
+            "grouped_conv_gemm_g{}c{}hw{}k{}r{}",
+            groups, spec.c, spec.ihw, spec.k, spec.r
+        ),
+        groups,
+        spec.oh() * spec.ow(),
+        spec.k / groups,
+        (spec.c / groups) * spec.r * spec.rw,
+    )
+}
+
+/// Quantization convention of a platform: `(lanes, reduction width, data
+/// dtype, weight dtype)`. This is the single source of truth shared by the
+/// graph compiler and the differential test matrix.
+#[must_use]
+pub fn platform_blocking(platform: Platform) -> (i64, i64, DType, DType) {
+    match platform {
+        Platform::X86Vnni => (16, 4, DType::U8, DType::I8),
+        Platform::ArmDot => (4, 4, DType::I8, DType::I8),
+        Platform::NvidiaTensorCore => (16, 16, DType::F16, DType::F16),
+    }
+}
+
+/// Lower an [`OpSpec`] to the platform's blocked `ComputeOp`, plus the
+/// convolution-structure hint the GPU tuner wants where one exists.
+///
+/// This is the operator dispatch the whole pipeline shares: the
+/// `UnitProvider` compiles exactly what this returns, and the differential
+/// matrix replays the same lowering against the reference interpreter.
+/// Depthwise workloads return the scalar [`depthwise_conv_op`] — the
+/// Inspector rejects them (no channel reduction), sending providers to the
+/// SIMD/CUDA fallback.
+#[must_use]
+pub fn op_for_platform(spec: &OpSpec, platform: Platform) -> (ComputeOp, Option<ConvGpuHint>) {
+    let (lanes, rwidth, ddt, wdt) = platform_blocking(platform);
+    let gpu = platform == Platform::NvidiaTensorCore;
+    match spec {
+        OpSpec::Conv(c) if gpu => (
+            conv_gemm_f16(c),
+            Some(ConvGpuHint {
+                oh: c.oh(),
+                ow: c.ow(),
+                channels: c.c,
+            }),
+        ),
+        OpSpec::Conv(c) if c.is_3d() => (blocked_conv3d(c, lanes, rwidth, ddt, wdt), None),
+        OpSpec::Conv(c) => (blocked_conv2d(c, lanes, rwidth, ddt, wdt), None),
+        OpSpec::GroupedConv { conv, .. } if spec.is_depthwise() => {
+            (depthwise_conv_op(conv, ddt), None)
+        }
+        OpSpec::GroupedConv { conv, groups } if gpu => (grouped_conv_gemm_f16(conv, *groups), None),
+        OpSpec::GroupedConv { conv, groups } => (
+            blocked_grouped_conv2d(conv, *groups, lanes, rwidth, ddt, wdt),
+            None,
+        ),
+        OpSpec::Gemm { m, n, k, batch } if gpu => (gemm_f16(*m, *n, *k, *batch), None),
+        OpSpec::Gemm { m, n, k, batch } => (
+            blocked_gemm(*m, *n, *k, *batch, lanes, rwidth, ddt, wdt),
+            None,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,10 +546,122 @@ mod tests {
 
     #[test]
     fn depthwise_is_rejected_by_the_inspector() {
+        #[allow(deprecated)]
         let spec = ConvSpec::depthwise(64, 14, 3, 1, 1);
         let op = depthwise_conv_op(&spec, DType::U8);
         let t = Tensorizer::new(Target::x86_avx512_vnni());
         assert!(t.inspect(&op).is_err());
+    }
+
+    #[test]
+    fn blocked_gemm_tensorizes_with_vnni() {
+        let op = blocked_gemm(64, 128, 128, 1, 16, 4, DType::U8, DType::I8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        let (intrin, m) = t.inspect(&op).unwrap();
+        assert_eq!(intrin.name, "llvm.x86.avx512.vpdpbusd.512");
+        // Same mapping shape as the blocked conv: ni -> lanes, ci -> groups.
+        let names: Vec<String> = m
+            .mapping
+            .iter()
+            .map(|(a, _)| op.axis(*a).unwrap().name.clone())
+            .collect();
+        assert_eq!(names, vec!["ni", "ci"]);
+    }
+
+    #[test]
+    fn batched_gemm_tensorizes_on_every_platform() {
+        // The batch axis is just one more outer data-parallel loop; no
+        // Inspector special case exists for it (the operator-agnosticism
+        // claim).
+        let cpu = blocked_gemm(8, 16, 32, 4, 16, 4, DType::U8, DType::I8);
+        assert!(Tensorizer::new(Target::x86_avx512_vnni())
+            .inspect(&cpu)
+            .is_ok());
+        let arm = blocked_gemm(8, 16, 32, 4, 4, 4, DType::I8, DType::I8);
+        assert!(Tensorizer::new(Target::arm_neon_dot())
+            .inspect(&arm)
+            .is_ok());
+        let gpu = gemm_f16(48, 32, 64, 4);
+        let (intrin, _) = Tensorizer::new(Target::nvidia_tensor_core())
+            .inspect(&gpu)
+            .unwrap();
+        assert!(intrin.name.contains("m16n16k16"));
+    }
+
+    #[test]
+    fn grouped_conv_tensorizes_per_group() {
+        let spec = OpSpec::grouped(32, 8, 32, 3, 1, 1, 4);
+        let conv = *spec.conv().unwrap();
+        let op = blocked_grouped_conv2d(&conv, 4, 16, 4, DType::U8, DType::I8);
+        let t = Tensorizer::new(Target::x86_avx512_vnni());
+        assert!(t.inspect(&op).is_ok(), "grouped conv keeps the dot nest");
+    }
+
+    #[test]
+    fn depth_multiplier_conv_lowers_grouped_and_matches_reference() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        // groups == c with k == 2c: not depthwise, so it must take the
+        // grouped blocked path (one padded input channel per group) and
+        // compute all 2c output channels exactly.
+        let spec = OpSpec::grouped(4, 5, 8, 3, 1, 1, 4);
+        assert!(!spec.is_depthwise());
+        let (op, hint) = op_for_platform(&spec, Platform::X86Vnni);
+        assert!(op.name.starts_with("grouped_conv2d"), "got {}", op.name);
+        assert!(hint.is_none());
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .expect("depth-multiplier conv tensorizes via padding");
+        let mut bufs = alloc_buffers(&k.func);
+        random_fill(&mut bufs, 123);
+        let mut reference = bufs.clone();
+        run(&k.func, &mut bufs).unwrap();
+        run_reference(&op, &mut reference).unwrap();
+        assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
+    }
+
+    #[test]
+    fn op_for_platform_dispatches_every_variant() {
+        use unit_isa::Platform;
+        let variants = [
+            OpSpec::conv2d(8, 6, 16, 3, 1, 1),
+            OpSpec::conv3d(4, 4, 3, 8, 3, 1, 1),
+            OpSpec::grouped(8, 6, 8, 3, 1, 1, 2),
+            OpSpec::depthwise(8, 6, 3, 1, 1),
+            OpSpec::gemm(8, 16, 32),
+            OpSpec::batched_gemm(2, 8, 16, 32),
+        ];
+        for platform in [
+            Platform::X86Vnni,
+            Platform::ArmDot,
+            Platform::NvidiaTensorCore,
+        ] {
+            for spec in &variants {
+                let (op, hint) = op_for_platform(spec, platform);
+                assert!(op.mac_count() > 0, "{} on {platform:?}", op.name);
+                // Only the dense-conv GPU path needs the structure hint.
+                assert_eq!(
+                    hint.is_some(),
+                    platform == Platform::NvidiaTensorCore && matches!(spec, OpSpec::Conv(_)),
+                    "{} on {platform:?}",
+                    op.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_correctness_via_full_pipeline() {
+        use unit_interp::{alloc_buffers, random_fill, run, run_reference};
+        let op = blocked_gemm(4, 8, 12, 2, 16, 4, DType::U8, DType::I8);
+        let k = Tensorizer::new(Target::x86_avx512_vnni())
+            .compile(&op)
+            .unwrap();
+        let mut bufs = alloc_buffers(&k.func);
+        random_fill(&mut bufs, 9);
+        let mut reference = bufs.clone();
+        run(&k.func, &mut bufs).unwrap();
+        run_reference(&op, &mut reference).unwrap();
+        assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //! instruction perfectly", Section II-C).
 //!
 //! * [`ir`] — a Relay-like operator DAG with type inference.
+//! * [`workload`] — the operator-generic [`workload::OpSpec`] model
+//!   (dense/grouped conv, batched GEMM) the compiler, cache and tests are
+//!   phrased in.
 //! * [`passes`] — quantization, channel padding, conv+bias+relu fusion.
-//! * [`layout`] — blocked-layout convolution/dense `ComputeOp` builders
-//!   (the bridge from graph level to the tensor DSL).
+//! * [`layout`] — blocked-layout convolution/GEMM/dense `ComputeOp`
+//!   builders (the bridge from graph level to the tensor DSL), including
+//!   the per-platform [`layout::op_for_platform`] dispatch.
 //! * [`models`] — the nine CNNs of the evaluation (resnet-18/50/50-v1b/
-//!   101/152, inception-bn/v3, mobilenet-v1/v2) plus the conv3d variant of
-//!   resnet-18 used by Figure 13.
+//!   101/152, inception-bn/v3, mobilenet-v1/v2), the conv3d variant of
+//!   resnet-18 used by Figure 13, and a GEMM-built transformer encoder.
 //! * [`compile`] — the graph compiler: per-layer UNIT invocation with a
 //!   kernel cache, memory-bound cost for elementwise/pooling ops, and
 //!   end-to-end latency aggregation.
@@ -43,8 +47,8 @@ pub mod workload;
 
 pub use cache::ShardedCache;
 pub use compile::{
-    compile_graph, compile_model_parallel, compile_models_parallel, E2eReport, KernelCacheKey,
-    LayerLatency,
+    compile_graph, compile_model_parallel, compile_models_parallel, unique_workloads, E2eReport,
+    KernelCacheKey, LayerLatency,
 };
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind, TensorShape};
-pub use workload::ConvSpec;
+pub use workload::{ConvSpec, OpSpec};

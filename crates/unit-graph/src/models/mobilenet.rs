@@ -10,6 +10,14 @@ use unit_dsl::DType;
 use crate::ir::{Graph, GraphBuilder, NodeId, OpKind, TensorShape};
 use crate::workload::ConvSpec;
 
+/// Graph nodes store `ConvSpec`, so the depthwise layers still go through
+/// the compat constructor; the workload layer normalizes them to the
+/// explicit `OpSpec::GroupedConv` model.
+#[allow(deprecated)]
+fn depthwise_3x3(c: i64, hw: i64, stride: i64) -> ConvSpec {
+    ConvSpec::depthwise(c, hw, 3, stride, 1)
+}
+
 fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {
     let gap = b.add(OpKind::GlobalAvgPool, &[x], "global_pool");
     let flat = b.add(OpKind::Flatten, &[gap], "flatten");
@@ -48,11 +56,7 @@ pub fn mobilenet_v1() -> Graph {
         (1024, 1),
     ];
     for (i, (out_c, stride)) in pairs.into_iter().enumerate() {
-        let dw = b.conv_bn_relu(
-            ConvSpec::depthwise(c, hw, 3, stride, 1),
-            x,
-            &format!("dw{i}"),
-        );
+        let dw = b.conv_bn_relu(depthwise_3x3(c, hw, stride), x, &format!("dw{i}"));
         hw /= stride;
         x = b.conv_bn_relu(
             ConvSpec::new_2d(c, hw, out_c, 1, 1, 0),
@@ -104,7 +108,7 @@ pub fn mobilenet_v2() -> Graph {
                 x
             };
             let dw = b.conv_bn_relu(
-                ConvSpec::depthwise(hidden, hw, 3, stride, 1),
+                depthwise_3x3(hidden, hw, stride),
                 expanded,
                 &format!("{name}_dw"),
             );

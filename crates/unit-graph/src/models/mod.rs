@@ -1,14 +1,18 @@
-//! The model zoo of the paper's evaluation (Section V-C): nine CNNs from
-//! the MXNet model zoo, at batch size 1, plus the conv3d variant of
-//! resnet-18 used by the Figure 13 extensibility study.
+//! The model zoo: the nine CNNs of the paper's evaluation (Section V-C,
+//! MXNet model zoo, batch size 1), the conv3d variant of resnet-18 used
+//! by the Figure 13 extensibility study, and a GEMM-built transformer
+//! encoder ([`transformer_tiny`]) exercising the operator-generic
+//! workload model beyond convolutions.
 
 mod inception;
 mod mobilenet;
 mod resnet;
+mod transformer;
 
 pub use inception::{inception_bn, inception_v3};
 pub use mobilenet::{mobilenet_v1, mobilenet_v2};
 pub use resnet::{res18_3d_convs, resnet, resnet_v1b, ResnetDepth};
+pub use transformer::{transformer_encoder, transformer_tiny, TRANSFORMER_TINY_UNIQUE_GEMMS};
 
 use crate::ir::Graph;
 

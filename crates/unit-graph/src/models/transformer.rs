@@ -1,0 +1,140 @@
+//! A transformer encoder built from [`OpKind::Gemm`] nodes — the first
+//! non-CNN model in the zoo, and the proof that the operator-generic
+//! workload model carries the pipeline beyond convolutions.
+//!
+//! Each block is the standard pre-LN-free encoder: Q/K/V projections,
+//! batched `QK^T` attention scores (one GEMM instance per head), softmax,
+//! batched score-times-V, an output projection, and a two-GEMM FFN, with
+//! residual adds and layer norms as memory-bound glue. Every
+//! matrix-multiply lands on the same dot-product instructions the CNN
+//! layers use; nothing in the Inspector/Rewriter/Tuner knows it is
+//! compiling "attention".
+
+use unit_dsl::DType;
+
+use crate::ir::{Graph, GraphBuilder, OpKind, TensorShape};
+
+/// A transformer encoder: `blocks` stacked encoder blocks over a
+/// `seq x d_model` token matrix with `heads` attention heads and an
+/// `ffn`-wide feed-forward layer.
+///
+/// # Panics
+///
+/// Panics unless `heads` divides `d_model`.
+#[must_use]
+pub fn transformer_encoder(seq: i64, d_model: i64, heads: i64, ffn: i64, blocks: i64) -> Graph {
+    assert_eq!(d_model % heads, 0, "heads must divide d_model");
+    let d_head = d_model / heads;
+    let mut b = GraphBuilder::new(format!(
+        "transformer-s{seq}d{d_model}h{heads}f{ffn}x{blocks}"
+    ));
+    let input = b.add(
+        OpKind::Input(TensorShape {
+            dims: vec![seq, d_model],
+            dtype: DType::F32,
+        }),
+        &[],
+        "tokens",
+    );
+    let mut x = b.add(OpKind::Quantize, &[input], "quantize");
+    for blk in 0..blocks {
+        let name = format!("block{}", blk + 1);
+        let proj = (seq, d_model, d_model);
+        let q = b.gemm_bias(proj, x, &format!("{name}_q"));
+        let k = b.gemm_bias(proj, x, &format!("{name}_k"));
+        let v = b.gemm_bias(proj, x, &format!("{name}_v"));
+        // One GEMM instance per head: seq x seq scores over d_head.
+        let scores = b.gemm((seq, seq, d_head), heads, &[q, k], format!("{name}_scores"));
+        let probs = b.add(OpKind::Softmax, &[scores], format!("{name}_softmax"));
+        let attn = b.gemm(
+            (seq, d_head, seq),
+            heads,
+            &[probs, v],
+            format!("{name}_attn"),
+        );
+        let out = b.gemm_bias(proj, attn, &format!("{name}_out"));
+        let res1 = b.add(OpKind::Add, &[out, x], format!("{name}_res1"));
+        let ln1 = b.add(OpKind::LayerNorm, &[res1], format!("{name}_ln1"));
+        let f1 = b.gemm_bias((seq, ffn, d_model), ln1, &format!("{name}_ffn1"));
+        let act = b.add(OpKind::Relu, &[f1], format!("{name}_ffn_relu"));
+        let f2 = b.gemm_bias((seq, d_model, ffn), act, &format!("{name}_ffn2"));
+        let res2 = b.add(OpKind::Add, &[f2, ln1], format!("{name}_res2"));
+        x = b.add(OpKind::LayerNorm, &[res2], format!("{name}_ln2"));
+    }
+    let out = b.add(OpKind::Dequantize, &[x], "dequantize");
+    b.finish(out)
+}
+
+/// The CI-sized encoder: one block, 64 tokens, `d_model` 128, 4 heads,
+/// FFN 256 — small enough to compile end-to-end on every platform in the
+/// smoke suites, big enough that all five distinct GEMM shapes appear.
+#[must_use]
+pub fn transformer_tiny() -> Graph {
+    let mut g = transformer_encoder(64, 128, 4, 256, 1);
+    g.name = "transformer-tiny".to_string();
+    g
+}
+
+/// Nodes `transformer_tiny` relies on downstream (kept in sync with the
+/// builder): one attention GEMM workload per direction, four projection
+/// uses of one shape, two FFN shapes.
+pub const TRANSFORMER_TINY_UNIQUE_GEMMS: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::OpSpec;
+
+    #[test]
+    fn encoder_macs_match_the_closed_form() {
+        let (seq, d_model, heads, ffn) = (64, 128, 4, 256);
+        let g = transformer_encoder(seq, d_model, heads, ffn, 1);
+        // 4 projections + QK^T + scores*V + 2 FFN GEMMs.
+        let expect =
+            4 * seq * d_model * d_model + 2 * seq * seq * d_model + 2 * seq * d_model * ffn;
+        assert_eq!(g.total_macs(), expect);
+        // Two blocks double it.
+        let g2 = transformer_encoder(seq, d_model, heads, ffn, 2);
+        assert_eq!(g2.total_macs(), 2 * expect);
+    }
+
+    #[test]
+    fn tiny_encoder_has_five_unique_gemm_workloads() {
+        let g = transformer_tiny();
+        assert!(g.conv_workloads().is_empty(), "no convolutions anywhere");
+        let all = g.op_workloads();
+        assert_eq!(all.len(), 8, "8 GEMM nodes per block");
+        let unique = crate::compile::unique_workloads(&[&g]);
+        assert_eq!(unique.len(), TRANSFORMER_TINY_UNIQUE_GEMMS);
+        assert!(unique.iter().all(|w| matches!(w, OpSpec::Gemm { .. })));
+        // The attention matmuls are batched per head.
+        assert_eq!(
+            unique
+                .iter()
+                .filter(|w| matches!(w, OpSpec::Gemm { batch, .. } if *batch == 4))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn shapes_flow_through_attention() {
+        let g = transformer_tiny();
+        let shapes = g.infer_shapes();
+        let scores = g
+            .nodes
+            .iter()
+            .find(|n| n.name == "block1_scores")
+            .expect("scores node exists");
+        assert_eq!(shapes[scores.id.0 as usize].dims, vec![4, 64, 64]);
+        let out = &shapes[g.output.0 as usize];
+        assert_eq!(out.dims, vec![64, 128]);
+        assert_eq!(out.dtype, DType::F32);
+    }
+
+    #[test]
+    fn heads_must_divide_d_model() {
+        let r = std::panic::catch_unwind(|| transformer_encoder(8, 30, 4, 16, 1));
+        assert!(r.is_err());
+    }
+}

@@ -38,9 +38,9 @@ pub fn quantize(graph: &Graph) -> Graph {
 }
 
 /// Operator fusion: `BiasAdd`, `Relu` and residual `Add` nodes whose first
-/// input is a convolution/dense (or an already-fused chain rooted at one)
-/// are folded into the producer kernel — they execute inside the epilogue
-/// of the tensorized kernel and cost nothing extra.
+/// input is a convolution/GEMM/dense (or an already-fused chain rooted at
+/// one) are folded into the producer kernel — they execute inside the
+/// epilogue of the tensorized kernel and cost nothing extra.
 #[must_use]
 pub fn fuse_elementwise(graph: &Graph) -> Graph {
     let mut out = graph.clone();
@@ -49,7 +49,9 @@ pub fn fuse_elementwise(graph: &Graph) -> Graph {
     for i in 0..out.nodes.len() {
         let node = &out.nodes[i];
         match &node.op {
-            OpKind::Conv(_) | OpKind::Dense { .. } => fusible_root[i] = true,
+            OpKind::Conv(_) | OpKind::Gemm { .. } | OpKind::Dense { .. } => {
+                fusible_root[i] = true;
+            }
             OpKind::BiasAdd | OpKind::Relu | OpKind::Add => {
                 let first = node.inputs[0].0 as usize;
                 if fusible_root[first] {

@@ -18,7 +18,7 @@
 use unit_core::inspector::inspect;
 use unit_core::rewriter::{build_tensorized_schedule, finalize};
 use unit_dsl::DType;
-use unit_graph::layout::blocked_conv2d;
+use unit_graph::layout::{blocked_conv2d, blocked_gemm};
 use unit_graph::ConvSpec;
 use unit_isa::registry;
 use unit_tir::lower::lower;
@@ -77,6 +77,49 @@ fn tensorized_conv_after_simplify_matches_snapshot() {
         "the finalized kernel must contain the injected instruction"
     );
     assert_golden("conv_tensorized_simplified", &text);
+}
+
+/// The GEMM snapshot workload: a small batched VNNI-blocked GEMM whose
+/// `n = 20` output features pad to two 16-lane blocks and whose `k = 10`
+/// reduction pads to three 4-wide groups — the operator-generic twin of
+/// the conv snapshot above.
+fn tensorized_gemm() -> (unit_dsl::ComputeOp, unit_core::rewriter::TensorizedSchedule) {
+    let op = blocked_gemm(4, 20, 10, 2, 16, 4, DType::U8, DType::I8);
+    let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").expect("VNNI is registered");
+    let m = inspect(&intrin, &op).expect("the snapshot GEMM tensorizes");
+    let ts = build_tensorized_schedule(&op, &m, &intrin).expect("rewriter succeeds");
+    (op, ts)
+}
+
+#[test]
+fn lowered_gemm_before_simplify_matches_snapshot() {
+    let (_, ts) = tensorized_gemm();
+    let func = lower(&ts.schedule, "gemm_snapshot").expect("lowers");
+    assert_golden("gemm_lowered", &print_func(&func));
+}
+
+#[test]
+fn tensorized_gemm_after_simplify_matches_snapshot() {
+    let (_, ts) = tensorized_gemm();
+    let func = finalize(&ts, "gemm_snapshot").expect("finalizes");
+    let text = print_func(&func);
+    assert!(
+        text.contains("vpdpbusd"),
+        "the finalized GEMM must contain the injected instruction"
+    );
+    assert_golden("gemm_tensorized_simplified", &text);
+}
+
+#[test]
+fn simplify_is_idempotent_on_the_snapshot_gemm() {
+    use unit_tir::passes::simplify::simplify;
+    let (_, ts) = tensorized_gemm();
+    let func = finalize(&ts, "gemm_snapshot").expect("finalizes");
+    assert_eq!(
+        print_func(&simplify(&func)),
+        print_func(&func),
+        "finalize already simplifies; a second pass must be a no-op"
+    );
 }
 
 #[test]

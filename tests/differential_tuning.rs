@@ -1,4 +1,5 @@
-//! Differential tests for the parallel compilation engine.
+//! Differential tests for the parallel compilation engine and the
+//! operator-generic workload model.
 //!
 //! Two properties are enforced over a grid of matmul/conv shapes on all
 //! three platforms (x86 VNNI, ARM DOT, NVIDIA Tensor Core):
@@ -11,6 +12,14 @@
 //!    estimate, same log — as the serial search, at every worker count.
 //!    This is the guard that keeps the candidates-to-optimum statistic of
 //!    Section VI-B meaningful when tuning runs multi-threaded.
+//!
+//! On top of the hand-picked grids, an **op × platform matrix**
+//! (`op_spec_matrix_*` below) replays every `OpSpec` variant — dense 2D
+//! conv, depthwise, grouped conv, 3D conv, GEMM, batched matmul — through
+//! the exact lowering the graph compiler uses (`op_for_platform`) on all
+//! three platforms, checking each compiled (or SIMD-fallback) kernel
+//! bit-identical against the reference interpreter and the parallel tuner
+//! against the serial one.
 
 use unit::dsl::builder::{matmul_f16, matmul_u8i8};
 use unit::dsl::{ComputeOp, DType};
@@ -20,9 +29,10 @@ use unit_core::inspector::inspect;
 use unit_core::tuner::{
     tune_cpu, tune_cpu_with_workers, tune_gpu, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode,
 };
-use unit_graph::layout::{blocked_conv2d, blocked_dense};
-use unit_graph::ConvSpec;
-use unit_isa::registry;
+use unit_graph::compile::simd_fallback_func;
+use unit_graph::layout::{blocked_conv2d, blocked_dense, op_for_platform};
+use unit_graph::{ConvSpec, OpSpec};
+use unit_isa::{registry, Platform};
 
 /// The CPU tuning stages of Figure 10, in ablation order.
 fn cpu_stages() -> Vec<CpuTuneMode> {
@@ -141,6 +151,189 @@ fn gpu_kernels_match_the_reference() {
                 bufs[op.output.0 as usize], reference[op.output.0 as usize],
                 "{} under {gpu:?} diverges",
                 op.name
+            );
+        }
+    }
+}
+
+/// One representative per `OpSpec` variant, sized for debug-mode
+/// interpretation. This is the row axis of the differential matrix; the
+/// column axis is the three platforms.
+fn op_spec_matrix() -> Vec<OpSpec> {
+    vec![
+        OpSpec::conv2d(8, 6, 16, 3, 1, 1),
+        OpSpec::depthwise(8, 6, 3, 1, 1),
+        OpSpec::grouped(8, 6, 8, 3, 1, 1, 2),
+        // groups == c with a 2x depth multiplier: grouped, NOT depthwise.
+        OpSpec::grouped(4, 5, 8, 3, 1, 1, 4),
+        OpSpec::conv3d(4, 4, 3, 8, 3, 1, 1),
+        OpSpec::gemm(6, 8, 12),
+        OpSpec::batched_gemm(2, 4, 8, 12),
+    ]
+}
+
+fn all_platforms() -> [Target; 3] {
+    [
+        Target::x86_avx512_vnni(),
+        Target::arm_neon_dot(),
+        Target::nvidia_tensor_core(),
+    ]
+}
+
+/// Run a compiled kernel function against the reference executor of the
+/// op it was lowered from, on deterministic random inputs.
+fn assert_func_matches_reference(func: &unit_tir::TirFunc, op: &ComputeOp, seed: u64, what: &str) {
+    let mut bufs = alloc_buffers(func);
+    random_fill(&mut bufs, seed);
+    let mut reference = bufs.clone();
+    run(func, &mut bufs).expect("interpretation succeeds");
+    run_reference(op, &mut reference).expect("reference succeeds");
+    assert_eq!(
+        bufs[op.output.0 as usize], reference[op.output.0 as usize],
+        "{what} diverges from the reference"
+    );
+}
+
+/// The matrix: every `OpSpec` variant × every platform, through the exact
+/// graph-compiler lowering, bit-identical against the reference.
+///
+/// Tensorizable workloads are checked under every tuning stage (serial
+/// and 8-worker parallel tuning must agree bit-for-bit); depthwise
+/// workloads — rejected by the Inspector on every platform — are checked
+/// through the SIMD fallback schedule on CPUs and assert the rejection on
+/// the GPU (its CUDA-core fallback is a cost model, not a kernel).
+#[test]
+fn op_spec_matrix_matches_reference_on_every_platform() {
+    for (i, spec) in op_spec_matrix().iter().enumerate() {
+        for (j, target) in all_platforms().iter().enumerate() {
+            let seed = 7000 + (i * 10 + j) as u64;
+            let (op, hint) = op_for_platform(spec, target.platform);
+            let what = format!("{} on {:?}", op.name, target.platform);
+            if spec.is_depthwise() {
+                match target.platform {
+                    Platform::NvidiaTensorCore => {
+                        let err = Tensorizer::new(target.clone()).inspect(&op);
+                        assert!(err.is_err(), "{what}: depthwise must be rejected");
+                    }
+                    _ => {
+                        let func = simd_fallback_func(&op);
+                        assert_func_matches_reference(&func, &op, seed, &what);
+                    }
+                }
+                continue;
+            }
+            let modes: Vec<TuningConfig> = match target.platform {
+                Platform::NvidiaTensorCore => [GpuTuneMode::Generic, GpuTuneMode::Tuned]
+                    .into_iter()
+                    .map(|gpu| TuningConfig {
+                        cpu: CpuTuneMode::ParallelUnroll,
+                        gpu,
+                    })
+                    .collect(),
+                _ => cpu_stages()
+                    .into_iter()
+                    .map(|cpu| TuningConfig {
+                        cpu,
+                        gpu: GpuTuneMode::Tuned,
+                    })
+                    .collect(),
+            };
+            for tuning in modes {
+                let kernel = Tensorizer::new(target.clone())
+                    .with_tuning(tuning)
+                    .compile_with_hint(&op, hint)
+                    .unwrap_or_else(|e| panic!("{what} must compile: {e}"));
+                assert_func_matches_reference(&kernel.func, &op, seed, &what);
+            }
+        }
+    }
+}
+
+/// The determinism half of the matrix: on both CPU platforms, the
+/// parallel tuner must pick exactly the serial tuner's schedule for every
+/// tensorizable `OpSpec` variant.
+#[test]
+fn op_spec_matrix_parallel_tuning_agrees_with_serial() {
+    for target in [Target::x86_avx512_vnni(), Target::arm_neon_dot()] {
+        let machine = target.cpu.clone().expect("CPU target");
+        for spec in op_spec_matrix() {
+            if spec.is_depthwise() {
+                continue; // no tuner runs on the fallback path
+            }
+            let (op, _) = op_for_platform(&spec, target.platform);
+            let t = Tensorizer::new(target.clone());
+            let (intrin, m) = t
+                .inspect(&op)
+                .unwrap_or_else(|e| panic!("{} must tensorize: {e}", op.name));
+            let mode = CpuTuneMode::Tuned { max_pairs: 6 };
+            let serial = tune_cpu(&op, &m, &intrin, &machine, mode).expect("serial tunes");
+            for workers in [2, 8] {
+                let par = tune_cpu_with_workers(&op, &m, &intrin, &machine, mode, workers)
+                    .expect("parallel tunes");
+                assert_eq!(
+                    par.chosen, serial.chosen,
+                    "{}: {workers} workers chose a different pair",
+                    op.name
+                );
+                assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
+                assert_eq!(par.log, serial.log, "{}: log order changed", op.name);
+            }
+        }
+    }
+}
+
+/// GPU half of the determinism matrix: the parallel GPU tuner agrees with
+/// the serial one on the GEMM-family workloads the Tensor Core path
+/// compiles.
+#[test]
+fn op_spec_matrix_parallel_gpu_tuning_agrees_with_serial() {
+    let machine = unit_sim::GpuMachine::v100();
+    for spec in op_spec_matrix() {
+        if spec.is_depthwise() {
+            continue;
+        }
+        let (op, hint) = op_for_platform(&spec, Platform::NvidiaTensorCore);
+        let t = Tensorizer::new(Target::nvidia_tensor_core());
+        let (intrin, m) = t
+            .inspect(&op)
+            .unwrap_or_else(|e| panic!("{} must tensorize: {e}", op.name));
+        let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, hint);
+        for workers in [2, 8] {
+            let par = tune_gpu_with_workers(
+                &op,
+                &m,
+                &intrin,
+                &machine,
+                GpuTuneMode::Tuned,
+                hint,
+                workers,
+            );
+            assert_eq!(par.chosen, serial.chosen, "{}", op.name);
+            assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
+            assert_eq!(par.log, serial.log, "{}", op.name);
+        }
+    }
+}
+
+/// Whole-model differential check for the GEMM-built transformer: the
+/// parallel compilation path must reproduce the serial report bit-for-bit
+/// on every platform (the conv-model twin lives below).
+#[test]
+fn transformer_parallel_compilation_is_deterministic_on_every_platform() {
+    use unit_graph::models::transformer_tiny;
+    let g = transformer_tiny();
+    let tuning = TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+        gpu: GpuTuneMode::Tuned,
+    };
+    for target in all_platforms() {
+        let baseline = unit_graph::compile_graph(&g, target.clone(), tuning);
+        for workers in [2, 8] {
+            let r = unit_graph::compile_model_parallel(&g, target.clone(), tuning, workers);
+            assert_eq!(
+                r.total_ms, baseline.total_ms,
+                "{:?} with {workers} workers",
+                target.platform
             );
         }
     }

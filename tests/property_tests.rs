@@ -6,8 +6,8 @@ use unit::dsl::DType;
 use unit::interp::{alloc_buffers, random_fill, run, run_reference};
 use unit::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
-use unit_graph::layout::{blocked_conv2d, blocked_conv3d};
-use unit_graph::ConvSpec;
+use unit_graph::layout::{blocked_conv2d, blocked_conv3d, blocked_gemm};
+use unit_graph::{ConvSpec, OpSpec};
 use unit_tir::{lower::lower, Schedule};
 
 proptest! {
@@ -84,6 +84,63 @@ proptest! {
         prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
     }
 
+    /// Any (batched) GEMM shape round-trips the full pipeline — lower →
+    /// tensorize → simplify → evaluate — with the same observable store
+    /// trace (the output buffer, element for element) as the scalar
+    /// reference interpreter, for arbitrary `{m, n, k, batch}` and tuning
+    /// pairs. Shape parameters draw from the shrinking-friendly
+    /// `small_in` generator, so a failure reproduces near-minimal.
+    #[test]
+    fn tensorized_gemm_always_matches_reference(
+        m in prop::sample::small_in(1i64..12),
+        n in prop::sample::small_in(1i64..24),
+        k in prop::sample::small_in(1i64..24),
+        batch in prop::sample::small_in(1i64..5),
+        par in prop::sample::select(vec![500i64, 3000]),
+        unroll in prop::sample::select(vec![1i64, 4, 8]),
+        seed in 0u64..1000,
+    ) {
+        let op = blocked_gemm(m, n, k, batch, 16, 4, DType::U8, DType::I8);
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Fixed { par, unroll },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+            .with_tuning(tuning)
+            .compile(&op)
+            .expect("blocked GEMM compiles (channel padding handles any shape)");
+        prop_assert!(kernel.intrinsic.name.contains("vpdpbusd"));
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+
+    /// The same GEMM property on the ARM `sdot` blocking (i8 x i8,
+    /// lanes 4): the workload-generic layer has no x86-only assumptions.
+    #[test]
+    fn arm_gemm_always_matches_reference(
+        m in prop::sample::small_in(1i64..8),
+        n in prop::sample::small_in(1i64..16),
+        k in prop::sample::small_in(1i64..16),
+        batch in prop::sample::small_in(1i64..4),
+        seed in 0u64..1000,
+    ) {
+        let op = blocked_gemm(m, n, k, batch, 4, 4, DType::I8, DType::I8);
+        let kernel = Tensorizer::new(Target::arm_neon_dot())
+            .compile(&op)
+            .expect("ARM blocked GEMM compiles");
+        prop_assert!(kernel.intrinsic.name.contains("dot"));
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        let mut reference = bufs.clone();
+        run(&kernel.func, &mut bufs).expect("interprets");
+        run_reference(&op, &mut reference).expect("reference");
+        prop_assert_eq!(&bufs[op.output.0 as usize], &reference[op.output.0 as usize]);
+    }
+
     /// The ARM dot-product path (i8 x i8 `sdot`, lanes 4, reduction width
     /// 4) computes the reference result for arbitrary channel counts and
     /// tuning pairs, including channel-padded ones.
@@ -145,22 +202,26 @@ proptest! {
 }
 
 /// Concurrency stress: 8 threads hammer one shared `UnitProvider` with an
-/// overlapping workload mix. Every thread must observe exactly the value
-/// the serial path computes, and the sharded cache must end with exactly
-/// one entry per unique workload (no duplicates, no torn values, no
-/// cross-key poisoning).
+/// overlapping workload mix spanning every `OpSpec` family (dense conv,
+/// depthwise, grouped conv, GEMM, batched matmul). Every thread must
+/// observe exactly the value the serial path computes, and the sharded
+/// cache must end with exactly one entry per unique workload (no
+/// duplicates, no torn values, no cross-key poisoning).
 #[test]
 fn shared_provider_survives_8_thread_hammering() {
     use std::sync::Arc;
     use unit_graph::compile::{ConvProvider, UnitProvider};
 
-    let specs: Vec<ConvSpec> = vec![
-        ConvSpec::new_2d(8, 10, 16, 3, 1, 1),
-        ConvSpec::new_2d(16, 8, 32, 1, 1, 0),
-        ConvSpec::new_2d(32, 7, 16, 3, 1, 1),
-        ConvSpec::new_2d(8, 14, 8, 1, 2, 0),
-        ConvSpec::depthwise(16, 8, 3, 1, 1),
-        ConvSpec::new_2d(24, 6, 24, 3, 1, 1),
+    let specs: Vec<OpSpec> = vec![
+        OpSpec::conv2d(8, 10, 16, 3, 1, 1),
+        OpSpec::conv2d(16, 8, 32, 1, 1, 0),
+        OpSpec::conv2d(32, 7, 16, 3, 1, 1),
+        OpSpec::conv2d(8, 14, 8, 1, 2, 0),
+        OpSpec::depthwise(16, 8, 3, 1, 1),
+        OpSpec::grouped(16, 8, 16, 3, 1, 1, 2),
+        OpSpec::gemm(16, 16, 32),
+        OpSpec::batched_gemm(4, 8, 16, 16),
+        OpSpec::conv2d(24, 6, 24, 3, 1, 1),
     ];
     let tuning = TuningConfig {
         cpu: CpuTuneMode::ParallelUnroll,
@@ -169,7 +230,7 @@ fn shared_provider_survives_8_thread_hammering() {
 
     // Serial oracle: a fresh provider, one thread.
     let oracle = UnitProvider::new(Target::x86_avx512_vnni(), tuning);
-    let expected: Vec<(f64, String)> = specs.iter().map(|s| oracle.conv_micros(s)).collect();
+    let expected: Vec<(f64, String)> = specs.iter().map(|s| oracle.op_micros(s)).collect();
 
     let shared = Arc::new(UnitProvider::new(Target::x86_avx512_vnni(), tuning));
     std::thread::scope(|scope| {
@@ -182,7 +243,7 @@ fn shared_provider_survives_8_thread_hammering() {
                 // fills and hits interleave.
                 for i in 0..specs.len() {
                     let idx = (i + t) % specs.len();
-                    let got = shared.conv_micros(&specs[idx]);
+                    let got = shared.op_micros(&specs[idx]);
                     assert_eq!(
                         got, expected[idx],
                         "thread {t} observed a torn value for spec {idx}"

@@ -102,6 +102,28 @@ impl<T: Clone> Strategy for Select<T> {
     }
 }
 
+/// Strategy produced by [`sample::small_in`]: draws two uniform samples
+/// from the range and keeps the smaller, so drawn values skew toward the
+/// lower bound. The stub has no shrinking machinery; biasing shape-like
+/// parameters small is its stand-in — a failing case is already close to
+/// minimal, and the failure message prints the exact inputs.
+pub struct SmallIn<T>(std::ops::Range<T>);
+
+macro_rules! small_in_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for SmallIn<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let a = rng.0.gen_range(self.0.clone());
+                let b = rng.0.gen_range(self.0.clone());
+                a.min(b)
+            }
+        }
+    )*};
+}
+
+small_in_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
 /// Strategy produced by [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -133,19 +155,27 @@ pub fn any<T>() -> Any<T> {
 }
 
 pub mod sample {
-    use super::Select;
+    use super::{Select, SmallIn};
 
     /// Subset of `proptest::sample::select` (the `Vec` overload).
     #[must_use]
     pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
         Select(options)
     }
+
+    /// Stub extension: a range strategy biased toward its lower bound,
+    /// for shape parameters whose failures should reproduce small (the
+    /// shrinking-friendly generator the GEMM property tests use).
+    #[must_use]
+    pub fn small_in<T>(range: std::ops::Range<T>) -> SmallIn<T> {
+        SmallIn(range)
+    }
 }
 
 /// Mirrors `proptest::prelude::prop`.
 pub mod prop {
     pub mod sample {
-        pub use crate::sample::select;
+        pub use crate::sample::{select, small_in};
     }
 }
 
@@ -244,12 +274,32 @@ mod tests {
             pick in prop::sample::select(vec![10i64, 20, 30]),
             flag in any::<bool>(),
             idx in 0usize..3,
+            small in prop::sample::small_in(1i64..100),
         ) {
             assert!((1..5).contains(&n));
             assert!([10, 20, 30].contains(&pick));
             let _drawn: bool = flag;
             assert!(idx < 3);
+            assert!((1..100).contains(&small));
         }
+    }
+
+    #[test]
+    fn small_in_biases_toward_the_lower_bound() {
+        let mut rng = crate::TestRng::from_name("bias");
+        let strat = crate::sample::small_in(0i64..100);
+        let uniform = 0i64..100;
+        let n = 400;
+        let small_sum: i64 = (0..n)
+            .map(|_| crate::Strategy::sample(&strat, &mut rng))
+            .sum();
+        let uniform_sum: i64 = (0..n)
+            .map(|_| crate::Strategy::sample(&uniform, &mut rng))
+            .sum();
+        assert!(
+            small_sum < uniform_sum,
+            "min-of-two draws must average below uniform ({small_sum} vs {uniform_sum})"
+        );
     }
 
     #[test]
