@@ -12,6 +12,10 @@
 //! than one core — must beat the serial wall-clock on resnet-50 with >= 4
 //! workers. On a single-core machine the speedup assertion degrades to an
 //! overhead bound, since no thread pool can beat serial there.
+//!
+//! `UNIT_BENCH_TARGET=<descriptor id>` selects any registered target
+//! (default `x86-avx512-vnni`) — e.g. `arm-i8mm-smmla` to profile the
+//! post-paper i8mm target through the identical harness.
 
 use std::time::{Duration, Instant};
 
@@ -61,7 +65,10 @@ fn main() {
     let workers = effective_workers(0).max(4);
     let cores = effective_workers(0);
     let tuning = TuningConfig::default();
-    let target = Target::x86_avx512_vnni();
+    let target_id =
+        std::env::var("UNIT_BENCH_TARGET").unwrap_or_else(|_| "x86-avx512-vnni".to_string());
+    let target = Target::by_id(&target_id)
+        .unwrap_or_else(|| panic!("UNIT_BENCH_TARGET: no registered target with id {target_id}"));
 
     // Three CNNs plus the GEMM-built transformer block: the smoke run
     // covers both workload families through one shared batch cache.
@@ -74,7 +81,7 @@ fn main() {
 
     println!(
         "compile_throughput: {workers} workers on {cores} core(s), \
-         {reps} rep(s){}",
+         {reps} rep(s), target {target_id}{}",
         if smoke { ", smoke mode" } else { "" }
     );
 

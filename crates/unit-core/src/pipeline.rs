@@ -1,7 +1,7 @@
 //! The end-to-end pipeline: Inspector → Rewriter → Tuner.
 
 use unit_dsl::{AxisId, ComputeOp};
-use unit_isa::{registry, Platform, TensorIntrinsic};
+use unit_isa::{registry, ExecStyle, TargetDesc, TensorIntrinsic};
 use unit_sim::{CpuMachine, Estimate, GpuKernelDesc, GpuMachine};
 use unit_tir::TirFunc;
 
@@ -10,47 +10,66 @@ use crate::inspector::{inspect, Match};
 use crate::rewriter::{build_tensorized_schedule, finalize};
 use crate::tuner::{tune_cpu_with_workers, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode};
 
-/// A compilation target: a platform's instruction set plus its machine
-/// model for profiling.
+/// A compilation target: a [`TargetDesc`] plus the machine model built
+/// from it for profiling.
+///
+/// The pipeline never dispatches on a target's identity — only on the
+/// descriptor's [`ExecStyle`] — so targets registered at runtime through
+/// [`registry::register_target`] compile through the exact same path as
+/// the built-ins.
 #[derive(Debug, Clone)]
 pub struct Target {
-    /// The instruction platform.
-    pub platform: Platform,
-    /// CPU machine model (CPU platforms).
+    /// The target descriptor (instruction set selection, blocking,
+    /// execution style).
+    pub desc: TargetDesc,
+    /// CPU machine model, built from the descriptor (CPU-style targets).
+    /// Public so benchmarks can profile against hand-tweaked models.
     pub cpu: Option<CpuMachine>,
-    /// GPU machine model (GPU platforms).
+    /// GPU machine model, built from the descriptor (GPU-style targets).
     pub gpu: Option<GpuMachine>,
 }
 
 impl Target {
+    /// Build a target from a descriptor: the machine model is extracted
+    /// from the descriptor's execution style.
+    #[must_use]
+    pub fn from_desc(desc: TargetDesc) -> Target {
+        let (cpu, gpu) = match &desc.style {
+            ExecStyle::Cpu { machine } => (Some(machine.clone()), None),
+            ExecStyle::Gpu { machine } => (None, Some(machine.clone())),
+        };
+        Target { desc, cpu, gpu }
+    }
+
+    /// Look a target up in the registry by descriptor id — built-ins and
+    /// runtime registrations alike.
+    #[must_use]
+    pub fn by_id(id: &str) -> Option<Target> {
+        registry::target_by_id(id).map(Target::from_desc)
+    }
+
+    /// The target's descriptor id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.desc.id
+    }
+
     /// Intel Cascade Lake with AVX-512 VNNI (the paper's c5.12xlarge).
     #[must_use]
     pub fn x86_avx512_vnni() -> Target {
-        Target {
-            platform: Platform::X86Vnni,
-            cpu: Some(CpuMachine::cascade_lake()),
-            gpu: None,
-        }
+        Target::by_id("x86-avx512-vnni").expect("built-in target")
     }
 
     /// AWS Graviton2 with the ARM dot-product extension (m6g.8xlarge).
     #[must_use]
     pub fn arm_neon_dot() -> Target {
-        Target {
-            platform: Platform::ArmDot,
-            cpu: Some(CpuMachine::graviton2()),
-            gpu: None,
-        }
+        Target::by_id("arm-neon-dot").expect("built-in target")
     }
 
     /// Nvidia V100 with Tensor Cores (p3.2xlarge).
     #[must_use]
     pub fn nvidia_tensor_core() -> Target {
-        Target {
-            platform: Platform::NvidiaTensorCore,
-            cpu: None,
-            gpu: Some(GpuMachine::v100()),
-        }
+        Target::by_id("nvidia-tensor-core").expect("built-in target")
     }
 }
 
@@ -153,7 +172,7 @@ impl Tensorizer {
     /// rejection reasons.
     pub fn inspect(&self, op: &ComputeOp) -> Result<(TensorIntrinsic, Match), CompileError> {
         let mut tried = Vec::new();
-        for intrin in registry::for_platform(self.target.platform) {
+        for intrin in registry::for_target(&self.target.desc.id) {
             match inspect(&intrin, op) {
                 Ok(m) => return Ok((intrin, m)),
                 Err(reason) => tried.push((intrin.name.clone(), reason)),
@@ -184,13 +203,19 @@ impl Tensorizer {
         hint: Option<crate::tuner::gpu::ConvGpuHint>,
     ) -> Result<CompiledKernel, CompileError> {
         let (intrinsic, m) = self.inspect(op)?;
-        match self.target.platform {
-            Platform::X86Vnni | Platform::ArmDot => {
+        // Dispatch on the descriptor's execution style — never on which
+        // target this is. Adding a target therefore never touches this.
+        match self.target.desc.style {
+            ExecStyle::Cpu { .. } => {
+                // Prefer the (possibly hand-tweaked) built machine; fall
+                // back to the descriptor's own model so a hand-assembled
+                // Target can never desynchronize style and machine.
                 let machine = self
                     .target
                     .cpu
                     .as_ref()
-                    .expect("CPU platform carries a CPU machine");
+                    .or_else(|| self.target.desc.cpu_machine())
+                    .expect("CPU-style target carries a CPU machine");
                 let tuned = tune_cpu_with_workers(
                     op,
                     &m,
@@ -210,12 +235,13 @@ impl Tensorizer {
                     gpu_desc: None,
                 })
             }
-            Platform::NvidiaTensorCore => {
+            ExecStyle::Gpu { .. } => {
                 let machine = self
                     .target
                     .gpu
                     .as_ref()
-                    .expect("GPU platform carries a GPU machine");
+                    .or_else(|| self.target.desc.gpu_machine())
+                    .expect("GPU-style target carries a GPU machine");
                 let tuned = tune_gpu_with_workers(
                     op,
                     &m,
@@ -325,7 +351,7 @@ mod tests {
             .unwrap_err();
         match err {
             CompileError::NoApplicableInstruction { tried } => {
-                assert_eq!(tried.len(), registry::for_platform(Platform::X86Vnni).len());
+                assert_eq!(tried.len(), registry::for_target("x86-avx512-vnni").len());
             }
             other => panic!("unexpected error {other}"),
         }

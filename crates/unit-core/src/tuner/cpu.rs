@@ -306,6 +306,12 @@ mod tests {
     use unit_dsl::builder::conv2d_hwc;
     use unit_isa::registry;
 
+    fn x86_machine() -> CpuMachine {
+        crate::pipeline::Target::x86_avx512_vnni()
+            .cpu
+            .expect("CPU target")
+    }
+
     fn setup() -> (ComputeOp, Match, TensorIntrinsic) {
         let op = conv2d_hwc(16, 16, 64, 128, 3, 3);
         let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
@@ -316,7 +322,7 @@ mod tests {
     #[test]
     fn unroll_beats_parallel_only() {
         let (op, m, intrin) = setup();
-        let machine = CpuMachine::cascade_lake();
+        let machine = x86_machine();
         let par = tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::ParallelOnly).unwrap();
         let unr = tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::ParallelUnroll).unwrap();
         assert!(
@@ -330,7 +336,7 @@ mod tests {
     #[test]
     fn tuned_is_at_least_as_good_as_the_default_pair() {
         let (op, m, intrin) = setup();
-        let machine = CpuMachine::cascade_lake();
+        let machine = x86_machine();
         let unr = tune_cpu(&op, &m, &intrin, &machine, CpuTuneMode::ParallelUnroll).unwrap();
         let tuned = tune_cpu(
             &op,
@@ -350,7 +356,7 @@ mod tests {
         let op = conv2d_hwc(10, 10, 16, 32, 3, 3);
         let intrin = registry::by_name("llvm.x86.avx512.vpdpbusd.512").unwrap();
         let m = inspect(&intrin, &op).unwrap();
-        let machine = CpuMachine::cascade_lake();
+        let machine = x86_machine();
         for mode in [
             CpuTuneMode::ParallelOnly,
             CpuTuneMode::ParallelUnroll,
@@ -372,7 +378,7 @@ mod tests {
     #[test]
     fn parallel_search_is_bit_identical_to_serial() {
         let (op, m, intrin) = setup();
-        let machine = CpuMachine::cascade_lake();
+        let machine = x86_machine();
         let mode = CpuTuneMode::Tuned { max_pairs: 8 };
         let serial = tune_cpu(&op, &m, &intrin, &machine, mode).unwrap();
         for workers in [2, 4, 8] {

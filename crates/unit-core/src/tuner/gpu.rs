@@ -335,6 +335,12 @@ mod tests {
     use unit_interp::{alloc_op_buffers, random_fill, run_reference};
     use unit_isa::registry;
 
+    fn v100() -> GpuMachine {
+        crate::pipeline::Target::nvidia_tensor_core()
+            .gpu
+            .expect("GPU target")
+    }
+
     fn setup(n: i64, m_: i64, k: i64) -> (ComputeOp, Match, TensorIntrinsic) {
         let op = matmul_f16(n, m_, k);
         let intrin = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
@@ -346,7 +352,7 @@ mod tests {
     fn split_k_wins_on_under_occupied_layers() {
         // 49 rows x 512 cols x 2048 reduce: few blocks without split-K.
         let (op, m, intrin) = setup(48, 512, 2048);
-        let machine = GpuMachine::v100();
+        let machine = v100();
         let generic = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Generic, None);
         let split = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::SplitK, None);
         assert!(
@@ -360,7 +366,7 @@ mod tests {
     #[test]
     fn tuned_never_loses_to_fixed_stages() {
         let (op, m, intrin) = setup(112, 256, 1024);
-        let machine = GpuMachine::v100();
+        let machine = v100();
         let stages = [
             GpuTuneMode::Generic,
             GpuTuneMode::FuseDim,
@@ -380,7 +386,7 @@ mod tests {
     #[test]
     fn parallel_gpu_search_is_bit_identical_to_serial() {
         let (op, m, intrin) = setup(112, 256, 1024);
-        let machine = GpuMachine::v100();
+        let machine = v100();
         let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
         for workers in [2, 4, 8] {
             let par = tune_gpu_with_workers(

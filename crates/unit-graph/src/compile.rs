@@ -21,37 +21,38 @@ use serde::{Deserialize, Serialize};
 use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{parallel_map, CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
-use unit_isa::Platform;
 use unit_sim::estimate_cpu;
 use unit_tir::{lower::lower, LoopKind, Schedule};
 
 use crate::cache::ShardedCache;
 use crate::ir::{Graph, OpKind};
-use crate::layout::{blocked_dense, op_for_platform, platform_blocking};
+use crate::layout::{dense_for_target, op_for_target};
 use crate::passes::fuse_elementwise;
 use crate::workload::{ConvSpec, OpSpec};
 
-/// The kernel-cache key: the workload, the target platform, and the
-/// **full** tuning configuration.
+/// The kernel-cache key: the workload, the target *id*, and the **full**
+/// tuning configuration.
 ///
 /// An earlier revision collapsed the config to a hand-rolled `u8`
 /// "mode key" that mapped every `CpuTuneMode::Tuned { max_pairs }` (and
 /// every `Fixed { .. }` pair) to the same value, so providers sharing a
 /// cache with different search budgets poisoned each other's entries.
-/// Deriving the key from the platform and the whole config makes those
-/// collisions impossible; `kernel_cache_keys_distinguish_search_budgets`
-/// and `kernel_cache_keys_distinguish_platforms` below are the
-/// regression tests. (Two providers for the *same* platform but
-/// hand-customized machine models would still collide — don't share a
-/// cache across machine models.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Deriving the key from the target id and the whole config makes those
+/// collisions impossible — including for targets registered at runtime,
+/// and for targets that happen to share a blocking convention;
+/// `kernel_cache_keys_distinguish_search_budgets` and
+/// `kernel_cache_keys_distinguish_targets` below are the regression
+/// tests. (Two providers for the *same* target id but hand-customized
+/// machine models would still collide — don't share a cache across
+/// machine models.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct KernelCacheKey {
     /// The workload (conv, grouped conv or GEMM — the `OpSpec` variant is
     /// part of the key, so a GEMM can never collide with a conv of the
     /// same MAC count).
     pub spec: OpSpec,
-    /// The instruction platform the kernel was compiled for.
-    pub platform: Platform,
+    /// Descriptor id of the target the kernel was compiled for.
+    pub target: String,
     /// CPU tuning mode, including its search budget / fixed pair.
     pub cpu: CpuTuneMode,
     /// GPU tuning mode.
@@ -59,25 +60,25 @@ pub struct KernelCacheKey {
 }
 
 impl KernelCacheKey {
-    /// The key for a workload on a platform under a tuning configuration.
+    /// The key for a workload on a target under a tuning configuration.
     /// Accepts a bare `ConvSpec` too (normalized via
     /// [`OpSpec::from_conv`]).
     #[must_use]
     pub fn new(
         spec: impl Into<OpSpec>,
-        platform: Platform,
+        target: impl Into<String>,
         tuning: TuningConfig,
     ) -> KernelCacheKey {
         KernelCacheKey {
             spec: spec.into(),
-            platform,
+            target: target.into(),
             cpu: tuning.cpu,
             gpu: tuning.gpu,
         }
     }
 }
 
-/// The shared kernel cache type: `(workload, platform, full config) ->
+/// The shared kernel cache type: `(workload, target id, full config) ->
 /// (latency, note)`.
 pub type KernelCache = ShardedCache<KernelCacheKey, (f64, String)>;
 
@@ -412,11 +413,12 @@ impl UnitProvider {
         &self.cache
     }
 
-    /// Quantization convention of the target platform:
-    /// (lanes, reduction width, data dtype, weight dtype).
+    /// Quantization convention of the target:
+    /// (lanes, reduction width, data dtype, weight dtype) — straight from
+    /// the target descriptor.
     #[must_use]
     pub fn conv_blocking(&self) -> (i64, i64, DType, DType) {
-        platform_blocking(self.target.platform)
+        self.target.desc.blocking()
     }
 
     fn clock_ghz(&self) -> f64 {
@@ -466,11 +468,11 @@ impl UnitProvider {
 
     /// Compile one workload through the full pipeline, bypassing the
     /// cache (the cache fill path). The lowering dispatch lives in
-    /// [`op_for_platform`] and is shared with the differential test
+    /// [`op_for_target`] and is shared with the differential test
     /// matrix; depthwise workloads (rejected by the Inspector) go straight
     /// to the fallback.
     fn compile_op_uncached(&self, spec: &OpSpec) -> (f64, String) {
-        let (op, hint) = op_for_platform(spec, self.target.platform);
+        let (op, hint) = op_for_target(spec, &self.target.desc);
         if spec.is_depthwise() {
             return self.fallback_micros(&op);
         }
@@ -504,40 +506,24 @@ impl ConvProvider for UnitProvider {
     }
 
     fn op_micros(&self, spec: &OpSpec) -> (f64, String) {
-        let key = KernelCacheKey::new(*spec, self.target.platform, self.tuning);
+        let key = KernelCacheKey::new(*spec, self.target.desc.id.clone(), self.tuning);
         self.cache
             .get_or_insert_with(key, || self.compile_op_uncached(spec))
     }
 
     fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
-        match self.target.platform {
-            Platform::NvidiaTensorCore => {
-                let op = unit_dsl::builder::matmul_f16(
-                    16,
-                    crate::layout::round_up(units, 16),
-                    crate::layout::round_up(in_features, 16),
-                );
-                match Tensorizer::new(self.target.clone())
-                    .with_tuning(self.tuning)
-                    .with_workers(self.workers)
-                    .compile(&op)
-                {
-                    Ok(k) => k.estimate.micros(self.clock_ghz()),
-                    Err(_) => 10.0,
-                }
-            }
-            _ => {
-                let (lanes, rwidth, ddt, wdt) = self.conv_blocking();
-                let op = blocked_dense(in_features, units, lanes, rwidth, ddt, wdt);
-                match Tensorizer::new(self.target.clone())
-                    .with_tuning(self.tuning)
-                    .with_workers(self.workers)
-                    .compile(&op)
-                {
-                    Ok(k) => k.estimate.micros(self.clock_ghz()),
-                    Err(_) => self.fallback_micros(&op).0,
-                }
-            }
+        // The lowering convention (row-tile GEMM vs. blocked dense) comes
+        // from the descriptor's execution style, not from which target
+        // this is.
+        let op = dense_for_target(in_features, units, &self.target.desc);
+        match Tensorizer::new(self.target.clone())
+            .with_tuning(self.tuning)
+            .with_workers(self.workers)
+            .compile(&op)
+        {
+            Ok(k) => k.estimate.micros(self.clock_ghz()),
+            Err(_) if self.target.desc.is_gpu() => 10.0,
+            Err(_) => self.fallback_micros(&op).0,
         }
     }
 
@@ -622,7 +608,7 @@ mod tests {
         let tuned = |max_pairs| {
             KernelCacheKey::new(
                 spec,
-                Platform::X86Vnni,
+                "x86-avx512-vnni",
                 TuningConfig {
                     cpu: CpuTuneMode::Tuned { max_pairs },
                     gpu,
@@ -633,7 +619,7 @@ mod tests {
         let fixed = |par, unroll| {
             KernelCacheKey::new(
                 spec,
-                Platform::X86Vnni,
+                "x86-avx512-vnni",
                 TuningConfig {
                     cpu: CpuTuneMode::Fixed { par, unroll },
                     gpu,
@@ -654,7 +640,7 @@ mod tests {
         let gemm = OpSpec::gemm(16, 16, 16);
         assert_eq!(conv.macs(), gemm.macs(), "the trap requires equal MACs");
         let tuning = TuningConfig::default();
-        let key = |spec| KernelCacheKey::new(spec, Platform::X86Vnni, tuning);
+        let key = |spec| KernelCacheKey::new(spec, "x86-avx512-vnni", tuning);
         assert_ne!(key(conv), key(gemm));
         // Batch is part of the GEMM identity too: a bmm with the same
         // total MACs is a different kernel.
@@ -713,8 +699,8 @@ mod tests {
                 .count();
             assert_eq!(
                 tensorized, 8,
-                "{:?}: {} layers tensorized with {instr}",
-                target.platform, tensorized
+                "{}: {} layers tensorized with {instr}",
+                target.desc.id, tensorized
             );
             // The cache holds exactly the unique GEMM workloads, all of
             // them Gemm-variant keys (cache-distinct from any conv).
@@ -740,15 +726,14 @@ mod tests {
     }
 
     #[test]
-    fn kernel_cache_keys_distinguish_platforms() {
-        // Regression: the key must carry the target platform, or
-        // cross-platform providers sharing a cache would serve each
-        // other's kernels.
+    fn kernel_cache_keys_distinguish_targets() {
+        // Regression: the key must carry the target id, or cross-target
+        // providers sharing a cache would serve each other's kernels.
         let spec = ConvSpec::new_2d(64, 14, 64, 3, 1, 1);
         let tuning = TuningConfig::default();
-        let key = |platform| KernelCacheKey::new(spec, platform, tuning);
-        assert_ne!(key(Platform::X86Vnni), key(Platform::ArmDot));
-        assert_ne!(key(Platform::X86Vnni), key(Platform::NvidiaTensorCore));
+        let key = |target: &str| KernelCacheKey::new(spec, target, tuning);
+        assert_ne!(key("x86-avx512-vnni"), key("arm-neon-dot"));
+        assert_ne!(key("x86-avx512-vnni"), key("nvidia-tensor-core"));
 
         // Behaviorally: an x86 and an ARM provider sharing one cache must
         // each serve their own platform's kernel.
@@ -763,6 +748,10 @@ mod tests {
         assert!(x86_note.contains("vpdpbusd"), "x86 note: {x86_note}");
         assert!(arm_note.contains("dot"), "ARM note: {arm_note}");
     }
+
+    // The identical-blocking twin of this regression — which must register
+    // a runtime target — lives in `tests/target_cache_isolation.rs`, in
+    // its own binary so the global registry mutation cannot leak here.
 
     #[test]
     fn shared_cache_providers_with_different_budgets_do_not_poison_each_other() {

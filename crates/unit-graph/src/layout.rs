@@ -10,7 +10,7 @@
 
 use unit_core::tuner::ConvGpuHint;
 use unit_dsl::{ComputeOp, DType, InitExpr, OpBuilder};
-use unit_isa::Platform;
+use unit_isa::TargetDesc;
 
 use crate::workload::{ConvSpec, OpSpec};
 
@@ -240,32 +240,48 @@ pub fn depthwise_conv_op(spec: &ConvSpec, data_dtype: DType) -> ComputeOp {
     )
 }
 
-/// An fp16 convolution as implicit GEMM (the Tensor Core path): rows are
-/// the padded `OH*OW` image positions, columns the padded output channels,
-/// and the reduction spans `C*R*S`.
+/// A convolution as implicit GEMM in a matrix-unit target's convention
+/// (`tile`-padded rows/columns, `red`-padded reduction, `data_dtype` x
+/// `weight_dtype` operands accumulating in `data_dtype.accumulator()`):
+/// rows are the padded `OH*OW` image positions, columns the padded output
+/// channels, and the reduction spans `C*R*S`.
 #[must_use]
-pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
-    let rows = round_up(spec.oh() * spec.ow(), 16);
-    let cols = round_up(spec.k, 16);
-    let red = round_up(spec.c * spec.r * spec.rw, 16);
+pub fn conv_gemm(
+    spec: &ConvSpec,
+    tile: i64,
+    red_tile: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    let rows = round_up(spec.oh() * spec.ow(), tile);
+    let cols = round_up(spec.k, tile);
+    let red = round_up(spec.c * spec.r * spec.rw, red_tile);
+    let acc = data_dtype.accumulator();
     let mut b = OpBuilder::new(format!(
         "conv_gemm_c{}hw{}k{}r{}s{}",
         spec.c, spec.ihw, spec.k, spec.r, spec.stride
     ));
-    let a = b.tensor("im2col", &[rows, red], DType::F16);
-    let w = b.tensor("weight", &[red, cols], DType::F16);
+    let a = b.tensor("im2col", &[rows, red], data_dtype);
+    let w = b.tensor("weight", &[red, cols], weight_dtype);
     let i = b.axis("i", rows);
     let j = b.axis("j", cols);
     let k = b.reduce_axis("k", red);
-    let elem = b.load(a, vec![i.into(), k.into()]).cast(DType::F32)
-        * b.load(w, vec![k.into(), j.into()]).cast(DType::F32);
+    let elem = b.load(a, vec![i.into(), k.into()]).cast(acc)
+        * b.load(w, vec![k.into(), j.into()]).cast(acc);
     b.compute(
         "out",
-        DType::F32,
+        acc,
         vec![i.into(), j.into()],
         InitExpr::Identity,
         elem,
     )
+}
+
+/// An fp16 convolution as implicit GEMM in the 16x16x16 WMMA convention
+/// (the built-in Tensor Core path).
+#[must_use]
+pub fn conv_gemm_f16(spec: &ConvSpec) -> ComputeOp {
+    conv_gemm(spec, 16, 16, DType::F16, DType::F16)
 }
 
 /// A quantized blocked *grouped* 2D convolution: `groups` independent
@@ -404,47 +420,91 @@ pub fn blocked_gemm(
     )
 }
 
-fn batched_gemm_f16_named(name: String, batch: i64, m: i64, n: i64, k: i64) -> ComputeOp {
-    let rows = round_up(m, 16);
-    let cols = round_up(n, 16);
-    let red = round_up(k, 16);
+#[allow(clippy::too_many_arguments)] // shape quad + tile/dtype quad, like the conv builders
+fn batched_gemm_gpu_named(
+    name: String,
+    batch: i64,
+    m: i64,
+    n: i64,
+    k: i64,
+    tile: i64,
+    red_tile: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    let rows = round_up(m, tile);
+    let cols = round_up(n, tile);
+    let red = round_up(k, red_tile);
+    let acc = data_dtype.accumulator();
     let mut b = OpBuilder::new(name);
-    let a = b.tensor("a", &[batch, rows, red], DType::F16);
-    let w = b.tensor("w", &[batch, red, cols], DType::F16);
+    let a = b.tensor("a", &[batch, rows, red], data_dtype);
+    let w = b.tensor("w", &[batch, red, cols], weight_dtype);
     let bb = b.axis("b", batch);
     let i = b.axis("i", rows);
     let j = b.axis("j", cols);
     let kk = b.reduce_axis("k", red);
-    let elem = b
-        .load(a, vec![bb.into(), i.into(), kk.into()])
-        .cast(DType::F32)
-        * b.load(w, vec![bb.into(), kk.into(), j.into()])
-            .cast(DType::F32);
+    let elem = b.load(a, vec![bb.into(), i.into(), kk.into()]).cast(acc)
+        * b.load(w, vec![bb.into(), kk.into(), j.into()]).cast(acc);
     b.compute(
         "out",
-        DType::F32,
+        acc,
         vec![bb.into(), i.into(), j.into()],
         InitExpr::Identity,
         elem,
     )
 }
 
-/// An fp16 (batched) GEMM with dimensions padded to the `16x16x16` Tensor
-/// Core tile — the GPU lowering of [`OpSpec::Gemm`]. The batch dimension
-/// is an extra outer data-parallel axis over the same `wmma` tile nest.
+/// A (batched) GEMM padded to a matrix-unit target's tile — the GPU-style
+/// lowering of [`OpSpec::Gemm`]. The batch dimension is an extra outer
+/// data-parallel axis over the same tile nest.
+#[allow(clippy::too_many_arguments)] // shape quad + tile/dtype quad, like the conv builders
 #[must_use]
-pub fn gemm_f16(m: i64, n: i64, k: i64, batch: i64) -> ComputeOp {
-    batched_gemm_f16_named(format!("gemm_f16_b{batch}m{m}n{n}k{k}"), batch, m, n, k)
+pub fn gemm_gpu(
+    m: i64,
+    n: i64,
+    k: i64,
+    batch: i64,
+    tile: i64,
+    red_tile: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
+    batched_gemm_gpu_named(
+        format!("gemm_{data_dtype}_b{batch}m{m}n{n}k{k}"),
+        batch,
+        m,
+        n,
+        k,
+        tile,
+        red_tile,
+        data_dtype,
+        weight_dtype,
+    )
 }
 
-/// A grouped convolution as batched implicit GEMM (the Tensor Core path):
+/// An fp16 (batched) GEMM with dimensions padded to the `16x16x16` Tensor
+/// Core tile (the built-in GPU lowering of [`OpSpec::Gemm`]).
+#[must_use]
+pub fn gemm_f16(m: i64, n: i64, k: i64, batch: i64) -> ComputeOp {
+    gemm_gpu(m, n, k, batch, 16, 16, DType::F16, DType::F16)
+}
+
+/// A grouped convolution as batched implicit GEMM (the matrix-unit path):
 /// one GEMM instance per group, rows the `OH*OW` image positions, columns
 /// the per-group output channels, reduction over `(C/groups)*R*S`.
 #[must_use]
-pub fn grouped_conv_gemm_f16(spec: &ConvSpec, groups: i64) -> ComputeOp {
+#[allow(clippy::too_many_arguments)] // spec + groups + tile/dtype quad
+pub fn grouped_conv_gemm(
+    spec: &ConvSpec,
+    groups: i64,
+    tile: i64,
+    red_tile: i64,
+    data_dtype: DType,
+    weight_dtype: DType,
+) -> ComputeOp {
     assert_eq!(spec.c % groups, 0, "groups must divide input channels");
     assert_eq!(spec.k % groups, 0, "groups must divide output channels");
-    batched_gemm_f16_named(
+    batched_gemm_gpu_named(
         format!(
             "grouped_conv_gemm_g{}c{}hw{}k{}r{}",
             groups, spec.c, spec.ihw, spec.k, spec.r
@@ -453,23 +513,55 @@ pub fn grouped_conv_gemm_f16(spec: &ConvSpec, groups: i64) -> ComputeOp {
         spec.oh() * spec.ow(),
         spec.k / groups,
         (spec.c / groups) * spec.r * spec.rw,
+        tile,
+        red_tile,
+        data_dtype,
+        weight_dtype,
     )
 }
 
-/// Quantization convention of a platform: `(lanes, reduction width, data
-/// dtype, weight dtype)`. This is the single source of truth shared by the
-/// graph compiler and the differential test matrix.
+/// A grouped convolution as batched implicit GEMM in the fp16 WMMA
+/// convention (the built-in Tensor Core path).
 #[must_use]
-pub fn platform_blocking(platform: Platform) -> (i64, i64, DType, DType) {
-    match platform {
-        Platform::X86Vnni => (16, 4, DType::U8, DType::I8),
-        Platform::ArmDot => (4, 4, DType::I8, DType::I8),
-        Platform::NvidiaTensorCore => (16, 16, DType::F16, DType::F16),
+pub fn grouped_conv_gemm_f16(spec: &ConvSpec, groups: i64) -> ComputeOp {
+    grouped_conv_gemm(spec, groups, 16, 16, DType::F16, DType::F16)
+}
+
+/// A dense (fully connected) layer in a target's convention: one row-tile
+/// GEMM for matrix-unit (GPU-style) targets, the `[lanes]/[rwidth]`
+/// blocked form for CPU-style targets. Blocking and dtypes come from the
+/// target descriptor.
+#[must_use]
+pub fn dense_for_target(in_features: i64, units: i64, target: &TargetDesc) -> ComputeOp {
+    let (lanes, rwidth, ddt, wdt) = target.blocking();
+    if target.is_gpu() {
+        let acc = ddt.accumulator();
+        let n = round_up(units, lanes);
+        let k = round_up(in_features, rwidth);
+        let mut b = OpBuilder::new(format!("dense_gemm_{in_features}x{units}"));
+        let a = b.tensor("a", &[lanes, k], ddt);
+        let wt = b.tensor("b", &[k, n], wdt);
+        let i = b.axis("i", lanes);
+        let j = b.axis("j", n);
+        let kk = b.reduce_axis("k", k);
+        let elem = b.load(a, vec![i.into(), kk.into()]).cast(acc)
+            * b.load(wt, vec![kk.into(), j.into()]).cast(acc);
+        b.compute(
+            "out",
+            acc,
+            vec![i.into(), j.into()],
+            InitExpr::Identity,
+            elem,
+        )
+    } else {
+        blocked_dense(in_features, units, lanes, rwidth, ddt, wdt)
     }
 }
 
-/// Lower an [`OpSpec`] to the platform's blocked `ComputeOp`, plus the
-/// convolution-structure hint the GPU tuner wants where one exists.
+/// Lower an [`OpSpec`] to the target's blocked `ComputeOp`, plus the
+/// convolution-structure hint the GPU tuner wants where one exists. All
+/// blocking factors and operand dtypes come from the [`TargetDesc`], so a
+/// target registered at runtime lowers through this with no code changes.
 ///
 /// This is the operator dispatch the whole pipeline shares: the
 /// `UnitProvider` compiles exactly what this returns, and the differential
@@ -478,12 +570,12 @@ pub fn platform_blocking(platform: Platform) -> (i64, i64, DType, DType) {
 /// Inspector rejects them (no channel reduction), sending providers to the
 /// SIMD/CUDA fallback.
 #[must_use]
-pub fn op_for_platform(spec: &OpSpec, platform: Platform) -> (ComputeOp, Option<ConvGpuHint>) {
-    let (lanes, rwidth, ddt, wdt) = platform_blocking(platform);
-    let gpu = platform == Platform::NvidiaTensorCore;
+pub fn op_for_target(spec: &OpSpec, target: &TargetDesc) -> (ComputeOp, Option<ConvGpuHint>) {
+    let (lanes, rwidth, ddt, wdt) = target.blocking();
+    let gpu = target.is_gpu();
     match spec {
         OpSpec::Conv(c) if gpu => (
-            conv_gemm_f16(c),
+            conv_gemm(c, lanes, rwidth, ddt, wdt),
             Some(ConvGpuHint {
                 oh: c.oh(),
                 ow: c.ow(),
@@ -495,12 +587,17 @@ pub fn op_for_platform(spec: &OpSpec, platform: Platform) -> (ComputeOp, Option<
         OpSpec::GroupedConv { conv, .. } if spec.is_depthwise() => {
             (depthwise_conv_op(conv, ddt), None)
         }
-        OpSpec::GroupedConv { conv, groups } if gpu => (grouped_conv_gemm_f16(conv, *groups), None),
+        OpSpec::GroupedConv { conv, groups } if gpu => (
+            grouped_conv_gemm(conv, *groups, lanes, rwidth, ddt, wdt),
+            None,
+        ),
         OpSpec::GroupedConv { conv, groups } => (
             blocked_grouped_conv2d(conv, *groups, lanes, rwidth, ddt, wdt),
             None,
         ),
-        OpSpec::Gemm { m, n, k, batch } if gpu => (gemm_f16(*m, *n, *k, *batch), None),
+        OpSpec::Gemm { m, n, k, batch } if gpu => {
+            (gemm_gpu(*m, *n, *k, *batch, lanes, rwidth, ddt, wdt), None)
+        }
         OpSpec::Gemm { m, n, k, batch } => (
             blocked_gemm(*m, *n, *k, *batch, lanes, rwidth, ddt, wdt),
             None,
@@ -605,7 +702,7 @@ mod tests {
         // compute all 2c output channels exactly.
         let spec = OpSpec::grouped(4, 5, 8, 3, 1, 1, 4);
         assert!(!spec.is_depthwise());
-        let (op, hint) = op_for_platform(&spec, Platform::X86Vnni);
+        let (op, hint) = op_for_target(&spec, &Target::x86_avx512_vnni().desc);
         assert!(op.name.starts_with("grouped_conv2d"), "got {}", op.name);
         assert!(hint.is_none());
         let k = Tensorizer::new(Target::x86_avx512_vnni())
@@ -620,8 +717,7 @@ mod tests {
     }
 
     #[test]
-    fn op_for_platform_dispatches_every_variant() {
-        use unit_isa::Platform;
+    fn op_for_target_dispatches_every_variant_on_every_registered_target() {
         let variants = [
             OpSpec::conv2d(8, 6, 16, 3, 1, 1),
             OpSpec::conv3d(4, 4, 3, 8, 3, 1, 1),
@@ -630,20 +726,19 @@ mod tests {
             OpSpec::gemm(8, 16, 32),
             OpSpec::batched_gemm(2, 8, 16, 32),
         ];
-        for platform in [
-            Platform::X86Vnni,
-            Platform::ArmDot,
-            Platform::NvidiaTensorCore,
-        ] {
+        // Data-driven: every target in the registry (the four built-ins
+        // here), not a hard-coded list.
+        for target in unit_isa::registry::targets() {
             for spec in &variants {
-                let (op, hint) = op_for_platform(spec, platform);
-                assert!(op.mac_count() > 0, "{} on {platform:?}", op.name);
+                let (op, hint) = op_for_target(spec, &target);
+                assert!(op.mac_count() > 0, "{} on {}", op.name, target.id);
                 // Only the dense-conv GPU path needs the structure hint.
                 assert_eq!(
                     hint.is_some(),
-                    platform == Platform::NvidiaTensorCore && matches!(spec, OpSpec::Conv(_)),
-                    "{} on {platform:?}",
-                    op.name
+                    target.is_gpu() && matches!(spec, OpSpec::Conv(_)),
+                    "{} on {}",
+                    op.name,
+                    target.id
                 );
             }
         }

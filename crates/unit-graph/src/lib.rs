@@ -14,7 +14,9 @@
 //! * [`passes`] — quantization, channel padding, conv+bias+relu fusion.
 //! * [`layout`] — blocked-layout convolution/GEMM/dense `ComputeOp`
 //!   builders (the bridge from graph level to the tensor DSL), including
-//!   the per-platform [`layout::op_for_platform`] dispatch.
+//!   the descriptor-driven [`layout::op_for_target`] dispatch (blocking
+//!   and dtypes come from the `unit_isa::TargetDesc`, so runtime-registered
+//!   targets lower with no code changes).
 //! * [`models`] — the nine CNNs of the evaluation (resnet-18/50/50-v1b/
 //!   101/152, inception-bn/v3, mobilenet-v1/v2), the conv3d variant of
 //!   resnet-18 used by Figure 13, and a GEMM-built transformer encoder.

@@ -1,0 +1,60 @@
+//! Kernel-cache identity for runtime-registered targets.
+//!
+//! Runs in its own test binary because it mutates the process-global
+//! target registry (registering a clone target), which must not leak into
+//! the unit-graph lib tests that enumerate `registry::targets()`.
+
+use std::sync::Arc;
+
+use unit_core::pipeline::{Target, TuningConfig};
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_graph::compile::{ConvProvider, KernelCache, KernelCacheKey, UnitProvider};
+use unit_graph::ConvSpec;
+use unit_isa::registry;
+
+/// Two targets with *identical blocking* must never collide in the
+/// kernel cache: the key carries the target id, not the blocking the
+/// target derives to.
+#[test]
+fn kernel_cache_keys_distinguish_targets_with_identical_blocking() {
+    // A runtime-registered target cloning arm-neon-dot's convention
+    // (4x4 blocking, i8 x i8, same machine model).
+    let mut clone = registry::target_by_id("arm-neon-dot").unwrap();
+    clone.id = "dsp-dot-clone".to_string();
+    clone.display_name = "fictional DSP with sdot-compatible blocking".to_string();
+    registry::register_target(clone.clone()).unwrap();
+    let arm_desc = registry::target_by_id("arm-neon-dot").unwrap();
+    assert_eq!(
+        clone.blocking(),
+        arm_desc.blocking(),
+        "the trap requires identical blocking"
+    );
+
+    let spec = ConvSpec::new_2d(8, 6, 8, 3, 1, 1);
+    let tuning = TuningConfig {
+        cpu: CpuTuneMode::ParallelUnroll,
+        gpu: GpuTuneMode::Generic,
+    };
+    assert_ne!(
+        KernelCacheKey::new(spec, "arm-neon-dot", tuning),
+        KernelCacheKey::new(spec, "dsp-dot-clone", tuning)
+    );
+
+    // Behaviorally: providers for the two targets sharing one cache fill
+    // one entry each (the clone target registers no instructions, so it
+    // lands on the SIMD fallback — under its own key).
+    let shared: Arc<KernelCache> = Arc::new(KernelCache::default());
+    let arm =
+        UnitProvider::new(Target::arm_neon_dot(), tuning).with_shared_cache(Arc::clone(&shared));
+    let dsp = UnitProvider::new(Target::by_id("dsp-dot-clone").unwrap(), tuning)
+        .with_shared_cache(Arc::clone(&shared));
+    let (_, arm_note) = arm.conv_micros(&spec);
+    let (_, dsp_note) = dsp.conv_micros(&spec);
+    assert_eq!(
+        shared.len(),
+        2,
+        "identical blocking must not collapse entries"
+    );
+    assert!(arm_note.contains("dot"), "ARM note: {arm_note}");
+    assert!(dsp_note.contains("fallback"), "DSP note: {dsp_note}");
+}

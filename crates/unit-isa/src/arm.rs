@@ -7,7 +7,43 @@
 
 use unit_dsl::{DType, InitExpr, OpBuilder};
 
-use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+use crate::descriptor::{PerfAttrs, TensorIntrinsic};
+use crate::target::{CpuMachine, ExecStyle, TargetDesc};
+
+/// The target id every descriptor in this module belongs to.
+pub const TARGET_ID: &str = "arm-neon-dot";
+
+/// The ARM dot-product target as data: AWS Graviton2 with the ARMv8.2
+/// dot-product extension (m6g.8xlarge) — 4-lane i32 output blocking,
+/// 4-wide reduction, i8 x i8 operands, analytic CPU tuner.
+#[must_use]
+pub fn target() -> TargetDesc {
+    TargetDesc {
+        id: TARGET_ID.to_string(),
+        display_name: "ARM NEON dot-product (ARMv8.2)".to_string(),
+        style: ExecStyle::Cpu {
+            machine: CpuMachine {
+                name: "AWS Graviton2 (Neoverse N1)".to_string(),
+                cores: 32,
+                freq_ghz: 2.3,
+                vector_issue_ports: 2.0,
+                scalar_ipc: 3.0,
+                vector_fma_latency: 4.0,
+                simd_bits: 128,
+                loop_uop_budget: 48,
+                frontend_penalty: 1.3,
+                fork_join_cycles: 10_000.0,
+                llc_bytes: 32 * 1024 * 1024,
+                dram_gbps: 80.0,
+                cacheline: 64,
+            },
+        },
+        lanes: 4,
+        reduce_width: 4,
+        data_dtype: DType::I8,
+        weight_dtype: DType::I8,
+    }
+}
 
 fn dot(lanes: i64, in_dtype: DType, name: &str) -> TensorIntrinsic {
     let mut b = OpBuilder::new(name);
@@ -27,7 +63,7 @@ fn dot(lanes: i64, in_dtype: DType, name: &str) -> TensorIntrinsic {
     );
     TensorIntrinsic {
         name: name.to_string(),
-        platform: Platform::ArmDot,
+        target: TARGET_ID.to_string(),
         semantics,
         // Neoverse-N1: DOT executes on both ASIMD pipes, 2/cycle, latency
         // ~4 cycles with a 1-cycle accumulate forwarding path; we use the

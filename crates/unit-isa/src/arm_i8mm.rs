@@ -1,0 +1,136 @@
+//! ARMv8.6 i8mm matrix-multiply instruction descriptors — the fourth
+//! built-in target, added after the paper as *pure data*: no Inspector,
+//! Rewriter, Tuner or graph-layout code knows it exists, which is the
+//! open-target-model claim made executable.
+//!
+//! `smmla` multiplies a 2×8 i8 matrix held in one 128-bit register against
+//! an 8×2 i8 matrix fragment in another and accumulates *in place* into a
+//! 2×2 i32 tile (`Vd += Vn · Vmᵀ` architecturally; the descriptor adopts
+//! the `K×N` fragment convention for the second operand, exactly as the
+//! WMMA descriptors do — operand preparation materializes the transpose).
+//! Structurally it is a miniature Tensor Core op, but it executes on a
+//! CPU and therefore rides the *analytic* tuner: the execution style comes
+//! from the target descriptor, not from the instruction's shape.
+
+use unit_dsl::{DType, InitExpr, OpBuilder};
+
+use crate::descriptor::{PerfAttrs, TensorIntrinsic};
+use crate::target::{CpuMachine, ExecStyle, TargetDesc};
+
+/// The target id every descriptor in this module belongs to.
+pub const TARGET_ID: &str = "arm-i8mm-smmla";
+
+/// The ARMv8.6 i8mm target as data: a Graviton3-class core (Neoverse V1)
+/// with the int8 matrix-multiply extension — 2-lane output blocking,
+/// 8-wide reduction, i8 x i8 operands, analytic CPU tuner.
+#[must_use]
+pub fn target() -> TargetDesc {
+    TargetDesc {
+        id: TARGET_ID.to_string(),
+        display_name: "ARMv8.6 i8mm matrix multiply".to_string(),
+        style: ExecStyle::Cpu {
+            machine: CpuMachine {
+                name: "AWS Graviton3 (Neoverse V1)".to_string(),
+                cores: 64,
+                freq_ghz: 2.6,
+                vector_issue_ports: 2.0,
+                scalar_ipc: 4.0,
+                vector_fma_latency: 4.0,
+                simd_bits: 128,
+                loop_uop_budget: 48,
+                frontend_penalty: 1.3,
+                fork_join_cycles: 10_000.0,
+                llc_bytes: 32 * 1024 * 1024,
+                dram_gbps: 150.0,
+                cacheline: 64,
+            },
+        },
+        lanes: 2,
+        reduce_width: 8,
+        data_dtype: DType::I8,
+        weight_dtype: DType::I8,
+    }
+}
+
+fn mmla(in_dtype: DType, name: &str) -> TensorIntrinsic {
+    let (m, n, k) = (2i64, 2i64, 8i64);
+    let mut b = OpBuilder::new(name);
+    let a = b.tensor("a", &[m, k], in_dtype);
+    let w = b.tensor("b", &[k, n], in_dtype);
+    let i = b.axis("i", m);
+    let j = b.axis("j", n);
+    let kk = b.reduce_axis("k", k);
+    let elem = b.load(a, vec![i.into(), kk.into()]).cast(DType::I32)
+        * b.load(w, vec![kk.into(), j.into()]).cast(DType::I32);
+    let semantics = b.compute(
+        "c",
+        DType::I32,
+        vec![i.into(), j.into()],
+        InitExpr::InPlace,
+        elem,
+    );
+    TensorIntrinsic {
+        name: name.to_string(),
+        target: TARGET_ID.to_string(),
+        semantics,
+        // Neoverse V1: MMLA executes on both ASIMD pipes, 2/cycle, with a
+        // ~3-cycle accumulate latency; 32 MACs per instruction.
+        perf: PerfAttrs {
+            latency_cycles: 3.0,
+            throughput_ipc: 2.0,
+            macs: (m * n * k) as u64,
+            uops: 1,
+        },
+    }
+}
+
+/// Signed int8 matrix multiply-accumulate: `i8[2x8] × i8[8x2] → i32[2x2]`.
+#[must_use]
+pub fn smmla() -> TensorIntrinsic {
+    mmla(DType::I8, "llvm.aarch64.neon.smmla.v4i32.v16i8")
+}
+
+/// Unsigned int8 matrix multiply-accumulate: `u8[2x8] × u8[8x2] → i32[2x2]`.
+#[must_use]
+pub fn ummla() -> TensorIntrinsic {
+    mmla(DType::U8, "llvm.aarch64.neon.ummla.v4i32.v16i8")
+}
+
+/// All i8mm descriptors (equal width; the signed variant the layout's
+/// i8 x i8 convention selects comes first).
+#[must_use]
+pub fn all() -> Vec<TensorIntrinsic> {
+    vec![smmla(), ummla()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smmla_is_a_2x2x8_in_place_tile() {
+        let s = smmla();
+        assert_eq!(s.output_lanes(), 4);
+        assert_eq!(s.parallel_extents(), vec![2, 2]);
+        assert_eq!(s.reduce_extents(), vec![8]);
+        assert_eq!(s.macs_per_call(), 32);
+        assert!(s.in_place_accumulator());
+        assert_eq!(s.accumulator_operand(), None);
+    }
+
+    #[test]
+    fn ummla_differs_only_in_signedness() {
+        let s = smmla();
+        let u = ummla();
+        assert_eq!(s.output_lanes(), u.output_lanes());
+        assert_eq!(u.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::U8);
+        assert_eq!(s.semantics.tensor(unit_dsl::TensorId(0)).dtype, DType::I8);
+    }
+
+    #[test]
+    fn descriptors_validate() {
+        for i in all() {
+            i.validate().unwrap_or_else(|e| panic!("{}: {e}", i.name));
+        }
+    }
+}

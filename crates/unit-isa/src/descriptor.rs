@@ -3,36 +3,15 @@
 //! A [`TensorIntrinsic`] is UNIT's unified abstraction (Section III-A of the
 //! paper): the instruction's arithmetic is a [`unit_dsl::ComputeOp`] whose
 //! tensors stand for register operands, and the descriptor adds the metadata
-//! the rest of the pipeline needs — which platform provides it, whether its
-//! accumulator is read-modify-write in place (Tensor Core) or a separate
-//! source register (VNNI/DOT), and pipeline attributes for the performance
-//! model.
+//! the rest of the pipeline needs — which target provides it (by
+//! [`crate::target::TargetDesc`] id), whether its accumulator is
+//! read-modify-write in place (Tensor Core) or a separate source register
+//! (VNNI/DOT), and pipeline attributes for the performance model.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use unit_dsl::{AxisKind, ComputeOp, InitExpr, TensorId};
-
-/// Hardware platform providing an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Platform {
-    /// Intel x86 with AVX-512 VNNI (Cascade Lake and later).
-    X86Vnni,
-    /// ARMv8.2 with the dot-product extension (e.g. Graviton2).
-    ArmDot,
-    /// Nvidia GPUs with Tensor Cores (Volta and later).
-    NvidiaTensorCore,
-}
-
-impl fmt::Display for Platform {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Platform::X86Vnni => f.write_str("x86-avx512-vnni"),
-            Platform::ArmDot => f.write_str("arm-neon-dot"),
-            Platform::NvidiaTensorCore => f.write_str("nvidia-tensor-core"),
-        }
-    }
-}
 
 /// Pipeline attributes of one instruction, consumed by the machine model.
 ///
@@ -59,8 +38,9 @@ pub struct PerfAttrs {
 pub struct TensorIntrinsic {
     /// Canonical (LLVM-style) intrinsic name.
     pub name: String,
-    /// Providing platform.
-    pub platform: Platform,
+    /// Id of the providing target (see [`crate::target::TargetDesc::id`]).
+    /// Targets are open, so this is data, not a closed enumeration.
+    pub target: String,
     /// The instruction's arithmetic as a tensor-DSL program. Tensors are
     /// register operands; data-parallel axes enumerate output lanes and
     /// reduce axes enumerate the horizontal reduction.
@@ -204,7 +184,7 @@ impl fmt::Display for TensorIntrinsic {
             f,
             "{} [{}]: {} lanes x {} reduce, {} MACs/call",
             self.name,
-            self.platform,
+            self.target,
             self.output_lanes(),
             self.reduce_extents().iter().product::<i64>(),
             self.macs_per_call()

@@ -5,11 +5,15 @@
 //! described as a small tensor-DSL program ([`unit_dsl::ComputeOp`]), so that
 //! one Inspector and one Rewriter serve every platform. This crate provides:
 //!
-//! * [`TensorIntrinsic`] — the descriptor bundling a name, a platform, the
+//! * [`TensorIntrinsic`] — the descriptor bundling a name, a target id, the
 //!   DSL semantics, operand roles, and pipeline attributes used by the
 //!   performance model.
-//! * A [`registry`] of the instructions evaluated in the paper (plus the
-//!   int8 Tensor Core and `vpdpwssd` extensions discussed as future targets).
+//! * [`TargetDesc`] — the *target* as data: execution style with its machine
+//!   model, register blocking and operand dtypes. Targets are open — new
+//!   hardware registers a descriptor at runtime instead of extending an enum.
+//! * A [`registry`] of the instructions and targets evaluated in the paper
+//!   (plus the int8 Tensor Core, `vpdpwssd` and ARMv8.6 i8mm extensions),
+//!   open to runtime registration of both.
 //! * [`scalar`] — the single source of truth for mixed-precision scalar
 //!   arithmetic (wrapping integer narrowing, `f16`/`f32` rounding).
 //! * [`emulate`] — a bit-accurate executor: any intrinsic can be applied to
@@ -27,13 +31,16 @@
 //! ```
 
 pub mod arm;
+pub mod arm_i8mm;
 pub mod descriptor;
 pub mod emulate;
 pub mod nvidia;
 pub mod registry;
 pub mod scalar;
+pub mod target;
 pub mod x86;
 
-pub use descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+pub use descriptor::{PerfAttrs, TensorIntrinsic};
 pub use emulate::{eval_compute_op, execute, EmulationError};
 pub use scalar::{Scalar, TypedBuf};
+pub use target::{CpuMachine, ExecStyle, GpuMachine, TargetDesc};

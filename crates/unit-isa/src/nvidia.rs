@@ -10,7 +10,41 @@
 
 use unit_dsl::{DType, InitExpr, OpBuilder};
 
-use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+use crate::descriptor::{PerfAttrs, TensorIntrinsic};
+use crate::target::{ExecStyle, GpuMachine, TargetDesc};
+
+/// The target id every descriptor in this module belongs to.
+pub const TARGET_ID: &str = "nvidia-tensor-core";
+
+/// The NVIDIA target as data: Tesla V100-SXM2 16GB (p3.2xlarge) — 16x16
+/// WMMA tile blocking, f16 x f16 operands, feedback GPU tuner. 80 SMs,
+/// 8 Tensor Cores per SM at 64 MACs/cycle.
+#[must_use]
+pub fn target() -> TargetDesc {
+    TargetDesc {
+        id: TARGET_ID.to_string(),
+        display_name: "NVIDIA Tensor Core (Volta WMMA)".to_string(),
+        style: ExecStyle::Gpu {
+            machine: GpuMachine {
+                name: "Nvidia Tesla V100-SXM2".to_string(),
+                sms: 80,
+                freq_ghz: 1.38,
+                tensor_macs_per_sm_cycle: 512.0,
+                fp32_lanes_per_sm: 64,
+                regs_per_sm: 65_536,
+                smem_per_sm: 96 * 1024,
+                sync_cycles: 40.0,
+                kernel_launch_us: 2.0,
+                dram_gbps: 900.0,
+                l2_bytes: 6 * 1024 * 1024,
+            },
+        },
+        lanes: 16,
+        reduce_width: 16,
+        data_dtype: DType::F16,
+        weight_dtype: DType::F16,
+    }
+}
 
 fn wmma(m: i64, n: i64, k: i64, in_dtype: DType, out_dtype: DType, name: &str) -> TensorIntrinsic {
     let mut b = OpBuilder::new(name);
@@ -30,7 +64,7 @@ fn wmma(m: i64, n: i64, k: i64, in_dtype: DType, out_dtype: DType, name: &str) -
     );
     TensorIntrinsic {
         name: name.to_string(),
-        platform: Platform::NvidiaTensorCore,
+        target: TARGET_ID.to_string(),
         semantics,
         // V100: 8 tensor cores per SM, 64 FMA/cycle each = 512 MACs/cycle/SM.
         // One warp-wide m16n16k16 wmma (4096 MACs) therefore sustains one

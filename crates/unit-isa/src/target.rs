@@ -1,0 +1,305 @@
+//! The open target model: compilation targets as *data*.
+//!
+//! UNIT's extensibility claim (Section VI-C) is that integrating new
+//! tensorized hardware is one descriptor. A [`TargetDesc`] is that
+//! descriptor for a whole target: an identifier, an execution style
+//! ([`ExecStyle::Cpu`] with the analytic two-breaking-point tuner, or
+//! [`ExecStyle::Gpu`] with the feedback kernel-config tuner) carrying the
+//! machine model, the register blocking convention `(lanes, reduce_width)`
+//! the graph layout derives its blocked tensors from, and the operand
+//! dtypes of the target's quantization convention.
+//!
+//! The paper's three evaluation platforms are expressed as pure data in
+//! [`crate::x86`], [`crate::arm`] and [`crate::nvidia`]; the ARMv8.6 i8mm
+//! target in [`crate::arm_i8mm`] demonstrates that adding a fourth is data
+//! only. Downstream users register additional targets at runtime through
+//! [`crate::registry::register_target`] — no pipeline code dispatches on a
+//! closed platform enumeration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::DType;
+
+/// A multicore CPU with SIMD/tensorized execution units.
+///
+/// Lives in the target descriptor (machine models are target *data*);
+/// `unit-sim` re-exports it as the parameter block of its analytic CPU
+/// estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuMachine {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Physical cores usable by one inference (the paper pins one socket).
+    pub cores: u32,
+    /// Clock in GHz (used only to convert cycles to seconds).
+    pub freq_ghz: f64,
+    /// Vector/tensor instructions issued per cycle (execution ports).
+    pub vector_issue_ports: f64,
+    /// Scalar instructions per cycle (guards, address arithmetic).
+    pub scalar_ipc: f64,
+    /// Latency in cycles of a generic vector FMA (non-tensorized baselines).
+    pub vector_fma_latency: f64,
+    /// SIMD register width in bits.
+    pub simd_bits: u32,
+    /// Loop-body micro-op budget before the front-end stops streaming from
+    /// the uop cache (over-unrolling penalty).
+    pub loop_uop_budget: u32,
+    /// Multiplier applied to compute cycles when the budget is exceeded.
+    pub frontend_penalty: f64,
+    /// Cycles to fork and join one parallel region across the chip.
+    pub fork_join_cycles: f64,
+    /// Last-level cache capacity in bytes (per socket).
+    pub llc_bytes: usize,
+    /// Sustained DRAM bandwidth in GB/s (whole socket).
+    pub dram_gbps: f64,
+    /// Cache-line size in bytes.
+    pub cacheline: usize,
+}
+
+impl CpuMachine {
+    /// Bytes the memory system can deliver per core-clock cycle.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps / self.freq_ghz
+    }
+}
+
+/// A GPU with tensorized matrix units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuMachine {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Tensor-core MACs per SM per cycle (fp16 with fp32 accumulate).
+    pub tensor_macs_per_sm_cycle: f64,
+    /// fp32 CUDA-core FMA lanes per SM (non-tensorized baselines).
+    pub fp32_lanes_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: usize,
+    /// Cycles for one block-wide `__syncthreads`.
+    pub sync_cycles: f64,
+    /// Kernel launch latency in microseconds.
+    pub kernel_launch_us: f64,
+    /// Sustained HBM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+}
+
+impl GpuMachine {
+    /// Bytes deliverable per GPU-clock cycle.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps / self.freq_ghz
+    }
+
+    /// Peak tensorized MACs per cycle, whole chip.
+    #[must_use]
+    pub fn peak_tensor_macs(&self) -> f64 {
+        self.tensor_macs_per_sm_cycle * f64::from(self.sms)
+    }
+}
+
+/// How a target executes and tunes kernels. The pipeline dispatches on
+/// this — never on the target's identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExecStyle {
+    /// Multicore CPU: schedules are searched with the analytic
+    /// two-breaking-point tuner against the machine model.
+    Cpu {
+        /// The machine model the analytic tuner profiles against.
+        machine: CpuMachine,
+    },
+    /// GPU: kernels are tuned with the feedback kernel-configuration
+    /// search (dimension fusion, split-K, occupancy).
+    Gpu {
+        /// The machine model the feedback tuner profiles against.
+        machine: GpuMachine,
+    },
+}
+
+/// A compilation target, fully described as data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetDesc {
+    /// Stable kebab-case identifier (`"x86-avx512-vnni"`). Instructions
+    /// name the target they belong to with this id, and kernel caches key
+    /// on it.
+    pub id: String,
+    /// Human-readable name for reports.
+    pub display_name: String,
+    /// Execution style and machine model.
+    pub style: ExecStyle,
+    /// Output-lane blocking the graph layout uses for this target: the
+    /// output-channel (or GEMM `n`/`m` tile) block size.
+    pub lanes: i64,
+    /// Reduction-width blocking: the input-channel (or GEMM `k` tile)
+    /// block size.
+    pub reduce_width: i64,
+    /// Activation/data operand dtype of the target's convention.
+    pub data_dtype: DType,
+    /// Weight operand dtype of the target's convention.
+    pub weight_dtype: DType,
+}
+
+impl TargetDesc {
+    /// The blocking convention `(lanes, reduce_width, data dtype, weight
+    /// dtype)` — the single source of truth shared by the graph compiler
+    /// and the differential test matrix.
+    #[must_use]
+    pub fn blocking(&self) -> (i64, i64, DType, DType) {
+        (
+            self.lanes,
+            self.reduce_width,
+            self.data_dtype,
+            self.weight_dtype,
+        )
+    }
+
+    /// Whether kernels for this target go through the GPU tuner.
+    #[must_use]
+    pub fn is_gpu(&self) -> bool {
+        matches!(self.style, ExecStyle::Gpu { .. })
+    }
+
+    /// The CPU machine model, for CPU-style targets.
+    #[must_use]
+    pub fn cpu_machine(&self) -> Option<&CpuMachine> {
+        match &self.style {
+            ExecStyle::Cpu { machine } => Some(machine),
+            ExecStyle::Gpu { .. } => None,
+        }
+    }
+
+    /// The GPU machine model, for GPU-style targets.
+    #[must_use]
+    pub fn gpu_machine(&self) -> Option<&GpuMachine> {
+        match &self.style {
+            ExecStyle::Gpu { machine } => Some(machine),
+            ExecStyle::Cpu { .. } => None,
+        }
+    }
+
+    /// Sanity-check structural invariants of the descriptor. Called by
+    /// [`crate::registry::register_target`] for every registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_target_id(&self.id)?;
+        if self.lanes <= 0 || self.reduce_width <= 0 {
+            return Err(format!(
+                "target `{}` blocking must be positive (lanes {}, reduce_width {})",
+                self.id, self.lanes, self.reduce_width
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Check that a target id is well-formed (non-empty kebab-case). Shared
+/// by [`TargetDesc::validate`] and instruction registration, so a typo'd
+/// or empty target id on a [`crate::TensorIntrinsic`] fails loudly at
+/// registration instead of silently making the instruction unreachable.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformed id.
+pub fn validate_target_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("target id must not be empty".to_string());
+    }
+    if !id
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Err(format!("target id `{id}` must be kebab-case ([a-z0-9-])"));
+    }
+    Ok(())
+}
+
+impl fmt::Display for TargetDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let style = if self.is_gpu() { "gpu" } else { "cpu" };
+        write!(
+            f,
+            "{} ({}, {style}, {}x{} blocking, {:?} x {:?})",
+            self.id,
+            self.display_name,
+            self.lanes,
+            self.reduce_width,
+            self.data_dtype,
+            self.weight_dtype
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry;
+
+    #[test]
+    fn every_builtin_target_validates() {
+        for t in registry::targets() {
+            t.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", t.id));
+        }
+    }
+
+    #[test]
+    fn builtin_machine_models_match_paper_hardware() {
+        let x86 = registry::target_by_id("x86-avx512-vnni").unwrap();
+        let clx = x86.cpu_machine().expect("x86 is a CPU target");
+        assert_eq!(clx.cores, 24);
+        assert!((clx.freq_ghz - 3.0).abs() < 1e-9);
+        assert_eq!(clx.simd_bits, 512);
+        assert!((clx.bytes_per_cycle() - 30.0).abs() < 1.0);
+
+        let arm = registry::target_by_id("arm-neon-dot").unwrap();
+        let g2 = arm.cpu_machine().expect("ARM is a CPU target");
+        assert_eq!(g2.cores, 32);
+        assert_eq!(g2.simd_bits, 128);
+
+        let nv = registry::target_by_id("nvidia-tensor-core").unwrap();
+        let v100 = nv.gpu_machine().expect("NVIDIA is a GPU target");
+        // 80 SMs * 512 MACs * 2 flops * 1.38 GHz ~ 113 Tflops (boost-clock
+        // dependent; the paper's marketing number is 125).
+        let tflops = v100.peak_tensor_macs() * 2.0 * v100.freq_ghz / 1000.0;
+        assert!(tflops > 100.0 && tflops < 130.0, "got {tflops}");
+        assert!(v100.bytes_per_cycle() > 600.0);
+    }
+
+    #[test]
+    fn blocking_is_descriptor_data() {
+        use unit_dsl::DType;
+        let x86 = registry::target_by_id("x86-avx512-vnni").unwrap();
+        assert_eq!(x86.blocking(), (16, 4, DType::U8, DType::I8));
+        let smmla = registry::target_by_id("arm-i8mm-smmla").unwrap();
+        assert_eq!(smmla.blocking(), (2, 8, DType::I8, DType::I8));
+        assert!(!smmla.is_gpu());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_descriptors() {
+        let mut t = registry::target_by_id("arm-neon-dot").unwrap();
+        t.id = "Bad Id".to_string();
+        assert!(t.validate().is_err());
+        t.id = "ok-id".to_string();
+        t.lanes = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = registry::target_by_id("arm-i8mm-smmla").unwrap();
+        let text = t.to_string();
+        assert!(text.contains("arm-i8mm-smmla"));
+        assert!(text.contains("2x8 blocking"));
+    }
+}

@@ -12,7 +12,43 @@
 
 use unit_dsl::{DType, InitExpr, OpBuilder};
 
-use crate::descriptor::{PerfAttrs, Platform, TensorIntrinsic};
+use crate::descriptor::{PerfAttrs, TensorIntrinsic};
+use crate::target::{CpuMachine, ExecStyle, TargetDesc};
+
+/// The target id every descriptor in this module belongs to.
+pub const TARGET_ID: &str = "x86-avx512-vnni";
+
+/// The x86 target as data: Intel Cascade Lake with AVX-512 VNNI (the
+/// paper's c5.12xlarge) — 16-lane i32 output blocking, 4-wide reduction,
+/// u8 x i8 operands, analytic CPU tuner.
+#[must_use]
+pub fn target() -> TargetDesc {
+    TargetDesc {
+        id: TARGET_ID.to_string(),
+        display_name: "Intel Cascade Lake AVX-512 VNNI".to_string(),
+        style: ExecStyle::Cpu {
+            machine: CpuMachine {
+                name: "Intel Xeon 8275CL (Cascade Lake)".to_string(),
+                cores: 24,
+                freq_ghz: 3.0,
+                vector_issue_ports: 2.0,
+                scalar_ipc: 3.0,
+                vector_fma_latency: 4.0,
+                simd_bits: 512,
+                loop_uop_budget: 64,
+                frontend_penalty: 1.35,
+                fork_join_cycles: 12_000.0,
+                llc_bytes: 35 * 1024 * 1024,
+                dram_gbps: 90.0,
+                cacheline: 64,
+            },
+        },
+        lanes: 16,
+        reduce_width: 4,
+        data_dtype: DType::U8,
+        weight_dtype: DType::I8,
+    }
+}
 
 /// Build a `vpdpbusd`-style descriptor with `lanes` i32 output lanes.
 fn vpdpbusd(lanes: i64, name: &str, throughput_ipc: f64) -> TensorIntrinsic {
@@ -33,7 +69,7 @@ fn vpdpbusd(lanes: i64, name: &str, throughput_ipc: f64) -> TensorIntrinsic {
     );
     TensorIntrinsic {
         name: name.to_string(),
-        platform: Platform::X86Vnni,
+        target: TARGET_ID.to_string(),
         semantics,
         perf: PerfAttrs {
             latency_cycles: 5.0,
@@ -87,7 +123,7 @@ pub fn vpdpwssd_512() -> TensorIntrinsic {
     );
     TensorIntrinsic {
         name: name.to_string(),
-        platform: Platform::X86Vnni,
+        target: TARGET_ID.to_string(),
         semantics,
         perf: PerfAttrs {
             latency_cycles: 5.0,

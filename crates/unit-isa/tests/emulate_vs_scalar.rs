@@ -173,8 +173,8 @@ fn check_one(intrin: &TensorIntrinsic, rng: &mut StdRng) {
 fn every_registered_instruction_matches_the_scalar_oracle() {
     let intrinsics = registry::all();
     assert!(
-        intrinsics.len() >= 11,
-        "expected the 11 built-in instructions, found {}",
+        intrinsics.len() >= 13,
+        "expected the 13 built-in instructions, found {}",
         intrinsics.len()
     );
     for intrin in &intrinsics {
@@ -213,16 +213,12 @@ fn dot_family_wraps_on_i32_overflow_like_hardware() {
 }
 
 #[test]
-fn every_platform_is_represented_in_the_registry() {
-    use unit_isa::Platform;
-    for platform in [
-        Platform::X86Vnni,
-        Platform::ArmDot,
-        Platform::NvidiaTensorCore,
-    ] {
+fn every_builtin_target_is_represented_in_the_registry() {
+    for target in registry::targets() {
         assert!(
-            registry::all().iter().any(|i| i.platform == platform),
-            "no instruction registered for {platform}"
+            !registry::for_target(&target.id).is_empty(),
+            "no instruction registered for {}",
+            target.id
         );
     }
 }

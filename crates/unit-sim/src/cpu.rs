@@ -371,7 +371,11 @@ mod tests {
     use unit_tir::{lower::lower, schedule::Schedule};
 
     fn clx() -> CpuMachine {
-        CpuMachine::cascade_lake()
+        unit_isa::registry::target_by_id("x86-avx512-vnni")
+            .expect("built-in target")
+            .cpu_machine()
+            .expect("CPU target")
+            .clone()
     }
 
     #[test]

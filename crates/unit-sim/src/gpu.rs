@@ -192,9 +192,17 @@ mod tests {
         }
     }
 
+    fn v100() -> GpuMachine {
+        unit_isa::registry::target_by_id("nvidia-tensor-core")
+            .expect("built-in target")
+            .gpu_machine()
+            .expect("GPU target")
+            .clone()
+    }
+
     #[test]
     fn split_k_improves_occupancy_bound_kernels() {
-        let m = GpuMachine::v100();
+        let m = v100();
         let base = estimate_gpu(&desc(2, 1), &m);
         let split = estimate_gpu(&desc(2, 8), &m);
         assert!(
@@ -207,7 +215,7 @@ mod tests {
 
     #[test]
     fn oversized_accumulation_window_spills() {
-        let m = GpuMachine::v100();
+        let m = v100();
         let p2 = estimate_gpu(&desc(2, 4), &m);
         let p4 = estimate_gpu(&desc(4, 4), &m);
         assert!(
@@ -220,7 +228,7 @@ mod tests {
 
     #[test]
     fn p1_exposes_wmma_latency() {
-        let m = GpuMachine::v100();
+        let m = v100();
         let p1 = estimate_gpu(&desc(1, 8), &m);
         let p2 = estimate_gpu(&desc(2, 8), &m);
         assert!(

@@ -1,183 +1,28 @@
-//! Machine descriptions of the paper's three evaluation platforms
-//! (Section V-A).
+//! Machine descriptions, re-exported from the target-descriptor layer.
+//!
+//! Machine models are target *data*: every [`unit_isa::TargetDesc`] carries
+//! its own [`CpuMachine`] or [`GpuMachine`] inside its execution style, so
+//! the paper's evaluation machines (Cascade Lake, Graviton2, V100) live in
+//! `unit-isa`'s built-in target modules and new targets bring their own
+//! model at registration time. This crate only keeps the *estimators* that
+//! consume them ([`crate::cpu::estimate_cpu`], [`crate::gpu::estimate_gpu`]).
 
-use serde::{Deserialize, Serialize};
-
-/// A multicore CPU with SIMD/tensorized execution units.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CpuMachine {
-    /// Marketing name, for reports.
-    pub name: String,
-    /// Physical cores usable by one inference (the paper pins one socket).
-    pub cores: u32,
-    /// Clock in GHz (used only to convert cycles to seconds).
-    pub freq_ghz: f64,
-    /// Vector/tensor instructions issued per cycle (execution ports).
-    pub vector_issue_ports: f64,
-    /// Scalar instructions per cycle (guards, address arithmetic).
-    pub scalar_ipc: f64,
-    /// Latency in cycles of a generic vector FMA (non-tensorized baselines).
-    pub vector_fma_latency: f64,
-    /// SIMD register width in bits.
-    pub simd_bits: u32,
-    /// Loop-body micro-op budget before the front-end stops streaming from
-    /// the uop cache (over-unrolling penalty).
-    pub loop_uop_budget: u32,
-    /// Multiplier applied to compute cycles when the budget is exceeded.
-    pub frontend_penalty: f64,
-    /// Cycles to fork and join one parallel region across the chip.
-    pub fork_join_cycles: f64,
-    /// Last-level cache capacity in bytes (per socket).
-    pub llc_bytes: usize,
-    /// Sustained DRAM bandwidth in GB/s (whole socket).
-    pub dram_gbps: f64,
-    /// Cache-line size in bytes.
-    pub cacheline: usize,
-}
-
-impl CpuMachine {
-    /// The x86 platform of the paper: 24-core Intel Xeon Platinum 8275CL
-    /// (Cascade Lake) @ 3.0 GHz, AVX-512 VNNI (c5.12xlarge).
-    #[must_use]
-    pub fn cascade_lake() -> CpuMachine {
-        CpuMachine {
-            name: "Intel Xeon 8275CL (Cascade Lake)".to_string(),
-            cores: 24,
-            freq_ghz: 3.0,
-            vector_issue_ports: 2.0,
-            scalar_ipc: 3.0,
-            vector_fma_latency: 4.0,
-            simd_bits: 512,
-            loop_uop_budget: 64,
-            frontend_penalty: 1.35,
-            fork_join_cycles: 12_000.0,
-            llc_bytes: 35 * 1024 * 1024,
-            dram_gbps: 90.0,
-            cacheline: 64,
-        }
-    }
-
-    /// The ARM platform of the paper: 32-core AWS Graviton2
-    /// (Neoverse-N1) @ 2.3 GHz with the dot-product extension (m6g.8xlarge).
-    #[must_use]
-    pub fn graviton2() -> CpuMachine {
-        CpuMachine {
-            name: "AWS Graviton2 (Neoverse N1)".to_string(),
-            cores: 32,
-            freq_ghz: 2.3,
-            vector_issue_ports: 2.0,
-            scalar_ipc: 3.0,
-            vector_fma_latency: 4.0,
-            simd_bits: 128,
-            loop_uop_budget: 48,
-            frontend_penalty: 1.3,
-            fork_join_cycles: 10_000.0,
-            llc_bytes: 32 * 1024 * 1024,
-            dram_gbps: 80.0,
-            cacheline: 64,
-        }
-    }
-
-    /// Bytes the memory system can deliver per core-clock cycle.
-    #[must_use]
-    pub fn bytes_per_cycle(&self) -> f64 {
-        self.dram_gbps / self.freq_ghz
-    }
-}
-
-/// A GPU with Tensor Cores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct GpuMachine {
-    /// Marketing name.
-    pub name: String,
-    /// Streaming multiprocessors.
-    pub sms: u32,
-    /// Clock in GHz.
-    pub freq_ghz: f64,
-    /// Tensor-core MACs per SM per cycle (fp16 with fp32 accumulate).
-    pub tensor_macs_per_sm_cycle: f64,
-    /// fp32 CUDA-core FMA lanes per SM (non-tensorized baselines).
-    pub fp32_lanes_per_sm: u32,
-    /// 32-bit registers per SM.
-    pub regs_per_sm: u32,
-    /// Shared memory per SM in bytes.
-    pub smem_per_sm: usize,
-    /// Cycles for one block-wide `__syncthreads`.
-    pub sync_cycles: f64,
-    /// Kernel launch latency in microseconds.
-    pub kernel_launch_us: f64,
-    /// Sustained HBM bandwidth in GB/s.
-    pub dram_gbps: f64,
-    /// L2 capacity in bytes.
-    pub l2_bytes: usize,
-}
-
-impl GpuMachine {
-    /// The GPU platform of the paper: Nvidia Tesla V100-SXM2 16GB
-    /// (p3.2xlarge). 80 SMs, 8 Tensor Cores per SM at 64 MACs/cycle.
-    #[must_use]
-    pub fn v100() -> GpuMachine {
-        GpuMachine {
-            name: "Nvidia Tesla V100-SXM2".to_string(),
-            sms: 80,
-            freq_ghz: 1.38,
-            tensor_macs_per_sm_cycle: 512.0,
-            fp32_lanes_per_sm: 64,
-            regs_per_sm: 65_536,
-            smem_per_sm: 96 * 1024,
-            sync_cycles: 40.0,
-            kernel_launch_us: 2.0,
-            dram_gbps: 900.0,
-            l2_bytes: 6 * 1024 * 1024,
-        }
-    }
-
-    /// Bytes deliverable per GPU-clock cycle.
-    #[must_use]
-    pub fn bytes_per_cycle(&self) -> f64 {
-        self.dram_gbps / self.freq_ghz
-    }
-
-    /// Peak fp16 Tensor-Core MACs per cycle, whole chip.
-    #[must_use]
-    pub fn peak_tensor_macs(&self) -> f64 {
-        self.tensor_macs_per_sm_cycle * f64::from(self.sms)
-    }
-}
+pub use unit_isa::target::{CpuMachine, GpuMachine};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use unit_isa::registry;
 
+    // The paper-hardware constants themselves are pinned by unit-isa's
+    // `builtin_machine_models_match_paper_hardware`; here we only check
+    // that the re-exported types resolve against a registry descriptor.
     #[test]
-    fn cascade_lake_matches_paper_hardware() {
-        let m = CpuMachine::cascade_lake();
-        assert_eq!(m.cores, 24);
-        assert!((m.freq_ghz - 3.0).abs() < 1e-9);
-        assert_eq!(m.simd_bits, 512);
-    }
-
-    #[test]
-    fn graviton2_matches_paper_hardware() {
-        let m = CpuMachine::graviton2();
-        assert_eq!(m.cores, 32);
-        assert_eq!(m.simd_bits, 128);
-    }
-
-    #[test]
-    fn v100_peak_is_125_tflops_fp16() {
-        let g = GpuMachine::v100();
-        // 80 SMs * 512 MACs * 2 flops * 1.38 GHz ~ 113 Tflops (boost-clock
-        // dependent; the paper's marketing number is 125).
-        let tflops = g.peak_tensor_macs() * 2.0 * g.freq_ghz / 1000.0;
-        assert!(tflops > 100.0 && tflops < 130.0, "got {tflops}");
-    }
-
-    #[test]
-    fn bandwidth_conversions() {
-        let m = CpuMachine::cascade_lake();
-        assert!((m.bytes_per_cycle() - 30.0).abs() < 1.0);
-        let g = GpuMachine::v100();
-        assert!(g.bytes_per_cycle() > 600.0);
+    fn machine_models_come_from_target_descriptors() {
+        let x86 = registry::target_by_id("x86-avx512-vnni").expect("built-in");
+        let m: super::CpuMachine = x86.cpu_machine().expect("CPU target").clone();
+        assert!(m.bytes_per_cycle() > 0.0);
+        let nv = registry::target_by_id("nvidia-tensor-core").expect("built-in");
+        let g: super::GpuMachine = nv.gpu_machine().expect("GPU target").clone();
+        assert!(g.peak_tensor_macs() > 0.0);
     }
 }

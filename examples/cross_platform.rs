@@ -49,4 +49,20 @@ fn main() {
     //     one reason per instruction tried. ---
     let err = x86.compile(&mm_f16).expect_err("fp16 cannot map to VNNI");
     println!("\nRejection diagnostics (fp16 matmul on VNNI):\n{err}");
+
+    // --- The open target model: the list above is not special. Every
+    //     target in the registry — including the post-paper ARMv8.6 i8mm
+    //     `smmla` and anything registered at runtime — compiles the same
+    //     GEMM workload through `op_for_target`, with blocking and dtypes
+    //     taken from its own descriptor. ---
+    println!("\nGEMM 32x64x128 on every registered target:");
+    let spec = unit::graph::OpSpec::gemm(32, 64, 128);
+    for desc in unit::isa::registry::targets() {
+        let (op, hint) = unit::graph::layout::op_for_target(&spec, &desc);
+        let t = Tensorizer::new(unit::pipeline::Target::from_desc(desc.clone()));
+        let k = t
+            .compile_with_hint(&op, hint)
+            .expect("a GEMM tensorizes on every registered target");
+        println!("{:<20}: {:<45} -> {}", desc.id, op.name, k.intrinsic.name);
+    }
 }

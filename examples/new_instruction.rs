@@ -1,20 +1,56 @@
 //! Extensibility (Section VI-C): integrating a brand-new tensorized
-//! instruction is *one descriptor* — the Inspector, Rewriter and Tuner are
-//! untouched.
+//! instruction — *and the hardware target that provides it* — is two data
+//! descriptors. The Inspector, Rewriter and Tuner are untouched.
 //!
 //! We invent a hypothetical "octo-dot" instruction (8 lanes, reduction
 //! width 8, i8 x i8 -> i32) for a fictional DSP, describe its semantics in
-//! the tensor DSL, and let the existing pipeline detect it, map it onto a
-//! matmul, and validate the rewritten kernel against the reference by
-//! direct emulation.
+//! the tensor DSL, register a `TargetDesc` carrying the DSP's machine
+//! model and blocking convention, and let the existing pipeline detect the
+//! instruction, map it, tune it against the DSP's own machine model, and
+//! validate every kernel against the reference by direct emulation. No
+//! piggybacking on a built-in platform profile: the DSP is a first-class
+//! target the moment its descriptor is registered.
 //!
 //! Run with `cargo run --release --example new_instruction`.
 
 use unit::dsl::{DType, InitExpr, OpBuilder};
 use unit::interp::{alloc_buffers, random_fill, run, run_reference};
-use unit::isa::{PerfAttrs, Platform, TensorIntrinsic};
-use unit::pipeline::Target;
-use unit::tir::passes::tensorize::tensorize_pass;
+use unit::isa::{CpuMachine, ExecStyle, PerfAttrs, TargetDesc, TensorIntrinsic};
+use unit::pipeline::{Target, Tensorizer};
+use unit_graph::layout::op_for_target;
+use unit_graph::OpSpec;
+
+const DSP_TARGET_ID: &str = "fictional-octo-dsp";
+
+/// The DSP as data: an embedded 8-core part with one octo-dot unit per
+/// core. This is everything the pipeline needs to tune for it.
+fn octo_dsp_target() -> TargetDesc {
+    TargetDesc {
+        id: DSP_TARGET_ID.to_string(),
+        display_name: "Fictional Octo DSP".to_string(),
+        style: ExecStyle::Cpu {
+            machine: CpuMachine {
+                name: "Octo DSP (8-core embedded)".to_string(),
+                cores: 8,
+                freq_ghz: 1.2,
+                vector_issue_ports: 1.0,
+                scalar_ipc: 2.0,
+                vector_fma_latency: 4.0,
+                simd_bits: 128,
+                loop_uop_budget: 32,
+                frontend_penalty: 1.5,
+                fork_join_cycles: 4_000.0,
+                llc_bytes: 4 * 1024 * 1024,
+                dram_gbps: 12.0,
+                cacheline: 64,
+            },
+        },
+        lanes: 8,
+        reduce_width: 8,
+        data_dtype: DType::I8,
+        weight_dtype: DType::I8,
+    }
+}
 
 fn octo_dot() -> TensorIntrinsic {
     let mut b = OpBuilder::new("dsp.octo.dot.v8i32");
@@ -34,7 +70,7 @@ fn octo_dot() -> TensorIntrinsic {
     );
     TensorIntrinsic {
         name: "dsp.octo.dot.v8i32".to_string(),
-        platform: Platform::ArmDot, // piggyback on a CPU platform profile
+        target: DSP_TARGET_ID.to_string(),
         semantics,
         perf: PerfAttrs {
             latency_cycles: 6.0,
@@ -45,12 +81,41 @@ fn octo_dot() -> TensorIntrinsic {
     }
 }
 
+/// Compile one op end to end on `target` and check it bit-exact against
+/// the reference interpreter (the registered instruction emulates itself).
+fn compile_and_check(op: &unit::dsl::ComputeOp, target: &Target, seed: u64) {
+    let k = Tensorizer::new(target.clone())
+        .compile(op)
+        .unwrap_or_else(|e| panic!("{} must compile on the DSP: {e}", op.name));
+    let mut bufs = alloc_buffers(&k.func);
+    random_fill(&mut bufs, seed);
+    let mut reference = bufs.clone();
+    run(&k.func, &mut bufs).expect("the registered instruction emulates itself");
+    run_reference(op, &mut reference).expect("reference");
+    assert_eq!(
+        bufs[op.output.0 as usize], reference[op.output.0 as usize],
+        "{} diverges from the reference",
+        op.name
+    );
+    println!(
+        "  {:<38} -> {} [{}], bit-exact",
+        op.name, k.intrinsic.name, k.chosen
+    );
+}
+
 fn main() {
+    // One target descriptor + one instruction descriptor: that is the
+    // whole integration.
+    unit::isa::registry::register_target(octo_dsp_target()).expect("descriptor is well-formed");
     let intrin = octo_dot();
     unit::isa::registry::register(intrin.clone()).expect("descriptor is well-formed");
+    let target = Target::by_id(DSP_TARGET_ID).expect("registered targets resolve like built-ins");
+    println!("new target     : {}", target.desc);
     println!("new instruction: {intrin}");
 
-    // An i8 matmul whose dimensions tile the new instruction.
+    // An i8 matmul whose dimensions tile the new instruction, compiled by
+    // the *unchanged* pipeline — Inspector detection, Rewriter injection,
+    // and the analytic Tuner profiling against the DSP's machine model.
     let mut b = OpBuilder::new("matmul_i8");
     let a = b.tensor("a", &[32, 64], DType::I8);
     let w = b.tensor("b", &[48, 64], DType::I8);
@@ -66,34 +131,28 @@ fn main() {
         InitExpr::Identity,
         elem,
     );
-
-    // The generic pipeline pieces, driven manually with the new descriptor
-    // (the registry is a static table in this reproduction; a production
-    // registry would be open).
-    let m = unit::pipeline::Tensorizer::new(Target::arm_neon_dot());
-    let _ = m; // the Target machinery is unchanged
-    let matched = unit_core::inspector::inspect(&intrin, &op).expect("octo-dot applies");
+    let kernel = Tensorizer::new(target.clone())
+        .compile(&op)
+        .expect("octo-dot applies");
     println!(
-        "mapping: {:?} (of {} feasible alternatives)",
-        matched.mapping,
-        matched.alternatives.len()
+        "\nmapping: {:?}, tuned schedule: {}, {}",
+        kernel.mapping, kernel.chosen, kernel.estimate
     );
-    let ts = unit_core::rewriter::build_tensorized_schedule(&op, &matched, &intrin)
-        .expect("schedulable");
-    let func = unit_tir::lower::lower(&ts.schedule, "matmul_octo").expect("lowers");
-    let func = tensorize_pass(&func, &ts.request()).expect("replaces");
     println!(
         "\ntensorized IR:\n{}",
-        unit::tir::printer::print_func(&func)
+        unit::tir::printer::print_func(&kernel.func)
     );
 
-    // Correctness through direct emulation of the new instruction's own
-    // DSL semantics (the descriptor *is* its emulator).
-    let mut bufs = alloc_buffers(&func);
-    random_fill(&mut bufs, 4);
-    let mut reference = bufs.clone();
-    run(&func, &mut bufs).expect("the registered instruction emulates itself");
-    run_reference(&op, &mut reference).expect("reference");
-    assert_eq!(bufs[op.output.0 as usize], reference[op.output.0 as usize]);
-    println!("correctness: octo-dot kernel == reference (bit-exact)");
+    // Graph-level workloads lower through the same `op_for_target`
+    // dispatch as every built-in, with blocking and dtypes taken from the
+    // DSP's descriptor: a convolution and a GEMM, end to end.
+    println!("graph workloads on {}:", target.desc.id);
+    for (seed, spec) in [
+        (41u64, OpSpec::conv2d(8, 6, 16, 3, 1, 1)),
+        (42u64, OpSpec::gemm(8, 16, 32)),
+    ] {
+        let (op, _hint) = op_for_target(&spec, &target.desc);
+        compile_and_check(&op, &target, seed);
+    }
+    println!("correctness: every octo-dot kernel == reference (bit-exact)");
 }

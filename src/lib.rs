@@ -6,15 +6,18 @@
 //!
 //! * [`dsl`] — the tensor DSL in which both tensor operations and tensorized
 //!   instructions (Intel VNNI, ARM DOT, Nvidia Tensor Core) are described.
-//! * [`isa`] — the instruction registry: unified semantics descriptors plus
-//!   bit-accurate software emulation of every instruction.
+//! * [`isa`] — the instruction *and target* registries: unified semantics
+//!   descriptors plus bit-accurate software emulation of every instruction,
+//!   and the open target model (`TargetDesc`) — targets are data carrying
+//!   their own machine model, blocking and dtypes, registrable at runtime.
 //! * [`tir`] — the tensor IR: canonical loop nests, scheduling primitives
 //!   (`split`/`reorder`/`fuse`/`parallel`/`unroll`/`bind`), lowering, and the
 //!   tensorize-replacement pass.
 //! * [`interp`] — a tensor-IR interpreter used as the functional-correctness
 //!   substrate (no LLVM backend is required).
-//! * [`sim`] — analytic performance models of the paper's three hardware
-//!   targets (Cascade Lake, Graviton2, V100) used as the profiling substrate.
+//! * [`sim`] — analytic CPU/GPU performance estimators used as the profiling
+//!   substrate; the machine models they consume (Cascade Lake, Graviton2,
+//!   V100, ...) travel inside each target's descriptor.
 //! * [`pipeline`] — the paper's contribution: Inspector (applicability
 //!   detection), Rewriter (loop reorganization + instruction injection) and
 //!   Tuner (CPU/GPU schedule search).

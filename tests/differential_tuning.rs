@@ -1,8 +1,9 @@
-//! Differential tests for the parallel compilation engine and the
-//! operator-generic workload model.
+//! Differential tests for the parallel compilation engine, the
+//! operator-generic workload model, and the open target model.
 //!
-//! Two properties are enforced over a grid of matmul/conv shapes on all
-//! three platforms (x86 VNNI, ARM DOT, NVIDIA Tensor Core):
+//! Two properties are enforced over a grid of matmul/conv shapes on the
+//! registered targets (x86 VNNI, ARM DOT, ARMv8.6 i8mm `smmla`, NVIDIA
+//! Tensor Core — enumerated from the registry, not hard-coded):
 //!
 //! 1. **Numerical identity**: every tuning stage (`ParallelOnly`,
 //!    `ParallelUnroll`, `Tuned`) emits a kernel whose interpreter result
@@ -13,13 +14,16 @@
 //!    This is the guard that keeps the candidates-to-optimum statistic of
 //!    Section VI-B meaningful when tuning runs multi-threaded.
 //!
-//! On top of the hand-picked grids, an **op × platform matrix**
+//! On top of the hand-picked grids, an **op × target matrix**
 //! (`op_spec_matrix_*` below) replays every `OpSpec` variant — dense 2D
 //! conv, depthwise, grouped conv, 3D conv, GEMM, batched matmul — through
-//! the exact lowering the graph compiler uses (`op_for_platform`) on all
-//! three platforms, checking each compiled (or SIMD-fallback) kernel
+//! the exact lowering the graph compiler uses (`op_for_target`) on every
+//! registered target, checking each compiled (or SIMD-fallback) kernel
 //! bit-identical against the reference interpreter and the parallel tuner
-//! against the serial one.
+//! against the serial one. The i8mm target rides the matrix purely as
+//! registry data: nothing in this file (or in the pipeline) names it
+//! except the one assertion that its known non-tiling case is the *only*
+//! combination allowed to fall back.
 
 use unit::dsl::builder::{matmul_f16, matmul_u8i8};
 use unit::dsl::{ComputeOp, DType};
@@ -30,9 +34,9 @@ use unit_core::tuner::{
     tune_cpu, tune_cpu_with_workers, tune_gpu, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode,
 };
 use unit_graph::compile::simd_fallback_func;
-use unit_graph::layout::{blocked_conv2d, blocked_dense, op_for_platform};
+use unit_graph::layout::{blocked_conv2d, blocked_dense, blocked_gemm, op_for_target};
 use unit_graph::{ConvSpec, OpSpec};
-use unit_isa::{registry, Platform};
+use unit_isa::registry;
 
 /// The CPU tuning stages of Figure 10, in ablation order.
 fn cpu_stages() -> Vec<CpuTuneMode> {
@@ -86,17 +90,29 @@ fn x86_grid() -> Vec<ComputeOp> {
     ops
 }
 
-/// The ARM differential grid: blocked convs and a dense layer in the
-/// i8 x i8 `sdot` convention (lanes 4, reduction width 4).
-fn arm_grid() -> Vec<ComputeOp> {
+/// A differential grid in a CPU target's own blocking convention, derived
+/// from the descriptor (this is what makes the grid portable to targets
+/// the grid author never saw).
+fn blocked_grid_for(target: &Target) -> Vec<ComputeOp> {
+    let (lanes, rwidth, ddt, wdt) = target.desc.blocking();
     let mut ops = Vec::new();
     for spec in [
         ConvSpec::new_2d(8, 8, 16, 3, 1, 1),
         ConvSpec::new_2d(12, 6, 8, 1, 1, 0),
     ] {
-        ops.push(blocked_conv2d(&spec, 4, 4, DType::I8, DType::I8));
+        ops.push(blocked_conv2d(&spec, lanes, rwidth, ddt, wdt));
     }
-    ops.push(blocked_dense(32, 12, 4, 4, DType::I8, DType::I8));
+    // A fully connected layer. `blocked_dense` has no row axis, so
+    // matrix-tile instructions like smmla (whose 2x2 tile needs a second
+    // data-parallel axis) cannot map it — those targets exercise the
+    // equivalent row-tile GEMM instead, exactly as `dense_for_target`
+    // style dispatch would.
+    let dense = blocked_dense(32, 12, lanes, rwidth, ddt, wdt);
+    if Tensorizer::new(target.clone()).inspect(&dense).is_ok() {
+        ops.push(dense);
+    } else {
+        ops.push(blocked_gemm(lanes, 12, 32, 1, lanes, rwidth, ddt, wdt));
+    }
     ops
 }
 
@@ -116,7 +132,7 @@ fn every_x86_stage_matches_the_reference() {
 
 #[test]
 fn every_arm_stage_matches_the_reference() {
-    for (i, op) in arm_grid().iter().enumerate() {
+    for (i, op) in blocked_grid_for(&Target::arm_neon_dot()).iter().enumerate() {
         for (j, mode) in cpu_stages().into_iter().enumerate() {
             assert_stage_matches_reference(
                 op,
@@ -124,6 +140,19 @@ fn every_arm_stage_matches_the_reference() {
                 mode,
                 5000 + (i * 10 + j) as u64,
             );
+        }
+    }
+}
+
+#[test]
+fn every_smmla_stage_matches_the_reference() {
+    // The fourth built-in target, exercised through the same generic
+    // helpers as the paper's three — nothing here is smmla-specific
+    // except the target lookup.
+    let target = Target::by_id("arm-i8mm-smmla").expect("built-in target");
+    for (i, op) in blocked_grid_for(&target).iter().enumerate() {
+        for (j, mode) in cpu_stages().into_iter().enumerate() {
+            assert_stage_matches_reference(op, target.clone(), mode, 5500 + (i * 10 + j) as u64);
         }
     }
 }
@@ -158,7 +187,7 @@ fn gpu_kernels_match_the_reference() {
 
 /// One representative per `OpSpec` variant, sized for debug-mode
 /// interpretation. This is the row axis of the differential matrix; the
-/// column axis is the three platforms.
+/// column axis is every target in the registry.
 fn op_spec_matrix() -> Vec<OpSpec> {
     vec![
         OpSpec::conv2d(8, 6, 16, 3, 1, 1),
@@ -172,12 +201,35 @@ fn op_spec_matrix() -> Vec<OpSpec> {
     ]
 }
 
-fn all_platforms() -> [Target; 3] {
-    [
-        Target::x86_avx512_vnni(),
-        Target::arm_neon_dot(),
-        Target::nvidia_tensor_core(),
-    ]
+/// Every target in the registry — the matrix column axis is *data*. The
+/// four built-ins are asserted present so a registry regression cannot
+/// silently shrink the matrix.
+fn all_targets() -> Vec<Target> {
+    let targets: Vec<Target> = registry::targets()
+        .into_iter()
+        .map(Target::from_desc)
+        .collect();
+    for id in [
+        "x86-avx512-vnni",
+        "arm-neon-dot",
+        "arm-i8mm-smmla",
+        "nvidia-tensor-core",
+    ] {
+        assert!(
+            targets.iter().any(|t| t.desc.id == id),
+            "built-in target {id} missing from the registry"
+        );
+    }
+    targets
+}
+
+/// The only (target, workload) combination allowed to miss tensorization:
+/// the 2-lane smmla tile cannot map onto the odd 5x5 spatial extents of
+/// the depth-multiplier grouped spec (no data-parallel axis tiles by 2),
+/// so that one rides the SIMD fallback — still bit-identical.
+fn fallback_is_expected(target: &Target, spec: &OpSpec) -> bool {
+    target.desc.id == "arm-i8mm-smmla"
+        && matches!(spec, OpSpec::GroupedConv { conv, .. } if conv.ohw() % target.desc.lanes != 0)
 }
 
 /// Run a compiled kernel function against the reference executor of the
@@ -194,49 +246,54 @@ fn assert_func_matches_reference(func: &unit_tir::TirFunc, op: &ComputeOp, seed:
     );
 }
 
-/// The matrix: every `OpSpec` variant × every platform, through the exact
-/// graph-compiler lowering, bit-identical against the reference.
+/// The matrix: every `OpSpec` variant × every registered target, through
+/// the exact graph-compiler lowering, bit-identical against the reference.
 ///
 /// Tensorizable workloads are checked under every tuning stage (serial
 /// and 8-worker parallel tuning must agree bit-for-bit); depthwise
-/// workloads — rejected by the Inspector on every platform — are checked
-/// through the SIMD fallback schedule on CPUs and assert the rejection on
-/// the GPU (its CUDA-core fallback is a cost model, not a kernel).
+/// workloads — rejected by the Inspector on every target — are checked
+/// through the SIMD fallback schedule on CPU-style targets and assert the
+/// rejection on GPU-style ones (the CUDA-core fallback is a cost model,
+/// not a kernel).
 #[test]
-fn op_spec_matrix_matches_reference_on_every_platform() {
+fn op_spec_matrix_matches_reference_on_every_target() {
     for (i, spec) in op_spec_matrix().iter().enumerate() {
-        for (j, target) in all_platforms().iter().enumerate() {
+        for (j, target) in all_targets().iter().enumerate() {
             let seed = 7000 + (i * 10 + j) as u64;
-            let (op, hint) = op_for_platform(spec, target.platform);
-            let what = format!("{} on {:?}", op.name, target.platform);
+            let (op, hint) = op_for_target(spec, &target.desc);
+            let what = format!("{} on {}", op.name, target.desc.id);
             if spec.is_depthwise() {
-                match target.platform {
-                    Platform::NvidiaTensorCore => {
-                        let err = Tensorizer::new(target.clone()).inspect(&op);
-                        assert!(err.is_err(), "{what}: depthwise must be rejected");
-                    }
-                    _ => {
-                        let func = simd_fallback_func(&op);
-                        assert_func_matches_reference(&func, &op, seed, &what);
-                    }
+                if target.desc.is_gpu() {
+                    let err = Tensorizer::new(target.clone()).inspect(&op);
+                    assert!(err.is_err(), "{what}: depthwise must be rejected");
+                } else {
+                    let func = simd_fallback_func(&op);
+                    assert_func_matches_reference(&func, &op, seed, &what);
                 }
                 continue;
             }
-            let modes: Vec<TuningConfig> = match target.platform {
-                Platform::NvidiaTensorCore => [GpuTuneMode::Generic, GpuTuneMode::Tuned]
+            if Tensorizer::new(target.clone()).inspect(&op).is_err() {
+                assert!(fallback_is_expected(target, spec), "{what} must tensorize");
+                let func = simd_fallback_func(&op);
+                assert_func_matches_reference(&func, &op, seed, &what);
+                continue;
+            }
+            let modes: Vec<TuningConfig> = if target.desc.is_gpu() {
+                [GpuTuneMode::Generic, GpuTuneMode::Tuned]
                     .into_iter()
                     .map(|gpu| TuningConfig {
                         cpu: CpuTuneMode::ParallelUnroll,
                         gpu,
                     })
-                    .collect(),
-                _ => cpu_stages()
+                    .collect()
+            } else {
+                cpu_stages()
                     .into_iter()
                     .map(|cpu| TuningConfig {
                         cpu,
                         gpu: GpuTuneMode::Tuned,
                     })
-                    .collect(),
+                    .collect()
             };
             for tuning in modes {
                 let kernel = Tensorizer::new(target.clone())
@@ -249,22 +306,31 @@ fn op_spec_matrix_matches_reference_on_every_platform() {
     }
 }
 
-/// The determinism half of the matrix: on both CPU platforms, the
+/// The determinism half of the matrix: on every CPU-style target, the
 /// parallel tuner must pick exactly the serial tuner's schedule for every
 /// tensorizable `OpSpec` variant.
 #[test]
 fn op_spec_matrix_parallel_tuning_agrees_with_serial() {
-    for target in [Target::x86_avx512_vnni(), Target::arm_neon_dot()] {
-        let machine = target.cpu.clone().expect("CPU target");
+    for target in all_targets().iter().filter(|t| !t.desc.is_gpu()) {
+        let machine = target.cpu.clone().expect("CPU-style target");
         for spec in op_spec_matrix() {
             if spec.is_depthwise() {
                 continue; // no tuner runs on the fallback path
             }
-            let (op, _) = op_for_platform(&spec, target.platform);
+            let (op, _) = op_for_target(&spec, &target.desc);
             let t = Tensorizer::new(target.clone());
-            let (intrin, m) = t
-                .inspect(&op)
-                .unwrap_or_else(|e| panic!("{} must tensorize: {e}", op.name));
+            let (intrin, m) = match t.inspect(&op) {
+                Ok(found) => found,
+                Err(e) => {
+                    assert!(
+                        fallback_is_expected(target, &spec),
+                        "{} must tensorize on {}: {e}",
+                        op.name,
+                        target.desc.id
+                    );
+                    continue;
+                }
+            };
             let mode = CpuTuneMode::Tuned { max_pairs: 6 };
             let serial = tune_cpu(&op, &m, &intrin, &machine, mode).expect("serial tunes");
             for workers in [2, 8] {
@@ -272,8 +338,8 @@ fn op_spec_matrix_parallel_tuning_agrees_with_serial() {
                     .expect("parallel tunes");
                 assert_eq!(
                     par.chosen, serial.chosen,
-                    "{}: {workers} workers chose a different pair",
-                    op.name
+                    "{} on {}: {workers} workers chose a different pair",
+                    op.name, target.desc.id
                 );
                 assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
                 assert_eq!(par.log, serial.log, "{}: log order changed", op.name);
@@ -283,57 +349,59 @@ fn op_spec_matrix_parallel_tuning_agrees_with_serial() {
 }
 
 /// GPU half of the determinism matrix: the parallel GPU tuner agrees with
-/// the serial one on the GEMM-family workloads the Tensor Core path
+/// the serial one on the GEMM-family workloads every GPU-style target
 /// compiles.
 #[test]
 fn op_spec_matrix_parallel_gpu_tuning_agrees_with_serial() {
-    let machine = unit_sim::GpuMachine::v100();
-    for spec in op_spec_matrix() {
-        if spec.is_depthwise() {
-            continue;
-        }
-        let (op, hint) = op_for_platform(&spec, Platform::NvidiaTensorCore);
-        let t = Tensorizer::new(Target::nvidia_tensor_core());
-        let (intrin, m) = t
-            .inspect(&op)
-            .unwrap_or_else(|e| panic!("{} must tensorize: {e}", op.name));
-        let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, hint);
-        for workers in [2, 8] {
-            let par = tune_gpu_with_workers(
-                &op,
-                &m,
-                &intrin,
-                &machine,
-                GpuTuneMode::Tuned,
-                hint,
-                workers,
-            );
-            assert_eq!(par.chosen, serial.chosen, "{}", op.name);
-            assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
-            assert_eq!(par.log, serial.log, "{}", op.name);
+    for target in all_targets().iter().filter(|t| t.desc.is_gpu()) {
+        let machine = target.gpu.clone().expect("GPU-style target");
+        for spec in op_spec_matrix() {
+            if spec.is_depthwise() {
+                continue;
+            }
+            let (op, hint) = op_for_target(&spec, &target.desc);
+            let t = Tensorizer::new(target.clone());
+            let (intrin, m) = t
+                .inspect(&op)
+                .unwrap_or_else(|e| panic!("{} must tensorize: {e}", op.name));
+            let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, hint);
+            for workers in [2, 8] {
+                let par = tune_gpu_with_workers(
+                    &op,
+                    &m,
+                    &intrin,
+                    &machine,
+                    GpuTuneMode::Tuned,
+                    hint,
+                    workers,
+                );
+                assert_eq!(par.chosen, serial.chosen, "{}", op.name);
+                assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
+                assert_eq!(par.log, serial.log, "{}", op.name);
+            }
         }
     }
 }
 
 /// Whole-model differential check for the GEMM-built transformer: the
 /// parallel compilation path must reproduce the serial report bit-for-bit
-/// on every platform (the conv-model twin lives below).
+/// on every registered target (the conv-model twin lives below).
 #[test]
-fn transformer_parallel_compilation_is_deterministic_on_every_platform() {
+fn transformer_parallel_compilation_is_deterministic_on_every_target() {
     use unit_graph::models::transformer_tiny;
     let g = transformer_tiny();
     let tuning = TuningConfig {
         cpu: CpuTuneMode::Tuned { max_pairs: 2 },
         gpu: GpuTuneMode::Tuned,
     };
-    for target in all_platforms() {
+    for target in all_targets() {
         let baseline = unit_graph::compile_graph(&g, target.clone(), tuning);
         for workers in [2, 8] {
             let r = unit_graph::compile_model_parallel(&g, target.clone(), tuning, workers);
             assert_eq!(
                 r.total_ms, baseline.total_ms,
-                "{:?} with {workers} workers",
-                target.platform
+                "{} with {workers} workers",
+                target.desc.id
             );
         }
     }
@@ -341,11 +409,12 @@ fn transformer_parallel_compilation_is_deterministic_on_every_platform() {
 
 #[test]
 fn parallel_cpu_tuning_picks_the_same_pair_as_serial() {
-    for target in [Target::x86_avx512_vnni(), Target::arm_neon_dot()] {
-        let machine = target.cpu.clone().expect("CPU target");
-        let grid = match target.platform {
-            unit_isa::Platform::ArmDot => arm_grid(),
-            _ => x86_grid(),
+    for target in all_targets().iter().filter(|t| !t.desc.is_gpu()) {
+        let machine = target.cpu.clone().expect("CPU-style target");
+        let grid = if target.desc.id == "x86-avx512-vnni" {
+            x86_grid()
+        } else {
+            blocked_grid_for(target)
         };
         for op in &grid {
             let t = Tensorizer::new(target.clone());
@@ -357,8 +426,8 @@ fn parallel_cpu_tuning_picks_the_same_pair_as_serial() {
                     .expect("parallel tunes");
                 assert_eq!(
                     par.chosen, serial.chosen,
-                    "{}: {workers} workers chose a different pair",
-                    op.name
+                    "{} on {}: {workers} workers chose a different pair",
+                    op.name, target.desc.id
                 );
                 assert_eq!(par.estimate.cycles, serial.estimate.cycles, "{}", op.name);
                 assert_eq!(par.log, serial.log, "{}: log order changed", op.name);
@@ -372,7 +441,7 @@ fn parallel_gpu_tuning_picks_the_same_config_as_serial() {
     let op = matmul_f16(48, 512, 2048);
     let intrin = registry::by_name("llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32").unwrap();
     let m = inspect(&intrin, &op).unwrap();
-    let machine = unit_sim::GpuMachine::v100();
+    let machine = Target::nvidia_tensor_core().gpu.expect("GPU target");
     let serial = tune_gpu(&op, &m, &intrin, &machine, GpuTuneMode::Tuned, None);
     for workers in [2, 8] {
         let par = tune_gpu_with_workers(

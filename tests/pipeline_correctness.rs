@@ -170,7 +170,7 @@ fn runtime_registered_instructions_compile_and_emulate() {
     );
     let intrin = unit::isa::TensorIntrinsic {
         name: "custom.dot.v2".to_string(),
-        platform: unit::isa::Platform::ArmDot,
+        target: "arm-neon-dot".to_string(),
         semantics,
         perf: unit::isa::PerfAttrs {
             latency_cycles: 3.0,
