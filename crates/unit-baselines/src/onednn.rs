@@ -214,8 +214,7 @@ mod tests {
     #[test]
     fn depthwise_goes_through_the_simd_path() {
         let p = MxnetOneDnnProvider::new();
-        #[allow(deprecated)] // the compat constructor must keep working
-        let spec = ConvSpec::depthwise(128, 14, 3, 1, 1);
+        let spec = ConvSpec::grouped_2d(128, 14, 128, 3, 1, 1, 128);
         let (_, note) = p.conv_micros(&spec);
         assert!(note.contains("SIMD"));
     }

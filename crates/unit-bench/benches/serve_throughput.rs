@@ -1,0 +1,181 @@
+//! Serving-runtime throughput: cold vs warm whole-model compilation and
+//! scheduler requests/sec.
+//!
+//! Run via `cargo bench -p unit-bench --bench serve_throughput`. Three
+//! tracked numbers:
+//!
+//! * **cold compile**: transformer-tiny + mobilenet-v1 on every
+//!   registered target into an empty engine (full tuner searches),
+//! * **warm compile**: the same set into a fresh engine restored from
+//!   the artifact store the cold run persisted — replayed tuning
+//!   decisions, *zero tuner searches* (asserted),
+//! * **serving throughput**: a burst of small mixed Conv/Gemm requests
+//!   pushed through the batching scheduler by 8 client threads across
+//!   all targets, reported as requests/sec.
+//!
+//! `SERVE_THROUGHPUT_SMOKE=1` switches to a single-repetition smoke run
+//! that still asserts the warm-start contract and additionally writes
+//! `BENCH_serve.json` (requests/sec, cold vs warm compile millis) into
+//! the working directory — the start of the serving bench trajectory
+//! tracked by CI.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unit_core::pipeline::TuningConfig;
+use unit_core::tuner::{tuner_searches, CpuTuneMode, GpuTuneMode};
+use unit_graph::models::{mobilenet_v1, transformer_tiny};
+use unit_graph::{Graph, OpSpec};
+use unit_isa::registry;
+use unit_serve::{ArtifactStore, Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
+
+fn tuning() -> TuningConfig {
+    TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 8 },
+        gpu: GpuTuneMode::Tuned,
+    }
+}
+
+/// The request mix (small: the interpreter executes every request).
+fn menu() -> Vec<(&'static str, OpSpec)> {
+    vec![
+        ("mobilenet-v1", OpSpec::depthwise(8, 8, 3, 1, 1)),
+        ("mobilenet-v1", OpSpec::conv2d(4, 6, 8, 3, 1, 1)),
+        ("transformer-tiny", OpSpec::gemm(16, 16, 16)),
+        ("transformer-tiny", OpSpec::batched_gemm(2, 8, 16, 16)),
+    ]
+}
+
+fn compile_all(engine: &ServeEngine, models: &[Graph], targets: &[String]) -> Duration {
+    let t0 = Instant::now();
+    for graph in models {
+        for target in targets {
+            let _ = engine.compile_model(graph, target).expect("compile");
+        }
+    }
+    t0.elapsed()
+}
+
+fn main() {
+    let smoke = std::env::var("SERVE_THROUGHPUT_SMOKE").is_ok();
+    let models = [transformer_tiny(), mobilenet_v1()];
+    let targets: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
+    let store_path = std::env::temp_dir().join("unit-serve-bench.store");
+
+    // --- Cold compile (and persist). ---
+    let cold = ServeEngine::new(tuning());
+    let cold_elapsed = compile_all(&cold, &models, &targets);
+    for (model, op) in menu() {
+        for target in &targets {
+            cold.execute(model, target, op, 0).expect("cold execute");
+        }
+    }
+    cold.export_artifacts().save(&store_path).expect("save");
+
+    // --- Warm compile from the persisted store. ---
+    let warm = ServeEngine::new(tuning());
+    warm.import_artifacts(ArtifactStore::load(&store_path).expect("load"));
+    std::fs::remove_file(&store_path).ok();
+    let searches_before = tuner_searches();
+    let warm_elapsed = compile_all(&warm, &models, &targets);
+    assert_eq!(
+        tuner_searches(),
+        searches_before,
+        "warm compile must perform zero tuner searches"
+    );
+
+    // --- Serving throughput: submit the whole burst, then drain, so the
+    // dispatcher actually forms multi-request batches. ---
+    let requests: usize = if smoke { 128 } else { 512 };
+    let clients = 8;
+    let per_client = requests / clients;
+    let engine = Arc::new(warm);
+    let scheduler = Arc::new(Scheduler::start(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+        },
+    ));
+    let menu = menu();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let scheduler = Arc::clone(&scheduler);
+            let (menu, targets) = (&menu, &targets);
+            scope.spawn(move || {
+                let mut pending = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let (model, op) = &menu[(client + i) % menu.len()];
+                    let target = &targets[(client + i) % targets.len()];
+                    let (_, rx) = scheduler
+                        .submit(ServeRequest {
+                            model: (*model).to_string(),
+                            target: target.clone(),
+                            op: *op,
+                            seed: (i % 5) as u64,
+                        })
+                        .expect("admission");
+                    pending.push(rx);
+                }
+                for rx in pending {
+                    assert!(rx.recv().expect("response").result.is_ok());
+                }
+            });
+        }
+    });
+    let serve_elapsed = t0.elapsed();
+    let rps = engine.metrics().throughput_rps(serve_elapsed);
+
+    println!(
+        "serve_throughput: {} targets, {} requests",
+        targets.len(),
+        requests
+    );
+    println!(
+        "  cold compile {:>8.1} ms   warm compile {:>8.2} ms   ({:.0}x)",
+        cold_elapsed.as_secs_f64() * 1e3,
+        warm_elapsed.as_secs_f64() * 1e3,
+        cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  serving      {:>8.2} s    {:>8.0} req/s",
+        serve_elapsed.as_secs_f64(),
+        rps
+    );
+    println!("{}", engine.metrics().render());
+
+    assert_eq!(engine.metrics().completed(), requests as u64);
+    assert_eq!(engine.metrics().failed(), 0);
+    assert_eq!(engine.metrics().tuner_searches(), 0);
+    assert!(
+        warm_elapsed < cold_elapsed,
+        "replaying artifacts must be faster than searching"
+    );
+
+    if smoke {
+        // Hand-rolled JSON (the vendored serde is a stub): the tracked
+        // serving-bench artifact CI archives as BENCH_serve.json.
+        let json = format!(
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"targets\": {},\n  \"requests\": {requests},\n  \"requests_per_sec\": {rps:.1},\n  \"cold_compile_ms\": {:.2},\n  \"warm_compile_ms\": {:.3},\n  \"warm_tuner_searches\": 0,\n  \"batch_size_mean\": {:.2}\n}}\n",
+            targets.len(),
+            cold_elapsed.as_secs_f64() * 1e3,
+            warm_elapsed.as_secs_f64() * 1e3,
+            mean_batch(&engine),
+        );
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json:\n{json}");
+    }
+}
+
+fn mean_batch(engine: &ServeEngine) -> f64 {
+    // Parse the stable rendering rather than growing the metrics API a
+    // bench-only accessor.
+    engine
+        .metrics()
+        .render()
+        .lines()
+        .find_map(|l| l.strip_prefix("batch_size_mean "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}

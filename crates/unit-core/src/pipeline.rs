@@ -74,7 +74,7 @@ impl Target {
 }
 
 /// Tuning effort configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TuningConfig {
     /// CPU search mode.
     pub cpu: CpuTuneMode,
@@ -87,6 +87,50 @@ impl Default for TuningConfig {
         TuningConfig {
             cpu: CpuTuneMode::Tuned { max_pairs: 16 },
             gpu: GpuTuneMode::Tuned,
+        }
+    }
+}
+
+impl TuningConfig {
+    /// Stable text encoding, e.g. `cpu=tuned:16;gpu=tuned`. This is the
+    /// encoding the `unit-serve` artifact-store file format persists, so
+    /// it must round-trip exactly ([`TuningConfig::decode`]) and may only
+    /// change together with the store's format version.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!("cpu={};gpu={}", self.cpu.encode(), self.gpu.encode())
+    }
+
+    /// Parse the [`TuningConfig::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed field.
+    pub fn decode(s: &str) -> Result<TuningConfig, String> {
+        let mut cpu = None;
+        let mut gpu = None;
+        for field in s.split(';') {
+            match field.split_once('=') {
+                Some(("cpu", v)) => cpu = Some(CpuTuneMode::decode(v)?),
+                Some(("gpu", v)) => gpu = Some(GpuTuneMode::decode(v)?),
+                _ => return Err(format!("tuning config `{s}`: bad field `{field}`")),
+            }
+        }
+        Ok(TuningConfig {
+            cpu: cpu.ok_or_else(|| format!("tuning config `{s}`: missing cpu mode"))?,
+            gpu: gpu.ok_or_else(|| format!("tuning config `{s}`: missing gpu mode"))?,
+        })
+    }
+
+    /// Whether compiling under this config on the given execution style
+    /// enumerates more than one candidate (an actual tuner *search*).
+    #[must_use]
+    pub fn searches(&self, style: &ExecStyle) -> bool {
+        match style {
+            ExecStyle::Cpu { .. } => {
+                matches!(self.cpu, CpuTuneMode::Tuned { max_pairs } if max_pairs > 1)
+            }
+            ExecStyle::Gpu { .. } => matches!(self.gpu, GpuTuneMode::Tuned),
         }
     }
 }
@@ -111,6 +155,15 @@ pub struct CompiledKernel {
     pub tuning_log: Vec<(String, f64)>,
     /// GPU kernel configuration (GPU targets only).
     pub gpu_desc: Option<GpuKernelDesc>,
+    /// The *search-free* tuning config that reproduces this kernel:
+    /// `CpuTuneMode::Fixed` at the winning pair for CPU targets (the
+    /// rebuilt function, estimate and chosen-schedule string are all
+    /// identical, since candidate construction is deterministic), and
+    /// `GpuTuneMode::Generic` for GPU targets (whose functional kernel
+    /// does not depend on the scheduling knobs). The serving runtime
+    /// persists this per kernel so a warm start replays tuning decisions
+    /// with zero searches.
+    pub replay: TuningConfig,
 }
 
 /// The UNIT compiler front object.
@@ -224,6 +277,7 @@ impl Tensorizer {
                     self.tuning.cpu,
                     self.workers,
                 )?;
+                let (par, unroll) = tuned.chosen_pair;
                 Ok(CompiledKernel {
                     op_name: op.name.clone(),
                     intrinsic,
@@ -233,6 +287,10 @@ impl Tensorizer {
                     chosen: tuned.chosen,
                     tuning_log: tuned.log,
                     gpu_desc: None,
+                    replay: TuningConfig {
+                        cpu: CpuTuneMode::Fixed { par, unroll },
+                        gpu: GpuTuneMode::Generic,
+                    },
                 })
             }
             ExecStyle::Gpu { .. } => {
@@ -264,6 +322,15 @@ impl Tensorizer {
                     chosen: tuned.chosen,
                     tuning_log: tuned.log,
                     gpu_desc: Some(tuned.desc),
+                    replay: TuningConfig {
+                        // The functional GPU kernel is tuning-independent;
+                        // `Generic` profiles one config, so replay never
+                        // searches. The replayed *estimate* is not used —
+                        // warm latency reports come from the persisted
+                        // micros, not from re-profiling.
+                        cpu: CpuTuneMode::ParallelUnroll,
+                        gpu: GpuTuneMode::Generic,
+                    },
                 })
             }
         }
@@ -381,6 +448,100 @@ mod tests {
         assert_eq!(parallel.chosen, serial.chosen);
         assert_eq!(parallel.estimate.cycles, serial.estimate.cycles);
         assert_eq!(parallel.tuning_log, serial.tuning_log);
+    }
+
+    #[test]
+    fn tuning_config_encoding_round_trips() {
+        use crate::tuner::{CpuTuneMode, GpuTuneMode};
+        let configs = [
+            TuningConfig::default(),
+            TuningConfig {
+                cpu: CpuTuneMode::ParallelOnly,
+                gpu: GpuTuneMode::Generic,
+            },
+            TuningConfig {
+                cpu: CpuTuneMode::ParallelUnroll,
+                gpu: GpuTuneMode::FuseDim,
+            },
+            TuningConfig {
+                cpu: CpuTuneMode::Fixed {
+                    par: 1500,
+                    unroll: 8,
+                },
+                gpu: GpuTuneMode::SplitK,
+            },
+            TuningConfig {
+                cpu: CpuTuneMode::Tuned { max_pairs: 3 },
+                gpu: GpuTuneMode::Tuned,
+            },
+        ];
+        for cfg in configs {
+            let enc = cfg.encode();
+            let dec = TuningConfig::decode(&enc).unwrap();
+            assert_eq!(dec.cpu, cfg.cpu, "{enc}");
+            assert_eq!(dec.gpu, cfg.gpu, "{enc}");
+        }
+        assert_eq!(TuningConfig::default().encode(), "cpu=tuned:16;gpu=tuned");
+        // Malformed inputs are rejected, never panicking.
+        for bad in [
+            "",
+            "cpu=tuned:16",
+            "gpu=tuned",
+            "cpu=warp;gpu=tuned",
+            "cpu=tuned:0;gpu=tuned",
+            "cpu=fixed:12;gpu=tuned",
+            "cpu=fixed:1:2:3;gpu=tuned",
+            "cpu=tuned:x;gpu=tuned",
+            "cpu=tuned:16;gpu=magic",
+            "cpu=tuned:16;gpu=tuned;extra=1",
+        ] {
+            assert!(TuningConfig::decode(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn replay_config_rebuilds_the_identical_cpu_kernel_without_searching() {
+        let op = conv2d_hwc(18, 18, 32, 64, 3, 3);
+        let target = Target::x86_avx512_vnni();
+        let searched = Tensorizer::new(target.clone()).compile(&op).unwrap();
+        assert!(matches!(
+            searched.replay.cpu,
+            crate::tuner::CpuTuneMode::Fixed { .. }
+        ));
+        let invocations_before = crate::tuner::tuner_searches();
+        let replayed = Tensorizer::new(target)
+            .with_tuning(searched.replay)
+            .compile(&op)
+            .unwrap();
+        // Replay profiles exactly one candidate: bit-identical function,
+        // same estimate and chosen schedule, and no additional search
+        // (the global search counter may move due to concurrent tests,
+        // so assert through the replayed kernel's own log instead).
+        assert_eq!(replayed.tuning_log.len(), 1);
+        assert_eq!(replayed.chosen, searched.chosen);
+        assert_eq!(replayed.estimate.cycles, searched.estimate.cycles);
+        assert_eq!(
+            format!("{:?}", replayed.func),
+            format!("{:?}", searched.func),
+            "replayed function must be identical"
+        );
+        let _ = invocations_before;
+    }
+
+    #[test]
+    fn gpu_replay_is_search_free_and_functionally_identical() {
+        let op = matmul_f16(112, 256, 512);
+        let target = Target::nvidia_tensor_core();
+        let searched = Tensorizer::new(target.clone()).compile(&op).unwrap();
+        let replayed = Tensorizer::new(target)
+            .with_tuning(searched.replay)
+            .compile(&op)
+            .unwrap();
+        assert_eq!(replayed.tuning_log.len(), 1, "Generic profiles one config");
+        assert_eq!(
+            format!("{:?}", replayed.func),
+            format!("{:?}", searched.func)
+        );
     }
 
     #[test]

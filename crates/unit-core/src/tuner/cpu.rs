@@ -40,13 +40,67 @@ pub enum CpuTuneMode {
         max_pairs: usize,
     },
     /// One fixed breaking-point pair, no search. Used to model the fixed
-    /// expert schedules of vendor libraries and manual TVM schedules.
+    /// expert schedules of vendor libraries and manual TVM schedules, and
+    /// by the serving runtime to **replay** a previously searched choice
+    /// from a persisted artifact store without re-searching.
     Fixed {
         /// Parallel fusion bound.
         par: i64,
         /// Unroll budget.
         unroll: i64,
     },
+}
+
+impl CpuTuneMode {
+    /// Stable text encoding used by the on-disk artifact-store format
+    /// (`unit-serve`). The encoding is part of the artifact file format
+    /// and must only change together with its version number.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            CpuTuneMode::ParallelOnly => "parallel-only".to_string(),
+            CpuTuneMode::ParallelUnroll => "parallel-unroll".to_string(),
+            CpuTuneMode::Tuned { max_pairs } => format!("tuned:{max_pairs}"),
+            CpuTuneMode::Fixed { par, unroll } => format!("fixed:{par}:{unroll}"),
+        }
+    }
+
+    /// Parse the [`CpuTuneMode::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed field.
+    pub fn decode(s: &str) -> Result<CpuTuneMode, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let arg = |p: Option<&str>, what: &str| -> Result<i64, String> {
+            p.ok_or_else(|| format!("cpu mode `{s}`: missing {what}"))?
+                .parse::<i64>()
+                .map_err(|e| format!("cpu mode `{s}`: bad {what}: {e}"))
+        };
+        let mode = match head {
+            "parallel-only" => CpuTuneMode::ParallelOnly,
+            "parallel-unroll" => CpuTuneMode::ParallelUnroll,
+            "tuned" => {
+                let n = arg(parts.next(), "max_pairs")?;
+                if n < 1 {
+                    return Err(format!("cpu mode `{s}`: max_pairs must be >= 1"));
+                }
+                CpuTuneMode::Tuned {
+                    max_pairs: n as usize,
+                }
+            }
+            "fixed" => CpuTuneMode::Fixed {
+                par: arg(parts.next(), "par")?,
+                unroll: arg(parts.next(), "unroll")?,
+            },
+            other => return Err(format!("unknown cpu tune mode `{other}`")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("cpu mode `{s}`: trailing fields"));
+        }
+        Ok(mode)
+    }
 }
 
 /// A tuned CPU kernel.
@@ -58,6 +112,11 @@ pub struct CpuTuneResult {
     pub estimate: Estimate,
     /// Description of the chosen breaking points.
     pub chosen: String,
+    /// The winning `(parallel bound, unroll budget)` pair as data:
+    /// re-tuning with `CpuTuneMode::Fixed` at this pair rebuilds the
+    /// identical kernel without searching (the artifact-store replay
+    /// path).
+    pub chosen_pair: (i64, i64),
     /// `(candidate description, cycles)` for every profiled candidate.
     pub log: Vec<(String, f64)>,
 }
@@ -270,6 +329,7 @@ pub fn tune_cpu_with_workers(
             .collect(),
         CpuTuneMode::Fixed { par, unroll } => vec![(par, unroll)],
     };
+    crate::tuner::stats::record(pairs.len());
 
     let profiled = parallel_map(&pairs, workers, |_, &(par, unroll)| {
         let func = build_candidate(op, m, intrinsic, par, unroll, &op.name)?;
@@ -278,23 +338,27 @@ pub fn tune_cpu_with_workers(
     });
 
     let mut log = Vec::new();
-    let mut best: Option<(TirFunc, Estimate, String)> = None;
+    let mut best: Option<(TirFunc, Estimate, String, (i64, i64))> = None;
     for ((par, unroll), outcome) in pairs.iter().zip(profiled) {
         let (func, est) = outcome?;
         let desc = format!("parallel<{par},unroll<{unroll}");
         log.push((desc.clone(), est.cycles));
         // Strict `<`: the earliest optimal candidate wins, exactly as in
         // the serial loop.
-        let better = best.as_ref().is_none_or(|(_, b, _)| est.cycles < b.cycles);
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b, _, _)| est.cycles < b.cycles);
         if better {
-            best = Some((func, est, desc));
+            best = Some((func, est, desc, (*par, *unroll)));
         }
     }
-    let (func, estimate, chosen) = best.expect("at least one candidate is always profiled");
+    let (func, estimate, chosen, chosen_pair) =
+        best.expect("at least one candidate is always profiled");
     Ok(CpuTuneResult {
         func,
         estimate,
         chosen,
+        chosen_pair,
         log,
     })
 }

@@ -38,6 +38,36 @@ pub enum GpuTuneMode {
     Tuned,
 }
 
+impl GpuTuneMode {
+    /// Stable text encoding used by the on-disk artifact-store format
+    /// (`unit-serve`). Part of the artifact file format: change it only
+    /// together with the format version.
+    #[must_use]
+    pub fn encode(&self) -> &'static str {
+        match self {
+            GpuTuneMode::Generic => "generic",
+            GpuTuneMode::FuseDim => "fusedim",
+            GpuTuneMode::SplitK => "splitk",
+            GpuTuneMode::Tuned => "tuned",
+        }
+    }
+
+    /// Parse the [`GpuTuneMode::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the unknown mode.
+    pub fn decode(s: &str) -> Result<GpuTuneMode, String> {
+        match s {
+            "generic" => Ok(GpuTuneMode::Generic),
+            "fusedim" => Ok(GpuTuneMode::FuseDim),
+            "splitk" => Ok(GpuTuneMode::SplitK),
+            "tuned" => Ok(GpuTuneMode::Tuned),
+            other => Err(format!("unknown gpu tune mode `{other}`")),
+        }
+    }
+}
+
 /// Convolution structure hints for GPU tuning: the implicit-GEMM view
 /// erases the spatial/channel split, but dimension fusion and split-K are
 /// defined in terms of it (Figure 6 / Section III-C).
@@ -194,6 +224,7 @@ pub fn tune_gpu_with_workers(
             out
         }
     };
+    crate::tuner::stats::record(configs.len());
 
     let profiled =
         crate::tuner::parallel::parallel_map(&configs, workers, |_, &(p, fuse, split)| {

@@ -4,6 +4,7 @@
 pub mod cpu;
 pub mod gpu;
 pub mod parallel;
+pub mod stats;
 
 pub use cpu::{tune_cpu, tune_cpu_with_workers, CpuTuneMode, CpuTuneResult};
 pub use gpu::{
@@ -11,3 +12,4 @@ pub use gpu::{
     GpuTuneResult,
 };
 pub use parallel::{effective_workers, parallel_map};
+pub use stats::{tuner_invocations, tuner_searches};

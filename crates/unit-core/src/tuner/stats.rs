@@ -1,0 +1,60 @@
+//! Process-wide tuner instrumentation.
+//!
+//! The serving runtime's warm-start contract — "replaying a saved
+//! artifact store performs **zero** tuner searches" — needs an observer
+//! that cannot be fooled by a cache layer above it. These counters sit
+//! inside the tuner entry points themselves: every call to
+//! [`crate::tuner::tune_cpu_with_workers`] /
+//! [`crate::tuner::tune_gpu_with_workers`] is an **invocation**, and an
+//! invocation that profiles more than one candidate (a `Tuned` mode) is a
+//! **search**. Replay modes (`CpuTuneMode::Fixed`, `GpuTuneMode::Generic`,
+//! ...) build exactly one candidate, so they count as invocations but
+//! never as searches.
+//!
+//! The counters are process-global and monotone (no reset), so concurrent
+//! tuning from many threads only ever adds. Tests assert on *deltas*
+//! around the work they drive and therefore must not share a test binary
+//! with unrelated tuner traffic — `unit-serve` keeps its counter-asserting
+//! tests in dedicated integration-test binaries for exactly this reason.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+static SEARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Record one tuner entry-point call profiling `candidates` candidates.
+pub(crate) fn record(candidates: usize) {
+    INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    if candidates > 1 {
+        SEARCHES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Total tuner entry-point calls since process start (any mode).
+#[must_use]
+pub fn tuner_invocations() -> u64 {
+    INVOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total tuner calls that enumerated more than one candidate (actual
+/// schedule searches) since process start.
+#[must_use]
+pub fn tuner_searches() -> u64 {
+    SEARCHES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_candidate_counts_as_invocation_not_search() {
+        let (i0, s0) = (tuner_invocations(), tuner_searches());
+        record(1);
+        record(4);
+        // Other tests tune concurrently, so only lower bounds are stable.
+        assert!(tuner_invocations() >= i0 + 2);
+        assert!(tuner_searches() > s0);
+        assert!(tuner_invocations() >= tuner_searches());
+    }
+}

@@ -95,6 +95,42 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     }
 }
 
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// Export every entry. Shards are visited in order but entries within
+    /// a shard come out in `HashMap` iteration order — callers that need
+    /// a canonical order (the artifact store's stable file format) sort
+    /// the snapshot themselves.
+    ///
+    /// The snapshot is *per shard* consistent, not globally atomic: a
+    /// concurrent insert may or may not appear. With first-insert-wins
+    /// semantics every entry that does appear is canonical.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().unwrap();
+            out.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Bulk-import entries (the warm-start restore path). Existing keys
+    /// keep their first-inserted value, matching
+    /// [`ShardedCache::get_or_insert_with`]'s first-insert-wins contract.
+    /// Returns how many entries were actually inserted.
+    pub fn restore(&self, entries: impl IntoIterator<Item = (K, V)>) -> usize {
+        let mut inserted = 0;
+        for (k, v) in entries {
+            let mut map = self.shard(&k).lock().unwrap();
+            if let Entry::Vacant(e) = map.entry(k) {
+                e.insert(v);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+}
+
 impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
     fn default() -> ShardedCache<K, V> {
         ShardedCache::new(DEFAULT_SHARDS)
@@ -159,6 +195,30 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_with_first_insert_wins() {
+        let a: ShardedCache<u64, u64> = ShardedCache::new(4);
+        for k in 0..32 {
+            a.insert(k, k * 2);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), 32);
+
+        // Restore into a cache that already holds a conflicting entry:
+        // the existing value wins, everything else lands.
+        let b: ShardedCache<u64, u64> = ShardedCache::new(8);
+        b.insert(7, 999);
+        let inserted = b.restore(snap);
+        assert_eq!(inserted, 31, "the conflicting key is skipped");
+        assert_eq!(b.len(), 32);
+        assert_eq!(b.get(&7), Some(999), "first insert wins on restore");
+        for k in 0..32u64 {
+            if k != 7 {
+                assert_eq!(b.get(&k), Some(k * 2));
+            }
+        }
     }
 
     #[test]

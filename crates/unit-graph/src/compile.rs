@@ -22,13 +22,84 @@ use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{parallel_map, CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
 use unit_sim::estimate_cpu;
-use unit_tir::{lower::lower, LoopKind, Schedule};
+use unit_tir::{lower::lower, LoopKind, Schedule, TirFunc};
 
 use crate::cache::ShardedCache;
 use crate::ir::{Graph, OpKind};
 use crate::layout::{dense_for_target, op_for_target};
 use crate::passes::fuse_elementwise;
 use crate::workload::{ConvSpec, OpSpec};
+
+/// Anything the kernel cache (and the serving runtime's artifact store)
+/// can key a compiled result by: an operator-generic [`OpSpec`] workload,
+/// or a dense (fully connected) layer, which lowers through
+/// [`dense_for_target`] rather than [`op_for_target`] and therefore needs
+/// its own identity. Covering dense here is what makes a warm start from
+/// a persisted artifact store *completely* search-free — before this, the
+/// dense classifier of every CNN re-tuned on each compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheWorkload {
+    /// A tensor workload (conv, grouped conv, GEMM).
+    Op(OpSpec),
+    /// A dense layer `in_features -> units`.
+    Dense {
+        /// Flattened input features.
+        in_features: i64,
+        /// Output units.
+        units: i64,
+    },
+}
+
+impl CacheWorkload {
+    /// Stable text encoding for the artifact-store file format: defers to
+    /// [`OpSpec::encode`] for tensor workloads, `dense:<in>:<units>` for
+    /// dense layers. Change only with the store's format version.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            CacheWorkload::Op(spec) => spec.encode(),
+            CacheWorkload::Dense { in_features, units } => format!("dense:{in_features}:{units}"),
+        }
+    }
+
+    /// Parse the [`CacheWorkload::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed field.
+    pub fn decode(s: &str) -> Result<CacheWorkload, String> {
+        match s.strip_prefix("dense:") {
+            Some(rest) => {
+                let (a, b) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("workload `{s}`: dense needs in_features:units"))?;
+                let in_features = a
+                    .parse::<i64>()
+                    .map_err(|e| format!("workload `{s}`: bad in_features: {e}"))?;
+                let units = b
+                    .parse::<i64>()
+                    .map_err(|e| format!("workload `{s}`: bad units: {e}"))?;
+                if in_features < 1 || units < 1 {
+                    return Err(format!("workload `{s}`: dense dims must be positive"));
+                }
+                Ok(CacheWorkload::Dense { in_features, units })
+            }
+            None => OpSpec::decode(s).map(CacheWorkload::Op),
+        }
+    }
+}
+
+impl From<OpSpec> for CacheWorkload {
+    fn from(spec: OpSpec) -> CacheWorkload {
+        CacheWorkload::Op(spec)
+    }
+}
+
+impl From<ConvSpec> for CacheWorkload {
+    fn from(spec: ConvSpec) -> CacheWorkload {
+        CacheWorkload::Op(OpSpec::from_conv(spec))
+    }
+}
 
 /// The kernel-cache key: the workload, the target *id*, and the **full**
 /// tuning configuration.
@@ -47,10 +118,10 @@ use crate::workload::{ConvSpec, OpSpec};
 /// machine models.)
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct KernelCacheKey {
-    /// The workload (conv, grouped conv or GEMM — the `OpSpec` variant is
+    /// The workload (conv, grouped conv, GEMM or dense — the variant is
     /// part of the key, so a GEMM can never collide with a conv of the
-    /// same MAC count).
-    pub spec: OpSpec,
+    /// same MAC count, nor a dense layer with its equivalent GEMM).
+    pub spec: CacheWorkload,
     /// Descriptor id of the target the kernel was compiled for.
     pub target: String,
     /// CPU tuning mode, including its search budget / fixed pair.
@@ -61,11 +132,11 @@ pub struct KernelCacheKey {
 
 impl KernelCacheKey {
     /// The key for a workload on a target under a tuning configuration.
-    /// Accepts a bare `ConvSpec` too (normalized via
-    /// [`OpSpec::from_conv`]).
+    /// Accepts a bare `ConvSpec` / `OpSpec` too (normalized via
+    /// [`OpSpec::from_conv`] / [`CacheWorkload::Op`]).
     #[must_use]
     pub fn new(
-        spec: impl Into<OpSpec>,
+        spec: impl Into<CacheWorkload>,
         target: impl Into<String>,
         tuning: TuningConfig,
     ) -> KernelCacheKey {
@@ -307,6 +378,29 @@ pub fn compile_models_parallel(
     graphs.iter().map(|g| e2e_latency(g, &provider)).collect()
 }
 
+/// Compile a model against an externally owned (possibly pre-warmed)
+/// kernel cache: the serving runtime's artifact import/export hook.
+///
+/// When `cache` was restored from a persisted artifact store
+/// (`ShardedCache::restore`), every workload — convolutions, GEMMs *and*
+/// the dense classifier — hits the cache and the tuner is never invoked;
+/// the report is bit-identical to the cold [`compile_graph`] run that
+/// produced the artifacts. Workloads missing from the cache (partial or
+/// stale stores) are compiled normally, fanned out across `workers`
+/// threads, and left in `cache` for the caller to re-export.
+#[must_use]
+pub fn compile_model_with_artifacts(
+    graph: &Graph,
+    target: Target,
+    tuning: TuningConfig,
+    cache: &Arc<KernelCache>,
+    workers: usize,
+) -> E2eReport {
+    let provider = UnitProvider::new(target, tuning).with_shared_cache(Arc::clone(cache));
+    warm_kernel_cache(&provider, &[graph], workers);
+    e2e_latency(graph, &provider)
+}
+
 /// Fan the unique tensor workloads of `graphs` out across `workers`
 /// threads, filling the provider's kernel cache.
 fn warm_kernel_cache(provider: &UnitProvider, graphs: &[&Graph], workers: usize) {
@@ -437,12 +531,21 @@ impl UnitProvider {
         }
     }
 
-    /// SIMD fallback for operations the Inspector rejects (depthwise).
-    fn fallback_micros(&self, op: &unit_dsl::ComputeOp) -> (f64, String) {
+    /// SIMD-fallback cost for operations the Inspector rejects
+    /// (depthwise). The caller supplies the already-lowered fallback
+    /// function — [`UnitProvider::compile_workload_full`] needs it for
+    /// execution anyway, so it is lowered exactly once. `func` is only
+    /// consulted for CPU targets (the GPU cost model works from the op
+    /// directly).
+    fn fallback_micros_with(
+        &self,
+        op: &unit_dsl::ComputeOp,
+        func: Option<&TirFunc>,
+    ) -> (f64, String) {
         match &self.target.cpu {
             Some(machine) => {
-                let func = simd_fallback_func(op);
-                let est = estimate_cpu(&func, machine);
+                let func = func.expect("CPU fallback estimation needs the lowered function");
+                let est = estimate_cpu(func, machine);
                 (
                     est.micros(machine.freq_ghz),
                     "SIMD fallback (no applicable instruction)".into(),
@@ -472,22 +575,130 @@ impl UnitProvider {
     /// matrix; depthwise workloads (rejected by the Inspector) go straight
     /// to the fallback.
     fn compile_op_uncached(&self, spec: &OpSpec) -> (f64, String) {
-        let (op, hint) = op_for_target(spec, &self.target.desc);
-        if spec.is_depthwise() {
-            return self.fallback_micros(&op);
-        }
-        match Tensorizer::new(self.target.clone())
-            .with_tuning(self.tuning)
-            .with_workers(self.workers)
-            .compile_with_hint(&op, hint)
-        {
-            Ok(kernel) => {
-                let us = kernel.estimate.micros(self.clock_ghz());
-                (us, format!("{} [{}]", kernel.intrinsic.name, kernel.chosen))
+        let compiled = self.compile_workload_full(&CacheWorkload::Op(*spec));
+        (compiled.micros, compiled.note)
+    }
+
+    /// Compile a workload through the full pipeline into an *executable*
+    /// kernel, bypassing every cache: the serving runtime's compile hook.
+    ///
+    /// Unlike the latency-only provider paths, the returned [`CompiledOp`]
+    /// keeps the lowered [`TirFunc`] (tensorized when an instruction
+    /// applies, the shared SIMD fallback schedule otherwise — both
+    /// interpretable by `unit-interp` and bit-identical to the reference
+    /// executor) plus the *search-free replay config* that rebuilds the
+    /// identical kernel, which is what the artifact store persists.
+    #[must_use]
+    pub fn compile_workload_full(&self, workload: &CacheWorkload) -> CompiledOp {
+        let search_free = TuningConfig {
+            cpu: CpuTuneMode::ParallelUnroll,
+            gpu: GpuTuneMode::Generic,
+        };
+        match workload {
+            CacheWorkload::Op(spec) => {
+                let (op, hint) = op_for_target(spec, &self.target.desc);
+                let compiled = if spec.is_depthwise() {
+                    None
+                } else {
+                    Tensorizer::new(self.target.clone())
+                        .with_tuning(self.tuning)
+                        .with_workers(self.workers)
+                        .compile_with_hint(&op, hint)
+                        .ok()
+                };
+                match compiled {
+                    Some(kernel) => {
+                        let us = kernel.estimate.micros(self.clock_ghz());
+                        let note = format!("{} [{}]", kernel.intrinsic.name, kernel.chosen);
+                        CompiledOp {
+                            workload: *workload,
+                            output: op.output.0 as usize,
+                            func: kernel.func,
+                            micros: us,
+                            note,
+                            replay: kernel.replay,
+                            tensorized: true,
+                        }
+                    }
+                    None => {
+                        let func = simd_fallback_func(&op);
+                        let (us, note) = self.fallback_micros_with(&op, Some(&func));
+                        CompiledOp {
+                            workload: *workload,
+                            output: op.output.0 as usize,
+                            func,
+                            micros: us,
+                            note,
+                            replay: search_free,
+                            tensorized: false,
+                        }
+                    }
+                }
             }
-            Err(_) => self.fallback_micros(&op),
+            CacheWorkload::Dense { in_features, units } => {
+                let op = dense_for_target(*in_features, *units, &self.target.desc);
+                let output = op.output.0 as usize;
+                match Tensorizer::new(self.target.clone())
+                    .with_tuning(self.tuning)
+                    .with_workers(self.workers)
+                    .compile(&op)
+                {
+                    // Dense notes stay empty: `e2e_latency` has always
+                    // reported dense layers without a note, and the
+                    // artifact round-trip must reproduce reports exactly.
+                    Ok(kernel) => CompiledOp {
+                        workload: *workload,
+                        output,
+                        micros: kernel.estimate.micros(self.clock_ghz()),
+                        func: kernel.func,
+                        note: String::new(),
+                        replay: kernel.replay,
+                        tensorized: true,
+                    },
+                    Err(_) => {
+                        let func = simd_fallback_func(&op);
+                        let micros = if self.target.desc.is_gpu() {
+                            10.0
+                        } else {
+                            self.fallback_micros_with(&op, Some(&func)).0
+                        };
+                        CompiledOp {
+                            workload: *workload,
+                            output,
+                            func,
+                            micros,
+                            note: String::new(),
+                            replay: search_free,
+                            tensorized: false,
+                        }
+                    }
+                }
+            }
         }
     }
+}
+
+/// An executable compiled workload: what [`UnitProvider::compile_workload_full`]
+/// returns and the serving runtime (`unit-serve`) executes through
+/// `unit-interp` and persists (minus the function) in its artifact store.
+#[derive(Debug, Clone)]
+pub struct CompiledOp {
+    /// The workload identity (cache/artifact key material).
+    pub workload: CacheWorkload,
+    /// The executable lowered function.
+    pub func: TirFunc,
+    /// Buffer index of the op's output within [`CompiledOp::func`]'s
+    /// buffer list (allocation order of `unit_interp::alloc_buffers`).
+    pub output: usize,
+    /// Modeled latency in microseconds (framework overhead excluded).
+    pub micros: f64,
+    /// Provider note (chosen schedule or fallback reason; empty for
+    /// dense layers, matching `e2e_latency` reports).
+    pub note: String,
+    /// Search-free tuning config that reproduces this kernel exactly.
+    pub replay: TuningConfig,
+    /// Whether a tensorized instruction applied (false = SIMD fallback).
+    pub tensorized: bool,
 }
 
 impl ConvProvider for UnitProvider {
@@ -514,17 +725,21 @@ impl ConvProvider for UnitProvider {
     fn dense_micros(&self, in_features: i64, units: i64) -> f64 {
         // The lowering convention (row-tile GEMM vs. blocked dense) comes
         // from the descriptor's execution style, not from which target
-        // this is.
-        let op = dense_for_target(in_features, units, &self.target.desc);
-        match Tensorizer::new(self.target.clone())
-            .with_tuning(self.tuning)
-            .with_workers(self.workers)
-            .compile(&op)
-        {
-            Ok(k) => k.estimate.micros(self.clock_ghz()),
-            Err(_) if self.target.desc.is_gpu() => 10.0,
-            Err(_) => self.fallback_micros(&op).0,
-        }
+        // this is. Dense results are cached (and artifact-persisted)
+        // under their own `CacheWorkload::Dense` key, so a warm start
+        // never re-tunes the classifier layer.
+        let key = KernelCacheKey::new(
+            CacheWorkload::Dense { in_features, units },
+            self.target.desc.id.clone(),
+            self.tuning,
+        );
+        self.cache
+            .get_or_insert_with(key, || {
+                let compiled =
+                    self.compile_workload_full(&CacheWorkload::Dense { in_features, units });
+                (compiled.micros, compiled.note)
+            })
+            .0
     }
 
     fn memory_op_micros(&self, bytes: f64) -> f64 {
@@ -589,13 +804,17 @@ mod tests {
             },
         );
         let r = e2e_latency(&g, &provider);
-        // 20 convs but only ~11 unique shapes: the cache must be smaller.
-        assert!(provider.cache().len() <= 12);
+        // 20 convs but only ~11 unique shapes, plus the fc1000 dense
+        // classifier (cached under its own CacheWorkload::Dense key since
+        // the serving runtime landed): the cache must be much smaller
+        // than the layer count.
+        assert!(provider.cache().len() <= 13);
         assert_eq!(
             provider.cache().len(),
-            unique_conv_workloads(&[&g]).len(),
-            "every unique workload is cached exactly once"
+            unique_conv_workloads(&[&g]).len() + g.dense_workloads().len(),
+            "every unique workload (convs + dense) is cached exactly once"
         );
+        assert_eq!(g.dense_workloads().len(), 1, "resnet has one classifier");
         assert!(r.total_ms > 0.0);
     }
 

@@ -190,6 +190,23 @@ impl Graph {
             .collect()
     }
 
+    /// Every dense (fully connected) layer as `(in_features, units)`,
+    /// in topological order. `in_features` is resolved through shape
+    /// inference, exactly as the graph compiler costs it — this is what
+    /// the serving runtime persists under `CacheWorkload::Dense` keys so
+    /// warm starts skip the classifier's tuner search too.
+    #[must_use]
+    pub fn dense_workloads(&self) -> Vec<(i64, i64)> {
+        let shapes = self.infer_shapes();
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                OpKind::Dense { units } => Some((shapes[n.inputs[0].0 as usize].elems(), *units)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Infer the output shape of every node.
     ///
     /// # Panics
@@ -463,8 +480,7 @@ mod tests {
             &[],
             "data",
         );
-        #[allow(deprecated)]
-        let dw = b.conv_bn_relu(ConvSpec::depthwise(8, 16, 3, 1, 1), input, "dw");
+        let dw = b.conv_bn_relu(ConvSpec::grouped_2d(8, 16, 8, 3, 1, 1, 8), input, "dw");
         let pw = b.conv_bn_relu(ConvSpec::new_2d(8, 16, 16, 1, 1, 0), dw, "pw");
         let g = b.finish(pw);
         let w = g.op_workloads();

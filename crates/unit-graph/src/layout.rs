@@ -643,8 +643,7 @@ mod tests {
 
     #[test]
     fn depthwise_is_rejected_by_the_inspector() {
-        #[allow(deprecated)]
-        let spec = ConvSpec::depthwise(64, 14, 3, 1, 1);
+        let spec = ConvSpec::grouped_2d(64, 14, 64, 3, 1, 1, 64);
         let op = depthwise_conv_op(&spec, DType::U8);
         let t = Tensorizer::new(Target::x86_avx512_vnni());
         assert!(t.inspect(&op).is_err());

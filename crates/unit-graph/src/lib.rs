@@ -49,8 +49,9 @@ pub mod workload;
 
 pub use cache::ShardedCache;
 pub use compile::{
-    compile_graph, compile_model_parallel, compile_models_parallel, unique_workloads, E2eReport,
-    KernelCacheKey, LayerLatency,
+    compile_graph, compile_model_parallel, compile_model_with_artifacts, compile_models_parallel,
+    unique_workloads, CacheWorkload, CompiledOp, E2eReport, KernelCache, KernelCacheKey,
+    LayerLatency,
 };
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind, TensorShape};
 pub use workload::{ConvSpec, OpSpec};

@@ -10,12 +10,11 @@ use unit_dsl::DType;
 use crate::ir::{Graph, GraphBuilder, NodeId, OpKind, TensorShape};
 use crate::workload::ConvSpec;
 
-/// Graph nodes store `ConvSpec`, so the depthwise layers still go through
-/// the compat constructor; the workload layer normalizes them to the
-/// explicit `OpSpec::GroupedConv` model.
-#[allow(deprecated)]
+/// Graph nodes store `ConvSpec`, so depthwise layers are built as
+/// explicit `groups == c == k` grouped specs; the workload layer
+/// normalizes them to the `OpSpec::GroupedConv` model.
 fn depthwise_3x3(c: i64, hw: i64, stride: i64) -> ConvSpec {
-    ConvSpec::depthwise(c, hw, 3, stride, 1)
+    ConvSpec::grouped_2d(c, hw, c, 3, stride, 1, c)
 }
 
 fn classifier(b: &mut GraphBuilder, x: NodeId) -> NodeId {

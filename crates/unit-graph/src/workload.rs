@@ -82,32 +82,31 @@ impl ConvSpec {
         }
     }
 
-    /// A depthwise 2D convolution.
+    /// A grouped 2D convolution spec with the group count **explicit** —
+    /// the replacement for the retired `ConvSpec::depthwise` compat
+    /// constructor (graph nodes store `ConvSpec`; the workload layer
+    /// normalizes through [`OpSpec::from_conv`], so a `groups == c == k`
+    /// spec built here classifies as depthwise everywhere).
     ///
-    /// Compat constructor: encodes "depthwise" implicitly as
-    /// `groups == c` inside the `ConvSpec` itself. New code should model
-    /// groups explicitly with [`OpSpec::depthwise`] / [`OpSpec::grouped`];
-    /// this constructor is kept so the seed tests and the CNN model zoo
-    /// build unchanged.
-    #[deprecated(
-        since = "0.3.0",
-        note = "groups are modeled explicitly now; use OpSpec::depthwise (or \
-                OpSpec::grouped) instead of the implicit groups == c encoding"
-    )]
+    /// # Panics
+    ///
+    /// Panics unless `groups` is positive and divides both `c` and `k`.
     #[must_use]
-    pub fn depthwise(c: i64, ihw: i64, r: i64, stride: i64, pad: i64) -> ConvSpec {
-        ConvSpec {
-            c,
-            ihw,
-            id: 1,
-            k: c,
-            r,
-            rw: r,
-            stride,
-            pad,
-            pad_w: pad,
-            groups: c,
-        }
+    pub fn grouped_2d(
+        c: i64,
+        ihw: i64,
+        k: i64,
+        r: i64,
+        stride: i64,
+        pad: i64,
+        groups: i64,
+    ) -> ConvSpec {
+        assert!(groups >= 1, "groups must be positive");
+        assert_eq!(c % groups, 0, "groups must divide input channels");
+        assert_eq!(k % groups, 0, "groups must divide output channels");
+        let mut spec = ConvSpec::new_2d(c, ihw, k, r, stride, pad);
+        spec.groups = groups;
+        spec
     }
 
     /// A dense 3D convolution with input `id x ihw x ihw`.
@@ -214,7 +213,9 @@ impl ConvSpec {
 ///
 /// Grouped convolution is a *first-class* variant with its group count
 /// stored explicitly, replacing the historical `ConvSpec.groups == c`
-/// encoding of depthwise layers (see [`ConvSpec::depthwise`]).
+/// encoding of depthwise layers (whose deprecated `ConvSpec::depthwise`
+/// compat constructor is now retired; build explicit specs with
+/// [`ConvSpec::grouped_2d`] or [`OpSpec::depthwise`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum OpSpec {
     /// A dense (groups = 1) 2D or 3D convolution.
@@ -279,7 +280,8 @@ impl OpSpec {
     }
 
     /// A depthwise 2D convolution (`groups == c == k`), the explicit
-    /// replacement for [`ConvSpec::depthwise`].
+    /// replacement for the retired `ConvSpec::depthwise` compat
+    /// constructor.
     #[must_use]
     pub fn depthwise(c: i64, ihw: i64, r: i64, stride: i64, pad: i64) -> OpSpec {
         OpSpec::grouped(c, ihw, c, r, stride, pad, c)
@@ -401,6 +403,81 @@ impl OpSpec {
         }
     }
 
+    /// Stable text encoding used by the `unit-serve` artifact-store file
+    /// format: every field of the workload identity, colon-separated.
+    /// Round-trips exactly through [`OpSpec::decode`]; change only
+    /// together with the store's format version.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            OpSpec::Conv(c) | OpSpec::GroupedConv { conv: c, .. } => format!(
+                "conv:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+                c.c, c.ihw, c.id, c.k, c.r, c.rw, c.stride, c.pad, c.pad_w, c.groups
+            ),
+            OpSpec::Gemm { m, n, k, batch } => format!("gemm:{batch}:{m}:{n}:{k}"),
+        }
+    }
+
+    /// Parse the [`OpSpec::encode`] encoding. Unlike the panicking
+    /// constructors, this validates untrusted (on-disk) input and returns
+    /// errors instead.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed field.
+    pub fn decode(s: &str) -> Result<OpSpec, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut next = |what: &str| -> Result<i64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("workload `{s}`: missing {what}"))?
+                .parse::<i64>()
+                .map_err(|e| format!("workload `{s}`: bad {what}: {e}"))
+        };
+        let spec = match head {
+            "conv" => {
+                let conv = ConvSpec {
+                    c: next("c")?,
+                    ihw: next("ihw")?,
+                    id: next("id")?,
+                    k: next("k")?,
+                    r: next("r")?,
+                    rw: next("rw")?,
+                    stride: next("stride")?,
+                    pad: next("pad")?,
+                    pad_w: next("pad_w")?,
+                    groups: next("groups")?,
+                };
+                if conv.c < 1 || conv.ihw < 1 || conv.id < 1 || conv.k < 1 {
+                    return Err(format!("workload `{s}`: non-positive dimensions"));
+                }
+                if conv.r < 1 || conv.rw < 1 || conv.stride < 1 || conv.pad < 0 || conv.pad_w < 0 {
+                    return Err(format!("workload `{s}`: bad kernel geometry"));
+                }
+                if conv.groups < 1 || conv.c % conv.groups != 0 || conv.k % conv.groups != 0 {
+                    return Err(format!(
+                        "workload `{s}`: groups {} must divide channels {}x{}",
+                        conv.groups, conv.c, conv.k
+                    ));
+                }
+                OpSpec::from_conv(conv)
+            }
+            "gemm" => {
+                let (batch, m, n, k) = (next("batch")?, next("m")?, next("n")?, next("k")?);
+                if batch < 1 || m < 1 || n < 1 || k < 1 {
+                    return Err(format!("workload `{s}`: GEMM dimensions must be positive"));
+                }
+                OpSpec::Gemm { m, n, k, batch }
+            }
+            other => return Err(format!("unknown workload kind `{other}`")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("workload `{s}`: trailing fields"));
+        }
+        Ok(spec)
+    }
+
     /// A short human-readable label used in notes and reports.
     #[must_use]
     pub fn describe(&self) -> String {
@@ -450,21 +527,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the compat constructor must keep working
     fn macs_count_depthwise_correctly() {
         let dense = ConvSpec::new_2d(32, 16, 64, 3, 1, 1);
         assert_eq!(dense.macs(), 16 * 16 * 64 * 32 * 9);
-        let dw = ConvSpec::depthwise(32, 16, 3, 1, 1);
+        let dw = ConvSpec::grouped_2d(32, 16, 32, 3, 1, 1, 32);
         assert!(dw.is_depthwise());
         assert_eq!(dw.macs(), 16 * 16 * 32 * 9);
     }
 
     #[test]
-    #[allow(deprecated)]
     fn op_spec_normalizes_the_implicit_group_encoding() {
-        // The compat constructor's implicit groups == c encoding maps onto
-        // the explicit GroupedConv variant...
-        let dw = OpSpec::from_conv(ConvSpec::depthwise(32, 16, 3, 1, 1));
+        // A groups == c == k ConvSpec (how graph nodes still store
+        // depthwise layers) maps onto the explicit GroupedConv variant...
+        let dw = OpSpec::from_conv(ConvSpec::grouped_2d(32, 16, 32, 3, 1, 1, 32));
         assert_eq!(dw, OpSpec::depthwise(32, 16, 3, 1, 1));
         assert!(dw.is_depthwise());
         assert_eq!(dw.groups(), 32);
@@ -472,6 +547,42 @@ mod tests {
         let dense = OpSpec::from_conv(ConvSpec::new_2d(32, 16, 64, 3, 1, 1));
         assert!(matches!(dense, OpSpec::Conv(_)));
         assert_eq!(dense.groups(), 1);
+    }
+
+    #[test]
+    fn workload_encoding_round_trips_every_variant() {
+        let specs = [
+            OpSpec::conv2d(64, 14, 64, 3, 1, 1),
+            OpSpec::conv3d(16, 28, 8, 32, 3, 1, 1),
+            OpSpec::Conv(ConvSpec::new_rect(128, 17, 128, (1, 7), 1, (0, 3))),
+            OpSpec::grouped(32, 16, 64, 3, 1, 1, 4),
+            OpSpec::depthwise(32, 16, 3, 2, 1),
+            OpSpec::gemm(64, 128, 256),
+            OpSpec::batched_gemm(4, 64, 64, 32),
+        ];
+        for spec in specs {
+            let enc = spec.encode();
+            assert_eq!(OpSpec::decode(&enc).unwrap(), spec, "{enc}");
+        }
+    }
+
+    #[test]
+    fn workload_decoding_rejects_malformed_input() {
+        for bad in [
+            "",
+            "conv",
+            "conv:64:14:1:64:3:3:1:1:1",     // missing groups
+            "conv:64:14:1:64:3:3:1:1:1:3",   // groups don't divide
+            "conv:0:14:1:64:3:3:1:1:1:1",    // non-positive dim
+            "conv:64:14:1:64:3:3:0:1:1:1",   // zero stride
+            "conv:64:14:1:64:3:3:1:1:1:1:9", // trailing field
+            "conv:64:14:1:64:3:x:1:1:1:1",   // non-numeric
+            "gemm:0:64:64:64",               // zero batch
+            "gemm:1:64:64",                  // missing k
+            "pool:1:2",                      // unknown kind
+        ] {
+            assert!(OpSpec::decode(bad).is_err(), "`{bad}` must not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! The persistent compiled-artifact store.
+//!
+//! An [`ArtifactStore`] maps `(model id, target id)` to the list of
+//! compiled-kernel decisions that model needs on that target: for every
+//! [`KernelCacheKey`]-shaped workload, the tuning config it was compiled
+//! under, the **search-free replay config** that rebuilds the identical
+//! kernel (`CpuTuneMode::Fixed` at the searched winner /
+//! `GpuTuneMode::Generic`), the modeled latency and the provider note.
+//! A warm start restores these into the engine's caches and performs
+//! *zero* tuner searches — the contract `tests/warm_start_zero_search.rs`
+//! asserts through `unit_core::tuner::stats`.
+//!
+//! # File format (version 1)
+//!
+//! The vendored `serde` is a no-op stub, so the format is a hand-rolled,
+//! versioned, line-oriented text format, written and parsed by hand:
+//!
+//! ```text
+//! unit-artifact-store v1
+//! model <model-id>|<target-id>|<entry-count>
+//! kernel <workload>|<tuning>|<replay>|<f64-bits-hex16>|<note>
+//! ...
+//! end <fnv1a-64-hex16>
+//! ```
+//!
+//! * One `model` header per `(model, target)` pair, each followed by
+//!   exactly `<entry-count>` `kernel` lines.
+//! * `<workload>` is [`CacheWorkload::encode`], `<tuning>`/`<replay>` are
+//!   [`TuningConfig::encode`] — the sub-encodings owned by `unit-graph`
+//!   and `unit-core` respectively.
+//! * Latency is persisted as the raw IEEE-754 bit pattern (16 hex
+//!   digits) so micros round-trip *bit-exactly*; a decimal rendering
+//!   would silently perturb warm-start latency reports.
+//! * The note is the last field and may contain anything but newlines
+//!   (including `|`).
+//! * `end` carries an FNV-1a 64 checksum over every body line; a
+//!   missing trailer means truncation, a wrong checksum means
+//!   corruption — both are rejected with typed [`ArtifactError`]s, as is
+//!   any unknown version line.
+//!
+//! Model and target ids must not contain `|` or newlines ([`ArtifactStore::record`]
+//! panics on such ids rather than writing an unparseable file).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use unit_core::pipeline::TuningConfig;
+use unit_graph::compile::KernelCache;
+use unit_graph::{CacheWorkload, KernelCacheKey};
+
+/// The version tag this build writes and accepts.
+pub const ARTIFACT_FORMAT_VERSION: &str = "unit-artifact-store v1";
+
+/// Typed artifact-store errors; every malformed file is rejected with
+/// one of these (never a panic).
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure while loading/saving.
+    Io(std::io::Error),
+    /// The version line names a format this build does not understand.
+    UnsupportedVersion {
+        /// The version line found in the file.
+        found: String,
+    },
+    /// The file ends before the declared content (or the `end` trailer).
+    Truncated {
+        /// What was missing.
+        reason: String,
+    },
+    /// A line failed to parse.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The body does not match the `end` trailer's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: String,
+        /// Checksum of the body as loaded.
+        found: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact store I/O: {e}"),
+            ArtifactError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact store version line `{found}` (expected `{ARTIFACT_FORMAT_VERSION}`)")
+            }
+            ArtifactError::Truncated { reason } => {
+                write!(f, "truncated artifact store: {reason}")
+            }
+            ArtifactError::Corrupt { line, reason } => {
+                write!(f, "corrupt artifact store at line {line}: {reason}")
+            }
+            ArtifactError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact store checksum mismatch: trailer {expected}, body {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+/// One persisted compiled-kernel decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactEntry {
+    /// The workload identity (conv / grouped conv / GEMM / dense).
+    pub workload: CacheWorkload,
+    /// The tuning config the kernel was compiled under — together with
+    /// the workload and target id this reconstructs the [`KernelCacheKey`].
+    pub tuning: TuningConfig,
+    /// The search-free config that rebuilds the identical kernel.
+    pub replay: TuningConfig,
+    /// Modeled latency in microseconds (bit-exact round-trip).
+    pub micros: f64,
+    /// Provider note (chosen schedule / fallback reason).
+    pub note: String,
+}
+
+/// The persistent compiled-artifact store. In memory it is a sorted
+/// two-level map `model id -> target id -> entries`: sorted so the file
+/// rendering is canonical (same contents, same bytes), two-level so
+/// [`ArtifactStore::lookup`] — which the serving engine calls on the
+/// request hot path under its artifacts mutex — allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactStore {
+    models: BTreeMap<String, BTreeMap<String, Vec<ArtifactEntry>>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Record one entry for `(model, target)`, replacing any previous
+    /// entry with the same workload + tuning identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` or `target` is empty or contains `|` or a
+    /// newline (such ids would render an unparseable file; the serving
+    /// engine rejects them with a typed error before reaching here).
+    pub fn record(&mut self, model: &str, target: &str, entry: ArtifactEntry) {
+        for id in [model, target] {
+            assert!(
+                !id.is_empty() && !id.contains('|') && !id.contains('\n'),
+                "artifact ids must be non-empty and free of `|`/newlines: {id:?}"
+            );
+        }
+        let entries = self
+            .models
+            .entry(model.to_string())
+            .or_default()
+            .entry(target.to_string())
+            .or_default();
+        match entries
+            .iter_mut()
+            .find(|e| e.workload == entry.workload && e.tuning == entry.tuning)
+        {
+            Some(slot) => *slot = entry,
+            None => entries.push(entry),
+        }
+    }
+
+    /// The entry for a workload compiled under `tuning`, if persisted.
+    #[must_use]
+    pub fn lookup(
+        &self,
+        model: &str,
+        target: &str,
+        workload: &CacheWorkload,
+        tuning: TuningConfig,
+    ) -> Option<&ArtifactEntry> {
+        self.models
+            .get(model)
+            .and_then(|targets| targets.get(target))
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|e| e.workload == *workload && e.tuning == tuning)
+            })
+    }
+
+    /// All entries for a `(model, target)` pair (empty when unknown).
+    #[must_use]
+    pub fn entries(&self, model: &str, target: &str) -> &[ArtifactEntry] {
+        self.models
+            .get(model)
+            .and_then(|targets| targets.get(target))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Every persisted `(model, target)` pair, in canonical order.
+    #[must_use]
+    pub fn model_targets(&self) -> Vec<(String, String)> {
+        self.models
+            .iter()
+            .flat_map(|(model, targets)| {
+                targets
+                    .keys()
+                    .map(move |target| (model.clone(), target.clone()))
+            })
+            .collect()
+    }
+
+    /// Total entries across all models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Restore every entry of `(model, target)` into a kernel (latency)
+    /// cache — `unit_graph::compile::compile_model_with_artifacts` then
+    /// reports from the cache without ever invoking the tuner. Existing
+    /// cache entries win (first-insert-wins), matching the cache's
+    /// consistency contract. Returns how many entries were inserted.
+    pub fn restore_latency_cache(&self, model: &str, target: &str, cache: &KernelCache) -> usize {
+        cache.restore(self.entries(model, target).iter().map(|e| {
+            (
+                KernelCacheKey::new(e.workload, target, e.tuning),
+                (e.micros, e.note.clone()),
+            )
+        }))
+    }
+
+    /// Merge another store into this one (other's entries replace
+    /// same-identity entries already present).
+    pub fn merge(&mut self, other: ArtifactStore) {
+        for (model, targets) in other.models {
+            for (target, entries) in targets {
+                for entry in entries {
+                    self.record(&model, &target, entry);
+                }
+            }
+        }
+    }
+
+    /// Render the canonical file representation (format version 1).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut body = String::new();
+        for (model, target, entries) in self
+            .models
+            .iter()
+            .flat_map(|(m, ts)| ts.iter().map(move |(t, es)| (m, t, es)))
+        {
+            let mut sorted: Vec<&ArtifactEntry> = entries.iter().collect();
+            sorted.sort_by_key(|e| (e.workload.encode(), e.tuning.encode()));
+            body.push_str(&format!("model {model}|{target}|{}\n", sorted.len()));
+            for e in sorted {
+                body.push_str(&format!(
+                    "kernel {}|{}|{}|{:016x}|{}\n",
+                    e.workload.encode(),
+                    e.tuning.encode(),
+                    e.replay.encode(),
+                    e.micros.to_bits(),
+                    e.note
+                ));
+            }
+        }
+        format!(
+            "{ARTIFACT_FORMAT_VERSION}\n{body}end {:016x}\n",
+            fnv1a(body.as_bytes())
+        )
+    }
+
+    /// Parse a file produced by [`ArtifactStore::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input maps to a typed [`ArtifactError`]:
+    /// unknown version lines, truncation (missing kernel lines or
+    /// trailer), field-level corruption, checksum mismatches.
+    pub fn decode(text: &str) -> Result<ArtifactStore, ArtifactError> {
+        let mut lines = text.lines().enumerate();
+        let (_, version) = lines.next().ok_or(ArtifactError::Truncated {
+            reason: "empty file (missing version line)".to_string(),
+        })?;
+        if version != ARTIFACT_FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version.to_string(),
+            });
+        }
+
+        let mut store = ArtifactStore::new();
+        let mut body = String::new();
+        let mut trailer: Option<(usize, String)> = None;
+        let mut pending: Option<(String, String, usize)> = None; // model, target, remaining
+
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if let Some(rest) = line.strip_prefix("end ") {
+                trailer = Some((lineno, rest.to_string()));
+                // Anything after the trailer is corruption, not padding.
+                if text.lines().count() > lineno {
+                    return Err(ArtifactError::Corrupt {
+                        line: lineno + 1,
+                        reason: "content after the end trailer".to_string(),
+                    });
+                }
+                break;
+            }
+            body.push_str(line);
+            body.push('\n');
+            if let Some(rest) = line.strip_prefix("model ") {
+                if let Some((model, target, remaining)) = pending.take() {
+                    if remaining > 0 {
+                        return Err(ArtifactError::Truncated {
+                            reason: format!(
+                                "{model}/{target}: {remaining} kernel line(s) missing before line {lineno}"
+                            ),
+                        });
+                    }
+                }
+                let mut parts = rest.splitn(3, '|');
+                let model = parts.next().unwrap_or_default();
+                let target = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?;
+                let count: usize = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?
+                    .parse()
+                    .map_err(|e| corrupt(lineno, &format!("bad entry count: {e}")))?;
+                if model.is_empty() || target.is_empty() {
+                    return Err(corrupt(lineno, "empty model or target id"));
+                }
+                pending = Some((model.to_string(), target.to_string(), count));
+            } else if let Some(rest) = line.strip_prefix("kernel ") {
+                let (model, target, remaining) = pending
+                    .as_mut()
+                    .ok_or_else(|| corrupt(lineno, "kernel line outside a model block"))?;
+                if *remaining == 0 {
+                    return Err(corrupt(
+                        lineno,
+                        "more kernel lines than the header declared",
+                    ));
+                }
+                *remaining -= 1;
+                let mut parts = rest.splitn(5, '|');
+                let workload = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "missing workload"))?;
+                let tuning = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "missing tuning config"))?;
+                let replay = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "missing replay config"))?;
+                let bits = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "missing latency bits"))?;
+                let note = parts
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "missing note field"))?;
+                let workload = CacheWorkload::decode(workload).map_err(|e| corrupt(lineno, &e))?;
+                let tuning = TuningConfig::decode(tuning).map_err(|e| corrupt(lineno, &e))?;
+                let replay = TuningConfig::decode(replay).map_err(|e| corrupt(lineno, &e))?;
+                if bits.len() != 16 {
+                    return Err(corrupt(lineno, "latency bits must be 16 hex digits"));
+                }
+                let micros = f64::from_bits(
+                    u64::from_str_radix(bits, 16)
+                        .map_err(|e| corrupt(lineno, &format!("bad latency bits: {e}")))?,
+                );
+                if !micros.is_finite() || micros < 0.0 {
+                    return Err(corrupt(lineno, "latency must be finite and non-negative"));
+                }
+                let (model, target) = (model.clone(), target.clone());
+                store.record(
+                    &model,
+                    &target,
+                    ArtifactEntry {
+                        workload,
+                        tuning,
+                        replay,
+                        micros,
+                        note: note.to_string(),
+                    },
+                );
+            } else {
+                return Err(corrupt(lineno, "unrecognized line"));
+            }
+        }
+
+        if let Some((model, target, remaining)) = pending {
+            if remaining > 0 {
+                return Err(ArtifactError::Truncated {
+                    reason: format!("{model}/{target}: {remaining} kernel line(s) missing"),
+                });
+            }
+        }
+        let (_, expected) = trailer.ok_or(ArtifactError::Truncated {
+            reason: "missing end trailer".to_string(),
+        })?;
+        let found = format!("{:016x}", fnv1a(body.as_bytes()));
+        if expected != found {
+            return Err(ArtifactError::ChecksumMismatch { expected, found });
+        }
+        Ok(store)
+    }
+
+    /// Save the canonical rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Load and parse a store from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, otherwise whatever
+    /// [`ArtifactStore::decode`] rejects.
+    pub fn load(path: impl AsRef<Path>) -> Result<ArtifactStore, ArtifactError> {
+        let text = std::fs::read_to_string(path)?;
+        ArtifactStore::decode(&text)
+    }
+}
+
+fn corrupt(line: usize, reason: &str) -> ArtifactError {
+    ArtifactError::Corrupt {
+        line,
+        reason: reason.to_string(),
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, good enough to catch flipped
+/// bits and truncated/edited bodies (not a cryptographic signature).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+    use unit_graph::OpSpec;
+
+    fn sample_store() -> ArtifactStore {
+        let tuning = TuningConfig::default();
+        let replay = TuningConfig {
+            cpu: CpuTuneMode::Fixed {
+                par: 3000,
+                unroll: 16,
+            },
+            gpu: GpuTuneMode::Generic,
+        };
+        let mut store = ArtifactStore::new();
+        store.record(
+            "resnet-18",
+            "x86-avx512-vnni",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::conv2d(64, 14, 64, 3, 1, 1)),
+                tuning,
+                replay,
+                micros: 123.456789,
+                note: "llvm.x86.avx512.vpdpbusd.512 [parallel<3000,unroll<16]".to_string(),
+            },
+        );
+        store.record(
+            "resnet-18",
+            "x86-avx512-vnni",
+            ArtifactEntry {
+                workload: CacheWorkload::Dense {
+                    in_features: 512,
+                    units: 1000,
+                },
+                tuning,
+                replay,
+                micros: 17.25,
+                note: String::new(),
+            },
+        );
+        store.record(
+            "transformer-tiny",
+            "nvidia-tensor-core",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::batched_gemm(4, 64, 64, 32)),
+                tuning,
+                replay: TuningConfig {
+                    cpu: CpuTuneMode::ParallelUnroll,
+                    gpu: GpuTuneMode::Generic,
+                },
+                micros: 0.1 + 0.2, // deliberately non-representable exactly
+                note: "wmma [p=2,fuse=false,splitK=1]".to_string(),
+            },
+        );
+        store
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let store = sample_store();
+        let text = store.encode();
+        let back = ArtifactStore::decode(&text).unwrap();
+        assert_eq!(back.len(), store.len());
+        for (model, target) in store.model_targets() {
+            assert_eq!(
+                back.entries(&model, &target),
+                store.entries(&model, &target)
+            );
+        }
+        // Bit-exact latency: 0.1 + 0.2 != 0.3 must survive.
+        let e = &back.entries("transformer-tiny", "nvidia-tensor-core")[0];
+        assert_eq!(e.micros.to_bits(), (0.1f64 + 0.2).to_bits());
+        // Canonical: encoding the decoded store reproduces the bytes.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn version_bump_is_rejected_with_a_typed_error() {
+        let text = sample_store()
+            .encode()
+            .replace("unit-artifact-store v1", "unit-artifact-store v2");
+        match ArtifactStore::decode(&text) {
+            Err(ArtifactError::UnsupportedVersion { found }) => {
+                assert_eq!(found, "unit-artifact-store v2");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_with_a_typed_error() {
+        let full = sample_store().encode();
+        // Drop the trailer.
+        let without_end: String = full
+            .lines()
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ArtifactStore::decode(&without_end),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        // Drop a kernel line mid-block: the count no longer matches.
+        let mut dropped_one = false;
+        let missing_kernel: String = full
+            .lines()
+            .filter(|l| {
+                if !dropped_one && l.starts_with("kernel ") {
+                    dropped_one = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            ArtifactStore::decode(&missing_kernel),
+            Err(ArtifactError::Truncated { .. }) | Err(ArtifactError::Corrupt { .. })
+        ));
+        // Empty file.
+        assert!(matches!(
+            ArtifactStore::decode(""),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_a_typed_error() {
+        let full = sample_store().encode();
+        // Field-level corruption: an unknown workload kind fails to parse.
+        let bad_kind = full.replacen("kernel conv", "kernel vonc", 1);
+        assert_ne!(bad_kind, full, "the fixture must contain a conv entry");
+        assert!(matches!(
+            ArtifactStore::decode(&bad_kind),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+        // Silent edit: a tampered note still parses, but the checksum
+        // catches it.
+        let tampered = full.replacen("wmma", "wmmb", 1);
+        assert_ne!(tampered, full, "the fixture must contain a wmma note");
+        assert!(matches!(
+            ArtifactStore::decode(&tampered),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // A stray line between body and trailer is corruption.
+        let stray = full.replace("end ", "garbage\nend ");
+        assert!(matches!(
+            ArtifactStore::decode(&stray),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+        // Invalid group structure is caught by workload validation even
+        // when someone recomputes the checksum.
+        let mut bad_groups = sample_store();
+        bad_groups.record(
+            "m",
+            "t",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::gemm(8, 8, 8)),
+                tuning: TuningConfig::default(),
+                replay: TuningConfig::default(),
+                micros: 1.0,
+                note: String::new(),
+            },
+        );
+        let text = bad_groups.encode().replace("gemm:1:8:8:8", "gemm:1:8:8:0");
+        let body: String = text
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let rechecksummed = format!(
+            "{ARTIFACT_FORMAT_VERSION}\n{body}end {:016x}\n",
+            fnv1a(body.as_bytes())
+        );
+        assert!(matches!(
+            ArtifactStore::decode(&rechecksummed),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn record_replaces_same_identity_entries() {
+        let mut store = sample_store();
+        let n = store.len();
+        let tuning = TuningConfig::default();
+        store.record(
+            "resnet-18",
+            "x86-avx512-vnni",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::conv2d(64, 14, 64, 3, 1, 1)),
+                tuning,
+                replay: tuning,
+                micros: 99.0,
+                note: "updated".to_string(),
+            },
+        );
+        assert_eq!(store.len(), n, "same identity replaces, not appends");
+        let got = store
+            .lookup(
+                "resnet-18",
+                "x86-avx512-vnni",
+                &CacheWorkload::Op(OpSpec::conv2d(64, 14, 64, 3, 1, 1)),
+                tuning,
+            )
+            .unwrap();
+        assert_eq!(got.note, "updated");
+    }
+
+    #[test]
+    #[should_panic(expected = "artifact ids")]
+    fn pipe_in_model_id_is_rejected() {
+        let tuning = TuningConfig::default();
+        ArtifactStore::new().record(
+            "bad|id",
+            "x86-avx512-vnni",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::gemm(8, 8, 8)),
+                tuning,
+                replay: tuning,
+                micros: 1.0,
+                note: String::new(),
+            },
+        );
+    }
+
+    #[test]
+    fn notes_may_contain_pipes() {
+        let tuning = TuningConfig::default();
+        let mut store = ArtifactStore::new();
+        store.record(
+            "m",
+            "t",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::gemm(8, 8, 8)),
+                tuning,
+                replay: tuning,
+                micros: 2.5,
+                note: "a|b|c".to_string(),
+            },
+        );
+        let back = ArtifactStore::decode(&store.encode()).unwrap();
+        assert_eq!(back.entries("m", "t")[0].note, "a|b|c");
+    }
+}

@@ -1,0 +1,553 @@
+//! The serving engine: per-target compiled-kernel caches, the artifact
+//! replay path, and request execution through `unit-interp`.
+//!
+//! The engine owns two cache families, both **sharded per target** (one
+//! independent `ShardedCache` per target id, so traffic for one target
+//! never contends on another's locks):
+//!
+//! * a *latency* cache (`unit_graph::compile::KernelCache`) shared with
+//!   the graph compiler for whole-model reports, and
+//! * an *executable* cache mapping the same [`KernelCacheKey`]s to
+//!   [`CompiledOp`]s whose lowered functions requests are interpreted
+//!   through.
+//!
+//! Compilation consults the [`ArtifactStore`] first: a hit **replays**
+//! the persisted search-free config (`CpuTuneMode::Fixed` at the
+//! searched winner / `GpuTuneMode::Generic`), rebuilding the identical
+//! kernel with zero tuner searches; a miss compiles cold under the
+//! engine's tuning config and records the decision back into the store,
+//! so `export_artifacts` always reflects everything the engine learned.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use unit_core::pipeline::{Target, TuningConfig};
+use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache, UnitProvider};
+use unit_graph::{
+    CacheWorkload, CompiledOp, E2eReport, Graph, KernelCacheKey, OpSpec, ShardedCache,
+};
+use unit_interp::{alloc_buffers, random_fill, run};
+use unit_isa::{registry, TypedBuf};
+
+use crate::artifact::{ArtifactEntry, ArtifactStore};
+use crate::metrics::ServeMetrics;
+
+/// Errors surfaced by the engine (and through scheduler responses).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request names a target id the engine does not serve.
+    UnknownTarget(String),
+    /// The model id cannot be used as an artifact namespace (it contains
+    /// `|` or a newline, which the store's line format reserves).
+    InvalidModelId(String),
+    /// The interpreter failed executing the compiled kernel.
+    Exec(unit_interp::ExecError),
+    /// Compilation or execution panicked; the scheduler contains the
+    /// panic to the offending request instead of losing the worker.
+    Panicked(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTarget(id) => write!(f, "unknown target id `{id}`"),
+            ServeError::InvalidModelId(id) => {
+                write!(f, "model id {id:?} may not contain `|` or newlines")
+            }
+            ServeError::Exec(e) => write!(f, "execution failed: {e:?}"),
+            ServeError::Panicked(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Whether an id is usable as an artifact-store namespace (the store's
+/// line format reserves `|` and newlines, and its parser rejects empty
+/// ids; `ArtifactStore::record` would panic on them — the engine rejects
+/// such ids *before* touching the store, so a hostile request can
+/// neither poison the artifacts mutex nor make the exported file
+/// unloadable).
+fn valid_artifact_id(id: &str) -> bool {
+    !id.is_empty() && !id.contains('|') && !id.contains('\n')
+}
+
+impl std::error::Error for ServeError {}
+
+/// One executed request's result.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The kernel's output buffer (bit-exact, comparable against
+    /// `unit_interp::run_reference`).
+    pub output: TypedBuf,
+    /// Modeled kernel latency in microseconds.
+    pub micros: f64,
+    /// Provider note (chosen schedule / fallback reason).
+    pub note: String,
+    /// Whether a tensorized instruction was applied.
+    pub tensorized: bool,
+}
+
+/// The serving engine. Thread-safe: `&self` methods may be called from
+/// any number of scheduler workers concurrently.
+pub struct ServeEngine {
+    tuning: TuningConfig,
+    workers: usize,
+    targets: BTreeMap<String, Target>,
+    latency: BTreeMap<String, Arc<KernelCache>>,
+    exec: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<CompiledOp>>>>,
+    artifacts: Mutex<ArtifactStore>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ServeEngine {
+    /// An engine serving **every registered target** (built-ins plus
+    /// runtime registrations) under one tuning config.
+    #[must_use]
+    pub fn new(tuning: TuningConfig) -> ServeEngine {
+        let ids: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
+        let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        ServeEngine::for_targets(tuning, &id_refs).expect("registry targets resolve")
+    }
+
+    /// An engine serving a subset of registered targets.
+    ///
+    /// # Errors
+    ///
+    /// The first id that is not in the target registry.
+    pub fn for_targets(tuning: TuningConfig, ids: &[&str]) -> Result<ServeEngine, ServeError> {
+        let mut targets = BTreeMap::new();
+        let mut latency = BTreeMap::new();
+        let mut exec = BTreeMap::new();
+        for id in ids {
+            let target =
+                Target::by_id(id).ok_or_else(|| ServeError::UnknownTarget((*id).to_string()))?;
+            targets.insert((*id).to_string(), target);
+            latency.insert((*id).to_string(), Arc::new(KernelCache::default()));
+            exec.insert((*id).to_string(), Arc::new(ShardedCache::default()));
+        }
+        Ok(ServeEngine {
+            tuning,
+            workers: 1,
+            targets,
+            latency,
+            exec,
+            artifacts: Mutex::new(ArtifactStore::new()),
+            metrics: Arc::new(ServeMetrics::new()),
+        })
+    }
+
+    /// Tune cold compiles with up to `n` worker threads per kernel
+    /// (`0` = one per core). Deterministic — the chosen schedules,
+    /// latencies and notes are identical at any worker count
+    /// (`unit_core::tuner::parallel`'s guarantee), so this only changes
+    /// cold-compile wall clock.
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> ServeEngine {
+        self.workers = n;
+        self
+    }
+
+    /// The engine's metrics registry (shared with the scheduler).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The tuning config cold compiles run under.
+    #[must_use]
+    pub fn tuning(&self) -> TuningConfig {
+        self.tuning
+    }
+
+    /// Served target ids, in canonical order.
+    #[must_use]
+    pub fn target_ids(&self) -> Vec<String> {
+        self.targets.keys().cloned().collect()
+    }
+
+    /// Whether the engine serves `target`.
+    #[must_use]
+    pub fn serves(&self, target: &str) -> bool {
+        self.targets.contains_key(target)
+    }
+
+    /// Import a persisted artifact store: merge its entries and restore
+    /// every `(model, target)` block this engine serves into the
+    /// per-target latency caches. Returns the number of restored cache
+    /// entries.
+    pub fn import_artifacts(&self, store: ArtifactStore) -> usize {
+        let mut restored = 0;
+        for (model, target) in store.model_targets() {
+            if let Some(cache) = self.latency.get(&target) {
+                restored += store.restore_latency_cache(&model, &target, cache);
+            }
+        }
+        self.artifacts.lock().unwrap().merge(store);
+        restored
+    }
+
+    /// Export a snapshot of everything the engine has learned (loaded
+    /// artifacts plus every cold compile since), ready to
+    /// [`ArtifactStore::save`].
+    #[must_use]
+    pub fn export_artifacts(&self) -> ArtifactStore {
+        self.artifacts.lock().unwrap().clone()
+    }
+
+    /// Compile a whole model for a target: every unique tensor workload
+    /// plus the dense classifier go through the artifact-aware compile
+    /// path, then the latency report is aggregated from the warm cache
+    /// (bit-identical to `unit_graph::compile::compile_graph`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTarget`] when the engine does not serve
+    /// `target_id`.
+    pub fn compile_model(&self, graph: &Graph, target_id: &str) -> Result<E2eReport, ServeError> {
+        let target = self
+            .targets
+            .get(target_id)
+            .ok_or_else(|| ServeError::UnknownTarget(target_id.to_string()))?;
+        if !valid_artifact_id(&graph.name) {
+            return Err(ServeError::InvalidModelId(graph.name.clone()));
+        }
+        let mut workloads: Vec<CacheWorkload> = unit_graph::unique_workloads(&[graph])
+            .into_iter()
+            .map(CacheWorkload::Op)
+            .collect();
+        workloads.extend(
+            graph
+                .dense_workloads()
+                .into_iter()
+                .map(|(in_features, units)| CacheWorkload::Dense { in_features, units }),
+        );
+        let cache = &self.latency[target_id];
+        for workload in workloads {
+            // The report path only needs latencies: a workload already in
+            // the latency cache (restored from artifacts, or compiled
+            // earlier) is left alone — its *executable* kernel is built
+            // lazily by the first request that needs it, via the
+            // search-free replay path. This is what makes a warm model
+            // compile invoke the tuner exactly zero times.
+            let key = KernelCacheKey::new(workload, target_id, self.tuning);
+            if cache.get(&key).is_some() {
+                let recorded = self
+                    .artifacts
+                    .lock()
+                    .unwrap()
+                    .lookup(&graph.name, target_id, &workload, self.tuning)
+                    .is_some();
+                if recorded {
+                    continue;
+                }
+                // Cached (another model compiled it first) but absent
+                // from *this* model's artifact namespace: record it from
+                // the executable cache if possible so the exported store
+                // replays for this model too — otherwise fall through to
+                // the full compile path.
+                if let Some(kernel) = self.exec[target_id].get(&key) {
+                    self.record_artifact(&graph.name, target_id, workload, &kernel);
+                    continue;
+                }
+            }
+            self.ensure_compiled(&graph.name, target_id, workload);
+        }
+        Ok(compile_model_with_artifacts(
+            graph,
+            target.clone(),
+            self.tuning,
+            cache,
+            self.workers,
+        ))
+    }
+
+    /// Execute one request: compile (cache / artifact replay / cold),
+    /// then interpret the kernel over buffers deterministically seeded
+    /// with `seed`. The outcome is a pure function of
+    /// `(op, target, tuning, seed)` — independent of batching, worker
+    /// interleaving and warm/cold history (the soak suite asserts this
+    /// against `run_reference`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTarget`] for unserved targets,
+    /// [`ServeError::Exec`] when interpretation fails.
+    pub fn execute(
+        &self,
+        model: &str,
+        target_id: &str,
+        op: OpSpec,
+        seed: u64,
+    ) -> Result<ExecOutcome, ServeError> {
+        if !self.serves(target_id) {
+            return Err(ServeError::UnknownTarget(target_id.to_string()));
+        }
+        if !valid_artifact_id(model) {
+            return Err(ServeError::InvalidModelId(model.to_string()));
+        }
+        let kernel = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        let mut bufs = alloc_buffers(&kernel.func);
+        random_fill(&mut bufs, seed);
+        run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?;
+        Ok(ExecOutcome {
+            output: bufs.swap_remove(kernel.output),
+            micros: kernel.micros,
+            note: kernel.note.clone(),
+            tensorized: kernel.tensorized,
+        })
+    }
+
+    /// The artifact-aware compile path. Returns the executable kernel
+    /// for `(workload, target, engine tuning)`, from (in order): the
+    /// per-target executable cache, artifact replay, or a cold searched
+    /// compile (which records its decision into the artifact store).
+    fn ensure_compiled(
+        &self,
+        model: &str,
+        target_id: &str,
+        workload: CacheWorkload,
+    ) -> Arc<CompiledOp> {
+        let target = &self.targets[target_id];
+        let exec = &self.exec[target_id];
+        let key = KernelCacheKey::new(workload, target_id, self.tuning);
+        if let Some(hit) = exec.get(&key) {
+            self.metrics.record_kernel_hit();
+            // The executable cache is keyed per (workload, target), not
+            // per model — a second model sharing a workload with an
+            // earlier one rides the same kernel. Its *artifact* entry
+            // must still be recorded, or exporting the store would omit
+            // the workload under this model's namespace and a warm start
+            // serving only this model would re-search.
+            self.record_artifact(model, target_id, workload, &hit);
+            return hit;
+        }
+        self.metrics.record_kernel_miss();
+
+        let entry = self
+            .artifacts
+            .lock()
+            .unwrap()
+            .lookup(model, target_id, &workload, self.tuning)
+            .cloned();
+        let compiled = match entry {
+            Some(entry) => {
+                self.metrics.record_artifact_hit();
+                // Replay: rebuild the identical kernel search-free; the
+                // persisted micros/note are authoritative (the replayed
+                // estimate would differ on GPU targets, where `Generic`
+                // re-profiles a different config).
+                let provider =
+                    UnitProvider::new(target.clone(), entry.replay).with_workers(self.workers);
+                let mut compiled = provider.compile_workload_full(&workload);
+                compiled.micros = entry.micros;
+                compiled.note = entry.note;
+                compiled.replay = entry.replay;
+                compiled
+            }
+            None => {
+                self.metrics.record_artifact_miss();
+                let provider =
+                    UnitProvider::new(target.clone(), self.tuning).with_workers(self.workers);
+                let compiled = provider.compile_workload_full(&workload);
+                // A search only actually ran when the workload tensorized
+                // (fallback kernels never reach the tuner), keeping this
+                // metric aligned with the ground-truth counters in
+                // `unit_core::tuner::stats`.
+                if compiled.tensorized && self.tuning.searches(&target.desc.style) {
+                    self.metrics.record_tuner_search();
+                }
+                self.artifacts.lock().unwrap().record(
+                    model,
+                    target_id,
+                    ArtifactEntry {
+                        workload,
+                        tuning: self.tuning,
+                        replay: compiled.replay,
+                        micros: compiled.micros,
+                        note: compiled.note.clone(),
+                    },
+                );
+                compiled
+            }
+        };
+        // Keep the latency cache coherent so whole-model reports agree
+        // with what requests were served (first-insert-wins on races).
+        self.latency[target_id]
+            .get_or_insert_with(key.clone(), || (compiled.micros, compiled.note.clone()));
+        exec.get_or_insert_with(key, || Arc::new(compiled))
+    }
+
+    /// Record an already-compiled kernel into `model`'s artifact
+    /// namespace if it is not there yet (the cross-model cache-hit path).
+    fn record_artifact(
+        &self,
+        model: &str,
+        target_id: &str,
+        workload: CacheWorkload,
+        kernel: &CompiledOp,
+    ) {
+        let mut artifacts = self.artifacts.lock().unwrap();
+        if artifacts
+            .lookup(model, target_id, &workload, self.tuning)
+            .is_none()
+        {
+            artifacts.record(
+                model,
+                target_id,
+                ArtifactEntry {
+                    workload,
+                    tuning: self.tuning,
+                    replay: kernel.replay,
+                    micros: kernel.micros,
+                    note: kernel.note.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("targets", &self.target_ids())
+            .field("artifact_entries", &self.artifacts.lock().unwrap().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reference report for tests: the plain serial graph compiler, which
+/// the engine's artifact-aware reports must match bit-for-bit.
+#[must_use]
+pub fn reference_report(graph: &Graph, target: Target, tuning: TuningConfig) -> E2eReport {
+    let provider = UnitProvider::new(target, tuning);
+    e2e_latency(graph, &provider)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_interp::{alloc_op_buffers, run_reference};
+
+    #[test]
+    fn execute_matches_reference_and_hits_cache_on_repeat() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        let op = OpSpec::gemm(16, 16, 32);
+        let out1 = engine.execute("t", "x86-avx512-vnni", op, 7).unwrap();
+        let out2 = engine.execute("t", "x86-avx512-vnni", op, 7).unwrap();
+        assert_eq!(out1.output, out2.output, "same seed, same bits");
+        assert!(out1.tensorized);
+        // Reference: lower through the same dispatch and run the DSL
+        // semantics directly.
+        let (ref_op, _) = unit_graph::layout::op_for_target(
+            &op,
+            &registry::target_by_id("x86-avx512-vnni").unwrap(),
+        );
+        let mut bufs = alloc_op_buffers(&ref_op);
+        random_fill(&mut bufs, 7);
+        run_reference(&ref_op, &mut bufs).unwrap();
+        assert_eq!(out1.output, bufs[ref_op.output.0 as usize]);
+        // Second call hit the executable cache.
+        let rendered = engine.metrics().render();
+        assert!(rendered.contains("kernel_cache_hits 1"), "{rendered}");
+        assert!(rendered.contains("kernel_cache_misses 1"), "{rendered}");
+    }
+
+    #[test]
+    fn unknown_target_is_a_typed_error() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        let err = engine
+            .execute("t", "riscv-vector", OpSpec::gemm(8, 8, 8), 1)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownTarget(id) if id == "riscv-vector"));
+    }
+
+    #[test]
+    fn invalid_model_ids_are_rejected_without_poisoning_the_engine() {
+        // Regression: ids containing the artifact format's reserved
+        // characters used to panic inside ArtifactStore::record *while
+        // holding the artifacts mutex*, poisoning it and failing every
+        // later cold compile and export.
+        let engine = ServeEngine::new(TuningConfig::default());
+        for bad in ["a|b", "a\nb", ""] {
+            let err = engine
+                .execute(bad, "x86-avx512-vnni", OpSpec::gemm(8, 8, 8), 1)
+                .unwrap_err();
+            assert!(matches!(err, ServeError::InvalidModelId(_)), "{bad:?}");
+        }
+        let mut graph = unit_graph::models::transformer_tiny();
+        graph.name = "bad|name".to_string();
+        assert!(matches!(
+            engine.compile_model(&graph, "x86-avx512-vnni"),
+            Err(ServeError::InvalidModelId(_))
+        ));
+        // The engine is still fully functional afterwards, and the
+        // exported store round-trips (an empty id would have rendered a
+        // file the parser rejects wholesale).
+        assert!(engine
+            .execute("good", "x86-avx512-vnni", OpSpec::gemm(8, 8, 8), 1)
+            .is_ok());
+        let store = engine.export_artifacts();
+        assert!(!store.is_empty());
+        crate::ArtifactStore::decode(&store.encode()).expect("exported store stays loadable");
+    }
+
+    #[test]
+    fn shared_workloads_are_recorded_under_every_requesting_model() {
+        // Regression: the executable cache is keyed per (workload,
+        // target) — without explicit recording, the second model's
+        // cache-hit path skipped the artifact store entirely, so a warm
+        // start serving only that model would re-search.
+        let engine = ServeEngine::new(TuningConfig::default());
+        let op = OpSpec::gemm(16, 16, 32);
+        let workload = CacheWorkload::Op(op);
+        engine.execute("model-a", "x86-avx512-vnni", op, 1).unwrap();
+        engine.execute("model-b", "x86-avx512-vnni", op, 2).unwrap();
+        let store = engine.export_artifacts();
+        for model in ["model-a", "model-b"] {
+            let entry = store
+                .lookup(model, "x86-avx512-vnni", &workload, engine.tuning())
+                .unwrap_or_else(|| panic!("{model} must have an artifact entry"));
+            assert!(entry.micros > 0.0);
+        }
+        // Both entries describe the identical kernel.
+        let a = store.lookup("model-a", "x86-avx512-vnni", &workload, engine.tuning());
+        let b = store.lookup("model-b", "x86-avx512-vnni", &workload, engine.tuning());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compile_model_records_shared_workloads_under_each_model() {
+        // Regression: the latency-cache-hit skip path in compile_model
+        // used to bypass artifact recording entirely, so a second model
+        // sharing workloads with the first was never persisted and
+        // re-searched on warm start.
+        use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+        let engine = ServeEngine::new(TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+            gpu: GpuTuneMode::Tuned,
+        });
+        let a = unit_graph::models::transformer_tiny();
+        let mut b = unit_graph::models::transformer_tiny();
+        b.name = "transformer-clone".to_string();
+        engine.compile_model(&a, "x86-avx512-vnni").unwrap();
+        engine.compile_model(&b, "x86-avx512-vnni").unwrap();
+        let store = engine.export_artifacts();
+        let a_entries = store.entries(&a.name, "x86-avx512-vnni");
+        let b_entries = store.entries(&b.name, "x86-avx512-vnni");
+        assert!(!a_entries.is_empty());
+        assert_eq!(
+            a_entries.len(),
+            b_entries.len(),
+            "the clone must be fully persisted under its own namespace"
+        );
+    }
+
+    #[test]
+    fn different_seeds_produce_different_outputs() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        let op = OpSpec::gemm(16, 16, 32);
+        let a = engine.execute("t", "arm-neon-dot", op, 1).unwrap();
+        let b = engine.execute("t", "arm-neon-dot", op, 2).unwrap();
+        assert_ne!(a.output, b.output);
+    }
+}

@@ -1,0 +1,62 @@
+//! `unit-serve` — the inference-serving runtime on top of the UNIT
+//! compiler stack.
+//!
+//! The compiler layers (PRs 1–4) end at "compile a model and report its
+//! latency"; this crate is the runtime that **serves** those compiled
+//! models:
+//!
+//! * [`artifact`] — the persistent compiled-artifact store: per
+//!   `(model, target)`, every kernel's tuning decision (workload,
+//!   config, search-free replay config, latency, note) in a hand-rolled,
+//!   versioned, line-oriented text format with typed rejection of
+//!   corrupt/truncated/version-bumped files. A warm start replays the
+//!   store and performs **zero** tuner searches.
+//! * [`engine`] — per-target (sharded) latency + executable-kernel
+//!   caches, artifact-aware compilation, whole-model reports
+//!   (bit-identical to the graph compiler), and request execution
+//!   through the `unit-interp` interpreter (bit-identical to
+//!   `run_reference`).
+//! * [`scheduler`] — bounded admission, dynamic `(model, target)`
+//!   batching, one worker thread per target; order-independent but
+//!   result-deterministic.
+//! * [`metrics`] — counters, queue-depth gauges, artifact/kernel cache
+//!   hit rates and a fixed-bucket latency histogram (p50/p95/p99) with a
+//!   stable text rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use unit_core::pipeline::TuningConfig;
+//! use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+//! use unit_graph::OpSpec;
+//! use unit_serve::{Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
+//!
+//! let tuning = TuningConfig {
+//!     cpu: CpuTuneMode::ParallelUnroll,
+//!     gpu: GpuTuneMode::Generic,
+//! };
+//! let engine = Arc::new(ServeEngine::new(tuning));
+//! let scheduler = Scheduler::start(Arc::clone(&engine), SchedulerConfig::default());
+//! let (_, response) = scheduler
+//!     .submit(ServeRequest {
+//!         model: "demo".to_string(),
+//!         target: "x86-avx512-vnni".to_string(),
+//!         op: OpSpec::gemm(16, 16, 16),
+//!         seed: 42,
+//!     })
+//!     .unwrap();
+//! let out = response.recv().unwrap();
+//! assert!(out.result.is_ok());
+//! scheduler.shutdown();
+//! ```
+
+pub mod artifact;
+pub mod engine;
+pub mod metrics;
+pub mod scheduler;
+
+pub use artifact::{ArtifactEntry, ArtifactError, ArtifactStore, ARTIFACT_FORMAT_VERSION};
+pub use engine::{reference_report, ExecOutcome, ServeEngine, ServeError};
+pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
+pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};

@@ -1,0 +1,361 @@
+//! Serving metrics: counters, gauges and a fixed-bucket latency
+//! histogram with a **stable text rendering** so tests (and scrapers) can
+//! assert on the exact output.
+//!
+//! Everything is lock-free atomics — the scheduler's worker threads
+//! record into one shared registry without contending on a mutex. The
+//! histogram trades precision for determinism: latencies are counted
+//! into fixed bucket bounds and quantiles report the *upper bound* of
+//! the bucket containing the requested rank, so p50/p95/p99 are exact
+//! functions of the recorded counts (no interpolation, no sampling).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in microseconds (the last bucket is an
+/// unbounded overflow). Spanning 1 us .. 1 s covers everything from a
+/// cache-hit GEMM on a warm engine to a cold whole-model compile.
+pub const LATENCY_BUCKETS_US: [u64; 19] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000,
+];
+
+/// The serving metrics registry. One instance per engine; shared with
+/// the scheduler and its workers via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
+    tuner_searches: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// Fixed-bucket latency histogram (see [`LATENCY_BUCKETS_US`]).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// Count one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The quantile `p` (in `[0, 1]`) as the upper bound of the bucket
+    /// holding that rank, or `None` when nothing was recorded. Overflow
+    /// observations report `None`-like saturation as `u64::MAX`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+impl ServeMetrics {
+    /// A zeroed registry.
+    #[must_use]
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// A request was admitted to the queue.
+    pub fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Roll back a [`ServeMetrics::record_submit`] whose enqueue failed
+    /// (queue full on `try_submit`, or shutdown).
+    pub fn record_unsubmit(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request was rejected at admission (queue full / unknown target).
+    pub fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch of `size` requests was handed to a worker.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// A request finished (successfully or not) after `latency` in queue
+    /// plus execution.
+    pub fn record_completion(&self, latency: Duration, ok: bool) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency.record(us);
+    }
+
+    /// The artifact store had a replayable entry for a compile.
+    pub fn record_artifact_hit(&self) {
+        self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The artifact store had no entry; a cold compile was needed.
+    pub fn record_artifact_miss(&self) {
+        self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The in-memory executable-kernel cache served a compile.
+    pub fn record_kernel_hit(&self) {
+        self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The in-memory executable-kernel cache missed.
+    pub fn record_kernel_miss(&self) {
+        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A compile actually searched the tuning space (cold, multi-candidate).
+    pub fn record_tuner_search(&self) {
+        self.tuner_searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed requests (successful only).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Failed requests.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at admission.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Current queue depth (admitted, not yet completed).
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Artifact-store hit rate over all compile lookups (0 when none).
+    #[must_use]
+    pub fn artifact_hit_rate(&self) -> f64 {
+        rate(
+            self.artifact_hits.load(Ordering::Relaxed),
+            self.artifact_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Executable-kernel cache hit rate (0 when no lookups).
+    #[must_use]
+    pub fn kernel_hit_rate(&self) -> f64 {
+        rate(
+            self.kernel_hits.load(Ordering::Relaxed),
+            self.kernel_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Tuner searches triggered by cold compiles.
+    #[must_use]
+    pub fn tuner_searches(&self) -> u64 {
+        self.tuner_searches.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Successful requests per second over `elapsed` wall clock.
+    #[must_use]
+    pub fn throughput_rps(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+
+    /// The stable text rendering: one `key value` pair per line, fixed
+    /// key set and order, fixed number formatting. Tests assert on this
+    /// exact shape, so treat any change as a format break.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let q = |p: f64| match self.latency.quantile(p) {
+            None => "none".to_string(),
+            Some(u64::MAX) => format!(">{}", LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1]),
+            Some(v) => v.to_string(),
+        };
+        let batches = load(&self.batches);
+        let mean_batch = if batches == 0 {
+            0.0
+        } else {
+            load(&self.batched_requests) as f64 / batches as f64
+        };
+        let mut out = String::from("# unit-serve metrics v1\n");
+        let mut line = |k: &str, v: String| {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        line("requests_submitted", load(&self.submitted).to_string());
+        line("requests_rejected", load(&self.rejected).to_string());
+        line("requests_completed", load(&self.completed).to_string());
+        line("requests_failed", load(&self.failed).to_string());
+        line("batches_executed", batches.to_string());
+        line("batch_size_mean", format!("{mean_batch:.2}"));
+        line("queue_depth", load(&self.queue_depth).to_string());
+        line("queue_depth_peak", load(&self.queue_depth_peak).to_string());
+        line("latency_p50_us", q(0.50));
+        line("latency_p95_us", q(0.95));
+        line("latency_p99_us", q(0.99));
+        line("artifact_hits", load(&self.artifact_hits).to_string());
+        line("artifact_misses", load(&self.artifact_misses).to_string());
+        line(
+            "artifact_hit_rate",
+            format!("{:.3}", self.artifact_hit_rate()),
+        );
+        line("kernel_cache_hits", load(&self.kernel_hits).to_string());
+        line("kernel_cache_misses", load(&self.kernel_misses).to_string());
+        line(
+            "kernel_cache_hit_rate",
+            format!("{:.3}", self.kernel_hit_rate()),
+        );
+        line("tuner_searches", load(&self.tuner_searches).to_string());
+        out
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 90 fast (<= 100us), 9 medium (<= 1000us), 1 slow (<= 10ms).
+        for _ in 0..90 {
+            h.record(73);
+        }
+        for _ in 0..9 {
+            h.record(800);
+        }
+        h.record(9_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), Some(100));
+        assert_eq!(h.quantile(0.90), Some(100));
+        assert_eq!(h.quantile(0.95), Some(1_000));
+        assert_eq!(h.quantile(0.99), Some(1_000));
+        assert_eq!(h.quantile(1.0), Some(10_000));
+    }
+
+    #[test]
+    fn overflow_bucket_saturates() {
+        let h = LatencyHistogram::default();
+        h.record(5_000_000);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_is_stable_and_deterministic() {
+        let m = ServeMetrics::new();
+        m.record_submit();
+        m.record_submit();
+        m.record_batch(2);
+        m.record_kernel_miss();
+        m.record_artifact_miss();
+        m.record_tuner_search();
+        m.record_completion(Duration::from_micros(40), true);
+        m.record_kernel_hit();
+        m.record_completion(Duration::from_micros(90), true);
+        let expected = "\
+# unit-serve metrics v1
+requests_submitted 2
+requests_rejected 0
+requests_completed 2
+requests_failed 0
+batches_executed 1
+batch_size_mean 2.00
+queue_depth 0
+queue_depth_peak 2
+latency_p50_us 50
+latency_p95_us 100
+latency_p99_us 100
+artifact_hits 0
+artifact_misses 1
+artifact_hit_rate 0.000
+kernel_cache_hits 1
+kernel_cache_misses 1
+kernel_cache_hit_rate 0.500
+tuner_searches 1
+";
+        assert_eq!(m.render(), expected);
+        assert_eq!(m.render(), expected, "rendering twice is identical");
+    }
+
+    #[test]
+    fn throughput_is_completed_over_elapsed() {
+        let m = ServeMetrics::new();
+        for _ in 0..10 {
+            m.record_submit();
+            m.record_completion(Duration::from_micros(10), true);
+        }
+        let rps = m.throughput_rps(Duration::from_secs(2));
+        assert!((rps - 5.0).abs() < 1e-9);
+        assert_eq!(m.throughput_rps(Duration::ZERO), 0.0);
+    }
+}

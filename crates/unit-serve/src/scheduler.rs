@@ -1,0 +1,465 @@
+//! The batching scheduler: bounded admission, dynamic `(model, target)`
+//! batching, and a per-target worker pool.
+//!
+//! ```text
+//!  clients ──try_submit/submit──▶ [bounded admission queue]
+//!                                        │ dispatcher thread
+//!                                        ▼
+//!                      group pending by (model, target), chunk ≤ max_batch
+//!                                        │
+//!              ┌─────────────────────────┼─────────────────────────┐
+//!              ▼                         ▼                         ▼
+//!      worker[x86-avx512-vnni]   worker[arm-neon-dot]      worker[nvidia-…]
+//!              │                         │                         │
+//!              └────────── per-request reply channels ─────────────┘
+//! ```
+//!
+//! * **Bounded admission**: the queue is a `std::sync::mpsc::sync_channel`
+//!   of fixed capacity. [`Scheduler::submit`] blocks (backpressure),
+//!   [`Scheduler::try_submit`] rejects with [`SubmitError::QueueFull`].
+//! * **Dynamic batching**: the dispatcher drains whatever is queued *right
+//!   now* and groups it by `(model, target)` in arrival order, splitting
+//!   groups into batches of at most `max_batch`. Under light load batches
+//!   degenerate to size 1 (no artificial latency); under burst load
+//!   same-kernel requests ride one batch and hit the executable cache.
+//! * **Sharded per target**: one worker thread per served target, each
+//!   draining its own channel and touching only its target's caches.
+//! * **Order-independent, result-deterministic**: responses arrive in
+//!   whatever order workers finish, but every response's payload is a pure
+//!   function of the request (`op`, `target`, `seed`, engine tuning) —
+//!   batched, re-batched and serial runs produce bit-identical outputs
+//!   (asserted by the soak suite).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use unit_graph::OpSpec;
+use unit_isa::TypedBuf;
+
+use crate::engine::ServeEngine;
+
+/// One inference request: execute `op` on `target`, with input buffers
+/// deterministically seeded by `seed`. `model` namespaces artifact-store
+/// lookups (and is how whole models share replayed tuning decisions).
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Model id (artifact namespace).
+    pub model: String,
+    /// Target descriptor id.
+    pub target: String,
+    /// The workload to execute.
+    pub op: OpSpec,
+    /// Deterministic input seed.
+    pub seed: u64,
+}
+
+/// A completed request.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// The id handed back by `submit`.
+    pub id: u64,
+    /// Output buffer (Ok) or a rendered error (Err).
+    pub result: Result<TypedBuf, String>,
+    /// Modeled kernel latency in microseconds (0 on error).
+    pub micros: f64,
+    /// Provider note for the executed kernel.
+    pub note: String,
+    /// How many requests shared this request's batch.
+    pub batch_size: usize,
+}
+
+/// Admission-time rejections.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (only from `try_submit`).
+    QueueFull,
+    /// The engine does not serve the request's target.
+    UnknownTarget(String),
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::UnknownTarget(id) => write!(f, "unknown target id `{id}`"),
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Scheduler tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Bounded admission queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+        }
+    }
+}
+
+struct Envelope {
+    id: u64,
+    req: ServeRequest,
+    reply: Sender<ServeResponse>,
+    enqueued: Instant,
+}
+
+struct Batch {
+    model: String,
+    items: Vec<Envelope>,
+}
+
+/// The running scheduler. Dropping it shuts the pipeline down cleanly:
+/// the admission queue closes, the dispatcher drains what was admitted,
+/// workers finish their batches, and every thread is joined.
+pub struct Scheduler {
+    engine: Arc<ServeEngine>,
+    tx: Option<SyncSender<Envelope>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Start the dispatcher and one worker per target served by
+    /// `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue_capacity` or `max_batch` is zero.
+    #[must_use]
+    pub fn start(engine: Arc<ServeEngine>, config: SchedulerConfig) -> Scheduler {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        let (tx, rx) = sync_channel::<Envelope>(config.queue_capacity);
+
+        let mut batch_txs: BTreeMap<String, Sender<Batch>> = BTreeMap::new();
+        let mut workers = Vec::new();
+        for target in engine.target_ids() {
+            let (btx, brx) = std::sync::mpsc::channel::<Batch>();
+            batch_txs.insert(target.clone(), btx);
+            let engine = Arc::clone(&engine);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&engine, &target, &brx)
+            }));
+        }
+        let drain_window = config.queue_capacity;
+        let max_batch = config.max_batch;
+        let dispatcher =
+            std::thread::spawn(move || dispatch_loop(&rx, &batch_txs, max_batch, drain_window));
+
+        Scheduler {
+            engine,
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+            workers,
+            next_id: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The engine behind this scheduler.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// The scheduler's configuration.
+    #[must_use]
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// Submit with backpressure: blocks while the admission queue is
+    /// full. Returns the response channel and the assigned request id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownTarget`] before enqueueing,
+    /// [`SubmitError::ShuttingDown`] when the pipeline is stopping.
+    pub fn submit(&self, req: ServeRequest) -> Result<(u64, Receiver<ServeResponse>), SubmitError> {
+        let (envelope, id, rx) = self.admit(&req)?;
+        // Count the submission *before* sending: a worker can complete
+        // the request (decrementing the queue-depth gauge) the instant
+        // it is enqueued.
+        self.engine.metrics().record_submit();
+        match self
+            .tx
+            .as_ref()
+            .ok_or(SubmitError::ShuttingDown)?
+            .send(envelope)
+        {
+            Ok(()) => Ok((id, rx)),
+            Err(_) => {
+                self.engine.metrics().record_unsubmit();
+                self.engine.metrics().record_reject();
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit without blocking: a full queue rejects immediately with
+    /// [`SubmitError::QueueFull`] (recorded in the metrics).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`], [`SubmitError::UnknownTarget`] or
+    /// [`SubmitError::ShuttingDown`].
+    pub fn try_submit(
+        &self,
+        req: ServeRequest,
+    ) -> Result<(u64, Receiver<ServeResponse>), SubmitError> {
+        let (envelope, id, rx) = self.admit(&req)?;
+        self.engine.metrics().record_submit();
+        match self
+            .tx
+            .as_ref()
+            .ok_or(SubmitError::ShuttingDown)?
+            .try_send(envelope)
+        {
+            Ok(()) => Ok((id, rx)),
+            Err(TrySendError::Full(_)) => {
+                self.engine.metrics().record_unsubmit();
+                self.engine.metrics().record_reject();
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.engine.metrics().record_unsubmit();
+                self.engine.metrics().record_reject();
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    fn admit(
+        &self,
+        req: &ServeRequest,
+    ) -> Result<(Envelope, u64, Receiver<ServeResponse>), SubmitError> {
+        if !self.engine.serves(&req.target) {
+            self.engine.metrics().record_reject();
+            return Err(SubmitError::UnknownTarget(req.target.clone()));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = std::sync::mpsc::channel();
+        Ok((
+            Envelope {
+                id,
+                req: req.clone(),
+                reply,
+                enqueued: Instant::now(),
+            },
+            id,
+            rx,
+        ))
+    }
+
+    /// Stop accepting requests, drain everything admitted, and join all
+    /// threads. (`Drop` does the same; this form makes shutdown explicit.)
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Dispatcher: drain what is queued, group by `(model, target)` in
+/// arrival order, chunk to `max_batch`, and hand each batch to its
+/// target's worker. Blocks only when the queue is empty.
+fn dispatch_loop(
+    rx: &Receiver<Envelope>,
+    batch_txs: &BTreeMap<String, Sender<Batch>>,
+    max_batch: usize,
+    drain_window: usize,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        while pending.len() < drain_window {
+            match rx.try_recv() {
+                Ok(env) => pending.push(env),
+                Err(_) => break,
+            }
+        }
+        // Group by (model, target), preserving arrival order within and
+        // across groups.
+        let mut groups: Vec<((String, String), Vec<Envelope>)> = Vec::new();
+        for env in pending {
+            let key = (env.req.model.clone(), env.req.target.clone());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, items)) => items.push(env),
+                None => groups.push((key, vec![env])),
+            }
+        }
+        for ((model, target), mut items) in groups {
+            while !items.is_empty() {
+                let take = items.len().min(max_batch);
+                let batch: Vec<Envelope> = items.drain(..take).collect();
+                // The worker outliving its channel is a shutdown race;
+                // dropping the batch there is fine because shutdown only
+                // happens after the admission queue is closed and drained.
+                let _ = batch_txs[&target].send(Batch {
+                    model: model.clone(),
+                    items: batch,
+                });
+            }
+        }
+    }
+    // rx closed: admission is over; dropping batch_txs ends the workers.
+}
+
+/// Worker: execute every request of every batch for one target. A panic
+/// while compiling or executing one request is contained to that
+/// request's response (a serving runtime must not let one poisoned
+/// kernel take down the whole target's worker — and with it every
+/// in-flight reply channel).
+fn worker_loop(engine: &Arc<ServeEngine>, target: &str, brx: &Receiver<Batch>) {
+    while let Ok(batch) = brx.recv() {
+        let size = batch.items.len();
+        engine.metrics().record_batch(size);
+        for env in batch.items {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.execute(&batch.model, target, env.req.op, env.req.seed)
+            }))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(crate::engine::ServeError::Panicked(format!(
+                    "kernel execution panicked: {msg}"
+                )))
+            });
+            let ok = outcome.is_ok();
+            engine
+                .metrics()
+                .record_completion(env.enqueued.elapsed(), ok);
+            let response = match outcome {
+                Ok(out) => ServeResponse {
+                    id: env.id,
+                    result: Ok(out.output),
+                    micros: out.micros,
+                    note: out.note,
+                    batch_size: size,
+                },
+                Err(e) => ServeResponse {
+                    id: env.id,
+                    result: Err(e.to_string()),
+                    micros: 0.0,
+                    note: String::new(),
+                    batch_size: size,
+                },
+            };
+            // The client may have dropped its receiver; that is not an
+            // error for the pipeline.
+            let _ = env.reply.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unit_core::pipeline::TuningConfig;
+    use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+
+    fn fast_tuning() -> TuningConfig {
+        TuningConfig {
+            cpu: CpuTuneMode::ParallelUnroll,
+            gpu: GpuTuneMode::Generic,
+        }
+    }
+
+    #[test]
+    fn unknown_target_is_rejected_at_admission() {
+        let engine = Arc::new(ServeEngine::new(fast_tuning()));
+        let sched = Scheduler::start(Arc::clone(&engine), SchedulerConfig::default());
+        let err = sched
+            .submit(ServeRequest {
+                model: "m".to_string(),
+                target: "no-such-target".to_string(),
+                op: OpSpec::gemm(8, 8, 8),
+                seed: 0,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::UnknownTarget("no-such-target".to_string())
+        );
+        assert_eq!(engine.metrics().rejected(), 1);
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let engine = Arc::new(ServeEngine::new(fast_tuning()));
+        let sched = Scheduler::start(Arc::clone(&engine), SchedulerConfig::default());
+        let (id, rx) = sched
+            .submit(ServeRequest {
+                model: "m".to_string(),
+                target: "x86-avx512-vnni".to_string(),
+                op: OpSpec::gemm(16, 16, 16),
+                seed: 3,
+            })
+            .unwrap();
+        let resp = rx.recv().expect("response arrives");
+        assert_eq!(resp.id, id);
+        assert!(resp.result.is_ok(), "{:?}", resp.result);
+        assert!(resp.batch_size >= 1);
+        sched.shutdown();
+        assert_eq!(engine.metrics().completed(), 1);
+        assert_eq!(engine.metrics().queue_depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let engine = Arc::new(ServeEngine::new(fast_tuning()));
+        let sched = Scheduler::start(Arc::clone(&engine), SchedulerConfig::default());
+        let mut rxs = Vec::new();
+        for seed in 0..16 {
+            let (_, rx) = sched
+                .submit(ServeRequest {
+                    model: "m".to_string(),
+                    target: "arm-neon-dot".to_string(),
+                    op: OpSpec::gemm(8, 16, 32),
+                    seed,
+                })
+                .unwrap();
+            rxs.push(rx);
+        }
+        sched.shutdown();
+        for rx in rxs {
+            let resp = rx.recv().expect("drained before shutdown completed");
+            assert!(resp.result.is_ok());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The serving soak test (ISSUE 5 acceptance): 8 client threads push
+//! 1k+ mixed Conv/Gemm requests through the batching scheduler across
+//! **every registered target**, and every response must be bit-identical
+//! to `run_reference` for its workload — independent of batching,
+//! worker interleaving, queue pressure and cache warm-up order.
+//!
+//! A second pass replays the same request list through a `max_batch = 1`
+//! scheduler (serial batches) and asserts the outputs are identical to
+//! the batched run: batching is a throughput optimization, never an
+//! observable behavior.
+//!
+//! Workload shapes are deliberately small — the interpreter executes
+//! every request faithfully, so soak cost scales with MACs, not with
+//! request count alone.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use unit_core::pipeline::TuningConfig;
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_graph::layout::op_for_target;
+use unit_graph::OpSpec;
+use unit_interp::{alloc_op_buffers, random_fill, run_reference};
+use unit_isa::{registry, TypedBuf};
+use unit_serve::{Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
+
+/// Modest tuning keeps compile time negligible next to execution; the
+/// correctness contract is identical at any tuning effort (the
+/// differential suite covers the full matrix).
+fn tuning() -> TuningConfig {
+    TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 2 },
+        gpu: GpuTuneMode::Tuned,
+    }
+}
+
+/// The mixed Conv/Gemm workload menu: dense conv, pointwise conv,
+/// depthwise conv (SIMD fallback path), grouped conv, plain GEMM and
+/// batched GEMM.
+fn menu() -> Vec<(&'static str, OpSpec)> {
+    vec![
+        ("convnet", OpSpec::conv2d(4, 6, 8, 3, 1, 1)),
+        ("convnet", OpSpec::conv2d(8, 5, 8, 1, 1, 0)),
+        ("convnet", OpSpec::depthwise(8, 8, 3, 1, 1)),
+        ("convnet", OpSpec::grouped(8, 6, 16, 3, 1, 1, 2)),
+        ("attention", OpSpec::gemm(16, 16, 16)),
+        ("attention", OpSpec::batched_gemm(2, 8, 16, 16)),
+    ]
+}
+
+/// The deterministic master request list: every menu item on every
+/// registered target, seeds cycling over a small set, shuffled across
+/// targets so per-target workers interleave.
+fn request_list(total: usize) -> Vec<ServeRequest> {
+    let targets: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
+    assert!(
+        targets.len() >= 4,
+        "expected the four built-in targets, got {targets:?}"
+    );
+    let menu = menu();
+    let mut out = Vec::with_capacity(total);
+    for i in 0..total {
+        let (model, op) = &menu[i % menu.len()];
+        let target = &targets[(i / menu.len()) % targets.len()];
+        out.push(ServeRequest {
+            model: (*model).to_string(),
+            target: target.clone(),
+            op: *op,
+            seed: (i % 5) as u64,
+        });
+    }
+    out
+}
+
+/// Expected output for a request, from the reference executor over the
+/// same target-specific lowering the engine uses.
+fn reference_outputs(requests: &[ServeRequest]) -> HashMap<(String, String, u64), TypedBuf>
+where
+{
+    let mut memo: HashMap<(String, String, u64), TypedBuf> = HashMap::new();
+    for req in requests {
+        let key = (req.target.clone(), req.op.encode(), req.seed);
+        if memo.contains_key(&key) {
+            continue;
+        }
+        let desc = registry::target_by_id(&req.target).expect("registered");
+        let (op, _) = op_for_target(&req.op, &desc);
+        let mut bufs = alloc_op_buffers(&op);
+        random_fill(&mut bufs, req.seed);
+        run_reference(&op, &mut bufs).expect("reference executes");
+        memo.insert(key, bufs.swap_remove(op.output.0 as usize));
+    }
+    memo
+}
+
+/// Drive `requests` through a scheduler with 8 client threads; returns
+/// outputs in request order.
+fn drive(requests: &[ServeRequest], config: SchedulerConfig, clients: usize) -> Vec<TypedBuf> {
+    let engine = Arc::new(ServeEngine::new(tuning()));
+    let scheduler = Arc::new(Scheduler::start(Arc::clone(&engine), config));
+    let mut outputs: Vec<Option<TypedBuf>> = vec![None; requests.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let scheduler = Arc::clone(&scheduler);
+            handles.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                // Client c owns requests c, c+clients, c+2*clients, ...
+                for (idx, req) in requests
+                    .iter()
+                    .enumerate()
+                    .skip(client)
+                    .step_by(clients.max(1))
+                {
+                    let (_, rx) = scheduler.submit(req.clone()).expect("admission");
+                    let resp = rx.recv().expect("response");
+                    assert!(resp.batch_size >= 1);
+                    got.push((
+                        idx,
+                        resp.result
+                            .unwrap_or_else(|e| panic!("request {idx} failed: {e}")),
+                    ));
+                }
+                got
+            }));
+        }
+        for handle in handles {
+            for (idx, buf) in handle.join().expect("client thread") {
+                outputs[idx] = Some(buf);
+            }
+        }
+    });
+    let metrics = engine.metrics();
+    assert_eq!(metrics.completed(), requests.len() as u64);
+    assert_eq!(metrics.failed(), 0);
+    assert_eq!(metrics.queue_depth(), 0, "everything drained");
+    outputs.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+#[test]
+fn soak_8_threads_1k_mixed_requests_bit_identical_to_reference() {
+    let requests = request_list(1024);
+    let expected = reference_outputs(&requests);
+
+    // Batched run: 8 clients against a batching scheduler.
+    let batched = drive(
+        &requests,
+        SchedulerConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+        },
+        8,
+    );
+    for (idx, (req, out)) in requests.iter().zip(&batched).enumerate() {
+        let key = (req.target.clone(), req.op.encode(), req.seed);
+        assert_eq!(
+            out,
+            &expected[&key],
+            "request {idx} ({} on {}, seed {}) diverged from run_reference",
+            req.op.describe(),
+            req.target,
+            req.seed
+        );
+    }
+
+    // Serial batches (max_batch = 1), single client: identical outputs.
+    let serial = drive(
+        &requests[..256],
+        SchedulerConfig {
+            queue_capacity: 16,
+            max_batch: 1,
+        },
+        1,
+    );
+    for (idx, (s, b)) in serial.iter().zip(&batched[..256]).enumerate() {
+        assert_eq!(s, b, "serial and batched outputs diverged at request {idx}");
+    }
+}
+
+#[test]
+fn backpressure_try_submit_rejects_then_recovers() {
+    // A tiny queue with a single slow-ish flow: try_submit must reject
+    // with QueueFull at some point under a burst, and every admitted
+    // request must still complete correctly.
+    let engine = Arc::new(ServeEngine::new(tuning()));
+    let scheduler = Scheduler::start(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            queue_capacity: 2,
+            max_batch: 2,
+        },
+    );
+    let mut receivers = Vec::new();
+    let mut rejected = 0;
+    for seed in 0..64 {
+        let req = ServeRequest {
+            model: "burst".to_string(),
+            target: "x86-avx512-vnni".to_string(),
+            op: OpSpec::conv2d(4, 6, 8, 3, 1, 1),
+            seed: seed % 3,
+        };
+        match scheduler.try_submit(req.clone()) {
+            Ok((_, rx)) => receivers.push(rx),
+            Err(unit_serve::SubmitError::QueueFull) => {
+                rejected += 1;
+                // Blocking submit applies backpressure instead.
+                let (_, rx) = scheduler.submit(req).expect("blocking admission");
+                receivers.push(rx);
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    for rx in receivers {
+        assert!(rx.recv().expect("response").result.is_ok());
+    }
+    scheduler.shutdown();
+    assert_eq!(engine.metrics().completed(), 64);
+    assert_eq!(engine.metrics().rejected(), rejected);
+    assert_eq!(engine.metrics().queue_depth(), 0);
+}

@@ -1,0 +1,167 @@
+//! The serving runtime end to end: compile transformer-tiny and
+//! mobilenet-v1 for **every registered target**, persist the compiled
+//! artifacts, warm-start a fresh engine from the store (zero tuner
+//! searches), then serve a concurrent mixed request stream across all
+//! targets through the batching scheduler and print the metrics.
+//!
+//! Run with `cargo run --release --example serve`. Set
+//! `UNIT_SERVE_SMOKE=1` (the CI smoke mode) to shrink the request count;
+//! correctness assertions run in both modes.
+//!
+//! Model *compilation* uses the full-size models (compile time is modeled
+//! estimation — cheap); request *execution* interprets every kernel
+//! faithfully, so the request mix uses small conv/GEMM workloads, the
+//! same trade the soak suite makes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use unit::graph::models::{mobilenet_v1, transformer_tiny};
+use unit::graph::OpSpec;
+use unit::isa::registry;
+use unit::pipeline::TuningConfig;
+use unit::serve::{ArtifactStore, Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
+use unit_core::tuner::{tuner_searches, CpuTuneMode, GpuTuneMode};
+
+fn main() {
+    let smoke = std::env::var("UNIT_SERVE_SMOKE").is_ok();
+    let tuning = TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 4 },
+        gpu: GpuTuneMode::Tuned,
+    };
+    let models = [transformer_tiny(), mobilenet_v1()];
+    let targets: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
+    println!(
+        "serving {} models on {} targets: {}",
+        models.len(),
+        targets.len(),
+        targets.join(", ")
+    );
+
+    // --- Phase 1: cold compile + persist. ---
+    let cold = ServeEngine::new(tuning);
+    let t0 = Instant::now();
+    for graph in &models {
+        for target in &targets {
+            let report = cold.compile_model(graph, target).expect("cold compile");
+            println!(
+                "  cold {:<17} on {:<18} {:>9.2} ms ({} kernels)",
+                graph.name,
+                target,
+                report.total_ms,
+                report.layers.len()
+            );
+        }
+    }
+    // Execute the serving menu once cold, so its tuning decisions are
+    // persisted alongside the model artifacts and the warm engine serves
+    // with a 100% artifact hit rate.
+    for (model, op) in serving_menu() {
+        for target in &targets {
+            cold.execute(model, target, op, 0).expect("cold execute");
+        }
+    }
+    let cold_elapsed = t0.elapsed();
+    let store = cold.export_artifacts();
+    let path = std::env::temp_dir().join("unit-serve-example.store");
+    store.save(&path).expect("save artifact store");
+    println!(
+        "\ncold compile: {:.2}s; persisted {} artifact entries to {}",
+        cold_elapsed.as_secs_f64(),
+        store.len(),
+        path.display()
+    );
+
+    // --- Phase 2: warm start from disk — zero tuner searches. ---
+    let warm = ServeEngine::new(tuning);
+    let loaded = ArtifactStore::load(&path).expect("load artifact store");
+    let restored = warm.import_artifacts(loaded);
+    let searches_before = tuner_searches();
+    let t1 = Instant::now();
+    for graph in &models {
+        for target in &targets {
+            let report = warm.compile_model(graph, target).expect("warm compile");
+            assert!(report.total_ms > 0.0);
+        }
+    }
+    let warm_elapsed = t1.elapsed();
+    assert_eq!(
+        tuner_searches(),
+        searches_before,
+        "warm start must perform zero tuner searches"
+    );
+    println!(
+        "warm compile: {:.3}s from {restored} restored entries — zero tuner searches, {:.0}x faster than cold",
+        warm_elapsed.as_secs_f64(),
+        cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
+    );
+
+    // --- Phase 3: concurrent serving across every target. ---
+    let engine = Arc::new(warm);
+    let scheduler = Arc::new(Scheduler::start(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+        },
+    ));
+    let menu = serving_menu();
+    let clients = 8;
+    let per_client = if smoke { 16 } else { 64 };
+    let t2 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let scheduler = Arc::clone(&scheduler);
+            let targets = &targets;
+            let menu = &menu;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let (model, op) = &menu[(client + i) % menu.len()];
+                    let target = &targets[(client * per_client + i) % targets.len()];
+                    let (_, rx) = scheduler
+                        .submit(ServeRequest {
+                            model: (*model).to_string(),
+                            target: target.clone(),
+                            op: *op,
+                            seed: (i % 7) as u64,
+                        })
+                        .expect("admission");
+                    let resp = rx.recv().expect("response");
+                    assert!(resp.result.is_ok(), "{:?}", resp.result);
+                }
+            });
+        }
+    });
+    let served = clients * per_client;
+    let elapsed = t2.elapsed();
+    println!(
+        "\nserved {served} requests across {} targets in {:.2}s ({:.0} req/s)\n",
+        targets.len(),
+        elapsed.as_secs_f64(),
+        engine.metrics().throughput_rps(elapsed)
+    );
+    println!("{}", engine.metrics().render());
+    std::fs::remove_file(&path).ok();
+
+    let metrics = engine.metrics();
+    assert_eq!(metrics.completed(), served as u64);
+    assert_eq!(metrics.failed(), 0);
+    assert_eq!(
+        metrics.tuner_searches(),
+        0,
+        "warm serving must replay artifacts, never search"
+    );
+    println!("serving runtime OK: all responses delivered, zero failures, zero tuner searches");
+}
+
+/// The request mix served in phase 3: small workloads tagged with the
+/// model whose artifact namespace they live in (the interpreter executes
+/// every request faithfully, so the mix must stay interpreter-sized).
+fn serving_menu() -> Vec<(&'static str, OpSpec)> {
+    vec![
+        ("mobilenet-v1", OpSpec::depthwise(8, 8, 3, 1, 1)),
+        ("mobilenet-v1", OpSpec::conv2d(8, 5, 8, 1, 1, 0)),
+        ("transformer-tiny", OpSpec::gemm(16, 16, 16)),
+        ("transformer-tiny", OpSpec::batched_gemm(2, 8, 16, 16)),
+    ]
+}

@@ -23,6 +23,10 @@
 //!   Tuner (CPU/GPU schedule search).
 //! * [`graph`] — a graph-level IR with quantization, layout and fusion
 //!   passes, plus the nine CNN models of the evaluation.
+//! * [`serve`] — the inference-serving runtime: a persistent
+//!   compiled-artifact store (warm starts replay tuning decisions with
+//!   zero searches), a batching scheduler sharded per target, and
+//!   serving metrics with stable text rendering.
 //! * [`baselines`] — simulated vendor-library comparators (oneDNN, cuDNN,
 //!   TVM manual schedules, TVM-NEON).
 //!
@@ -46,5 +50,6 @@ pub use unit_dsl as dsl;
 pub use unit_graph as graph;
 pub use unit_interp as interp;
 pub use unit_isa as isa;
+pub use unit_serve as serve;
 pub use unit_sim as sim;
 pub use unit_tir as tir;

@@ -1,4 +1,4 @@
-//! Smoke test: all four examples run to completion.
+//! Smoke test: all five examples run to completion.
 //!
 //! Each example is executed through `cargo run --example` (the same
 //! entry point a user would type), so this also guards the example
@@ -9,11 +9,19 @@
 use std::process::Command;
 
 fn run_example(name: &str) {
+    run_example_with_env(name, &[]);
+}
+
+fn run_example_with_env(name: &str, envs: &[(&str, &str)]) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
-    let output = Command::new(cargo)
-        .args(["run", "--quiet", "--example", name])
-        .current_dir(manifest_dir)
+    let mut cmd = Command::new(cargo);
+    cmd.args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let output = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
     assert!(
@@ -43,4 +51,11 @@ fn cross_platform_runs_to_completion() {
 #[test]
 fn model_inference_runs_to_completion() {
     run_example("model_inference");
+}
+
+#[test]
+fn serve_runs_to_completion() {
+    // Smoke mode: fewer requests; every correctness assertion (zero
+    // warm-start tuner searches, all responses delivered) still runs.
+    run_example_with_env("serve", &[("UNIT_SERVE_SMOKE", "1")]);
 }
