@@ -1,0 +1,152 @@
+//! Tape-executor throughput: the compiled instruction tape vs. the
+//! statement-tree interpreter on the serving request path, plus the
+//! batch-fusion dispatch contract.
+//!
+//! Run via `cargo bench -p unit-bench --bench tape_throughput`. Two
+//! engines serve the identical request mix — transformer-tiny GEMMs and
+//! resnet-style convolutions — one in `ExecMode::Tape` (the default),
+//! one pinned to `ExecMode::Interp` (the oracle). Both are fully warmed
+//! first so the timed loops measure pure request execution, not tuner
+//! searches or tape compilation. The run asserts:
+//!
+//! * **throughput**: the tape path serves the mix at least as fast as
+//!   the interpreter (best-of-3 timed passes per mode),
+//! * **fusion**: a batch of same-shape batched-GEMM requests through
+//!   [`ServeEngine::execute_gemm_batch`] costs exactly *one* tape
+//!   dispatch — fewer dispatches than requests,
+//! * **oracle agreement**: both modes produce bit-identical outputs.
+//!
+//! `TAPE_THROUGHPUT_SMOKE=1` switches to a single short repetition count
+//! and additionally writes `BENCH_tape.json` (requests/sec per mode,
+//! speedup, fusion counters) into the working directory — the tracked
+//! CI artifact.
+
+use std::time::{Duration, Instant};
+
+use unit_core::pipeline::TuningConfig;
+use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+use unit_graph::OpSpec;
+use unit_serve::{ExecMode, ServeEngine};
+
+const TARGET: &str = "x86-avx512-vnni";
+
+fn tuning() -> TuningConfig {
+    TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 4 },
+        gpu: GpuTuneMode::Tuned,
+    }
+}
+
+/// The request mix: transformer-tiny GEMM shapes plus resnet-style
+/// convolutions, large enough that execution (not buffer setup)
+/// dominates each request.
+fn menu() -> Vec<(&'static str, OpSpec)> {
+    vec![
+        ("transformer-tiny", OpSpec::gemm(16, 16, 16)),
+        ("transformer-tiny", OpSpec::gemm(32, 32, 32)),
+        ("transformer-tiny", OpSpec::batched_gemm(2, 8, 16, 16)),
+        ("resnet-18", OpSpec::conv2d(16, 10, 16, 3, 1, 1)),
+        ("resnet-18", OpSpec::conv2d(8, 8, 32, 1, 1, 0)),
+    ]
+}
+
+/// One timed pass: every menu item `reps` times with rotating seeds.
+fn timed_pass(engine: &ServeEngine, reps: usize) -> Duration {
+    let menu = menu();
+    let t0 = Instant::now();
+    for r in 0..reps {
+        for (model, op) in &menu {
+            engine
+                .execute(model, TARGET, *op, (r % 7) as u64)
+                .expect("request executes");
+        }
+    }
+    t0.elapsed()
+}
+
+fn main() {
+    let smoke = std::env::var("TAPE_THROUGHPUT_SMOKE").is_ok();
+    let reps: usize = if smoke { 30 } else { 200 };
+
+    let tape_engine = ServeEngine::new(tuning());
+    assert_eq!(tape_engine.exec_mode(), ExecMode::Tape, "tape is default");
+    let interp_engine = ServeEngine::new(tuning()).with_exec_mode(ExecMode::Interp);
+
+    // Warm both engines (tuner searches + tape compiles happen here)
+    // and pin the oracle agreement: identical outputs per request.
+    for (model, op) in menu() {
+        let a = tape_engine.execute(model, TARGET, op, 42).expect("tape");
+        let b = interp_engine
+            .execute(model, TARGET, op, 42)
+            .expect("interp");
+        assert_eq!(a.output, b.output, "{model}: tape diverged from oracle");
+    }
+
+    // Best-of-3 interleaved passes per mode.
+    let mut tape_best = Duration::MAX;
+    let mut interp_best = Duration::MAX;
+    for _ in 0..3 {
+        tape_best = tape_best.min(timed_pass(&tape_engine, reps));
+        interp_best = interp_best.min(timed_pass(&interp_engine, reps));
+    }
+    let requests = (reps * menu().len()) as f64;
+    let tape_rps = requests / tape_best.as_secs_f64();
+    let interp_rps = requests / interp_best.as_secs_f64();
+
+    // Fusion contract: 8 same-shape batched-GEMM requests, one dispatch.
+    let fusion_seeds: Vec<u64> = (0..8).collect();
+    let dispatches_before = tape_engine.metrics().tape_dispatches();
+    let outcomes = tape_engine
+        .execute_gemm_batch(
+            "transformer-tiny",
+            TARGET,
+            OpSpec::batched_gemm(2, 8, 16, 16),
+            &fusion_seeds,
+        )
+        .expect("fused batch executes");
+    assert_eq!(outcomes.len(), fusion_seeds.len());
+    let fused_dispatches = tape_engine.metrics().tape_dispatches() - dispatches_before;
+    assert!(
+        (fused_dispatches as usize) < fusion_seeds.len(),
+        "fusion must cost fewer tape dispatches ({fused_dispatches}) than requests ({})",
+        fusion_seeds.len()
+    );
+    assert_eq!(fused_dispatches, 1, "same-shape batch fuses into one tape");
+
+    println!("tape_throughput: {} requests per mode", requests as usize);
+    println!(
+        "  tape   {:>8.2} ms   {:>9.0} req/s",
+        tape_best.as_secs_f64() * 1e3,
+        tape_rps
+    );
+    println!(
+        "  interp {:>8.2} ms   {:>9.0} req/s   (tape {:.2}x)",
+        interp_best.as_secs_f64() * 1e3,
+        interp_rps,
+        tape_rps / interp_rps
+    );
+    println!("{}", tape_engine.metrics().render());
+
+    assert!(
+        tape_best <= interp_best,
+        "the compiled tape must serve at least interpreter throughput: \
+         tape {:.2} ms vs interp {:.2} ms",
+        tape_best.as_secs_f64() * 1e3,
+        interp_best.as_secs_f64() * 1e3
+    );
+    assert_eq!(interp_engine.metrics().tape_dispatches(), 0, "oracle mode");
+
+    if smoke {
+        // Hand-rolled JSON (the vendored serde is a stub): the tracked
+        // tape-bench artifact CI archives as BENCH_tape.json.
+        let json = format!(
+            "{{\n  \"bench\": \"tape_throughput\",\n  \"requests_per_mode\": {},\n  \"tape_requests_per_sec\": {tape_rps:.1},\n  \"interp_requests_per_sec\": {interp_rps:.1},\n  \"tape_speedup\": {:.3},\n  \"tape_compiles\": {},\n  \"fused_batch_requests\": {},\n  \"fused_batch_dispatches\": {fused_dispatches}\n}}\n",
+            requests as usize,
+            tape_rps / interp_rps,
+            tape_engine.metrics().tape_compiles(),
+            fusion_seeds.len(),
+        );
+        std::fs::write("BENCH_tape.json", &json).expect("write BENCH_tape.json");
+        println!("wrote BENCH_tape.json:\n{json}");
+    }
+}

@@ -36,6 +36,18 @@ pub enum ExecError {
         /// Buffer length.
         len: usize,
     },
+    /// A Load/Store supplies a different number of indices than the
+    /// buffer has dimensions. Truncating would silently compute a wrong
+    /// address (the old behaviour), so both the interpreter and the tape
+    /// compiler reject it.
+    IndexArity {
+        /// Offending buffer index.
+        buffer: u32,
+        /// The buffer's rank (one index expected per dimension).
+        expected: usize,
+        /// Indices supplied by the access.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -49,6 +61,16 @@ impl fmt::Display for ExecError {
             ExecError::Emulation(m) => write!(f, "emulation failed: {m}"),
             ExecError::OutOfBounds { buffer, index, len } => {
                 write!(f, "access of b{buffer}[{index}] escapes length {len}")
+            }
+            ExecError::IndexArity {
+                buffer,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "access of b{buffer} supplies {got} indices for rank {expected}"
+                )
             }
         }
     }
@@ -103,6 +125,13 @@ impl Interp<'_> {
     fn flat(&self, buffer: unit_tir::BufId, indices: &[IdxExpr]) -> Result<usize, ExecError> {
         let decl = self.func.buffer(buffer);
         let strides = decl.strides();
+        if indices.len() != strides.len() {
+            return Err(ExecError::IndexArity {
+                buffer: buffer.0,
+                expected: strides.len(),
+                got: indices.len(),
+            });
+        }
         let mut flat = 0i64;
         for (ix, s) in indices.iter().zip(&strides) {
             flat += self.idx(ix) * s;
@@ -173,25 +202,35 @@ impl Interp<'_> {
         }
     }
 
-    /// Gather a register from memory according to an operand spec.
+    /// Gather a register from memory according to an operand spec. Lane
+    /// enumeration is shared with the tape compiler
+    /// ([`OperandSpec::for_each_lane`]) — the interpreter walks it per
+    /// call, the tape precomputes it once.
     fn gather(&self, spec: &OperandSpec, dtype: DType) -> Result<TypedBuf, ExecError> {
         let mut reg = TypedBuf::zeros(dtype, spec.reg_len);
         let base = self.idx(&spec.base);
         let buf = &self.bufs[spec.buffer.0 as usize];
         let len = buf.len();
-        self.for_each_lane(spec, |reg_at, mem_off| {
+        let mut oob = None;
+        spec.for_each_lane(|reg_at, mem_off| {
+            if oob.is_some() {
+                return;
+            }
             let at = base + mem_off;
             if at < 0 || at as usize >= len {
-                return Err(ExecError::OutOfBounds {
-                    buffer: spec.buffer.0,
-                    index: at,
-                    len,
-                });
+                oob = Some(at);
+                return;
             }
             reg.set(reg_at as usize, buf.get(at as usize));
-            Ok(())
-        })?;
-        Ok(reg)
+        });
+        match oob {
+            Some(index) => Err(ExecError::OutOfBounds {
+                buffer: spec.buffer.0,
+                index,
+                len,
+            }),
+            None => Ok(reg),
+        }
     }
 
     /// Scatter a register back to memory.
@@ -199,58 +238,30 @@ impl Interp<'_> {
         let base = self.idx(&spec.base);
         let len = self.bufs[spec.buffer.0 as usize].len();
         let mut writes = Vec::with_capacity(spec.reg_len);
-        self.for_each_lane(spec, |reg_at, mem_off| {
+        let mut oob = None;
+        spec.for_each_lane(|reg_at, mem_off| {
+            if oob.is_some() {
+                return;
+            }
             let at = base + mem_off;
             if at < 0 || at as usize >= len {
-                return Err(ExecError::OutOfBounds {
-                    buffer: spec.buffer.0,
-                    index: at,
-                    len,
-                });
+                oob = Some(at);
+                return;
             }
             writes.push((at as usize, reg.get(reg_at as usize)));
-            Ok(())
-        })?;
+        });
+        if let Some(index) = oob {
+            return Err(ExecError::OutOfBounds {
+                buffer: spec.buffer.0,
+                index,
+                len,
+            });
+        }
         let buf = &mut self.bufs[spec.buffer.0 as usize];
         for (at, v) in writes {
             buf.set(at, v);
         }
         Ok(())
-    }
-
-    /// Enumerate `(register element, memory offset)` pairs of an operand.
-    fn for_each_lane(
-        &self,
-        spec: &OperandSpec,
-        mut f: impl FnMut(i64, i64) -> Result<(), ExecError>,
-    ) -> Result<(), ExecError> {
-        let dims = &spec.steps;
-        let mut counters = vec![0i64; dims.len()];
-        loop {
-            let mut reg_at = 0i64;
-            let mut mem_off = 0i64;
-            for (c, d) in counters.iter().zip(dims) {
-                reg_at += c * d.reg_stride;
-                mem_off += c * d.mem_stride;
-            }
-            f(reg_at, mem_off)?;
-            // Odometer.
-            let mut d = dims.len();
-            loop {
-                if d == 0 {
-                    return Ok(());
-                }
-                d -= 1;
-                counters[d] += 1;
-                if counters[d] < dims[d].extent {
-                    break;
-                }
-                counters[d] = 0;
-                if d == 0 {
-                    return Ok(());
-                }
-            }
-        }
     }
 
     fn intrin(&mut self, is: &IntrinStmt) -> Result<(), ExecError> {
@@ -353,6 +364,51 @@ mod tests {
         run(&func, &mut bufs).unwrap();
         run_reference(&op, &mut reference).unwrap();
         assert_eq!(bufs[2], reference[2]);
+    }
+
+    #[test]
+    fn index_arity_mismatch_is_a_typed_error() {
+        // Regression: a Load/Store with fewer indices than the buffer's
+        // rank used to zip against the strides and silently truncate,
+        // computing a wrong address instead of erroring.
+        use unit_dsl::DType;
+        use unit_tir::{BufId, BufferDecl, BufferScope, Stmt, StoreStmt, TirFunc};
+        let buf2d = BufferDecl {
+            id: BufId(0),
+            name: "out".into(),
+            shape: vec![4, 4],
+            dtype: DType::I32,
+            scope: BufferScope::Global,
+        };
+        let func = TirFunc {
+            name: "arity".into(),
+            buffers: vec![buf2d],
+            vars: vec![],
+            output: BufId(0),
+            body: Stmt::Store(StoreStmt {
+                buffer: BufId(0),
+                indices: vec![IdxExpr::Const(1)], // rank 2, one index
+                value: TExpr::Int(7, DType::I32),
+            }),
+        };
+        let mut bufs = alloc_buffers(&func);
+        assert!(matches!(
+            run(&func, &mut bufs),
+            Err(ExecError::IndexArity {
+                buffer: 0,
+                expected: 2,
+                got: 1
+            })
+        ));
+        // The tape compiler rejects the same function at compile time.
+        assert!(matches!(
+            crate::tape::Tape::compile(&func),
+            Err(ExecError::IndexArity {
+                buffer: 0,
+                expected: 2,
+                got: 1
+            })
+        ));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! on random inputs, where the reference executor evaluates the op's DSL
 //! semantics directly.
 //!
+//! Two executors share these semantics: the statement-tree walker
+//! ([`exec::run`], the differential oracle) and the compiled instruction
+//! tape ([`tape::Tape`], the serving fast path — lower once, replay
+//! allocation-free). They are validated against each other bit-for-bit.
+//!
 //! # Example
 //!
 //! ```
@@ -32,7 +37,9 @@
 pub mod buffers;
 pub mod exec;
 pub mod reference;
+pub mod tape;
 
 pub use buffers::{alloc_buffers, alloc_op_buffers, random_fill};
 pub use exec::{run, ExecError};
 pub use reference::{reference_output, run_reference};
+pub use tape::{Tape, TapeScratch, TapeStats};

@@ -1,0 +1,919 @@
+//! The instruction-tape compiler and executor: UNIT's serving fast path.
+//!
+//! The statement-tree interpreter ([`crate::exec`]) re-traverses the AST,
+//! re-resolves intrinsic names against the registry, and re-enumerates
+//! operand lanes with odometer arithmetic on **every** call — fine for
+//! one-shot differential tests, wasteful when a serving engine replays the
+//! same kernel thousands of times. [`Tape::compile`] lowers a
+//! [`TirFunc`] *once* into a flat, preallocated instruction tape that a hot
+//! loop can replay with none of that per-call work:
+//!
+//! * **Register bytecode.** The statement tree becomes a linear `Vec` of
+//!   tape ops with explicit jump targets; loops are a `Loop`/`End` pair,
+//!   residue guards compile to a `Guard` op holding its exit address.
+//!
+//! | opcode  | operands                    | effect                           |
+//!   |---------|-----------------------------|----------------------------------|
+//!   | `Loop`  | var                         | `env[var] = 0`                   |
+//!   | `End`   | var, extent, top            | `env[var] += 1`; jump `top` while `env[var] < extent` |
+//!   | `Guard` | conditions, exit            | jump `exit` unless all `index < bound` hold |
+//!   | `Store` | addr program, value program | evaluate RPN value, write buffer |
+//!   | `Intrin`| compiled-intrinsic id       | gather → emulate → scatter       |
+//!
+//! * **Intrinsics resolved at compile time.** Each [`unit_tir::IntrinStmt`]
+//!   site becomes a compiled-intrinsic record: the registry handle is looked up
+//!   once, operand-count and accumulator requirements are validated once,
+//!   and every operand's `(reg_at, mem_off)` lane pattern
+//!   ([`OperandSpec::lanes`]) is precomputed into a flat slice the executor
+//!   replays directly.
+//! * **Static bounds checking.** Every buffer access carries an interval
+//!   proof ([`IdxExpr::bounds`] over the loop extents). Accesses provably
+//!   inside `[0, len)` skip per-element validation in the hot loop;
+//!   only accesses the tape cannot prove (e.g. under residue guards)
+//!   keep a runtime check. [`Tape::stats`] reports the split.
+//! * **Reusable register file.** [`TapeScratch`] preallocates the loop
+//!   environment, evaluation stacks and per-site intrinsic registers; a
+//!   steady-state [`Tape::run`] performs no heap allocation.
+//!
+//! The tree-walk interpreter remains the differential oracle: both engines
+//! share [`OperandSpec::for_each_lane`] and must produce bit-identical
+//! buffers for every function (see `tests/tape_differential.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use unit_dsl::builder::matmul_u8i8;
+//! use unit_tir::{schedule::Schedule, lower::lower};
+//! use unit_interp::{alloc_buffers, random_fill, tape::Tape};
+//!
+//! let op = matmul_u8i8(4, 8, 16);
+//! let func = lower(&Schedule::new(&op), "mm").unwrap();
+//! let tape = Tape::compile(&func).unwrap();
+//! let mut scratch = tape.scratch();
+//! let mut bufs = alloc_buffers(&func);
+//! random_fill(&mut bufs, 42);
+//! tape.run(&mut bufs, &mut scratch).unwrap(); // replayable, allocation-free
+//! ```
+
+use unit_dsl::{BinOp, DType};
+use unit_isa::{registry, Scalar, TensorIntrinsic, TypedBuf};
+use unit_tir::{BufId, BufferDecl, Guard, IdxExpr, IntrinStmt, OperandSpec, Stmt, TExpr, TirFunc};
+
+use crate::exec::ExecError;
+
+/// One step of a compiled non-affine index program (RPN over `env`).
+#[derive(Debug, Clone, Copy)]
+enum IdxOp {
+    /// Push a loop variable's current value.
+    PushVar(u32),
+    /// Push a constant.
+    PushConst(i64),
+    /// Pop two, push their sum.
+    Add,
+    /// Multiply the top of stack by a constant.
+    MulC(i64),
+    /// Euclidean-divide the top of stack by a positive constant.
+    DivC(i64),
+    /// Euclidean-remainder the top of stack by a positive constant.
+    ModC(i64),
+}
+
+/// A compiled index expression. Affine expressions (the overwhelmingly
+/// common case) evaluate as a dot product over precomputed
+/// `(var, coefficient)` terms; division/modulo expressions introduced by
+/// loop fusion fall back to a small RPN program.
+#[derive(Debug, Clone)]
+enum IdxProg {
+    Affine {
+        terms: Box<[(u32, i64)]>,
+        offset: i64,
+    },
+    Rpn(Box<[IdxOp]>),
+}
+
+impl IdxProg {
+    fn compile(e: &IdxExpr) -> IdxProg {
+        if let Some((coeffs, offset)) = e.as_affine() {
+            IdxProg::Affine {
+                terms: coeffs.into_iter().map(|(v, c)| (v.0, c)).collect(),
+                offset,
+            }
+        } else {
+            let mut ops = Vec::new();
+            Self::rpn(e, &mut ops);
+            IdxProg::Rpn(ops.into())
+        }
+    }
+
+    fn rpn(e: &IdxExpr, out: &mut Vec<IdxOp>) {
+        match e {
+            IdxExpr::Var(v) => out.push(IdxOp::PushVar(v.0)),
+            IdxExpr::Const(c) => out.push(IdxOp::PushConst(*c)),
+            IdxExpr::Add(a, b) => {
+                Self::rpn(a, out);
+                Self::rpn(b, out);
+                out.push(IdxOp::Add);
+            }
+            IdxExpr::Mul(a, k) => {
+                Self::rpn(a, out);
+                out.push(IdxOp::MulC(*k));
+            }
+            IdxExpr::FloorDiv(a, k) => {
+                Self::rpn(a, out);
+                out.push(IdxOp::DivC(*k));
+            }
+            IdxExpr::Mod(a, k) => {
+                Self::rpn(a, out);
+                out.push(IdxOp::ModC(*k));
+            }
+        }
+    }
+
+    fn eval(&self, env: &[i64], stack: &mut Vec<i64>) -> i64 {
+        match self {
+            IdxProg::Affine { terms, offset } => {
+                let mut v = *offset;
+                for &(slot, coeff) in terms.iter() {
+                    v += env[slot as usize] * coeff;
+                }
+                v
+            }
+            IdxProg::Rpn(ops) => {
+                stack.clear();
+                for op in ops.iter() {
+                    match *op {
+                        IdxOp::PushVar(s) => stack.push(env[s as usize]),
+                        IdxOp::PushConst(c) => stack.push(c),
+                        IdxOp::Add => {
+                            let b = stack.pop().expect("rpn add rhs");
+                            let a = stack.last_mut().expect("rpn add lhs");
+                            *a += b;
+                        }
+                        IdxOp::MulC(k) => {
+                            let a = stack.last_mut().expect("rpn mul");
+                            *a *= k;
+                        }
+                        IdxOp::DivC(k) => {
+                            let a = stack.last_mut().expect("rpn div");
+                            *a = a.div_euclid(k);
+                        }
+                        IdxOp::ModC(k) => {
+                            let a = stack.last_mut().expect("rpn mod");
+                            *a = a.rem_euclid(k);
+                        }
+                    }
+                }
+                stack.pop().expect("rpn result")
+            }
+        }
+    }
+}
+
+/// A compiled flat buffer address: the index program plus the bounds
+/// verdict. `checked == false` means the compiler proved the address lies
+/// in `[0, len)` for every loop iteration, so the hot loop skips the test.
+#[derive(Debug, Clone)]
+struct Addr {
+    buffer: u32,
+    prog: IdxProg,
+    len: usize,
+    checked: bool,
+}
+
+impl Addr {
+    #[inline]
+    fn eval(&self, env: &[i64], stack: &mut Vec<i64>) -> Result<usize, ExecError> {
+        let at = self.prog.eval(env, stack);
+        if self.checked && (at < 0 || at as usize >= self.len) {
+            return Err(ExecError::OutOfBounds {
+                buffer: self.buffer,
+                index: at,
+                len: self.len,
+            });
+        }
+        debug_assert!(at >= 0 && (at as usize) < self.len, "static proof violated");
+        Ok(at as usize)
+    }
+}
+
+/// One step of a compiled store-value program (RPN over [`Scalar`]s, with
+/// all dtypes resolved at compile time).
+#[derive(Debug, Clone)]
+enum SOp {
+    /// Push a pre-wrapped constant.
+    Const(Scalar),
+    /// Push a buffer element.
+    Load(Addr),
+    /// Convert the top of stack between dtypes.
+    Cast { from: DType, to: DType },
+    /// Pop two, push the binary result at a fixed dtype.
+    Bin { op: BinOp, dtype: DType },
+}
+
+/// A compiled residue-guard condition (`index < bound`). Statically true
+/// conditions are elided at compile time; statically false conditions
+/// delete the guarded body outright.
+#[derive(Debug, Clone)]
+struct CompiledGuard {
+    prog: IdxProg,
+    bound: i64,
+}
+
+/// A gather/scatter plan for one intrinsic operand: the base-address
+/// program plus the precomputed lane pattern.
+#[derive(Debug, Clone)]
+struct OperandPlan {
+    buffer: u32,
+    base: IdxProg,
+    /// `(register element, memory offset)` per lane, precomputed once from
+    /// [`OperandSpec::lanes`].
+    lanes: Box<[(u32, i64)]>,
+    len: usize,
+    /// Whether `base + mem_off` needs a runtime bounds test.
+    checked: bool,
+}
+
+/// A tensorized-instruction site with the registry handle resolved and all
+/// operand plans precomputed.
+struct CompiledIntrin {
+    intrin: TensorIntrinsic,
+    /// Shape prototypes for the per-site register file (one per semantics
+    /// tensor), used to build [`TapeScratch`].
+    reg_templates: Vec<TypedBuf>,
+    /// Data-operand gathers: `(register index, plan)`.
+    loads: Vec<(u32, OperandPlan)>,
+    /// Accumulator seed gather: either the distinct accumulator operand or
+    /// the destination (in-place accumulation).
+    acc: (u32, OperandPlan),
+    /// Output scatter plan.
+    dst: OperandPlan,
+    /// Register holding the output after emulation.
+    out_reg: u32,
+}
+
+/// One tape instruction. See the module docs for the opcode table.
+enum TapeOp {
+    Loop {
+        var: u32,
+    },
+    End {
+        var: u32,
+        extent: i64,
+        top: u32,
+    },
+    Guard {
+        guards: Box<[CompiledGuard]>,
+        exit: u32,
+    },
+    Store {
+        addr: Addr,
+        value: Box<[SOp]>,
+    },
+    Intrin {
+        id: u32,
+    },
+}
+
+/// Compile-time statistics, primarily for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Total tape instructions.
+    pub ops: usize,
+    /// Tensorized-instruction sites.
+    pub intrin_sites: usize,
+    /// Buffer accesses proven in-bounds at compile time (no runtime test).
+    pub unchecked_accesses: usize,
+    /// Buffer accesses that keep a runtime bounds test.
+    pub checked_accesses: usize,
+    /// Residue-guard conditions discharged statically.
+    pub elided_guards: usize,
+}
+
+/// A compiled, immutable, shareable instruction tape. `Tape` is `Sync`:
+/// one compiled tape serves concurrent workers, each with its own
+/// [`TapeScratch`].
+pub struct Tape {
+    name: String,
+    decls: Vec<BufferDecl>,
+    n_vars: usize,
+    ops: Vec<TapeOp>,
+    intrins: Vec<CompiledIntrin>,
+    stats: TapeStats,
+}
+
+/// Reusable mutable execution state for one [`Tape`]. Allocate once with
+/// [`Tape::scratch`] and reuse across calls — a steady-state run touches no
+/// allocator.
+pub struct TapeScratch {
+    env: Vec<i64>,
+    idx_stack: Vec<i64>,
+    val_stack: Vec<Scalar>,
+    /// One register file per intrinsic site.
+    regs: Vec<Vec<TypedBuf>>,
+}
+
+impl Tape {
+    /// Lower a function into a tape.
+    ///
+    /// All structural validation the interpreter performs per run happens
+    /// here once: index-arity checks ([`ExecError::IndexArity`]), intrinsic
+    /// resolution, operand-count and accumulator requirements, and lane
+    /// register-range validation.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ExecError`] variants the interpreter reports for the
+    /// equivalent malformed function.
+    pub fn compile(func: &TirFunc) -> Result<Tape, ExecError> {
+        let mut c = Compiler {
+            func,
+            ops: Vec::new(),
+            intrins: Vec::new(),
+            stats: TapeStats::default(),
+        };
+        c.stmt(&func.body)?;
+        c.stats.ops = c.ops.len();
+        c.stats.intrin_sites = c.intrins.len();
+        Ok(Tape {
+            name: func.name.clone(),
+            decls: func.buffers.clone(),
+            n_vars: func.vars.len(),
+            ops: c.ops,
+            intrins: c.intrins,
+            stats: c.stats,
+        })
+    }
+
+    /// The source function's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Compile-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> TapeStats {
+        self.stats
+    }
+
+    /// Allocate an execution scratch sized for this tape.
+    #[must_use]
+    pub fn scratch(&self) -> TapeScratch {
+        TapeScratch {
+            env: vec![0; self.n_vars],
+            idx_stack: Vec::with_capacity(8),
+            val_stack: Vec::with_capacity(8),
+            regs: self
+                .intrins
+                .iter()
+                .map(|ci| ci.reg_templates.clone())
+                .collect(),
+        }
+    }
+
+    /// Execute the tape on `bufs` (`bufs[i]` binds buffer `i`), reusing
+    /// `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`]; buffer validation matches [`crate::exec::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not created by [`Tape::scratch`] on a tape
+    /// of identical shape (a programmer error, not input-dependent).
+    pub fn run(&self, bufs: &mut [TypedBuf], scratch: &mut TapeScratch) -> Result<(), ExecError> {
+        if bufs.len() != self.decls.len() {
+            return Err(ExecError::BufferCount {
+                expected: self.decls.len(),
+                got: bufs.len(),
+            });
+        }
+        for (decl, buf) in self.decls.iter().zip(bufs.iter()) {
+            if decl.len() != buf.len() || decl.dtype != buf.dtype {
+                return Err(ExecError::BufferDecl(format!(
+                    "buffer {} expects {} x {}, got {} x {}",
+                    decl.name,
+                    decl.len(),
+                    decl.dtype,
+                    buf.len(),
+                    buf.dtype
+                )));
+            }
+        }
+        assert_eq!(scratch.env.len(), self.n_vars, "scratch from another tape");
+        assert_eq!(
+            scratch.regs.len(),
+            self.intrins.len(),
+            "scratch from another tape"
+        );
+
+        let mut ip = 0usize;
+        while ip < self.ops.len() {
+            match &self.ops[ip] {
+                TapeOp::Loop { var } => scratch.env[*var as usize] = 0,
+                TapeOp::End { var, extent, top } => {
+                    let v = &mut scratch.env[*var as usize];
+                    *v += 1;
+                    if *v < *extent {
+                        ip = *top as usize;
+                        continue;
+                    }
+                }
+                TapeOp::Guard { guards, exit } => {
+                    let mut taken = false;
+                    for g in guards.iter() {
+                        if g.prog.eval(&scratch.env, &mut scratch.idx_stack) >= g.bound {
+                            taken = true;
+                            break;
+                        }
+                    }
+                    if taken {
+                        ip = *exit as usize;
+                        continue;
+                    }
+                }
+                TapeOp::Store { addr, value } => {
+                    let v = Self::value(
+                        value,
+                        bufs,
+                        &scratch.env,
+                        &mut scratch.idx_stack,
+                        &mut scratch.val_stack,
+                    )?;
+                    let at = addr.eval(&scratch.env, &mut scratch.idx_stack)?;
+                    bufs[addr.buffer as usize].set(at, v);
+                }
+                TapeOp::Intrin { id } => {
+                    let ci = &self.intrins[*id as usize];
+                    let regs = &mut scratch.regs[*id as usize];
+                    for reg in regs.iter_mut() {
+                        reg.fill_zero();
+                    }
+                    for (reg_idx, plan) in &ci.loads {
+                        Self::gather(
+                            plan,
+                            bufs,
+                            &scratch.env,
+                            &mut scratch.idx_stack,
+                            &mut regs[*reg_idx as usize],
+                        )?;
+                    }
+                    let (acc_reg, acc_plan) = &ci.acc;
+                    Self::gather(
+                        acc_plan,
+                        bufs,
+                        &scratch.env,
+                        &mut scratch.idx_stack,
+                        &mut regs[*acc_reg as usize],
+                    )?;
+                    unit_isa::execute(&ci.intrin, regs)
+                        .map_err(|e| ExecError::Emulation(e.to_string()))?;
+                    Self::scatter(
+                        &ci.dst,
+                        bufs,
+                        &scratch.env,
+                        &mut scratch.idx_stack,
+                        &regs[ci.out_reg as usize],
+                    )?;
+                }
+            }
+            ip += 1;
+        }
+        Ok(())
+    }
+
+    /// One-shot convenience: allocates a fresh scratch. Prefer
+    /// [`Tape::run`] with a reused scratch on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tape::run`].
+    pub fn run_fresh(&self, bufs: &mut [TypedBuf]) -> Result<(), ExecError> {
+        self.run(bufs, &mut self.scratch())
+    }
+
+    fn value(
+        ops: &[SOp],
+        bufs: &[TypedBuf],
+        env: &[i64],
+        idx_stack: &mut Vec<i64>,
+        stack: &mut Vec<Scalar>,
+    ) -> Result<Scalar, ExecError> {
+        stack.clear();
+        for op in ops {
+            match op {
+                SOp::Const(s) => stack.push(*s),
+                SOp::Load(addr) => {
+                    let at = addr.eval(env, idx_stack)?;
+                    stack.push(bufs[addr.buffer as usize].get(at));
+                }
+                SOp::Cast { from, to } => {
+                    let v = stack.pop().expect("cast operand");
+                    stack.push(v.cast(*from, *to));
+                }
+                SOp::Bin { op, dtype } => {
+                    let b = stack.pop().expect("bin rhs");
+                    let a = stack.pop().expect("bin lhs");
+                    stack.push(Scalar::binop(*op, a, b, *dtype));
+                }
+            }
+        }
+        Ok(stack.pop().expect("value result"))
+    }
+
+    fn gather(
+        plan: &OperandPlan,
+        bufs: &[TypedBuf],
+        env: &[i64],
+        idx_stack: &mut Vec<i64>,
+        reg: &mut TypedBuf,
+    ) -> Result<(), ExecError> {
+        let base = plan.base.eval(env, idx_stack);
+        let buf = &bufs[plan.buffer as usize];
+        for &(reg_at, mem_off) in plan.lanes.iter() {
+            let at = base + mem_off;
+            if plan.checked && (at < 0 || at as usize >= plan.len) {
+                return Err(ExecError::OutOfBounds {
+                    buffer: plan.buffer,
+                    index: at,
+                    len: plan.len,
+                });
+            }
+            reg.set(reg_at as usize, buf.get(at as usize));
+        }
+        Ok(())
+    }
+
+    fn scatter(
+        plan: &OperandPlan,
+        bufs: &mut [TypedBuf],
+        env: &[i64],
+        idx_stack: &mut Vec<i64>,
+        reg: &TypedBuf,
+    ) -> Result<(), ExecError> {
+        let base = plan.base.eval(env, idx_stack);
+        let buf = &mut bufs[plan.buffer as usize];
+        for &(reg_at, mem_off) in plan.lanes.iter() {
+            let at = base + mem_off;
+            if plan.checked && (at < 0 || at as usize >= plan.len) {
+                return Err(ExecError::OutOfBounds {
+                    buffer: plan.buffer,
+                    index: at,
+                    len: plan.len,
+                });
+            }
+            buf.set(at as usize, reg.get(reg_at as usize));
+        }
+        Ok(())
+    }
+}
+
+struct Compiler<'a> {
+    func: &'a TirFunc,
+    ops: Vec<TapeOp>,
+    intrins: Vec<CompiledIntrin>,
+    stats: TapeStats,
+}
+
+impl Compiler<'_> {
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ExecError> {
+        match s {
+            Stmt::For(fs) => {
+                if fs.extent <= 0 {
+                    return Ok(()); // statically empty: emit nothing
+                }
+                let top = self.ops.len() as u32 + 1;
+                self.ops.push(TapeOp::Loop { var: fs.var.0 });
+                self.stmt(&fs.body)?;
+                self.ops.push(TapeOp::End {
+                    var: fs.var.0,
+                    extent: fs.extent,
+                    top,
+                });
+                Ok(())
+            }
+            Stmt::Seq(items) => {
+                for st in items {
+                    self.stmt(st)?;
+                }
+                Ok(())
+            }
+            Stmt::Store(st) => {
+                let mut value = Vec::new();
+                self.texpr(&st.value, &mut value)?;
+                let addr = self.addr(st.buffer, &st.indices)?;
+                self.ops.push(TapeOp::Store {
+                    addr,
+                    value: value.into(),
+                });
+                Ok(())
+            }
+            Stmt::IfLikely { guards, body } => self.guarded(guards, body),
+            Stmt::Intrin(is) => {
+                let id = self.intrin(is)?;
+                self.ops.push(TapeOp::Intrin { id });
+                Ok(())
+            }
+            Stmt::Sync | Stmt::Nop => Ok(()),
+        }
+    }
+
+    /// Compile a guarded body, discharging statically decidable conditions.
+    fn guarded(&mut self, guards: &[Guard], body: &Stmt) -> Result<(), ExecError> {
+        let extent_of = self.func.extent_of();
+        let mut kept = Vec::new();
+        for g in guards {
+            let (lo, hi) = g.index.bounds(&extent_of);
+            if hi < g.bound {
+                // Always true: the residue guard never fires on this tape.
+                self.stats.elided_guards += 1;
+            } else if lo >= g.bound {
+                // Always false: the body is dead, emit nothing.
+                self.stats.elided_guards += 1;
+                return Ok(());
+            } else {
+                kept.push(CompiledGuard {
+                    prog: IdxProg::compile(&g.index),
+                    bound: g.bound,
+                });
+            }
+        }
+        if kept.is_empty() {
+            return self.stmt(body);
+        }
+        let at = self.ops.len();
+        self.ops.push(TapeOp::Guard {
+            guards: kept.into(),
+            exit: 0, // patched below
+        });
+        self.stmt(body)?;
+        let exit = self.ops.len() as u32;
+        match &mut self.ops[at] {
+            TapeOp::Guard { exit: e, .. } => *e = exit,
+            _ => unreachable!("guard site moved"),
+        }
+        Ok(())
+    }
+
+    /// Fold indices and strides into one flat index expression, validating
+    /// arity exactly like the interpreter.
+    fn flat_expr(&self, buffer: BufId, indices: &[IdxExpr]) -> Result<IdxExpr, ExecError> {
+        let strides = self.func.buffer(buffer).strides();
+        if indices.len() != strides.len() {
+            return Err(ExecError::IndexArity {
+                buffer: buffer.0,
+                expected: strides.len(),
+                got: indices.len(),
+            });
+        }
+        let mut flat = IdxExpr::Const(0);
+        for (ix, s) in indices.iter().zip(&strides) {
+            flat = flat.add(ix.clone().mul(*s));
+        }
+        Ok(flat)
+    }
+
+    fn addr(&mut self, buffer: BufId, indices: &[IdxExpr]) -> Result<Addr, ExecError> {
+        let flat = self.flat_expr(buffer, indices)?;
+        let len = self.func.buffer(buffer).len();
+        let (lo, hi) = flat.bounds(&self.func.extent_of());
+        let checked = !(lo >= 0 && hi < len as i64);
+        if checked {
+            self.stats.checked_accesses += 1;
+        } else {
+            self.stats.unchecked_accesses += 1;
+        }
+        Ok(Addr {
+            buffer: buffer.0,
+            prog: IdxProg::compile(&flat),
+            len,
+            checked,
+        })
+    }
+
+    fn texpr(&mut self, e: &TExpr, out: &mut Vec<SOp>) -> Result<DType, ExecError> {
+        match e {
+            TExpr::Int(v, dt) => {
+                out.push(SOp::Const(Scalar::Int(*v).wrap(*dt)));
+                Ok(*dt)
+            }
+            TExpr::Float(bits, dt) => {
+                out.push(SOp::Const(Scalar::Float(f64::from_bits(*bits)).wrap(*dt)));
+                Ok(*dt)
+            }
+            TExpr::Load { buffer, indices } => {
+                let addr = self.addr(*buffer, indices)?;
+                out.push(SOp::Load(addr));
+                Ok(self.func.buffer(*buffer).dtype)
+            }
+            TExpr::Cast(dt, inner) => {
+                let from = self.texpr(inner, out)?;
+                out.push(SOp::Cast { from, to: *dt });
+                Ok(*dt)
+            }
+            TExpr::Bin(op, lhs, rhs) => {
+                let dt = self.texpr(lhs, out)?;
+                self.texpr(rhs, out)?;
+                out.push(SOp::Bin { op: *op, dtype: dt });
+                Ok(dt)
+            }
+        }
+    }
+
+    /// Compile one operand's gather/scatter plan: precompute the lane
+    /// pattern, validate every lane's register index, and prove bounds for
+    /// `base + mem_off` where possible.
+    fn operand(&mut self, spec: &OperandSpec, reg_len: usize) -> Result<OperandPlan, ExecError> {
+        let lanes = spec.lanes();
+        for &(reg_at, _) in &lanes {
+            if reg_at < 0 || reg_at as usize >= reg_len {
+                return Err(ExecError::Emulation(format!(
+                    "operand lane register index {reg_at} escapes register length {reg_len}"
+                )));
+            }
+        }
+        let len = self.func.buffer(spec.buffer).len();
+        let (lo, hi) = spec.base.bounds(&self.func.extent_of());
+        let min_off = lanes.iter().map(|&(_, m)| m).min().unwrap_or(0);
+        let max_off = lanes.iter().map(|&(_, m)| m).max().unwrap_or(0);
+        let checked = !(lo + min_off >= 0 && hi + max_off < len as i64);
+        if checked {
+            self.stats.checked_accesses += 1;
+        } else {
+            self.stats.unchecked_accesses += 1;
+        }
+        Ok(OperandPlan {
+            buffer: spec.buffer.0,
+            base: IdxProg::compile(&spec.base),
+            lanes: lanes.into_iter().map(|(r, m)| (r as u32, m)).collect(),
+            len,
+            checked,
+        })
+    }
+
+    fn intrin(&mut self, is: &IntrinStmt) -> Result<u32, ExecError> {
+        let intrin = registry::by_name(&is.intrinsic)
+            .ok_or_else(|| ExecError::UnknownIntrinsic(is.intrinsic.clone()))?;
+        let sem = &intrin.semantics;
+        let reg_templates: Vec<TypedBuf> = sem
+            .tensors
+            .iter()
+            .map(|t| TypedBuf::zeros(t.dtype, t.len()))
+            .collect();
+
+        let inst_loads = sem.update.loads();
+        if inst_loads.len() != is.srcs.len() {
+            return Err(ExecError::Emulation(format!(
+                "intrinsic {} expects {} data operands, got {}",
+                is.intrinsic,
+                inst_loads.len(),
+                is.srcs.len()
+            )));
+        }
+        let mut loads = Vec::with_capacity(is.srcs.len());
+        for (load, spec) in inst_loads.iter().zip(&is.srcs) {
+            let reg = load.tensor.0;
+            let plan = self.operand(spec, reg_templates[reg as usize].len())?;
+            loads.push((reg, plan));
+        }
+        let acc = if let Some(acc_reg) = intrin.accumulator_operand() {
+            let spec = is.acc.as_ref().ok_or_else(|| {
+                ExecError::Emulation(format!(
+                    "intrinsic {} requires an accumulator operand",
+                    is.intrinsic
+                ))
+            })?;
+            let plan = self.operand(spec, reg_templates[acc_reg.0 as usize].len())?;
+            (acc_reg.0, plan)
+        } else {
+            // In-place accumulation: seed the destination register.
+            let out = sem.output;
+            let plan = self.operand(&is.dst, reg_templates[out.0 as usize].len())?;
+            (out.0, plan)
+        };
+        let out_reg = sem.output.0;
+        let dst = self.operand(&is.dst, reg_templates[out_reg as usize].len())?;
+
+        let id = self.intrins.len() as u32;
+        self.intrins.push(CompiledIntrin {
+            intrin,
+            reg_templates,
+            loads,
+            acc,
+            dst,
+            out_reg,
+        });
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffers::{alloc_buffers, random_fill};
+    use crate::exec::run;
+    use unit_dsl::builder::{conv2d_hwc, matmul_u8i8};
+    use unit_tir::{lower::lower, schedule::Schedule};
+
+    /// Compile + run the tape and the interpreter on identical inputs;
+    /// every buffer must match bit-for-bit.
+    fn assert_tape_matches_interp(func: &TirFunc, seed: u64) -> Tape {
+        let tape = Tape::compile(func).expect("tape compiles");
+        let mut tape_bufs = alloc_buffers(func);
+        random_fill(&mut tape_bufs, seed);
+        let mut interp_bufs = tape_bufs.clone();
+        tape.run_fresh(&mut tape_bufs).expect("tape runs");
+        run(func, &mut interp_bufs).expect("interpreter runs");
+        assert_eq!(tape_bufs, interp_bufs, "tape diverged from interpreter");
+        tape
+    }
+
+    #[test]
+    fn default_lowering_matches_interpreter_with_all_checks_elided() {
+        let op = matmul_u8i8(6, 10, 24);
+        let func = lower(&Schedule::new(&op), "mm").unwrap();
+        let tape = assert_tape_matches_interp(&func, 11);
+        // Perfect loop nests are fully provable: no runtime bounds tests
+        // survive on the tape.
+        let stats = tape.stats();
+        assert!(stats.unchecked_accesses > 0);
+        assert_eq!(stats.checked_accesses, 0);
+    }
+
+    #[test]
+    fn fused_schedule_exercises_the_rpn_fallback() {
+        // Fusing introduces div/mod index expressions that defeat the
+        // affine fast path.
+        let op = conv2d_hwc(8, 8, 8, 16, 3, 3);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        let (_ko, ki) = s.split(ls[2], 4).unwrap();
+        let f = s.fuse(ls[0], ls[1]).unwrap();
+        s.reorder(&[f]).unwrap();
+        s.annotate(ki, unit_tir::LoopKind::Unrolled).unwrap();
+        let func = lower(&s, "conv_fused").unwrap();
+        assert_tape_matches_interp(&func, 3);
+    }
+
+    #[test]
+    fn imperfect_tiling_keeps_residue_guards_on_the_tape() {
+        // 30 % 8 != 0: the residue guard survives compilation and fires.
+        let op = matmul_u8i8(30, 10, 12);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        let (_, _) = s.split(ls[0], 8).unwrap();
+        let func = lower(&s, "mm_resid").unwrap();
+        let tape = assert_tape_matches_interp(&func, 5);
+        assert!(
+            tape.stats().ops > 0,
+            "residue kernel must compile to a non-empty tape"
+        );
+    }
+
+    #[test]
+    fn perfect_split_guards_are_discharged_at_compile_time() {
+        // 32 % 8 == 0: any guard the lowering emits is statically true.
+        let op = matmul_u8i8(32, 10, 12);
+        let mut s = Schedule::new(&op);
+        let ls = s.leaves();
+        let (_, _) = s.split(ls[0], 8).unwrap();
+        let func = lower(&s, "mm_even").unwrap();
+        let tape = assert_tape_matches_interp(&func, 7);
+        let has_runtime_guard = tape.ops.iter().any(|op| matches!(op, TapeOp::Guard { .. }));
+        assert!(!has_runtime_guard, "perfect split must not keep guards");
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let op = matmul_u8i8(6, 10, 24);
+        let func = lower(&Schedule::new(&op), "mm").unwrap();
+        let tape = Tape::compile(&func).unwrap();
+        let mut scratch = tape.scratch();
+        let mut first = alloc_buffers(&func);
+        random_fill(&mut first, 9);
+        let mut second = first.clone();
+        tape.run(&mut first, &mut scratch).unwrap();
+        tape.run(&mut second, &mut scratch).unwrap();
+        assert_eq!(first, second, "scratch reuse must not leak state");
+    }
+
+    #[test]
+    fn buffer_validation_matches_interpreter() {
+        let op = matmul_u8i8(4, 4, 8);
+        let func = lower(&Schedule::new(&op), "mm").unwrap();
+        let tape = Tape::compile(&func).unwrap();
+        let mut bufs = alloc_buffers(&func);
+        bufs.pop();
+        assert!(matches!(
+            tape.run_fresh(&mut bufs),
+            Err(ExecError::BufferCount { .. })
+        ));
+    }
+
+    #[test]
+    fn tape_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Tape>();
+    }
+}

@@ -272,6 +272,16 @@ impl TypedBuf {
         self.data[idx] = value.wrap(self.dtype);
     }
 
+    /// Reset every element to zero without reallocating — how the tape
+    /// executor (`unit-interp`) reuses its preallocated register file
+    /// across intrinsic calls instead of constructing fresh buffers.
+    pub fn fill_zero(&mut self) {
+        let zero = Scalar::zero(self.dtype);
+        for v in &mut self.data {
+            *v = zero;
+        }
+    }
+
     /// All values as `i64` (integer buffers only).
     ///
     /// # Panics

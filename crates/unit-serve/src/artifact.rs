@@ -40,6 +40,21 @@
 //!
 //! Model and target ids must not contain `|` or newlines ([`ArtifactStore::record`]
 //! panics on such ids rather than writing an unparseable file).
+//!
+//! # Crash recovery
+//!
+//! [`ArtifactStore::decode`] is all-or-nothing by design, but a crash
+//! mid-[`save`](ArtifactStore::save) leaves exactly one damage shape: a
+//! *torn tail* — a partially written final line and/or a missing `end`
+//! trailer, with every earlier line intact. Rejecting such a file throws
+//! away every valid entry for want of the last one. The
+//! [`decode_recovering`](ArtifactStore::decode_recovering) /
+//! [`load_recovering`](ArtifactStore::load_recovering) entry points
+//! accept that one shape: they truncate to the last fully valid entry
+//! and report what was dropped via [`TailRecovery`]. Everything else —
+//! version mismatches, a full trailer whose checksum disagrees, any
+//! damaged line *followed by more content* — is still hard-rejected,
+//! because mid-file damage is corruption, not a crash signature.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -335,85 +350,7 @@ impl ArtifactStore {
             }
             body.push_str(line);
             body.push('\n');
-            if let Some(rest) = line.strip_prefix("model ") {
-                if let Some((model, target, remaining)) = pending.take() {
-                    if remaining > 0 {
-                        return Err(ArtifactError::Truncated {
-                            reason: format!(
-                                "{model}/{target}: {remaining} kernel line(s) missing before line {lineno}"
-                            ),
-                        });
-                    }
-                }
-                let mut parts = rest.splitn(3, '|');
-                let model = parts.next().unwrap_or_default();
-                let target = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?;
-                let count: usize = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?
-                    .parse()
-                    .map_err(|e| corrupt(lineno, &format!("bad entry count: {e}")))?;
-                if model.is_empty() || target.is_empty() {
-                    return Err(corrupt(lineno, "empty model or target id"));
-                }
-                pending = Some((model.to_string(), target.to_string(), count));
-            } else if let Some(rest) = line.strip_prefix("kernel ") {
-                let (model, target, remaining) = pending
-                    .as_mut()
-                    .ok_or_else(|| corrupt(lineno, "kernel line outside a model block"))?;
-                if *remaining == 0 {
-                    return Err(corrupt(
-                        lineno,
-                        "more kernel lines than the header declared",
-                    ));
-                }
-                *remaining -= 1;
-                let mut parts = rest.splitn(5, '|');
-                let workload = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "missing workload"))?;
-                let tuning = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "missing tuning config"))?;
-                let replay = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "missing replay config"))?;
-                let bits = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "missing latency bits"))?;
-                let note = parts
-                    .next()
-                    .ok_or_else(|| corrupt(lineno, "missing note field"))?;
-                let workload = CacheWorkload::decode(workload).map_err(|e| corrupt(lineno, &e))?;
-                let tuning = TuningConfig::decode(tuning).map_err(|e| corrupt(lineno, &e))?;
-                let replay = TuningConfig::decode(replay).map_err(|e| corrupt(lineno, &e))?;
-                if bits.len() != 16 {
-                    return Err(corrupt(lineno, "latency bits must be 16 hex digits"));
-                }
-                let micros = f64::from_bits(
-                    u64::from_str_radix(bits, 16)
-                        .map_err(|e| corrupt(lineno, &format!("bad latency bits: {e}")))?,
-                );
-                if !micros.is_finite() || micros < 0.0 {
-                    return Err(corrupt(lineno, "latency must be finite and non-negative"));
-                }
-                let (model, target) = (model.clone(), target.clone());
-                store.record(
-                    &model,
-                    &target,
-                    ArtifactEntry {
-                        workload,
-                        tuning,
-                        replay,
-                        micros,
-                        note: note.to_string(),
-                    },
-                );
-            } else {
-                return Err(corrupt(lineno, "unrecognized line"));
-            }
+            parse_body_line(line, lineno, &mut pending, &mut store)?;
         }
 
         if let Some((model, target, remaining)) = pending {
@@ -453,6 +390,216 @@ impl ArtifactStore {
         let text = std::fs::read_to_string(path)?;
         ArtifactStore::decode(&text)
     }
+
+    /// Parse like [`ArtifactStore::decode`], but recover from a *torn
+    /// tail* — the one damage shape a crash mid-[`save`](ArtifactStore::save)
+    /// can leave: a partially written final line and/or a missing or
+    /// partial `end` trailer, with every earlier line intact. Recovery
+    /// truncates to the last fully valid entry; [`TailRecovery`] reports
+    /// whether anything was dropped.
+    ///
+    /// # Errors
+    ///
+    /// Everything that is *not* a torn tail is still rejected exactly as
+    /// [`ArtifactStore::decode`] rejects it: unknown versions, a full
+    /// 16-digit trailer whose checksum disagrees with the body, and any
+    /// damaged line that is followed by more content (mid-file damage
+    /// cannot come from a crashed append, so it is treated as
+    /// corruption, never silently truncated).
+    pub fn decode_recovering(text: &str) -> Result<(ArtifactStore, TailRecovery), ArtifactError> {
+        let strict = match ArtifactStore::decode(text) {
+            Ok(store) => return Ok((store, TailRecovery::Clean)),
+            // Hard rejections recovery must never paper over. A
+            // checksum mismatch is NOT filtered here: a torn trailer
+            // (fewer than 16 digits) also mismatches, and only
+            // `recover_tail` can tell the two apart.
+            Err(e @ (ArtifactError::Io(_) | ArtifactError::UnsupportedVersion { .. })) => {
+                return Err(e)
+            }
+            Err(e) => e,
+        };
+        recover_tail(text, strict)
+    }
+
+    /// [`ArtifactStore::load`] with torn-tail recovery — see
+    /// [`ArtifactStore::decode_recovering`]. This is the entry point a
+    /// serving warm start should use: a crash mid-save costs at most the
+    /// entry being written, never the whole store.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure, otherwise whatever
+    /// [`ArtifactStore::decode_recovering`] rejects.
+    pub fn load_recovering(
+        path: impl AsRef<Path>,
+    ) -> Result<(ArtifactStore, TailRecovery), ArtifactError> {
+        let text = std::fs::read_to_string(path)?;
+        ArtifactStore::decode_recovering(&text)
+    }
+}
+
+/// What [`ArtifactStore::decode_recovering`] found at the end of the
+/// file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailRecovery {
+    /// The file was intact; nothing was dropped.
+    Clean,
+    /// The tail was torn (missing or partial `end` trailer) and was
+    /// dropped; `dropped_line` says whether a damaged final body line
+    /// went with it. Every entry before the tear was kept.
+    Recovered {
+        /// Whether a partially written final body line was discarded in
+        /// addition to the trailer.
+        dropped_line: bool,
+    },
+}
+
+/// The torn-tail walk behind [`ArtifactStore::decode_recovering`]:
+/// re-parse the body, keeping entries while lines stay valid. Damage is
+/// recoverable only on the very last line of the file; anywhere earlier
+/// the strict error stands.
+fn recover_tail(
+    text: &str,
+    strict: ArtifactError,
+) -> Result<(ArtifactStore, TailRecovery), ArtifactError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((&version, body_lines)) = lines.split_first() else {
+        return Err(strict);
+    };
+    if version != ARTIFACT_FORMAT_VERSION {
+        return Err(strict);
+    }
+    let last = body_lines.len().saturating_sub(1);
+    let mut store = ArtifactStore::new();
+    let mut pending: Option<(String, String, usize)> = None;
+    for (i, line) in body_lines.iter().enumerate() {
+        let lineno = i + 2; // 1-based; line 1 is the version line
+        let is_last = i == last;
+        if let Some(rest) = line.strip_prefix("end ") {
+            if rest.len() == 16 && rest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                // A fully written trailer means the save completed;
+                // whatever strict parsing rejected is real damage.
+                return Err(strict);
+            }
+            if !is_last {
+                return Err(strict);
+            }
+            // The crash hit mid-trailer: everything before it parsed.
+            return Ok((
+                store,
+                TailRecovery::Recovered {
+                    dropped_line: false,
+                },
+            ));
+        }
+        match parse_body_line(line, lineno, &mut pending, &mut store) {
+            Ok(()) => {}
+            // A damaged *final* line is the torn-tail signature; drop it.
+            Err(_) if is_last => {
+                return Ok((store, TailRecovery::Recovered { dropped_line: true }))
+            }
+            Err(_) => return Err(strict),
+        }
+    }
+    // Ran off the end without any trailer. An incomplete trailing model
+    // block is exactly the torn-tail shape, so `pending` is not checked.
+    Ok((
+        store,
+        TailRecovery::Recovered {
+            dropped_line: false,
+        },
+    ))
+}
+
+/// Parse one body line (`model ` header or `kernel ` entry) into
+/// `store`, tracking the current block in `pending` — shared by the
+/// strict and recovering decoders so they can never drift.
+fn parse_body_line(
+    line: &str,
+    lineno: usize,
+    pending: &mut Option<(String, String, usize)>,
+    store: &mut ArtifactStore,
+) -> Result<(), ArtifactError> {
+    if let Some(rest) = line.strip_prefix("model ") {
+        if let Some((model, target, remaining)) = pending.take() {
+            if remaining > 0 {
+                return Err(ArtifactError::Truncated {
+                    reason: format!(
+                        "{model}/{target}: {remaining} kernel line(s) missing before line {lineno}"
+                    ),
+                });
+            }
+        }
+        let mut parts = rest.splitn(3, '|');
+        let model = parts.next().unwrap_or_default();
+        let target = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?;
+        let count: usize = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "model header needs model|target|count"))?
+            .parse()
+            .map_err(|e| corrupt(lineno, &format!("bad entry count: {e}")))?;
+        if model.is_empty() || target.is_empty() {
+            return Err(corrupt(lineno, "empty model or target id"));
+        }
+        *pending = Some((model.to_string(), target.to_string(), count));
+    } else if let Some(rest) = line.strip_prefix("kernel ") {
+        let (model, target, remaining) = pending
+            .as_mut()
+            .ok_or_else(|| corrupt(lineno, "kernel line outside a model block"))?;
+        if *remaining == 0 {
+            return Err(corrupt(
+                lineno,
+                "more kernel lines than the header declared",
+            ));
+        }
+        *remaining -= 1;
+        let mut parts = rest.splitn(5, '|');
+        let workload = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing workload"))?;
+        let tuning = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing tuning config"))?;
+        let replay = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing replay config"))?;
+        let bits = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing latency bits"))?;
+        let note = parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing note field"))?;
+        let workload = CacheWorkload::decode(workload).map_err(|e| corrupt(lineno, &e))?;
+        let tuning = TuningConfig::decode(tuning).map_err(|e| corrupt(lineno, &e))?;
+        let replay = TuningConfig::decode(replay).map_err(|e| corrupt(lineno, &e))?;
+        if bits.len() != 16 {
+            return Err(corrupt(lineno, "latency bits must be 16 hex digits"));
+        }
+        let micros = f64::from_bits(
+            u64::from_str_radix(bits, 16)
+                .map_err(|e| corrupt(lineno, &format!("bad latency bits: {e}")))?,
+        );
+        if !micros.is_finite() || micros < 0.0 {
+            return Err(corrupt(lineno, "latency must be finite and non-negative"));
+        }
+        let (model, target) = (model.clone(), target.clone());
+        store.record(
+            &model,
+            &target,
+            ArtifactEntry {
+                workload,
+                tuning,
+                replay,
+                micros,
+                note: note.to_string(),
+            },
+        );
+    } else {
+        return Err(corrupt(lineno, "unrecognized line"));
+    }
+    Ok(())
 }
 
 fn corrupt(line: usize, reason: &str) -> ArtifactError {
@@ -654,6 +801,120 @@ mod tests {
             ArtifactStore::decode(&rechecksummed),
             Err(ArtifactError::Corrupt { .. })
         ));
+    }
+
+    /// Every recovered entry must match an original entry with the same
+    /// workload+tuning identity — bit-exact latency and replay config,
+    /// and a note that is at worst a prefix of the original (a chop
+    /// inside the note still parses, since the note is the last field).
+    fn assert_entries_survive(original: &ArtifactStore, recovered: &ArtifactStore, ctx: &str) {
+        for (model, target) in recovered.model_targets() {
+            for e in recovered.entries(&model, &target) {
+                let orig = original
+                    .lookup(&model, &target, &e.workload, e.tuning)
+                    .unwrap_or_else(|| panic!("{ctx}: recovered entry not in the original"));
+                assert_eq!(e.replay, orig.replay, "{ctx}");
+                assert_eq!(e.micros.to_bits(), orig.micros.to_bits(), "{ctx}");
+                assert!(
+                    orig.note.starts_with(&e.note),
+                    "{ctx}: note {:?} is not a prefix of {:?}",
+                    e.note,
+                    orig.note
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chopping_the_final_record_recovers_at_every_byte_offset() {
+        let store = sample_store();
+        let full = store.encode();
+        let n = store.len();
+        // The final record: the last kernel line plus the end trailer.
+        let final_record = full.rfind("\nkernel ").unwrap() + 1;
+        for cut in final_record..full.len() {
+            let chopped = &full[..cut];
+            let ctx = format!("cut at byte {cut}");
+            let (back, how) =
+                ArtifactStore::decode_recovering(chopped).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            // The torn final entry either still parses (the chop landed
+            // in its note, the last field) or is dropped — recovery
+            // never costs more than the entry being written.
+            assert!(
+                back.len() == n || back.len() == n - 1,
+                "{ctx}: kept {} of {n}",
+                back.len()
+            );
+            // Only removing the trailing newline leaves the file intact.
+            if ArtifactStore::decode(chopped).is_ok() {
+                assert_eq!(how, TailRecovery::Clean, "{ctx}");
+                assert_eq!(back.len(), n, "{ctx}");
+            } else {
+                assert!(matches!(how, TailRecovery::Recovered { .. }), "{ctx}");
+            }
+            assert_entries_survive(&store, &back, &ctx);
+        }
+    }
+
+    #[test]
+    fn missing_trailer_alone_recovers_every_entry() {
+        let store = sample_store();
+        let without_end: String = store
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(ArtifactStore::decode(&without_end).is_err());
+        let (back, how) = ArtifactStore::decode_recovering(&without_end).unwrap();
+        assert_eq!(
+            how,
+            TailRecovery::Recovered {
+                dropped_line: false
+            }
+        );
+        assert_eq!(back.len(), store.len());
+        assert_entries_survive(&store, &back, "missing trailer");
+    }
+
+    #[test]
+    fn recovery_still_rejects_mid_file_damage() {
+        let full = sample_store().encode();
+        // Version mismatch: never recovered.
+        let versioned = full.replace("unit-artifact-store v1", "unit-artifact-store v2");
+        assert!(matches!(
+            ArtifactStore::decode_recovering(&versioned),
+            Err(ArtifactError::UnsupportedVersion { .. })
+        ));
+        // A full trailer with a disagreeing body is corruption, not a
+        // torn tail: the save completed, then something edited the file.
+        let tampered = full.replacen("wmma", "wmmb", 1);
+        assert_ne!(tampered, full);
+        assert!(matches!(
+            ArtifactStore::decode_recovering(&tampered),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // A damaged line *followed by more content* is mid-file damage.
+        let bad_kind = full.replacen("kernel conv", "kernel vonc", 1);
+        assert_ne!(bad_kind, full);
+        assert!(matches!(
+            ArtifactStore::decode_recovering(&bad_kind),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+        // A stray line between body and trailer, likewise.
+        let stray = full.replace("end ", "garbage\nend ");
+        assert!(matches!(
+            ArtifactStore::decode_recovering(&stray),
+            Err(ArtifactError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_files_recover_as_clean() {
+        let store = sample_store();
+        let (back, how) = ArtifactStore::decode_recovering(&store.encode()).unwrap();
+        assert_eq!(how, TailRecovery::Clean);
+        assert_eq!(back.encode(), store.encode());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache
 use unit_graph::{
     CacheWorkload, CompiledOp, E2eReport, Graph, KernelCacheKey, OpSpec, ShardedCache,
 };
-use unit_interp::{alloc_buffers, random_fill, run};
+use unit_interp::{alloc_buffers, random_fill, run, Tape};
 use unit_isa::{registry, TypedBuf};
 
 use crate::artifact::{ArtifactEntry, ArtifactStore};
@@ -73,6 +73,35 @@ fn valid_artifact_id(id: &str) -> bool {
 
 impl std::error::Error for ServeError {}
 
+/// Which executor serves requests.
+///
+/// The compiled instruction tape ([`unit_interp::Tape`]) is the default:
+/// kernels are lowered once per `(workload, target, tuning)` and replayed
+/// from a per-target tape cache. The statement-tree interpreter remains
+/// available as the *differential oracle* — behind this knob (or
+/// `UNIT_SERVE_EXEC=interp` in the environment) — and both executors are
+/// bit-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compiled instruction tape (the serving fast path).
+    #[default]
+    Tape,
+    /// Statement-tree interpreter (the differential oracle).
+    Interp,
+}
+
+impl ExecMode {
+    /// The mode selected by the `UNIT_SERVE_EXEC` environment variable
+    /// (`interp` forces the oracle; anything else keeps the tape).
+    #[must_use]
+    pub fn from_env() -> ExecMode {
+        match std::env::var("UNIT_SERVE_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("interp") => ExecMode::Interp,
+            _ => ExecMode::Tape,
+        }
+    }
+}
+
 /// One executed request's result.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
@@ -92,9 +121,18 @@ pub struct ExecOutcome {
 pub struct ServeEngine {
     tuning: TuningConfig,
     workers: usize,
+    exec_mode: ExecMode,
     targets: BTreeMap<String, Target>,
     latency: BTreeMap<String, Arc<KernelCache>>,
     exec: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<CompiledOp>>>>,
+    /// Compiled instruction tapes, one cache per target, keyed exactly
+    /// like the executable cache (plus fused-kernel keys).
+    tapes: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<Tape>>>>,
+    /// Batch-fused kernels (e.g. N same-shape GEMMs as one batched
+    /// GEMM), compiled search-free from a served kernel's replay config.
+    /// Kept out of `exec`/`artifacts`: fused shapes are an execution
+    /// detail, never a served workload.
+    fused: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<CompiledOp>>>>,
     artifacts: Mutex<ArtifactStore>,
     metrics: Arc<ServeMetrics>,
 }
@@ -118,22 +156,43 @@ impl ServeEngine {
         let mut targets = BTreeMap::new();
         let mut latency = BTreeMap::new();
         let mut exec = BTreeMap::new();
+        let mut tapes = BTreeMap::new();
+        let mut fused = BTreeMap::new();
         for id in ids {
             let target =
                 Target::by_id(id).ok_or_else(|| ServeError::UnknownTarget((*id).to_string()))?;
             targets.insert((*id).to_string(), target);
             latency.insert((*id).to_string(), Arc::new(KernelCache::default()));
             exec.insert((*id).to_string(), Arc::new(ShardedCache::default()));
+            tapes.insert((*id).to_string(), Arc::new(ShardedCache::default()));
+            fused.insert((*id).to_string(), Arc::new(ShardedCache::default()));
         }
         Ok(ServeEngine {
             tuning,
             workers: 1,
+            exec_mode: ExecMode::from_env(),
             targets,
             latency,
             exec,
+            tapes,
+            fused,
             artifacts: Mutex::new(ArtifactStore::new()),
             metrics: Arc::new(ServeMetrics::new()),
         })
+    }
+
+    /// Override the execution path (the constructor honours
+    /// `UNIT_SERVE_EXEC`; this takes precedence).
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> ServeEngine {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The active execution path.
+    #[must_use]
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Tune cold compiles with up to `n` worker threads per kernel
@@ -288,13 +347,175 @@ impl ServeEngine {
         let kernel = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
         let mut bufs = alloc_buffers(&kernel.func);
         random_fill(&mut bufs, seed);
-        run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?;
+        match self.exec_mode {
+            ExecMode::Tape => {
+                let key = KernelCacheKey::new(CacheWorkload::Op(op), target_id, self.tuning);
+                let tape = self.ensure_tape(target_id, &key, &kernel)?;
+                tape.run_fresh(&mut bufs).map_err(ServeError::Exec)?;
+                self.metrics.record_tape_dispatch(1);
+            }
+            ExecMode::Interp => run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?,
+        }
         Ok(ExecOutcome {
             output: bufs.swap_remove(kernel.output),
             micros: kernel.micros,
             note: kernel.note.clone(),
             tensorized: kernel.tensorized,
         })
+    }
+
+    /// Execute a run of same-shape GEMM requests (one model/target/op,
+    /// per-request seeds) as **one fused batched-GEMM tape execution**:
+    /// the N requests stack along the GEMM's existing batch axis (the
+    /// outermost dimension of every GEMM tensor layout), the fused kernel
+    /// is compiled *search-free* from the served kernel's replay config,
+    /// and per-request outputs are sliced back out of the fused output's
+    /// leading axis. Outcomes are bit-identical to N separate
+    /// [`ServeEngine::execute`] calls — fusion is a dispatch-count
+    /// optimization, never observable in the outputs.
+    ///
+    /// Falls back to per-request execution when fusion does not apply
+    /// (single request, non-GEMM op, interpreter mode, or a fused
+    /// lowering whose buffers are not exact leading-axis stacks).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::execute`].
+    pub fn execute_gemm_batch(
+        &self,
+        model: &str,
+        target_id: &str,
+        op: OpSpec,
+        seeds: &[u64],
+    ) -> Result<Vec<ExecOutcome>, ServeError> {
+        let fused_spec = match (self.exec_mode, op, seeds.len()) {
+            (ExecMode::Tape, OpSpec::Gemm { m, n, k, batch }, cnt) if cnt > 1 => OpSpec::Gemm {
+                m,
+                n,
+                k,
+                batch: batch * cnt as i64,
+            },
+            _ => return self.execute_each(model, target_id, op, seeds),
+        };
+        if !self.serves(target_id) {
+            return Err(ServeError::UnknownTarget(target_id.to_string()));
+        }
+        if !valid_artifact_id(model) {
+            return Err(ServeError::InvalidModelId(model.to_string()));
+        }
+        let kernel = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        let fused_key =
+            KernelCacheKey::new(CacheWorkload::Op(fused_spec), target_id, kernel.replay);
+        let Some(fused) = self.fused_kernel(target_id, &kernel, &fused_key, seeds.len()) else {
+            return self.execute_each(model, target_id, op, seeds);
+        };
+        let Ok(tape) = self.ensure_tape(target_id, &fused_key, &fused) else {
+            return self.execute_each(model, target_id, op, seeds);
+        };
+
+        // Fill the fused buffers with each request's exact input stream:
+        // `random_fill(_, seed)` is a pure function of the per-request
+        // buffer shapes, and every fused buffer is the per-request buffer
+        // stacked N times along its leading axis.
+        let mut fused_bufs = alloc_buffers(&fused.func);
+        for (j, &seed) in seeds.iter().enumerate() {
+            let mut per_bufs = alloc_buffers(&kernel.func);
+            random_fill(&mut per_bufs, seed);
+            for (fb, pb) in fused_bufs.iter_mut().zip(&per_bufs) {
+                let stride = pb.len();
+                for i in 0..stride {
+                    fb.set(j * stride + i, pb.get(i));
+                }
+            }
+        }
+        tape.run_fresh(&mut fused_bufs).map_err(ServeError::Exec)?;
+        self.metrics.record_tape_dispatch(seeds.len());
+
+        let out = &fused_bufs[fused.output];
+        let per_len = kernel.func.buffers[kernel.output].len();
+        let mut outcomes = Vec::with_capacity(seeds.len());
+        for j in 0..seeds.len() {
+            let mut output = TypedBuf::zeros(out.dtype, per_len);
+            for i in 0..per_len {
+                output.set(i, out.get(j * per_len + i));
+            }
+            outcomes.push(ExecOutcome {
+                output,
+                micros: kernel.micros,
+                note: kernel.note.clone(),
+                tensorized: kernel.tensorized,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// The fusion fallback: N independent executions.
+    fn execute_each(
+        &self,
+        model: &str,
+        target_id: &str,
+        op: OpSpec,
+        seeds: &[u64],
+    ) -> Result<Vec<ExecOutcome>, ServeError> {
+        seeds
+            .iter()
+            .map(|&seed| self.execute(model, target_id, op, seed))
+            .collect()
+    }
+
+    /// Compile (or fetch) the fused-batch kernel, then prove the stacking
+    /// invariant fusion relies on: every fused buffer must be exactly the
+    /// per-request buffer repeated `n` times along its leading axis, with
+    /// matching dtypes and buffer/output indices. Returns `None` (caller
+    /// falls back to per-request execution) when the invariant fails.
+    fn fused_kernel(
+        &self,
+        target_id: &str,
+        per: &CompiledOp,
+        fused_key: &KernelCacheKey,
+        n: usize,
+    ) -> Option<Arc<CompiledOp>> {
+        let cache = &self.fused[target_id];
+        let fused = match cache.get(fused_key) {
+            Some(hit) => hit,
+            None => {
+                // Search-free: replay the served kernel's persisted config
+                // on the fused shape. No tuner search, no artifact entry —
+                // a warm engine stays at zero searches through fusion.
+                let provider = UnitProvider::new(self.targets[target_id].clone(), per.replay)
+                    .with_workers(self.workers);
+                let built = Arc::new(provider.compile_workload_full(&fused_key.spec));
+                cache.get_or_insert_with(fused_key.clone(), || built)
+            }
+        };
+        if fused.func.buffers.len() != per.func.buffers.len() || fused.output != per.output {
+            return None;
+        }
+        for (fb, pb) in fused.func.buffers.iter().zip(&per.func.buffers) {
+            if fb.dtype != pb.dtype || fb.len() != pb.len() * n {
+                return None;
+            }
+        }
+        Some(fused)
+    }
+
+    /// The per-target tape cache: lower the kernel once, replay forever.
+    fn ensure_tape(
+        &self,
+        target_id: &str,
+        key: &KernelCacheKey,
+        kernel: &CompiledOp,
+    ) -> Result<Arc<Tape>, ServeError> {
+        let cache = &self.tapes[target_id];
+        if let Some(hit) = cache.get(key) {
+            return Ok(hit);
+        }
+        let tape = Arc::new(Tape::compile(&kernel.func).map_err(ServeError::Exec)?);
+        let won = cache.get_or_insert_with(key.clone(), || Arc::clone(&tape));
+        if Arc::ptr_eq(&won, &tape) {
+            self.metrics.record_tape_compile();
+        }
+        Ok(won)
     }
 
     /// The artifact-aware compile path. Returns the executable kernel
@@ -540,6 +761,91 @@ mod tests {
             b_entries.len(),
             "the clone must be fully persisted under its own namespace"
         );
+    }
+
+    #[test]
+    fn tape_is_the_default_path_and_matches_the_interpreter_oracle() {
+        let tape_engine = ServeEngine::new(TuningConfig::default());
+        assert_eq!(tape_engine.exec_mode(), ExecMode::Tape);
+        let oracle = ServeEngine::new(TuningConfig::default()).with_exec_mode(ExecMode::Interp);
+        let op = OpSpec::gemm(16, 16, 32);
+        for seed in 0..3 {
+            let t = tape_engine.execute("t", "arm-neon-dot", op, seed).unwrap();
+            let i = oracle.execute("t", "arm-neon-dot", op, seed).unwrap();
+            assert_eq!(
+                t.output, i.output,
+                "tape diverged from oracle at seed {seed}"
+            );
+        }
+        // The tape was compiled once and dispatched per request; the
+        // oracle engine never touched the tape counters.
+        assert_eq!(tape_engine.metrics().tape_compiles(), 1);
+        assert_eq!(tape_engine.metrics().tape_dispatches(), 3);
+        assert_eq!(oracle.metrics().tape_dispatches(), 0);
+    }
+
+    #[test]
+    fn fused_gemm_batch_is_one_dispatch_with_bit_identical_outputs() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        let op = OpSpec::batched_gemm(2, 8, 16, 16);
+        let seeds = [1u64, 2, 3, 4];
+        let expected: Vec<TypedBuf> = seeds
+            .iter()
+            .map(|&s| {
+                engine
+                    .execute("m", "x86-avx512-vnni", op, s)
+                    .unwrap()
+                    .output
+            })
+            .collect();
+        let before = engine.metrics().tape_dispatches();
+        let fused = engine
+            .execute_gemm_batch("m", "x86-avx512-vnni", op, &seeds)
+            .unwrap();
+        assert_eq!(fused.len(), seeds.len());
+        for (j, (got, want)) in fused.iter().zip(&expected).enumerate() {
+            assert_eq!(got.output, *want, "fused output {j} diverged");
+        }
+        // Four requests, ONE tape dispatch.
+        assert_eq!(engine.metrics().tape_dispatches(), before + 1);
+        assert_eq!(engine.metrics().tape_fused_requests(), seeds.len() as u64);
+        // And no tuner search was spent on the fused shape.
+        let searches = engine.metrics().tuner_searches();
+        engine
+            .execute_gemm_batch("m", "x86-avx512-vnni", op, &seeds)
+            .unwrap();
+        assert_eq!(engine.metrics().tuner_searches(), searches);
+    }
+
+    #[test]
+    fn gemm_batch_falls_back_per_request_when_fusion_does_not_apply() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        // Single request: no fusion.
+        let one = engine
+            .execute_gemm_batch("m", "arm-neon-dot", OpSpec::gemm(8, 16, 16), &[7])
+            .unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(engine.metrics().tape_fused_requests(), 0);
+        // Conv: no batch axis to stack on.
+        let conv = OpSpec::conv2d(4, 6, 8, 3, 1, 1);
+        let outs = engine
+            .execute_gemm_batch("m", "arm-neon-dot", conv, &[1, 2])
+            .unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(engine.metrics().tape_fused_requests(), 0);
+        // Interp mode: the oracle executes item-by-item.
+        let oracle = ServeEngine::new(TuningConfig::default()).with_exec_mode(ExecMode::Interp);
+        let op = OpSpec::gemm(8, 16, 16);
+        let fused = oracle
+            .execute_gemm_batch("m", "arm-neon-dot", op, &[1, 2])
+            .unwrap();
+        let singles: Vec<TypedBuf> = [1u64, 2]
+            .iter()
+            .map(|&s| oracle.execute("m", "arm-neon-dot", op, s).unwrap().output)
+            .collect();
+        assert_eq!(fused[0].output, singles[0]);
+        assert_eq!(fused[1].output, singles[1]);
+        assert_eq!(oracle.metrics().tape_dispatches(), 0);
     }
 
     #[test]

@@ -9,16 +9,20 @@
 //!   `(model, target)`, every kernel's tuning decision (workload,
 //!   config, search-free replay config, latency, note) in a hand-rolled,
 //!   versioned, line-oriented text format with typed rejection of
-//!   corrupt/truncated/version-bumped files. A warm start replays the
-//!   store and performs **zero** tuner searches.
-//! * [`engine`] — per-target (sharded) latency + executable-kernel
-//!   caches, artifact-aware compilation, whole-model reports
-//!   (bit-identical to the graph compiler), and request execution
-//!   through the `unit-interp` interpreter (bit-identical to
-//!   `run_reference`).
+//!   corrupt/truncated/version-bumped files and torn-tail crash
+//!   recovery ([`ArtifactStore::load_recovering`]). A warm start
+//!   replays the store and performs **zero** tuner searches.
+//! * [`engine`] — per-target (sharded) latency + executable-kernel +
+//!   instruction-tape caches, artifact-aware compilation, whole-model
+//!   reports (bit-identical to the graph compiler), and request
+//!   execution through the compiled tape by default
+//!   ([`engine::ExecMode`]; the tree-walk interpreter stays behind the
+//!   knob as the differential oracle — both bit-identical to
+//!   `run_reference`), including fused batched-GEMM dispatch.
 //! * [`scheduler`] — bounded admission, dynamic `(model, target)`
 //!   batching, one worker thread per target; order-independent but
-//!   result-deterministic.
+//!   result-deterministic. Workers fuse same-shape GEMM runs within a
+//!   batch into single batched-GEMM tape executions.
 //! * [`metrics`] — counters, queue-depth gauges, artifact/kernel cache
 //!   hit rates and a fixed-bucket latency histogram (p50/p95/p99) with a
 //!   stable text rendering.
@@ -56,7 +60,9 @@ pub mod engine;
 pub mod metrics;
 pub mod scheduler;
 
-pub use artifact::{ArtifactEntry, ArtifactError, ArtifactStore, ARTIFACT_FORMAT_VERSION};
-pub use engine::{reference_report, ExecOutcome, ServeEngine, ServeError};
+pub use artifact::{
+    ArtifactEntry, ArtifactError, ArtifactStore, TailRecovery, ARTIFACT_FORMAT_VERSION,
+};
+pub use engine::{reference_report, ExecMode, ExecOutcome, ServeEngine, ServeError};
 pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
 pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};

@@ -37,6 +37,9 @@ pub struct ServeMetrics {
     kernel_hits: AtomicU64,
     kernel_misses: AtomicU64,
     tuner_searches: AtomicU64,
+    tape_compiles: AtomicU64,
+    tape_dispatches: AtomicU64,
+    tape_fused_requests: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -154,6 +157,22 @@ impl ServeMetrics {
         self.tuner_searches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A kernel was lowered to an instruction tape (tape-cache miss).
+    pub fn record_tape_compile(&self) {
+        self.tape_compiles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One tape execution served `requests` requests (`1` for an
+    /// unfused dispatch, more when a worker fused a same-shape GEMM
+    /// batch into a single batched-GEMM tape run).
+    pub fn record_tape_dispatch(&self, requests: usize) {
+        self.tape_dispatches.fetch_add(1, Ordering::Relaxed);
+        if requests > 1 {
+            self.tape_fused_requests
+                .fetch_add(requests as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Completed requests (successful only).
     #[must_use]
     pub fn completed(&self) -> u64 {
@@ -202,6 +221,25 @@ impl ServeMetrics {
         self.tuner_searches.load(Ordering::Relaxed)
     }
 
+    /// Kernels lowered to instruction tapes (tape-cache misses).
+    #[must_use]
+    pub fn tape_compiles(&self) -> u64 {
+        self.tape_compiles.load(Ordering::Relaxed)
+    }
+
+    /// Tape executions. With batch fusion this is *less* than the
+    /// request count: a fused batch of N requests is one dispatch.
+    #[must_use]
+    pub fn tape_dispatches(&self) -> u64 {
+        self.tape_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Requests served through fused (multi-request) tape dispatches.
+    #[must_use]
+    pub fn tape_fused_requests(&self) -> u64 {
+        self.tape_fused_requests.load(Ordering::Relaxed)
+    }
+
     /// The latency histogram.
     #[must_use]
     pub fn latency(&self) -> &LatencyHistogram {
@@ -235,7 +273,7 @@ impl ServeMetrics {
         } else {
             load(&self.batched_requests) as f64 / batches as f64
         };
-        let mut out = String::from("# unit-serve metrics v1\n");
+        let mut out = String::from("# unit-serve metrics v2\n");
         let mut line = |k: &str, v: String| {
             out.push_str(k);
             out.push(' ');
@@ -266,6 +304,12 @@ impl ServeMetrics {
             format!("{:.3}", self.kernel_hit_rate()),
         );
         line("tuner_searches", load(&self.tuner_searches).to_string());
+        line("tape_compiles", load(&self.tape_compiles).to_string());
+        line("tape_dispatches", load(&self.tape_dispatches).to_string());
+        line(
+            "tape_fused_requests",
+            load(&self.tape_fused_requests).to_string(),
+        );
         out
     }
 }
@@ -322,8 +366,11 @@ mod tests {
         m.record_completion(Duration::from_micros(40), true);
         m.record_kernel_hit();
         m.record_completion(Duration::from_micros(90), true);
+        m.record_tape_compile();
+        m.record_tape_dispatch(1);
+        m.record_tape_dispatch(2);
         let expected = "\
-# unit-serve metrics v1
+# unit-serve metrics v2
 requests_submitted 2
 requests_rejected 0
 requests_completed 2
@@ -342,6 +389,9 @@ kernel_cache_hits 1
 kernel_cache_misses 1
 kernel_cache_hit_rate 0.500
 tuner_searches 1
+tape_compiles 1
+tape_dispatches 2
+tape_fused_requests 2
 ";
         assert_eq!(m.render(), expected);
         assert_eq!(m.render(), expected, "rendering twice is identical");

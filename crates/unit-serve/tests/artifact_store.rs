@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use unit_core::pipeline::TuningConfig;
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
 use unit_graph::models::transformer_tiny;
-use unit_serve::{ArtifactError, ArtifactStore, ServeEngine};
+use unit_serve::{ArtifactError, ArtifactStore, ServeEngine, TailRecovery};
 
 fn tmp_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
@@ -157,4 +157,40 @@ fn load_rejects_bad_files_with_typed_errors() {
         ArtifactStore::load(&path),
         Err(ArtifactError::Io(_))
     ));
+}
+
+#[test]
+fn torn_on_disk_store_recovers_and_warms_the_engine() {
+    let graph = transformer_tiny();
+    let cold = ServeEngine::new(tuning());
+    let cold_report = cold.compile_model(&graph, "x86-avx512-vnni").unwrap();
+    let full = cold.export_artifacts();
+    let encoded = full.encode();
+
+    // Simulate a crash mid-append: tear the file in the middle of its
+    // final kernel line (no trailer, half a record).
+    let final_record = encoded.rfind("\nkernel ").unwrap() + 1;
+    let torn = &encoded[..final_record + "kernel ".len() + 3];
+    let path = tmp_path("torn");
+    std::fs::write(&path, torn).unwrap();
+
+    // The strict loader still rejects the file whole...
+    assert!(ArtifactStore::load(&path).is_err());
+    // ...but the recovering loader keeps every completed entry.
+    let (recovered, how) = ArtifactStore::load_recovering(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(how, TailRecovery::Recovered { .. }));
+    assert_eq!(recovered.len(), full.len() - 1);
+
+    // The recovered store warms a fresh engine: only the torn entry
+    // (at most one kernel) needs a cold search.
+    let warm = ServeEngine::new(tuning());
+    assert!(warm.import_artifacts(recovered) > 0);
+    let warm_report = warm.compile_model(&graph, "x86-avx512-vnni").unwrap();
+    assert_eq!(warm_report.total_ms, cold_report.total_ms);
+    assert!(
+        warm.metrics().tuner_searches() <= 1,
+        "at most the torn entry re-searches: {}",
+        warm.metrics().render()
+    );
 }

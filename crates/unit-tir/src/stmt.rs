@@ -121,6 +121,59 @@ pub struct OperandSpec {
 }
 
 impl OperandSpec {
+    /// Total lane count: the product of the step extents (1 for scalar
+    /// operands, which still transfer one element at `(0, 0)`).
+    #[must_use]
+    pub fn lane_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.extent.max(0) as usize)
+            .product()
+    }
+
+    /// Enumerate the `(register element, memory offset)` pair of every
+    /// lane, in odometer order (last step fastest). This is the single
+    /// source of truth for operand addressing: the tree-walk interpreter
+    /// evaluates it per intrinsic call, while the tape compiler invokes
+    /// it **once** at compile time and replays the precomputed pairs.
+    pub fn for_each_lane(&self, mut f: impl FnMut(i64, i64)) {
+        let dims = &self.steps;
+        let mut counters = vec![0i64; dims.len()];
+        loop {
+            let mut reg_at = 0i64;
+            let mut mem_off = 0i64;
+            for (c, d) in counters.iter().zip(dims) {
+                reg_at += c * d.reg_stride;
+                mem_off += c * d.mem_stride;
+            }
+            f(reg_at, mem_off);
+            // Odometer.
+            let mut d = dims.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                counters[d] += 1;
+                if counters[d] < dims[d].extent {
+                    break;
+                }
+                counters[d] = 0;
+                if d == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// All lanes collected into a vector (the tape compiler's form).
+    #[must_use]
+    pub fn lanes(&self) -> Vec<(i64, i64)> {
+        let mut out = Vec::with_capacity(self.lane_count());
+        self.for_each_lane(|reg_at, mem_off| out.push((reg_at, mem_off)));
+        out
+    }
+
     /// Human-readable classification: the dominant pattern along each step.
     #[must_use]
     pub fn describe(&self) -> String {
@@ -274,6 +327,45 @@ mod tests {
             mem_stride: 64,
         };
         assert_eq!(s.pattern(), "strided");
+    }
+
+    #[test]
+    fn lane_enumeration_matches_odometer_order() {
+        // Two axes: outer extent 2 (reg stride 4, mem stride 16), inner
+        // extent 3 (reg stride 1, mem stride 1) — a strided x vectorized
+        // operand. Lanes must enumerate with the inner axis fastest.
+        let spec = OperandSpec {
+            buffer: BufId(0),
+            base: IdxExpr::Const(0),
+            steps: vec![
+                OperandStep {
+                    inst_axis: 0,
+                    extent: 2,
+                    reg_stride: 4,
+                    mem_stride: 16,
+                },
+                OperandStep {
+                    inst_axis: 1,
+                    extent: 3,
+                    reg_stride: 1,
+                    mem_stride: 1,
+                },
+            ],
+            reg_len: 8,
+        };
+        assert_eq!(spec.lane_count(), 6);
+        assert_eq!(
+            spec.lanes(),
+            vec![(0, 0), (1, 1), (2, 2), (4, 16), (5, 17), (6, 18)]
+        );
+        // A scalar operand still transfers one element.
+        let scalar = OperandSpec {
+            buffer: BufId(0),
+            base: IdxExpr::Const(0),
+            steps: vec![],
+            reg_len: 1,
+        };
+        assert_eq!(scalar.lanes(), vec![(0, 0)]);
     }
 
     #[test]
