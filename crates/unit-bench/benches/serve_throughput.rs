@@ -1,7 +1,7 @@
 //! Serving-runtime throughput: cold vs warm whole-model compilation and
 //! scheduler requests/sec.
 //!
-//! Run via `cargo bench -p unit-bench --bench serve_throughput`. Three
+//! Run via `cargo bench -p unit-bench --bench serve_throughput`. Four
 //! tracked numbers:
 //!
 //! * **cold compile**: transformer-tiny + mobilenet-v1 on every
@@ -9,6 +9,10 @@
 //! * **warm compile**: the same set into a fresh engine restored from
 //!   the artifact store the cold run persisted — replayed tuning
 //!   decisions, *zero tuner searches* (asserted),
+//! * **journal-warm compile**: the same set into a replica that
+//!   attached the fleet-shared artifact journal the cold engine
+//!   appended to — the multi-replica warm-start path, also asserted
+//!   search-free,
 //! * **serving throughput**: a burst of small mixed Conv/Gemm requests
 //!   pushed through the batching scheduler by 8 client threads across
 //!   all targets, reported as requests/sec.
@@ -27,7 +31,9 @@ use unit_core::tuner::{tuner_searches, CpuTuneMode, GpuTuneMode};
 use unit_graph::models::{mobilenet_v1, transformer_tiny};
 use unit_graph::{Graph, OpSpec};
 use unit_isa::registry;
-use unit_serve::{ArtifactStore, Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
+use unit_serve::{
+    ArtifactStore, Journal, JournalConfig, Scheduler, SchedulerConfig, ServeEngine, ServeRequest,
+};
 
 fn tuning() -> TuningConfig {
     TuningConfig {
@@ -61,9 +67,16 @@ fn main() {
     let models = [transformer_tiny(), mobilenet_v1()];
     let targets: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
     let store_path = std::env::temp_dir().join("unit-serve-bench.store");
+    let journal_dir = std::env::temp_dir().join(format!("unit-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&journal_dir).expect("journal dir");
+    let journal_path = journal_dir.join("journal");
 
-    // --- Cold compile (and persist). ---
+    // --- Cold compile (and persist — both store and journal). ---
     let cold = ServeEngine::new(tuning());
+    cold.attach_journal(Arc::new(
+        Journal::open(JournalConfig::at(&journal_path)).expect("open journal"),
+    ))
+    .expect("attach journal");
     let cold_elapsed = compile_all(&cold, &models, &targets);
     for (model, op) in menu() {
         for target in &targets {
@@ -83,6 +96,24 @@ fn main() {
         searches_before,
         "warm compile must perform zero tuner searches"
     );
+
+    // --- Journal warm start: a fresh replica attaching the journal the
+    // cold engine appended to, as a second replica in a fleet would. ---
+    let journal_warm = ServeEngine::new(tuning());
+    let restored = journal_warm
+        .attach_journal(Arc::new(
+            Journal::open(JournalConfig::at(&journal_path)).expect("reopen journal"),
+        ))
+        .expect("attach journal");
+    assert!(restored > 0, "the journal snapshot restores entries");
+    let searches_before = tuner_searches();
+    let journal_warm_elapsed = compile_all(&journal_warm, &models, &targets);
+    assert_eq!(
+        tuner_searches(),
+        searches_before,
+        "journal-warm compile must perform zero tuner searches"
+    );
+    std::fs::remove_dir_all(&journal_dir).ok();
 
     // --- Serving throughput: submit the whole burst, then drain, so the
     // dispatcher actually forms multi-request batches. ---
@@ -139,6 +170,11 @@ fn main() {
         cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
     );
     println!(
+        "  journal-warm compile {:>8.2} ms   ({:.0}x vs cold)",
+        journal_warm_elapsed.as_secs_f64() * 1e3,
+        cold_elapsed.as_secs_f64() / journal_warm_elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
         "  serving      {:>8.2} s    {:>8.0} req/s",
         serve_elapsed.as_secs_f64(),
         rps
@@ -157,10 +193,11 @@ fn main() {
         // Hand-rolled JSON (the vendored serde is a stub): the tracked
         // serving-bench artifact CI archives as BENCH_serve.json.
         let json = format!(
-            "{{\n  \"bench\": \"serve_throughput\",\n  \"targets\": {},\n  \"requests\": {requests},\n  \"requests_per_sec\": {rps:.1},\n  \"cold_compile_ms\": {:.2},\n  \"warm_compile_ms\": {:.3},\n  \"warm_tuner_searches\": 0,\n  \"batch_size_mean\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"targets\": {},\n  \"requests\": {requests},\n  \"requests_per_sec\": {rps:.1},\n  \"cold_compile_ms\": {:.2},\n  \"warm_compile_ms\": {:.3},\n  \"journal_warm_compile_ms\": {:.3},\n  \"warm_tuner_searches\": 0,\n  \"batch_size_mean\": {:.2}\n}}\n",
             targets.len(),
             cold_elapsed.as_secs_f64() * 1e3,
             warm_elapsed.as_secs_f64() * 1e3,
+            journal_warm_elapsed.as_secs_f64() * 1e3,
             mean_batch(&engine),
         );
         std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -283,6 +283,19 @@ impl ArtifactStore {
         }
     }
 
+    /// Drop every entry for `target` across all models (the journal's
+    /// retired-target GC). Returns how many entries were removed.
+    pub fn retire_target(&mut self, target: &str) -> usize {
+        let mut removed = 0;
+        self.models.retain(|_, targets| {
+            if let Some(entries) = targets.remove(target) {
+                removed += entries.len();
+            }
+            !targets.is_empty()
+        });
+        removed
+    }
+
     /// Render the canonical file representation (format version 1).
     #[must_use]
     pub fn encode(&self) -> String {
@@ -296,14 +309,7 @@ impl ArtifactStore {
             sorted.sort_by_key(|e| (e.workload.encode(), e.tuning.encode()));
             body.push_str(&format!("model {model}|{target}|{}\n", sorted.len()));
             for e in sorted {
-                body.push_str(&format!(
-                    "kernel {}|{}|{}|{:016x}|{}\n",
-                    e.workload.encode(),
-                    e.tuning.encode(),
-                    e.replay.encode(),
-                    e.micros.to_bits(),
-                    e.note
-                ));
+                body.push_str(&format!("kernel {}\n", encode_entry_fields(e)));
             }
         }
         format!(
@@ -370,13 +376,18 @@ impl ArtifactStore {
         Ok(store)
     }
 
-    /// Save the canonical rendering to `path`.
+    /// Save the canonical rendering to `path` **atomically**: the bytes
+    /// are written to a sibling temp file, fsynced, then renamed over
+    /// `path`. A crash at any instant leaves either the previous store
+    /// or the new one — never a torn mix (the pre-fix direct
+    /// `fs::write` could tear the very file `load_recovering` then had
+    /// to salvage).
     ///
     /// # Errors
     ///
     /// [`ArtifactError::Io`] on filesystem failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
-        std::fs::write(path, self.encode())?;
+        write_atomically(path.as_ref(), self.encode().as_bytes())?;
         Ok(())
     }
 
@@ -555,47 +566,9 @@ fn parse_body_line(
             ));
         }
         *remaining -= 1;
-        let mut parts = rest.splitn(5, '|');
-        let workload = parts
-            .next()
-            .ok_or_else(|| corrupt(lineno, "missing workload"))?;
-        let tuning = parts
-            .next()
-            .ok_or_else(|| corrupt(lineno, "missing tuning config"))?;
-        let replay = parts
-            .next()
-            .ok_or_else(|| corrupt(lineno, "missing replay config"))?;
-        let bits = parts
-            .next()
-            .ok_or_else(|| corrupt(lineno, "missing latency bits"))?;
-        let note = parts
-            .next()
-            .ok_or_else(|| corrupt(lineno, "missing note field"))?;
-        let workload = CacheWorkload::decode(workload).map_err(|e| corrupt(lineno, &e))?;
-        let tuning = TuningConfig::decode(tuning).map_err(|e| corrupt(lineno, &e))?;
-        let replay = TuningConfig::decode(replay).map_err(|e| corrupt(lineno, &e))?;
-        if bits.len() != 16 {
-            return Err(corrupt(lineno, "latency bits must be 16 hex digits"));
-        }
-        let micros = f64::from_bits(
-            u64::from_str_radix(bits, 16)
-                .map_err(|e| corrupt(lineno, &format!("bad latency bits: {e}")))?,
-        );
-        if !micros.is_finite() || micros < 0.0 {
-            return Err(corrupt(lineno, "latency must be finite and non-negative"));
-        }
+        let entry = decode_entry_fields(rest).map_err(|e| corrupt(lineno, &e))?;
         let (model, target) = (model.clone(), target.clone());
-        store.record(
-            &model,
-            &target,
-            ArtifactEntry {
-                workload,
-                tuning,
-                replay,
-                micros,
-                note: note.to_string(),
-            },
-        );
+        store.record(&model, &target, entry);
     } else {
         return Err(corrupt(lineno, "unrecognized line"));
     }
@@ -609,9 +582,91 @@ fn corrupt(line: usize, reason: &str) -> ArtifactError {
     }
 }
 
+/// Render one entry's payload fields —
+/// `workload|tuning|replay|f64-bits-hex16|note` — shared by the store's
+/// `kernel ` lines and the journal's `put ` records so the two formats
+/// can never drift on the entry encoding.
+pub(crate) fn encode_entry_fields(e: &ArtifactEntry) -> String {
+    format!(
+        "{}|{}|{}|{:016x}|{}",
+        e.workload.encode(),
+        e.tuning.encode(),
+        e.replay.encode(),
+        e.micros.to_bits(),
+        e.note
+    )
+}
+
+/// Parse the [`encode_entry_fields`] payload. Errors are plain strings;
+/// callers wrap them with their own line/position context.
+pub(crate) fn decode_entry_fields(s: &str) -> Result<ArtifactEntry, String> {
+    let mut parts = s.splitn(5, '|');
+    let workload = parts.next().ok_or("missing workload")?;
+    let tuning = parts.next().ok_or("missing tuning config")?;
+    let replay = parts.next().ok_or("missing replay config")?;
+    let bits = parts.next().ok_or("missing latency bits")?;
+    let note = parts.next().ok_or("missing note field")?;
+    let workload = CacheWorkload::decode(workload)?;
+    let tuning = TuningConfig::decode(tuning)?;
+    let replay = TuningConfig::decode(replay)?;
+    if bits.len() != 16 {
+        return Err("latency bits must be 16 hex digits".to_string());
+    }
+    let micros = f64::from_bits(
+        u64::from_str_radix(bits, 16).map_err(|e| format!("bad latency bits: {e}"))?,
+    );
+    if !micros.is_finite() || micros < 0.0 {
+        return Err("latency must be finite and non-negative".to_string());
+    }
+    Ok(ArtifactEntry {
+        workload,
+        tuning,
+        replay,
+        micros,
+        note: note.to_string(),
+    })
+}
+
+/// The sibling temp path an atomic write of `path` stages through
+/// (pid-suffixed so concurrent processes saving the same path never
+/// clobber each other's staging file).
+pub(crate) fn save_temp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename over the target, then best-effort `fsync` of the
+/// parent directory so the rename itself is durable. Shared by
+/// [`ArtifactStore::save`] and the journal's compaction rewrite.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = save_temp_path(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Directory fsync makes the rename durable; failure here
+            // (e.g. an fs that cannot open directories) is not fatal.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// FNV-1a 64-bit: tiny, dependency-free, good enough to catch flipped
 /// bits and truncated/edited bodies (not a cryptographic signature).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Shared with the journal's per-record checksums.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -960,6 +1015,77 @@ mod tests {
                 note: String::new(),
             },
         );
+    }
+
+    #[test]
+    fn save_is_atomic_under_a_simulated_mid_save_crash() {
+        // Regression: `save` used to `fs::write` the final path directly,
+        // so a crash mid-save tore the very file warm starts depend on.
+        // Now the bytes stage through a sibling temp file and land via
+        // rename: a crash before the rename leaves the previous store
+        // byte-identical and strictly loadable (no recovery needed).
+        let dir = std::env::temp_dir().join(format!("unit-atomic-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store");
+        let old = sample_store();
+        old.save(&path).unwrap();
+        assert!(
+            !save_temp_path(&path).exists(),
+            "a completed save leaves no staging file behind"
+        );
+
+        // Simulate the crash: a new save that died after writing half its
+        // temp file and never reached the rename.
+        let mut bigger = sample_store();
+        bigger.record(
+            "extra-model",
+            "x86-avx512-vnni",
+            ArtifactEntry {
+                workload: CacheWorkload::Op(OpSpec::gemm(32, 32, 32)),
+                tuning: TuningConfig::default(),
+                replay: TuningConfig::default(),
+                micros: 3.5,
+                note: "late arrival".to_string(),
+            },
+        );
+        let torn = &bigger.encode()[..bigger.encode().len() / 2];
+        std::fs::write(save_temp_path(&path), torn).unwrap();
+
+        // The store at `path` is untouched: strict decode (not the
+        // recovering path) still sees the exact old bytes.
+        let back = ArtifactStore::load(&path).expect("old store survives the crash intact");
+        assert_eq!(back.encode(), old.encode());
+
+        // A subsequent completed save replaces it and cleans up staging.
+        bigger.save(&path).unwrap();
+        assert!(!save_temp_path(&path).exists());
+        let back = ArtifactStore::load(&path).unwrap();
+        assert_eq!(back.encode(), bigger.encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retire_target_drops_every_model_entry_for_it() {
+        let mut store = sample_store();
+        let total = store.len();
+        let vnni: usize = store
+            .model_targets()
+            .iter()
+            .filter(|(_, t)| t == "x86-avx512-vnni")
+            .map(|(m, t)| store.entries(m, t).len())
+            .sum();
+        assert!(vnni > 0);
+        let removed = store.retire_target("x86-avx512-vnni");
+        assert_eq!(removed, vnni);
+        assert_eq!(store.len(), total - vnni);
+        assert!(store.entries("resnet-18", "x86-avx512-vnni").is_empty());
+        // Other targets are untouched and the store still round-trips.
+        assert!(!store
+            .entries("transformer-tiny", "nvidia-tensor-core")
+            .is_empty());
+        let back = ArtifactStore::decode(&store.encode()).unwrap();
+        assert_eq!(back.encode(), store.encode());
+        assert_eq!(store.retire_target("x86-avx512-vnni"), 0, "idempotent");
     }
 
     #[test]

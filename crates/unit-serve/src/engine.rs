@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use unit_core::pipeline::{Target, TuningConfig};
 use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache, UnitProvider};
@@ -30,8 +30,22 @@ use unit_graph::{
 use unit_interp::{alloc_buffers, random_fill, run, Tape};
 use unit_isa::{registry, TypedBuf};
 
-use crate::artifact::{ArtifactEntry, ArtifactStore};
+use crate::artifact::{ArtifactEntry, ArtifactError, ArtifactStore};
+use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ServeMetrics;
+
+/// Lock a mutex, recovering from poisoning. Every engine mutex guards
+/// plain data whose invariants hold between operations (a `BTreeMap`
+/// store, an `Option` handle), so a panic that interrupted some *other*
+/// thread's critical section leaves nothing half-updated worth
+/// rejecting: take the data and keep serving. Without this, one
+/// panicking client thread turned every later `lock().unwrap()` into a
+/// panic — a single poisoned request wedged the whole engine.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Errors surfaced by the engine (and through scheduler responses).
 #[derive(Debug)]
@@ -134,6 +148,10 @@ pub struct ServeEngine {
     /// detail, never a served workload.
     fused: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<CompiledOp>>>>,
     artifacts: Mutex<ArtifactStore>,
+    /// The fleet-shared artifact journal, when attached: cold-compile
+    /// decisions are appended for other replicas to tail, and
+    /// [`ServeEngine::sync_journal`] imports theirs.
+    journal: Mutex<Option<Arc<Journal>>>,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -177,6 +195,7 @@ impl ServeEngine {
             tapes,
             fused,
             artifacts: Mutex::new(ArtifactStore::new()),
+            journal: Mutex::new(None),
             metrics: Arc::new(ServeMetrics::new()),
         })
     }
@@ -241,7 +260,7 @@ impl ServeEngine {
                 restored += store.restore_latency_cache(&model, &target, cache);
             }
         }
-        self.artifacts.lock().unwrap().merge(store);
+        lock_recovering(&self.artifacts).merge(store);
         restored
     }
 
@@ -250,7 +269,66 @@ impl ServeEngine {
     /// [`ArtifactStore::save`].
     #[must_use]
     pub fn export_artifacts(&self) -> ArtifactStore {
-        self.artifacts.lock().unwrap().clone()
+        lock_recovering(&self.artifacts).clone()
+    }
+
+    /// Attach a fleet-shared [`Journal`]: import its current snapshot
+    /// (exactly like [`ServeEngine::import_artifacts`] — a replica
+    /// attaching to a journal other replicas already populated
+    /// warm-starts search-free), then keep it attached so every cold
+    /// compile this engine performs is appended for the rest of the
+    /// fleet, and [`ServeEngine::sync_journal`] can tail theirs.
+    /// Returns the number of restored latency-cache entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] when the journal cannot be read.
+    pub fn attach_journal(&self, journal: Arc<Journal>) -> Result<usize, ArtifactError> {
+        let store = journal.snapshot()?;
+        let restored = self.import_artifacts(store);
+        *lock_recovering(&self.journal) = Some(journal);
+        Ok(restored)
+    }
+
+    /// Tail the attached journal: import every record other replicas
+    /// appended since the last snapshot/sync. `put` records merge into
+    /// the artifact store and restore the latency cache (so the next
+    /// compile of that workload is search-free); `retire` records drop
+    /// the target's entries from the store. Returns the number of
+    /// records applied (0 when no journal is attached).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] when the journal cannot be read.
+    pub fn sync_journal(&self) -> Result<usize, ArtifactError> {
+        let Some(journal) = lock_recovering(&self.journal).clone() else {
+            return Ok(0);
+        };
+        let records = journal.poll()?;
+        let applied = records.len();
+        for record in records {
+            match record {
+                JournalRecord::Put {
+                    model,
+                    target,
+                    entry,
+                } => {
+                    let entry = *entry;
+                    if let Some(cache) = self.latency.get(&target) {
+                        cache.restore(std::iter::once((
+                            KernelCacheKey::new(entry.workload, &target, entry.tuning),
+                            (entry.micros, entry.note.clone()),
+                        )));
+                    }
+                    lock_recovering(&self.artifacts).record(&model, &target, entry);
+                }
+                JournalRecord::Retire { target } => {
+                    lock_recovering(&self.artifacts).retire_target(&target);
+                }
+            }
+        }
+        self.metrics.record_journal_tailed(applied as u64);
+        Ok(applied)
     }
 
     /// Compile a whole model for a target: every unique tensor workload
@@ -290,10 +368,7 @@ impl ServeEngine {
             // compile invoke the tuner exactly zero times.
             let key = KernelCacheKey::new(workload, target_id, self.tuning);
             if cache.get(&key).is_some() {
-                let recorded = self
-                    .artifacts
-                    .lock()
-                    .unwrap()
+                let recorded = lock_recovering(&self.artifacts)
                     .lookup(&graph.name, target_id, &workload, self.tuning)
                     .is_some();
                 if recorded {
@@ -544,10 +619,7 @@ impl ServeEngine {
         }
         self.metrics.record_kernel_miss();
 
-        let entry = self
-            .artifacts
-            .lock()
-            .unwrap()
+        let entry = lock_recovering(&self.artifacts)
             .lookup(model, target_id, &workload, self.tuning)
             .cloned();
         let compiled = match entry {
@@ -577,7 +649,7 @@ impl ServeEngine {
                 if compiled.tensorized && self.tuning.searches(&target.desc.style) {
                     self.metrics.record_tuner_search();
                 }
-                self.artifacts.lock().unwrap().record(
+                self.persist_entry(
                     model,
                     target_id,
                     ArtifactEntry {
@@ -607,22 +679,59 @@ impl ServeEngine {
         workload: CacheWorkload,
         kernel: &CompiledOp,
     ) {
-        let mut artifacts = self.artifacts.lock().unwrap();
-        if artifacts
-            .lookup(model, target_id, &workload, self.tuning)
-            .is_none()
-        {
-            artifacts.record(
-                model,
-                target_id,
-                ArtifactEntry {
-                    workload,
-                    tuning: self.tuning,
-                    replay: kernel.replay,
-                    micros: kernel.micros,
-                    note: kernel.note.clone(),
-                },
-            );
+        self.persist_entry(
+            model,
+            target_id,
+            ArtifactEntry {
+                workload,
+                tuning: self.tuning,
+                replay: kernel.replay,
+                micros: kernel.micros,
+                note: kernel.note.clone(),
+            },
+        );
+    }
+
+    /// Record `entry` into the store if its identity is not there yet,
+    /// and append newly learned decisions to the attached journal. The
+    /// journal append happens *outside* the artifacts mutex — journal
+    /// I/O (lock, write, fsync) must never serialize the compile path
+    /// behind it.
+    fn persist_entry(&self, model: &str, target_id: &str, entry: ArtifactEntry) {
+        let inserted = {
+            let mut artifacts = lock_recovering(&self.artifacts);
+            if artifacts
+                .lookup(model, target_id, &entry.workload, entry.tuning)
+                .is_some()
+            {
+                false
+            } else {
+                artifacts.record(model, target_id, entry.clone());
+                true
+            }
+        };
+        if !inserted {
+            return;
+        }
+        let journal = lock_recovering(&self.journal).clone();
+        if let Some(journal) = journal {
+            let record = JournalRecord::Put {
+                model: model.to_string(),
+                target: target_id.to_string(),
+                entry: Box::new(entry),
+            };
+            match journal.append(std::slice::from_ref(&record)) {
+                Ok(compacted) => {
+                    self.metrics.record_journal_append();
+                    if compacted {
+                        self.metrics.record_journal_compaction();
+                    }
+                }
+                // Serving must survive journal I/O failures (a full disk
+                // poisons durability, not availability); the error count
+                // is visible in /metrics.
+                Err(_) => self.metrics.record_journal_error(),
+            }
         }
     }
 }
@@ -631,7 +740,7 @@ impl fmt::Debug for ServeEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ServeEngine")
             .field("targets", &self.target_ids())
-            .field("artifact_entries", &self.artifacts.lock().unwrap().len())
+            .field("artifact_entries", &lock_recovering(&self.artifacts).len())
             .finish_non_exhaustive()
     }
 }
@@ -710,6 +819,52 @@ mod tests {
         let store = engine.export_artifacts();
         assert!(!store.is_empty());
         crate::ArtifactStore::decode(&store.encode()).expect("exported store stays loadable");
+    }
+
+    #[test]
+    fn poisoned_artifacts_mutex_does_not_wedge_the_engine() {
+        // Regression: every `artifacts.lock().unwrap()` used to panic
+        // forever once any thread panicked while holding the mutex — one
+        // poisoned client request turned the whole engine read-only.
+        // `lock_recovering` takes the data back instead.
+        let engine = Arc::new(ServeEngine::new(TuningConfig::default()));
+        let op = OpSpec::gemm(16, 16, 32);
+        engine.execute("before", "x86-avx512-vnni", op, 1).unwrap();
+
+        // Poison both engine mutexes the way a panicking request thread
+        // would: panic while holding the guard.
+        for _ in 0..2 {
+            let poisoner = Arc::clone(&engine);
+            let result = std::thread::spawn(move || {
+                let _artifacts = poisoner.artifacts.lock().unwrap();
+                let _journal = poisoner.journal.lock().unwrap();
+                panic!("simulated client panic while holding engine locks");
+            })
+            .join();
+            assert!(result.is_err(), "the poisoning thread must panic");
+        }
+        assert!(engine.artifacts.lock().is_err(), "mutex really is poisoned");
+
+        // Subsequent requests — cache hits, cold compiles, whole-model
+        // compiles and exports — all still succeed.
+        let hit = engine.execute("before", "x86-avx512-vnni", op, 1).unwrap();
+        assert!(!hit.output.is_empty());
+        engine
+            .execute("after", "arm-neon-dot", OpSpec::gemm(8, 8, 8), 2)
+            .unwrap();
+        engine
+            .compile_model(&unit_graph::models::transformer_tiny(), "x86-avx512-vnni")
+            .unwrap();
+        let store = engine.export_artifacts();
+        assert!(store
+            .lookup(
+                "after",
+                "arm-neon-dot",
+                &CacheWorkload::Op(OpSpec::gemm(8, 8, 8)),
+                engine.tuning()
+            )
+            .is_some());
+        assert_eq!(engine.sync_journal().unwrap(), 0, "no journal attached");
     }
 
     #[test]

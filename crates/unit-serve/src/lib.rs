@@ -23,6 +23,17 @@
 //!   batching, one worker thread per target; order-independent but
 //!   result-deterministic. Workers fuse same-shape GEMM runs within a
 //!   batch into single batched-GEMM tape executions.
+//! * [`journal`] — the fleet-shared, file-locked, append-only artifact
+//!   journal: N replicas on one host append tuning decisions under an
+//!   advisory lock and tail each other's appends, so a replica
+//!   warm-starts search-free off decisions another replica just made.
+//!   Atomic compaction with retired-target GC, a max-size policy, and
+//!   a v1→v2 migration.
+//! * [`net`] — the hand-rolled HTTP/1.1 front-end over std
+//!   `TcpListener`: `POST /v1/execute` bridges onto the scheduler's
+//!   bounded queue (queue-full → 429, per-request failure → 500, body
+//!   and header limits, read/write timeouts), `GET /metrics` serves the
+//!   stable metrics rendering.
 //! * [`metrics`] — counters, queue-depth gauges, artifact/kernel cache
 //!   hit rates and a fixed-bucket latency histogram (p50/p95/p99) with a
 //!   stable text rendering.
@@ -57,12 +68,16 @@
 
 pub mod artifact;
 pub mod engine;
+pub mod journal;
 pub mod metrics;
+pub mod net;
 pub mod scheduler;
 
 pub use artifact::{
     ArtifactEntry, ArtifactError, ArtifactStore, TailRecovery, ARTIFACT_FORMAT_VERSION,
 };
 pub use engine::{reference_report, ExecMode, ExecOutcome, ServeEngine, ServeError};
+pub use journal::{Journal, JournalConfig, JournalRecord, JOURNAL_FORMAT_VERSION};
 pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
+pub use net::{HttpServer, HttpServerConfig};
 pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};

@@ -40,6 +40,13 @@ pub struct ServeMetrics {
     tape_compiles: AtomicU64,
     tape_dispatches: AtomicU64,
     tape_fused_requests: AtomicU64,
+    dispatcher_wakes: AtomicU64,
+    journal_appends: AtomicU64,
+    journal_tailed_records: AtomicU64,
+    journal_compactions: AtomicU64,
+    journal_errors: AtomicU64,
+    http_requests: AtomicU64,
+    http_errors: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -173,6 +180,46 @@ impl ServeMetrics {
         }
     }
 
+    /// The scheduler's dispatcher thread woke up to form a batch
+    /// window. On an idle scheduler this stays flat — the dispatcher
+    /// blocks on `recv` rather than spinning — which
+    /// `scheduler::tests` asserts as the no-busy-spin proxy.
+    pub fn record_dispatcher_wake(&self) {
+        self.dispatcher_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A tuning decision was appended to the shared journal.
+    pub fn record_journal_append(&self) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `records` journal records from other replicas were tailed and
+    /// applied to this engine's caches.
+    pub fn record_journal_tailed(&self, records: u64) {
+        self.journal_tailed_records
+            .fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// A journal compaction ran (triggered by this replica).
+    pub fn record_journal_compaction(&self) {
+        self.journal_compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A journal operation failed; serving continued on in-memory state.
+    pub fn record_journal_error(&self) {
+        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The HTTP front-end accepted and parsed a request.
+    pub fn record_http_request(&self) {
+        self.http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The HTTP front-end answered with a non-2xx status.
+    pub fn record_http_error(&self) {
+        self.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Completed requests (successful only).
     #[must_use]
     pub fn completed(&self) -> u64 {
@@ -240,6 +287,48 @@ impl ServeMetrics {
         self.tape_fused_requests.load(Ordering::Relaxed)
     }
 
+    /// Dispatcher batch-window wake-ups.
+    #[must_use]
+    pub fn dispatcher_wakes(&self) -> u64 {
+        self.dispatcher_wakes.load(Ordering::Relaxed)
+    }
+
+    /// Tuning decisions appended to the shared journal.
+    #[must_use]
+    pub fn journal_appends(&self) -> u64 {
+        self.journal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Journal records tailed from other replicas and applied here.
+    #[must_use]
+    pub fn journal_tailed_records(&self) -> u64 {
+        self.journal_tailed_records.load(Ordering::Relaxed)
+    }
+
+    /// Journal compactions this replica triggered.
+    #[must_use]
+    pub fn journal_compactions(&self) -> u64 {
+        self.journal_compactions.load(Ordering::Relaxed)
+    }
+
+    /// Failed journal operations (serving continued without them).
+    #[must_use]
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
+    }
+
+    /// HTTP requests accepted and parsed by the front-end.
+    #[must_use]
+    pub fn http_requests(&self) -> u64 {
+        self.http_requests.load(Ordering::Relaxed)
+    }
+
+    /// HTTP responses with a non-2xx status.
+    #[must_use]
+    pub fn http_errors(&self) -> u64 {
+        self.http_errors.load(Ordering::Relaxed)
+    }
+
     /// The latency histogram.
     #[must_use]
     pub fn latency(&self) -> &LatencyHistogram {
@@ -273,7 +362,7 @@ impl ServeMetrics {
         } else {
             load(&self.batched_requests) as f64 / batches as f64
         };
-        let mut out = String::from("# unit-serve metrics v2\n");
+        let mut out = String::from("# unit-serve metrics v3\n");
         let mut line = |k: &str, v: String| {
             out.push_str(k);
             out.push(' ');
@@ -310,6 +399,19 @@ impl ServeMetrics {
             "tape_fused_requests",
             load(&self.tape_fused_requests).to_string(),
         );
+        line("dispatcher_wakes", load(&self.dispatcher_wakes).to_string());
+        line("journal_appends", load(&self.journal_appends).to_string());
+        line(
+            "journal_tailed_records",
+            load(&self.journal_tailed_records).to_string(),
+        );
+        line(
+            "journal_compactions",
+            load(&self.journal_compactions).to_string(),
+        );
+        line("journal_errors", load(&self.journal_errors).to_string());
+        line("http_requests", load(&self.http_requests).to_string());
+        line("http_errors", load(&self.http_errors).to_string());
         out
     }
 }
@@ -355,6 +457,53 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_quantile_at_any_p() {
+        let h = LatencyHistogram::default();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), None, "p={p}");
+        }
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn all_samples_in_the_overflow_bucket() {
+        let h = LatencyHistogram::default();
+        let top = LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1];
+        for _ in 0..100 {
+            h.record(top + 1);
+        }
+        // Every quantile saturates to u64::MAX — including the extremes.
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), Some(u64::MAX), "p={p}");
+        }
+        // The saturation renders as `>bound`, not a fake number.
+        let m = ServeMetrics::new();
+        m.record_submit();
+        m.record_completion(Duration::from_secs(5), true);
+        assert!(m.render().contains(&format!("latency_p50_us >{top}\n")));
+    }
+
+    #[test]
+    fn p0_and_p1_hit_the_exact_bounds() {
+        let h = LatencyHistogram::default();
+        h.record(1); // first bucket (bound 1)
+        h.record(600_000); // second-to-last bucket (bound 1_000_000)
+                           // p=0.0: rank clamps to 1, the *first* recorded observation —
+                           // never a phantom rank-0 below every sample.
+        assert_eq!(h.quantile(0.0), Some(1));
+        // p=1.0: rank = total, the last observation's bucket bound.
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        // Both are exact bucket upper bounds, monotone in p.
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+        // A single-sample histogram answers the same bound for every p.
+        let single = LatencyHistogram::default();
+        single.record(42);
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(single.quantile(p), Some(50), "p={p}");
+        }
+    }
+
+    #[test]
     fn render_is_stable_and_deterministic() {
         let m = ServeMetrics::new();
         m.record_submit();
@@ -369,8 +518,15 @@ mod tests {
         m.record_tape_compile();
         m.record_tape_dispatch(1);
         m.record_tape_dispatch(2);
+        m.record_dispatcher_wake();
+        m.record_journal_append();
+        m.record_journal_tailed(3);
+        m.record_journal_compaction();
+        m.record_http_request();
+        m.record_http_request();
+        m.record_http_error();
         let expected = "\
-# unit-serve metrics v2
+# unit-serve metrics v3
 requests_submitted 2
 requests_rejected 0
 requests_completed 2
@@ -392,6 +548,13 @@ tuner_searches 1
 tape_compiles 1
 tape_dispatches 2
 tape_fused_requests 2
+dispatcher_wakes 1
+journal_appends 1
+journal_tailed_records 3
+journal_compactions 1
+journal_errors 0
+http_requests 2
+http_errors 1
 ";
         assert_eq!(m.render(), expected);
         assert_eq!(m.render(), expected, "rendering twice is identical");

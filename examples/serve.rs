@@ -1,27 +1,41 @@
-//! The serving runtime end to end: compile transformer-tiny and
-//! mobilenet-v1 for **every registered target**, persist the compiled
-//! artifacts, warm-start a fresh engine from the store (zero tuner
-//! searches), then serve a concurrent mixed request stream across all
-//! targets through the batching scheduler and print the metrics.
+//! The networked serving fleet end to end: **two replicas over one
+//! file-locked artifact journal**, plus the HTTP/1.1 front-end.
+//!
+//! * Replica A attaches an empty journal, compiles transformer-tiny and
+//!   mobilenet-v1 cold for every registered target — every tuning
+//!   decision is appended to the journal as it is made.
+//! * Replica B attaches the *same* journal and compiles the same models
+//!   with **zero tuner invocations** (asserted through the process-global
+//!   tuner counters): the fleet shares tuning through the file, not
+//!   through any in-process state.
+//! * A then makes a *new* decision; B tails it live via `sync_journal`
+//!   and replays it search-free.
+//! * B serves a concurrent request stream — every response asserted
+//!   bit-identical to `run_reference` — first in-process through the
+//!   batching scheduler, then over a real TCP socket through the
+//!   HTTP front-end.
+//! * Finally the journal is compacted (generation bump + retired-target
+//!   GC) and the metrics are printed.
 //!
 //! Run with `cargo run --release --example serve`. Set
 //! `UNIT_SERVE_SMOKE=1` (the CI smoke mode) to shrink the request count;
 //! correctness assertions run in both modes.
-//!
-//! Model *compilation* uses the full-size models (compile time is modeled
-//! estimation — cheap); request *execution* interprets every kernel
-//! faithfully, so the request mix uses small conv/GEMM workloads, the
-//! same trade the soak suite makes.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use unit::graph::layout::op_for_target;
 use unit::graph::models::{mobilenet_v1, transformer_tiny};
 use unit::graph::OpSpec;
+use unit::interp::{alloc_op_buffers, random_fill, run_reference};
 use unit::isa::registry;
 use unit::pipeline::TuningConfig;
-use unit::serve::{ArtifactStore, Scheduler, SchedulerConfig, ServeEngine, ServeRequest};
-use unit_core::tuner::{tuner_searches, CpuTuneMode, GpuTuneMode};
+use unit::serve::net::{encode_typed_buf, http_request};
+use unit::serve::{
+    HttpServer, HttpServerConfig, Journal, JournalConfig, JournalRecord, Scheduler,
+    SchedulerConfig, ServeEngine, ServeRequest,
+};
+use unit_core::tuner::{tuner_invocations, tuner_searches, CpuTuneMode, GpuTuneMode};
 
 fn main() {
     let smoke = std::env::var("UNIT_SERVE_SMOKE").is_ok();
@@ -31,21 +45,31 @@ fn main() {
     };
     let models = [transformer_tiny(), mobilenet_v1()];
     let targets: Vec<String> = registry::targets().into_iter().map(|d| d.id).collect();
+    let dir = std::env::temp_dir().join(format!("unit-serve-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal_path = dir.join("journal");
     println!(
-        "serving {} models on {} targets: {}",
+        "fleet demo: {} models on {} targets sharing {}",
         models.len(),
         targets.len(),
-        targets.join(", ")
+        journal_path.display()
     );
 
-    // --- Phase 1: cold compile + persist. ---
-    let cold = ServeEngine::new(tuning);
+    // --- Phase 1: replica A compiles cold, journaling every decision. ---
+    let replica_a = ServeEngine::new(tuning);
+    let journal_a =
+        Arc::new(Journal::open(JournalConfig::at(&journal_path)).expect("open journal"));
+    replica_a
+        .attach_journal(Arc::clone(&journal_a))
+        .expect("attach journal to A");
     let t0 = Instant::now();
     for graph in &models {
         for target in &targets {
-            let report = cold.compile_model(graph, target).expect("cold compile");
+            let report = replica_a
+                .compile_model(graph, target)
+                .expect("cold compile");
             println!(
-                "  cold {:<17} on {:<18} {:>9.2} ms ({} kernels)",
+                "  A cold {:<17} on {:<18} {:>9.2} ms ({} kernels)",
                 graph.name,
                 target,
                 report.total_ms,
@@ -53,51 +77,78 @@ fn main() {
             );
         }
     }
-    // Execute the serving menu once cold, so its tuning decisions are
-    // persisted alongside the model artifacts and the warm engine serves
-    // with a 100% artifact hit rate.
+    // Execute the serving menu once cold so its decisions are journaled
+    // alongside the model artifacts.
     for (model, op) in serving_menu() {
         for target in &targets {
-            cold.execute(model, target, op, 0).expect("cold execute");
+            replica_a
+                .execute(model, target, op, 0)
+                .expect("cold execute");
         }
     }
     let cold_elapsed = t0.elapsed();
-    let store = cold.export_artifacts();
-    let path = std::env::temp_dir().join("unit-serve-example.store");
-    store.save(&path).expect("save artifact store");
+    let appended = replica_a.metrics().journal_appends();
     println!(
-        "\ncold compile: {:.2}s; persisted {} artifact entries to {}",
-        cold_elapsed.as_secs_f64(),
-        store.len(),
-        path.display()
+        "\nA: cold compile {:.2}s, {appended} decisions appended to the journal",
+        cold_elapsed.as_secs_f64()
     );
+    assert!(appended > 0);
 
-    // --- Phase 2: warm start from disk — zero tuner searches. ---
-    let warm = ServeEngine::new(tuning);
-    let loaded = ArtifactStore::load(&path).expect("load artifact store");
-    let restored = warm.import_artifacts(loaded);
-    let searches_before = tuner_searches();
+    // --- Phase 2: replica B warm-starts off the journal — zero tuner
+    // invocations for the same models. ---
+    let replica_b = ServeEngine::new(tuning);
+    let journal_b =
+        Arc::new(Journal::open(JournalConfig::at(&journal_path)).expect("open journal"));
+    let restored = replica_b
+        .attach_journal(Arc::clone(&journal_b))
+        .expect("attach journal to B");
+    let invocations_before = tuner_invocations();
     let t1 = Instant::now();
     for graph in &models {
         for target in &targets {
-            let report = warm.compile_model(graph, target).expect("warm compile");
+            let report = replica_b
+                .compile_model(graph, target)
+                .expect("warm compile");
             assert!(report.total_ms > 0.0);
         }
     }
     let warm_elapsed = t1.elapsed();
     assert_eq!(
-        tuner_searches(),
-        searches_before,
-        "warm start must perform zero tuner searches"
+        tuner_invocations(),
+        invocations_before,
+        "B's journal-warm compiles must never invoke the tuner"
     );
     println!(
-        "warm compile: {:.3}s from {restored} restored entries — zero tuner searches, {:.0}x faster than cold",
+        "B: warm compile {:.3}s from {restored} journaled entries — zero tuner invocations, {:.0}x faster than cold",
         warm_elapsed.as_secs_f64(),
         cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
     );
 
-    // --- Phase 3: concurrent serving across every target. ---
-    let engine = Arc::new(warm);
+    // --- Phase 3: live tailing. A tunes something new; B picks it up
+    // without restarting. ---
+    let live_op = OpSpec::gemm(16, 32, 16);
+    let a_out = replica_a
+        .execute("live", &targets[0], live_op, 11)
+        .expect("A executes cold");
+    let tailed = replica_b.sync_journal().expect("B tails the journal");
+    let searches_before = tuner_searches();
+    let b_out = replica_b
+        .execute("live", &targets[0], live_op, 11)
+        .expect("B replays");
+    assert_eq!(
+        b_out.output, a_out.output,
+        "replicas must agree bit-for-bit"
+    );
+    assert_eq!(
+        tuner_searches(),
+        searches_before,
+        "B replays A's decision search-free"
+    );
+    println!("B: tailed {tailed} live record(s) from A and replayed search-free");
+
+    // --- Phase 4: B serves a concurrent stream; every response checked
+    // bit-identical to run_reference. ---
+    let engine = Arc::new(replica_b);
     let scheduler = Arc::new(Scheduler::start(
         Arc::clone(&engine),
         SchedulerConfig {
@@ -118,16 +169,23 @@ fn main() {
                 for i in 0..per_client {
                     let (model, op) = &menu[(client + i) % menu.len()];
                     let target = &targets[(client * per_client + i) % targets.len()];
+                    let seed = (i % 7) as u64;
                     let (_, rx) = scheduler
                         .submit(ServeRequest {
                             model: (*model).to_string(),
                             target: target.clone(),
                             op: *op,
-                            seed: (i % 7) as u64,
+                            seed,
                         })
                         .expect("admission");
                     let resp = rx.recv().expect("response");
-                    assert!(resp.result.is_ok(), "{:?}", resp.result);
+                    let out = resp.result.expect("execution succeeds");
+                    assert_eq!(
+                        encode_typed_buf(&out),
+                        reference_encoding(target, op, seed),
+                        "{} on {target} seed {seed}: diverged from run_reference",
+                        op.describe()
+                    );
                 }
             });
         }
@@ -135,28 +193,100 @@ fn main() {
     let served = clients * per_client;
     let elapsed = t2.elapsed();
     println!(
-        "\nserved {served} requests across {} targets in {:.2}s ({:.0} req/s)\n",
+        "\nB served {served} in-process requests across {} targets in {:.2}s ({:.0} req/s), all bit-identical to run_reference",
         targets.len(),
         elapsed.as_secs_f64(),
         engine.metrics().throughput_rps(elapsed)
     );
-    println!("{}", engine.metrics().render());
-    std::fs::remove_file(&path).ok();
+
+    // --- Phase 5: the HTTP front-end over a real socket. ---
+    let server = HttpServer::start(Arc::clone(&scheduler), HttpServerConfig::default())
+        .expect("bind HTTP front-end");
+    let addr = server.local_addr();
+    let timeout = Duration::from_secs(30);
+    let http_requests = if smoke { 8 } else { 32 };
+    for i in 0..http_requests {
+        let (model, op) = &menu[i % menu.len()];
+        let target = &targets[i % targets.len()];
+        let seed = (i % 7) as u64;
+        let body = format!(
+            "model {model}\ntarget {target}\nop {}\nseed {seed}\n",
+            op.encode()
+        );
+        let (status, response) =
+            http_request(addr, "POST", "/v1/execute", &body, timeout).expect("HTTP request");
+        assert_eq!(status, 200, "{response}");
+        let payload = response
+            .split_once("dtype ")
+            .map(|(_, p)| format!("dtype {p}"))
+            .expect("response carries a buffer");
+        assert_eq!(
+            payload,
+            reference_encoding(target, op, seed),
+            "HTTP response diverged from run_reference"
+        );
+    }
+    let (status, metrics_text) =
+        http_request(addr, "GET", "/metrics", "", timeout).expect("GET /metrics");
+    assert_eq!(status, 200);
+    println!("HTTP front-end on {addr}: {http_requests} requests bit-identical over the wire\n");
+    server.shutdown();
+
+    // --- Phase 6: decommission a target fleet-wide, then compact: the
+    // retired target's entries are GC'd and the generation bumps. ---
+    let retired = targets.last().expect("at least one target");
+    journal_a
+        .append(&[JournalRecord::Retire {
+            target: retired.clone(),
+        }])
+        .expect("append retire");
+    let before = std::fs::metadata(&journal_path)
+        .expect("journal size")
+        .len();
+    journal_a.compact().expect("compact");
+    let after = std::fs::metadata(&journal_path)
+        .expect("journal size")
+        .len();
+    assert!(
+        after < before,
+        "GC must reclaim the retired target's entries"
+    );
+    println!(
+        "journal compacted after retiring {retired}: {before} -> {after} bytes, generation {}",
+        journal_a.generation().expect("generation")
+    );
+
+    println!("{metrics_text}");
+    std::fs::remove_dir_all(&dir).ok();
 
     let metrics = engine.metrics();
-    assert_eq!(metrics.completed(), served as u64);
+    assert!(metrics.completed() >= served as u64 + http_requests as u64);
     assert_eq!(metrics.failed(), 0);
     assert_eq!(
         metrics.tuner_searches(),
         0,
-        "warm serving must replay artifacts, never search"
+        "journal-warm serving must replay decisions, never search"
     );
-    println!("serving runtime OK: all responses delivered, zero failures, zero tuner searches");
+    println!(
+        "fleet OK: two replicas shared {appended}+ decisions through the journal, zero failures, zero warm searches"
+    );
 }
 
-/// The request mix served in phase 3: small workloads tagged with the
-/// model whose artifact namespace they live in (the interpreter executes
-/// every request faithfully, so the mix must stay interpreter-sized).
+/// Expected output for `(target, op, seed)` straight from the reference
+/// executor, encoded exactly like the serving responses.
+fn reference_encoding(target: &str, op: &OpSpec, seed: u64) -> String {
+    let desc = registry::target_by_id(target).expect("registered target");
+    let (lowered, _) = op_for_target(op, &desc);
+    let mut bufs = alloc_op_buffers(&lowered);
+    random_fill(&mut bufs, seed);
+    run_reference(&lowered, &mut bufs).expect("reference executes");
+    encode_typed_buf(&bufs.swap_remove(lowered.output.0 as usize))
+}
+
+/// The request mix served in phases 4–5: small workloads tagged with
+/// the model whose artifact namespace they live in (the interpreter
+/// executes every request faithfully, so the mix must stay
+/// interpreter-sized).
 fn serving_menu() -> Vec<(&'static str, OpSpec)> {
     vec![
         ("mobilenet-v1", OpSpec::depthwise(8, 8, 3, 1, 1)),
