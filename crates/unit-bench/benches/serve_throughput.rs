@@ -1,7 +1,7 @@
 //! Serving-runtime throughput: cold vs warm whole-model compilation and
 //! scheduler requests/sec.
 //!
-//! Run via `cargo bench -p unit-bench --bench serve_throughput`. Four
+//! Run via `cargo bench -p unit-bench --bench serve_throughput`. Five
 //! tracked numbers:
 //!
 //! * **cold compile**: transformer-tiny + mobilenet-v1 on every
@@ -13,6 +13,11 @@
 //!   attached the fleet-shared artifact journal the cold engine
 //!   appended to — the multi-replica warm-start path, also asserted
 //!   search-free,
+//! * **cold first response**: the first-request latency for a novel
+//!   workload on a *tiered* engine (cheap cold-tier search, re-tune
+//!   deferred to the background) vs a non-tiered engine paying the full
+//!   search up front — asserted faster, and asserted bit-identical
+//!   before and after the background swap,
 //! * **serving throughput**: a burst of small mixed Conv/Gemm requests
 //!   pushed through the batching scheduler by 8 client threads across
 //!   all targets, reported as requests/sec.
@@ -115,6 +120,59 @@ fn main() {
     );
     std::fs::remove_dir_all(&journal_dir).ok();
 
+    // --- Cold first response: how long the *first* request for a novel
+    // workload waits, tiered (cheap cold-tier search now, full search in
+    // the background) vs non-tiered (full search up front). The probe
+    // op is small so the search — not the interpreter's execution of
+    // the request — dominates the first response; best of five fresh
+    // engines each, so one scheduling hiccup cannot flip the
+    // comparison. ---
+    use unit_serve::TuneTier;
+    let full16 = TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+        gpu: GpuTuneMode::Tuned,
+    };
+    let probe = OpSpec::gemm(16, 16, 16);
+    let probe_target = &targets[0];
+    let mut tiered_first = Duration::MAX;
+    let mut full_first = Duration::MAX;
+    let mut probe_bits: Option<Vec<u8>> = None;
+    for _ in 0..5 {
+        let tiered = ServeEngine::new(full16).with_tiered_cold_start();
+        let t0 = Instant::now();
+        let cold_out = tiered
+            .execute("probe", probe_target, probe, 3)
+            .expect("tiered cold execute");
+        tiered_first = tiered_first.min(t0.elapsed());
+        assert_eq!(cold_out.tier, TuneTier::Cold);
+
+        let full = ServeEngine::new(full16);
+        let t0 = Instant::now();
+        let full_out = full
+            .execute("probe", probe_target, probe, 3)
+            .expect("full cold execute");
+        full_first = full_first.min(t0.elapsed());
+        assert_eq!(full_out.tier, TuneTier::Full);
+        assert_eq!(
+            cold_out.output, full_out.output,
+            "the cold tier must not change bits"
+        );
+
+        // The background upgrade lands without changing bits either.
+        assert!(tiered.run_pending_retunes() >= 1);
+        let swapped = tiered
+            .execute("probe", probe_target, probe, 3)
+            .expect("post-swap execute");
+        assert_eq!(swapped.tier, TuneTier::Full);
+        assert_eq!(swapped.output, full_out.output);
+        let bits = unit_serve::net::encode_typed_buf(&full_out.output).into_bytes();
+        assert!(probe_bits.get_or_insert(bits.clone()) == &bits);
+    }
+    assert!(
+        tiered_first < full_first,
+        "tiered cold start ({tiered_first:?}) must answer before a full search ({full_first:?})"
+    );
+
     // --- Serving throughput: submit the whole burst, then drain, so the
     // dispatcher actually forms multi-request batches. ---
     let requests: usize = if smoke { 128 } else { 512 };
@@ -175,6 +233,12 @@ fn main() {
         cold_elapsed.as_secs_f64() / journal_warm_elapsed.as_secs_f64().max(1e-9)
     );
     println!(
+        "  cold first response {:>8.2} ms tiered   {:>8.2} ms full   ({:.1}x)",
+        tiered_first.as_secs_f64() * 1e3,
+        full_first.as_secs_f64() * 1e3,
+        full_first.as_secs_f64() / tiered_first.as_secs_f64().max(1e-9)
+    );
+    println!(
         "  serving      {:>8.2} s    {:>8.0} req/s",
         serve_elapsed.as_secs_f64(),
         rps
@@ -193,11 +257,13 @@ fn main() {
         // Hand-rolled JSON (the vendored serde is a stub): the tracked
         // serving-bench artifact CI archives as BENCH_serve.json.
         let json = format!(
-            "{{\n  \"bench\": \"serve_throughput\",\n  \"targets\": {},\n  \"requests\": {requests},\n  \"requests_per_sec\": {rps:.1},\n  \"cold_compile_ms\": {:.2},\n  \"warm_compile_ms\": {:.3},\n  \"journal_warm_compile_ms\": {:.3},\n  \"warm_tuner_searches\": 0,\n  \"batch_size_mean\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"targets\": {},\n  \"requests\": {requests},\n  \"requests_per_sec\": {rps:.1},\n  \"cold_compile_ms\": {:.2},\n  \"warm_compile_ms\": {:.3},\n  \"journal_warm_compile_ms\": {:.3},\n  \"cold_first_response_tiered_ms\": {:.3},\n  \"cold_first_response_full_ms\": {:.3},\n  \"warm_tuner_searches\": 0,\n  \"batch_size_mean\": {:.2}\n}}\n",
             targets.len(),
             cold_elapsed.as_secs_f64() * 1e3,
             warm_elapsed.as_secs_f64() * 1e3,
             journal_warm_elapsed.as_secs_f64() * 1e3,
+            tiered_first.as_secs_f64() * 1e3,
+            full_first.as_secs_f64() * 1e3,
             mean_batch(&engine),
         );
         std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

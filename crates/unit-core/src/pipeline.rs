@@ -8,7 +8,9 @@ use unit_tir::TirFunc;
 use crate::error::CompileError;
 use crate::inspector::{inspect, Match};
 use crate::rewriter::{build_tensorized_schedule, finalize};
-use crate::tuner::{tune_cpu_with_workers, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode};
+use crate::tuner::{
+    tune_cpu_with_workers, tune_gpu_with_workers, CpuTuneMode, GpuTuneMode, TuneTier,
+};
 
 /// A compilation target: a [`TargetDesc`] plus the machine model built
 /// from it for profiling.
@@ -131,6 +133,35 @@ impl TuningConfig {
                 matches!(self.cpu, CpuTuneMode::Tuned { max_pairs } if max_pairs > 1)
             }
             ExecStyle::Gpu { .. } => matches!(self.gpu, GpuTuneMode::Tuned),
+        }
+    }
+
+    /// This config restricted to a tuning tier.
+    ///
+    /// [`TuneTier::Full`] is the identity. [`TuneTier::Cold`] caps the
+    /// search budget to a cheap first-response compile: a searching CPU
+    /// `Tuned { max_pairs > 2 }` drops to `Tuned { max_pairs: 2 }`, and a
+    /// searching GPU `Tuned` drops to the search-free `Generic`
+    /// heuristic. Configs that already search no harder than that are
+    /// returned unchanged — so when `at_tier(Cold) == *self`, tiering is
+    /// a no-op and the serving runtime skips the background re-tune
+    /// entirely.
+    #[must_use]
+    pub fn at_tier(&self, tier: TuneTier) -> TuningConfig {
+        match tier {
+            TuneTier::Full => *self,
+            TuneTier::Cold => TuningConfig {
+                cpu: match self.cpu {
+                    CpuTuneMode::Tuned { max_pairs } if max_pairs > 2 => {
+                        CpuTuneMode::Tuned { max_pairs: 2 }
+                    }
+                    other => other,
+                },
+                gpu: match self.gpu {
+                    GpuTuneMode::Tuned => GpuTuneMode::Generic,
+                    other => other,
+                },
+            },
         }
     }
 }
@@ -343,6 +374,24 @@ mod tests {
     use unit_dsl::builder::{
         batched_matmul_f16, batched_matmul_u8i8, conv2d_hwc, matmul_f16, matmul_u8i8,
     };
+
+    #[test]
+    fn at_tier_caps_search_budget_and_full_is_identity() {
+        let full = TuningConfig::default();
+        assert_eq!(full.at_tier(TuneTier::Full), full);
+        let cold = full.at_tier(TuneTier::Cold);
+        assert_eq!(cold.cpu, CpuTuneMode::Tuned { max_pairs: 2 });
+        assert_eq!(cold.gpu, GpuTuneMode::Generic);
+        // Configs already at or below the cold budget are untouched, so
+        // tiering degenerates to a no-op (the engine detects this via
+        // `at_tier(Cold) == full` and skips re-tunes).
+        let cheap = TuningConfig {
+            cpu: CpuTuneMode::Fixed { par: 1, unroll: 1 },
+            gpu: GpuTuneMode::Generic,
+        };
+        assert_eq!(cheap.at_tier(TuneTier::Cold), cheap);
+        assert_eq!(cold.at_tier(TuneTier::Cold), cold);
+    }
 
     #[test]
     fn x86_pipeline_compiles_quantized_conv() {

@@ -5,6 +5,7 @@ pub mod cpu;
 pub mod gpu;
 pub mod parallel;
 pub mod stats;
+pub mod tier;
 
 pub use cpu::{tune_cpu, tune_cpu_with_workers, CpuTuneMode, CpuTuneResult};
 pub use gpu::{
@@ -12,4 +13,5 @@ pub use gpu::{
     GpuTuneResult,
 };
 pub use parallel::{effective_workers, parallel_map};
-pub use stats::{tuner_invocations, tuner_searches};
+pub use stats::{tuner_candidates, tuner_invocations, tuner_searches};
+pub use tier::TuneTier;

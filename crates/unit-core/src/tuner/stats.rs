@@ -21,10 +21,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static INVOCATIONS: AtomicU64 = AtomicU64::new(0);
 static SEARCHES: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES: AtomicU64 = AtomicU64::new(0);
 
 /// Record one tuner entry-point call profiling `candidates` candidates.
 pub(crate) fn record(candidates: usize) {
     INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    CANDIDATES.fetch_add(candidates as u64, Ordering::Relaxed);
     if candidates > 1 {
         SEARCHES.fetch_add(1, Ordering::Relaxed);
     }
@@ -43,18 +45,29 @@ pub fn tuner_searches() -> u64 {
     SEARCHES.load(Ordering::Relaxed)
 }
 
+/// Total candidates profiled across all tuner calls since process start.
+/// This is the tier contract's observable: a cold-tier compile profiles
+/// strictly fewer candidates than a full-tier compile of the same
+/// workload, and the difference is exactly the search budget the
+/// background re-tune later spends.
+#[must_use]
+pub fn tuner_candidates() -> u64 {
+    CANDIDATES.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn single_candidate_counts_as_invocation_not_search() {
-        let (i0, s0) = (tuner_invocations(), tuner_searches());
+        let (i0, s0, c0) = (tuner_invocations(), tuner_searches(), tuner_candidates());
         record(1);
         record(4);
         // Other tests tune concurrently, so only lower bounds are stable.
         assert!(tuner_invocations() >= i0 + 2);
         assert!(tuner_searches() > s0);
+        assert!(tuner_candidates() >= c0 + 5);
         assert!(tuner_invocations() >= tuner_searches());
     }
 }

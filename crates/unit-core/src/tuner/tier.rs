@@ -1,0 +1,75 @@
+//! Tuning tiers: how much search budget a compile is allowed to spend.
+//!
+//! The serving runtime compiles cold `(model, target)` pairs at the
+//! **cold** tier — a cheap, barely-searching config derived from the
+//! engine's full config by [`crate::pipeline::TuningConfig::at_tier`] —
+//! responds immediately, and re-tunes at the **full** tier in the
+//! background before hot-swapping the kernel. The tier is persisted next
+//! to every artifact entry so replicas know whether a decision is final
+//! (`full`) or an upgrade is still owed (`cold`).
+//!
+//! Ordering matters: `Cold < Full`, so "keep the higher tier" merge
+//! policies can compare tiers directly.
+
+/// The tuning effort tier a kernel was compiled at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TuneTier {
+    /// Cheap first-response tier (bounded search; serve now, upgrade
+    /// later).
+    Cold,
+    /// The engine's full search budget (the terminal tier; nothing left
+    /// to upgrade).
+    #[default]
+    Full,
+}
+
+impl TuneTier {
+    /// Stable text encoding (`cold` / `full`), persisted by the
+    /// `unit-serve` artifact and journal formats — it must round-trip
+    /// exactly and may only change with those format versions.
+    #[must_use]
+    pub fn encode(self) -> &'static str {
+        match self {
+            TuneTier::Cold => "cold",
+            TuneTier::Full => "full",
+        }
+    }
+
+    /// Parse the [`TuneTier::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed value.
+    pub fn decode(s: &str) -> Result<TuneTier, String> {
+        match s {
+            "cold" => Ok(TuneTier::Cold),
+            "full" => Ok(TuneTier::Full),
+            other => Err(format!("unknown tune tier `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for TuneTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for tier in [TuneTier::Cold, TuneTier::Full] {
+            assert_eq!(TuneTier::decode(tier.encode()), Ok(tier));
+        }
+        assert!(TuneTier::decode("warm").is_err());
+    }
+
+    #[test]
+    fn cold_orders_below_full() {
+        assert!(TuneTier::Cold < TuneTier::Full);
+        assert_eq!(TuneTier::default(), TuneTier::Full);
+    }
+}

@@ -18,7 +18,7 @@
 //! ```text
 //! unit-artifact-store v1
 //! model <model-id>|<target-id>|<entry-count>
-//! kernel <workload>|<tuning>|<replay>|<f64-bits-hex16>|<note>
+//! kernel <workload>|<tuning>|<replay>|<f64-bits-hex16>|[tier=<tier>|]<note>
 //! ...
 //! end <fnv1a-64-hex16>
 //! ```
@@ -31,6 +31,13 @@
 //! * Latency is persisted as the raw IEEE-754 bit pattern (16 hex
 //!   digits) so micros round-trip *bit-exactly*; a decimal rendering
 //!   would silently perturb warm-start latency reports.
+//! * The optional `tier=<tier>|` marker ([`TuneTier::encode`]) says
+//!   which tuning tier compiled the entry. Full-tier entries — the
+//!   terminal state — omit it, so stores without cold entries are
+//!   byte-identical to the pre-tier format and **absent means full
+//!   tier** when decoding old files. A field starting with `tier=` that
+//!   is not a valid marker is rejected (provider notes never start with
+//!   `tier=`).
 //! * The note is the last field and may contain anything but newlines
 //!   (including `|`).
 //! * `end` carries an FNV-1a 64 checksum over every body line; a
@@ -61,6 +68,7 @@ use std::fmt;
 use std::path::Path;
 
 use unit_core::pipeline::TuningConfig;
+use unit_core::tuner::TuneTier;
 use unit_graph::compile::KernelCache;
 use unit_graph::{CacheWorkload, KernelCacheKey};
 
@@ -149,6 +157,10 @@ pub struct ArtifactEntry {
     pub replay: TuningConfig,
     /// Modeled latency in microseconds (bit-exact round-trip).
     pub micros: f64,
+    /// The tuning tier that compiled this entry: [`TuneTier::Cold`]
+    /// entries are provisional (a background re-tune owes them a
+    /// full-tier upgrade), [`TuneTier::Full`] entries are terminal.
+    pub tier: TuneTier,
     /// Provider note (chosen schedule / fallback reason).
     pub note: String,
 }
@@ -271,13 +283,36 @@ impl ArtifactStore {
         }))
     }
 
-    /// Merge another store into this one (other's entries replace
-    /// same-identity entries already present).
+    /// Record `entry` only if it *upgrades* the store: inserted when the
+    /// identity is absent or the incumbent entry sits at a strictly
+    /// lower tier; ties and downgrades keep the incumbent. Returns
+    /// whether the entry landed. This is the merge primitive the fleet
+    /// needs — a cold-tier record tailed from a slow peer must never
+    /// clobber a local full-tier decision.
+    ///
+    /// # Panics
+    ///
+    /// As [`ArtifactStore::record`], on invalid ids.
+    pub fn absorb(&mut self, model: &str, target: &str, entry: ArtifactEntry) -> bool {
+        match self.lookup(model, target, &entry.workload, entry.tuning) {
+            Some(incumbent) if incumbent.tier >= entry.tier => false,
+            _ => {
+                self.record(model, target, entry);
+                true
+            }
+        }
+    }
+
+    /// Merge another store into this one. Per same-identity entry the
+    /// **higher tier wins**; on a tie the incumbent is kept (see
+    /// [`ArtifactStore::absorb`]) — merging is how journal tails and
+    /// store imports land, and neither may downgrade a hot-swapped
+    /// full-tier kernel back to its cold ancestor.
     pub fn merge(&mut self, other: ArtifactStore) {
         for (model, targets) in other.models {
             for (target, entries) in targets {
                 for entry in entries {
-                    self.record(&model, &target, entry);
+                    self.absorb(&model, &target, entry);
                 }
             }
         }
@@ -583,12 +618,19 @@ fn corrupt(line: usize, reason: &str) -> ArtifactError {
 }
 
 /// Render one entry's payload fields —
-/// `workload|tuning|replay|f64-bits-hex16|note` — shared by the store's
-/// `kernel ` lines and the journal's `put ` records so the two formats
-/// can never drift on the entry encoding.
+/// `workload|tuning|replay|f64-bits-hex16|[tier=<tier>|]note` — shared
+/// by the store's `kernel ` lines and the journal's `put ` records so
+/// the two formats can never drift on the entry encoding. Full-tier
+/// entries omit the tier marker: the terminal state encodes exactly as
+/// the pre-tier format did, so only transient cold entries perturb the
+/// bytes (and absent decodes as full — old files keep loading).
 pub(crate) fn encode_entry_fields(e: &ArtifactEntry) -> String {
+    let tier = match e.tier {
+        TuneTier::Full => String::new(),
+        tier => format!("tier={tier}|"),
+    };
     format!(
-        "{}|{}|{}|{:016x}|{}",
+        "{}|{}|{}|{:016x}|{tier}{}",
         e.workload.encode(),
         e.tuning.encode(),
         e.replay.encode(),
@@ -605,7 +647,7 @@ pub(crate) fn decode_entry_fields(s: &str) -> Result<ArtifactEntry, String> {
     let tuning = parts.next().ok_or("missing tuning config")?;
     let replay = parts.next().ok_or("missing replay config")?;
     let bits = parts.next().ok_or("missing latency bits")?;
-    let note = parts.next().ok_or("missing note field")?;
+    let rest = parts.next().ok_or("missing note field")?;
     let workload = CacheWorkload::decode(workload)?;
     let tuning = TuningConfig::decode(tuning)?;
     let replay = TuningConfig::decode(replay)?;
@@ -618,11 +660,34 @@ pub(crate) fn decode_entry_fields(s: &str) -> Result<ArtifactEntry, String> {
     if !micros.is_finite() || micros < 0.0 {
         return Err("latency must be finite and non-negative".to_string());
     }
+    // Sniff the optional tier marker. Absent = full tier (the pre-tier
+    // encoding). A field that is a *torn* marker — `tier=co`, or any
+    // proper prefix like `tie` — is damage, not a note: provider notes
+    // never spell a tier marker, and accepting the fragment as a note
+    // would silently mislabel a cold entry as full. Rejecting it lets
+    // torn-tail recovery drop exactly the line being written.
+    let (tier, note) = match rest.strip_prefix("tier=") {
+        None => {
+            if !rest.is_empty()
+                && ("tier=cold|".starts_with(rest) || "tier=full|".starts_with(rest))
+            {
+                return Err("torn tier marker".to_string());
+            }
+            (TuneTier::Full, rest)
+        }
+        Some(marked) => {
+            let (tier, note) = marked
+                .split_once('|')
+                .ok_or("unterminated tier marker (missing `|`)")?;
+            (TuneTier::decode(tier)?, note)
+        }
+    };
     Ok(ArtifactEntry {
         workload,
         tuning,
         replay,
         micros,
+        tier,
         note: note.to_string(),
     })
 }
@@ -699,6 +764,7 @@ mod tests {
                 tuning,
                 replay,
                 micros: 123.456789,
+                tier: TuneTier::Full,
                 note: "llvm.x86.avx512.vpdpbusd.512 [parallel<3000,unroll<16]".to_string(),
             },
         );
@@ -713,6 +779,7 @@ mod tests {
                 tuning,
                 replay,
                 micros: 17.25,
+                tier: TuneTier::Full,
                 note: String::new(),
             },
         );
@@ -727,6 +794,7 @@ mod tests {
                     gpu: GpuTuneMode::Generic,
                 },
                 micros: 0.1 + 0.2, // deliberately non-representable exactly
+                tier: TuneTier::Full,
                 note: "wmma [p=2,fuse=false,splitK=1]".to_string(),
             },
         );
@@ -838,6 +906,7 @@ mod tests {
                 tuning: TuningConfig::default(),
                 replay: TuningConfig::default(),
                 micros: 1.0,
+                tier: TuneTier::Full,
                 note: String::new(),
             },
         );
@@ -985,6 +1054,7 @@ mod tests {
                 tuning,
                 replay: tuning,
                 micros: 99.0,
+                tier: TuneTier::Full,
                 note: "updated".to_string(),
             },
         );
@@ -1012,6 +1082,7 @@ mod tests {
                 tuning,
                 replay: tuning,
                 micros: 1.0,
+                tier: TuneTier::Full,
                 note: String::new(),
             },
         );
@@ -1045,6 +1116,7 @@ mod tests {
                 tuning: TuningConfig::default(),
                 replay: TuningConfig::default(),
                 micros: 3.5,
+                tier: TuneTier::Full,
                 note: "late arrival".to_string(),
             },
         );
@@ -1088,6 +1160,134 @@ mod tests {
         assert_eq!(store.retire_target("x86-avx512-vnni"), 0, "idempotent");
     }
 
+    fn tiered_entry(tier: TuneTier, note: &str) -> ArtifactEntry {
+        ArtifactEntry {
+            workload: CacheWorkload::Op(OpSpec::gemm(8, 8, 8)),
+            tuning: TuningConfig::default(),
+            replay: TuningConfig {
+                cpu: CpuTuneMode::Fixed { par: 64, unroll: 4 },
+                gpu: GpuTuneMode::Generic,
+            },
+            micros: 42.5,
+            tier,
+            note: note.to_string(),
+        }
+    }
+
+    #[test]
+    fn tiered_entries_round_trip_and_absent_tier_decodes_full() {
+        let mut store = ArtifactStore::new();
+        store.record("m", "t", tiered_entry(TuneTier::Cold, "cheap|pick"));
+        store.record("m2", "t", tiered_entry(TuneTier::Full, "final pick"));
+        let text = store.encode();
+        assert!(text.contains("|tier=cold|"), "{text}");
+        assert!(
+            !text.contains("tier=full"),
+            "full tier stays implicit (pre-tier bytes): {text}"
+        );
+        let back = ArtifactStore::decode(&text).unwrap();
+        assert_eq!(back.entries("m", "t")[0].tier, TuneTier::Cold);
+        assert_eq!(back.entries("m", "t")[0].note, "cheap|pick");
+        assert_eq!(back.entries("m2", "t")[0].tier, TuneTier::Full);
+        assert_eq!(back.encode(), text, "canonical through the tier marker");
+
+        // Absent marker = full tier: the pre-tier encoding still loads.
+        assert_eq!(
+            decode_entry_fields(&encode_entry_fields(&tiered_entry(TuneTier::Full, "n")))
+                .unwrap()
+                .tier,
+            TuneTier::Full
+        );
+        // Torn markers are damage, not notes.
+        for bad in ["tier=co|x", "tier=cold", "tier=", "tie"] {
+            let line = format!(
+                "gemm:1:8:8:8|{t}|{t}|{:016x}|{bad}",
+                42.5f64.to_bits(),
+                t = TuningConfig::default().encode()
+            );
+            assert!(
+                decode_entry_fields(&line).is_err(),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn chopping_a_cold_record_recovers_or_drops_never_mislabels() {
+        // The torn-tail walk over a *cold* final record: every chop
+        // offset either keeps the entry with its tier intact (the chop
+        // landed in the note) or drops the line — never a full-tier
+        // mislabel from a half-written `tier=cold|` marker.
+        let mut store = ArtifactStore::new();
+        store.record("m", "t", tiered_entry(TuneTier::Cold, "cold note"));
+        let full = store.encode();
+        let final_record = full.rfind("\nkernel ").unwrap() + 1;
+        // A chop at exactly the marker start leaves `…|<micros>|` — a
+        // syntactically complete pre-tier line with an empty note,
+        // byte-identical to a legitimate full-tier record. Undetectable
+        // by construction (the marker is what distinguishes tiers), so
+        // that one offset is allowed to decode as full/empty-note.
+        let marker_start = full.rfind("|tier=cold|").unwrap() + 1;
+        for cut in final_record..full.len() {
+            let chopped = &full[..cut];
+            let (back, _) = ArtifactStore::decode_recovering(chopped)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            match back.entries("m", "t") {
+                [] => {}
+                [e] if cut == marker_start => {
+                    assert_eq!(e.tier, TuneTier::Full, "cut at byte {cut}");
+                    assert!(e.note.is_empty(), "cut at byte {cut}");
+                }
+                [e] => {
+                    assert_eq!(e.tier, TuneTier::Cold, "cut at byte {cut} mislabeled");
+                    assert!("cold note".starts_with(&e.note), "cut at byte {cut}");
+                }
+                more => panic!("cut at byte {cut}: {} entries", more.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_keeps_the_higher_tier_in_both_directions() {
+        // Satellite regression: merge used to replace unconditionally,
+        // so a tier-2 (cold) record tailed from a slow peer clobbered a
+        // local tier-16 (full) entry.
+        let cold = tiered_entry(TuneTier::Cold, "cheap");
+        let full = tiered_entry(TuneTier::Full, "retuned");
+
+        // Direction 1: cold incoming, full incumbent → incumbent wins.
+        let mut local = ArtifactStore::new();
+        local.record("m", "t", full.clone());
+        let mut peer = ArtifactStore::new();
+        peer.record("m", "t", cold.clone());
+        local.merge(peer);
+        assert_eq!(local.entries("m", "t"), std::slice::from_ref(&full));
+
+        // Direction 2: full incoming, cold incumbent → upgrade lands.
+        let mut local = ArtifactStore::new();
+        local.record("m", "t", cold.clone());
+        let mut peer = ArtifactStore::new();
+        peer.record("m", "t", full.clone());
+        local.merge(peer);
+        assert_eq!(local.entries("m", "t"), std::slice::from_ref(&full));
+
+        // Tie goes to the incumbent.
+        let mut local = ArtifactStore::new();
+        local.record("m", "t", tiered_entry(TuneTier::Full, "incumbent"));
+        let mut peer = ArtifactStore::new();
+        peer.record("m", "t", tiered_entry(TuneTier::Full, "challenger"));
+        local.merge(peer);
+        assert_eq!(local.entries("m", "t")[0].note, "incumbent");
+
+        // And absorb reports whether the entry landed.
+        let mut store = ArtifactStore::new();
+        assert!(store.absorb("m", "t", cold.clone()));
+        assert!(!store.absorb("m", "t", cold.clone()), "tie → incumbent");
+        assert!(store.absorb("m", "t", full.clone()), "upgrade lands");
+        assert!(!store.absorb("m", "t", cold), "downgrade refused");
+        assert_eq!(store.entries("m", "t"), &[full]);
+    }
+
     #[test]
     fn notes_may_contain_pipes() {
         let tuning = TuningConfig::default();
@@ -1100,6 +1300,7 @@ mod tests {
                 tuning,
                 replay: tuning,
                 micros: 2.5,
+                tier: TuneTier::Full,
                 note: "a|b|c".to_string(),
             },
         );

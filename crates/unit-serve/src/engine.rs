@@ -17,12 +17,27 @@
 //! kernel with zero tuner searches; a miss compiles cold under the
 //! engine's tuning config and records the decision back into the store,
 //! so `export_artifacts` always reflects everything the engine learned.
+//!
+//! # Tiered cold starts
+//!
+//! With [`ServeEngine::with_tiered_cold_start`], a cold miss compiles at
+//! the capped **cold tier** (`TuningConfig::at_tier(TuneTier::Cold)` —
+//! a 2-candidate CPU search / the generic GPU schedule) so the first
+//! response returns quickly, then a [`crate::retune`] job re-runs the
+//! tuner at the full tier in the background and **hot-swaps** the
+//! upgraded kernel in: artifact entry, exec-cache slot, tier tag and
+//! tape are replaced together under the engine's swap lock, and the
+//! upgrade is journaled so peer replicas swap too. Outputs are
+//! bit-identical across tiers (schedules never change results); only
+//! latency and the reported tier/note change.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use unit_core::pipeline::{Target, TuningConfig};
+use unit_core::tuner::TuneTier;
 use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache, UnitProvider};
 use unit_graph::{
     CacheWorkload, CompiledOp, E2eReport, Graph, KernelCacheKey, OpSpec, ShardedCache,
@@ -33,6 +48,7 @@ use unit_isa::{registry, TypedBuf};
 use crate::artifact::{ArtifactEntry, ArtifactError, ArtifactStore};
 use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ServeMetrics;
+use crate::retune::{RetuneJob, RetuneQueue};
 
 /// Lock a mutex, recovering from poisoning. Every engine mutex guards
 /// plain data whose invariants hold between operations (a `BTreeMap`
@@ -128,17 +144,31 @@ pub struct ExecOutcome {
     pub note: String,
     /// Whether a tensorized instruction was applied.
     pub tensorized: bool,
+    /// Which tuning tier compiled the kernel that served this request
+    /// (`Cold` until the background re-tune hot-swaps the full-tier
+    /// kernel in; always `Full` on non-tiered engines).
+    pub tier: TuneTier,
 }
 
 /// The serving engine. Thread-safe: `&self` methods may be called from
 /// any number of scheduler workers concurrently.
 pub struct ServeEngine {
     tuning: TuningConfig,
+    /// `tuning` capped to the cold tier (`at_tier(TuneTier::Cold)`);
+    /// what tiered cold misses compile under.
+    cold_tuning: TuningConfig,
+    /// Whether cold misses serve at the cold tier + background re-tune.
+    tiered: bool,
     workers: usize,
     exec_mode: ExecMode,
     targets: BTreeMap<String, Target>,
     latency: BTreeMap<String, Arc<KernelCache>>,
     exec: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<CompiledOp>>>>,
+    /// Which tier compiled each exec-cache kernel, keyed identically.
+    /// Absent means full tier (pre-tier kernels, non-tiered engines).
+    /// Kept beside — not inside — `CompiledOp`: the tier is a serving
+    /// concept the graph-compiler layer has no business knowing.
+    kernel_tiers: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, TuneTier>>>,
     /// Compiled instruction tapes, one cache per target, keyed exactly
     /// like the executable cache (plus fused-kernel keys).
     tapes: BTreeMap<String, Arc<ShardedCache<KernelCacheKey, Arc<Tape>>>>,
@@ -152,6 +182,14 @@ pub struct ServeEngine {
     /// decisions are appended for other replicas to tail, and
     /// [`ServeEngine::sync_journal`] imports theirs.
     journal: Mutex<Option<Arc<Journal>>>,
+    /// The hot-swap lock. Held across every sequence that must observe
+    /// kernel, tier tag and artifact entry **coherently**: the hit
+    /// path's read-tier-record, a re-tune's read-compare-swap, and a
+    /// tailed peer upgrade. Never held across tuner searches or journal
+    /// I/O.
+    swap: Mutex<()>,
+    /// Pending background re-tune jobs (tiered engines only).
+    retunes: RetuneQueue,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -174,6 +212,7 @@ impl ServeEngine {
         let mut targets = BTreeMap::new();
         let mut latency = BTreeMap::new();
         let mut exec = BTreeMap::new();
+        let mut kernel_tiers = BTreeMap::new();
         let mut tapes = BTreeMap::new();
         let mut fused = BTreeMap::new();
         for id in ids {
@@ -182,22 +221,41 @@ impl ServeEngine {
             targets.insert((*id).to_string(), target);
             latency.insert((*id).to_string(), Arc::new(KernelCache::default()));
             exec.insert((*id).to_string(), Arc::new(ShardedCache::default()));
+            kernel_tiers.insert((*id).to_string(), Arc::new(ShardedCache::default()));
             tapes.insert((*id).to_string(), Arc::new(ShardedCache::default()));
             fused.insert((*id).to_string(), Arc::new(ShardedCache::default()));
         }
         Ok(ServeEngine {
             tuning,
+            cold_tuning: tuning.at_tier(TuneTier::Cold),
+            tiered: false,
             workers: 1,
             exec_mode: ExecMode::from_env(),
             targets,
             latency,
             exec,
+            kernel_tiers,
             tapes,
             fused,
             artifacts: Mutex::new(ArtifactStore::new()),
             journal: Mutex::new(None),
+            swap: Mutex::new(()),
+            retunes: RetuneQueue::default(),
             metrics: Arc::new(ServeMetrics::new()),
         })
+    }
+
+    /// Serve cold misses at the capped cold tier and re-tune in the
+    /// background: the first response for a novel workload compiles a
+    /// cheap 2-candidate kernel, a [`RetuneJob`] is queued, and a later
+    /// [`ServeEngine::run_pending_retunes`] (or a
+    /// [`crate::retune::RetuneWorker`]) hot-swaps the full-tier kernel
+    /// in without a serving stall. Off by default — non-tiered engines
+    /// behave exactly as before this knob existed.
+    #[must_use]
+    pub fn with_tiered_cold_start(mut self) -> ServeEngine {
+        self.tiered = true;
+        self
     }
 
     /// Override the execution path (the constructor honours
@@ -235,6 +293,19 @@ impl ServeEngine {
     #[must_use]
     pub fn tuning(&self) -> TuningConfig {
         self.tuning
+    }
+
+    /// Whether tiered cold-start serving is enabled.
+    #[must_use]
+    pub fn tiered(&self) -> bool {
+        self.tiered
+    }
+
+    /// The tuning config tiered cold misses compile under (the full
+    /// config capped by [`TuningConfig::at_tier`]).
+    #[must_use]
+    pub fn cold_tuning(&self) -> TuningConfig {
+        self.cold_tuning
     }
 
     /// Served target ids, in canonical order.
@@ -291,11 +362,15 @@ impl ServeEngine {
     }
 
     /// Tail the attached journal: import every record other replicas
-    /// appended since the last snapshot/sync. `put` records merge into
-    /// the artifact store and restore the latency cache (so the next
-    /// compile of that workload is search-free); `retire` records drop
-    /// the target's entries from the store. Returns the number of
-    /// records applied (0 when no journal is attached).
+    /// appended since the last snapshot/sync. `put` records absorb into
+    /// the artifact store (higher tier wins; a peer's stale cold record
+    /// never downgrades a local full-tier entry) and restore the latency
+    /// cache; a `put` that **upgrades the tier of a kernel this engine
+    /// is actively serving** — a peer's re-tune — is hot-swapped into
+    /// the exec cache search-free, exactly like a local re-tune.
+    /// `retire` records drop the target's entries from the store.
+    /// Returns the number of records applied (0 when no journal is
+    /// attached).
     ///
     /// # Errors
     ///
@@ -312,16 +387,7 @@ impl ServeEngine {
                     model,
                     target,
                     entry,
-                } => {
-                    let entry = *entry;
-                    if let Some(cache) = self.latency.get(&target) {
-                        cache.restore(std::iter::once((
-                            KernelCacheKey::new(entry.workload, &target, entry.tuning),
-                            (entry.micros, entry.note.clone()),
-                        )));
-                    }
-                    lock_recovering(&self.artifacts).record(&model, &target, entry);
-                }
+                } => self.apply_peer_put(&model, &target, *entry),
                 JournalRecord::Retire { target } => {
                     lock_recovering(&self.artifacts).retire_target(&target);
                 }
@@ -329,6 +395,53 @@ impl ServeEngine {
         }
         self.metrics.record_journal_tailed(applied as u64);
         Ok(applied)
+    }
+
+    /// Apply one tailed `put` record. When it upgrades a kernel this
+    /// engine serves from its exec cache, rebuild the full-tier kernel
+    /// from the record's **replay config** (search-free — the peer
+    /// already paid the search) and swap it in under the swap lock.
+    fn apply_peer_put(&self, model: &str, target: &str, entry: ArtifactEntry) {
+        let key = KernelCacheKey::new(entry.workload, target, entry.tuning);
+        // The rebuild runs outside the swap lock: search-free is not
+        // free, and the serving hit path must not stall behind it.
+        let rebuilt = self
+            .targets
+            .get(target)
+            .filter(|_| {
+                self.exec[target].get(&key).is_some() && self.kernel_tier(target, &key) < entry.tier
+            })
+            .map(|t| {
+                let provider =
+                    UnitProvider::new(t.clone(), entry.replay).with_workers(self.workers);
+                let mut kernel = provider.compile_workload_full(&entry.workload);
+                kernel.micros = entry.micros;
+                kernel.note = entry.note.clone();
+                kernel.replay = entry.replay;
+                let tape = Tape::compile(&kernel.func).ok();
+                (Arc::new(kernel), tape)
+            });
+        let _swap = lock_recovering(&self.swap);
+        if !lock_recovering(&self.artifacts).absorb(model, target, entry.clone()) {
+            return;
+        }
+        if let Some(cache) = self.latency.get(target) {
+            cache.insert(key.clone(), (entry.micros, entry.note.clone()));
+        }
+        let Some((kernel, tape)) = rebuilt else {
+            return;
+        };
+        // Re-check under the lock: a local re-tune may have swapped
+        // first while we were rebuilding.
+        if self.kernel_tier(target, &key) >= entry.tier {
+            return;
+        }
+        self.exec[target].insert(key.clone(), kernel);
+        self.kernel_tiers[target].insert(key.clone(), entry.tier);
+        if let Some(tape) = tape {
+            self.tapes[target].insert(key, Arc::new(tape));
+        }
+        self.metrics.record_retune_swap();
     }
 
     /// Compile a whole model for a target: every unique tensor workload
@@ -379,8 +492,7 @@ impl ServeEngine {
                 // the executable cache if possible so the exported store
                 // replays for this model too — otherwise fall through to
                 // the full compile path.
-                if let Some(kernel) = self.exec[target_id].get(&key) {
-                    self.record_artifact(&graph.name, target_id, workload, &kernel);
+                if self.record_cached_artifact(&graph.name, target_id, workload) {
                     continue;
                 }
             }
@@ -419,7 +531,8 @@ impl ServeEngine {
         if !valid_artifact_id(model) {
             return Err(ServeError::InvalidModelId(model.to_string()));
         }
-        let kernel = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        self.metrics.record_request_pair(model, target_id);
+        let (kernel, tier) = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
         let mut bufs = alloc_buffers(&kernel.func);
         random_fill(&mut bufs, seed);
         match self.exec_mode {
@@ -436,6 +549,7 @@ impl ServeEngine {
             micros: kernel.micros,
             note: kernel.note.clone(),
             tensorized: kernel.tensorized,
+            tier,
         })
     }
 
@@ -478,7 +592,7 @@ impl ServeEngine {
         if !valid_artifact_id(model) {
             return Err(ServeError::InvalidModelId(model.to_string()));
         }
-        let kernel = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        let (kernel, tier) = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
         let fused_key =
             KernelCacheKey::new(CacheWorkload::Op(fused_spec), target_id, kernel.replay);
         let Some(fused) = self.fused_kernel(target_id, &kernel, &fused_key, seeds.len()) else {
@@ -505,6 +619,9 @@ impl ServeEngine {
         }
         tape.run_fresh(&mut fused_bufs).map_err(ServeError::Exec)?;
         self.metrics.record_tape_dispatch(seeds.len());
+        for _ in seeds {
+            self.metrics.record_request_pair(model, target_id);
+        }
 
         let out = &fused_bufs[fused.output];
         let per_len = kernel.func.buffers[kernel.output].len();
@@ -519,6 +636,7 @@ impl ServeEngine {
                 micros: kernel.micros,
                 note: kernel.note.clone(),
                 tensorized: kernel.tensorized,
+                tier,
             });
         }
         Ok(outcomes)
@@ -594,35 +712,64 @@ impl ServeEngine {
     }
 
     /// The artifact-aware compile path. Returns the executable kernel
-    /// for `(workload, target, engine tuning)`, from (in order): the
-    /// per-target executable cache, artifact replay, or a cold searched
-    /// compile (which records its decision into the artifact store).
+    /// for `(workload, target, engine tuning)` and the tier that
+    /// compiled it, from (in order): the per-target executable cache,
+    /// artifact replay, or a cold compile — at the cold tier on tiered
+    /// engines — which records its decision into the artifact store.
     fn ensure_compiled(
         &self,
         model: &str,
         target_id: &str,
         workload: CacheWorkload,
-    ) -> Arc<CompiledOp> {
+    ) -> (Arc<CompiledOp>, TuneTier) {
         let target = &self.targets[target_id];
         let exec = &self.exec[target_id];
         let key = KernelCacheKey::new(workload, target_id, self.tuning);
-        if let Some(hit) = exec.get(&key) {
+        // The hit path holds the swap lock across the whole
+        // read-tier-record sequence. Without it, a background hot-swap
+        // landing between the exec-cache read and the artifact record
+        // let this thread write the stale cold-tier entry (with the
+        // cold replay config) into a namespace the swap had already
+        // upgraded — a lost update that resurrected the cheap kernel on
+        // the next warm start. Journal I/O stays outside the lock.
+        let hit = {
+            let _swap = lock_recovering(&self.swap);
+            exec.get(&key).map(|hit| {
+                let tier = self.kernel_tier(target_id, &key);
+                // The executable cache is keyed per (workload, target),
+                // not per model — a second model sharing a workload with
+                // an earlier one rides the same kernel. Its *artifact*
+                // entry must still be recorded, or a warm start serving
+                // only this model would re-search.
+                let entry = ArtifactEntry {
+                    workload,
+                    tuning: self.tuning,
+                    replay: hit.replay,
+                    micros: hit.micros,
+                    note: hit.note.clone(),
+                    tier,
+                };
+                let inserted =
+                    lock_recovering(&self.artifacts).absorb(model, target_id, entry.clone());
+                (hit, tier, inserted.then_some(entry))
+            })
+        };
+        if let Some((hit, tier, journaled)) = hit {
             self.metrics.record_kernel_hit();
-            // The executable cache is keyed per (workload, target), not
-            // per model — a second model sharing a workload with an
-            // earlier one rides the same kernel. Its *artifact* entry
-            // must still be recorded, or exporting the store would omit
-            // the workload under this model's namespace and a warm start
-            // serving only this model would re-search.
-            self.record_artifact(model, target_id, workload, &hit);
-            return hit;
+            if let Some(entry) = journaled {
+                self.journal_put(model, target_id, entry);
+            }
+            if tier == TuneTier::Cold {
+                self.enqueue_retune(model, target_id, workload);
+            }
+            return (hit, tier);
         }
         self.metrics.record_kernel_miss();
 
         let entry = lock_recovering(&self.artifacts)
             .lookup(model, target_id, &workload, self.tuning)
             .cloned();
-        let compiled = match entry {
+        let (compiled, tier) = match entry {
             Some(entry) => {
                 self.metrics.record_artifact_hit();
                 // Replay: rebuild the identical kernel search-free; the
@@ -635,20 +782,28 @@ impl ServeEngine {
                 compiled.micros = entry.micros;
                 compiled.note = entry.note;
                 compiled.replay = entry.replay;
-                compiled
+                if entry.tier == TuneTier::Cold {
+                    // A replayed cold-tier decision serves cheaply but
+                    // still owes its full-tier upgrade.
+                    self.enqueue_retune(model, target_id, workload);
+                }
+                (compiled, entry.tier)
             }
             None => {
                 self.metrics.record_artifact_miss();
+                let (effective, tier) = self.cold_compile_config();
+                let started = Instant::now();
                 let provider =
-                    UnitProvider::new(target.clone(), self.tuning).with_workers(self.workers);
+                    UnitProvider::new(target.clone(), effective).with_workers(self.workers);
                 let compiled = provider.compile_workload_full(&workload);
                 // A search only actually ran when the workload tensorized
                 // (fallback kernels never reach the tuner), keeping this
                 // metric aligned with the ground-truth counters in
                 // `unit_core::tuner::stats`.
-                if compiled.tensorized && self.tuning.searches(&target.desc.style) {
+                if compiled.tensorized && effective.searches(&target.desc.style) {
                     self.metrics.record_tuner_search();
                 }
+                self.metrics.record_cold_start(tier, started.elapsed());
                 self.persist_entry(
                     model,
                     target_id,
@@ -658,81 +813,240 @@ impl ServeEngine {
                         replay: compiled.replay,
                         micros: compiled.micros,
                         note: compiled.note.clone(),
+                        tier,
                     },
                 );
-                compiled
+                if tier == TuneTier::Cold {
+                    self.enqueue_retune(model, target_id, workload);
+                }
+                (compiled, tier)
             }
         };
         // Keep the latency cache coherent so whole-model reports agree
         // with what requests were served (first-insert-wins on races).
         self.latency[target_id]
             .get_or_insert_with(key.clone(), || (compiled.micros, compiled.note.clone()));
-        exec.get_or_insert_with(key, || Arc::new(compiled))
+        let compiled = Arc::new(compiled);
+        let _swap = lock_recovering(&self.swap);
+        let won = exec.get_or_insert_with(key.clone(), || Arc::clone(&compiled));
+        if Arc::ptr_eq(&won, &compiled) {
+            self.kernel_tiers[target_id].insert(key, tier);
+            (won, tier)
+        } else {
+            // Lost the insert race (possibly against a concurrent
+            // hot-swap): the winner's tier tag is authoritative.
+            let tier = self.kernel_tier(target_id, &key);
+            (won, tier)
+        }
     }
 
-    /// Record an already-compiled kernel into `model`'s artifact
-    /// namespace if it is not there yet (the cross-model cache-hit path).
-    fn record_artifact(
+    /// The tuning config and tier a cold compile runs at. Tiered
+    /// engines compile at the capped cold tier *only when it actually
+    /// differs* from the full config — `at_tier` on an already-cheap
+    /// config is the identity, and labelling those compiles `Cold`
+    /// would queue re-tunes that cannot improve anything.
+    fn cold_compile_config(&self) -> (TuningConfig, TuneTier) {
+        if self.tiered && self.cold_tuning != self.tuning {
+            (self.cold_tuning, TuneTier::Cold)
+        } else {
+            (self.tuning, TuneTier::Full)
+        }
+    }
+
+    /// The tier that compiled the exec-cached kernel under `key`
+    /// (absent = full tier).
+    fn kernel_tier(&self, target_id: &str, key: &KernelCacheKey) -> TuneTier {
+        self.kernel_tiers[target_id].get(key).unwrap_or_default()
+    }
+
+    /// Record the exec-cached kernel for `workload` into `model`'s
+    /// artifact namespace, reading kernel and tier together under the
+    /// swap lock so a concurrent hot-swap cannot produce a mixed-tier
+    /// record. Returns `false` when no executable kernel is cached
+    /// (the caller falls through to the compile path).
+    fn record_cached_artifact(
         &self,
         model: &str,
         target_id: &str,
         workload: CacheWorkload,
-        kernel: &CompiledOp,
-    ) {
-        self.persist_entry(
-            model,
-            target_id,
-            ArtifactEntry {
+    ) -> bool {
+        let key = KernelCacheKey::new(workload, target_id, self.tuning);
+        let (tier, journaled) = {
+            let _swap = lock_recovering(&self.swap);
+            let Some(kernel) = self.exec[target_id].get(&key) else {
+                return false;
+            };
+            let tier = self.kernel_tier(target_id, &key);
+            let entry = ArtifactEntry {
                 workload,
                 tuning: self.tuning,
                 replay: kernel.replay,
                 micros: kernel.micros,
                 note: kernel.note.clone(),
-            },
-        );
+                tier,
+            };
+            let inserted = lock_recovering(&self.artifacts).absorb(model, target_id, entry.clone());
+            (tier, inserted.then_some(entry))
+        };
+        if let Some(entry) = journaled {
+            self.journal_put(model, target_id, entry);
+        }
+        if tier == TuneTier::Cold {
+            self.enqueue_retune(model, target_id, workload);
+        }
+        true
     }
 
-    /// Record `entry` into the store if its identity is not there yet,
-    /// and append newly learned decisions to the attached journal. The
-    /// journal append happens *outside* the artifacts mutex — journal
-    /// I/O (lock, write, fsync) must never serialize the compile path
-    /// behind it.
+    /// Absorb `entry` into the store (insert if absent, upgrade if
+    /// strictly higher tier) and append newly learned decisions to the
+    /// attached journal. The journal append happens *outside* the
+    /// artifacts mutex — journal I/O (lock, write, fsync) must never
+    /// serialize the compile path behind it.
     fn persist_entry(&self, model: &str, target_id: &str, entry: ArtifactEntry) {
-        let inserted = {
-            let mut artifacts = lock_recovering(&self.artifacts);
-            if artifacts
-                .lookup(model, target_id, &entry.workload, entry.tuning)
-                .is_some()
-            {
-                false
-            } else {
-                artifacts.record(model, target_id, entry.clone());
-                true
-            }
+        if lock_recovering(&self.artifacts).absorb(model, target_id, entry.clone()) {
+            self.journal_put(model, target_id, entry);
+        }
+    }
+
+    /// Append a `put` record for `entry` to the attached journal, if
+    /// any. Serving must survive journal I/O failures (a full disk
+    /// poisons durability, not availability); the error count is
+    /// visible in `/metrics`.
+    fn journal_put(&self, model: &str, target_id: &str, entry: ArtifactEntry) {
+        let Some(journal) = lock_recovering(&self.journal).clone() else {
+            return;
         };
-        if !inserted {
+        let record = JournalRecord::Put {
+            model: model.to_string(),
+            target: target_id.to_string(),
+            entry: Box::new(entry),
+        };
+        match journal.append(std::slice::from_ref(&record)) {
+            Ok(compacted) => {
+                self.metrics.record_journal_append();
+                if compacted {
+                    self.metrics.record_journal_compaction();
+                }
+            }
+            Err(_) => self.metrics.record_journal_error(),
+        }
+    }
+
+    /// Queue a background re-tune for `workload` (tiered engines only;
+    /// deduplicated per `(target, workload)` and bounded).
+    fn enqueue_retune(&self, model: &str, target_id: &str, workload: CacheWorkload) {
+        if !self.tiered {
             return;
         }
-        let journal = lock_recovering(&self.journal).clone();
-        if let Some(journal) = journal {
-            let record = JournalRecord::Put {
-                model: model.to_string(),
-                target: target_id.to_string(),
-                entry: Box::new(entry),
-            };
-            match journal.append(std::slice::from_ref(&record)) {
-                Ok(compacted) => {
-                    self.metrics.record_journal_append();
-                    if compacted {
-                        self.metrics.record_journal_compaction();
-                    }
-                }
-                // Serving must survive journal I/O failures (a full disk
-                // poisons durability, not availability); the error count
-                // is visible in /metrics.
-                Err(_) => self.metrics.record_journal_error(),
+        let job = RetuneJob {
+            model: model.to_string(),
+            target: target_id.to_string(),
+            workload,
+        };
+        if self.retunes.push(job) {
+            self.metrics.record_retune_queued();
+        }
+    }
+
+    /// Pending background re-tune jobs.
+    #[must_use]
+    pub fn pending_retunes(&self) -> usize {
+        self.retunes.len()
+    }
+
+    /// Synchronously drain the re-tune queue, hottest `(model, target)`
+    /// pair first. Returns the number of hot swaps performed (a job
+    /// whose kernel was already full-tier completes without swapping).
+    /// [`crate::retune::RetuneWorker`] calls this in a loop; tests and
+    /// single-threaded demos call it directly for determinism.
+    pub fn run_pending_retunes(&self) -> usize {
+        let mut swaps = 0;
+        while let Some(job) = self
+            .retunes
+            .pop_max_by(|j| self.metrics.hot_pair_requests(&j.model, &j.target))
+        {
+            if self.retune(&job) {
+                swaps += 1;
             }
         }
+        swaps
+    }
+
+    /// Park until re-tune work arrives or `timeout` elapses.
+    pub(crate) fn wait_for_retune_work(&self, timeout: Duration) {
+        self.retunes.wait_for_work(timeout);
+    }
+
+    /// Run one re-tune job: re-run the tuner at the **full** tier
+    /// (outside every lock — the search is the expensive part), then
+    /// atomically swap the upgraded kernel in under the swap lock:
+    /// artifact entries (every model namespace sharing the identity),
+    /// exec-cache slot, tier tag, latency entry and tape move together,
+    /// so no request can observe a full-tier artifact with a cold-tier
+    /// kernel or vice versa. Journals the upgrade for peer replicas.
+    /// Returns whether a swap happened.
+    fn retune(&self, job: &RetuneJob) -> bool {
+        let Some(target) = self.targets.get(&job.target) else {
+            self.metrics.record_retune_completed();
+            return false;
+        };
+        let provider = UnitProvider::new(target.clone(), self.tuning).with_workers(self.workers);
+        let compiled = provider.compile_workload_full(&job.workload);
+        if compiled.tensorized && self.tuning.searches(&target.desc.style) {
+            self.metrics.record_tuner_search();
+        }
+        let entry = ArtifactEntry {
+            workload: job.workload,
+            tuning: self.tuning,
+            replay: compiled.replay,
+            micros: compiled.micros,
+            note: compiled.note.clone(),
+            tier: TuneTier::Full,
+        };
+        let tape = Tape::compile(&compiled.func).ok();
+        let key = KernelCacheKey::new(job.workload, &job.target, self.tuning);
+        let compiled = Arc::new(compiled);
+        let upgraded: Vec<String> = {
+            let _swap = lock_recovering(&self.swap);
+            let mut artifacts = lock_recovering(&self.artifacts);
+            // Every model namespace holding this identity below full
+            // tier upgrades together — the kernel is shared.
+            let models: Vec<String> = artifacts
+                .model_targets()
+                .into_iter()
+                .filter(|(m, t)| {
+                    t == &job.target
+                        && artifacts
+                            .lookup(m, t, &job.workload, self.tuning)
+                            .is_some_and(|e| e.tier < TuneTier::Full)
+                })
+                .map(|(m, _)| m)
+                .collect();
+            if models.is_empty() {
+                Vec::new()
+            } else {
+                for model in &models {
+                    artifacts.record(model, &job.target, entry.clone());
+                }
+                drop(artifacts);
+                self.latency[&job.target].insert(key.clone(), (entry.micros, entry.note.clone()));
+                self.exec[&job.target].insert(key.clone(), Arc::clone(&compiled));
+                self.kernel_tiers[&job.target].insert(key.clone(), TuneTier::Full);
+                if let Some(tape) = tape {
+                    self.tapes[&job.target].insert(key, Arc::new(tape));
+                }
+                models
+            }
+        };
+        self.metrics.record_retune_completed();
+        if upgraded.is_empty() {
+            return false;
+        }
+        self.metrics.record_retune_swap();
+        for model in &upgraded {
+            self.journal_put(model, &job.target, entry.clone());
+        }
+        true
     }
 }
 
@@ -836,6 +1150,7 @@ mod tests {
         for _ in 0..2 {
             let poisoner = Arc::clone(&engine);
             let result = std::thread::spawn(move || {
+                let _swap = poisoner.swap.lock().unwrap();
                 let _artifacts = poisoner.artifacts.lock().unwrap();
                 let _journal = poisoner.journal.lock().unwrap();
                 panic!("simulated client panic while holding engine locks");
@@ -1001,6 +1316,141 @@ mod tests {
         assert_eq!(fused[0].output, singles[0]);
         assert_eq!(fused[1].output, singles[1]);
         assert_eq!(oracle.metrics().tape_dispatches(), 0);
+    }
+
+    #[test]
+    fn tiered_engine_serves_cold_then_hot_swaps_to_full() {
+        use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let engine = ServeEngine::new(tuning).with_tiered_cold_start();
+        let op = OpSpec::gemm(16, 16, 32);
+        let workload = CacheWorkload::Op(op);
+
+        // Cold start: answered immediately at the cheap tier, with the
+        // cold decision persisted and the upgrade queued.
+        let cold = engine.execute("m", "x86-avx512-vnni", op, 7).unwrap();
+        assert_eq!(cold.tier, TuneTier::Cold);
+        assert_eq!(engine.pending_retunes(), 1);
+        let store = engine.export_artifacts();
+        assert_eq!(
+            store
+                .lookup("m", "x86-avx512-vnni", &workload, tuning)
+                .unwrap()
+                .tier,
+            TuneTier::Cold
+        );
+
+        // Drain the queue: exactly one hot swap.
+        assert_eq!(engine.run_pending_retunes(), 1);
+        assert_eq!(engine.pending_retunes(), 0);
+
+        // Post-swap: full tier, same bits, artifact upgraded — and
+        // bit-identical to a non-tiered engine that paid the full
+        // search up front.
+        let hot = engine.execute("m", "x86-avx512-vnni", op, 7).unwrap();
+        assert_eq!(hot.tier, TuneTier::Full);
+        assert_eq!(hot.output, cold.output, "tiers must not change bits");
+        let store = engine.export_artifacts();
+        assert_eq!(
+            store
+                .lookup("m", "x86-avx512-vnni", &workload, tuning)
+                .unwrap()
+                .tier,
+            TuneTier::Full
+        );
+        let reference = ServeEngine::new(tuning)
+            .execute("m", "x86-avx512-vnni", op, 7)
+            .unwrap();
+        assert_eq!(reference.tier, TuneTier::Full);
+        assert_eq!(hot.output, reference.output);
+
+        let m = engine.metrics();
+        assert_eq!(m.retune_queued(), 1);
+        assert_eq!(m.retune_completed(), 1);
+        assert_eq!(m.retune_swaps(), 1);
+    }
+
+    #[test]
+    fn non_tiered_engine_stays_full_tier_and_never_queues() {
+        let engine = ServeEngine::new(TuningConfig::default());
+        let out = engine
+            .execute("m", "x86-avx512-vnni", OpSpec::gemm(8, 8, 8), 1)
+            .unwrap();
+        assert_eq!(out.tier, TuneTier::Full);
+        assert_eq!(engine.pending_retunes(), 0);
+        assert_eq!(engine.run_pending_retunes(), 0);
+        assert_eq!(engine.metrics().retune_queued(), 0);
+        assert!(engine
+            .export_artifacts()
+            .entries("m", "x86-avx512-vnni")
+            .iter()
+            .all(|e| e.tier == TuneTier::Full));
+    }
+
+    #[test]
+    fn hit_path_cannot_resurrect_a_swapped_out_cold_entry() {
+        // Satellite regression: the hit path used to read the cached
+        // kernel and record its artifact entry in two unlocked steps; a
+        // hot swap landing between them re-recorded the stale cold
+        // entry over the freshly upgraded one. The swap lock now covers
+        // read-tier-record as one critical section, so a request thread
+        // observes either (cold kernel, cold tier) or (full kernel,
+        // full tier) — never a mix, and never a downgrade.
+        use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+        let tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let engine = Arc::new(ServeEngine::new(tuning).with_tiered_cold_start());
+        let op = OpSpec::gemm(16, 16, 32);
+        let workload = CacheWorkload::Op(op);
+        let cold = engine.execute("m", "x86-avx512-vnni", op, 7).unwrap();
+        assert_eq!(cold.tier, TuneTier::Cold);
+
+        // One thread hammers the hit path while this thread swaps.
+        let hammer = {
+            let engine = Arc::clone(&engine);
+            let expected = cold.output.clone();
+            std::thread::spawn(move || {
+                let mut tiers = Vec::new();
+                for _ in 0..200 {
+                    let out = engine.execute("m", "x86-avx512-vnni", op, 7).unwrap();
+                    assert_eq!(out.output, expected, "bits changed mid-swap");
+                    tiers.push(out.tier);
+                }
+                tiers
+            })
+        };
+        let mut swaps = engine.run_pending_retunes();
+        let tiers = hammer.join().unwrap();
+        swaps += engine.run_pending_retunes();
+        assert!(swaps >= 1, "the cold kernel must have been swapped");
+
+        // Within one request thread the observed tier is monotone: once
+        // the swap is visible it cannot un-happen.
+        let first_full = tiers.iter().position(|t| *t == TuneTier::Full);
+        if let Some(i) = first_full {
+            assert!(
+                tiers[i..].iter().all(|t| *t == TuneTier::Full),
+                "tier regressed after the swap: {tiers:?}"
+            );
+        }
+        // And the artifact record ends full-tier: no stale cold entry
+        // resurrected by a racing hit.
+        let store = engine.export_artifacts();
+        assert_eq!(
+            store
+                .lookup("m", "x86-avx512-vnni", &workload, tuning)
+                .unwrap()
+                .tier,
+            TuneTier::Full
+        );
+        let after = engine.execute("m", "x86-avx512-vnni", op, 7).unwrap();
+        assert_eq!(after.tier, TuneTier::Full);
+        assert_eq!(after.output, cold.output);
     }
 
     #[test]

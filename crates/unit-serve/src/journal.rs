@@ -9,21 +9,24 @@
 //! and tails the decisions everyone else appended — so replica B
 //! warm-starts search-free off a kernel replica A tuned seconds ago.
 //!
-//! # File format (version 2)
+//! # File format (version 3)
 //!
 //! Line-oriented text, one record per line, hand-rolled like
 //! [`crate::artifact`]:
 //!
 //! ```text
-//! unit-artifact-journal v2 gen <generation>
-//! put <fnv1a-64-hex16> <model>|<target>|<workload>|<tuning>|<replay>|<f64-bits-hex16>|<note>
+//! unit-artifact-journal v3 gen <generation>
+//! put <fnv1a-64-hex16> <model>|<target>|<workload>|<tuning>|<replay>|<f64-bits-hex16>|[tier=<tier>|]<note>
 //! retire <fnv1a-64-hex16> <target>
 //! ...
 //! ```
 //!
 //! * The `put` payload after the checksum reuses the store's entry
 //!   encoding verbatim (`crate::artifact::encode_entry_fields`), so the
-//!   two formats cannot drift.
+//!   two formats cannot drift. Version 3 adds the optional
+//!   `tier=<tier>|` marker before the note (cold-tier decisions awaiting
+//!   a background re-tune); full-tier records omit it, and **absent
+//!   decodes as full tier** — which is the entire v2→v3 delta.
 //! * Every record carries its own FNV-1a 64 checksum — **before** the
 //!   payload, because the trailing note field may contain `|` and must
 //!   stay last. A `\n`-terminated line whose checksum disagrees is hard
@@ -37,8 +40,11 @@
 //!   applied.
 //!
 //! Version 1 (`unit-artifact-journal v1`, `add <payload>` lines, no
-//! checksums or generation) is migrated to v2 atomically on
-//! [`Journal::open`].
+//! checksums or generation) and version 2 (`unit-artifact-journal v2` —
+//! same record grammar, no tier markers: every record decodes as a
+//! full-tier decision) are migrated to v3 atomically on
+//! [`Journal::open`]. The v2 migration preserves the file's compaction
+//! generation, so tailing replicas' cursors stay meaningful.
 //!
 //! # Lock protocol
 //!
@@ -73,10 +79,14 @@ use crate::artifact::{
 };
 
 /// The version+generation prefix this build writes and accepts.
-pub const JOURNAL_FORMAT_VERSION: &str = "unit-artifact-journal v2";
+pub const JOURNAL_FORMAT_VERSION: &str = "unit-artifact-journal v3";
 
-/// The legacy header [`Journal::open`] migrates from.
+/// The legacy v1 header [`Journal::open`] migrates from.
 pub const JOURNAL_V1_VERSION: &str = "unit-artifact-journal v1";
+
+/// The legacy v2 header [`Journal::open`] migrates from (identical
+/// record grammar, no tier markers — every v2 record is full-tier).
+pub const JOURNAL_V2_VERSION: &str = "unit-artifact-journal v2";
 
 /// One journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,10 +161,14 @@ impl Journal {
     /// Open (creating or migrating as needed) the journal at
     /// `config.path`.
     ///
-    /// * Missing file → created atomically with an empty v2 header.
-    /// * v1 file → migrated atomically to v2 (generation 1), keeping
+    /// * Missing file → created atomically with an empty v3 header.
+    /// * v1 file → migrated atomically to v3 (generation 1), keeping
     ///   every valid record and dropping a torn v1 tail.
-    /// * v2 file → validated (header + every complete record).
+    /// * v2 file → migrated atomically to v3, preserving the file's
+    ///   generation; every v2 record decodes as a full-tier decision
+    ///   (absent tier marker = full) and re-encodes byte-identically
+    ///   under the new header. A torn v2 tail is dropped.
+    /// * v3 file → validated (header + every complete record).
     ///
     /// # Errors
     ///
@@ -181,6 +195,19 @@ impl Journal {
             Ok(text) if text.starts_with(JOURNAL_V1_VERSION) => {
                 let records = parse_v1(&text)?;
                 let mut out = render_header(1);
+                for r in &records {
+                    out.push_str(&encode_record(r));
+                }
+                write_atomically(&journal.path, out.as_bytes())?;
+            }
+            Ok(text) if text.starts_with(JOURNAL_V2_VERSION) => {
+                // v2 → v3: same record grammar (no record in a v2 file
+                // carries a tier marker, and absent decodes as full
+                // tier), so migration re-encodes the records unchanged
+                // under the v3 header, preserving the generation so
+                // other handles' tail cursors stay coherent.
+                let (generation, records) = parse_v2(&text)?;
+                let mut out = render_header(generation);
                 for r in &records {
                     out.push_str(&encode_record(r));
                 }
@@ -381,8 +408,11 @@ pub fn store_records(store: &ArtifactStore) -> Vec<JournalRecord> {
     records
 }
 
-/// Fold records into a store: `put` records (replacing same-identity
-/// entries), `retire` records dropping their target's entries.
+/// Fold records into a store: `put` records replace same-identity
+/// entries (chronological last-wins at equal tier, but never a
+/// *downgrade* — a cold-tier record a slow peer appended after another
+/// replica's full-tier upgrade must not resurrect the cheap kernel in
+/// the fold), `retire` records drop their target's entries.
 #[must_use]
 pub fn fold_records(records: Vec<JournalRecord>) -> ArtifactStore {
     let mut store = ArtifactStore::new();
@@ -392,7 +422,14 @@ pub fn fold_records(records: Vec<JournalRecord>) -> ArtifactStore {
                 model,
                 target,
                 entry,
-            } => store.record(&model, &target, *entry),
+            } => {
+                let downgrade = store
+                    .lookup(&model, &target, &entry.workload, entry.tuning)
+                    .is_some_and(|e| e.tier > entry.tier);
+                if !downgrade {
+                    store.record(&model, &target, *entry);
+                }
+            }
             JournalRecord::Retire { target } => {
                 store.retire_target(&target);
             }
@@ -547,6 +584,28 @@ fn parse_records_from(
     Ok((records, pos))
 }
 
+/// Parse a legacy v2 journal: identical record grammar to v3 (the
+/// checksummed `put`/`retire` lines), just the older header — and no
+/// tier markers, so every entry decodes as a full-tier decision. A torn
+/// final line is dropped by the caller's rewrite (only complete records
+/// are returned); a complete line that fails its checksum is corruption.
+fn parse_v2(text: &str) -> Result<(u64, Vec<JournalRecord>), ArtifactError> {
+    let header_end = text.find('\n').ok_or_else(|| ArtifactError::Truncated {
+        reason: "v2 journal header line is incomplete".to_string(),
+    })?;
+    let header = &text[..header_end];
+    let generation = header
+        .strip_prefix(JOURNAL_V2_VERSION)
+        .and_then(|rest| rest.strip_prefix(" gen "))
+        .and_then(|g| g.parse::<u64>().ok())
+        .ok_or_else(|| ArtifactError::Corrupt {
+            line: 1,
+            reason: format!("bad generation in v2 header `{header}`"),
+        })?;
+    let (records, _valid_end) = parse_records_from(text, header_end + 1)?;
+    Ok((generation, records))
+}
+
 /// Parse a legacy v1 journal (`add <model>|<target>|<entry>` lines, no
 /// checksums, no generation). A torn final line (no `\n`) is dropped;
 /// any complete line that fails to parse is corruption.
@@ -642,7 +701,7 @@ fn lock_tail(tail: &Mutex<TailState>) -> std::sync::MutexGuard<'_, TailState> {
 mod tests {
     use super::*;
     use unit_core::pipeline::TuningConfig;
-    use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
+    use unit_core::tuner::{CpuTuneMode, GpuTuneMode, TuneTier};
     use unit_graph::{CacheWorkload, OpSpec};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -663,6 +722,7 @@ mod tests {
                 gpu: GpuTuneMode::Generic,
             },
             micros: 0.1 + 0.2, // non-representable: bit-exactness matters
+            tier: TuneTier::Full,
             note: note.to_string(),
         }
     }
@@ -880,6 +940,94 @@ mod tests {
             Journal::open(JournalConfig::at(&weird)),
             Err(ArtifactError::UnsupportedVersion { .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_journals_migrate_atomically_on_open_preserving_generation() {
+        // Mirrors `v1_journals_migrate_atomically_on_open` one version
+        // up: a v2 journal (same record grammar, no tier markers) is
+        // rewritten under the v3 header on open. Every record decodes as
+        // a **full-tier** decision — absent tier = full — the
+        // generation survives, and a torn v2 tail is dropped.
+        let dir = temp_dir("migrate-v2");
+        let path = dir.join("journal");
+        let complete = format!(
+            "{JOURNAL_V2_VERSION} gen 7\n{}{}",
+            encode_record(&put("m1", "t1", "v2 first")),
+            encode_record(&put("m2", "t2", "v2 second")),
+        );
+        let torn = encode_record(&put("m3", "t3", "torn"));
+        std::fs::write(&path, format!("{complete}{}", &torn[..torn.len() / 2])).unwrap();
+
+        let j = Journal::open(JournalConfig::at(&path)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with(&format!("{JOURNAL_FORMAT_VERSION} gen 7\n")),
+            "migrated header keeps the generation: {text}"
+        );
+        assert!(!text.contains(JOURNAL_V2_VERSION), "no v2 header remains");
+        assert!(!text.contains("m3"), "torn v2 tail dropped: {text}");
+        assert_eq!(j.generation().unwrap(), 7);
+        let store = j.snapshot().unwrap();
+        assert_eq!(store.len(), 2);
+        for (model, target, note) in [("m1", "t1", "v2 first"), ("m2", "t2", "v2 second")] {
+            let e = &store.entries(model, target)[0];
+            assert_eq!(e.note, note);
+            assert_eq!(e.tier, TuneTier::Full, "absent tier decodes as full");
+            assert_eq!(e.micros.to_bits(), (0.1f64 + 0.2).to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_records_round_trip_and_absent_tier_decodes_full() {
+        let dir = temp_dir("tiered");
+        let path = dir.join("journal");
+        let j = Journal::open(JournalConfig::at(&path)).unwrap();
+        let mut cold = entry("cheap pick");
+        cold.tier = TuneTier::Cold;
+        j.append(&[
+            JournalRecord::Put {
+                model: "m".to_string(),
+                target: "t".to_string(),
+                entry: Box::new(cold.clone()),
+            },
+            put("m", "t2", "full pick"),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("|tier=cold|"),
+            "cold marker persisted: {text}"
+        );
+        assert!(!text.contains("tier=full"), "full tier stays implicit");
+
+        // A second handle (a tailing replica) sees the tiers verbatim.
+        let other = Journal::open(JournalConfig::at(&path)).unwrap();
+        let store = other.snapshot().unwrap();
+        assert_eq!(store.entries("m", "t")[0], cold);
+        assert_eq!(store.entries("m", "t2")[0].tier, TuneTier::Full);
+
+        // An upgrade (same identity, full tier) appended later replaces
+        // the cold record in the fold — the hot-swap a peer tails.
+        let mut upgraded = entry("retuned pick");
+        upgraded.tier = TuneTier::Full;
+        j.append(&[JournalRecord::Put {
+            model: "m".to_string(),
+            target: "t".to_string(),
+            entry: Box::new(upgraded.clone()),
+        }])
+        .unwrap();
+        let polled = other.poll().unwrap();
+        assert_eq!(polled.len(), 1);
+        let folded = fold_records(polled);
+        assert_eq!(folded.entries("m", "t")[0], upgraded);
+
+        // Compaction keeps only the upgraded entry and round-trips it.
+        j.compact().unwrap();
+        let store = j.snapshot().unwrap();
+        assert_eq!(store.entries("m", "t")[0], upgraded);
         std::fs::remove_dir_all(&dir).ok();
     }
 

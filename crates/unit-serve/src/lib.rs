@@ -34,9 +34,18 @@
 //!   bounded queue (queue-full → 429, per-request failure → 500, body
 //!   and header limits, read/write timeouts), `GET /metrics` serves the
 //!   stable metrics rendering.
+//! * [`retune`] — tiered cold starts: a tiered engine serves a novel
+//!   workload immediately from a cheap search-capped compile
+//!   (`TuneTier::Cold`), then a bounded, hottest-first background queue
+//!   re-runs the tuner at the full tier and **hot-swaps** the upgraded
+//!   kernel in (artifact entry + exec cache + tape together, under the
+//!   engine's swap lock) without a serving stall — and journals the
+//!   upgrade so peer replicas swap too. Outputs are bit-identical
+//!   across tiers; only latency changes.
 //! * [`metrics`] — counters, queue-depth gauges, artifact/kernel cache
-//!   hit rates and a fixed-bucket latency histogram (p50/p95/p99) with a
-//!   stable text rendering.
+//!   hit rates, re-tune/swap counters, a per-`(model, target)` hot-pair
+//!   table and fixed-bucket latency histograms (request latency plus
+//!   tier-split cold-start latency) with a stable text rendering.
 //!
 //! # Example
 //!
@@ -71,6 +80,7 @@ pub mod engine;
 pub mod journal;
 pub mod metrics;
 pub mod net;
+pub mod retune;
 pub mod scheduler;
 
 pub use artifact::{
@@ -80,4 +90,6 @@ pub use engine::{reference_report, ExecMode, ExecOutcome, ServeEngine, ServeErro
 pub use journal::{Journal, JournalConfig, JournalRecord, JOURNAL_FORMAT_VERSION};
 pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
 pub use net::{HttpServer, HttpServerConfig};
+pub use retune::{RetuneJob, RetuneWorker, RETUNE_QUEUE_CAPACITY};
 pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};
+pub use unit_core::tuner::TuneTier;

@@ -3,14 +3,21 @@
 //! assert on the exact output.
 //!
 //! Everything is lock-free atomics — the scheduler's worker threads
-//! record into one shared registry without contending on a mutex. The
-//! histogram trades precision for determinism: latencies are counted
-//! into fixed bucket bounds and quantiles report the *upper bound* of
-//! the bucket containing the requested rank, so p50/p95/p99 are exact
-//! functions of the recorded counts (no interpolation, no sampling).
+//! record into one shared registry without contending on a mutex — with
+//! one exception: the **hot-pair table** (per-`(model, target)` request
+//! counts, the re-tune worker's priority signal) is a small sorted map
+//! behind its own mutex, touched once per request. The histogram trades
+//! precision for determinism: latencies are counted into fixed bucket
+//! bounds and quantiles report the *upper bound* of the bucket
+//! containing the requested rank, so p50/p95/p99 are exact functions of
+//! the recorded counts (no interpolation, no sampling).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+use unit_core::tuner::TuneTier;
 
 /// Histogram bucket upper bounds in microseconds (the last bucket is an
 /// unbounded overflow). Spanning 1 us .. 1 s covers everything from a
@@ -47,7 +54,13 @@ pub struct ServeMetrics {
     journal_errors: AtomicU64,
     http_requests: AtomicU64,
     http_errors: AtomicU64,
+    retune_queued: AtomicU64,
+    retune_completed: AtomicU64,
+    retune_swaps: AtomicU64,
     latency: LatencyHistogram,
+    cold_start_cold: LatencyHistogram,
+    cold_start_full: LatencyHistogram,
+    hot_pairs: Mutex<BTreeMap<(String, String), u64>>,
 }
 
 /// Fixed-bucket latency histogram (see [`LATENCY_BUCKETS_US`]).
@@ -220,6 +233,41 @@ impl ServeMetrics {
         self.http_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A background re-tune job was enqueued (cold-tier artifact served;
+    /// full-tier upgrade pending).
+    pub fn record_retune_queued(&self) {
+        self.retune_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A background re-tune job ran to completion (whether or not it
+    /// produced a swap — the incumbent may already have been full-tier).
+    pub fn record_retune_completed(&self) {
+        self.retune_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A completed re-tune atomically swapped a cold-tier kernel for its
+    /// full-tier replacement (artifact entry + exec-cache slot together).
+    pub fn record_retune_swap(&self) {
+        self.retune_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cold compile finished after `latency` at `tier`. Feeds the
+    /// tier-split cold-start histograms — the observable for "cold-tier
+    /// first responses are cheaper than full-tune first responses".
+    pub fn record_cold_start(&self, tier: TuneTier, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.cold_start(tier).record(us);
+    }
+
+    /// One request arrived for `(model, target)` — bumps the hot-pair
+    /// table the re-tune worker uses to prioritise upgrades.
+    pub fn record_request_pair(&self, model: &str, target: &str) {
+        let mut pairs = lock_recovering(&self.hot_pairs);
+        *pairs
+            .entry((model.to_string(), target.to_string()))
+            .or_insert(0) += 1;
+    }
+
     /// Completed requests (successful only).
     #[must_use]
     pub fn completed(&self) -> u64 {
@@ -329,10 +377,46 @@ impl ServeMetrics {
         self.http_errors.load(Ordering::Relaxed)
     }
 
+    /// Background re-tune jobs enqueued.
+    #[must_use]
+    pub fn retune_queued(&self) -> u64 {
+        self.retune_queued.load(Ordering::Relaxed)
+    }
+
+    /// Background re-tune jobs that ran to completion.
+    #[must_use]
+    pub fn retune_completed(&self) -> u64 {
+        self.retune_completed.load(Ordering::Relaxed)
+    }
+
+    /// Completed re-tunes that hot-swapped a cold-tier kernel.
+    #[must_use]
+    pub fn retune_swaps(&self) -> u64 {
+        self.retune_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Requests recorded against `(model, target)` in the hot-pair table.
+    #[must_use]
+    pub fn hot_pair_requests(&self, model: &str, target: &str) -> u64 {
+        lock_recovering(&self.hot_pairs)
+            .get(&(model.to_string(), target.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// The latency histogram.
     #[must_use]
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// The cold-start (first compile) latency histogram for `tier`.
+    #[must_use]
+    pub fn cold_start(&self, tier: TuneTier) -> &LatencyHistogram {
+        match tier {
+            TuneTier::Cold => &self.cold_start_cold,
+            TuneTier::Full => &self.cold_start_full,
+        }
     }
 
     /// Successful requests per second over `elapsed` wall clock.
@@ -362,7 +446,13 @@ impl ServeMetrics {
         } else {
             load(&self.batched_requests) as f64 / batches as f64
         };
-        let mut out = String::from("# unit-serve metrics v3\n");
+        let hist_q = |h: &LatencyHistogram, p: f64| match h.quantile(p) {
+            None => "none".to_string(),
+            Some(u64::MAX) => format!(">{}", LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1]),
+            Some(v) => v.to_string(),
+        };
+        let hot_pairs = lock_recovering(&self.hot_pairs).len();
+        let mut out = String::from("# unit-serve metrics v4\n");
         let mut line = |k: &str, v: String| {
             out.push_str(k);
             out.push(' ');
@@ -412,8 +502,42 @@ impl ServeMetrics {
         line("journal_errors", load(&self.journal_errors).to_string());
         line("http_requests", load(&self.http_requests).to_string());
         line("http_errors", load(&self.http_errors).to_string());
+        line("retune_queued", load(&self.retune_queued).to_string());
+        line("retune_completed", load(&self.retune_completed).to_string());
+        line("retune_swaps", load(&self.retune_swaps).to_string());
+        line(
+            "cold_start_cold_tier_compiles",
+            self.cold_start_cold.count().to_string(),
+        );
+        line(
+            "cold_start_cold_tier_p50_us",
+            hist_q(&self.cold_start_cold, 0.50),
+        );
+        line(
+            "cold_start_cold_tier_p95_us",
+            hist_q(&self.cold_start_cold, 0.95),
+        );
+        line(
+            "cold_start_full_tier_compiles",
+            self.cold_start_full.count().to_string(),
+        );
+        line(
+            "cold_start_full_tier_p50_us",
+            hist_q(&self.cold_start_full, 0.50),
+        );
+        line(
+            "cold_start_full_tier_p95_us",
+            hist_q(&self.cold_start_full, 0.95),
+        );
+        line("hot_pairs_tracked", hot_pairs.to_string());
         out
     }
+}
+
+/// Lock a mutex, recovering the data if a panicking holder poisoned it.
+/// Metrics are monotone counters — a half-applied bump is still valid.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -525,8 +649,17 @@ mod tests {
         m.record_http_request();
         m.record_http_request();
         m.record_http_error();
+        m.record_retune_queued();
+        m.record_retune_queued();
+        m.record_retune_completed();
+        m.record_retune_swap();
+        m.record_cold_start(TuneTier::Cold, Duration::from_micros(40));
+        m.record_cold_start(TuneTier::Full, Duration::from_micros(900));
+        m.record_request_pair("convnet", "cpu");
+        m.record_request_pair("convnet", "cpu");
+        m.record_request_pair("attention", "cpu");
         let expected = "\
-# unit-serve metrics v3
+# unit-serve metrics v4
 requests_submitted 2
 requests_rejected 0
 requests_completed 2
@@ -555,9 +688,43 @@ journal_compactions 1
 journal_errors 0
 http_requests 2
 http_errors 1
+retune_queued 2
+retune_completed 1
+retune_swaps 1
+cold_start_cold_tier_compiles 1
+cold_start_cold_tier_p50_us 50
+cold_start_cold_tier_p95_us 50
+cold_start_full_tier_compiles 1
+cold_start_full_tier_p50_us 1000
+cold_start_full_tier_p95_us 1000
+hot_pairs_tracked 2
 ";
         assert_eq!(m.render(), expected);
         assert_eq!(m.render(), expected, "rendering twice is identical");
+    }
+
+    #[test]
+    fn hot_pair_table_counts_per_model_target() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.hot_pair_requests("convnet", "cpu"), 0);
+        m.record_request_pair("convnet", "cpu");
+        m.record_request_pair("convnet", "cpu");
+        m.record_request_pair("convnet", "gpu:0");
+        assert_eq!(m.hot_pair_requests("convnet", "cpu"), 2);
+        assert_eq!(m.hot_pair_requests("convnet", "gpu:0"), 1);
+        assert_eq!(m.hot_pair_requests("attention", "cpu"), 0);
+    }
+
+    #[test]
+    fn cold_start_histograms_are_split_by_tier() {
+        let m = ServeMetrics::new();
+        m.record_cold_start(TuneTier::Cold, Duration::from_micros(3));
+        m.record_cold_start(TuneTier::Cold, Duration::from_micros(4));
+        m.record_cold_start(TuneTier::Full, Duration::from_micros(700));
+        assert_eq!(m.cold_start(TuneTier::Cold).count(), 2);
+        assert_eq!(m.cold_start(TuneTier::Full).count(), 1);
+        assert_eq!(m.cold_start(TuneTier::Cold).quantile(0.5), Some(5));
+        assert_eq!(m.cold_start(TuneTier::Full).quantile(0.5), Some(1_000));
     }
 
     #[test]

@@ -23,10 +23,16 @@
 //!   micros <f64-bits-hex16>
 //!   note <provider note>
 //!   batch_size <n>
+//!   tier <cold|full>
 //!   dtype <element type>
 //!   len <element count>
 //!   data <hex16> <hex16> ...
 //!   ```
+//!
+//!   `tier` reports which tuning tier compiled the serving kernel:
+//!   `cold` until a tiered engine's background re-tune hot-swaps the
+//!   full-tier kernel in, `full` afterwards (and always, on non-tiered
+//!   engines). The `data` payload is bit-identical either way.
 //!
 //!   Every element is its raw bit pattern (integers as two's-complement
 //!   `u64`, floats via `f64::to_bits`), 16 hex digits each — responses
@@ -348,7 +354,18 @@ pub fn parse_request_head(head: &str) -> Result<RequestHead, String> {
                 .trim()
                 .parse()
                 .map_err(|e| format!("bad Content-Length: {e}"))?;
-            content_length = Some(len);
+            // RFC 9112 §6.3: a message with differing Content-Length
+            // values is invalid and must be rejected. The previous
+            // last-wins behavior let a proxy and this server disagree
+            // about where the body ends (request smuggling).
+            match content_length {
+                Some(prev) if prev != len => {
+                    return Err(format!(
+                        "conflicting Content-Length headers ({prev} then {len})"
+                    ));
+                }
+                _ => content_length = Some(len),
+            }
         }
     }
     Ok(RequestHead {
@@ -410,10 +427,11 @@ fn execute_route(scheduler: &Arc<Scheduler>, config: &HttpServerConfig, body: &s
                 200,
                 "OK",
                 format!(
-                    "ok\nid {id}\nmicros {:016x}\nnote {}\nbatch_size {}\n{}",
+                    "ok\nid {id}\nmicros {:016x}\nnote {}\nbatch_size {}\ntier {}\n{}",
                     resp.micros.to_bits(),
                     resp.note,
                     resp.batch_size,
+                    resp.tier.unwrap_or_default(),
                     encode_typed_buf(output)
                 ),
             ),
@@ -573,6 +591,33 @@ mod tests {
             parse_request_head("GET /x HTTP/1.1\r\nno-colon-here").is_err(),
             "malformed header"
         );
+    }
+
+    #[test]
+    fn duplicate_content_length_headers_must_agree() {
+        // Regression (RFC 9112 §6.3): duplicate Content-Length used to
+        // be last-wins, so `Content-Length: 7` + `Content-Length: 8`
+        // parsed as 8 — a proxy honoring the first value and this
+        // server honoring the second disagree about where the body
+        // ends, the classic request-smuggling shape. Conflicting values
+        // must reject (the route maps parse errors to 400).
+        let same = parse_request_head("POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7")
+            .unwrap();
+        assert_eq!(same.content_length, Some(7), "agreeing duplicates are ok");
+
+        let err = parse_request_head("POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 8")
+            .unwrap_err();
+        assert!(err.contains("conflicting Content-Length"), "{err}");
+        assert!(
+            parse_request_head("POST /x HTTP/1.1\r\nContent-Length: 8\r\nContent-Length: 7")
+                .is_err(),
+            "conflict detection is order-independent"
+        );
+        // Three headers where only the outer pair agree still conflict.
+        assert!(parse_request_head(
+            "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 9\r\nContent-Length: 7"
+        )
+        .is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use unit_core::tuner::TuneTier;
 use unit_graph::OpSpec;
 use unit_isa::TypedBuf;
 
@@ -70,6 +71,10 @@ pub struct ServeResponse {
     pub note: String,
     /// How many requests shared this request's batch.
     pub batch_size: usize,
+    /// Which tuning tier compiled the kernel that served this request
+    /// (`None` on error). `Cold` means a cheap search-capped kernel
+    /// answered and a background re-tune is (or was) pending.
+    pub tier: Option<TuneTier>,
 }
 
 /// Admission-time rejections.
@@ -458,6 +463,7 @@ fn respond(
             micros: out.micros,
             note: out.note,
             batch_size: size,
+            tier: Some(out.tier),
         },
         Err(e) => ServeResponse {
             id: env.id,
@@ -465,6 +471,7 @@ fn respond(
             micros: 0.0,
             note: String::new(),
             batch_size: size,
+            tier: None,
         },
     };
     let _ = env.reply.send(response);

@@ -178,6 +178,120 @@ fn soak_8_threads_1k_mixed_requests_bit_identical_to_reference() {
 }
 
 #[test]
+fn tiered_scheduler_serves_cold_then_swaps_mid_traffic_without_changing_bits() {
+    // ISSUE 8 acceptance: a tiered replica under live traffic answers
+    // novel workloads at the cold tier, the background worker hot-swaps
+    // the full-tier kernels in mid-traffic, and no response — before,
+    // during or after the swaps — ever differs from `run_reference` (or,
+    // transitively, from a cold full-tier compile of the same tuning).
+    use unit_serve::{RetuneWorker, TuneTier};
+
+    let full = TuningConfig {
+        cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+        gpu: GpuTuneMode::Tuned,
+    };
+    let targets = ["x86-avx512-vnni", "arm-neon-dot"];
+    let menu = [
+        ("convnet", OpSpec::conv2d(4, 6, 8, 3, 1, 1)),
+        ("attention", OpSpec::gemm(16, 16, 16)),
+        ("attention", OpSpec::batched_gemm(2, 8, 16, 16)),
+    ];
+    let unique_pairs = (targets.len() * menu.len()) as u64;
+    let mut requests = Vec::new();
+    for i in 0..96 {
+        let (model, op) = &menu[i % menu.len()];
+        requests.push(ServeRequest {
+            model: (*model).to_string(),
+            target: targets[(i / menu.len()) % targets.len()].to_string(),
+            op: *op,
+            seed: (i % 3) as u64,
+        });
+    }
+    let expected = reference_outputs(&requests);
+
+    let engine = Arc::new(ServeEngine::new(full).with_tiered_cold_start());
+    let scheduler = Arc::new(Scheduler::start(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+        },
+    ));
+    let worker = RetuneWorker::start(Arc::clone(&engine));
+
+    let run = |label: &str| -> Vec<TuneTier> {
+        let mut tiers = Vec::new();
+        for (idx, req) in requests.iter().enumerate() {
+            let (_, rx) = scheduler.submit(req.clone()).expect("admission");
+            let resp = rx.recv().expect("response");
+            let out = resp
+                .result
+                .unwrap_or_else(|e| panic!("{label} request {idx} failed: {e}"));
+            let key = (req.target.clone(), req.op.encode(), req.seed);
+            assert_eq!(
+                out, expected[&key],
+                "{label} request {idx} diverged from run_reference"
+            );
+            tiers.push(resp.tier.expect("executed responses carry a tier"));
+        }
+        tiers
+    };
+
+    // Pass 1: the first request of each unique (target, workload) pair
+    // compiles cold in the request path, so cold-tier responses must
+    // appear — and every one of them already matches the reference.
+    let first = run("cold pass");
+    assert!(
+        first.contains(&TuneTier::Cold),
+        "first pass must serve cold-tier responses"
+    );
+
+    // The worker drains every queued upgrade: one swap per unique pair.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while engine.metrics().retune_swaps() < unique_pairs || engine.pending_retunes() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "re-tune worker stalled: {} swaps, {} pending\n{}",
+            engine.metrics().retune_swaps(),
+            engine.pending_retunes(),
+            engine.metrics().render()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Pass 2: everything now serves at the full tier, bits unchanged.
+    let second = run("hot pass");
+    assert!(
+        second.iter().all(|t| *t == TuneTier::Full),
+        "post-swap responses must all be full-tier: {second:?}"
+    );
+
+    // The swapped artifacts are byte-for-byte what a cold full-tier
+    // compile of the same tuning produces (tier, micros and note
+    // included) — the cheap tier left no residue.
+    let cold_full = ServeEngine::new(full);
+    for req in &requests {
+        cold_full
+            .execute(&req.model, &req.target, req.op, req.seed)
+            .expect("cold full-tier compile");
+    }
+    let swapped = engine.export_artifacts();
+    let reference = cold_full.export_artifacts();
+    for (model, target) in reference.model_targets() {
+        assert_eq!(
+            swapped.entries(&model, &target),
+            reference.entries(&model, &target),
+            "({model}, {target}): swapped artifacts diverged from a cold full-tier compile"
+        );
+    }
+
+    worker.shutdown();
+    if let Ok(scheduler) = Arc::try_unwrap(scheduler) {
+        scheduler.shutdown();
+    }
+}
+
+#[test]
 fn backpressure_try_submit_rejects_then_recovers() {
     // A tiny queue with a single slow-ish flow: try_submit must reject
     // with QueueFull at some point under a burst, and every admitted

@@ -14,6 +14,11 @@
 //!   bit-identical to `run_reference` — first in-process through the
 //!   batching scheduler, then over a real TCP socket through the
 //!   HTTP front-end.
+//! * A second, **tiered** fleet on its own journal serves a novel
+//!   workload immediately at the cold tuning tier, the background
+//!   re-tune worker hot-swaps the full-tier kernel in mid-traffic, and
+//!   a peer replica tails the upgrade search-free — every response
+//!   bit-identical across tiers.
 //! * Finally the journal is compacted (generation bump + retired-target
 //!   GC) and the metrics are printed.
 //!
@@ -232,7 +237,97 @@ fn main() {
     println!("HTTP front-end on {addr}: {http_requests} requests bit-identical over the wire\n");
     server.shutdown();
 
-    // --- Phase 6: decommission a target fleet-wide, then compact: the
+    // --- Phase 6: a tiered fleet on its own journal — serve cold
+    // immediately, re-tune in the background, hot-swap mid-traffic, and
+    // let the peer replica tail the upgrade search-free. ---
+    {
+        use unit::serve::{RetuneWorker, TuneTier};
+        let full_tuning = TuningConfig {
+            cpu: CpuTuneMode::Tuned { max_pairs: 16 },
+            gpu: GpuTuneMode::Tuned,
+        };
+        let tiered_journal = dir.join("journal-tiered");
+        let tiered_op = OpSpec::gemm(24, 16, 32);
+        let tiered_target = &targets[0];
+        let expected = reference_encoding(tiered_target, &tiered_op, 5);
+
+        // Replica C answers the novel workload immediately at the cold
+        // tier instead of stalling on the full search.
+        let replica_c = Arc::new(ServeEngine::new(full_tuning).with_tiered_cold_start());
+        let journal_c = Arc::new(
+            Journal::open(JournalConfig::at(&tiered_journal)).expect("open tiered journal"),
+        );
+        replica_c
+            .attach_journal(Arc::clone(&journal_c))
+            .expect("attach journal to C");
+        let t3 = Instant::now();
+        let cold_out = replica_c
+            .execute("live", tiered_target, tiered_op, 5)
+            .expect("cold-tier execute");
+        let cold_ms = t3.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(cold_out.tier, TuneTier::Cold);
+        assert_eq!(encode_typed_buf(&cold_out.output), expected);
+
+        // Replica D attaches while the decision is still cold-tier and
+        // replays it as-is.
+        let replica_d = ServeEngine::new(full_tuning).with_tiered_cold_start();
+        let journal_d = Arc::new(
+            Journal::open(JournalConfig::at(&tiered_journal)).expect("open tiered journal"),
+        );
+        replica_d
+            .attach_journal(Arc::clone(&journal_d))
+            .expect("attach journal to D");
+        let d_cold = replica_d
+            .execute("live", tiered_target, tiered_op, 5)
+            .expect("D replays the cold decision");
+        assert_eq!(d_cold.tier, TuneTier::Cold);
+
+        // The background worker re-tunes at the full tier and hot-swaps
+        // mid-traffic; C keeps serving throughout, bits unchanged.
+        let worker = RetuneWorker::start(Arc::clone(&replica_c));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let out = replica_c
+                .execute("live", tiered_target, tiered_op, 5)
+                .expect("serve during the swap");
+            assert_eq!(
+                encode_typed_buf(&out.output),
+                expected,
+                "bits changed mid-swap"
+            );
+            if out.tier == TuneTier::Full {
+                break;
+            }
+            assert!(Instant::now() < deadline, "re-tune worker never swapped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        worker.shutdown();
+        let swaps = replica_c.metrics().retune_swaps();
+        assert!(swaps >= 1);
+
+        // D tails the journaled upgrade and swaps too — search-free,
+        // the peer already paid the search.
+        let searches_before = tuner_searches();
+        let tailed = replica_d.sync_journal().expect("D tails the upgrade");
+        assert!(tailed > 0, "C's re-tune must reach D");
+        assert_eq!(
+            tuner_searches(),
+            searches_before,
+            "a peer hot-swap must be search-free"
+        );
+        let d_hot = replica_d
+            .execute("live", tiered_target, tiered_op, 5)
+            .expect("D serves full-tier");
+        assert_eq!(d_hot.tier, TuneTier::Full);
+        assert_eq!(encode_typed_buf(&d_hot.output), expected);
+        assert!(replica_d.metrics().retune_swaps() >= 1);
+
+        println!(
+            "tiered OK: cold tier answered in {cold_ms:.2} ms, {swaps} hot swap(s) mid-traffic, peer replica swapped search-free, bits identical across tiers"
+        );
+    }
+
+    // --- Phase 7: decommission a target fleet-wide, then compact: the
     // retired target's entries are GC'd and the generation bumps. ---
     let retired = targets.last().expect("at least one target");
     journal_a
