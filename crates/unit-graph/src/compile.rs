@@ -22,7 +22,7 @@ use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{parallel_map, CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
 use unit_sim::estimate_cpu;
-use unit_tir::{lower::lower, LoopKind, Schedule, TirFunc};
+use unit_tir::{lower::lower, EpiGeom, LoopKind, Schedule, TirFunc};
 
 use crate::cache::ShardedCache;
 use crate::ir::{Graph, OpKind};
@@ -48,17 +48,32 @@ pub enum CacheWorkload {
         /// Output units.
         units: i64,
     },
+    /// A tensor workload with a fused epilogue chain lowered into its
+    /// tape (bias / relu / residual add / softmax / layernorm /
+    /// requantize). A distinct variant, so a fused kernel can never
+    /// collide with the bare core it wraps.
+    Fused {
+        /// The tensorized core.
+        op: OpSpec,
+        /// The epilogue chain fused after it.
+        epi: unit_tir::EpilogueSpec,
+    },
 }
 
 impl CacheWorkload {
     /// Stable text encoding for the artifact-store file format: defers to
     /// [`OpSpec::encode`] for tensor workloads, `dense:<in>:<units>` for
-    /// dense layers. Change only with the store's format version.
+    /// dense layers, `fused:<epilogue>:<op>` for epilogue-fused kernels
+    /// (the epilogue encoding is dot-separated, keeping the whole field
+    /// colon-parseable). Change only with the store's format version.
     #[must_use]
     pub fn encode(&self) -> String {
         match self {
             CacheWorkload::Op(spec) => spec.encode(),
             CacheWorkload::Dense { in_features, units } => format!("dense:{in_features}:{units}"),
+            CacheWorkload::Fused { op, epi } => {
+                format!("fused:{}:{}", epi.encode(), op.encode())
+            }
         }
     }
 
@@ -68,6 +83,15 @@ impl CacheWorkload {
     ///
     /// A human-readable description of the malformed field.
     pub fn decode(s: &str) -> Result<CacheWorkload, String> {
+        if let Some(rest) = s.strip_prefix("fused:") {
+            let (epi, op) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("workload `{s}`: fused needs epilogue:op"))?;
+            let epi =
+                unit_tir::EpilogueSpec::decode(epi).map_err(|e| format!("workload `{s}`: {e}"))?;
+            let op = OpSpec::decode(op)?;
+            return Ok(CacheWorkload::Fused { op, epi });
+        }
         match s.strip_prefix("dense:") {
             Some(rest) => {
                 let (a, b) = rest
@@ -673,6 +697,37 @@ impl UnitProvider {
                         }
                     }
                 }
+            }
+            CacheWorkload::Fused { op, epi } => {
+                // Compile the tensorized core, then lower the epilogue
+                // region onto its output buffer. The workload identity
+                // stays `Fused`, so the cache entry never collides with
+                // the bare core.
+                let mut compiled = self.compile_workload_full(&CacheWorkload::Op(*op));
+                compiled.workload = *workload;
+                if epi.is_empty() {
+                    return compiled;
+                }
+                let out_shape = compiled.func.buffers[compiled.output].shape.clone();
+                let geom = match *op {
+                    OpSpec::Gemm { batch, m, n, .. } => {
+                        EpiGeom::for_output(batch, m, n, &out_shape)
+                    }
+                    _ => None,
+                };
+                match geom {
+                    Some(geom) => {
+                        unit_tir::attach_epilogue(&mut compiled.func, epi, geom);
+                        compiled.note = format!("{} +epi[{}]", compiled.note, epi.encode());
+                    }
+                    None => {
+                        // No geometry contract for this layout: serve the
+                        // bare core rather than corrupt padding cells.
+                        compiled.note =
+                            format!("{} [epilogue skipped: no geometry]", compiled.note);
+                    }
+                }
+                compiled
             }
         }
     }

@@ -45,6 +45,7 @@ pub mod ir;
 pub mod layout;
 pub mod models;
 pub mod passes;
+pub mod plan;
 pub mod workload;
 
 pub use cache::ShardedCache;
@@ -54,4 +55,5 @@ pub use compile::{
     LayerLatency,
 };
 pub use ir::{Graph, GraphBuilder, Node, NodeId, OpKind, TensorShape};
+pub use plan::{build_plan, ModelPlan, PlanSource, PlanStep};
 pub use workload::{ConvSpec, OpSpec};

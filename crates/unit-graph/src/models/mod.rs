@@ -12,7 +12,9 @@ mod transformer;
 pub use inception::{inception_bn, inception_v3};
 pub use mobilenet::{mobilenet_v1, mobilenet_v2};
 pub use resnet::{res18_3d_convs, resnet, resnet_v1b, ResnetDepth};
-pub use transformer::{transformer_encoder, transformer_tiny, TRANSFORMER_TINY_UNIQUE_GEMMS};
+pub use transformer::{
+    transformer_encoder, transformer_micro, transformer_tiny, TRANSFORMER_TINY_UNIQUE_GEMMS,
+};
 
 use crate::ir::Graph;
 

@@ -75,6 +75,18 @@ pub fn transformer_tiny() -> Graph {
     g
 }
 
+/// The smoke-sized encoder: one block, 8 tokens, `d_model` 16, 2 heads,
+/// FFN 32 — structurally identical to [`transformer_tiny`] (same eight
+/// GEMM steps, same epilogue chains, same kernel dedup), ~500x fewer
+/// MACs. The interpreted smoke paths (HTTP front-end, dev-profile test
+/// runs) serve this one; optimized builds serve the full tiny model.
+#[must_use]
+pub fn transformer_micro() -> Graph {
+    let mut g = transformer_encoder(8, 16, 2, 32, 1);
+    g.name = "transformer-micro".to_string();
+    g
+}
+
 /// Nodes `transformer_tiny` relies on downstream (kept in sync with the
 /// builder): one attention GEMM workload per direction, four projection
 /// uses of one shape, two FFN shapes.

@@ -41,9 +41,21 @@ pub fn quantize(graph: &Graph) -> Graph {
 /// input is a convolution/GEMM/dense (or an already-fused chain rooted at
 /// one) are folded into the producer kernel — they execute inside the
 /// epilogue of the tensorized kernel and cost nothing extra.
+///
+/// Fusing is only legal when the producer has no *other* consumers: the
+/// epilogue rewrites the producer's output in place, so a second consumer
+/// would observe post-epilogue values instead of the raw kernel output.
 #[must_use]
 pub fn fuse_elementwise(graph: &Graph) -> Graph {
     let mut out = graph.clone();
+    // Consumer counts over every edge: a multi-consumer producer must
+    // stay materialized, so nothing may fuse into it.
+    let mut consumers = vec![0usize; out.nodes.len()];
+    for node in &out.nodes {
+        for input in &node.inputs {
+            consumers[input.0 as usize] += 1;
+        }
+    }
     // Which nodes root a fusible chain.
     let mut fusible_root = vec![false; out.nodes.len()];
     for i in 0..out.nodes.len() {
@@ -54,7 +66,7 @@ pub fn fuse_elementwise(graph: &Graph) -> Graph {
             }
             OpKind::BiasAdd | OpKind::Relu | OpKind::Add => {
                 let first = node.inputs[0].0 as usize;
-                if fusible_root[first] {
+                if fusible_root[first] && consumers[first] == 1 {
                     fusible_root[i] = true;
                     out.nodes[i].fused_into_producer = true;
                 }
@@ -125,6 +137,36 @@ mod tests {
         let fused = f.nodes.iter().filter(|n| n.fused_into_producer).count();
         assert_eq!(fused, 5);
         // Kernels: 2 convs + softmax.
+        assert_eq!(kernel_count(&f), 3);
+    }
+
+    #[test]
+    fn fusion_requires_a_single_consumer() {
+        // Regression: a conv output feeding BOTH a ReLU and a residual Add
+        // used to fuse the ReLU into the conv, so the Add read
+        // post-epilogue values. Neither consumer may fuse here.
+        let mut b = GraphBuilder::new("branch");
+        let input = b.add(
+            OpKind::Input(TensorShape::chw(8, 16, 16, DType::F32)),
+            &[],
+            "data",
+        );
+        let conv = b.add(
+            OpKind::Conv(ConvSpec::new_2d(8, 16, 16, 3, 1, 1)),
+            &[input],
+            "conv",
+        );
+        let relu = b.add(OpKind::Relu, &[conv], "relu");
+        let add = b.add(OpKind::Add, &[relu, conv], "residual");
+        let g = b.finish(add);
+        let f = fuse_elementwise(&g);
+        assert!(
+            !f.nodes[relu.0 as usize].fused_into_producer,
+            "conv has two consumers; fusing the relu would corrupt the add's input"
+        );
+        // The add's first input (the relu) is not a fused chain root, so
+        // the add stays a standalone kernel too.
+        assert!(!f.nodes[add.0 as usize].fused_into_producer);
         assert_eq!(kernel_count(&f), 3);
     }
 

@@ -1,0 +1,355 @@
+//! Whole-model execution plans: the fusion pass made executable.
+//!
+//! [`crate::passes::fuse_elementwise`] *marks* epilogue chains; this
+//! module **rewrites the compiled plan around them**. [`build_plan`]
+//! walks a GEMM-based graph (the transformer family) and folds every
+//! fusible elementwise / row-reduction consumer into its producer step's
+//! [`EpilogueSpec`], producing a linear [`ModelPlan`] of fused steps.
+//! Each step then compiles under a [`crate::CacheWorkload::Fused`] key —
+//! one cache entry, one artifact line and one instruction tape per fused
+//! group, with the epilogue executing inside the tape dispatch instead of
+//! as reference-interpreter passes.
+//!
+//! Fusion legality matches the pass: a consumer folds into its producer
+//! only when the producer has **no other consumers** (the epilogue
+//! rewrites the producer's output in place). The serving value domain is
+//! int8: any step whose chain does not already end in a saturating op
+//! (softmax, layernorm, requantize) gets a trailing [`EpiOp::Quant`]
+//! appended so its output is a legal operand for the next quantized GEMM.
+
+use unit_tir::{EpiOp, EpilogueSpec};
+
+use crate::ir::{Graph, OpKind};
+use crate::workload::OpSpec;
+
+/// Where a step's operand value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The model's (quantized) input tokens.
+    Input,
+    /// The output of an earlier plan step, by index.
+    Step(usize),
+}
+
+/// One fused step of a model plan: a GEMM core plus the epilogue chain
+/// folded into it.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Diagnostic name (the core GEMM's graph node name).
+    pub name: String,
+    /// The tensorized core.
+    pub op: OpSpec,
+    /// Epilogue chain fused after the core.
+    pub epi: EpilogueSpec,
+    /// Where the activation (left) operand comes from.
+    pub data: PlanSource,
+    /// Where the weight (right) operand comes from: an earlier step for
+    /// attention matmuls, `None` for an implicit model weight.
+    pub weight: Option<PlanSource>,
+    /// Orientation of an activation-sourced weight: `true` when the
+    /// producer's rows enumerate this GEMM's output columns (`QK^T`
+    /// scores), `false` when they enumerate the reduction axis
+    /// (scores-times-V).
+    pub weight_rows_are_n: bool,
+    /// Residual operands, one per [`EpiOp::Add`] in `epi`, in chain order.
+    pub residuals: Vec<PlanSource>,
+}
+
+/// A whole model lowered to a linear sequence of fused steps.
+#[derive(Debug, Clone)]
+pub struct ModelPlan {
+    /// Model name (from the graph).
+    pub name: String,
+    /// Fused steps in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Index of the step producing the model output.
+    pub output: usize,
+}
+
+impl ModelPlan {
+    /// Total epilogue operations fused across all steps — the number of
+    /// reference-interpreter passes the fused plan eliminates per forward
+    /// pass.
+    #[must_use]
+    pub fn fused_epilogue_ops(&self) -> usize {
+        self.steps.iter().map(|s| s.epi.len()).sum()
+    }
+}
+
+/// Lower a GEMM-based graph into a fused [`ModelPlan`].
+///
+/// Supported node kinds: `Input`, `Quantize`/`Dequantize` (domain markers
+/// — passthrough), `Gemm` (a step), and the fusible epilogue consumers
+/// `BiasAdd`, `Relu`, `Add`, `Softmax`, `LayerNorm`.
+///
+/// # Errors
+///
+/// A human-readable description of the unsupported construct (CNN
+/// operators, a non-single-consumer epilogue chain the plan cannot
+/// serialize, a weight producer with an unrecognizable orientation).
+pub fn build_plan(graph: &Graph) -> Result<ModelPlan, String> {
+    let mut consumers = vec![0usize; graph.nodes.len()];
+    for node in &graph.nodes {
+        for input in &node.inputs {
+            consumers[input.0 as usize] += 1;
+        }
+    }
+    let mut steps: Vec<PlanStep> = Vec::new();
+    // The plan-level value of each graph node, once known.
+    let mut src: Vec<Option<PlanSource>> = vec![None; graph.nodes.len()];
+    let source_of =
+        |src: &[Option<PlanSource>], id: crate::ir::NodeId| -> Result<PlanSource, String> {
+            src[id.0 as usize].ok_or_else(|| {
+                format!(
+                    "node {} consumed before its plan value is known",
+                    graph.node(id).name
+                )
+            })
+        };
+
+    for node in &graph.nodes {
+        let value = match &node.op {
+            OpKind::Input(_) => PlanSource::Input,
+            OpKind::Quantize | OpKind::Dequantize => source_of(&src, node.inputs[0])?,
+            OpKind::Gemm { m, n, k, batch } => {
+                let op = OpSpec::Gemm {
+                    m: *m,
+                    n: *n,
+                    k: *k,
+                    batch: *batch,
+                };
+                let data = source_of(&src, node.inputs[0])?;
+                let (weight, weight_rows_are_n) = match node.inputs.get(1) {
+                    None => (None, false),
+                    Some(w) => {
+                        let wsrc = source_of(&src, *w)?;
+                        let (rows, cols) = producer_dims(graph, &steps, wsrc)?;
+                        // The producer's rows either enumerate this GEMM's
+                        // output columns (QK^T: rows == n, cols == batch*k)
+                        // or its reduction axis (scores*V: rows == k,
+                        // cols == batch*n). Prefer the former when both fit.
+                        if rows == *n && cols == batch * k {
+                            (Some(wsrc), true)
+                        } else if rows == *k && cols == batch * n {
+                            (Some(wsrc), false)
+                        } else {
+                            return Err(format!(
+                                "gemm {}: weight producer is {rows}x{cols}, \
+                                 which matches neither orientation",
+                                node.name
+                            ));
+                        }
+                    }
+                };
+                steps.push(PlanStep {
+                    name: node.name.clone(),
+                    op,
+                    epi: EpilogueSpec::default(),
+                    data,
+                    weight,
+                    weight_rows_are_n,
+                    residuals: Vec::new(),
+                });
+                PlanSource::Step(steps.len() - 1)
+            }
+            OpKind::BiasAdd | OpKind::Relu | OpKind::Add | OpKind::Softmax | OpKind::LayerNorm => {
+                let first = node.inputs[0];
+                let producer = source_of(&src, first)?;
+                let step = match producer {
+                    PlanSource::Step(s) => s,
+                    PlanSource::Input => {
+                        return Err(format!(
+                            "epilogue op {} applies directly to the model input",
+                            node.name
+                        ))
+                    }
+                };
+                if consumers[first.0 as usize] != 1 {
+                    return Err(format!(
+                        "epilogue op {} cannot fuse: its producer has {} consumers",
+                        node.name, consumers[first.0 as usize]
+                    ));
+                }
+                let epi_op = match node.op {
+                    OpKind::BiasAdd => EpiOp::Bias,
+                    OpKind::Relu => EpiOp::Relu,
+                    OpKind::Add => EpiOp::Add,
+                    OpKind::Softmax => EpiOp::Softmax,
+                    OpKind::LayerNorm => EpiOp::LayerNorm,
+                    _ => unreachable!(),
+                };
+                if epi_op == EpiOp::Add {
+                    let residual = source_of(&src, node.inputs[1])?;
+                    steps[step].residuals.push(residual);
+                }
+                if !steps[step].epi.push(epi_op) {
+                    return Err(format!(
+                        "epilogue chain of step {} overflows",
+                        steps[step].name
+                    ));
+                }
+                PlanSource::Step(step)
+            }
+            other => {
+                return Err(format!(
+                    "node {}: {other:?} is not supported in a fused model plan",
+                    node.name
+                ))
+            }
+        };
+        src[node.id.0 as usize] = Some(value);
+    }
+
+    // Serving convention: the interior domain is int8. A chain already
+    // ending in a saturating op (softmax probabilities, layernorm output,
+    // an explicit requantize) is in-domain; anything else requantizes.
+    for step in &mut steps {
+        if !matches!(
+            step.epi.last(),
+            Some(EpiOp::Softmax | EpiOp::LayerNorm | EpiOp::Quant)
+        ) {
+            assert!(step.epi.push(EpiOp::Quant), "chain overflow");
+        }
+    }
+
+    let output = match source_of(&src, graph.output)? {
+        PlanSource::Step(s) => s,
+        PlanSource::Input => return Err("model output is its input".to_string()),
+    };
+    Ok(ModelPlan {
+        name: graph.name.clone(),
+        steps,
+        output,
+    })
+}
+
+/// Logical `(rows, cols)` of a plan source used as a weight, with the
+/// producer's head batch folded into the columns.
+fn producer_dims(graph: &Graph, steps: &[PlanStep], src: PlanSource) -> Result<(i64, i64), String> {
+    match src {
+        PlanSource::Input => {
+            let input = graph
+                .nodes
+                .iter()
+                .find(|n| matches!(n.op, OpKind::Input(_)))
+                .ok_or_else(|| "graph has no input node".to_string())?;
+            match &input.op {
+                OpKind::Input(shape) if shape.dims.len() == 2 => Ok((shape.dims[0], shape.dims[1])),
+                _ => Err("weight-from-input needs a 2D token matrix".to_string()),
+            }
+        }
+        PlanSource::Step(s) => match steps[s].op {
+            OpSpec::Gemm { m, n, batch, .. } => Ok((m, batch * n)),
+            _ => Err(format!("step {} is not a GEMM", steps[s].name)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::transformer_tiny;
+    use crate::CacheWorkload;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn transformer_tiny_lowers_to_eight_fused_steps() {
+        let plan = build_plan(&transformer_tiny()).expect("plan builds");
+        assert_eq!(plan.steps.len(), 8, "one step per GEMM node");
+        assert_eq!(
+            plan.output, 7,
+            "last step (ln2 fused into ffn2) is the output"
+        );
+        let by_name: Vec<(&str, String)> = plan
+            .steps
+            .iter()
+            .map(|s| (s.name.as_str(), s.epi.encode()))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("block1_q_gemm", "bias.quant".to_string()),
+                ("block1_k_gemm", "bias.quant".to_string()),
+                ("block1_v_gemm", "bias.quant".to_string()),
+                ("block1_scores", "softmax".to_string()),
+                ("block1_attn", "quant".to_string()),
+                ("block1_out_gemm", "bias.add.layernorm".to_string()),
+                ("block1_ffn1_gemm", "bias.relu.quant".to_string()),
+                ("block1_ffn2_gemm", "bias.add.layernorm".to_string()),
+            ]
+        );
+        // Residual wiring: out's residual is the model input, ffn2's is
+        // the out step.
+        assert_eq!(plan.steps[5].residuals, vec![PlanSource::Input]);
+        assert_eq!(plan.steps[7].residuals, vec![PlanSource::Step(5)]);
+        // Attention weights come from activations with the right
+        // orientation: K rows enumerate output columns, V rows the
+        // reduction axis.
+        assert_eq!(plan.steps[3].weight, Some(PlanSource::Step(1)));
+        assert!(plan.steps[3].weight_rows_are_n);
+        assert_eq!(plan.steps[4].weight, Some(PlanSource::Step(2)));
+        assert!(!plan.steps[4].weight_rows_are_n);
+        // 17 epilogue ops execute inside tapes instead of as reference
+        // passes on each forward (q/k/v chains count once per step).
+        assert_eq!(plan.fused_epilogue_ops(), 17);
+        // Q/K/V share one fused workload: 6 unique fused cache entries,
+        // carrying 13 unique-kernel epilogue ops between them.
+        let unique: BTreeSet<String> = plan
+            .steps
+            .iter()
+            .map(|s| {
+                CacheWorkload::Fused {
+                    op: s.op,
+                    epi: s.epi,
+                }
+                .encode()
+            })
+            .collect();
+        assert_eq!(unique.len(), 6);
+        let unique_ops: usize = plan
+            .steps
+            .iter()
+            .map(|s| (s.epi.encode(), s.op))
+            .collect::<BTreeSet<_>>()
+            .iter()
+            .map(|(e, _)| EpilogueSpec::decode(e).unwrap().len())
+            .sum();
+        assert_eq!(unique_ops, 13);
+    }
+
+    #[test]
+    fn branched_elementwise_consumers_refuse_to_fuse() {
+        use crate::ir::{GraphBuilder, TensorShape};
+        use unit_dsl::DType;
+        let mut b = GraphBuilder::new("branch");
+        let input = b.add(
+            OpKind::Input(TensorShape {
+                dims: vec![8, 16],
+                dtype: DType::F32,
+            }),
+            &[],
+            "tokens",
+        );
+        let g = b.gemm((8, 16, 16), 1, &[input], "g");
+        let relu = b.add(OpKind::Relu, &[g], "relu");
+        let add = b.add(OpKind::Add, &[relu, g], "res");
+        let graph = b.finish(add);
+        let err = build_plan(&graph).expect_err("two consumers of g");
+        assert!(err.contains("2 consumers"), "got: {err}");
+    }
+
+    #[test]
+    fn fused_workloads_round_trip_the_cache_encoding() {
+        let plan = build_plan(&transformer_tiny()).unwrap();
+        for step in &plan.steps {
+            let w = CacheWorkload::Fused {
+                op: step.op,
+                epi: step.epi,
+            };
+            let text = w.encode();
+            assert_eq!(CacheWorkload::decode(&text), Ok(w), "encoding `{text}`");
+            // Never collides with the unfused core.
+            assert_ne!(text, CacheWorkload::Op(step.op).encode());
+        }
+    }
+}

@@ -114,7 +114,14 @@ pub fn run(func: &TirFunc, bufs: &mut [TypedBuf]) -> Result<(), ExecError> {
         bufs,
         env: vec![0; func.vars.len()],
     };
-    interp.stmt(&func.body)
+    interp.stmt(&func.body)?;
+    // Fused epilogue region: the oracle applies it reference-style, one
+    // pass per instruction (the tape executes the same region inside its
+    // dispatch loop — see `tape`).
+    if let Some(epi) = &func.epilogue {
+        crate::epilogue::run_epilogue(epi, func.output, interp.bufs)?;
+    }
+    Ok(())
 }
 
 impl Interp<'_> {
@@ -390,6 +397,7 @@ mod tests {
                 indices: vec![IdxExpr::Const(1)], // rank 2, one index
                 value: TExpr::Int(7, DType::I32),
             }),
+            epilogue: None,
         };
         let mut bufs = alloc_buffers(&func);
         assert!(matches!(

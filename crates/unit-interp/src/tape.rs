@@ -19,6 +19,9 @@
 //!   | `Guard` | conditions, exit            | jump `exit` unless all `index < bound` hold |
 //!   | `Store` | addr program, value program | evaluate RPN value, write buffer |
 //!   | `Intrin`| compiled-intrinsic id       | gather → emulate → scatter       |
+//!   | `EpiEw` | fused elementwise chain     | one pass over the logical output cells applying bias / residual add / relu / requantize per cell |
+//!   | `EpiRowStat` | reduction kind         | per-row max / sum / mean+sigma into the scratch row file |
+//!   | `EpiRowApply`| pointwise kind         | per-cell exp / softmax-normalize / layernorm against the row file |
 //!
 //! * **Intrinsics resolved at compile time.** Each [`unit_tir::IntrinStmt`]
 //!   site becomes a compiled-intrinsic record: the registry handle is looked up
@@ -57,8 +60,12 @@
 
 use unit_dsl::{BinOp, DType};
 use unit_isa::{registry, Scalar, TensorIntrinsic, TypedBuf};
+use unit_tir::epilogue::{
+    exp_q15, layernorm_cell, mean_sigma, requantize, softmax_prob, EpiGeom, EpiOp,
+};
 use unit_tir::{BufId, BufferDecl, Guard, IdxExpr, IntrinStmt, OperandSpec, Stmt, TExpr, TirFunc};
 
+use crate::epilogue::{cell_to_i64, i64_to_cell};
 use crate::exec::ExecError;
 
 /// One step of a compiled non-affine index program (RPN over `env`).
@@ -251,6 +258,42 @@ struct CompiledIntrin {
     out_reg: u32,
 }
 
+/// One step of a fused elementwise epilogue chain (all math over exact
+/// `i64` cell values — see [`crate::epilogue`]).
+#[derive(Debug, Clone, Copy)]
+enum EwStep {
+    /// `x += bias[j]`, `bias` being buffer `buf`.
+    Bias { buf: u32 },
+    /// `x += residual[b, i, j]`, `residual` being buffer `buf`.
+    Add { buf: u32 },
+    /// `x = max(0, x)`.
+    Relu,
+    /// `x = requantize(x)`.
+    Quant,
+}
+
+/// Per-row reduction kind for `EpiRowStat`.
+#[derive(Debug, Clone, Copy)]
+enum RowStatKind {
+    /// Row maximum into `row_a` (softmax pass 1).
+    Max,
+    /// Row sum into `row_a` (softmax pass 3).
+    Sum,
+    /// Row mean into `row_a` and `isqrt(var)+1` into `row_b` (layernorm).
+    MeanSigma,
+}
+
+/// Per-cell transform kind for `EpiRowApply`.
+#[derive(Debug, Clone, Copy)]
+enum RowApplyKind {
+    /// `x = exp_q15(row_a - x)` (softmax pass 2).
+    Exp,
+    /// `x = softmax_prob(x, row_a)` (softmax pass 4).
+    Prob,
+    /// `x = layernorm_cell(x, row_a, row_b)`.
+    Norm,
+}
+
 /// One tape instruction. See the module docs for the opcode table.
 enum TapeOp {
     Loop {
@@ -272,6 +315,23 @@ enum TapeOp {
     Intrin {
         id: u32,
     },
+    EpiEw {
+        chain: Box<[EwStep]>,
+    },
+    EpiRowStat {
+        kind: RowStatKind,
+    },
+    EpiRowApply {
+        kind: RowApplyKind,
+    },
+}
+
+/// The epilogue context shared by every `Epi*` op on a tape: which buffer
+/// the region transforms and its logical-vs-padded geometry.
+#[derive(Debug, Clone, Copy)]
+struct TapeEpi {
+    out: u32,
+    geom: EpiGeom,
 }
 
 /// Compile-time statistics, primarily for tests and diagnostics.
@@ -287,6 +347,10 @@ pub struct TapeStats {
     pub checked_accesses: usize,
     /// Residue-guard conditions discharged statically.
     pub elided_guards: usize,
+    /// Epilogue instructions lowered into the tape (bias, relu, residual
+    /// add, requantize, softmax, layernorm sites executing inside the
+    /// dispatch loop instead of as reference passes).
+    pub epilogue_ops: usize,
 }
 
 /// A compiled, immutable, shareable instruction tape. `Tape` is `Sync`:
@@ -298,6 +362,7 @@ pub struct Tape {
     n_vars: usize,
     ops: Vec<TapeOp>,
     intrins: Vec<CompiledIntrin>,
+    epi: Option<TapeEpi>,
     stats: TapeStats,
 }
 
@@ -310,6 +375,12 @@ pub struct TapeScratch {
     val_stack: Vec<Scalar>,
     /// One register file per intrinsic site.
     regs: Vec<Vec<TypedBuf>>,
+    /// Per-row statistic files for row-reduction epilogues
+    /// (`batch * rows` entries each; empty without an epilogue).
+    row_a: Vec<i64>,
+    row_b: Vec<i64>,
+    /// Row gather window for two-pass statistics (`cols` entries).
+    row_tmp: Vec<i64>,
 }
 
 impl Tape {
@@ -332,6 +403,10 @@ impl Tape {
             stats: TapeStats::default(),
         };
         c.stmt(&func.body)?;
+        let epi = match &func.epilogue {
+            Some(region) => Some(c.epilogue(region, func.output)?),
+            None => None,
+        };
         c.stats.ops = c.ops.len();
         c.stats.intrin_sites = c.intrins.len();
         Ok(Tape {
@@ -340,6 +415,7 @@ impl Tape {
             n_vars: func.vars.len(),
             ops: c.ops,
             intrins: c.intrins,
+            epi,
             stats: c.stats,
         })
     }
@@ -368,7 +444,15 @@ impl Tape {
                 .iter()
                 .map(|ci| ci.reg_templates.clone())
                 .collect(),
+            row_a: vec![0; self.row_file_len()],
+            row_b: vec![0; self.row_file_len()],
+            row_tmp: vec![0; self.epi.map_or(0, |e| e.geom.cols as usize)],
         }
+    }
+
+    fn row_file_len(&self) -> usize {
+        self.epi
+            .map_or(0, |e| (e.geom.batch * e.geom.rows) as usize)
     }
 
     /// Execute the tape on `bufs` (`bufs[i]` binds buffer `i`), reusing
@@ -405,6 +489,11 @@ impl Tape {
         assert_eq!(
             scratch.regs.len(),
             self.intrins.len(),
+            "scratch from another tape"
+        );
+        assert_eq!(
+            scratch.row_a.len(),
+            self.row_file_len(),
             "scratch from another tape"
         );
 
@@ -476,6 +565,89 @@ impl Tape {
                         &mut scratch.idx_stack,
                         &regs[ci.out_reg as usize],
                     )?;
+                }
+                TapeOp::EpiEw { chain } => {
+                    let e = self.epi.expect("epilogue op on a tape without a region");
+                    let (g, out) = (e.geom, e.out as usize);
+                    let dtype = bufs[out].dtype;
+                    for b in 0..g.batch {
+                        for i in 0..g.rows {
+                            for j in 0..g.cols {
+                                let at = g.flat(b, i, j);
+                                let mut x = cell_to_i64(bufs[out].get(at));
+                                for step in chain.iter() {
+                                    x = match *step {
+                                        EwStep::Bias { buf } => {
+                                            x + cell_to_i64(bufs[buf as usize].get(j as usize))
+                                        }
+                                        EwStep::Add { buf } => {
+                                            let r = ((b * g.rows + i) * g.cols + j) as usize;
+                                            x + cell_to_i64(bufs[buf as usize].get(r))
+                                        }
+                                        EwStep::Relu => x.max(0),
+                                        EwStep::Quant => requantize(x),
+                                    };
+                                }
+                                bufs[out].set(at, i64_to_cell(dtype, x));
+                            }
+                        }
+                    }
+                }
+                TapeOp::EpiRowStat { kind } => {
+                    let e = self.epi.expect("epilogue op on a tape without a region");
+                    let (g, out) = (e.geom, e.out as usize);
+                    for b in 0..g.batch {
+                        for i in 0..g.rows {
+                            let row = (b * g.rows + i) as usize;
+                            match kind {
+                                RowStatKind::Max => {
+                                    let mut m = i64::MIN;
+                                    for j in 0..g.cols {
+                                        m = m.max(cell_to_i64(bufs[out].get(g.flat(b, i, j))));
+                                    }
+                                    scratch.row_a[row] = m;
+                                }
+                                RowStatKind::Sum => {
+                                    let mut s = 0i64;
+                                    for j in 0..g.cols {
+                                        s += cell_to_i64(bufs[out].get(g.flat(b, i, j)));
+                                    }
+                                    scratch.row_a[row] = s;
+                                }
+                                RowStatKind::MeanSigma => {
+                                    for j in 0..g.cols {
+                                        scratch.row_tmp[j as usize] =
+                                            cell_to_i64(bufs[out].get(g.flat(b, i, j)));
+                                    }
+                                    let (mean, sigma) = mean_sigma(&scratch.row_tmp);
+                                    scratch.row_a[row] = mean;
+                                    scratch.row_b[row] = sigma;
+                                }
+                            }
+                        }
+                    }
+                }
+                TapeOp::EpiRowApply { kind } => {
+                    let e = self.epi.expect("epilogue op on a tape without a region");
+                    let (g, out) = (e.geom, e.out as usize);
+                    let dtype = bufs[out].dtype;
+                    for b in 0..g.batch {
+                        for i in 0..g.rows {
+                            let row = (b * g.rows + i) as usize;
+                            for j in 0..g.cols {
+                                let at = g.flat(b, i, j);
+                                let x = cell_to_i64(bufs[out].get(at));
+                                let y = match kind {
+                                    RowApplyKind::Exp => exp_q15(scratch.row_a[row] - x),
+                                    RowApplyKind::Prob => softmax_prob(x, scratch.row_a[row]),
+                                    RowApplyKind::Norm => {
+                                        layernorm_cell(x, scratch.row_a[row], scratch.row_b[row])
+                                    }
+                                };
+                                bufs[out].set(at, i64_to_cell(dtype, y));
+                            }
+                        }
+                    }
                 }
             }
             ip += 1;
@@ -577,6 +749,104 @@ struct Compiler<'a> {
 }
 
 impl Compiler<'_> {
+    /// Lower an epilogue region into tape ops appended after the body.
+    /// Consecutive elementwise instructions batch into a single `EpiEw`
+    /// chain (one pass over the output instead of one per op — the fused
+    /// serving win); row reductions lower to their stat/apply pairs.
+    fn epilogue(
+        &mut self,
+        region: &unit_tir::Epilogue,
+        output: BufId,
+    ) -> Result<TapeEpi, ExecError> {
+        let g = region.geom;
+        let out_decl = self.func.buffer(output);
+        if !g.fits(out_decl.len()) {
+            return Err(ExecError::BufferDecl(format!(
+                "epilogue geometry {g:?} escapes output {} of {} elements",
+                out_decl.name,
+                out_decl.len()
+            )));
+        }
+        let mut chain: Vec<EwStep> = Vec::new();
+        for instr in &region.instrs {
+            // Operand validation mirrors the oracle: the id must name a
+            // declared buffer large enough for the op's access pattern.
+            let operand = match instr.operand {
+                Some(id) => {
+                    if id.0 as usize >= self.func.buffers.len() {
+                        return Err(ExecError::BufferCount {
+                            expected: id.0 as usize + 1,
+                            got: self.func.buffers.len(),
+                        });
+                    }
+                    let decl = self.func.buffer(id);
+                    let need = match instr.op {
+                        EpiOp::Bias => g.cols,
+                        EpiOp::Add => g.batch * g.rows * g.cols,
+                        _ => 0,
+                    } as usize;
+                    if decl.len() < need {
+                        return Err(ExecError::BufferDecl(format!(
+                            "epilogue operand {} holds {} elements, needs {need}",
+                            decl.name,
+                            decl.len()
+                        )));
+                    }
+                    Some(id.0)
+                }
+                None => None,
+            };
+            match instr.op {
+                EpiOp::Bias => chain.push(EwStep::Bias {
+                    buf: operand.expect("bias carries an operand"),
+                }),
+                EpiOp::Add => chain.push(EwStep::Add {
+                    buf: operand.expect("add carries an operand"),
+                }),
+                EpiOp::Relu => chain.push(EwStep::Relu),
+                EpiOp::Quant => chain.push(EwStep::Quant),
+                EpiOp::Softmax => {
+                    self.flush_ew(&mut chain);
+                    self.ops.push(TapeOp::EpiRowStat {
+                        kind: RowStatKind::Max,
+                    });
+                    self.ops.push(TapeOp::EpiRowApply {
+                        kind: RowApplyKind::Exp,
+                    });
+                    self.ops.push(TapeOp::EpiRowStat {
+                        kind: RowStatKind::Sum,
+                    });
+                    self.ops.push(TapeOp::EpiRowApply {
+                        kind: RowApplyKind::Prob,
+                    });
+                }
+                EpiOp::LayerNorm => {
+                    self.flush_ew(&mut chain);
+                    self.ops.push(TapeOp::EpiRowStat {
+                        kind: RowStatKind::MeanSigma,
+                    });
+                    self.ops.push(TapeOp::EpiRowApply {
+                        kind: RowApplyKind::Norm,
+                    });
+                }
+            }
+            self.stats.epilogue_ops += 1;
+        }
+        self.flush_ew(&mut chain);
+        Ok(TapeEpi {
+            out: output.0,
+            geom: g,
+        })
+    }
+
+    fn flush_ew(&mut self, chain: &mut Vec<EwStep>) {
+        if !chain.is_empty() {
+            self.ops.push(TapeOp::EpiEw {
+                chain: std::mem::take(chain).into(),
+            });
+        }
+    }
+
     fn stmt(&mut self, s: &Stmt) -> Result<(), ExecError> {
         match s {
             Stmt::For(fs) => {
@@ -915,5 +1185,53 @@ mod tests {
     fn tape_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<Tape>();
+    }
+
+    #[test]
+    fn fused_epilogue_matches_oracle_and_batches_elementwise_chains() {
+        use unit_tir::epilogue::EpiOp as E;
+        use unit_tir::epilogue::{attach_epilogue, EpiGeom, EpilogueSpec};
+        let op = matmul_u8i8(6, 10, 24);
+        let mut func = lower(&Schedule::new(&op), "mm_epi").unwrap();
+        // Rank-2 output [6, 10]: describe it as one batch, no padding.
+        let geom = EpiGeom {
+            batch: 1,
+            rows: 6,
+            cols: 10,
+            rows_pad: 6,
+            cols_pad: 10,
+        };
+        let spec =
+            EpilogueSpec::new(&[E::Bias, E::Add, E::Relu, E::Softmax, E::LayerNorm, E::Quant]);
+        attach_epilogue(&mut func, &spec, geom);
+        let tape = assert_tape_matches_interp(&func, 13);
+        assert_eq!(tape.stats().epilogue_ops, 6);
+        // bias+add+relu collapse into ONE elementwise pass; softmax is 4
+        // row ops, layernorm 2, quant 1 more elementwise pass.
+        let ew = tape
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TapeOp::EpiEw { .. }))
+            .count();
+        assert_eq!(ew, 2, "consecutive elementwise ops must batch");
+    }
+
+    #[test]
+    fn epilogue_geometry_escape_fails_compile() {
+        use unit_tir::epilogue::{attach_epilogue, EpiGeom, EpiOp as E, EpilogueSpec};
+        let op = matmul_u8i8(4, 4, 8);
+        let mut func = lower(&Schedule::new(&op), "mm_bad").unwrap();
+        let geom = EpiGeom {
+            batch: 1,
+            rows: 8,
+            cols: 8,
+            rows_pad: 8,
+            cols_pad: 8,
+        };
+        attach_epilogue(&mut func, &EpilogueSpec::new(&[E::Relu]), geom);
+        assert!(matches!(
+            Tape::compile(&func),
+            Err(ExecError::BufferDecl(_))
+        ));
     }
 }

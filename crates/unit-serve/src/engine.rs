@@ -40,14 +40,17 @@ use unit_core::pipeline::{Target, TuningConfig};
 use unit_core::tuner::TuneTier;
 use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache, UnitProvider};
 use unit_graph::{
-    CacheWorkload, CompiledOp, E2eReport, Graph, KernelCacheKey, OpSpec, ShardedCache,
+    build_plan, CacheWorkload, CompiledOp, E2eReport, Graph, KernelCacheKey, OpSpec, PlanSource,
+    ShardedCache,
 };
 use unit_interp::{alloc_buffers, random_fill, run, Tape};
 use unit_isa::{registry, TypedBuf};
+use unit_tir::EpiGeom;
 
 use crate::artifact::{ArtifactEntry, ArtifactError, ArtifactStore};
 use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ServeMetrics;
+use crate::model::{self, Compact};
 use crate::retune::{RetuneJob, RetuneQueue};
 
 /// Lock a mutex, recovering from poisoning. Every engine mutex guards
@@ -73,6 +76,10 @@ pub enum ServeError {
     InvalidModelId(String),
     /// The interpreter failed executing the compiled kernel.
     Exec(unit_interp::ExecError),
+    /// Whole-model serving failed at the plan level: an unknown model
+    /// name, a graph the plan builder cannot lower, or a step whose
+    /// operand shapes do not adapt.
+    Plan(String),
     /// Compilation or execution panicked; the scheduler contains the
     /// panic to the offending request instead of losing the worker.
     Panicked(String),
@@ -86,6 +93,7 @@ impl fmt::Display for ServeError {
                 write!(f, "model id {id:?} may not contain `|` or newlines")
             }
             ServeError::Exec(e) => write!(f, "execution failed: {e:?}"),
+            ServeError::Plan(msg) => write!(f, "model plan failed: {msg}"),
             ServeError::Panicked(msg) => write!(f, "{msg}"),
         }
     }
@@ -148,6 +156,24 @@ pub struct ExecOutcome {
     /// (`Cold` until the background re-tune hot-swaps the full-tier
     /// kernel in; always `Full` on non-tiered engines).
     pub tier: TuneTier,
+}
+
+/// One whole-model execution's result
+/// ([`ServeEngine::execute_model`]).
+#[derive(Debug, Clone)]
+pub struct ModelOutcome {
+    /// The model's final activation (the plan output step's logical
+    /// tensor), bit-exact and target-comparable across executors and
+    /// serving modes.
+    pub output: Compact,
+    /// Summed modeled kernel latency across the plan's steps, in
+    /// microseconds.
+    pub micros: f64,
+    /// How many kernel dispatches served the forward pass.
+    pub steps: usize,
+    /// How many epilogue ops executed inside kernel dispatches
+    /// (0 when served unfused).
+    pub fused_epilogue_ops: usize,
 }
 
 /// The serving engine. Thread-safe: `&self` methods may be called from
@@ -553,6 +579,124 @@ impl ServeEngine {
         })
     }
 
+    /// Execute a whole model graph as **one served artifact**: build its
+    /// fused [`unit_graph::ModelPlan`], then run every step as a single
+    /// kernel dispatch with the step's epilogue chain (bias, residual
+    /// add, ReLU, requantize, softmax, layernorm) executing *inside* the
+    /// compiled tape — zero reference-interpreter passes on the serve
+    /// path. With `fused = false` the same plan runs unfused (plain GEMM
+    /// kernels plus the compact-domain reference epilogue) as the
+    /// differential baseline; both modes are bit-identical per target.
+    ///
+    /// Model parameters are implicit (deterministic in
+    /// `(model, step, role)`; see [`crate::model`]); the request `seed`
+    /// only picks the input tokens. The outcome is a pure function of
+    /// `(graph, target, tuning, seed, fused)`.
+    ///
+    /// Fused and unfused kernels can never collide in any cache:
+    /// fused steps are keyed as [`CacheWorkload::Fused`], whose encoding
+    /// carries the epilogue chain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTarget`] / [`ServeError::InvalidModelId`] as
+    /// [`ServeEngine::execute`]; [`ServeError::Plan`] when the graph
+    /// does not lower to a fused plan or a step's operands do not adapt;
+    /// [`ServeError::Exec`] when kernel execution fails.
+    pub fn execute_model(
+        &self,
+        graph: &Graph,
+        target_id: &str,
+        seed: u64,
+        fused: bool,
+    ) -> Result<ModelOutcome, ServeError> {
+        if !self.serves(target_id) {
+            return Err(ServeError::UnknownTarget(target_id.to_string()));
+        }
+        if !valid_artifact_id(&graph.name) {
+            return Err(ServeError::InvalidModelId(graph.name.clone()));
+        }
+        let plan = build_plan(graph).map_err(ServeError::Plan)?;
+        self.metrics.record_request_pair(&graph.name, target_id);
+        let (rows, cols) = model::plan_input_dims(graph).map_err(ServeError::Plan)?;
+        let tokens = model::input_tokens(seed, rows, cols);
+        let mut outputs: Vec<Compact> = Vec::with_capacity(plan.steps.len());
+        let mut micros = 0.0;
+        for step in &plan.steps {
+            let OpSpec::Gemm { m, n, k, batch } = step.op else {
+                return Err(ServeError::Plan(format!(
+                    "step `{}` is not a GEMM; only GEMM plans serve",
+                    step.name
+                )));
+            };
+            let src = match step.data {
+                PlanSource::Input => &tokens,
+                PlanSource::Step(s) => &outputs[s],
+            };
+            let data = model::gather_data(src, batch, m, k).map_err(ServeError::Plan)?;
+            let weight = match step.weight {
+                None => model::implicit_weight(&graph.name, &step.name, batch, n, k),
+                Some(src) => {
+                    let src = match src {
+                        PlanSource::Input => &tokens,
+                        PlanSource::Step(s) => &outputs[s],
+                    };
+                    model::weight_from_activation(src, batch, n, k, step.weight_rows_are_n)
+                        .map_err(ServeError::Plan)?
+                }
+            };
+            let workload = if fused {
+                CacheWorkload::Fused {
+                    op: step.op,
+                    epi: step.epi,
+                }
+            } else {
+                CacheWorkload::Op(step.op)
+            };
+            let (kernel, _tier) = self.ensure_compiled(&graph.name, target_id, workload);
+            let mut bufs = alloc_buffers(&kernel.func);
+            model::scatter_operands(&kernel.func, &data, &weight, &mut bufs)
+                .map_err(ServeError::Plan)?;
+            let bias = model::implicit_bias(&graph.name, &step.name, n);
+            let residuals =
+                model::resolve_residuals(step, &tokens, &outputs).map_err(ServeError::Plan)?;
+            if fused {
+                model::fill_epilogue_operands(&kernel.func, &bias, &residuals, &mut bufs)
+                    .map_err(ServeError::Plan)?;
+            }
+            match self.exec_mode {
+                ExecMode::Tape => {
+                    let key = KernelCacheKey::new(workload, target_id, self.tuning);
+                    let tape = self.ensure_tape(target_id, &key, &kernel)?;
+                    tape.run_fresh(&mut bufs).map_err(ServeError::Exec)?;
+                    self.metrics.record_tape_dispatch(1);
+                }
+                ExecMode::Interp => run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?,
+            }
+            let out_shape = &kernel.func.buffers[kernel.output].shape;
+            let geom = EpiGeom::for_output(batch, m, n, out_shape).ok_or_else(|| {
+                ServeError::Plan(format!(
+                    "step `{}` output shape {out_shape:?} has no [{batch}, {m}, {n}] geometry",
+                    step.name
+                ))
+            })?;
+            let mut out = model::gather_output(&bufs[kernel.output], geom);
+            if !fused {
+                model::apply_epilogue_reference(&mut out, &step.epi, &bias, &residuals)
+                    .map_err(ServeError::Plan)?;
+            }
+            micros += kernel.micros;
+            outputs.push(out);
+        }
+        let output = outputs.swap_remove(plan.output);
+        Ok(ModelOutcome {
+            output,
+            micros,
+            steps: plan.steps.len(),
+            fused_epilogue_ops: if fused { plan.fused_epilogue_ops() } else { 0 },
+        })
+    }
+
     /// Execute a run of same-shape GEMM requests (one model/target/op,
     /// per-request seeds) as **one fused batched-GEMM tape execution**:
     /// the N requests stack along the GEMM's existing batch axis (the
@@ -822,6 +966,14 @@ impl ServeEngine {
                 (compiled, tier)
             }
         };
+        // A fused kernel was (re)built for this engine: account its
+        // in-dispatch epilogue ops — the per-op interpreter passes the
+        // fusion eliminated from the serve path.
+        if let CacheWorkload::Fused { epi, .. } = workload {
+            if !epi.is_empty() {
+                self.metrics.record_epilogue_fusion(epi.len());
+            }
+        }
         // Keep the latency cache coherent so whole-model reports agree
         // with what requests were served (first-insert-wins on races).
         self.latency[target_id]

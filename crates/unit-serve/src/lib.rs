@@ -43,9 +43,19 @@
 //!   upgrade so peer replicas swap too. Outputs are bit-identical
 //!   across tiers; only latency changes.
 //! * [`metrics`] — counters, queue-depth gauges, artifact/kernel cache
-//!   hit rates, re-tune/swap counters, a per-`(model, target)` hot-pair
-//!   table and fixed-bucket latency histograms (request latency plus
-//!   tier-split cold-start latency) with a stable text rendering.
+//!   hit rates, re-tune/swap counters, epilogue-fusion counters, a
+//!   per-`(model, target)` hot-pair table and fixed-bucket latency
+//!   histograms (request latency plus tier-split cold-start latency)
+//!   with a stable text rendering.
+//! * [`model`] — whole-model serving: the target-agnostic compact
+//!   activation representation, deterministic implicit model
+//!   parameters, layout scatter/gather adapters, and the unfused
+//!   reference epilogue. [`ServeEngine::execute_model`] serves an
+//!   entire quantized transformer forward pass as **one artifact**: one
+//!   cache entry and one compiled tape per fused step, with bias /
+//!   residual-add / ReLU / requantize / softmax / layernorm executing
+//!   inside the kernel dispatch (zero reference-interpreter passes on
+//!   the serve path).
 //!
 //! # Example
 //!
@@ -79,6 +89,7 @@ pub mod artifact;
 pub mod engine;
 pub mod journal;
 pub mod metrics;
+pub mod model;
 pub mod net;
 pub mod retune;
 pub mod scheduler;
@@ -86,10 +97,11 @@ pub mod scheduler;
 pub use artifact::{
     ArtifactEntry, ArtifactError, ArtifactStore, TailRecovery, ARTIFACT_FORMAT_VERSION,
 };
-pub use engine::{reference_report, ExecMode, ExecOutcome, ServeEngine, ServeError};
+pub use engine::{reference_report, ExecMode, ExecOutcome, ModelOutcome, ServeEngine, ServeError};
 pub use journal::{Journal, JournalConfig, JournalRecord, JOURNAL_FORMAT_VERSION};
 pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
-pub use net::{HttpServer, HttpServerConfig};
+pub use model::{model_graph, Compact};
+pub use net::{parse_graph_body, GraphRequest, HttpServer, HttpServerConfig};
 pub use retune::{RetuneJob, RetuneWorker, RETUNE_QUEUE_CAPACITY};
 pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};
 pub use unit_core::tuner::TuneTier;

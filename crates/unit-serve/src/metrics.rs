@@ -47,6 +47,8 @@ pub struct ServeMetrics {
     tape_compiles: AtomicU64,
     tape_dispatches: AtomicU64,
     tape_fused_requests: AtomicU64,
+    epilogue_fused_kernels: AtomicU64,
+    epilogue_ops_eliminated: AtomicU64,
     dispatcher_wakes: AtomicU64,
     journal_appends: AtomicU64,
     journal_tailed_records: AtomicU64,
@@ -193,6 +195,16 @@ impl ServeMetrics {
         }
     }
 
+    /// A kernel carrying a fused epilogue chain of `ops` ops was built
+    /// for the engine: its bias/ReLU/residual/requantize/softmax/
+    /// layernorm steps execute inside the kernel dispatch instead of as
+    /// per-op interpreter passes.
+    pub fn record_epilogue_fusion(&self, ops: usize) {
+        self.epilogue_fused_kernels.fetch_add(1, Ordering::Relaxed);
+        self.epilogue_ops_eliminated
+            .fetch_add(ops as u64, Ordering::Relaxed);
+    }
+
     /// The scheduler's dispatcher thread woke up to form a batch
     /// window. On an idle scheduler this stays flat — the dispatcher
     /// blocks on `recv` rather than spinning — which
@@ -335,6 +347,19 @@ impl ServeMetrics {
         self.tape_fused_requests.load(Ordering::Relaxed)
     }
 
+    /// Kernels built with a fused epilogue chain.
+    #[must_use]
+    pub fn epilogue_fused_kernels(&self) -> u64 {
+        self.epilogue_fused_kernels.load(Ordering::Relaxed)
+    }
+
+    /// Epilogue ops executing inside kernel dispatches (summed over
+    /// fused kernels) instead of as per-op interpreter passes.
+    #[must_use]
+    pub fn epilogue_ops_eliminated(&self) -> u64 {
+        self.epilogue_ops_eliminated.load(Ordering::Relaxed)
+    }
+
     /// Dispatcher batch-window wake-ups.
     #[must_use]
     pub fn dispatcher_wakes(&self) -> u64 {
@@ -452,7 +477,7 @@ impl ServeMetrics {
             Some(v) => v.to_string(),
         };
         let hot_pairs = lock_recovering(&self.hot_pairs).len();
-        let mut out = String::from("# unit-serve metrics v4\n");
+        let mut out = String::from("# unit-serve metrics v5\n");
         let mut line = |k: &str, v: String| {
             out.push_str(k);
             out.push(' ');
@@ -488,6 +513,14 @@ impl ServeMetrics {
         line(
             "tape_fused_requests",
             load(&self.tape_fused_requests).to_string(),
+        );
+        line(
+            "epilogue_fused_kernels",
+            load(&self.epilogue_fused_kernels).to_string(),
+        );
+        line(
+            "epilogue_ops_eliminated",
+            load(&self.epilogue_ops_eliminated).to_string(),
         );
         line("dispatcher_wakes", load(&self.dispatcher_wakes).to_string());
         line("journal_appends", load(&self.journal_appends).to_string());
@@ -642,6 +675,8 @@ mod tests {
         m.record_tape_compile();
         m.record_tape_dispatch(1);
         m.record_tape_dispatch(2);
+        m.record_epilogue_fusion(3);
+        m.record_epilogue_fusion(2);
         m.record_dispatcher_wake();
         m.record_journal_append();
         m.record_journal_tailed(3);
@@ -659,7 +694,7 @@ mod tests {
         m.record_request_pair("convnet", "cpu");
         m.record_request_pair("attention", "cpu");
         let expected = "\
-# unit-serve metrics v4
+# unit-serve metrics v5
 requests_submitted 2
 requests_rejected 0
 requests_completed 2
@@ -681,6 +716,8 @@ tuner_searches 1
 tape_compiles 1
 tape_dispatches 2
 tape_fused_requests 2
+epilogue_fused_kernels 2
+epilogue_ops_eliminated 5
 dispatcher_wakes 1
 journal_appends 1
 journal_tailed_records 3

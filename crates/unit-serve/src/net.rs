@@ -40,6 +40,37 @@
 //!   `run_reference` without any float formatting ambiguity
 //!   ([`encode_typed_buf`] is the shared encoder).
 //!
+//! * `POST /v1/execute` with a `graph` line — **whole-model serving**:
+//!   the entire quantized forward pass of a registered model graph
+//!   executes as one artifact ([`crate::ServeEngine::execute_model`]),
+//!   every step a single fused-epilogue tape dispatch:
+//!
+//!   ```text
+//!   graph <model name, e.g. transformer-tiny>
+//!   target <target-id>
+//!   seed <u64>
+//!   mode <fused|unfused>        (optional; default fused)
+//!   ```
+//!
+//!   A `200` response body is:
+//!
+//!   ```text
+//!   ok
+//!   model <model name>
+//!   mode <fused|unfused>
+//!   micros <f64-bits-hex16>
+//!   steps <kernel dispatches>
+//!   fused_epilogue_ops <ops executed inside dispatches>
+//!   shape <batch> <rows> <cols>
+//!   dtype <element type>
+//!   len <element count>
+//!   data <hex16> <hex16> ...
+//!   ```
+//!
+//!   `mode unfused` serves the identical plan through plain GEMM
+//!   kernels plus the reference epilogue — the differential baseline;
+//!   its `data` payload is bit-identical to the fused one.
+//!
 //! * `GET /metrics` — the stable [`crate::ServeMetrics::render`] text.
 //! * `GET /healthz` — `ok` (liveness for the multi-replica demo / CI).
 //!
@@ -69,9 +100,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use unit_dsl::DType;
 use unit_graph::OpSpec;
 use unit_isa::{Scalar, TypedBuf};
 
+use crate::engine::ServeError;
+use crate::model::model_graph;
 use crate::scheduler::{Scheduler, ServeRequest, SubmitError};
 
 /// Front-end tunables.
@@ -385,6 +419,11 @@ fn route(
     match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/metrics") => (200, "OK", scheduler.engine().metrics().render()),
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
+        // A `graph` line selects whole-model serving; the op-shaped
+        // scheduler path handles everything else.
+        ("POST", "/v1/execute") if body.lines().any(|l| l.starts_with("graph ")) => {
+            graph_route(scheduler, body)
+        }
         ("POST", "/v1/execute") => execute_route(scheduler, config, body),
         ("GET", "/v1/execute") => (
             405,
@@ -453,6 +492,113 @@ fn execute_route(scheduler: &Arc<Scheduler>, config: &HttpServerConfig, body: &s
             500,
             "Internal Server Error",
             "reply channel dropped\n".into(),
+        ),
+    }
+}
+
+/// A parsed whole-model request (`POST /v1/execute` with a `graph`
+/// line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphRequest {
+    /// Registered model name ([`crate::model::model_graph`]).
+    pub graph: String,
+    /// Target id.
+    pub target: String,
+    /// Token seed.
+    pub seed: u64,
+    /// Serve fused (the default) or through the unfused baseline.
+    pub fused: bool,
+}
+
+/// Parse a whole-model `POST /v1/execute` body.
+///
+/// # Errors
+///
+/// A human-readable reason, rendered into a `400` body.
+pub fn parse_graph_body(body: &str) -> Result<GraphRequest, String> {
+    let mut graph = None;
+    let mut target = None;
+    let mut seed = None;
+    let mut fused = true;
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed body line `{line}` (expected `key value`)"))?;
+        match key {
+            "graph" => graph = Some(value.to_string()),
+            "target" => target = Some(value.to_string()),
+            "seed" => {
+                seed = Some(value.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            "mode" => {
+                fused = match value {
+                    "fused" => true,
+                    "unfused" => false,
+                    other => return Err(format!("bad mode `{other}` (fused|unfused)")),
+                };
+            }
+            other => return Err(format!("unknown body key `{other}`")),
+        }
+    }
+    Ok(GraphRequest {
+        graph: graph.ok_or("missing `graph` line")?,
+        target: target.ok_or("missing `target` line")?,
+        seed: seed.ok_or("missing `seed` line")?,
+        fused,
+    })
+}
+
+/// Whole-model serving: resolve the named graph and execute the entire
+/// forward pass as one artifact on the engine. Runs on the connection
+/// thread — the scheduler's queue batches *op-shaped* requests; a model
+/// execution is already one fused multi-dispatch unit with nothing to
+/// batch against.
+fn graph_route(scheduler: &Arc<Scheduler>, body: &str) -> HttpFailure {
+    let req = match parse_graph_body(body) {
+        Ok(req) => req,
+        Err(e) => return (400, "Bad Request", format!("{e}\n")),
+    };
+    let Some(graph) = model_graph(&req.graph) else {
+        return (
+            400,
+            "Bad Request",
+            format!("unknown model graph `{}`\n", req.graph),
+        );
+    };
+    match scheduler
+        .engine()
+        .execute_model(&graph, &req.target, req.seed, req.fused)
+    {
+        Ok(outcome) => {
+            let mut buf = TypedBuf::zeros(DType::I64, outcome.output.vals.len());
+            for (i, &v) in outcome.output.vals.iter().enumerate() {
+                buf.set(i, Scalar::Int(v));
+            }
+            (
+                200,
+                "OK",
+                format!(
+                    "ok\nmodel {}\nmode {}\nmicros {:016x}\nsteps {}\nfused_epilogue_ops {}\nshape {} {} {}\n{}",
+                    req.graph,
+                    if req.fused { "fused" } else { "unfused" },
+                    outcome.micros.to_bits(),
+                    outcome.steps,
+                    outcome.fused_epilogue_ops,
+                    outcome.output.batch,
+                    outcome.output.rows,
+                    outcome.output.cols,
+                    encode_typed_buf(&buf)
+                ),
+            )
+        }
+        Err(e @ (ServeError::UnknownTarget(_) | ServeError::InvalidModelId(_))) => {
+            (400, "Bad Request", format!("{e}\n"))
+        }
+        Err(e @ ServeError::Plan(_)) => (400, "Bad Request", format!("{e}\n")),
+        Err(e) => (
+            500,
+            "Internal Server Error",
+            format!("execution failed: {e}\n"),
         ),
     }
 }

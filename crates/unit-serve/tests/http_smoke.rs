@@ -84,7 +84,7 @@ fn execute_over_http_is_bit_identical_to_run_reference() {
     let (status, metrics) = http_request(addr, "GET", "/metrics", "", TIMEOUT).expect("metrics");
     assert_eq!(status, 200);
     assert!(
-        metrics.starts_with("# unit-serve metrics v4\n"),
+        metrics.starts_with("# unit-serve metrics v5\n"),
         "{metrics}"
     );
     assert!(metrics.contains("http_requests "), "{metrics}");
@@ -108,6 +108,63 @@ fn execute_over_http_is_bit_identical_to_run_reference() {
         })
         .expect("scheduler outlives the front-end");
     assert!(rx.recv().unwrap().result.is_ok());
+}
+
+#[test]
+fn whole_model_serving_over_http_is_mode_invariant() {
+    let (_scheduler, server) = start_server();
+    let addr = server.local_addr();
+    let target = "x86-avx512-vnni";
+
+    // Fused: the whole transformer forward as one artifact. The
+    // smoke-sized encoder keeps the interpreted forward inside the
+    // socket timeouts on the dev profile; the full transformer-tiny
+    // model runs through the same route in the release differential
+    // suites and the e2e_latency bench.
+    let body = format!("graph transformer-micro\ntarget {target}\nseed 11\n");
+    let (status, fused) =
+        http_request(addr, "POST", "/v1/execute", &body, TIMEOUT).expect("request");
+    assert_eq!(status, 200, "{fused}");
+    assert!(
+        fused.contains("ok\nmodel transformer-micro\nmode fused\n"),
+        "{fused}"
+    );
+    assert!(fused.contains("\nsteps 8\n"), "{fused}");
+    assert!(fused.contains("\nfused_epilogue_ops 17\n"), "{fused}");
+    assert!(fused.contains("\nshape 1 8 16\n"), "{fused}");
+
+    // Unfused: same plan, same bits, zero fused ops.
+    let body = format!("graph transformer-micro\ntarget {target}\nseed 11\nmode unfused\n");
+    let (status, unfused) =
+        http_request(addr, "POST", "/v1/execute", &body, TIMEOUT).expect("request");
+    assert_eq!(status, 200, "{unfused}");
+    assert!(unfused.contains("\nmode unfused\n"), "{unfused}");
+    assert!(unfused.contains("\nfused_epilogue_ops 0\n"), "{unfused}");
+    let data = |resp: &str| {
+        resp.lines()
+            .find(|l| l.starts_with("data "))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no data line: {resp}"))
+    };
+    assert_eq!(
+        data(&fused),
+        data(&unfused),
+        "serving mode must never be observable in the payload"
+    );
+
+    // 400: unknown graph, bad mode, missing seed.
+    for body in [
+        "graph resnet-900\ntarget x86-avx512-vnni\nseed 0",
+        "graph transformer-tiny\ntarget x86-avx512-vnni\nseed 0\nmode sideways",
+        "graph transformer-tiny\ntarget x86-avx512-vnni",
+        "graph transformer-tiny\ntarget no-such-target\nseed 0",
+    ] {
+        let (status, text) =
+            http_request(addr, "POST", "/v1/execute", body, TIMEOUT).expect("request");
+        assert_eq!(status, 400, "{body:?} -> {text}");
+    }
+
+    server.shutdown();
 }
 
 #[test]

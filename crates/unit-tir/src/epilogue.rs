@@ -1,0 +1,508 @@
+//! Fused epilogue regions: elementwise and row-reduction tails attached
+//! to a lowered tensorized block.
+//!
+//! UNIT tensorizes the GEMM/conv *core*; everything a real quantized
+//! model hangs off that core — bias add, ReLU, residual add, requantize,
+//! softmax, layernorm — is an **epilogue**. This module gives a lowered
+//! [`crate::TirFunc`] a first-class epilogue region so both executors in
+//! `unit-interp` (the instruction tape and the tree-walk oracle) run the
+//! whole fused group inside one kernel dispatch instead of as separate
+//! reference passes around it.
+//!
+//! Everything here is **pure fixed-point integer arithmetic** over `i64`
+//! cell values, shared verbatim by both executors — that is what makes
+//! the tape and the oracle bit-identical by construction, on integer
+//! *and* float accumulator buffers (float cells are floored on read and
+//! written back as exact small integers):
+//!
+//! * [`exp_q15`] — the softmax kernel's `exp(-x)` as a Q15 lookup table
+//!   built at compile time from an integer decay recurrence.
+//! * [`isqrt`] / [`mean_sigma`] — layernorm's row statistics with a
+//!   Newton integer square root (the fixed-point stand-in for `rsqrt`).
+//! * [`requantize`] — the affine `(x * mul) >> shift + zp` requantization
+//!   with saturation into the int8 serving domain.
+//!
+//! The geometry contract ([`EpiGeom`]) is what lets one epilogue cover
+//! every registered target: epilogues address the output accumulator as
+//! a logical `[batch, rows, cols]` tensor whose row/column padding
+//! (CPU lane blocking, GPU tile rounding) is *never touched* — padded
+//! cells keep whatever the core wrote there.
+
+use serde::{Deserialize, Serialize};
+use unit_dsl::DType;
+
+use crate::func::{BufId, BufferDecl, BufferScope, TirFunc};
+
+/// Maximum epilogue chain length a spec can carry (fixed so
+/// [`EpilogueSpec`] stays `Copy` and cache-keyable).
+pub const MAX_EPILOGUE_OPS: usize = 8;
+
+/// Q15 fixed-point shift of the [`exp_q15`] table.
+pub const EXP_SHIFT: u32 = 15;
+/// Pre-shift applied to accumulator-scale softmax deltas before the
+/// table lookup (the fixed-point "temperature").
+pub const EXP_INPUT_SHIFT: u32 = 12;
+/// Softmax probabilities are scaled to `0..=PROB_ONE` so they fit every
+/// target's 8-bit data dtype (i8 included).
+pub const PROB_ONE: i64 = 127;
+/// Layernorm output scale before the int8 clamp.
+pub const NORM_SCALE: i64 = 64;
+/// Requantize multiplier (affine `(x * mul) >> shift + zp`).
+pub const QUANT_MUL: i64 = 1;
+/// Requantize shift: maps accumulator-scale values into int8 range.
+pub const QUANT_SHIFT: u32 = 13;
+/// Requantize zero point.
+pub const QUANT_ZP: i64 = 0;
+/// Requantize saturation bounds (i8-safe on every registered target).
+pub const QUANT_MIN: i64 = -127;
+/// See [`QUANT_MIN`].
+pub const QUANT_MAX: i64 = 127;
+
+const EXP_TABLE_LEN: usize = 1024;
+
+/// `exp(-i / 16) * 2^15` built from the integer recurrence
+/// `t[i] = t[i-1] * 30784 >> 15` (`30784 ≈ exp(-1/16) * 2^15`). Pure
+/// integer construction keeps the table — and therefore softmax —
+/// platform-independent and bit-stable.
+const EXP_Q15_TABLE: [i64; EXP_TABLE_LEN] = build_exp_table();
+
+const fn build_exp_table() -> [i64; EXP_TABLE_LEN] {
+    let mut t = [0i64; EXP_TABLE_LEN];
+    t[0] = 1 << EXP_SHIFT;
+    let mut i = 1;
+    while i < EXP_TABLE_LEN {
+        t[i] = (t[i - 1] * 30784) >> EXP_SHIFT;
+        i += 1;
+    }
+    t
+}
+
+/// Fixed-point `exp(-delta)` in Q15, where `delta = row_max - x >= 0` is
+/// at accumulator scale. The row maximum maps to `2^15`; deltas beyond
+/// the table decay to 0, so the row sum is always at least `2^15`.
+#[must_use]
+pub fn exp_q15(delta: i64) -> i64 {
+    let idx = (delta >> EXP_INPUT_SHIFT).clamp(0, EXP_TABLE_LEN as i64 - 1);
+    EXP_Q15_TABLE[idx as usize]
+}
+
+/// Floor integer square root (Newton's method). The fixed-point stand-in
+/// for the hardware `rsqrt` a layernorm epilogue would use.
+#[must_use]
+pub fn isqrt(v: i64) -> i64 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = (x + 1).div_euclid(2);
+    while y < x {
+        x = y;
+        y = (x + v.div_euclid(x)).div_euclid(2);
+    }
+    x
+}
+
+/// Layernorm row statistics: `(mean, sigma)` with `sigma >= 1`
+/// (`isqrt(variance) + 1`, so normalization never divides by zero).
+#[must_use]
+pub fn mean_sigma(row: &[i64]) -> (i64, i64) {
+    let n = row.len() as i64;
+    if n == 0 {
+        return (0, 1);
+    }
+    let sum: i64 = row.iter().sum();
+    let mean = sum.div_euclid(n);
+    let var: i64 = row
+        .iter()
+        .map(|&x| {
+            let d = x - mean;
+            d * d
+        })
+        .sum::<i64>()
+        .div_euclid(n);
+    (mean, isqrt(var) + 1)
+}
+
+/// Softmax normalization of one Q15 exponent against its row sum,
+/// rounded to `0..=PROB_ONE`.
+#[must_use]
+pub fn softmax_prob(e: i64, sum: i64) -> i64 {
+    debug_assert!(sum > 0, "softmax row sum includes the max element");
+    (e * PROB_ONE + sum / 2) / sum
+}
+
+/// Layernorm normalization of one cell against its row statistics,
+/// saturated into the int8 serving domain.
+#[must_use]
+pub fn layernorm_cell(x: i64, mean: i64, sigma: i64) -> i64 {
+    ((x - mean) * NORM_SCALE)
+        .div_euclid(sigma)
+        .clamp(-PROB_ONE, PROB_ONE)
+}
+
+/// Affine requantization `(x * mul) >> shift + zp`, saturated to
+/// `[QUANT_MIN, QUANT_MAX]`. The serving convention fixes the parameters
+/// ([`QUANT_MUL`], [`QUANT_SHIFT`], [`QUANT_ZP`]) so requantize stays a
+/// zero-operand epilogue op.
+#[must_use]
+pub fn requantize(x: i64) -> i64 {
+    (((x * QUANT_MUL) >> QUANT_SHIFT) + QUANT_ZP).clamp(QUANT_MIN, QUANT_MAX)
+}
+
+/// One epilogue operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EpiOp {
+    /// `x += bias[col]` (per-output-feature i32 bias vector).
+    Bias,
+    /// `x = max(0, x)`.
+    Relu,
+    /// `x += rhs[batch, row, col]` (residual add; compact i32 tensor).
+    Add,
+    /// Row-wise fixed-point softmax (max, [`exp_q15`], sum, normalize).
+    Softmax,
+    /// Row-wise fixed-point layernorm ([`mean_sigma`], normalize).
+    LayerNorm,
+    /// Affine [`requantize`] into the int8 serving domain.
+    Quant,
+}
+
+impl EpiOp {
+    /// Stable text token (artifact-store key material; colon-free by
+    /// construction — the store's workload field is colon-separated).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            EpiOp::Bias => "bias",
+            EpiOp::Relu => "relu",
+            EpiOp::Add => "add",
+            EpiOp::Softmax => "softmax",
+            EpiOp::LayerNorm => "layernorm",
+            EpiOp::Quant => "quant",
+        }
+    }
+
+    /// Parse a [`EpiOp::token`] token.
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<EpiOp> {
+        Some(match s {
+            "bias" => EpiOp::Bias,
+            "relu" => EpiOp::Relu,
+            "add" => EpiOp::Add,
+            "softmax" => EpiOp::Softmax,
+            "layernorm" => EpiOp::LayerNorm,
+            "quant" => EpiOp::Quant,
+            _ => return None,
+        })
+    }
+
+    /// Whether the op needs a second input buffer.
+    #[must_use]
+    pub fn needs_operand(self) -> bool {
+        matches!(self, EpiOp::Bias | EpiOp::Add)
+    }
+}
+
+/// A fixed-size, `Copy`, orderable epilogue chain: the cache-key half of
+/// an epilogue. A fused workload is keyed by `(core op, EpilogueSpec)`,
+/// so fused and unfused kernels can never collide.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct EpilogueSpec {
+    ops: [Option<EpiOp>; MAX_EPILOGUE_OPS],
+}
+
+impl EpilogueSpec {
+    /// A spec from an op slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` exceeds [`MAX_EPILOGUE_OPS`].
+    #[must_use]
+    pub fn new(ops: &[EpiOp]) -> EpilogueSpec {
+        assert!(
+            ops.len() <= MAX_EPILOGUE_OPS,
+            "epilogue chain of {} ops exceeds the {} op limit",
+            ops.len(),
+            MAX_EPILOGUE_OPS
+        );
+        let mut spec = EpilogueSpec::default();
+        for &op in ops {
+            spec.push(op);
+        }
+        spec
+    }
+
+    /// Append an op. Returns `false` (spec unchanged) when full.
+    pub fn push(&mut self, op: EpiOp) -> bool {
+        for slot in &mut self.ops {
+            if slot.is_none() {
+                *slot = Some(op);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Chain length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops[0].is_none()
+    }
+
+    /// The last op of the chain, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<EpiOp> {
+        self.ops.iter().rev().find_map(|o| *o)
+    }
+
+    /// The ops in order.
+    pub fn iter(&self) -> impl Iterator<Item = EpiOp> + '_ {
+        self.ops.iter().filter_map(|o| *o)
+    }
+
+    /// Stable, colon-free text encoding: tokens joined by `.` (`"none"`
+    /// for the empty chain). Artifact-store key material.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        self.iter().map(EpiOp::token).collect::<Vec<_>>().join(".")
+    }
+
+    /// Parse the [`EpilogueSpec::encode`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed token.
+    pub fn decode(s: &str) -> Result<EpilogueSpec, String> {
+        if s == "none" {
+            return Ok(EpilogueSpec::default());
+        }
+        let mut spec = EpilogueSpec::default();
+        for tok in s.split('.') {
+            let op = EpiOp::from_token(tok)
+                .ok_or_else(|| format!("epilogue `{s}`: unknown op `{tok}`"))?;
+            if !spec.push(op) {
+                return Err(format!("epilogue `{s}`: more than {MAX_EPILOGUE_OPS} ops"));
+            }
+        }
+        if spec.is_empty() {
+            return Err(format!("epilogue `{s}`: empty chain"));
+        }
+        Ok(spec)
+    }
+}
+
+/// The logical-vs-padded geometry of the accumulator an epilogue runs
+/// over. Epilogue ops touch only the `batch * rows * cols` logical cells;
+/// layout padding (CPU lane blocking, GPU tile rounding) is left alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpiGeom {
+    /// Leading batch extent.
+    pub batch: i64,
+    /// Logical rows per batch (the GEMM's `m`).
+    pub rows: i64,
+    /// Logical columns per row (the GEMM's `n`).
+    pub cols: i64,
+    /// Padded rows per batch in the accumulator buffer.
+    pub rows_pad: i64,
+    /// Padded columns per row in the accumulator buffer.
+    pub cols_pad: i64,
+}
+
+impl EpiGeom {
+    /// Flat accumulator index of logical cell `(b, i, j)`.
+    #[inline]
+    #[must_use]
+    pub fn flat(&self, b: i64, i: i64, j: i64) -> usize {
+        ((b * self.rows_pad + i) * self.cols_pad + j) as usize
+    }
+
+    /// Derive the geometry from a GEMM's logical extents and its lowered
+    /// output-buffer shape. Recognizes the two layouts the target
+    /// conventions produce: the CPU blocked output
+    /// `[batch, m, nb, lanes]` and the GPU tiled output
+    /// `[batch, rows_pad, cols_pad]`. Returns `None` for anything else
+    /// (callers then skip epilogue attachment rather than guess).
+    #[must_use]
+    pub fn for_output(batch: i64, rows: i64, cols: i64, out_shape: &[i64]) -> Option<EpiGeom> {
+        let (rows_pad, cols_pad) = match out_shape {
+            [b, m, nb, lanes] if *b == batch && *m == rows => (*m, nb * lanes),
+            [b, rp, cp] if *b == batch => (*rp, *cp),
+            _ => return None,
+        };
+        (rows_pad >= rows && cols_pad >= cols).then_some(EpiGeom {
+            batch,
+            rows,
+            cols,
+            rows_pad,
+            cols_pad,
+        })
+    }
+
+    /// Whether every logical cell addresses inside a buffer of `len`
+    /// elements.
+    #[must_use]
+    pub fn fits(&self, len: usize) -> bool {
+        if self.batch <= 0 || self.rows <= 0 || self.cols <= 0 {
+            return false;
+        }
+        self.flat(self.batch - 1, self.rows - 1, self.cols - 1) < len
+    }
+}
+
+/// One attached epilogue instruction: the op plus its second-input
+/// buffer, when the op takes one ([`EpiOp::needs_operand`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpilogueInstr {
+    /// The operation.
+    pub op: EpiOp,
+    /// Bias vector (`[cols]`) or residual tensor (`[batch, rows, cols]`),
+    /// both i32, appended to the function's buffer table by
+    /// [`attach_epilogue`].
+    pub operand: Option<BufId>,
+}
+
+/// An epilogue region attached to a lowered function: the instruction
+/// chain plus the accumulator geometry it runs over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Epilogue {
+    /// Accumulator geometry.
+    pub geom: EpiGeom,
+    /// Instructions, applied in order to the function's output buffer.
+    pub instrs: Vec<EpilogueInstr>,
+}
+
+/// Attach an epilogue chain to a lowered function: operand buffers
+/// (bias vectors, residual tensors) are appended to the buffer table as
+/// ordinary global arguments — `unit_interp::alloc_buffers` allocates
+/// them like any other argument — and the function's `epilogue` field is
+/// populated. The output buffer itself is transformed **in place**; the
+/// function's output id does not change.
+pub fn attach_epilogue(func: &mut TirFunc, spec: &EpilogueSpec, geom: EpiGeom) {
+    let mut instrs = Vec::with_capacity(spec.len());
+    for op in spec.iter() {
+        let operand = op.needs_operand().then(|| {
+            let id = BufId(func.buffers.len() as u32);
+            let (name, shape) = match op {
+                EpiOp::Bias => (format!("epi_bias_{}", id.0), vec![geom.cols]),
+                EpiOp::Add => (
+                    format!("epi_residual_{}", id.0),
+                    vec![geom.batch, geom.rows, geom.cols],
+                ),
+                _ => unreachable!("only bias/add take operands"),
+            };
+            func.buffers.push(BufferDecl {
+                id,
+                name,
+                shape,
+                dtype: DType::I32,
+                scope: BufferScope::Global,
+            });
+            id
+        });
+        instrs.push(EpilogueInstr { op, operand });
+    }
+    func.epilogue = Some(Epilogue { geom, instrs });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_table_is_monotone_and_anchored() {
+        assert_eq!(exp_q15(0), 1 << EXP_SHIFT);
+        let mut prev = exp_q15(0);
+        for d in (0..200_000).step_by(4096) {
+            let e = exp_q15(d);
+            assert!(e <= prev, "exp must decay");
+            assert!(e >= 0);
+            prev = e;
+        }
+        // Far deltas decay to zero; the max element alone keeps row sums
+        // positive.
+        assert_eq!(exp_q15(i64::MAX >> 2), 0);
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        for v in [0i64, 1, 2, 3, 4, 15, 16, 17, 1 << 20, (1 << 30) + 12345] {
+            let r = isqrt(v);
+            assert!(r * r <= v, "isqrt({v}) = {r}");
+            assert!((r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_text() {
+        let spec = EpilogueSpec::new(&[EpiOp::Bias, EpiOp::Relu, EpiOp::Quant]);
+        assert_eq!(spec.encode(), "bias.relu.quant");
+        assert_eq!(EpilogueSpec::decode("bias.relu.quant").unwrap(), spec);
+        assert_eq!(
+            EpilogueSpec::decode("none").unwrap(),
+            EpilogueSpec::default()
+        );
+        assert!(EpilogueSpec::decode("bogus").is_err());
+        assert!(EpilogueSpec::decode("").is_err());
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.last(), Some(EpiOp::Quant));
+        // Key material must stay colon-free: the artifact store's
+        // workload field is colon-separated.
+        assert!(!spec.encode().contains(':'));
+    }
+
+    #[test]
+    fn geom_recognizes_cpu_and_gpu_layouts() {
+        // CPU blocked: out[batch, m, nb, lanes].
+        let g = EpiGeom::for_output(4, 64, 60, &[4, 64, 4, 16]).unwrap();
+        assert_eq!((g.rows_pad, g.cols_pad), (64, 64));
+        assert_eq!(g.flat(1, 2, 3), (64 + 2) * 64 + 3);
+        assert!(g.fits(4 * 64 * 64));
+        assert!(!g.fits(g.flat(3, 63, 59)));
+        // GPU tiled: out[batch, rows_pad, cols_pad].
+        let g = EpiGeom::for_output(2, 30, 30, &[2, 32, 32]).unwrap();
+        assert_eq!((g.rows_pad, g.cols_pad), (32, 32));
+        // Unknown layouts refuse rather than guess.
+        assert!(EpiGeom::for_output(1, 4, 4, &[16]).is_none());
+        assert!(EpiGeom::for_output(2, 4, 4, &[1, 4, 4]).is_none());
+    }
+
+    #[test]
+    fn attach_appends_operand_buffers() {
+        use crate::stmt::Stmt;
+        let mut func = TirFunc {
+            name: "f".into(),
+            buffers: vec![BufferDecl {
+                id: BufId(0),
+                name: "out".into(),
+                shape: vec![1, 2, 1, 4],
+                dtype: DType::I32,
+                scope: BufferScope::Global,
+            }],
+            vars: vec![],
+            output: BufId(0),
+            body: Stmt::Nop,
+            epilogue: None,
+        };
+        let geom = EpiGeom::for_output(1, 2, 3, &[1, 2, 1, 4]).unwrap();
+        let spec = EpilogueSpec::new(&[EpiOp::Bias, EpiOp::Add, EpiOp::LayerNorm]);
+        attach_epilogue(&mut func, &spec, geom);
+        let epi = func.epilogue.as_ref().unwrap();
+        assert_eq!(epi.instrs.len(), 3);
+        assert_eq!(func.buffers.len(), 3, "bias + residual appended");
+        assert_eq!(func.buffers[1].shape, vec![3]);
+        assert_eq!(func.buffers[2].shape, vec![1, 2, 3]);
+        assert_eq!(epi.instrs[0].operand, Some(BufId(1)));
+        assert_eq!(epi.instrs[1].operand, Some(BufId(2)));
+        assert_eq!(epi.instrs[2].operand, None);
+    }
+}

@@ -109,6 +109,9 @@ pub struct TirFunc {
     pub output: BufId,
     /// Function body.
     pub body: Stmt,
+    /// Optional fused epilogue region applied to [`TirFunc::output`]
+    /// after the body (see [`crate::epilogue`]).
+    pub epilogue: Option<crate::epilogue::Epilogue>,
 }
 
 impl TirFunc {
@@ -184,6 +187,7 @@ mod tests {
             vars: vec![],
             output: BufId(2),
             body: Stmt::Nop,
+            epilogue: None,
         };
         assert_eq!(f.args().len(), 2);
     }

@@ -35,6 +35,7 @@
 //! assert!(unit_tir::passes::validate::validate(&func).is_ok());
 //! ```
 
+pub mod epilogue;
 pub mod expr;
 pub mod func;
 pub mod idx;
@@ -44,6 +45,7 @@ pub mod printer;
 pub mod schedule;
 pub mod stmt;
 
+pub use epilogue::{attach_epilogue, EpiGeom, EpiOp, Epilogue, EpilogueInstr, EpilogueSpec};
 pub use expr::TExpr;
 pub use func::{BufId, BufferDecl, BufferScope, TirFunc, VarDecl, VarId};
 pub use idx::IdxExpr;

@@ -242,6 +242,7 @@ pub fn lower(schedule: &Schedule, name: &str) -> Result<TirFunc, LowerError> {
         vars,
         output: out_buf,
         body,
+        epilogue: None,
     })
 }
 

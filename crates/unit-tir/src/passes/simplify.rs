@@ -189,6 +189,7 @@ mod tests {
             vars: vec![],
             output: BufId(0),
             body: inner.in_loop(VarId(0), 1, LoopKind::Serial),
+            epilogue: None,
         };
         let s = simplify(&f);
         match &s.body {
@@ -209,6 +210,7 @@ mod tests {
                 Stmt::Seq(vec![Stmt::Sync, Stmt::Nop]),
                 Stmt::Nop,
             ]),
+            epilogue: None,
         };
         let s = simplify(&f);
         assert_eq!(s.body, Stmt::Sync);

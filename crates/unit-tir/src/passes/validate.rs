@@ -277,6 +277,7 @@ mod tests {
                 indices: vec![IdxExpr::Var(VarId(0))],
                 value: TExpr::Int(0, unit_dsl::DType::I32),
             }),
+            epilogue: None,
         };
         assert_eq!(validate(&f), Err(ValidateError::UnboundVar(VarId(0))));
     }
