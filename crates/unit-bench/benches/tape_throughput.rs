@@ -14,19 +14,26 @@
 //! * **fusion**: a batch of same-shape batched-GEMM requests through
 //!   [`ServeEngine::execute_gemm_batch`] costs exactly *one* tape
 //!   dispatch — fewer dispatches than requests,
-//! * **oracle agreement**: both modes produce bit-identical outputs.
+//! * **oracle agreement**: both modes produce bit-identical outputs,
+//! * **tracing-off overhead**: the tape hot loop paying the serve
+//!   engine's per-dispatch disabled-tracing check (one relaxed atomic
+//!   load through [`TraceCollector::begin`] returning `None`) stays
+//!   within 3% of the raw loop.
 //!
 //! `TAPE_THROUGHPUT_SMOKE=1` switches to a single short repetition count
 //! and additionally writes `BENCH_tape.json` (requests/sec per mode,
 //! speedup, fusion counters) into the working directory — the tracked
 //! CI artifact.
 
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use unit_core::pipeline::TuningConfig;
+use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{CpuTuneMode, GpuTuneMode};
 use unit_graph::OpSpec;
-use unit_serve::{ExecMode, ServeEngine};
+use unit_interp::{alloc_buffers, random_fill, Tape, TapeScratch};
+use unit_isa::{registry, TypedBuf};
+use unit_serve::{ExecMode, ServeEngine, TraceCollector};
 
 const TARGET: &str = "x86-avx512-vnni";
 
@@ -62,6 +69,71 @@ fn timed_pass(engine: &ServeEngine, reps: usize) -> Duration {
         }
     }
     t0.elapsed()
+}
+
+/// One pass of the tape hot loop. With `tracer`, each run additionally
+/// pays exactly what the serve engine pays per dispatch when tracing is
+/// disabled: one [`TraceCollector::begin`] call that reads the enabled
+/// flag and returns `None` without allocating.
+fn tape_pass(
+    tape: &Tape,
+    bufs: &mut [TypedBuf],
+    scratch: &mut TapeScratch,
+    runs: usize,
+    tracer: Option<&TraceCollector>,
+) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        if let Some(tracer) = tracer {
+            assert!(
+                black_box(tracer).begin("tape_dispatch").is_none(),
+                "tracing must stay disabled in the overhead measurement"
+            );
+        }
+        tape.run(black_box(bufs), scratch).expect("tape executes");
+    }
+    t0.elapsed()
+}
+
+/// Tracing-off overhead on the tape hot path, in percent: best-of-5
+/// interleaved passes of the raw loop vs. the loop with the disabled
+/// check. Returns `(baseline_runs_per_sec, tracing_off_runs_per_sec,
+/// overhead_pct)`.
+fn tracing_off_overhead(runs: usize) -> (f64, f64, f64) {
+    let desc = registry::target_by_id(TARGET).expect("registered target");
+    // Small shape on purpose: short runs give many samples per pass, so
+    // best-of-N converges and the 3% bound measures the check, not
+    // scheduler drift across long passes.
+    let (lowered, _) = unit_graph::layout::op_for_target(&OpSpec::gemm(8, 8, 8), &desc);
+    let kernel = Tensorizer::new(Target::x86_avx512_vnni())
+        .with_tuning(tuning())
+        .compile(&lowered)
+        .expect("kernel compiles");
+    let tape = Tape::compile(&kernel.func).expect("tape compiles");
+    let mut bufs = alloc_buffers(&kernel.func);
+    random_fill(&mut bufs, 7);
+    let mut scratch = tape.scratch();
+    let tracer = TraceCollector::new();
+    assert!(!tracer.enabled(), "collectors start disabled");
+
+    // Warm caches, then interleave so drift hits both loops equally.
+    tape_pass(&tape, &mut bufs, &mut scratch, runs / 10, None);
+    let mut base_best = Duration::MAX;
+    let mut off_best = Duration::MAX;
+    for _ in 0..9 {
+        base_best = base_best.min(tape_pass(&tape, &mut bufs, &mut scratch, runs, None));
+        off_best = off_best.min(tape_pass(
+            &tape,
+            &mut bufs,
+            &mut scratch,
+            runs,
+            Some(&tracer),
+        ));
+    }
+    let base_rps = runs as f64 / base_best.as_secs_f64();
+    let off_rps = runs as f64 / off_best.as_secs_f64();
+    let overhead_pct = (off_best.as_secs_f64() / base_best.as_secs_f64() - 1.0) * 100.0;
+    (base_rps, off_rps, overhead_pct)
 }
 
 fn main() {
@@ -113,6 +185,12 @@ fn main() {
     );
     assert_eq!(fused_dispatches, 1, "same-shape batch fuses into one tape");
 
+    // Tracing disabled must cost nothing measurable on the tape hot
+    // path: the per-dispatch disabled check stays within 3% of the raw
+    // loop (ISSUE acceptance bound).
+    let tape_runs = if smoke { 2_000 } else { 10_000 };
+    let (base_rps, off_rps, overhead_pct) = tracing_off_overhead(tape_runs);
+
     println!("tape_throughput: {} requests per mode", requests as usize);
     println!(
         "  tape   {:>8.2} ms   {:>9.0} req/s",
@@ -125,8 +203,16 @@ fn main() {
         interp_rps,
         tape_rps / interp_rps
     );
+    println!(
+        "  tracing-off overhead: {overhead_pct:.2}% \
+         (raw {base_rps:.0} runs/s, with disabled check {off_rps:.0} runs/s)"
+    );
     println!("{}", tape_engine.metrics().render());
 
+    assert!(
+        overhead_pct <= 3.0,
+        "tracing disabled must cost <= 3% on the tape hot path, measured {overhead_pct:.2}%"
+    );
     assert!(
         tape_best <= interp_best,
         "the compiled tape must serve at least interpreter throughput: \
@@ -140,7 +226,7 @@ fn main() {
         // Hand-rolled JSON (the vendored serde is a stub): the tracked
         // tape-bench artifact CI archives as BENCH_tape.json.
         let json = format!(
-            "{{\n  \"bench\": \"tape_throughput\",\n  \"requests_per_mode\": {},\n  \"tape_requests_per_sec\": {tape_rps:.1},\n  \"interp_requests_per_sec\": {interp_rps:.1},\n  \"tape_speedup\": {:.3},\n  \"tape_compiles\": {},\n  \"fused_batch_requests\": {},\n  \"fused_batch_dispatches\": {fused_dispatches}\n}}\n",
+            "{{\n  \"bench\": \"tape_throughput\",\n  \"requests_per_mode\": {},\n  \"tape_requests_per_sec\": {tape_rps:.1},\n  \"interp_requests_per_sec\": {interp_rps:.1},\n  \"tape_speedup\": {:.3},\n  \"tape_compiles\": {},\n  \"fused_batch_requests\": {},\n  \"fused_batch_dispatches\": {fused_dispatches},\n  \"tracing_off_baseline_runs_per_sec\": {base_rps:.1},\n  \"tracing_off_runs_per_sec\": {off_rps:.1},\n  \"tracing_off_overhead_pct\": {overhead_pct:.2}\n}}\n",
             requests as usize,
             tape_rps / interp_rps,
             tape_engine.metrics().tape_compiles(),

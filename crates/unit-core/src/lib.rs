@@ -37,5 +37,5 @@ pub mod tuner;
 
 pub use error::CompileError;
 pub use inspector::{enumerate_mappings, match_compute, AxisMapping, Match, OperandBinding};
-pub use pipeline::{CompiledKernel, Target, Tensorizer, TuningConfig};
+pub use pipeline::{CompiledKernel, StageTimings, Target, Tensorizer, TuningConfig};
 pub use rewriter::{build_tensorized_schedule, finalize, TensorizedSchedule};

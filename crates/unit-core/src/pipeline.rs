@@ -1,5 +1,7 @@
 //! The end-to-end pipeline: Inspector → Rewriter → Tuner.
 
+use std::time::Instant;
+
 use unit_dsl::{AxisId, ComputeOp};
 use unit_isa::{registry, ExecStyle, TargetDesc, TensorIntrinsic};
 use unit_sim::{CpuMachine, Estimate, GpuKernelDesc, GpuMachine};
@@ -166,6 +168,36 @@ impl TuningConfig {
     }
 }
 
+/// Wall-clock time spent in each compile stage, measured by
+/// [`Tensorizer::compile_with_hint`] around the stage calls themselves.
+/// The serving runtime replays these into per-request trace spans
+/// (`inspect` → `tune` → `lower`) so a cold-start's cost is attributable
+/// to a stage rather than a lump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Instruction applicability inspection ([`Tensorizer::inspect`]).
+    pub inspect_us: u64,
+    /// Schedule search / candidate profiling (the tuner call). For CPU
+    /// targets this includes lowering, which candidate construction
+    /// performs internally.
+    pub tune_us: u64,
+    /// Tensorized lowering outside the tuner (GPU targets: schedule
+    /// build + finalize; `0` for CPU targets, see `tune_us`).
+    pub lower_us: u64,
+}
+
+impl StageTimings {
+    /// Total compile wall time across the recorded stages.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.inspect_us + self.tune_us + self.lower_us
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// A compiled, tuned, tensorized kernel.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
@@ -195,6 +227,9 @@ pub struct CompiledKernel {
     /// persists this per kernel so a warm start replays tuning decisions
     /// with zero searches.
     pub replay: TuningConfig,
+    /// Wall-clock time spent per compile stage (observability only —
+    /// never persisted, never compared for determinism).
+    pub stages: StageTimings,
 }
 
 /// The UNIT compiler front object.
@@ -286,7 +321,9 @@ impl Tensorizer {
         op: &ComputeOp,
         hint: Option<crate::tuner::gpu::ConvGpuHint>,
     ) -> Result<CompiledKernel, CompileError> {
+        let stage_start = Instant::now();
         let (intrinsic, m) = self.inspect(op)?;
+        let inspect_us = elapsed_us(stage_start);
         // Dispatch on the descriptor's execution style — never on which
         // target this is. Adding a target therefore never touches this.
         match self.target.desc.style {
@@ -300,6 +337,7 @@ impl Tensorizer {
                     .as_ref()
                     .or_else(|| self.target.desc.cpu_machine())
                     .expect("CPU-style target carries a CPU machine");
+                let stage_start = Instant::now();
                 let tuned = tune_cpu_with_workers(
                     op,
                     &m,
@@ -308,6 +346,7 @@ impl Tensorizer {
                     self.tuning.cpu,
                     self.workers,
                 )?;
+                let tune_us = elapsed_us(stage_start);
                 let (par, unroll) = tuned.chosen_pair;
                 Ok(CompiledKernel {
                     op_name: op.name.clone(),
@@ -322,6 +361,13 @@ impl Tensorizer {
                         cpu: CpuTuneMode::Fixed { par, unroll },
                         gpu: GpuTuneMode::Generic,
                     },
+                    stages: StageTimings {
+                        inspect_us,
+                        tune_us,
+                        // CPU lowering happens inside candidate
+                        // construction, i.e. under `tune_us`.
+                        lower_us: 0,
+                    },
                 })
             }
             ExecStyle::Gpu { .. } => {
@@ -331,6 +377,7 @@ impl Tensorizer {
                     .as_ref()
                     .or_else(|| self.target.desc.gpu_machine())
                     .expect("GPU-style target carries a GPU machine");
+                let stage_start = Instant::now();
                 let tuned = tune_gpu_with_workers(
                     op,
                     &m,
@@ -340,10 +387,13 @@ impl Tensorizer {
                     hint,
                     self.workers,
                 );
+                let tune_us = elapsed_us(stage_start);
                 // The functional kernel: base tensorized lowering (the GPU
                 // scheduling knobs do not change semantics).
+                let stage_start = Instant::now();
                 let ts = build_tensorized_schedule(op, &m, &intrinsic)?;
                 let func = finalize(&ts, &format!("{}_wmma", op.name))?;
+                let lower_us = elapsed_us(stage_start);
                 Ok(CompiledKernel {
                     op_name: op.name.clone(),
                     intrinsic,
@@ -361,6 +411,11 @@ impl Tensorizer {
                         // micros, not from re-profiling.
                         cpu: CpuTuneMode::ParallelUnroll,
                         gpu: GpuTuneMode::Generic,
+                    },
+                    stages: StageTimings {
+                        inspect_us,
+                        tune_us,
+                        lower_us,
                     },
                 })
             }

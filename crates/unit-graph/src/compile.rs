@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use unit_core::pipeline::{Target, Tensorizer, TuningConfig};
+use unit_core::pipeline::{StageTimings, Target, Tensorizer, TuningConfig};
 use unit_core::tuner::{parallel_map, CpuTuneMode, GpuTuneMode};
 use unit_dsl::DType;
 use unit_sim::estimate_cpu;
@@ -642,6 +642,7 @@ impl UnitProvider {
                             note,
                             replay: kernel.replay,
                             tensorized: true,
+                            stages: kernel.stages,
                         }
                     }
                     None => {
@@ -655,6 +656,7 @@ impl UnitProvider {
                             note,
                             replay: search_free,
                             tensorized: false,
+                            stages: StageTimings::default(),
                         }
                     }
                 }
@@ -678,6 +680,7 @@ impl UnitProvider {
                         note: String::new(),
                         replay: kernel.replay,
                         tensorized: true,
+                        stages: kernel.stages,
                     },
                     Err(_) => {
                         let func = simd_fallback_func(&op);
@@ -694,6 +697,7 @@ impl UnitProvider {
                             note: String::new(),
                             replay: search_free,
                             tensorized: false,
+                            stages: StageTimings::default(),
                         }
                     }
                 }
@@ -754,6 +758,9 @@ pub struct CompiledOp {
     pub replay: TuningConfig,
     /// Whether a tensorized instruction applied (false = SIMD fallback).
     pub tensorized: bool,
+    /// Per-stage compile wall time (zero for fallback paths, whose cost
+    /// is not stage-structured). Observability only — never persisted.
+    pub stages: StageTimings,
 }
 
 impl ConvProvider for UnitProvider {

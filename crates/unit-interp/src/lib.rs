@@ -44,4 +44,4 @@ pub use buffers::{alloc_buffers, alloc_op_buffers, random_fill};
 pub use epilogue::{cell_to_i64, i64_to_cell, run_epilogue};
 pub use exec::{run, ExecError};
 pub use reference::{reference_output, run_reference};
-pub use tape::{Tape, TapeScratch, TapeStats};
+pub use tape::{Tape, TapeProfile, TapeScratch, TapeStats};

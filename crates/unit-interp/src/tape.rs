@@ -353,6 +353,29 @@ pub struct TapeStats {
     pub epilogue_ops: usize,
 }
 
+/// Run-time execution counters, accumulated into a [`TapeScratch`]
+/// across every [`Tape::run`] that reuses it. The counters are plain
+/// local increments inside the dispatch loop (no atomics, no branches),
+/// so they cost nothing measurable; the serving layer reads them
+/// per-dispatch to attribute work (and scratch reuse, via `runs`) in
+/// request traces. Compare with [`TapeStats`]: that is what the
+/// compiler *decided* (e.g. `elided_guards`), this is what an execution
+/// actually *did* (e.g. `guards_executed`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TapeProfile {
+    /// Completed [`Tape::run`] calls through this scratch (values above
+    /// 1 demonstrate scratch reuse — the steady-state serving mode).
+    pub runs: u64,
+    /// Tape instructions retired (loop bookkeeping included).
+    pub ops_retired: u64,
+    /// Residue-guard conditions evaluated at run time. Statically
+    /// discharged conditions ([`TapeStats::elided_guards`]) never reach
+    /// the tape, so they are absent here by construction.
+    pub guards_executed: u64,
+    /// Tensorized-intrinsic dispatches executed.
+    pub intrin_dispatches: u64,
+}
+
 /// A compiled, immutable, shareable instruction tape. `Tape` is `Sync`:
 /// one compiled tape serves concurrent workers, each with its own
 /// [`TapeScratch`].
@@ -381,6 +404,22 @@ pub struct TapeScratch {
     row_b: Vec<i64>,
     /// Row gather window for two-pass statistics (`cols` entries).
     row_tmp: Vec<i64>,
+    /// Cumulative execution counters (see [`TapeProfile`]).
+    profile: TapeProfile,
+}
+
+impl TapeScratch {
+    /// Cumulative execution counters since construction (or the last
+    /// [`TapeScratch::reset_profile`]).
+    #[must_use]
+    pub fn profile(&self) -> TapeProfile {
+        self.profile
+    }
+
+    /// Zero the execution counters (the scratch buffers are untouched).
+    pub fn reset_profile(&mut self) {
+        self.profile = TapeProfile::default();
+    }
 }
 
 impl Tape {
@@ -447,6 +486,7 @@ impl Tape {
             row_a: vec![0; self.row_file_len()],
             row_b: vec![0; self.row_file_len()],
             row_tmp: vec![0; self.epi.map_or(0, |e| e.geom.cols as usize)],
+            profile: TapeProfile::default(),
         }
     }
 
@@ -497,8 +537,14 @@ impl Tape {
             "scratch from another tape"
         );
 
+        // Profile counters stay in locals through the loop (register
+        // pressure over memory traffic) and flush to the scratch once.
+        let mut prof_ops = 0u64;
+        let mut prof_guards = 0u64;
+        let mut prof_intrins = 0u64;
         let mut ip = 0usize;
         while ip < self.ops.len() {
+            prof_ops += 1;
             match &self.ops[ip] {
                 TapeOp::Loop { var } => scratch.env[*var as usize] = 0,
                 TapeOp::End { var, extent, top } => {
@@ -512,6 +558,7 @@ impl Tape {
                 TapeOp::Guard { guards, exit } => {
                     let mut taken = false;
                     for g in guards.iter() {
+                        prof_guards += 1;
                         if g.prog.eval(&scratch.env, &mut scratch.idx_stack) >= g.bound {
                             taken = true;
                             break;
@@ -534,6 +581,7 @@ impl Tape {
                     bufs[addr.buffer as usize].set(at, v);
                 }
                 TapeOp::Intrin { id } => {
+                    prof_intrins += 1;
                     let ci = &self.intrins[*id as usize];
                     let regs = &mut scratch.regs[*id as usize];
                     for reg in regs.iter_mut() {
@@ -652,6 +700,10 @@ impl Tape {
             }
             ip += 1;
         }
+        scratch.profile.runs += 1;
+        scratch.profile.ops_retired += prof_ops;
+        scratch.profile.guards_executed += prof_guards;
+        scratch.profile.intrin_dispatches += prof_intrins;
         Ok(())
     }
 
@@ -1166,6 +1218,30 @@ mod tests {
         tape.run(&mut first, &mut scratch).unwrap();
         tape.run(&mut second, &mut scratch).unwrap();
         assert_eq!(first, second, "scratch reuse must not leak state");
+    }
+
+    #[test]
+    fn profile_counts_runs_ops_and_dispatches() {
+        let op = matmul_u8i8(6, 10, 24);
+        let func = lower(&Schedule::new(&op), "mm").unwrap();
+        let tape = Tape::compile(&func).unwrap();
+        let mut scratch = tape.scratch();
+        assert_eq!(scratch.profile(), TapeProfile::default());
+        let mut bufs = alloc_buffers(&func);
+        random_fill(&mut bufs, 9);
+        tape.run(&mut bufs, &mut scratch).unwrap();
+        let once = scratch.profile();
+        assert_eq!(once.runs, 1);
+        assert!(once.ops_retired >= tape.stats().ops as u64);
+        assert!(once.intrin_dispatches >= 1 || tape.stats().intrin_sites == 0);
+        tape.run(&mut bufs, &mut scratch).unwrap();
+        let twice = scratch.profile();
+        assert_eq!(twice.runs, 2, "reused scratch accumulates run count");
+        assert_eq!(twice.ops_retired, 2 * once.ops_retired);
+        assert_eq!(twice.guards_executed, 2 * once.guards_executed);
+        assert_eq!(twice.intrin_dispatches, 2 * once.intrin_dispatches);
+        scratch.reset_profile();
+        assert_eq!(scratch.profile(), TapeProfile::default());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use unit_core::pipeline::{Target, TuningConfig};
+use unit_core::pipeline::{StageTimings, Target, TuningConfig};
 use unit_core::tuner::TuneTier;
 use unit_graph::compile::{compile_model_with_artifacts, e2e_latency, KernelCache, UnitProvider};
 use unit_graph::{
@@ -52,6 +52,7 @@ use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ServeMetrics;
 use crate::model::{self, Compact};
 use crate::retune::{RetuneJob, RetuneQueue};
+use crate::trace::{TraceCollector, TraceHandle};
 
 /// Lock a mutex, recovering from poisoning. Every engine mutex guards
 /// plain data whose invariants hold between operations (a `BTreeMap`
@@ -217,6 +218,9 @@ pub struct ServeEngine {
     /// Pending background re-tune jobs (tiered engines only).
     retunes: RetuneQueue,
     metrics: Arc<ServeMetrics>,
+    /// Request-scoped tracing (disabled by default: one relaxed load
+    /// per entry point; every span hook is behind `Option`).
+    tracer: TraceCollector,
 }
 
 impl ServeEngine {
@@ -268,7 +272,30 @@ impl ServeEngine {
             swap: Mutex::new(()),
             retunes: RetuneQueue::default(),
             metrics: Arc::new(ServeMetrics::new()),
+            tracer: TraceCollector::new(),
         })
+    }
+
+    /// Enable request tracing from construction (equivalent to setting
+    /// `UNIT_SERVE_TRACE=1`, or `engine.tracer().set_enabled(true)` at
+    /// runtime).
+    #[must_use]
+    pub fn with_tracing(self) -> ServeEngine {
+        self.tracer.set_enabled(true);
+        self
+    }
+
+    /// The engine's trace collector (shared with the scheduler and the
+    /// HTTP front-end).
+    #[must_use]
+    pub fn tracer(&self) -> &TraceCollector {
+        &self.tracer
+    }
+
+    /// Finish `handle` into the trace ring and account it in metrics.
+    pub(crate) fn finish_trace(&self, handle: &TraceHandle) {
+        let dropped = self.tracer.finish(handle);
+        self.metrics.record_trace(dropped);
     }
 
     /// Serve cold misses at the capped cold tier and re-tune in the
@@ -551,6 +578,34 @@ impl ServeEngine {
         op: OpSpec,
         seed: u64,
     ) -> Result<ExecOutcome, ServeError> {
+        // In-process callers get a trace of their own when tracing is
+        // on; the scheduler passes each request's handle to
+        // [`ServeEngine::execute_traced`] instead.
+        let own = self
+            .tracer
+            .begin(format!("execute model={model} target={target_id}"));
+        let result = self.execute_traced(model, target_id, op, seed, own.as_ref());
+        if let Some(handle) = own {
+            self.finish_trace(&handle);
+        }
+        result
+    }
+
+    /// [`ServeEngine::execute`] with an explicit trace handle: spans for
+    /// cache lookup, compile stages and the tape dispatch (with its
+    /// execution profile) are recorded onto `trace` when present.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::execute`].
+    pub fn execute_traced(
+        &self,
+        model: &str,
+        target_id: &str,
+        op: OpSpec,
+        seed: u64,
+        trace: Option<&TraceHandle>,
+    ) -> Result<ExecOutcome, ServeError> {
         if !self.serves(target_id) {
             return Err(ServeError::UnknownTarget(target_id.to_string()));
         }
@@ -558,17 +613,23 @@ impl ServeEngine {
             return Err(ServeError::InvalidModelId(model.to_string()));
         }
         self.metrics.record_request_pair(model, target_id);
-        let (kernel, tier) = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        let (kernel, tier) =
+            self.ensure_compiled_traced(model, target_id, CacheWorkload::Op(op), trace);
         let mut bufs = alloc_buffers(&kernel.func);
         random_fill(&mut bufs, seed);
         match self.exec_mode {
             ExecMode::Tape => {
                 let key = KernelCacheKey::new(CacheWorkload::Op(op), target_id, self.tuning);
-                let tape = self.ensure_tape(target_id, &key, &kernel)?;
-                tape.run_fresh(&mut bufs).map_err(ServeError::Exec)?;
-                self.metrics.record_tape_dispatch(1);
+                let tape = self.ensure_tape(target_id, &key, &kernel, trace)?;
+                self.dispatch_tape(&tape, &mut bufs, 1, trace, kernel.func.name.as_str())?;
             }
-            ExecMode::Interp => run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?,
+            ExecMode::Interp => {
+                let span = trace.map(|t| t.start("interp_dispatch"));
+                run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?;
+                if let Some(span) = span {
+                    span.finish(format!("func={}", kernel.func.name));
+                }
+            }
         }
         Ok(ExecOutcome {
             output: bufs.swap_remove(kernel.output),
@@ -577,6 +638,41 @@ impl ServeEngine {
             tensorized: kernel.tensorized,
             tier,
         })
+    }
+
+    /// Run `tape` over `bufs` with a per-dispatch scratch, account the
+    /// dispatch and its execution profile in metrics, and record a
+    /// `tape_dispatch` span (run-time counters plus the compile-time
+    /// `elided_guards` contrast) when tracing.
+    fn dispatch_tape(
+        &self,
+        tape: &Tape,
+        bufs: &mut [TypedBuf],
+        requests: usize,
+        trace: Option<&TraceHandle>,
+        label: &str,
+    ) -> Result<(), ServeError> {
+        let span = trace.map(|t| t.start("tape_dispatch"));
+        let mut scratch = tape.scratch();
+        tape.run(bufs, &mut scratch).map_err(ServeError::Exec)?;
+        let prof = scratch.profile();
+        self.metrics.record_tape_dispatch(requests);
+        self.metrics.record_tape_profile(
+            prof.ops_retired,
+            prof.guards_executed,
+            prof.intrin_dispatches,
+        );
+        if let Some(span) = span {
+            span.finish(format!(
+                "func={label} requests={requests} ops_retired={} guards_executed={} \
+                 intrin_dispatches={} elided_guards={}",
+                prof.ops_retired,
+                prof.guards_executed,
+                prof.intrin_dispatches,
+                tape.stats().elided_guards
+            ));
+        }
+        Ok(())
     }
 
     /// Execute a whole model graph as **one served artifact**: build its
@@ -609,6 +705,32 @@ impl ServeEngine {
         target_id: &str,
         seed: u64,
         fused: bool,
+    ) -> Result<ModelOutcome, ServeError> {
+        let own = self.tracer.begin(format!(
+            "execute_model model={} target={target_id} fused={fused}",
+            graph.name
+        ));
+        let result = self.execute_model_traced(graph, target_id, seed, fused, own.as_ref());
+        if let Some(handle) = own {
+            self.finish_trace(&handle);
+        }
+        result
+    }
+
+    /// [`ServeEngine::execute_model`] with an explicit trace handle: one
+    /// dispatch span and one epilogue span per plan step, plus compile
+    /// spans for any step compiled along the way.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::execute_model`].
+    pub fn execute_model_traced(
+        &self,
+        graph: &Graph,
+        target_id: &str,
+        seed: u64,
+        fused: bool,
+        trace: Option<&TraceHandle>,
     ) -> Result<ModelOutcome, ServeError> {
         if !self.serves(target_id) {
             return Err(ServeError::UnknownTarget(target_id.to_string()));
@@ -653,7 +775,8 @@ impl ServeEngine {
             } else {
                 CacheWorkload::Op(step.op)
             };
-            let (kernel, _tier) = self.ensure_compiled(&graph.name, target_id, workload);
+            let (kernel, _tier) =
+                self.ensure_compiled_traced(&graph.name, target_id, workload, trace);
             let mut bufs = alloc_buffers(&kernel.func);
             model::scatter_operands(&kernel.func, &data, &weight, &mut bufs)
                 .map_err(ServeError::Plan)?;
@@ -667,12 +790,18 @@ impl ServeEngine {
             match self.exec_mode {
                 ExecMode::Tape => {
                     let key = KernelCacheKey::new(workload, target_id, self.tuning);
-                    let tape = self.ensure_tape(target_id, &key, &kernel)?;
-                    tape.run_fresh(&mut bufs).map_err(ServeError::Exec)?;
-                    self.metrics.record_tape_dispatch(1);
+                    let tape = self.ensure_tape(target_id, &key, &kernel, trace)?;
+                    self.dispatch_tape(&tape, &mut bufs, 1, trace, &step.name)?;
                 }
-                ExecMode::Interp => run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?,
+                ExecMode::Interp => {
+                    let span = trace.map(|t| t.start("interp_dispatch"));
+                    run(&kernel.func, &mut bufs).map_err(ServeError::Exec)?;
+                    if let Some(span) = span {
+                        span.finish(format!("step={}", step.name));
+                    }
+                }
             }
+            let epi_span = trace.map(|t| t.start("epilogue"));
             let out_shape = &kernel.func.buffers[kernel.output].shape;
             let geom = EpiGeom::for_output(batch, m, n, out_shape).ok_or_else(|| {
                 ServeError::Plan(format!(
@@ -684,6 +813,13 @@ impl ServeEngine {
             if !fused {
                 model::apply_epilogue_reference(&mut out, &step.epi, &bias, &residuals)
                     .map_err(ServeError::Plan)?;
+            }
+            if let Some(span) = epi_span {
+                span.finish(format!(
+                    "step={} fused={fused} epi_ops={}",
+                    step.name,
+                    step.epi.len()
+                ));
             }
             micros += kernel.micros;
             outputs.push(out);
@@ -721,6 +857,25 @@ impl ServeEngine {
         op: OpSpec,
         seeds: &[u64],
     ) -> Result<Vec<ExecOutcome>, ServeError> {
+        self.execute_gemm_batch_traced(model, target_id, op, seeds, &[])
+    }
+
+    /// [`ServeEngine::execute_gemm_batch`] with one optional trace handle
+    /// per request (`traces` may be shorter than `seeds`; missing entries
+    /// trace nothing). A fused dispatch records a `tape_dispatch` span on
+    /// every present trace — the requests genuinely share the execution.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::execute_gemm_batch`].
+    pub fn execute_gemm_batch_traced(
+        &self,
+        model: &str,
+        target_id: &str,
+        op: OpSpec,
+        seeds: &[u64],
+        traces: &[Option<TraceHandle>],
+    ) -> Result<Vec<ExecOutcome>, ServeError> {
         let fused_spec = match (self.exec_mode, op, seeds.len()) {
             (ExecMode::Tape, OpSpec::Gemm { m, n, k, batch }, cnt) if cnt > 1 => OpSpec::Gemm {
                 m,
@@ -728,7 +883,7 @@ impl ServeEngine {
                 k,
                 batch: batch * cnt as i64,
             },
-            _ => return self.execute_each(model, target_id, op, seeds),
+            _ => return self.execute_each(model, target_id, op, seeds, traces),
         };
         if !self.serves(target_id) {
             return Err(ServeError::UnknownTarget(target_id.to_string()));
@@ -736,14 +891,18 @@ impl ServeEngine {
         if !valid_artifact_id(model) {
             return Err(ServeError::InvalidModelId(model.to_string()));
         }
-        let (kernel, tier) = self.ensure_compiled(model, target_id, CacheWorkload::Op(op));
+        // Compile spans land on the first traced request in the run: the
+        // compile happens once for the whole fused dispatch.
+        let first = traces.iter().flatten().next();
+        let (kernel, tier) =
+            self.ensure_compiled_traced(model, target_id, CacheWorkload::Op(op), first);
         let fused_key =
             KernelCacheKey::new(CacheWorkload::Op(fused_spec), target_id, kernel.replay);
         let Some(fused) = self.fused_kernel(target_id, &kernel, &fused_key, seeds.len()) else {
-            return self.execute_each(model, target_id, op, seeds);
+            return self.execute_each(model, target_id, op, seeds, traces);
         };
-        let Ok(tape) = self.ensure_tape(target_id, &fused_key, &fused) else {
-            return self.execute_each(model, target_id, op, seeds);
+        let Ok(tape) = self.ensure_tape(target_id, &fused_key, &fused, first) else {
+            return self.execute_each(model, target_id, op, seeds, traces);
         };
 
         // Fill the fused buffers with each request's exact input stream:
@@ -761,8 +920,32 @@ impl ServeEngine {
                 }
             }
         }
-        tape.run_fresh(&mut fused_bufs).map_err(ServeError::Exec)?;
+        let spans: Vec<_> = traces
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.start("tape_dispatch")))
+            .collect();
+        let mut scratch = tape.scratch();
+        tape.run(&mut fused_bufs, &mut scratch)
+            .map_err(ServeError::Exec)?;
+        let prof = scratch.profile();
         self.metrics.record_tape_dispatch(seeds.len());
+        self.metrics.record_tape_profile(
+            prof.ops_retired,
+            prof.guards_executed,
+            prof.intrin_dispatches,
+        );
+        for span in spans.into_iter().flatten() {
+            span.finish(format!(
+                "func={} fused={} ops_retired={} guards_executed={} intrin_dispatches={} \
+                 elided_guards={}",
+                fused.func.name,
+                seeds.len(),
+                prof.ops_retired,
+                prof.guards_executed,
+                prof.intrin_dispatches,
+                tape.stats().elided_guards
+            ));
+        }
         for _ in seeds {
             self.metrics.record_request_pair(model, target_id);
         }
@@ -786,17 +969,24 @@ impl ServeEngine {
         Ok(outcomes)
     }
 
-    /// The fusion fallback: N independent executions.
+    /// The fusion fallback: N independent executions, each on its own
+    /// trace when the caller supplied one (otherwise [`Self::execute`]
+    /// begins per-request traces itself, exactly as before fusion).
     fn execute_each(
         &self,
         model: &str,
         target_id: &str,
         op: OpSpec,
         seeds: &[u64],
+        traces: &[Option<TraceHandle>],
     ) -> Result<Vec<ExecOutcome>, ServeError> {
         seeds
             .iter()
-            .map(|&seed| self.execute(model, target_id, op, seed))
+            .enumerate()
+            .map(|(i, &seed)| match traces.get(i).and_then(Option::as_ref) {
+                Some(trace) => self.execute_traced(model, target_id, op, seed, Some(trace)),
+                None => self.execute(model, target_id, op, seed),
+            })
             .collect()
     }
 
@@ -842,12 +1032,25 @@ impl ServeEngine {
         target_id: &str,
         key: &KernelCacheKey,
         kernel: &CompiledOp,
+        trace: Option<&TraceHandle>,
     ) -> Result<Arc<Tape>, ServeError> {
         let cache = &self.tapes[target_id];
         if let Some(hit) = cache.get(key) {
             return Ok(hit);
         }
+        let span = trace.map(|t| t.start("tape_compile"));
         let tape = Arc::new(Tape::compile(&kernel.func).map_err(ServeError::Exec)?);
+        if let Some(span) = span {
+            let stats = tape.stats();
+            span.finish(format!(
+                "func={} ops={} intrin_sites={} elided_guards={} epilogue_ops={}",
+                kernel.func.name,
+                stats.ops,
+                stats.intrin_sites,
+                stats.elided_guards,
+                stats.epilogue_ops
+            ));
+        }
         let won = cache.get_or_insert_with(key.clone(), || Arc::clone(&tape));
         if Arc::ptr_eq(&won, &tape) {
             self.metrics.record_tape_compile();
@@ -866,6 +1069,19 @@ impl ServeEngine {
         target_id: &str,
         workload: CacheWorkload,
     ) -> (Arc<CompiledOp>, TuneTier) {
+        self.ensure_compiled_traced(model, target_id, workload, None)
+    }
+
+    /// [`Self::ensure_compiled`] with compile-path spans: `cache_lookup`
+    /// on every call, then `artifact_replay` or `cold_compile` plus
+    /// back-dated per-stage spans (inspect → tune → lower) on misses.
+    fn ensure_compiled_traced(
+        &self,
+        model: &str,
+        target_id: &str,
+        workload: CacheWorkload,
+        trace: Option<&TraceHandle>,
+    ) -> (Arc<CompiledOp>, TuneTier) {
         let target = &self.targets[target_id];
         let exec = &self.exec[target_id];
         let key = KernelCacheKey::new(workload, target_id, self.tuning);
@@ -876,6 +1092,7 @@ impl ServeEngine {
         // cold replay config) into a namespace the swap had already
         // upgraded — a lost update that resurrected the cheap kernel on
         // the next warm start. Journal I/O stays outside the lock.
+        let lookup = trace.map(|t| t.start("cache_lookup"));
         let hit = {
             let _swap = lock_recovering(&self.swap);
             exec.get(&key).map(|hit| {
@@ -899,6 +1116,9 @@ impl ServeEngine {
             })
         };
         if let Some((hit, tier, journaled)) = hit {
+            if let Some(span) = lookup {
+                span.finish(format!("kernel_cache=hit tier={tier:?}"));
+            }
             self.metrics.record_kernel_hit();
             if let Some(entry) = journaled {
                 self.journal_put(model, target_id, entry);
@@ -913,9 +1133,16 @@ impl ServeEngine {
         let entry = lock_recovering(&self.artifacts)
             .lookup(model, target_id, &workload, self.tuning)
             .cloned();
+        if let Some(span) = lookup {
+            span.finish(format!(
+                "kernel_cache=miss artifact={}",
+                if entry.is_some() { "hit" } else { "miss" }
+            ));
+        }
         let (compiled, tier) = match entry {
             Some(entry) => {
                 self.metrics.record_artifact_hit();
+                let span = trace.map(|t| t.start("artifact_replay"));
                 // Replay: rebuild the identical kernel search-free; the
                 // persisted micros/note are authoritative (the replayed
                 // estimate would differ on GPU targets, where `Generic`
@@ -926,6 +1153,12 @@ impl ServeEngine {
                 compiled.micros = entry.micros;
                 compiled.note = entry.note;
                 compiled.replay = entry.replay;
+                if let Some(t) = trace {
+                    record_stage_spans(t, compiled.stages, "path=artifact_replay");
+                }
+                if let Some(span) = span {
+                    span.finish(format!("tier={:?} note={}", entry.tier, compiled.note));
+                }
                 if entry.tier == TuneTier::Cold {
                     // A replayed cold-tier decision serves cheaply but
                     // still owes its full-tier upgrade.
@@ -936,10 +1169,17 @@ impl ServeEngine {
             None => {
                 self.metrics.record_artifact_miss();
                 let (effective, tier) = self.cold_compile_config();
+                let span = trace.map(|t| t.start("cold_compile"));
                 let started = Instant::now();
                 let provider =
                     UnitProvider::new(target.clone(), effective).with_workers(self.workers);
                 let compiled = provider.compile_workload_full(&workload);
+                if let Some(t) = trace {
+                    record_stage_spans(t, compiled.stages, "path=cold_compile");
+                }
+                if let Some(span) = span {
+                    span.finish(format!("tier={tier:?} note={}", compiled.note));
+                }
                 // A search only actually ran when the workload tensorized
                 // (fallback kernels never reach the tuner), keeping this
                 // metric aligned with the ground-truth counters in
@@ -1094,6 +1334,7 @@ impl ServeEngine {
             model: model.to_string(),
             target: target_id.to_string(),
             workload,
+            enqueued: Instant::now(),
         };
         if self.retunes.push(job) {
             self.metrics.record_retune_queued();
@@ -1138,12 +1379,34 @@ impl ServeEngine {
     /// kernel or vice versa. Journals the upgrade for peer replicas.
     /// Returns whether a swap happened.
     fn retune(&self, job: &RetuneJob) -> bool {
+        // Re-tunes get traces of their own: the request that queued the
+        // job finished long ago, so its timeline cannot carry the
+        // background upgrade.
+        let own = self.tracer.begin(format!(
+            "retune target={} workload={:?}",
+            job.target, job.workload
+        ));
+        if let Some(t) = own.as_ref() {
+            let wait = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+            t.record_ending_now("retune_queue_wait", wait, "");
+        }
+        let swapped = self.retune_inner(job, own.as_ref());
+        if let Some(handle) = own {
+            self.finish_trace(&handle);
+        }
+        swapped
+    }
+
+    fn retune_inner(&self, job: &RetuneJob, trace: Option<&TraceHandle>) -> bool {
         let Some(target) = self.targets.get(&job.target) else {
             self.metrics.record_retune_completed();
             return false;
         };
         let provider = UnitProvider::new(target.clone(), self.tuning).with_workers(self.workers);
         let compiled = provider.compile_workload_full(&job.workload);
+        if let Some(t) = trace {
+            record_stage_spans(t, compiled.stages, "path=retune_full_tier");
+        }
         if compiled.tensorized && self.tuning.searches(&target.desc.style) {
             self.metrics.record_tuner_search();
         }
@@ -1158,6 +1421,7 @@ impl ServeEngine {
         let tape = Tape::compile(&compiled.func).ok();
         let key = KernelCacheKey::new(job.workload, &job.target, self.tuning);
         let compiled = Arc::new(compiled);
+        let swap_span = trace.map(|t| t.start("hot_swap"));
         let upgraded: Vec<String> = {
             let _swap = lock_recovering(&self.swap);
             let mut artifacts = lock_recovering(&self.artifacts);
@@ -1190,6 +1454,9 @@ impl ServeEngine {
                 models
             }
         };
+        if let Some(span) = swap_span {
+            span.finish(format!("upgraded_namespaces={}", upgraded.len()));
+        }
         self.metrics.record_retune_completed();
         if upgraded.is_empty() {
             return false;
@@ -1200,6 +1467,21 @@ impl ServeEngine {
         }
         true
     }
+}
+
+/// Back-date compile-stage spans (inspect → tune → lower) onto `trace`
+/// from the kernel's measured [`StageTimings`], anchored so the last
+/// stage ends now — stages are measured inside the compile pipeline,
+/// which knows nothing about tracing. `lower` is zero-width on CPU
+/// kernels (lowering happens inside the tuner's measured candidates).
+fn record_stage_spans(trace: &TraceHandle, stages: StageTimings, detail: &str) {
+    let end = trace.now_us();
+    let lower_start = end.saturating_sub(stages.lower_us);
+    let tune_start = lower_start.saturating_sub(stages.tune_us);
+    let inspect_start = tune_start.saturating_sub(stages.inspect_us);
+    trace.record("inspect", inspect_start, tune_start, detail);
+    trace.record("tune", tune_start, lower_start, detail);
+    trace.record("lower", lower_start, end, detail);
 }
 
 impl fmt::Debug for ServeEngine {

@@ -47,6 +47,15 @@
 //!   per-`(model, target)` hot-pair table and fixed-bucket latency
 //!   histograms (request latency plus tier-split cold-start latency)
 //!   with a stable text rendering.
+//! * [`trace`] — request-scoped tracing: every request gets a trace id
+//!   at admission; stages append timestamped spans (admission → queue →
+//!   batch → cache lookup → tape dispatch → epilogue → reply; compile
+//!   path: inspect → tune → lower → tape-compile, retune-queue wait,
+//!   hot-swap) into a bounded ring with slow-request exemplar
+//!   retention. `GET /v1/trace/<id>` renders one timeline;
+//!   `GET /v1/traces?export=chrome` emits Chrome `trace_event` JSON.
+//!   Disabled (the default) it costs one relaxed atomic load per
+//!   request.
 //! * [`model`] — whole-model serving: the target-agnostic compact
 //!   activation representation, deterministic implicit model
 //!   parameters, layout scatter/gather adapters, and the unfused
@@ -93,15 +102,19 @@ pub mod model;
 pub mod net;
 pub mod retune;
 pub mod scheduler;
+pub mod trace;
 
 pub use artifact::{
     ArtifactEntry, ArtifactError, ArtifactStore, TailRecovery, ARTIFACT_FORMAT_VERSION,
 };
 pub use engine::{reference_report, ExecMode, ExecOutcome, ModelOutcome, ServeEngine, ServeError};
 pub use journal::{Journal, JournalConfig, JournalRecord, JOURNAL_FORMAT_VERSION};
-pub use metrics::{LatencyHistogram, ServeMetrics, LATENCY_BUCKETS_US};
+pub use metrics::{LatencyHistogram, ServeMetrics, HOT_PAIR_CAPACITY, LATENCY_BUCKETS_US};
 pub use model::{model_graph, Compact};
 pub use net::{parse_graph_body, GraphRequest, HttpServer, HttpServerConfig};
 pub use retune::{RetuneJob, RetuneWorker, RETUNE_QUEUE_CAPACITY};
 pub use scheduler::{Scheduler, SchedulerConfig, ServeRequest, ServeResponse, SubmitError};
+pub use trace::{
+    Span, TraceCollector, TraceHandle, TRACE_ENV, TRACE_EXEMPLARS, TRACE_RING_CAPACITY,
+};
 pub use unit_core::tuner::TuneTier;

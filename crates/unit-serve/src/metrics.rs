@@ -27,6 +27,11 @@ pub const LATENCY_BUCKETS_US: [u64; 19] = [
     250_000, 500_000, 1_000_000,
 ];
 
+/// Maximum `(model, target)` pairs the hot-pair table tracks. Past the
+/// cap the coldest entry (fewest requests, ties by key) is evicted, so
+/// adversarial model-id churn cannot grow the table without bound.
+pub const HOT_PAIR_CAPACITY: usize = 256;
+
 /// The serving metrics registry. One instance per engine; shared with
 /// the scheduler and its workers via `Arc`.
 #[derive(Debug, Default)]
@@ -59,7 +64,15 @@ pub struct ServeMetrics {
     retune_queued: AtomicU64,
     retune_completed: AtomicU64,
     retune_swaps: AtomicU64,
+    tape_ops_retired: AtomicU64,
+    tape_guard_checks: AtomicU64,
+    tape_intrin_dispatches: AtomicU64,
+    traces_recorded: AtomicU64,
+    trace_dropped: AtomicU64,
+    hot_pairs_evicted: AtomicU64,
     latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    service: LatencyHistogram,
     cold_start_cold: LatencyHistogram,
     cold_start_full: LatencyHistogram,
     hot_pairs: Mutex<BTreeMap<(String, String), u64>>,
@@ -69,6 +82,7 @@ pub struct ServeMetrics {
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
 }
 
 impl LatencyHistogram {
@@ -79,12 +93,19 @@ impl LatencyHistogram {
             .position(|&bound| us <= bound)
             .unwrap_or(LATENCY_BUCKETS_US.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Total observations.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values, microseconds (Prometheus `_sum`).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
     }
 
     /// The quantile `p` (in `[0, 1]`) as the upper bound of the bucket
@@ -141,17 +162,22 @@ impl ServeMetrics {
             .fetch_add(size as u64, Ordering::Relaxed);
     }
 
-    /// A request finished (successfully or not) after `latency` in queue
-    /// plus execution.
-    pub fn record_completion(&self, latency: Duration, ok: bool) {
+    /// A request finished (successfully or not) after `queue_wait` in
+    /// the queue and `service` executing. End-to-end latency (the
+    /// historical histogram) is their sum; the split histograms let a
+    /// p99 regression be attributed to queueing vs. execution.
+    pub fn record_completion(&self, queue_wait: Duration, service: Duration, ok: bool) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         if ok {
             self.completed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.failed.fetch_add(1, Ordering::Relaxed);
         }
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency.record(us);
+        let wait_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
+        let service_us = u64::try_from(service.as_micros()).unwrap_or(u64::MAX);
+        self.latency.record(wait_us.saturating_add(service_us));
+        self.queue_wait.record(wait_us);
+        self.service.record(service_us);
     }
 
     /// The artifact store had a replayable entry for a compile.
@@ -272,12 +298,44 @@ impl ServeMetrics {
     }
 
     /// One request arrived for `(model, target)` — bumps the hot-pair
-    /// table the re-tune worker uses to prioritise upgrades.
+    /// table the re-tune worker uses to prioritise upgrades. The table
+    /// is bounded at [`HOT_PAIR_CAPACITY`]: past the cap the coldest
+    /// entry (fewest requests, ties broken by key order) is evicted, so
+    /// per-request adversarial model ids cannot grow it without bound.
     pub fn record_request_pair(&self, model: &str, target: &str) {
         let mut pairs = lock_recovering(&self.hot_pairs);
         *pairs
             .entry((model.to_string(), target.to_string()))
             .or_insert(0) += 1;
+        if pairs.len() > HOT_PAIR_CAPACITY {
+            let coldest = pairs
+                .iter()
+                .min_by_key(|(key, &count)| (count, (*key).clone()))
+                .map(|(key, _)| key.clone());
+            if let Some(key) = coldest {
+                pairs.remove(&key);
+                self.hot_pairs_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One tape execution retired `ops` instructions, evaluated `guards`
+    /// residue-guard conditions and ran `intrins` tensorized dispatches
+    /// (deltas from `unit_interp::tape::TapeProfile`).
+    pub fn record_tape_profile(&self, ops: u64, guards: u64, intrins: u64) {
+        self.tape_ops_retired.fetch_add(ops, Ordering::Relaxed);
+        self.tape_guard_checks.fetch_add(guards, Ordering::Relaxed);
+        self.tape_intrin_dispatches
+            .fetch_add(intrins, Ordering::Relaxed);
+    }
+
+    /// A request trace finished; `dropped` when publishing it overflowed
+    /// the trace ring (see `trace::TraceCollector::finish`).
+    pub fn record_trace(&self, dropped: bool) {
+        self.traces_recorded.fetch_add(1, Ordering::Relaxed);
+        if dropped {
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Completed requests (successful only).
@@ -429,10 +487,65 @@ impl ServeMetrics {
             .unwrap_or(0)
     }
 
-    /// The latency histogram.
+    /// The end-to-end (queue + service) latency histogram.
     #[must_use]
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// The queue-wait latency histogram (admission to batch receipt).
+    #[must_use]
+    pub fn queue_wait(&self) -> &LatencyHistogram {
+        &self.queue_wait
+    }
+
+    /// The service-time histogram (batch receipt to reply).
+    #[must_use]
+    pub fn service(&self) -> &LatencyHistogram {
+        &self.service
+    }
+
+    /// Tape instructions retired across all dispatches.
+    #[must_use]
+    pub fn tape_ops_retired(&self) -> u64 {
+        self.tape_ops_retired.load(Ordering::Relaxed)
+    }
+
+    /// Run-time residue-guard checks across all dispatches.
+    #[must_use]
+    pub fn tape_guard_checks(&self) -> u64 {
+        self.tape_guard_checks.load(Ordering::Relaxed)
+    }
+
+    /// Tensorized-intrinsic dispatches across all tape runs.
+    #[must_use]
+    pub fn tape_intrin_dispatches(&self) -> u64 {
+        self.tape_intrin_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Request traces finished.
+    #[must_use]
+    pub fn traces_recorded(&self) -> u64 {
+        self.traces_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Request traces dropped on trace-ring overflow.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Hot-pair entries evicted by the [`HOT_PAIR_CAPACITY`] bound.
+    #[must_use]
+    pub fn hot_pairs_evicted(&self) -> u64 {
+        self.hot_pairs_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Currently tracked hot-pair entries (bounded by
+    /// [`HOT_PAIR_CAPACITY`]).
+    #[must_use]
+    pub fn hot_pairs_tracked(&self) -> usize {
+        lock_recovering(&self.hot_pairs).len()
     }
 
     /// The cold-start (first compile) latency histogram for `tier`.
@@ -477,7 +590,7 @@ impl ServeMetrics {
             Some(v) => v.to_string(),
         };
         let hot_pairs = lock_recovering(&self.hot_pairs).len();
-        let mut out = String::from("# unit-serve metrics v5\n");
+        let mut out = String::from("# unit-serve metrics v6\n");
         let mut line = |k: &str, v: String| {
             out.push_str(k);
             out.push(' ');
@@ -495,6 +608,12 @@ impl ServeMetrics {
         line("latency_p50_us", q(0.50));
         line("latency_p95_us", q(0.95));
         line("latency_p99_us", q(0.99));
+        line("queue_wait_p50_us", hist_q(&self.queue_wait, 0.50));
+        line("queue_wait_p95_us", hist_q(&self.queue_wait, 0.95));
+        line("queue_wait_p99_us", hist_q(&self.queue_wait, 0.99));
+        line("service_p50_us", hist_q(&self.service, 0.50));
+        line("service_p95_us", hist_q(&self.service, 0.95));
+        line("service_p99_us", hist_q(&self.service, 0.99));
         line("artifact_hits", load(&self.artifact_hits).to_string());
         line("artifact_misses", load(&self.artifact_misses).to_string());
         line(
@@ -513,6 +632,15 @@ impl ServeMetrics {
         line(
             "tape_fused_requests",
             load(&self.tape_fused_requests).to_string(),
+        );
+        line("tape_ops_retired", load(&self.tape_ops_retired).to_string());
+        line(
+            "tape_guard_checks",
+            load(&self.tape_guard_checks).to_string(),
+        );
+        line(
+            "tape_intrin_dispatches",
+            load(&self.tape_intrin_dispatches).to_string(),
         );
         line(
             "epilogue_fused_kernels",
@@ -563,6 +691,96 @@ impl ServeMetrics {
             hist_q(&self.cold_start_full, 0.95),
         );
         line("hot_pairs_tracked", hot_pairs.to_string());
+        line(
+            "hot_pairs_evicted",
+            load(&self.hot_pairs_evicted).to_string(),
+        );
+        line("traces_recorded", load(&self.traces_recorded).to_string());
+        line("trace_dropped", load(&self.trace_dropped).to_string());
+        out
+    }
+
+    /// Prometheus text exposition (`GET /metrics?format=prometheus`):
+    /// the same registry as [`ServeMetrics::render`] in the standard
+    /// `# TYPE` / `_bucket{le=...}` / `_sum` / `_count` shape, all
+    /// metric names under the `unit_serve_` namespace. Like `render`,
+    /// the output is deterministic for a given set of recorded values.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let mut counter = |name: &str, v: u64| {
+            out.push_str(&format!(
+                "# TYPE unit_serve_{name} counter\nunit_serve_{name} {v}\n"
+            ));
+        };
+        counter("requests_submitted", load(&self.submitted));
+        counter("requests_rejected", load(&self.rejected));
+        counter("requests_completed", load(&self.completed));
+        counter("requests_failed", load(&self.failed));
+        counter("batches_executed", load(&self.batches));
+        counter("batched_requests", load(&self.batched_requests));
+        counter("artifact_hits", load(&self.artifact_hits));
+        counter("artifact_misses", load(&self.artifact_misses));
+        counter("kernel_cache_hits", load(&self.kernel_hits));
+        counter("kernel_cache_misses", load(&self.kernel_misses));
+        counter("tuner_searches", load(&self.tuner_searches));
+        counter("tape_compiles", load(&self.tape_compiles));
+        counter("tape_dispatches", load(&self.tape_dispatches));
+        counter("tape_fused_requests", load(&self.tape_fused_requests));
+        counter("tape_ops_retired", load(&self.tape_ops_retired));
+        counter("tape_guard_checks", load(&self.tape_guard_checks));
+        counter("tape_intrin_dispatches", load(&self.tape_intrin_dispatches));
+        counter("epilogue_fused_kernels", load(&self.epilogue_fused_kernels));
+        counter(
+            "epilogue_ops_eliminated",
+            load(&self.epilogue_ops_eliminated),
+        );
+        counter("dispatcher_wakes", load(&self.dispatcher_wakes));
+        counter("journal_appends", load(&self.journal_appends));
+        counter("journal_tailed_records", load(&self.journal_tailed_records));
+        counter("journal_compactions", load(&self.journal_compactions));
+        counter("journal_errors", load(&self.journal_errors));
+        counter("http_requests", load(&self.http_requests));
+        counter("http_errors", load(&self.http_errors));
+        counter("retune_queued", load(&self.retune_queued));
+        counter("retune_completed", load(&self.retune_completed));
+        counter("retune_swaps", load(&self.retune_swaps));
+        counter("traces_recorded", load(&self.traces_recorded));
+        counter("trace_dropped", load(&self.trace_dropped));
+        counter("hot_pairs_evicted", load(&self.hot_pairs_evicted));
+        let mut gauge = |name: &str, v: u64| {
+            out.push_str(&format!(
+                "# TYPE unit_serve_{name} gauge\nunit_serve_{name} {v}\n"
+            ));
+        };
+        gauge("queue_depth", load(&self.queue_depth));
+        gauge("queue_depth_peak", load(&self.queue_depth_peak));
+        gauge(
+            "hot_pairs_tracked",
+            lock_recovering(&self.hot_pairs).len() as u64,
+        );
+        let mut hist = |name: &str, h: &LatencyHistogram| {
+            out.push_str(&format!("# TYPE unit_serve_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += h.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "unit_serve_{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += h.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "unit_serve_{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!("unit_serve_{name}_sum {}\n", h.sum_us()));
+            out.push_str(&format!("unit_serve_{name}_count {cumulative}\n"));
+        };
+        hist("request_latency_us", &self.latency);
+        hist("queue_wait_us", &self.queue_wait);
+        hist("service_us", &self.service);
+        hist("cold_start_cold_tier_us", &self.cold_start_cold);
+        hist("cold_start_full_tier_us", &self.cold_start_full);
         out
     }
 }
@@ -636,7 +854,7 @@ mod tests {
         // The saturation renders as `>bound`, not a fake number.
         let m = ServeMetrics::new();
         m.record_submit();
-        m.record_completion(Duration::from_secs(5), true);
+        m.record_completion(Duration::ZERO, Duration::from_secs(5), true);
         assert!(m.render().contains(&format!("latency_p50_us >{top}\n")));
     }
 
@@ -669,12 +887,16 @@ mod tests {
         m.record_kernel_miss();
         m.record_artifact_miss();
         m.record_tuner_search();
-        m.record_completion(Duration::from_micros(40), true);
+        m.record_completion(Duration::from_micros(10), Duration::from_micros(30), true);
         m.record_kernel_hit();
-        m.record_completion(Duration::from_micros(90), true);
+        m.record_completion(Duration::from_micros(40), Duration::from_micros(50), true);
         m.record_tape_compile();
         m.record_tape_dispatch(1);
         m.record_tape_dispatch(2);
+        m.record_tape_profile(120, 4, 6);
+        m.record_tape_profile(30, 2, 2);
+        m.record_trace(false);
+        m.record_trace(true);
         m.record_epilogue_fusion(3);
         m.record_epilogue_fusion(2);
         m.record_dispatcher_wake();
@@ -694,7 +916,7 @@ mod tests {
         m.record_request_pair("convnet", "cpu");
         m.record_request_pair("attention", "cpu");
         let expected = "\
-# unit-serve metrics v5
+# unit-serve metrics v6
 requests_submitted 2
 requests_rejected 0
 requests_completed 2
@@ -706,6 +928,12 @@ queue_depth_peak 2
 latency_p50_us 50
 latency_p95_us 100
 latency_p99_us 100
+queue_wait_p50_us 10
+queue_wait_p95_us 50
+queue_wait_p99_us 50
+service_p50_us 50
+service_p95_us 50
+service_p99_us 50
 artifact_hits 0
 artifact_misses 1
 artifact_hit_rate 0.000
@@ -716,6 +944,9 @@ tuner_searches 1
 tape_compiles 1
 tape_dispatches 2
 tape_fused_requests 2
+tape_ops_retired 150
+tape_guard_checks 6
+tape_intrin_dispatches 8
 epilogue_fused_kernels 2
 epilogue_ops_eliminated 5
 dispatcher_wakes 1
@@ -735,6 +966,9 @@ cold_start_full_tier_compiles 1
 cold_start_full_tier_p50_us 1000
 cold_start_full_tier_p95_us 1000
 hot_pairs_tracked 2
+hot_pairs_evicted 0
+traces_recorded 2
+trace_dropped 1
 ";
         assert_eq!(m.render(), expected);
         assert_eq!(m.render(), expected, "rendering twice is identical");
@@ -750,6 +984,244 @@ hot_pairs_tracked 2
         assert_eq!(m.hot_pair_requests("convnet", "cpu"), 2);
         assert_eq!(m.hot_pair_requests("convnet", "gpu:0"), 1);
         assert_eq!(m.hot_pair_requests("attention", "cpu"), 0);
+    }
+
+    #[test]
+    fn hot_pair_table_is_bounded_with_coldest_eviction() {
+        let m = ServeMetrics::new();
+        // A genuinely hot pair, then an adversarial flood of unique ids.
+        for _ in 0..50 {
+            m.record_request_pair("hot-model", "cpu");
+        }
+        for i in 0..(HOT_PAIR_CAPACITY + 40) {
+            m.record_request_pair(&format!("adversarial-{i:04}"), "cpu");
+        }
+        assert!(
+            m.hot_pairs_tracked() <= HOT_PAIR_CAPACITY,
+            "table stays bounded: {} > {}",
+            m.hot_pairs_tracked(),
+            HOT_PAIR_CAPACITY
+        );
+        assert!(
+            m.hot_pairs_evicted() >= 40,
+            "flood must evict: {}",
+            m.hot_pairs_evicted()
+        );
+        // Evict-coldest: the hot pair survives the flood of count-1 ids.
+        assert_eq!(m.hot_pair_requests("hot-model", "cpu"), 50);
+        let render = m.render();
+        assert!(render.contains(&format!("hot_pairs_evicted {}\n", m.hot_pairs_evicted())));
+    }
+
+    #[test]
+    fn queue_wait_and_service_histograms_split_the_latency() {
+        let m = ServeMetrics::new();
+        m.record_submit();
+        m.record_completion(Duration::from_micros(400), Duration::from_micros(20), true);
+        assert_eq!(m.queue_wait().count(), 1);
+        assert_eq!(m.service().count(), 1);
+        assert_eq!(m.queue_wait().quantile(0.5), Some(500));
+        assert_eq!(m.service().quantile(0.5), Some(25));
+        // End-to-end stays the sum of the parts.
+        assert_eq!(m.latency().quantile(0.5), Some(500));
+        assert_eq!(m.latency().sum_us(), 420);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_golden() {
+        let m = ServeMetrics::new();
+        m.record_submit();
+        m.record_completion(Duration::from_micros(10), Duration::from_micros(30), true);
+        let text = m.render_prometheus();
+        let expected = "\
+# TYPE unit_serve_requests_submitted counter
+unit_serve_requests_submitted 1
+# TYPE unit_serve_requests_rejected counter
+unit_serve_requests_rejected 0
+# TYPE unit_serve_requests_completed counter
+unit_serve_requests_completed 1
+# TYPE unit_serve_requests_failed counter
+unit_serve_requests_failed 0
+# TYPE unit_serve_batches_executed counter
+unit_serve_batches_executed 0
+# TYPE unit_serve_batched_requests counter
+unit_serve_batched_requests 0
+# TYPE unit_serve_artifact_hits counter
+unit_serve_artifact_hits 0
+# TYPE unit_serve_artifact_misses counter
+unit_serve_artifact_misses 0
+# TYPE unit_serve_kernel_cache_hits counter
+unit_serve_kernel_cache_hits 0
+# TYPE unit_serve_kernel_cache_misses counter
+unit_serve_kernel_cache_misses 0
+# TYPE unit_serve_tuner_searches counter
+unit_serve_tuner_searches 0
+# TYPE unit_serve_tape_compiles counter
+unit_serve_tape_compiles 0
+# TYPE unit_serve_tape_dispatches counter
+unit_serve_tape_dispatches 0
+# TYPE unit_serve_tape_fused_requests counter
+unit_serve_tape_fused_requests 0
+# TYPE unit_serve_tape_ops_retired counter
+unit_serve_tape_ops_retired 0
+# TYPE unit_serve_tape_guard_checks counter
+unit_serve_tape_guard_checks 0
+# TYPE unit_serve_tape_intrin_dispatches counter
+unit_serve_tape_intrin_dispatches 0
+# TYPE unit_serve_epilogue_fused_kernels counter
+unit_serve_epilogue_fused_kernels 0
+# TYPE unit_serve_epilogue_ops_eliminated counter
+unit_serve_epilogue_ops_eliminated 0
+# TYPE unit_serve_dispatcher_wakes counter
+unit_serve_dispatcher_wakes 0
+# TYPE unit_serve_journal_appends counter
+unit_serve_journal_appends 0
+# TYPE unit_serve_journal_tailed_records counter
+unit_serve_journal_tailed_records 0
+# TYPE unit_serve_journal_compactions counter
+unit_serve_journal_compactions 0
+# TYPE unit_serve_journal_errors counter
+unit_serve_journal_errors 0
+# TYPE unit_serve_http_requests counter
+unit_serve_http_requests 0
+# TYPE unit_serve_http_errors counter
+unit_serve_http_errors 0
+# TYPE unit_serve_retune_queued counter
+unit_serve_retune_queued 0
+# TYPE unit_serve_retune_completed counter
+unit_serve_retune_completed 0
+# TYPE unit_serve_retune_swaps counter
+unit_serve_retune_swaps 0
+# TYPE unit_serve_traces_recorded counter
+unit_serve_traces_recorded 0
+# TYPE unit_serve_trace_dropped counter
+unit_serve_trace_dropped 0
+# TYPE unit_serve_hot_pairs_evicted counter
+unit_serve_hot_pairs_evicted 0
+# TYPE unit_serve_queue_depth gauge
+unit_serve_queue_depth 0
+# TYPE unit_serve_queue_depth_peak gauge
+unit_serve_queue_depth_peak 1
+# TYPE unit_serve_hot_pairs_tracked gauge
+unit_serve_hot_pairs_tracked 0
+# TYPE unit_serve_request_latency_us histogram
+unit_serve_request_latency_us_bucket{le=\"1\"} 0
+unit_serve_request_latency_us_bucket{le=\"2\"} 0
+unit_serve_request_latency_us_bucket{le=\"5\"} 0
+unit_serve_request_latency_us_bucket{le=\"10\"} 0
+unit_serve_request_latency_us_bucket{le=\"25\"} 0
+unit_serve_request_latency_us_bucket{le=\"50\"} 1
+unit_serve_request_latency_us_bucket{le=\"100\"} 1
+unit_serve_request_latency_us_bucket{le=\"250\"} 1
+unit_serve_request_latency_us_bucket{le=\"500\"} 1
+unit_serve_request_latency_us_bucket{le=\"1000\"} 1
+unit_serve_request_latency_us_bucket{le=\"2500\"} 1
+unit_serve_request_latency_us_bucket{le=\"5000\"} 1
+unit_serve_request_latency_us_bucket{le=\"10000\"} 1
+unit_serve_request_latency_us_bucket{le=\"25000\"} 1
+unit_serve_request_latency_us_bucket{le=\"50000\"} 1
+unit_serve_request_latency_us_bucket{le=\"100000\"} 1
+unit_serve_request_latency_us_bucket{le=\"250000\"} 1
+unit_serve_request_latency_us_bucket{le=\"500000\"} 1
+unit_serve_request_latency_us_bucket{le=\"1000000\"} 1
+unit_serve_request_latency_us_bucket{le=\"+Inf\"} 1
+unit_serve_request_latency_us_sum 40
+unit_serve_request_latency_us_count 1
+# TYPE unit_serve_queue_wait_us histogram
+unit_serve_queue_wait_us_bucket{le=\"1\"} 0
+unit_serve_queue_wait_us_bucket{le=\"2\"} 0
+unit_serve_queue_wait_us_bucket{le=\"5\"} 0
+unit_serve_queue_wait_us_bucket{le=\"10\"} 1
+unit_serve_queue_wait_us_bucket{le=\"25\"} 1
+unit_serve_queue_wait_us_bucket{le=\"50\"} 1
+unit_serve_queue_wait_us_bucket{le=\"100\"} 1
+unit_serve_queue_wait_us_bucket{le=\"250\"} 1
+unit_serve_queue_wait_us_bucket{le=\"500\"} 1
+unit_serve_queue_wait_us_bucket{le=\"1000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"2500\"} 1
+unit_serve_queue_wait_us_bucket{le=\"5000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"10000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"25000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"50000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"100000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"250000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"500000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"1000000\"} 1
+unit_serve_queue_wait_us_bucket{le=\"+Inf\"} 1
+unit_serve_queue_wait_us_sum 10
+unit_serve_queue_wait_us_count 1
+# TYPE unit_serve_service_us histogram
+unit_serve_service_us_bucket{le=\"1\"} 0
+unit_serve_service_us_bucket{le=\"2\"} 0
+unit_serve_service_us_bucket{le=\"5\"} 0
+unit_serve_service_us_bucket{le=\"10\"} 0
+unit_serve_service_us_bucket{le=\"25\"} 0
+unit_serve_service_us_bucket{le=\"50\"} 1
+unit_serve_service_us_bucket{le=\"100\"} 1
+unit_serve_service_us_bucket{le=\"250\"} 1
+unit_serve_service_us_bucket{le=\"500\"} 1
+unit_serve_service_us_bucket{le=\"1000\"} 1
+unit_serve_service_us_bucket{le=\"2500\"} 1
+unit_serve_service_us_bucket{le=\"5000\"} 1
+unit_serve_service_us_bucket{le=\"10000\"} 1
+unit_serve_service_us_bucket{le=\"25000\"} 1
+unit_serve_service_us_bucket{le=\"50000\"} 1
+unit_serve_service_us_bucket{le=\"100000\"} 1
+unit_serve_service_us_bucket{le=\"250000\"} 1
+unit_serve_service_us_bucket{le=\"500000\"} 1
+unit_serve_service_us_bucket{le=\"1000000\"} 1
+unit_serve_service_us_bucket{le=\"+Inf\"} 1
+unit_serve_service_us_sum 30
+unit_serve_service_us_count 1
+# TYPE unit_serve_cold_start_cold_tier_us histogram
+unit_serve_cold_start_cold_tier_us_bucket{le=\"1\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"2\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"5\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"10\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"25\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"50\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"100\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"250\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"500\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"1000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"2500\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"5000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"10000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"25000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"50000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"100000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"250000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"500000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"1000000\"} 0
+unit_serve_cold_start_cold_tier_us_bucket{le=\"+Inf\"} 0
+unit_serve_cold_start_cold_tier_us_sum 0
+unit_serve_cold_start_cold_tier_us_count 0
+# TYPE unit_serve_cold_start_full_tier_us histogram
+unit_serve_cold_start_full_tier_us_bucket{le=\"1\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"2\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"5\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"10\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"25\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"50\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"100\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"250\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"500\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"1000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"2500\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"5000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"10000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"25000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"50000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"100000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"250000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"500000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"1000000\"} 0
+unit_serve_cold_start_full_tier_us_bucket{le=\"+Inf\"} 0
+unit_serve_cold_start_full_tier_us_sum 0
+unit_serve_cold_start_full_tier_us_count 0
+";
+        assert_eq!(text, expected);
+        assert_eq!(text, m.render_prometheus(), "exposition is deterministic");
     }
 
     #[test]
@@ -769,7 +1241,7 @@ hot_pairs_tracked 2
         let m = ServeMetrics::new();
         for _ in 0..10 {
             m.record_submit();
-            m.record_completion(Duration::from_micros(10), true);
+            m.record_completion(Duration::from_micros(4), Duration::from_micros(6), true);
         }
         let rps = m.throughput_rps(Duration::from_secs(2));
         assert!((rps - 5.0).abs() < 1e-9);

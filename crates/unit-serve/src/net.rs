@@ -71,8 +71,19 @@
 //!   kernels plus the reference epilogue — the differential baseline;
 //!   its `data` payload is bit-identical to the fused one.
 //!
-//! * `GET /metrics` — the stable [`crate::ServeMetrics::render`] text.
+//! * `GET /metrics` — the stable [`crate::ServeMetrics::render`] text;
+//!   `GET /metrics?format=prometheus` serves the same registry in
+//!   Prometheus exposition format
+//!   ([`crate::ServeMetrics::render_prometheus`]).
+//! * `GET /v1/trace/<id>` — one request's span timeline (text), when
+//!   tracing is enabled and the trace is still in the ring or retained
+//!   as a slow-request exemplar.
+//! * `GET /v1/traces?export=chrome` — every retained trace as Chrome
+//!   `trace_event` JSON (load in `chrome://tracing` or Perfetto).
 //! * `GET /healthz` — `ok` (liveness for the multi-replica demo / CI).
+//!
+//! When tracing is enabled, `200` bodies from both execute routes carry
+//! a trailing `trace <id>` line naming the request's timeline.
 //!
 //! # Status mapping
 //!
@@ -107,6 +118,7 @@ use unit_isa::{Scalar, TypedBuf};
 use crate::engine::ServeError;
 use crate::model::model_graph;
 use crate::scheduler::{Scheduler, ServeRequest, SubmitError};
+use crate::trace::TraceCollector;
 
 /// Front-end tunables.
 #[derive(Debug, Clone)]
@@ -268,14 +280,17 @@ fn handle_connection(stream: &TcpStream, scheduler: &Arc<Scheduler>, config: &Ht
     let _ = respond(stream, status, reason, &body);
 }
 
-/// A parsed request head: method, path, and the `Content-Length` (the
-/// only header the routes consume).
+/// A parsed request head: method, path, query string, and the
+/// `Content-Length` (the only header the routes consume).
 #[derive(Debug, PartialEq, Eq)]
 pub struct RequestHead {
     /// HTTP method, as sent.
     pub method: String,
-    /// Request path, as sent (no query handling).
+    /// Request path with any query string stripped.
     pub path: String,
+    /// The query string after `?`, when present (not percent-decoded —
+    /// the routes only match literal `key=value` forms).
+    pub query: Option<String>,
     /// Parsed `Content-Length`, when present.
     pub content_length: Option<usize>,
 }
@@ -372,6 +387,10 @@ pub fn parse_request_head(head: &str) -> Result<RequestHead, String> {
     if parts.next().is_some() {
         return Err("request line has trailing content".to_string());
     }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string())),
+        None => (path, None),
+    };
     if method.is_empty() || path.is_empty() {
         return Err("empty method or path".to_string());
     }
@@ -405,6 +424,7 @@ pub fn parse_request_head(head: &str) -> Result<RequestHead, String> {
     Ok(RequestHead {
         method: method.to_string(),
         path: path.to_string(),
+        query,
         content_length,
     })
 }
@@ -417,7 +437,30 @@ fn route(
     body: &str,
 ) -> HttpFailure {
     match (head.method.as_str(), head.path.as_str()) {
-        ("GET", "/metrics") => (200, "OK", scheduler.engine().metrics().render()),
+        ("GET", "/metrics") => match head.query.as_deref() {
+            None | Some("" | "format=text") => (200, "OK", scheduler.engine().metrics().render()),
+            Some("format=prometheus") => {
+                (200, "OK", scheduler.engine().metrics().render_prometheus())
+            }
+            Some(other) => (
+                400,
+                "Bad Request",
+                format!("unknown metrics query `{other}` (format=text|prometheus)\n"),
+            ),
+        },
+        ("GET", "/v1/traces") => match head.query.as_deref() {
+            None | Some("" | "export=chrome") => {
+                (200, "OK", scheduler.engine().tracer().export_chrome())
+            }
+            Some(other) => (
+                400,
+                "Bad Request",
+                format!("unknown traces query `{other}` (export=chrome)\n"),
+            ),
+        },
+        ("GET", path) if path.starts_with("/v1/trace/") => {
+            trace_route(scheduler, &path["/v1/trace/".len()..])
+        }
         ("GET", "/healthz") => (200, "OK", "ok\n".to_string()),
         // A `graph` line selects whole-model serving; the op-shaped
         // scheduler path handles everything else.
@@ -436,6 +479,21 @@ fn route(
             "GET is the only method for this path\n".to_string(),
         ),
         (_, path) => (404, "Not Found", format!("no route for `{path}`\n")),
+    }
+}
+
+/// `GET /v1/trace/<id>`: render one retained trace's span timeline.
+fn trace_route(scheduler: &Arc<Scheduler>, id: &str) -> HttpFailure {
+    let Ok(id) = id.parse::<u64>() else {
+        return (400, "Bad Request", format!("bad trace id `{id}`\n"));
+    };
+    match scheduler.engine().tracer().get(id) {
+        Some(trace) => (200, "OK", TraceCollector::render_timeline(&trace)),
+        None => (
+            404,
+            "Not Found",
+            format!("no trace {id} (evicted from the ring, or tracing disabled)\n"),
+        ),
     }
 }
 
@@ -466,11 +524,12 @@ fn execute_route(scheduler: &Arc<Scheduler>, config: &HttpServerConfig, body: &s
                 200,
                 "OK",
                 format!(
-                    "ok\nid {id}\nmicros {:016x}\nnote {}\nbatch_size {}\ntier {}\n{}",
+                    "ok\nid {id}\nmicros {:016x}\nnote {}\nbatch_size {}\ntier {}\n{}{}",
                     resp.micros.to_bits(),
                     resp.note,
                     resp.batch_size,
                     resp.tier.unwrap_or_default(),
+                    trace_line(resp.trace_id),
                     encode_typed_buf(output)
                 ),
             ),
@@ -565,10 +624,27 @@ fn graph_route(scheduler: &Arc<Scheduler>, body: &str) -> HttpFailure {
             format!("unknown model graph `{}`\n", req.graph),
         );
     };
-    match scheduler
-        .engine()
-        .execute_model(&graph, &req.target, req.seed, req.fused)
-    {
+    let engine = scheduler.engine();
+    let trace = engine.tracer().begin(format!(
+        "serve_model graph={} target={} fused={}",
+        req.graph, req.target, req.fused
+    ));
+    if let Some(t) = trace.as_ref() {
+        let span = t.start("admission");
+        span.finish(format!("graph={}", req.graph));
+        // Model requests execute inline on the connection thread — no
+        // scheduler queue — so the queue stage is present but empty.
+        t.record_ending_now("queue", 0, "inline");
+    }
+    let result =
+        engine.execute_model_traced(&graph, &req.target, req.seed, req.fused, trace.as_ref());
+    let trace_id = trace.as_ref().map(|t| {
+        let span = t.start("reply");
+        span.finish(format!("ok={}", result.is_ok()));
+        engine.finish_trace(t);
+        t.id()
+    });
+    match result {
         Ok(outcome) => {
             let mut buf = TypedBuf::zeros(DType::I64, outcome.output.vals.len());
             for (i, &v) in outcome.output.vals.iter().enumerate() {
@@ -578,7 +654,7 @@ fn graph_route(scheduler: &Arc<Scheduler>, body: &str) -> HttpFailure {
                 200,
                 "OK",
                 format!(
-                    "ok\nmodel {}\nmode {}\nmicros {:016x}\nsteps {}\nfused_epilogue_ops {}\nshape {} {} {}\n{}",
+                    "ok\nmodel {}\nmode {}\nmicros {:016x}\nsteps {}\nfused_epilogue_ops {}\nshape {} {} {}\n{}{}",
                     req.graph,
                     if req.fused { "fused" } else { "unfused" },
                     outcome.micros.to_bits(),
@@ -587,6 +663,7 @@ fn graph_route(scheduler: &Arc<Scheduler>, body: &str) -> HttpFailure {
                     outcome.output.batch,
                     outcome.output.rows,
                     outcome.output.cols,
+                    trace_line(trace_id),
                     encode_typed_buf(&buf)
                 ),
             )
@@ -633,6 +710,12 @@ pub fn parse_execute_body(body: &str) -> Result<ServeRequest, String> {
         op: op.ok_or("missing `op` line")?,
         seed: seed.ok_or("missing `seed` line")?,
     })
+}
+
+/// The optional `trace <id>` response line (empty when tracing is off —
+/// existing clients see byte-identical bodies).
+fn trace_line(trace_id: Option<u64>) -> String {
+    trace_id.map(|t| format!("trace {t}\n")).unwrap_or_default()
 }
 
 /// Render a buffer as the response's `dtype`/`len`/`data` lines. Every

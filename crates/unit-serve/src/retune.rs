@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use unit_graph::CacheWorkload;
 
@@ -48,6 +48,10 @@ pub struct RetuneJob {
     pub target: String,
     /// The workload to re-tune.
     pub workload: CacheWorkload,
+    /// When the job entered the queue — the retune-queue-wait span in
+    /// request traces measures from here. Never part of job identity:
+    /// dedup compares `(target, workload)` only.
+    pub enqueued: Instant,
 }
 
 /// The bounded, deduplicated re-tune queue (owned by the engine).
@@ -174,6 +178,7 @@ mod tests {
             model: model.to_string(),
             target: target.to_string(),
             workload: CacheWorkload::Op(OpSpec::gemm(m, 8, 8)),
+            enqueued: Instant::now(),
         }
     }
 

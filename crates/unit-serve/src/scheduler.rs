@@ -42,6 +42,7 @@ use unit_graph::OpSpec;
 use unit_isa::TypedBuf;
 
 use crate::engine::{ExecOutcome, ServeEngine};
+use crate::trace::TraceHandle;
 
 /// One inference request: execute `op` on `target`, with input buffers
 /// deterministically seeded by `seed`. `model` namespaces artifact-store
@@ -75,6 +76,9 @@ pub struct ServeResponse {
     /// (`None` on error). `Cold` means a cheap search-capped kernel
     /// answered and a background re-tune is (or was) pending.
     pub tier: Option<TuneTier>,
+    /// The request's trace id when tracing was enabled at admission
+    /// (`GET /v1/trace/<id>` renders the timeline); `None` otherwise.
+    pub trace_id: Option<u64>,
 }
 
 /// Admission-time rejections.
@@ -123,6 +127,9 @@ struct Envelope {
     req: ServeRequest,
     reply: Sender<ServeResponse>,
     enqueued: Instant,
+    /// The request's trace, begun at admission (None when tracing is
+    /// off — the common case costs one relaxed load per request).
+    trace: Option<TraceHandle>,
 }
 
 struct Batch {
@@ -264,6 +271,16 @@ impl Scheduler {
             return Err(SubmitError::UnknownTarget(req.target.clone()));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = self.engine.tracer().begin(format!(
+            "serve model={} target={} op={}",
+            req.model,
+            req.target,
+            req.op.encode()
+        ));
+        if let Some(t) = trace.as_ref() {
+            let span = t.start("admission");
+            span.finish(format!("id={id}"));
+        }
         let (reply, rx) = std::sync::mpsc::channel();
         Ok((
             Envelope {
@@ -271,6 +288,7 @@ impl Scheduler {
                 req: req.clone(),
                 reply,
                 enqueued: Instant::now(),
+                trace,
             },
             id,
             rx,
@@ -377,6 +395,15 @@ fn worker_loop(engine: &Arc<ServeEngine>, target: &str, brx: &Receiver<Batch>) {
         let Batch { model, items } = batch;
         let size = items.len();
         engine.metrics().record_batch(size);
+        // Queue wait ends here: the batch reached its worker. Every
+        // traced envelope gets its queue span back-dated from admission.
+        let exec_start = Instant::now();
+        for env in &items {
+            if let Some(t) = env.trace.as_ref() {
+                let wait = u64::try_from(env.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+                t.record_ending_now("queue", wait, format!("batch_size={size}"));
+            }
+        }
         // Partition the batch into same-op groups, preserving arrival
         // order (batches share (model, target) by construction).
         let mut groups: Vec<Vec<Envelope>> = Vec::new();
@@ -391,17 +418,31 @@ fn worker_loop(engine: &Arc<ServeEngine>, target: &str, brx: &Receiver<Batch>) {
                 }
             }
         }
+        let formed_us = u64::try_from(exec_start.elapsed().as_micros()).unwrap_or(0);
+        for group in &groups {
+            for env in group {
+                if let Some(t) = env.trace.as_ref() {
+                    t.record_ending_now(
+                        "batch",
+                        formed_us,
+                        format!("batch_size={size} op_groups={}", groups.len()),
+                    );
+                }
+            }
+        }
         for group in groups {
             let op = group[0].req.op;
             if group.len() > 1 && matches!(op, OpSpec::Gemm { .. }) {
                 let seeds: Vec<u64> = group.iter().map(|e| e.req.seed).collect();
+                let traces: Vec<Option<TraceHandle>> =
+                    group.iter().map(|e| e.trace.clone()).collect();
                 let fused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    engine.execute_gemm_batch(&model, target, op, &seeds)
+                    engine.execute_gemm_batch_traced(&model, target, op, &seeds, &traces)
                 }));
                 match fused {
                     Ok(Ok(outcomes)) => {
                         for (env, out) in group.into_iter().zip(outcomes) {
-                            respond(engine, env, Ok(out), size);
+                            respond(engine, env, Ok(out), size, exec_start);
                         }
                         continue;
                     }
@@ -410,7 +451,7 @@ fn worker_loop(engine: &Arc<ServeEngine>, target: &str, brx: &Receiver<Batch>) {
                         // every request of the group fails identically.
                         let msg = e.to_string();
                         for env in group {
-                            respond(engine, env, Err(msg.clone()), size);
+                            respond(engine, env, Err(msg.clone()), size, exec_start);
                         }
                         continue;
                     }
@@ -420,16 +461,23 @@ fn worker_loop(engine: &Arc<ServeEngine>, target: &str, brx: &Receiver<Batch>) {
                 }
             }
             for env in group {
-                execute_one(engine, &model, target, env, size);
+                execute_one(engine, &model, target, env, size, exec_start);
             }
         }
     }
 }
 
 /// Execute one request with panic containment and send its response.
-fn execute_one(engine: &Arc<ServeEngine>, model: &str, target: &str, env: Envelope, size: usize) {
+fn execute_one(
+    engine: &Arc<ServeEngine>,
+    model: &str,
+    target: &str,
+    env: Envelope,
+    size: usize,
+    exec_start: Instant,
+) {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.execute(model, target, env.req.op, env.req.seed)
+        engine.execute_traced(model, target, env.req.op, env.req.seed, env.trace.as_ref())
     }))
     .unwrap_or_else(|payload| {
         let msg = payload
@@ -441,21 +489,39 @@ fn execute_one(engine: &Arc<ServeEngine>, model: &str, target: &str, env: Envelo
             "kernel execution panicked: {msg}"
         )))
     });
-    respond(engine, env, outcome.map_err(|e| e.to_string()), size);
+    respond(
+        engine,
+        env,
+        outcome.map_err(|e| e.to_string()),
+        size,
+        exec_start,
+    );
 }
 
-/// Record completion metrics and send the response. The client may have
-/// dropped its receiver; that is not an error for the pipeline.
+/// Record completion metrics (queue wait split from service time),
+/// close out the request's trace, and send the response. The client may
+/// have dropped its receiver; that is not an error for the pipeline.
 fn respond(
     engine: &Arc<ServeEngine>,
     env: Envelope,
     outcome: Result<ExecOutcome, String>,
     size: usize,
+    exec_start: Instant,
 ) {
     let ok = outcome.is_ok();
-    engine
-        .metrics()
-        .record_completion(env.enqueued.elapsed(), ok);
+    engine.metrics().record_completion(
+        exec_start.duration_since(env.enqueued),
+        exec_start.elapsed(),
+        ok,
+    );
+    let trace_id = env.trace.as_ref().map(|t| {
+        let span = t.start("reply");
+        span.finish(format!("ok={ok} batch_size={size}"));
+        // Finish before the reply send: a client that reads its
+        // response and immediately GETs the trace must find it complete.
+        engine.finish_trace(t);
+        t.id()
+    });
     let response = match outcome {
         Ok(out) => ServeResponse {
             id: env.id,
@@ -464,6 +530,7 @@ fn respond(
             note: out.note,
             batch_size: size,
             tier: Some(out.tier),
+            trace_id,
         },
         Err(e) => ServeResponse {
             id: env.id,
@@ -472,6 +539,7 @@ fn respond(
             note: String::new(),
             batch_size: size,
             tier: None,
+            trace_id,
         },
     };
     let _ = env.reply.send(response);
@@ -548,6 +616,7 @@ mod tests {
                 },
                 reply,
                 enqueued: Instant::now(),
+                trace: None,
             }
         };
         let pending = vec![

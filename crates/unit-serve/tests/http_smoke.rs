@@ -84,7 +84,7 @@ fn execute_over_http_is_bit_identical_to_run_reference() {
     let (status, metrics) = http_request(addr, "GET", "/metrics", "", TIMEOUT).expect("metrics");
     assert_eq!(status, 200);
     assert!(
-        metrics.starts_with("# unit-serve metrics v5\n"),
+        metrics.starts_with("# unit-serve metrics v6\n"),
         "{metrics}"
     );
     assert!(metrics.contains("http_requests "), "{metrics}");

@@ -14,6 +14,11 @@
 //!   bit-identical to `run_reference` — first in-process through the
 //!   batching scheduler, then over a real TCP socket through the
 //!   HTTP front-end.
+//! * Tracing is flipped on at runtime: one whole-model request is
+//!   served traced, its stage timeline fetched via `/v1/trace/<id>`,
+//!   and the fleet's Chrome trace_event export pulled via
+//!   `/v1/traces?export=chrome` (written to `trace_export.json` when
+//!   `UNIT_SERVE_TRACE` is set — open it in Perfetto).
 //! * A second, **tiered** fleet on its own journal serves a novel
 //!   workload immediately at the cold tuning tier, the background
 //!   re-tune worker hot-swaps the full-tier kernel in mid-traffic, and
@@ -37,7 +42,7 @@ use unit::isa::registry;
 use unit::pipeline::TuningConfig;
 use unit::serve::net::{encode_typed_buf, http_request};
 use unit::serve::{
-    HttpServer, HttpServerConfig, Journal, JournalConfig, JournalRecord, Scheduler,
+    model_graph, HttpServer, HttpServerConfig, Journal, JournalConfig, JournalRecord, Scheduler,
     SchedulerConfig, ServeEngine, ServeRequest,
 };
 use unit_core::tuner::{tuner_invocations, tuner_searches, CpuTuneMode, GpuTuneMode};
@@ -235,6 +240,67 @@ fn main() {
         http_request(addr, "GET", "/metrics", "", timeout).expect("GET /metrics");
     assert_eq!(status, 200);
     println!("HTTP front-end on {addr}: {http_requests} requests bit-identical over the wire\n");
+
+    // --- Phase 5b: request-scoped tracing over the wire. Flip the
+    // collector on at runtime, serve one whole model, and pull the
+    // timeline plus the Chrome trace_event export back through the
+    // front-end (open the export in Perfetto / chrome://tracing). ---
+    engine.tracer().set_enabled(true);
+    let traced_graph = if cfg!(debug_assertions) {
+        "transformer-micro"
+    } else {
+        "transformer-tiny"
+    };
+    // A pays the fused whole-model search once — journaled like every
+    // other decision — so B serves the traced request search-free.
+    let graph_spec = model_graph(traced_graph).expect("known graph");
+    replica_a
+        .execute_model(&graph_spec, &targets[0], 3, true)
+        .expect("A compiles the fused model");
+    engine
+        .sync_journal()
+        .expect("B tails the fused whole-model artifacts");
+    let body = format!("graph {traced_graph}\ntarget {}\nseed 3\n", &targets[0]);
+    let (status, response) =
+        http_request(addr, "POST", "/v1/execute", &body, timeout).expect("traced model request");
+    assert_eq!(status, 200, "{response}");
+    let trace_id = response
+        .lines()
+        .find_map(|l| l.strip_prefix("trace "))
+        .expect("tracing is on: the response names its trace")
+        .to_string();
+    let (status, timeline) =
+        http_request(addr, "GET", &format!("/v1/trace/{trace_id}"), "", timeout)
+            .expect("GET /v1/trace/<id>");
+    assert_eq!(status, 200, "{timeline}");
+    for required in ["admission", "queue", "tape_dispatch", "epilogue", "reply"] {
+        assert!(
+            timeline.contains(&format!("span {required} ")),
+            "timeline is missing `{required}`:\n{timeline}"
+        );
+    }
+    let spans = timeline.lines().filter(|l| l.starts_with("span ")).count();
+    let dispatches = timeline
+        .lines()
+        .filter(|l| l.starts_with("span tape_dispatch "))
+        .count();
+    assert_eq!(dispatches, 8, "one tape dispatch per transformer step");
+    let (status, export) =
+        http_request(addr, "GET", "/v1/traces?export=chrome", "", timeout).expect("chrome export");
+    assert_eq!(status, 200);
+    assert!(
+        export.starts_with('{') && export.contains("\"traceEvents\""),
+        "{export}"
+    );
+    if std::env::var("UNIT_SERVE_TRACE").is_ok() {
+        std::fs::write("trace_export.json", &export).expect("write trace_export.json");
+        println!("wrote trace_export.json ({} bytes)", export.len());
+    }
+    engine.tracer().set_enabled(false);
+    println!(
+        "trace OK: trace {trace_id} has {spans} spans ({dispatches} tape dispatches), chrome export {} bytes\n",
+        export.len()
+    );
     server.shutdown();
 
     // --- Phase 6: a tiered fleet on its own journal — serve cold
